@@ -1,0 +1,151 @@
+package dsmrace
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/verify"
+)
+
+// racyTraceResult produces one traced racy run for offline benchmarks.
+func racyTraceResult(b *testing.B, ops int) *Result {
+	b.Helper()
+	res, err := Run(RunSpec{
+		Procs:    4,
+		Seed:     1,
+		Detector: "vw-exact",
+		Trace:    true,
+		Setup: func(c *Cluster) error {
+			return c.Alloc("x", 0, 4)
+		},
+		Program: func(p *Proc) error {
+			for i := 0; i < ops; i++ {
+				if i%3 == 0 {
+					if _, err := p.GetWord("x", 0); err != nil {
+						return err
+					}
+				} else if err := p.Put("x", 0, Word(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkGroundTruth measures the offline exact verifier; the quadratic
+// full-history cost and the effect of the matrix-clock-style pruning.
+func BenchmarkGroundTruth(b *testing.B) {
+	for _, ops := range []int{25, 100} {
+		res := racyTraceResult(b, ops)
+		for _, prune := range []bool{false, true} {
+			name := fmt.Sprintf("ops=%d/prune=%v", ops, prune)
+			b.Run(name, func(b *testing.B) {
+				opt := verify.DefaultOptions()
+				opt.PruneHistory = prune
+				var pairs int
+				for i := 0; i < b.N; i++ {
+					truth := verify.GroundTruth(res.Trace, opt)
+					pairs = len(truth.Pairs)
+				}
+				b.ReportMetric(float64(pairs), "pairs")
+			})
+		}
+	}
+}
+
+// BenchmarkReplayDetector measures offline detector replay over one trace.
+func BenchmarkReplayDetector(b *testing.B) {
+	res := racyTraceResult(b, 50)
+	for _, det := range []string{"vw-exact", "single-clock", "epoch"} {
+		b.Run(det, func(b *testing.B) {
+			d, err := NewDetector(det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				verify.ReplayDetector(res.Trace, d, verify.DefaultOptions())
+			}
+		})
+	}
+}
+
+// BenchmarkBarrier measures the clock-merging barrier across cluster sizes.
+func BenchmarkBarrier(b *testing.B) {
+	for _, n := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			iters := b.N
+			spec := RunSpec{
+				Procs:    n,
+				Seed:     1,
+				Detector: "off",
+				Setup:    func(c *Cluster) error { return nil },
+				Program: func(p *Proc) error {
+					for i := 0; i < iters; i++ {
+						p.Barrier()
+					}
+					return nil
+				},
+			}
+			b.ResetTimer()
+			res, err := Run(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Duration)/float64(iters), "vns/barrier")
+			b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(iters), "msgs/barrier")
+		})
+	}
+}
+
+// BenchmarkTraceOverhead compares a run with and without trace recording.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("trace=%v", traced), func(b *testing.B) {
+			iters := b.N
+			spec := RunSpec{
+				Procs:    2,
+				Seed:     1,
+				Detector: "vw-exact",
+				Trace:    traced,
+				Setup:    func(c *Cluster) error { return c.Alloc("x", 1, 1) },
+				Programs: []Program{
+					func(p *Proc) error {
+						for i := 0; i < iters; i++ {
+							if err := p.Put("x", 0, Word(i)); err != nil {
+								return err
+							}
+						}
+						return nil
+					},
+					nil,
+				},
+			}
+			b.ResetTimer()
+			if _, err := Run(spec); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkExploreSchedules measures the divergence sweep of E-T8.
+func BenchmarkExploreSchedules(b *testing.B) {
+	spec := RunSpec{
+		Procs:    3,
+		Detector: "off",
+		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+		Program:  func(p *Proc) error { return p.Put("x", 0, Word(p.ID())) },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExploreSchedules(spec, SeedRange(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

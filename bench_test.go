@@ -1,0 +1,347 @@
+// Benchmarks regenerating the paper's evaluation artefacts. Each
+// BenchmarkE_* family corresponds to one experiment in EXPERIMENTS.md;
+// custom metrics report the *virtual* quantities the paper reasons about
+// (messages, bytes, virtual latency) next to the host-side ns/op.
+package dsmrace
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/baseline"
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/vclock"
+	"dsmrace/internal/workload"
+)
+
+// benchOps runs a single-writer loop of b.N remote puts/gets under the
+// given spec knobs and reports virtual message/byte/latency metrics.
+func benchOps(b *testing.B, detector, protocol string, payloadWords int, read bool) {
+	b.Helper()
+	spec := RunSpec{
+		Procs:    2,
+		Seed:     1,
+		Detector: detector,
+		Protocol: protocol,
+		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, max(payloadWords, 1)) },
+	}
+	vals := make([]Word, payloadWords)
+	n := b.N
+	spec.Programs = []Program{
+		nil,
+		func(p *Proc) error {
+			for i := 0; i < n; i++ {
+				if read {
+					if _, err := p.Get("x", 0, payloadWords); err != nil {
+						return err
+					}
+				} else if err := p.Put("x", 0, vals...); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	b.ResetTimer()
+	res, err := Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(n), "msgs/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/float64(n), "wireB/op")
+	b.ReportMetric(float64(res.Duration)/float64(n), "vns/op")
+}
+
+// BenchmarkE_F2_Put measures the put primitive of Fig. 2 (detection off).
+func BenchmarkE_F2_Put(b *testing.B) { benchOps(b, "off", "", 1, false) }
+
+// BenchmarkE_F2_Get measures the get primitive of Fig. 2 (detection off).
+func BenchmarkE_F2_Get(b *testing.B) { benchOps(b, "off", "", 1, true) }
+
+// BenchmarkE_F4_ConcurrentReaders measures n readers hammering one
+// initialised variable under the paper detector — all benign (Fig. 4).
+func BenchmarkE_F4_ConcurrentReaders(b *testing.B) {
+	spec := RunSpec{
+		Procs:    4,
+		Seed:     1,
+		Detector: "vw-exact",
+		Setup:    func(c *Cluster) error { return c.Alloc("a", 1, 1) },
+	}
+	n := b.N
+	spec.Program = func(p *Proc) error {
+		if p.ID() == 1 {
+			if err := p.Put("a", 0, 7); err != nil {
+				return err
+			}
+		}
+		p.Barrier()
+		for i := 0; i < n; i++ {
+			if _, err := p.GetWord("a", 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.ResetTimer()
+	res, err := Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if res.RaceCount != 0 {
+		b.Fatalf("benign reads raced: %d", res.RaceCount)
+	}
+	b.ReportMetric(0, "races")
+}
+
+// BenchmarkE_T1_ClockStorage reports detection-state bytes per area as the
+// process count grows (§IV-C: clocks cannot be smaller than n; §IV-D: the
+// W clock doubles memory).
+func BenchmarkE_T1_ClockStorage(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				st := core.NewVWDetector().NewAreaState(n)
+				bytes = st.StorageBytes()
+			}
+			b.ReportMetric(float64(bytes), "B/area")
+		})
+	}
+}
+
+// BenchmarkE_T2_Protocols contrasts message counts per put: detection off,
+// piggyback, and the paper-literal Algorithms 1–5.
+func BenchmarkE_T2_Protocols(b *testing.B) {
+	for _, tc := range []struct{ det, proto string }{
+		{"off", ""},
+		{"vw", "piggyback"},
+		{"vw", "literal"},
+	} {
+		name := tc.det
+		if tc.det != "off" {
+			name = tc.proto
+		}
+		b.Run(name, func(b *testing.B) { benchOps(b, tc.det, tc.proto, 1, false) })
+	}
+}
+
+// BenchmarkE_T4_Throughput measures the random workload with detection on
+// and off across cluster sizes (§V-A: debugging-scale overhead).
+func BenchmarkE_T4_Throughput(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, det := range []string{"off", "vw-exact"} {
+			b.Run(fmt.Sprintf("n=%d/det=%s", n, det), func(b *testing.B) {
+				d, err := NewDetector(det)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := workload.Random(workload.RandomSpec{
+					Procs: n, Areas: 2 * n, AreaWords: 4,
+					OpsPerProc: b.N, ReadPercent: 50,
+				})
+				b.ResetTimer()
+				res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				totalOps := float64(n * b.N)
+				b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+				b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkE_T6_ReadRatio sweeps the read fraction and reports the race
+// flags per operation for the paper detector versus the single-clock
+// baseline (the false positives W eliminates, §IV-D).
+func BenchmarkE_T6_ReadRatio(b *testing.B) {
+	for _, readPct := range []int{0, 50, 90, 100} {
+		for _, det := range []string{"vw-exact", "single-clock"} {
+			b.Run(fmt.Sprintf("read=%d/det=%s", readPct, det), func(b *testing.B) {
+				d, err := NewDetector(det)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := workload.Random(workload.RandomSpec{
+					Procs: 4, Areas: 4, AreaWords: 2,
+					OpsPerProc: b.N, ReadPercent: readPct,
+				})
+				b.ResetTimer()
+				res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(res.RaceCount)/float64(4*b.N), "flags/op")
+			})
+		}
+	}
+}
+
+// BenchmarkE_T7_Reduce contrasts the §V-B one-sided reduction with the
+// collective implementation.
+func BenchmarkE_T7_Reduce(b *testing.B) {
+	const n = 8
+	b.Run("one-sided", func(b *testing.B) {
+		names := make([]string, n)
+		spec := RunSpec{
+			Procs: n, Seed: 1,
+			Setup: func(c *Cluster) error {
+				for i := range names {
+					names[i] = fmt.Sprintf("part%d", i)
+					if err := c.Alloc(names[i], i, 4); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+		iters := b.N
+		progs := make([]Program, n)
+		progs[0] = func(p *Proc) error {
+			for i := 0; i < iters; i++ {
+				if _, err := p.ReduceOneSided(names, OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		spec.Programs = progs
+		b.ResetTimer()
+		res, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(iters), "msgs/op")
+	})
+	b.Run("collective", func(b *testing.B) {
+		spec := RunSpec{
+			Procs: n, Seed: 1,
+			Setup: func(c *Cluster) error { return c.Alloc("scratch", 0, n+1) },
+		}
+		iters := b.N
+		spec.Program = func(p *Proc) error {
+			for i := 0; i < iters; i++ {
+				if _, err := p.ReduceCollective("scratch", Word(p.ID()), OpSum, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		b.ResetTimer()
+		res, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(iters), "msgs/op")
+	})
+}
+
+// BenchmarkE_T10_Ablations crosses protocol and granularity on the same
+// racy workload.
+func BenchmarkE_T10_Ablations(b *testing.B) {
+	for _, proto := range []string{"piggyback", "literal"} {
+		for _, gran := range []string{"area", "node"} {
+			b.Run(proto+"/"+gran, func(b *testing.B) {
+				spec := RunSpec{
+					Procs: 3, Seed: 1, Detector: "vw", Protocol: proto, Granularity: gran,
+					Setup: func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+				}
+				iters := b.N
+				spec.Program = func(p *Proc) error {
+					for i := 0; i < iters; i++ {
+						if err := p.Put("x", 0, Word(p.ID())); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				b.ResetTimer()
+				res, err := Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(3*iters), "msgs/op")
+				b.ReportMetric(float64(res.RaceCount)/float64(3*iters), "flags/op")
+			})
+		}
+	}
+}
+
+// ---- micro-benchmarks of the detection hot path ----
+
+// BenchmarkCompareClocks measures Algorithm 3 across clock sizes.
+func BenchmarkCompareClocks(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := vclock.New(n), vclock.New(n)
+			x.Tick(0)
+			y.Tick(n - 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = vclock.Compare(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMergeClocks measures Algorithm 4 (max_clock).
+func BenchmarkMergeClocks(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := vclock.New(n), vclock.New(n)
+			for i := 0; i < n; i++ {
+				y[i] = uint64(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Merge(y)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectorOnAccess measures one detection step per detector.
+func BenchmarkDetectorOnAccess(b *testing.B) {
+	dets := []core.Detector{
+		core.NewVWDetector(), core.NewExactVWDetector(),
+		baseline.NewSingleClock(), baseline.NewEpoch(), baseline.NewLockset(), baseline.Nop{},
+	}
+	for _, d := range dets {
+		b.Run(d.Name(), func(b *testing.B) {
+			const n = 16
+			st := d.NewAreaState(n)
+			clk := vclock.New(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clk.Tick(i % n)
+				acc := core.Access{Proc: i % n, Seq: uint64(i), Kind: core.Write, Clock: clk}
+				st.OnAccess(acc, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkMemoryPutThroughput measures raw substrate bandwidth (large
+// payload puts, detection off).
+func BenchmarkMemoryPutThroughput(b *testing.B) {
+	benchOps(b, "off", "", 512, false)
+	b.SetBytes(512 * memory.WordBytes)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

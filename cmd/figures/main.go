@@ -1,0 +1,42 @@
+// Command figures regenerates the paper's Figures 1–5 as executable ASCII
+// scenarios with measured clock values, message counts and race verdicts.
+//
+// Usage:
+//
+//	figures            # all figures
+//	figures -fig 5a    # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsmrace/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure number (1, 2, 3, 4, 5a, 5b, 5c) or all")
+	flag.Parse()
+
+	var figs []figures.Figure
+	if *fig == "all" {
+		figs = figures.All()
+	} else {
+		f, ok := figures.ByNum(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		figs = []figures.Figure{f}
+	}
+	for _, f := range figs {
+		fmt.Printf("Figure %s: %s\n", f.Num, f.Title)
+		fmt.Println()
+		fmt.Println(f.Diagram)
+		for _, n := range f.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Printf("  races detected: %d\n\n", f.Races)
+	}
+}

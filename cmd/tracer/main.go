@@ -1,0 +1,164 @@
+// Command tracer inspects, verifies and converts execution traces recorded
+// by the DSM runtime.
+//
+// Usage:
+//
+//	tracer -in run.json -verify          # exact ground truth of a trace
+//	tracer -in run.json -stats           # event statistics
+//	tracer -in run.json -out run.gob     # convert between JSON and gob
+//	tracer -in run.json -dump -limit 20  # print events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsmrace"
+	"dsmrace/internal/stats"
+	"dsmrace/internal/trace"
+	"dsmrace/internal/verify"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trace (.json or .gob)")
+		out      = flag.String("out", "", "convert: output path (.json or .gob)")
+		doStats  = flag.Bool("stats", false, "print event statistics")
+		doVer    = flag.Bool("verify", false, "compute exact ground truth")
+		dump     = flag.Bool("dump", false, "print events")
+		limit    = flag.Int("limit", 50, "max events/pairs to print")
+		replay   = flag.String("replay", "", "replay an online detector over the trace (vw, vw-exact, single-clock, lockset, epoch)")
+		lockord  = flag.Bool("lockorder", false, "analyse user-lock acquisition order for potential deadlocks")
+		timeline = flag.Bool("timeline", false, "render a Fig.5-style space-time diagram (race-marked when combined with -replay)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tracer: -in is required")
+		os.Exit(2)
+	}
+	tr, err := read(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: label=%q procs=%d seed=%d events=%d\n", tr.Label, tr.Procs, tr.Seed, len(tr.Events))
+
+	if *doStats {
+		counts := map[string]int{}
+		perProc := make([]int, tr.Procs)
+		for _, e := range tr.Events {
+			counts[e.Kind.String()]++
+			if e.Proc < len(perProc) {
+				perProc[e.Proc]++
+			}
+		}
+		tb := stats.NewTable("event kinds", "kind", "count")
+		for _, k := range []string{"put", "get", "atomic", "lock", "unlock", "barrier"} {
+			if counts[k] > 0 {
+				tb.Row(k, counts[k])
+			}
+		}
+		fmt.Print(tb)
+		tb2 := stats.NewTable("events per process", "proc", "events")
+		for i, n := range perProc {
+			tb2.Row(i, n)
+		}
+		fmt.Print(tb2)
+	}
+
+	if *dump {
+		for i, e := range tr.Events {
+			if i >= *limit {
+				fmt.Printf("... %d more\n", len(tr.Events)-i)
+				break
+			}
+			fmt.Println(" ", e)
+		}
+	}
+
+	if *doVer {
+		gt := verify.GroundTruth(tr, verify.DefaultOptions())
+		fmt.Printf("ground truth: %d accesses, %d conflicting pairs, %d racing pairs, %d racy accesses\n",
+			gt.Accesses, gt.ConflictPairs, len(gt.Pairs), len(gt.Racy))
+		for i, p := range gt.Pairs {
+			if i >= *limit {
+				fmt.Printf("... %d more\n", len(gt.Pairs)-i)
+				break
+			}
+			fmt.Printf("  race: %v x %v on area %d\n", p.A, p.B, p.Area)
+		}
+	}
+
+	var marker func(proc int, seq uint64) bool
+	if *replay != "" {
+		det, err := dsmrace.NewDetector(*replay)
+		if err != nil || det == nil {
+			fmt.Fprintf(os.Stderr, "tracer: bad detector %q: %v\n", *replay, err)
+			os.Exit(2)
+		}
+		reports := verify.ReplayDetector(tr, det, verify.DefaultOptions())
+		fmt.Printf("replay[%s]: %d race flags\n", *replay, len(reports))
+		for i, r := range reports {
+			if i >= *limit {
+				fmt.Printf("... %d more\n", len(reports)-i)
+				break
+			}
+			fmt.Println(" ", r)
+		}
+		flagged := make(map[[2]uint64]bool, len(reports))
+		for _, r := range reports {
+			flagged[[2]uint64{uint64(r.Current.Proc), r.Current.Seq}] = true
+		}
+		marker = func(proc int, seq uint64) bool { return flagged[[2]uint64{uint64(proc), seq}] }
+	}
+
+	if *timeline {
+		fmt.Print(trace.RenderTimeline(tr, trace.RenderOptions{
+			MaxEvents:  *limit,
+			Marker:     marker,
+			ShowClocks: true,
+		}))
+	}
+
+	if *lockord {
+		findings := verify.LockOrder(tr)
+		fmt.Printf("lock-order analysis: %d potential deadlock(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Println(" ", f)
+		}
+	}
+
+	if *out != "" {
+		if err := write(tr, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+}
+
+func read(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gob") {
+		return trace.ReadGob(f)
+	}
+	return trace.ReadJSON(f)
+}
+
+func write(tr *trace.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gob") {
+		return tr.WriteGob(f)
+	}
+	return tr.WriteJSON(f)
+}

@@ -1,0 +1,98 @@
+package dsmrace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DivergenceReport is the outcome of a seed sweep: the paper's operational
+// race definition (§III-C, "the result of a computation differs between
+// executions of this computation") made executable. A program whose final
+// memory differs across schedules observably races; a program with one
+// final state across the sweep is schedule-insensitive.
+type DivergenceReport struct {
+	// Seeds are the schedules explored.
+	Seeds []int64
+	// States maps each distinct final-memory fingerprint to the seeds that
+	// produced it.
+	States map[string][]int64
+	// RaceCounts is the detector's race tally per seed (parallel to Seeds).
+	RaceCounts []int
+	// Results holds each run's result (parallel to Seeds).
+	Results []*Result
+}
+
+// Diverged reports whether more than one distinct final state was observed.
+func (d *DivergenceReport) Diverged() bool { return len(d.States) > 1 }
+
+// DistinctStates returns the number of distinct final memory states.
+func (d *DivergenceReport) DistinctStates() int { return len(d.States) }
+
+// TotalRaces sums the detector's reports over all seeds.
+func (d *DivergenceReport) TotalRaces() int {
+	total := 0
+	for _, n := range d.RaceCounts {
+		total += n
+	}
+	return total
+}
+
+// String summarises the sweep.
+func (d *DivergenceReport) String() string {
+	return fmt.Sprintf("seeds=%d distinct-states=%d diverged=%v races=%d",
+		len(d.Seeds), d.DistinctStates(), d.Diverged(), d.TotalRaces())
+}
+
+// fingerprint hashes the final public memory of every node.
+func fingerprint(mem [][]Word) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, seg := range mem {
+		for _, w := range seg {
+			binary.BigEndian.PutUint64(buf[:], w)
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// ExploreSchedules runs the spec once per seed (the spec's own Seed is
+// ignored) and compares final memory states. Latency jitter is forced on
+// (default 30%) so seeds actually explore different interleavings.
+func ExploreSchedules(spec RunSpec, seeds []int64) (*DivergenceReport, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("dsmrace: no seeds to explore")
+	}
+	if spec.Jitter == 0 {
+		spec.Jitter = 0.3
+	}
+	rep := &DivergenceReport{States: make(map[string][]int64)}
+	for _, seed := range seeds {
+		s := spec
+		s.Seed = seed
+		res, err := Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("dsmrace: seed %d: %w", seed, err)
+		}
+		fp := fingerprint(res.Memory)
+		rep.Seeds = append(rep.Seeds, seed)
+		rep.States[fp] = append(rep.States[fp], seed)
+		rep.RaceCounts = append(rep.RaceCounts, res.RaceCount)
+		rep.Results = append(rep.Results, res)
+	}
+	for _, v := range rep.States {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	}
+	return rep, nil
+}
+
+// SeedRange returns [0, n) as seeds for ExploreSchedules.
+func SeedRange(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}

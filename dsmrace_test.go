@@ -1,0 +1,202 @@
+package dsmrace
+
+import (
+	"strings"
+	"testing"
+)
+
+func racySpec(seed int64) RunSpec {
+	return RunSpec{
+		Procs:    3,
+		Seed:     seed,
+		Detector: "vw-exact",
+		Trace:    true,
+		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+		Program:  func(p *Proc) error { return p.Put("x", 0, Word(p.ID()+1)) },
+	}
+}
+
+func cleanSpec(seed int64) RunSpec {
+	return RunSpec{
+		Procs:    3,
+		Seed:     seed,
+		Detector: "vw-exact",
+		Trace:    true,
+		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+		Program: func(p *Proc) error {
+			if p.ID() == 0 {
+				if err := p.Put("x", 0, 9); err != nil {
+					return err
+				}
+			}
+			p.Barrier()
+			_, err := p.GetWord("x", 0)
+			return err
+		},
+	}
+}
+
+func TestRunDetectsRaces(t *testing.T) {
+	res, err := Run(racySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("expected races")
+	}
+	truth, err := GroundTruthOf(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Pairs) == 0 {
+		t.Fatal("ground truth empty")
+	}
+	score, err := ScoreDetector(res, "vw-exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Precision != 1 || score.Recall != 1 {
+		t.Fatalf("score: %v", score)
+	}
+}
+
+func TestRunCleanProgram(t *testing.T) {
+	res, err := Run(cleanSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 {
+		t.Fatalf("clean program raced: %v", res.Races)
+	}
+}
+
+func TestNewDetectorNames(t *testing.T) {
+	for _, name := range DetectorNames() {
+		det, err := NewDetector(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "off" && det != nil {
+			t.Fatal("off must yield nil")
+		}
+		if name != "off" && det == nil {
+			t.Fatalf("%s yielded nil", name)
+		}
+	}
+	if det, err := NewDetector(""); err != nil || det != nil {
+		t.Fatal("empty name means detection off")
+	}
+	if _, err := NewDetector("nope"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	if _, err := Run(RunSpec{Procs: 2}); err == nil || !strings.Contains(err.Error(), "Program") {
+		t.Fatalf("missing program: %v", err)
+	}
+	bad := racySpec(1)
+	bad.Protocol = "smoke-signals"
+	if _, err := Run(bad); err == nil {
+		t.Fatal("bad protocol must fail")
+	}
+	bad = racySpec(1)
+	bad.Granularity = "galaxy"
+	if _, err := Run(bad); err == nil {
+		t.Fatal("bad granularity must fail")
+	}
+	bad = racySpec(1)
+	bad.Detector = "psychic"
+	if _, err := Run(bad); err == nil {
+		t.Fatal("bad detector must fail")
+	}
+	bad = racySpec(1)
+	bad.Programs = []Program{nil}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("program count mismatch must fail")
+	}
+}
+
+func TestLiteralProtocolThroughFacade(t *testing.T) {
+	spec := racySpec(1)
+	spec.Protocol = "literal"
+	spec.Detector = "vw"
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("literal protocol should detect the same races")
+	}
+	// Literal is strictly chattier.
+	pig, err := Run(racySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetStats.TotalMsgs <= pig.NetStats.TotalMsgs {
+		t.Fatalf("literal %d msgs <= piggyback %d", res.NetStats.TotalMsgs, pig.NetStats.TotalMsgs)
+	}
+}
+
+func TestNodeGranularityThroughFacade(t *testing.T) {
+	spec := racySpec(1)
+	spec.Granularity = "node"
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroundTruthRequiresTrace(t *testing.T) {
+	spec := racySpec(1)
+	spec.Trace = false
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GroundTruthOf(res); err == nil {
+		t.Fatal("untraced run must refuse ground truth")
+	}
+}
+
+func TestExploreSchedulesDivergence(t *testing.T) {
+	// The racy program writes three different values to one cell: across
+	// seeds with jitter the last writer varies — the paper's §III-C
+	// operational race definition.
+	rep, err := ExploreSchedules(racySpec(0), SeedRange(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diverged() {
+		t.Fatalf("racy program did not diverge across seeds: %v", rep)
+	}
+	if rep.TotalRaces() == 0 {
+		t.Fatal("detector silent on diverging program")
+	}
+
+	clean, err := ExploreSchedules(cleanSpec(0), SeedRange(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Diverged() {
+		t.Fatalf("race-free program diverged: %v", clean)
+	}
+	if clean.TotalRaces() != 0 {
+		t.Fatal("detector flagged the clean program")
+	}
+	if clean.String() == "" || rep.String() == "" {
+		t.Fatal("report strings")
+	}
+}
+
+func TestExploreSchedulesValidation(t *testing.T) {
+	if _, err := ExploreSchedules(racySpec(0), nil); err == nil {
+		t.Fatal("empty seed list must fail")
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	s := SeedRange(3)
+	if len(s) != 3 || s[0] != 0 || s[2] != 2 {
+		t.Fatalf("SeedRange: %v", s)
+	}
+}

@@ -1,0 +1,99 @@
+// Histogram compares three implementations of parallel binning over the
+// mini-PGAS shared-array layer: atomic updates (benign races, exact
+// totals), lock-disciplined read-modify-write (race-free, slower), and raw
+// read-modify-write (a real lost-update bug the detector flags).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmrace"
+)
+
+const (
+	procs   = 4
+	bins    = 8
+	updates = 25
+)
+
+func setup(c *dsmrace.Cluster) error {
+	for b := 0; b < bins; b++ {
+		if err := c.Alloc(fmt.Sprintf("bin%d", b), b%procs, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(name, detector string, prog dsmrace.Program) {
+	res, err := dsmrace.Run(dsmrace.RunSpec{
+		Procs:    procs,
+		Seed:     11,
+		Detector: detector,
+		Setup:    setup,
+		Program:  prog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total dsmrace.Word
+	for b := 0; b < bins; b++ {
+		total += res.Memory[b%procs][b/procs]
+	}
+	fmt.Printf("%-14s races=%-5d total=%d/%d  virtual=%v msgs=%d\n",
+		name, res.RaceCount, total, procs*updates, res.Duration, res.NetStats.TotalMsgs)
+}
+
+func main() {
+	bin := func(p *dsmrace.Proc, i int) string {
+		return fmt.Sprintf("bin%d", p.Rand().Intn(bins))
+	}
+
+	run("atomic", "vw-exact", func(p *dsmrace.Proc) error {
+		for i := 0; i < updates; i++ {
+			if _, err := p.FetchAdd(bin(p, i), 0, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	run("locked", "vw-exact", func(p *dsmrace.Proc) error {
+		for i := 0; i < updates; i++ {
+			name := bin(p, i)
+			if err := p.Lock(name); err != nil {
+				return err
+			}
+			v, err := p.GetWord(name, 0)
+			if err != nil {
+				return err
+			}
+			if err := p.Put(name, 0, v+1); err != nil {
+				return err
+			}
+			if err := p.Unlock(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	run("racy (bug)", "vw-exact", func(p *dsmrace.Proc) error {
+		for i := 0; i < updates; i++ {
+			name := bin(p, i)
+			v, err := p.GetWord(name, 0)
+			if err != nil {
+				return err
+			}
+			if err := p.Put(name, 0, v+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	fmt.Println("\natomic: benign races signalled, totals exact")
+	fmt.Println("locked: zero races, totals exact, extra lock traffic")
+	fmt.Println("racy:   races flagged AND updates lost — the bug the detector is for")
+}

@@ -1,0 +1,106 @@
+// Pgas demonstrates the UPC-style language layer (§I, §III-A): a shared
+// array distributed block-wise over the cluster, owner-computes iteration
+// with ForAll, a dot product combining local work with a collective, and
+// the one-sided whole-array sum of §V-B — with the race detector watching
+// every dereference the "compiler" generates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/upc"
+)
+
+const (
+	procs  = 4
+	length = 16
+)
+
+func main() {
+	c, err := dsm.New(dsm.Config{
+		Procs: procs,
+		Seed:  1,
+		RDMA:  rdma.DefaultConfig(core.NewExactVWDetector(), nil),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "Compile time": declare two distributed arrays and a scratch cell.
+	x, err := upc.Declare(c, "x", length, upc.Block)
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, err := upc.Declare(c, "y", length, upc.Cyclic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Alloc("scratch", 0, procs+1); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := c.Run(func(p *dsm.Proc) error {
+		// Phase 1: owner-computes initialisation (upc_forall with affinity).
+		if err := x.ForAll(p, func(i int) error {
+			return x.Write(p, i, memory.Word(i))
+		}); err != nil {
+			return err
+		}
+		if err := y.ForAll(p, func(i int) error {
+			return y.Write(p, i, memory.Word(2*i))
+		}); err != nil {
+			return err
+		}
+		p.Barrier()
+
+		// Phase 2: distributed dot product — each process folds its owned
+		// x-elements against y (remote reads cross the layouts), then a
+		// collective sum combines the partials.
+		var partial memory.Word
+		if err := x.ForAll(p, func(i int) error {
+			xv, err := x.Read(p, i)
+			if err != nil {
+				return err
+			}
+			yv, err := y.Read(p, i)
+			if err != nil {
+				return err
+			}
+			partial += xv * yv
+			return nil
+		}); err != nil {
+			return err
+		}
+		dot, err := p.ReduceCollective("scratch", partial, dsm.OpSum, 0)
+		if err != nil {
+			return err
+		}
+
+		// Phase 3: P0 alone checks the result with a one-sided sum (§V-B).
+		if p.ID() == 0 {
+			var want memory.Word
+			for i := 0; i < length; i++ {
+				want += memory.Word(i) * memory.Word(2*i)
+			}
+			fmt.Printf("dot(x,y) = %d (expected %d)\n", dot, want)
+			sum, err := x.SumOneSided(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("one-sided sum(x) = %d (expected %d)\n", sum, length*(length-1)/2)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("races: %d — all on the reduce scratch area: disjoint slots of one\n", res.RaceCount)
+	fmt.Println("shared variable share one clock, so the concurrent slot writes are flagged")
+	fmt.Println("(clock-granularity false sharing, quantified in experiment E-T11; the")
+	fmt.Println("distributed arrays themselves stay clean under owner-computes + barriers)")
+	fmt.Printf("traffic: %d messages, %v virtual time\n", res.NetStats.TotalMsgs, res.Duration)
+}

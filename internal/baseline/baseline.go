@@ -1,0 +1,90 @@
+// Package baseline implements the comparator race detectors the evaluation
+// tables measure the paper's detector against: a single-clock variant (the
+// strawman §IV-D argues against), an Eraser-style lockset detector, a
+// FastTrack-style epoch detector (an extension showing what a decade of
+// shared-memory race detection buys in this model), and a no-op detector
+// establishing the overhead floor.
+package baseline
+
+import (
+	"dsmrace/internal/core"
+	"dsmrace/internal/vclock"
+)
+
+// SingleClock is the paper's detector with the write-clock refinement
+// removed: one general-purpose clock per area, used for both read and write
+// checks. It is sound but reports concurrent read-only accesses as races —
+// the false positives §IV-D says the W clock eliminates.
+type SingleClock struct {
+	// TickHomeOnWrite mirrors core.VWDetector.
+	TickHomeOnWrite bool
+}
+
+// NewSingleClock returns the single-clock baseline configured like the
+// paper's detector.
+func NewSingleClock() *SingleClock { return &SingleClock{TickHomeOnWrite: true} }
+
+// Name implements core.Detector.
+func (d *SingleClock) Name() string { return "single-clock" }
+
+// NewAreaState implements core.Detector.
+func (d *SingleClock) NewAreaState(n int) core.AreaState {
+	return &singleState{det: d, v: vclock.New(n)}
+}
+
+type singleState struct {
+	det  *SingleClock
+	v    vclock.VC
+	last *core.Access
+}
+
+func (s *singleState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) {
+	var rep *core.Report
+	if vclock.ConcurrentWith(acc.Clock, s.v) {
+		rep = &core.Report{
+			Detector:    s.det.Name(),
+			Area:        acc.Area,
+			Current:     acc,
+			StoredClock: s.v.Copy(),
+			Prior:       s.last,
+			Time:        acc.Time,
+		}
+	}
+	s.v.Merge(acc.Clock)
+	if acc.Kind == core.Write && s.det.TickHomeOnWrite {
+		s.v.Tick(home)
+	}
+	a := acc
+	s.last = &a
+	return rep, s.v.Copy()
+}
+
+func (s *singleState) StorageBytes() int { return s.v.WireSize() }
+
+// Clocks implements core.ClockAccessor: with a single clock, V and W are
+// the same clock.
+func (s *singleState) Clocks() (v, w vclock.VC) { return s.v.Copy(), s.v.Copy() }
+
+// SetClocks implements core.ClockAccessor.
+func (s *singleState) SetClocks(v, w vclock.VC) {
+	if v != nil {
+		s.v = v.Copy()
+	} else if w != nil {
+		s.v = w.Copy()
+	}
+}
+
+// Nop detects nothing. Running workloads under Nop gives the cost floor the
+// overhead tables (E-T2, E-T4) compare against.
+type Nop struct{}
+
+// Name implements core.Detector.
+func (Nop) Name() string { return "off" }
+
+// NewAreaState implements core.Detector.
+func (Nop) NewAreaState(n int) core.AreaState { return nopState{} }
+
+type nopState struct{}
+
+func (nopState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) { return nil, nil }
+func (nopState) StorageBytes() int                                            { return 0 }

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"sort"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/vclock"
+)
+
+// Lockset is an Eraser-style detector adapted to the DSM model: instead of
+// tracking happens-before it checks that every shared area is consistently
+// protected by at least one common user-level lock. It follows Eraser's
+// state machine (virgin → exclusive → shared → shared-modified) so that
+// initialisation and read-sharing do not trigger reports.
+//
+// Locksets are insensitive to timing: they flag *potential* races even when
+// the schedule happened to order the accesses — which yields false
+// positives for programs synchronised without locks (e.g. barrier-phased
+// codes) and is exactly the behavioural contrast the E-T3 table shows.
+type Lockset struct{}
+
+// NewLockset returns the lockset baseline.
+func NewLockset() *Lockset { return &Lockset{} }
+
+// Name implements core.Detector.
+func (Lockset) Name() string { return "lockset" }
+
+// NewAreaState implements core.Detector.
+func (Lockset) NewAreaState(n int) core.AreaState {
+	return &locksetState{phase: lsVirgin}
+}
+
+type lsPhase int
+
+const (
+	lsVirgin lsPhase = iota
+	lsExclusive
+	lsShared
+	lsSharedModified
+)
+
+type locksetState struct {
+	phase lsPhase
+	owner int
+	// candidates is the intersection of lock sets seen so far; nil means
+	// "all locks" (no constraining access yet). Kept sorted.
+	candidates []int
+	hasCands   bool
+	reported   bool // Eraser reports each area at most once
+	last       *core.Access
+}
+
+func intersect(a []int, b []int) []int {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func (s *locksetState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) {
+	held := append([]int(nil), acc.Locks...)
+	sort.Ints(held)
+
+	switch s.phase {
+	case lsVirgin:
+		s.phase = lsExclusive
+		s.owner = acc.Proc
+	case lsExclusive:
+		if acc.Proc != s.owner {
+			if acc.Kind == core.Read {
+				s.phase = lsShared
+			} else {
+				s.phase = lsSharedModified
+			}
+			s.candidates = held
+			s.hasCands = true
+		}
+	case lsShared:
+		if acc.Kind == core.Write {
+			s.phase = lsSharedModified
+		}
+		s.refine(held)
+	case lsSharedModified:
+		s.refine(held)
+	}
+
+	var rep *core.Report
+	if s.phase == lsSharedModified && s.hasCands && len(s.candidates) == 0 && !s.reported {
+		s.reported = true
+		rep = &core.Report{
+			Detector: "lockset",
+			Area:     acc.Area,
+			Current:  acc,
+			Prior:    s.last,
+			Time:     acc.Time,
+		}
+	}
+	a := acc
+	s.last = &a
+	return rep, nil
+}
+
+func (s *locksetState) refine(held []int) {
+	if !s.hasCands {
+		s.candidates = held
+		s.hasCands = true
+		return
+	}
+	s.candidates = intersect(s.candidates, held)
+}
+
+// StorageBytes: phase byte + candidate lock ids (8 bytes each).
+func (s *locksetState) StorageBytes() int { return 1 + 8*len(s.candidates) }

@@ -1,0 +1,169 @@
+// Package core implements the paper's contribution: an online race-condition
+// detector for RDMA-based distributed shared memory built purely on vector
+// clocks (§IV, Algorithms 1–5).
+//
+// Every shared memory area carries two clocks — a general-purpose clock V
+// updated by every access and a write clock W updated by writes only
+// (§IV-A). An incoming operation carries the initiator's vector clock K
+// (ticked before the operation, Algorithm 1/2's update_local_clock). A
+// *write* races iff K is concurrent with V: some prior access is causally
+// unrelated to the write. A *read* races iff K is concurrent with W: it only
+// conflicts with prior writes, which is exactly how the W clock eliminates
+// the false positives that concurrent read-only accesses would otherwise
+// produce (Fig. 4, §IV-D).
+//
+// The package exposes the decision logic both as a stateful per-area
+// Detector (used by the piggyback protocol, where the home NIC checks and
+// updates under its local lock) and as pure check functions (used by the
+// literal protocol, where the initiating library fetches the remote clocks,
+// compares locally per Algorithm 3 and writes back merged clocks per
+// Algorithms 4–5).
+package core
+
+import (
+	"fmt"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// AccessKind distinguishes remote reads (get) from remote writes (put).
+type AccessKind int
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (k AccessKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Access describes one remote memory operation as seen by a detector.
+type Access struct {
+	// Proc is the initiating process.
+	Proc int
+	// Seq is the initiator's per-process operation sequence number; together
+	// with Proc it identifies the operation in traces and ground truth.
+	Seq uint64
+	// Area is the shared variable being accessed.
+	Area memory.AreaID
+	// Kind is Read (get) or Write (put).
+	Kind AccessKind
+	// Clock is the initiator's vector clock K, ticked just before the
+	// operation was issued.
+	Clock vclock.VC
+	// Locks are the user-level locks held by the initiator, for
+	// lockset-style detectors. Nil when none.
+	Locks []int
+	// Time is the virtual time the operation was checked.
+	Time sim.Time
+}
+
+// String renders the access compactly for reports.
+func (a Access) String() string {
+	return fmt.Sprintf("%s by P%d (op %d) on area %d with clock %s", a.Kind, a.Proc, a.Seq, a.Area, a.Clock)
+}
+
+// Report is one signalled race condition. Per §IV-D races are signalled and
+// never abort the execution: some algorithms race on purpose.
+type Report struct {
+	// Detector is the name of the detector that produced the report.
+	Detector string
+	// Area is the shared variable involved.
+	Area memory.AreaID
+	// Current is the access whose check failed.
+	Current Access
+	// StoredClock is the area clock Current was compared against (V for
+	// writes, W for reads, in the paper's detector).
+	StoredClock vclock.VC
+	// Prior is best-effort context: the most recent conflicting access known
+	// to the detector. The merged clock is authoritative; Prior may not be
+	// the only conflicting operation.
+	Prior *Access
+	// Time is the virtual detection time.
+	Time sim.Time
+}
+
+// String renders the report in the signal_race_condition format.
+func (r Report) String() string {
+	s := fmt.Sprintf("RACE [%s] t=%v area=%d: %s is concurrent with area clock %s",
+		r.Detector, r.Time, r.Area, r.Current, r.StoredClock)
+	if r.Prior != nil {
+		s += fmt.Sprintf(" (last conflicting: %s)", *r.Prior)
+	}
+	return s
+}
+
+// Pair returns the unordered (proc,seq) endpoints of the report when prior
+// context exists, for matching against ground truth.
+func (r Report) Pair() (a, b [2]uint64, ok bool) {
+	if r.Prior == nil {
+		return a, b, false
+	}
+	a = [2]uint64{uint64(r.Current.Proc), r.Current.Seq}
+	b = [2]uint64{uint64(r.Prior.Proc), r.Prior.Seq}
+	return a, b, true
+}
+
+// AreaState is per-area (or per-node, at node granularity) detector state
+// owned by the home NIC. Implementations are not safe for real concurrent
+// use; the simulation serialises all calls, mirroring the paper's
+// requirement that the area lock is held around check+update ("Since the
+// shared memory area is locked, there cannot exist a race condition between
+// the remote memory accesses induced by the detection mechanism").
+type AreaState interface {
+	// OnAccess checks acc against the state, then folds acc into the state.
+	// It returns a non-nil report iff a race is detected, and the clock the
+	// initiator should absorb (nil when the detector is not clock-based).
+	OnAccess(acc Access, home int) (*Report, vclock.VC)
+	// StorageBytes reports the bytes of detection metadata held for the
+	// area — the storage-overhead measurement of E-T1 (§V-A).
+	StorageBytes() int
+}
+
+// Detector manufactures per-area state.
+type Detector interface {
+	// Name identifies the detector in reports and tables.
+	Name() string
+	// NewAreaState returns fresh state for one area of a system with n
+	// processes.
+	NewAreaState(n int) AreaState
+}
+
+// Collector gathers reports with an optional cap and callback. It
+// implements the paper's signalling policy: record and continue.
+type Collector struct {
+	// Limit caps stored reports (0 = unlimited). Detection continues past
+	// the limit; only storage stops.
+	Limit int
+	// OnReport, when non-nil, is invoked for every report (even past Limit).
+	OnReport func(Report)
+
+	reports []Report
+	total   int
+}
+
+// Signal records a report.
+func (c *Collector) Signal(r Report) {
+	c.total++
+	if c.OnReport != nil {
+		c.OnReport(r)
+	}
+	if c.Limit == 0 || len(c.reports) < c.Limit {
+		c.reports = append(c.reports, r)
+	}
+}
+
+// Reports returns the stored reports.
+func (c *Collector) Reports() []Report { return c.reports }
+
+// Total returns the number of signalled races including any dropped past
+// Limit.
+func (c *Collector) Total() int { return c.total }

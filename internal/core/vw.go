@@ -1,0 +1,172 @@
+package core
+
+import (
+	"dsmrace/internal/vclock"
+)
+
+// CheckWrite is Algorithm 1's race test: a remote write with initiator
+// clock k races iff k is concurrent with the area's general-purpose clock v
+// (a causally unrelated prior access of any kind exists). Pure function so
+// the literal protocol can run it at the initiator after fetching v.
+func CheckWrite(k, v vclock.VC) bool { return vclock.ConcurrentWith(k, v) }
+
+// CheckRead is Algorithm 2's race test: a remote read with initiator clock
+// k races iff k is concurrent with the area's *write* clock w. Comparing
+// against w rather than v is the paper's false-positive refinement (§IV-D):
+// concurrent read-only accesses never race.
+func CheckRead(k, w vclock.VC) bool { return vclock.ConcurrentWith(k, w) }
+
+// VWState is the paper's per-area detection state: the general-purpose
+// clock V and the write clock W (§IV-A), plus best-effort context about the
+// most recent conflicting accesses for report quality.
+type VWState struct {
+	V vclock.VC
+	W vclock.VC
+	// lastWrite and lastRead provide Prior context in reports.
+	lastWrite *Access
+	lastRead  *Access
+	name      string
+}
+
+// VWDetector implements the paper's detector.
+//
+// TickHomeOnWrite controls whether a write-apply increments the home
+// component of the area clock, modelling the reception as an event of the
+// home node exactly as the figures do (Fig. 5: P1 moving to 110 after m1).
+//
+// The tick makes the detector *conservative*: the home component of an area
+// clock shares its index with the home process's own event counter, so a
+// process whose clock dominates every prior access clock may still miss
+// tick counts it never gossiped — a flagged access with no concurrent
+// conflicting partner. Soundness is unaffected (every true race is still
+// flagged; see TestPaperModeIsSoundButConservative). Disabling the tick
+// gives the exact detector, whose verdicts coincide with pairwise ground
+// truth — the E-T10 ablation quantifies the difference.
+type VWDetector struct {
+	// TickHomeOnWrite: see above. The paper's figures require true.
+	TickHomeOnWrite bool
+}
+
+// NewVWDetector returns the detector configured as in the paper's figures.
+func NewVWDetector() *VWDetector { return &VWDetector{TickHomeOnWrite: true} }
+
+// NewExactVWDetector returns the variant without the home tick, whose
+// flags match exact pairwise ground truth.
+func NewExactVWDetector() *VWDetector { return &VWDetector{TickHomeOnWrite: false} }
+
+// Name implements Detector.
+func (d *VWDetector) Name() string {
+	if d.TickHomeOnWrite {
+		return "vw"
+	}
+	return "vw-exact"
+}
+
+// NewAreaState implements Detector.
+func (d *VWDetector) NewAreaState(n int) AreaState {
+	return &vwAreaState{
+		det: d,
+		st:  VWState{V: vclock.New(n), W: vclock.New(n)},
+	}
+}
+
+type vwAreaState struct {
+	det *VWDetector
+	st  VWState
+}
+
+// OnAccess implements AreaState: Algorithm 1 (writes) and Algorithm 2
+// (reads), with the clock updates of Algorithms 4–5 folded in.
+func (s *vwAreaState) OnAccess(acc Access, home int) (*Report, vclock.VC) {
+	var rep *Report
+	switch acc.Kind {
+	case Write:
+		if CheckWrite(acc.Clock, s.st.V) {
+			rep = s.report(acc, s.st.V.Copy(), s.conflictContext(acc))
+		}
+		// update_clock + update_clock_W (Algorithms 4–5): merge the
+		// initiator's clock, count the write as an event of the home node,
+		// and advance the write clock to the new access clock.
+		s.st.V.Merge(acc.Clock)
+		if s.det.TickHomeOnWrite {
+			s.st.V.Tick(home)
+		}
+		s.st.W = s.st.V.Copy()
+		a := acc
+		s.st.lastWrite = &a
+		// The initiator absorbs the merged clock on the ack (production
+		// mode; the runtime decides whether to apply it).
+		return rep, s.st.V.Copy()
+	default: // Read
+		if CheckRead(acc.Clock, s.st.W) {
+			rep = s.report(acc, s.st.W.Copy(), s.st.lastWrite)
+		}
+		// Reads mark the access clock but are not write events: no home
+		// tick, no W update.
+		s.st.V.Merge(acc.Clock)
+		a := acc
+		s.st.lastRead = &a
+		// The reply carries W: the reader absorbs the clock of the write it
+		// observed (reads-from edge).
+		return rep, s.st.W.Copy()
+	}
+}
+
+// conflictContext picks the most useful prior access to attach to a write
+// race: a concurrent prior write if one is known, else a concurrent prior
+// read, else whichever access is recorded.
+func (s *vwAreaState) conflictContext(acc Access) *Access {
+	if s.st.lastWrite != nil && vclock.ConcurrentWith(acc.Clock, s.st.lastWrite.Clock) {
+		return s.st.lastWrite
+	}
+	if s.st.lastRead != nil && vclock.ConcurrentWith(acc.Clock, s.st.lastRead.Clock) {
+		return s.st.lastRead
+	}
+	if s.st.lastWrite != nil {
+		return s.st.lastWrite
+	}
+	return s.st.lastRead
+}
+
+func (s *vwAreaState) report(acc Access, stored vclock.VC, prior *Access) *Report {
+	return &Report{
+		Detector:    s.det.Name(),
+		Area:        acc.Area,
+		Current:     acc,
+		StoredClock: stored,
+		Prior:       prior,
+		Time:        acc.Time,
+	}
+}
+
+// StorageBytes implements AreaState: two vector clocks — the paper's
+// "drawback ... it doubles the necessary amount of memory" (§IV-D).
+func (s *vwAreaState) StorageBytes() int {
+	return s.st.V.WireSize() + s.st.W.WireSize()
+}
+
+// Clocks exposes copies of (V, W) for the literal protocol's get_clock /
+// get_clock_W operations and for tests.
+func (s *vwAreaState) Clocks() (v, w vclock.VC) {
+	return s.st.V.Copy(), s.st.W.Copy()
+}
+
+// SetClocks overwrites the stored clocks — the literal protocol's put_clock
+// after the initiator computed max_clock locally.
+func (s *vwAreaState) SetClocks(v, w vclock.VC) {
+	if v != nil {
+		s.st.V = v.Copy()
+	}
+	if w != nil {
+		s.st.W = w.Copy()
+	}
+}
+
+// ClockAccessor is implemented by clock-based area states that support the
+// literal protocol's remote clock read/write primitives.
+type ClockAccessor interface {
+	Clocks() (v, w vclock.VC)
+	SetClocks(v, w vclock.VC)
+}
+
+var _ ClockAccessor = (*vwAreaState)(nil)

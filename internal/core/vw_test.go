@@ -1,0 +1,234 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dsmrace/internal/vclock"
+)
+
+func acc(proc int, seq uint64, kind AccessKind, clk ...uint64) Access {
+	return Access{Proc: proc, Seq: seq, Area: 0, Kind: kind, Clock: vclock.VC(clk)}
+}
+
+func TestCheckFunctions(t *testing.T) {
+	// Fig. 5(a)'s decisive comparison: 001 against stored 110.
+	if !CheckWrite(vclock.VC{0, 0, 1}, vclock.VC{1, 1, 0}) {
+		t.Fatal("write concurrent with stored access clock must race")
+	}
+	// Fig. 5(b)'s decisive comparison: 132 against stored 130.
+	if CheckWrite(vclock.VC{1, 3, 2}, vclock.VC{1, 3, 0}) {
+		t.Fatal("causally dominating write must not race")
+	}
+	// Reads compare against W only.
+	if CheckRead(vclock.VC{0, 1, 0}, vclock.VC{0, 0, 0}) {
+		t.Fatal("read over never-written area must not race")
+	}
+	if !CheckRead(vclock.VC{0, 1, 0}, vclock.VC{1, 0, 0}) {
+		t.Fatal("read concurrent with a write must race")
+	}
+}
+
+func TestVWFig5aScenario(t *testing.T) {
+	// P0 and P2 both put into P1's memory with no causal relation.
+	d := NewVWDetector()
+	st := d.NewAreaState(3)
+	rep, absorbed := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1)
+	if rep != nil {
+		t.Fatalf("first write raced: %v", rep)
+	}
+	// After m1 the area clock must be 110, as printed in Fig. 5(a).
+	if absorbed.String() != "110" {
+		t.Fatalf("area clock after m1 = %s, want 110", absorbed)
+	}
+	rep, _ = st.OnAccess(acc(2, 1, Write, 0, 0, 1), 1)
+	if rep == nil {
+		t.Fatal("Fig. 5(a) race not detected")
+	}
+	if rep.StoredClock.String() != "110" || rep.Current.Clock.String() != "001" {
+		t.Fatalf("report clocks = %s vs %s, want 110 vs 001", rep.StoredClock, rep.Current.Clock)
+	}
+	if rep.Prior == nil || rep.Prior.Proc != 0 {
+		t.Fatalf("prior context should be P0's write: %+v", rep.Prior)
+	}
+}
+
+func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
+	// Variable initialised by its home, then read concurrently by P0 and P2:
+	// not a race (§IV-D, Fig. 4).
+	d := NewVWDetector()
+	st := d.NewAreaState(3)
+	// Home P1 initialises a = A (write with clock 010).
+	if rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1, 0), 1); rep != nil {
+		t.Fatalf("init write raced: %v", rep)
+	}
+	// Both readers have absorbed the initialisation (e.g. via a barrier):
+	// clocks dominate W but are concurrent with each other.
+	r0 := acc(0, 1, Read, 1, 2, 0)
+	r2 := acc(2, 1, Read, 0, 2, 1)
+	if !vclock.ConcurrentWith(r0.Clock, r2.Clock) {
+		t.Fatal("test setup: readers must be mutually concurrent")
+	}
+	if rep, _ := st.OnAccess(r0, 1); rep != nil {
+		t.Fatalf("read 1 falsely raced: %v", rep)
+	}
+	if rep, _ := st.OnAccess(r2, 1); rep != nil {
+		t.Fatalf("read 2 falsely raced: %v", rep)
+	}
+}
+
+func TestVWReadAgainstConcurrentWriteRaces(t *testing.T) {
+	d := NewVWDetector()
+	st := d.NewAreaState(2)
+	if rep, _ := st.OnAccess(acc(0, 1, Write, 1, 0), 0); rep != nil {
+		t.Fatal("unexpected race")
+	}
+	rep, _ := st.OnAccess(acc(1, 1, Read, 0, 1), 0)
+	if rep == nil {
+		t.Fatal("read concurrent with write must race")
+	}
+	if rep.Prior == nil || rep.Prior.Kind != Write {
+		t.Fatal("prior context should be the write")
+	}
+}
+
+func TestVWWriteAfterConcurrentReadRaces(t *testing.T) {
+	d := NewVWDetector()
+	st := d.NewAreaState(2)
+	st.OnAccess(acc(0, 1, Read, 1, 0), 0)
+	rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1), 0)
+	if rep == nil {
+		t.Fatal("write concurrent with a read must race (write checks V)")
+	}
+	if rep.Prior == nil || rep.Prior.Kind != Read {
+		t.Fatalf("prior should be the read: %+v", rep.Prior)
+	}
+}
+
+func TestVWReaderAbsorbsWriteClock(t *testing.T) {
+	d := NewVWDetector()
+	st := d.NewAreaState(2)
+	_, wclk := st.OnAccess(acc(0, 1, Write, 1, 0), 0)
+	_ = wclk
+	_, absorbed := st.OnAccess(acc(1, 1, Read, 1, 1), 0)
+	// Reply to a read carries W so the reader inherits the reads-from edge.
+	if absorbed.String() != "20" { // write merged 10, home tick -> 20
+		t.Fatalf("read reply clock = %s, want 20", absorbed)
+	}
+}
+
+func TestVWHomeTickAblation(t *testing.T) {
+	d := &VWDetector{TickHomeOnWrite: false}
+	st := d.NewAreaState(3)
+	_, clk := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1)
+	if clk.String() != "100" {
+		t.Fatalf("passive home: clock = %s, want 100", clk)
+	}
+}
+
+func TestVWStorageBytesDoubles(t *testing.T) {
+	// §IV-D: the W clock doubles detection memory.
+	n := 16
+	vw := NewVWDetector().NewAreaState(n)
+	single := vw.StorageBytes()
+	want := 2 * (2 + 8*n)
+	if single != want {
+		t.Fatalf("VW storage = %d, want %d", single, want)
+	}
+}
+
+func TestClockAccessor(t *testing.T) {
+	st := NewVWDetector().NewAreaState(2).(ClockAccessor)
+	v, w := st.Clocks()
+	if !v.IsZero() || !w.IsZero() {
+		t.Fatal("fresh clocks must be zero")
+	}
+	st.SetClocks(vclock.VC{3, 0}, vclock.VC{1, 0})
+	v, w = st.Clocks()
+	if v.String() != "30" || w.String() != "10" {
+		t.Fatalf("after SetClocks: %s %s", v, w)
+	}
+	// Partial update.
+	st.SetClocks(nil, vclock.VC{2, 2})
+	v, w = st.Clocks()
+	if v.String() != "30" || w.String() != "22" {
+		t.Fatalf("after partial SetClocks: %s %s", v, w)
+	}
+	// Returned clocks must be copies.
+	v.Tick(0)
+	v2, _ := st.Clocks()
+	if v2.String() != "30" {
+		t.Fatal("Clocks leaked internal state")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var seen int
+	c := &Collector{Limit: 2, OnReport: func(Report) { seen++ }}
+	for i := 0; i < 5; i++ {
+		c.Signal(Report{Detector: "vw"})
+	}
+	if len(c.Reports()) != 2 {
+		t.Fatalf("stored %d, want 2", len(c.Reports()))
+	}
+	if c.Total() != 5 || seen != 5 {
+		t.Fatalf("total=%d seen=%d, want 5", c.Total(), seen)
+	}
+	unlimited := &Collector{}
+	for i := 0; i < 3; i++ {
+		unlimited.Signal(Report{})
+	}
+	if len(unlimited.Reports()) != 3 {
+		t.Fatal("unlimited collector must keep everything")
+	}
+}
+
+func TestReportStringAndPair(t *testing.T) {
+	prior := acc(0, 7, Write, 1, 0)
+	r := Report{
+		Detector:    "vw",
+		Area:        3,
+		Current:     acc(1, 9, Read, 0, 1),
+		StoredClock: vclock.VC{1, 0},
+		Prior:       &prior,
+	}
+	s := r.String()
+	for _, want := range []string{"RACE", "vw", "P1", "P0", "read", "write"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+	a, b, ok := r.Pair()
+	if !ok || a != [2]uint64{1, 9} || b != [2]uint64{0, 7} {
+		t.Fatalf("Pair = %v %v %v", a, b, ok)
+	}
+	r.Prior = nil
+	if _, _, ok := r.Pair(); ok {
+		t.Fatal("Pair without prior must report !ok")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("AccessKind.String broken")
+	}
+}
+
+func TestVWSequentialAccessesNeverRace(t *testing.T) {
+	// A single process hammering an area is always ordered by program order.
+	d := NewVWDetector()
+	st := d.NewAreaState(2)
+	clk := vclock.New(2)
+	for i := 0; i < 50; i++ {
+		clk.Tick(0)
+		kind := Write
+		if i%3 == 0 {
+			kind = Read
+		}
+		rep, absorbed := st.OnAccess(Access{Proc: 0, Seq: uint64(i), Kind: kind, Clock: clk.Copy()}, 1)
+		if rep != nil {
+			t.Fatalf("op %d raced: %v", i, rep)
+		}
+		clk.Merge(absorbed)
+	}
+}

@@ -1,0 +1,287 @@
+// Package dsm is the distributed-shared-memory runtime of §III: a cluster
+// of processes, each mapping a private and a public memory segment, joined
+// by a simulated RDMA interconnect. Programs written against Proc's API
+// (Put/Get/Lock/Unlock/Barrier/collectives) execute deterministically under
+// a seeded discrete-event kernel, with the paper's race detector wired into
+// the communication library exactly as §V-B prescribes.
+package dsm
+
+import (
+	"errors"
+	"fmt"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/trace"
+	"dsmrace/internal/vclock"
+)
+
+// Config describes a cluster. The zero value is not runnable; use New to
+// apply defaults.
+type Config struct {
+	// Procs is the number of processes (= nodes; one process per node).
+	Procs int
+	// PrivateWords and PublicWords size each node's segments (defaults 64Ki).
+	PrivateWords, PublicWords int
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Latency is the interconnect model (default network.DefaultIB).
+	Latency network.LatencyModel
+	// RDMA configures the NIC layer, including the detector. Zero value
+	// means rdma.DefaultConfig(nil, nil) — detection off.
+	RDMA rdma.Config
+	// Trace enables trace recording for offline verification.
+	Trace bool
+	// Label tags the run in traces and reports.
+	Label string
+	// MaxEvents and MaxTime bound the simulation (runaway guards).
+	MaxEvents uint64
+	MaxTime   sim.Time
+}
+
+// Program is one process's code. It runs on a simulated process and may
+// block in the Proc API. A returned error is reported in Result.Errors.
+type Program func(p *Proc) error
+
+// Result summarises a completed run.
+type Result struct {
+	// Races are the signalled race reports, in detection order (§IV-D:
+	// signalled, never fatal).
+	Races []core.Report
+	// RaceCount includes reports dropped past the collector limit.
+	RaceCount int
+	// NetStats are the network traffic counters.
+	NetStats network.Stats
+	// Memory is each node's final public segment.
+	Memory [][]memory.Word
+	// Trace is the recorded event stream (nil unless Config.Trace).
+	Trace *trace.Trace
+	// Duration is the virtual time the run took.
+	Duration sim.Time
+	// Events is the number of simulation events executed.
+	Events uint64
+	// StorageBytes is the detection metadata footprint (E-T1).
+	StorageBytes int
+	// Errors holds each program's returned error (index = process id).
+	Errors []error
+}
+
+// FirstError returns the first non-nil program error, or nil.
+func (r *Result) FirstError() error {
+	for _, e := range r.Errors {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Cluster is a configured system ready to run one program set. Allocate
+// shared variables with Alloc before calling Run; a Cluster is single-shot.
+type Cluster struct {
+	cfg    Config
+	kernel *sim.Kernel
+	net    *network.Network
+	space  *memory.Space
+	sys    *rdma.System
+	col    *core.Collector
+	rec    *trace.Recorder
+	procs  []*Proc
+	bar    *barrierCoord
+	ran    bool
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Procs <= 0 {
+		return nil, errors.New("dsm: Procs must be positive")
+	}
+	if cfg.PrivateWords <= 0 {
+		cfg.PrivateWords = 1 << 16
+	}
+	if cfg.PublicWords <= 0 {
+		cfg.PublicWords = 1 << 16
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = network.DefaultIB()
+	}
+	k := sim.NewKernel(sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime})
+	c := &Cluster{
+		cfg:    cfg,
+		kernel: k,
+		net:    network.New(k, cfg.Procs, cfg.Latency),
+		space:  memory.NewSpace(cfg.Procs, cfg.PrivateWords, cfg.PublicWords),
+	}
+	if cfg.RDMA.Detector != nil {
+		if cfg.RDMA.Collector == nil {
+			cfg.RDMA.Collector = &core.Collector{}
+		}
+		c.col = cfg.RDMA.Collector
+		c.cfg.RDMA = cfg.RDMA
+	}
+	return c, nil
+}
+
+// Kernel exposes the simulation kernel (tests and advanced harnesses).
+func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Space exposes the global address space.
+func (c *Cluster) Space() *memory.Space { return c.space }
+
+// Alloc registers a shared variable before the run (the compile-time
+// placement step of §III-A).
+func (c *Cluster) Alloc(name string, home, words int) error {
+	_, err := c.space.Alloc(name, home, words)
+	return err
+}
+
+// AllocAuto registers a shared variable with automatic placement.
+func (c *Cluster) AllocAuto(name string, words int, p memory.Placement) error {
+	_, err := c.space.AllocAuto(name, words, p)
+	return err
+}
+
+// MustAlloc is Alloc that panics on error (setup-time convenience).
+func (c *Cluster) MustAlloc(name string, home, words int) {
+	if err := c.Alloc(name, home, words); err != nil {
+		panic(err)
+	}
+}
+
+// Run executes the same program on every process (SPMD).
+func (c *Cluster) Run(prog Program) (*Result, error) {
+	progs := make([]Program, c.cfg.Procs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return c.RunEach(progs)
+}
+
+// RunEach executes programs[i] on process i. len(programs) must equal
+// Config.Procs; nil entries mean "no program on that node" (its memory is
+// still remotely accessible — OS bypass).
+func (c *Cluster) RunEach(programs []Program) (*Result, error) {
+	if c.ran {
+		return nil, errors.New("dsm: cluster already ran; build a new one")
+	}
+	if len(programs) != c.cfg.Procs {
+		return nil, fmt.Errorf("dsm: %d programs for %d processes", len(programs), c.cfg.Procs)
+	}
+	c.ran = true
+
+	rcfg := c.cfg.RDMA
+	if rcfg == (rdma.Config{}) {
+		// Zero value: take the defaults with detection off.
+		rcfg = rdma.DefaultConfig(nil, nil)
+	}
+	if c.cfg.Trace {
+		c.rec = trace.NewRecorder(c.cfg.Procs, c.cfg.Seed, c.cfg.Label)
+		rcfg.Observer = recorderObserver{rec: c.rec}
+	}
+	c.sys = rdma.NewSystem(c.net, c.space, rcfg)
+	c.col = c.sys.Collector()
+	c.bar = &barrierCoord{c: c}
+	for i := 0; i < c.cfg.Procs; i++ {
+		c.sys.NIC(i).UserHandler = c.userHandler
+	}
+
+	errs := make([]error, c.cfg.Procs)
+	for i := 0; i < c.cfg.Procs; i++ {
+		if programs[i] == nil {
+			continue
+		}
+		p := &Proc{
+			id:    i,
+			c:     c,
+			clock: vclock.New(c.cfg.Procs),
+		}
+		c.procs = append(c.procs, p)
+		prog := programs[i]
+		idx := i
+		c.kernel.Spawn(fmt.Sprintf("P%d", i), func(sp *sim.Proc) {
+			p.sp = sp
+			errs[idx] = prog(p)
+		})
+	}
+
+	runErr := c.kernel.Run()
+	res := &Result{
+		NetStats:     c.net.Stats().Snapshot(),
+		Memory:       c.space.Snapshot(),
+		Duration:     c.kernel.Now(),
+		Events:       c.kernel.Events(),
+		StorageBytes: c.sys.StorageBytes(),
+		Errors:       errs,
+	}
+	if c.col != nil {
+		res.Races = c.col.Reports()
+		res.RaceCount = c.col.Total()
+	}
+	if c.rec != nil {
+		res.Trace = c.rec.Trace()
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	return res, nil
+}
+
+// userHandler dispatches application-level messages (barrier protocol).
+func (c *Cluster) userHandler(m *network.Message) {
+	switch pl := m.Payload.(type) {
+	case *barrierArrive:
+		c.bar.arrive(pl)
+	case *barrierRelease:
+		c.procByID(pl.proc).barrierRelease(pl.clock)
+	default:
+		panic(fmt.Sprintf("dsm: unexpected user payload %T", m.Payload))
+	}
+}
+
+func (c *Cluster) procByID(id int) *Proc {
+	for _, p := range c.procs {
+		if p.id == id {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("dsm: no process %d", id))
+}
+
+// recorderObserver adapts a trace.Recorder to the rdma.Observer interface.
+type recorderObserver struct{ rec *trace.Recorder }
+
+// Access implements rdma.Observer.
+func (o recorderObserver) Access(acc core.Access, area memory.Area, off, count int, at sim.Time) {
+	kind := trace.EvGet
+	if acc.Kind == core.Write {
+		kind = trace.EvPut
+	}
+	var clk vclock.VC
+	if acc.Clock != nil {
+		clk = acc.Clock.Copy()
+	}
+	o.rec.Append(trace.Event{
+		Kind: kind, Proc: acc.Proc, Seq: acc.Seq,
+		Area: area.ID, Home: area.Home, Off: off, Count: count,
+		Time: at, Clock: clk,
+	})
+}
+
+// LockAcq implements rdma.Observer.
+func (o recorderObserver) LockAcq(proc int, area memory.Area, at sim.Time) {
+	o.rec.Append(trace.Event{Kind: trace.EvLockAcq, Proc: proc, Area: area.ID, Home: area.Home, Time: at})
+}
+
+// LockRel implements rdma.Observer.
+func (o recorderObserver) LockRel(proc int, area memory.Area, at sim.Time) {
+	o.rec.Append(trace.Event{Kind: trace.EvLockRel, Proc: proc, Area: area.ID, Home: area.Home, Time: at})
+}
+
+// Network exposes the simulated interconnect, primarily so tests and
+// harnesses can inject link failures. The paper's model assumes a reliable
+// network; a cut link therefore manifests as a blocked operation, which the
+// kernel surfaces as a deadlock report naming the stuck process.
+func (c *Cluster) Network() *network.Network { return c.net }

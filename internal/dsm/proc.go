@@ -1,0 +1,236 @@
+package dsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// Proc is one process's handle onto the cluster: its identity, its vector
+// clock (ticked before every operation, update_local_clock), and the
+// blocking operation API backed by its NIC.
+type Proc struct {
+	id    int
+	c     *Cluster
+	sp    *sim.Proc
+	clock vclock.VC
+	seq   uint64
+	held  []int // sorted area ids of held user locks
+
+	epoch        int
+	barrierDone  bool
+	barrierClock vclock.VC
+}
+
+// ID returns the process id (also its node id).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the number of processes in the cluster.
+func (p *Proc) N() int { return p.c.cfg.Procs }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.sp.Now() }
+
+// Rand returns the deterministic simulation random source.
+func (p *Proc) Rand() *rand.Rand { return p.c.kernel.Rand() }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d sim.Time) { p.sp.Sleep(d) }
+
+// Yield lets other ready processes run at the current instant.
+func (p *Proc) Yield() { p.sp.Yield() }
+
+// Clock returns a copy of the process's current vector clock.
+func (p *Proc) Clock() vclock.VC { return p.clock.Copy() }
+
+// Seq returns the per-process operation sequence number of the most recent
+// operation.
+func (p *Proc) Seq() uint64 { return p.seq }
+
+// Area resolves a shared variable name (compile-time address resolution).
+func (p *Proc) Area(name string) (memory.Area, error) {
+	return p.c.space.Lookup(name)
+}
+
+// newAccess ticks the local clock and stamps a new access descriptor.
+func (p *Proc) newAccess(kind core.AccessKind) core.Access {
+	p.seq++
+	p.clock.Tick(p.id)
+	var locks []int
+	if len(p.held) > 0 {
+		locks = append(locks, p.held...)
+	}
+	return core.Access{Proc: p.id, Seq: p.seq, Kind: kind, Clock: p.clock.Copy(), Locks: locks}
+}
+
+func (p *Proc) absorb(clk vclock.VC) {
+	if clk != nil {
+		p.clock.Merge(clk)
+	}
+}
+
+// Put writes vals into the shared variable name starting at word offset off
+// (a one-sided remote write; the home process is not involved).
+func (p *Proc) Put(name string, off int, vals ...memory.Word) error {
+	a, err := p.Area(name)
+	if err != nil {
+		return err
+	}
+	absorb, err := p.c.sys.NIC(p.id).Put(p.sp, a, off, vals, p.newAccess(core.Write))
+	p.absorb(absorb)
+	return err
+}
+
+// Get reads count words from the shared variable name at word offset off.
+func (p *Proc) Get(name string, off, count int) ([]memory.Word, error) {
+	a, err := p.Area(name)
+	if err != nil {
+		return nil, err
+	}
+	data, absorb, err := p.c.sys.NIC(p.id).Get(p.sp, a, off, count, p.newAccess(core.Read))
+	p.absorb(absorb)
+	return data, err
+}
+
+// GetWord reads a single word.
+func (p *Proc) GetWord(name string, off int) (memory.Word, error) {
+	data, err := p.Get(name, off, 1)
+	if err != nil {
+		return 0, err
+	}
+	return data[0], nil
+}
+
+// FetchAdd atomically adds delta to a shared word, returning its previous
+// value. Counts as a write for detection.
+func (p *Proc) FetchAdd(name string, off int, delta memory.Word) (memory.Word, error) {
+	a, err := p.Area(name)
+	if err != nil {
+		return 0, err
+	}
+	old, absorb, err := p.c.sys.NIC(p.id).FetchAdd(p.sp, a, off, delta, p.newAccess(core.Write))
+	p.absorb(absorb)
+	return old, err
+}
+
+// CompareAndSwap atomically replaces a shared word when it equals expect;
+// swapped reports whether the replacement happened.
+func (p *Proc) CompareAndSwap(name string, off int, expect, repl memory.Word) (old memory.Word, swapped bool, err error) {
+	a, err := p.Area(name)
+	if err != nil {
+		return 0, false, err
+	}
+	old, absorb, err := p.c.sys.NIC(p.id).CompareAndSwap(p.sp, a, off, expect, repl, p.newAccess(core.Write))
+	p.absorb(absorb)
+	return old, err == nil && old == expect, err
+}
+
+// Lock acquires the NIC lock of the named area (§III-A: locks guarantee
+// exclusive access to a memory area). Locks are granted FIFO and carry the
+// previous releaser's clock, creating a happens-before edge.
+func (p *Proc) Lock(name string) error {
+	a, err := p.Area(name)
+	if err != nil {
+		return err
+	}
+	p.clock.Tick(p.id)
+	rel := p.c.sys.NIC(p.id).LockArea(p.sp, a, p.id)
+	p.absorb(rel)
+	idx := sort.SearchInts(p.held, int(a.ID))
+	if idx == len(p.held) || p.held[idx] != int(a.ID) {
+		p.held = append(p.held, 0)
+		copy(p.held[idx+1:], p.held[idx:])
+		p.held[idx] = int(a.ID)
+	}
+	return nil
+}
+
+// Unlock releases the named area's lock.
+func (p *Proc) Unlock(name string) error {
+	a, err := p.Area(name)
+	if err != nil {
+		return err
+	}
+	idx := sort.SearchInts(p.held, int(a.ID))
+	if idx == len(p.held) || p.held[idx] != int(a.ID) {
+		return fmt.Errorf("dsm: P%d unlocking %q which it does not hold", p.id, name)
+	}
+	p.held = append(p.held[:idx], p.held[idx+1:]...)
+	p.clock.Tick(p.id)
+	p.c.sys.NIC(p.id).UnlockArea(a, p.id, p.clock.Copy())
+	return nil
+}
+
+// HeldLocks returns the area ids of the user locks currently held.
+func (p *Proc) HeldLocks() []int { return append([]int(nil), p.held...) }
+
+// LocalWrite stores vals into this process's *private* memory. Remote
+// processes can never reach it (Fig. 1).
+func (p *Proc) LocalWrite(off int, vals ...memory.Word) error {
+	return p.c.space.Node(p.id).WritePrivate(p.id, off, vals)
+}
+
+// LocalRead loads count words from this process's private memory.
+func (p *Proc) LocalRead(off, count int) ([]memory.Word, error) {
+	out := make([]memory.Word, count)
+	if err := p.c.space.Node(p.id).ReadPrivate(p.id, off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---- Must variants: panic on error; the kernel converts the panic into a
+// run error, which suits example programs and workload generators. ----
+
+// MustPut is Put or panic.
+func (p *Proc) MustPut(name string, off int, vals ...memory.Word) {
+	if err := p.Put(name, off, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// MustGet is Get or panic.
+func (p *Proc) MustGet(name string, off, count int) []memory.Word {
+	data, err := p.Get(name, off, count)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// MustGetWord is GetWord or panic.
+func (p *Proc) MustGetWord(name string, off int) memory.Word {
+	w, err := p.GetWord(name, off)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MustFetchAdd is FetchAdd or panic.
+func (p *Proc) MustFetchAdd(name string, off int, delta memory.Word) memory.Word {
+	w, err := p.FetchAdd(name, off, delta)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MustLock is Lock or panic.
+func (p *Proc) MustLock(name string) {
+	if err := p.Lock(name); err != nil {
+		panic(err)
+	}
+}
+
+// MustUnlock is Unlock or panic.
+func (p *Proc) MustUnlock(name string) {
+	if err := p.Unlock(name); err != nil {
+		panic(err)
+	}
+}

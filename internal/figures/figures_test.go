@@ -1,0 +1,179 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// The clock values asserted below are the exact strings printed in the
+// paper's figures — the heart of the reproduction.
+
+func TestFig5aClockValues(t *testing.T) {
+	m := newNodeModel(3)
+	k1, after1, race1 := m.put(0, 1)
+	if k1.String() != "100" {
+		t.Fatalf("m1 clock = %s, want 100", k1)
+	}
+	if after1.String() != "110" {
+		t.Fatalf("P1 after m1 = %s, want 110", after1)
+	}
+	if race1 {
+		t.Fatal("m1 must not race")
+	}
+	k2, _, race2 := m.put(2, 1)
+	if k2.String() != "001" {
+		t.Fatalf("m2 clock = %s, want 001", k2)
+	}
+	if !race2 {
+		t.Fatal("Fig. 5(a): race on reception of m2 not detected")
+	}
+}
+
+func TestFig5bClockValues(t *testing.T) {
+	m := newNodeModel(3)
+	g, afterG, raceG := m.get(1, 0)
+	if g.String() != "010" || afterG.String() != "010" {
+		t.Fatalf("get1: clock %s, P0 after %s; want 010, 010", g, afterG)
+	}
+	if raceG {
+		t.Fatal("get1 must not race")
+	}
+	k1, after1, race1 := m.put(0, 1)
+	if k1.String() != "110" {
+		t.Fatalf("m1 clock = %s, want 110", k1)
+	}
+	if after1.String() != "120" {
+		t.Fatalf("P1 after m1 = %s, want 120", after1)
+	}
+	if race1 {
+		t.Fatal("m1 must not race")
+	}
+	k2, after2, race2 := m.put(1, 2)
+	if k2.String() != "130" {
+		t.Fatalf("m2 clock = %s, want 130", k2)
+	}
+	if after2.String() != "131" {
+		t.Fatalf("P2 after m2 = %s, want 131", after2)
+	}
+	if race2 {
+		t.Fatal("m2 must not race")
+	}
+	k3, _, race3 := m.put(2, 1)
+	if k3.String() != "132" {
+		t.Fatalf("m3 clock = %s, want 132", k3)
+	}
+	if race3 {
+		t.Fatal("Fig. 5(b): m3 dominates 130, must not race")
+	}
+}
+
+func TestFig5cClockValues(t *testing.T) {
+	m := newNodeModel(4)
+	k1, after1, _ := m.put(0, 1)
+	if k1.String() != "1000" || after1.String() != "1100" {
+		t.Fatalf("m1: %s / %s, want 1000 / 1100", k1, after1)
+	}
+	k2, after2, _ := m.put(0, 2)
+	if k2.String() != "2000" || after2.String() != "2010" {
+		t.Fatalf("m2: %s / %s, want 2000 / 2010", k2, after2)
+	}
+	k3, after3, _ := m.put(2, 3)
+	if k3.String() != "2020" || after3.String() != "2021" {
+		t.Fatalf("m3: %s / %s, want 2020 / 2021", k3, after3)
+	}
+	k4, _, race4 := m.put(3, 1)
+	if k4.String() != "2022" {
+		t.Fatalf("m4 clock = %s, want 2022", k4)
+	}
+	if !race4 {
+		t.Fatal("Fig. 5(c): race on reception of m4 not detected")
+	}
+}
+
+func TestFigureRaceCounts(t *testing.T) {
+	for _, tc := range []struct {
+		num   string
+		races int
+	}{
+		{"4", 0}, {"5a", 1}, {"5b", 0}, {"5c", 1},
+	} {
+		f, ok := ByNum(tc.num)
+		if !ok {
+			t.Fatalf("figure %s missing", tc.num)
+		}
+		if f.Races != tc.races {
+			t.Errorf("figure %s: races = %d, want %d", tc.num, f.Races, tc.races)
+		}
+	}
+}
+
+func TestFig1RulesHold(t *testing.T) {
+	f := Fig1()
+	joined := strings.Join(f.Notes, "\n")
+	if !strings.Contains(joined, "remote access to private memory") {
+		t.Fatalf("private rule not demonstrated: %s", joined)
+	}
+	if !strings.Contains(joined, "value=7 err=<nil>") {
+		t.Fatalf("public rule not demonstrated: %s", joined)
+	}
+}
+
+func TestFig2MessageProfile(t *testing.T) {
+	f := Fig2()
+	joined := strings.Join(f.Notes, "\n")
+	if !strings.Contains(joined, "put used 2 messages") {
+		t.Fatalf("put profile: %s", joined)
+	}
+	if !strings.Contains(joined, "get used 2 messages") {
+		t.Fatalf("get profile: %s", joined)
+	}
+}
+
+func TestFig3DelayedPut(t *testing.T) {
+	f := Fig3()
+	joined := strings.Join(f.Notes, "\n")
+	if !strings.Contains(joined, "get snapshot consistent: true") {
+		t.Fatalf("snapshot: %s", joined)
+	}
+	if !strings.Contains(joined, "put finished after get: true") {
+		t.Fatalf("ordering: %s", joined)
+	}
+}
+
+func TestFig4FalsePositiveContrast(t *testing.T) {
+	f := Fig4()
+	joined := strings.Join(f.Notes, "\n")
+	if !strings.Contains(joined, "vw races=0") {
+		t.Fatalf("vw: %s", joined)
+	}
+	if !strings.Contains(joined, "single-clock races=1") {
+		t.Fatalf("single: %s", joined)
+	}
+}
+
+func TestAllFiguresRenderDiagrams(t *testing.T) {
+	figs := All()
+	if len(figs) != 7 {
+		t.Fatalf("figures = %d, want 7", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.Num == "" || f.Title == "" || f.Diagram == "" {
+			t.Errorf("figure %q incomplete", f.Num)
+		}
+		if seen[f.Num] {
+			t.Errorf("duplicate figure %s", f.Num)
+		}
+		seen[f.Num] = true
+	}
+	if _, ok := ByNum("9"); ok {
+		t.Error("ByNum should reject unknown figures")
+	}
+}
+
+func TestFig5aDiagramMentionsComparison(t *testing.T) {
+	f := Fig5a()
+	if !strings.Contains(f.Diagram, "110 x 001 RACE") {
+		t.Fatalf("diagram missing the paper's comparison:\n%s", f.Diagram)
+	}
+}

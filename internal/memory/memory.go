@@ -1,0 +1,291 @@
+// Package memory models the address-space organisation of Fig. 1: every
+// node maps a private memory (accessible only from its own process) and a
+// public memory that is part of the global address space and reachable from
+// any node through the NIC. Shared data lives in named areas; the area
+// registry plays the role the paper assigns to the compiler — deciding, for
+// each shared variable, which processor's public memory holds it and
+// resolving (processor_name, local_address) pairs (§III-A).
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Word is the unit of shared storage. The model works in 64-bit words, the
+// natural RDMA granularity.
+type Word = uint64
+
+// WordBytes is the wire size of one word.
+const WordBytes = 8
+
+// AreaID names a shared memory area (a shared variable) globally.
+type AreaID int
+
+// Area describes one shared variable: a contiguous run of words in the
+// public memory of its home node.
+type Area struct {
+	ID   AreaID
+	Name string
+	Home int // node whose public memory maps the area
+	Off  int // word offset within the home's public memory
+	Len  int // length in words
+}
+
+// GlobalAddr is the paper's (processor_name, local_address) pair.
+type GlobalAddr struct {
+	Node int
+	Off  int
+}
+
+// String renders the address as P<node>:<offset>.
+func (g GlobalAddr) String() string { return fmt.Sprintf("P%d:%d", g.Node, g.Off) }
+
+// Errors returned by the address-space operations.
+var (
+	ErrOutOfRange   = errors.New("memory: access out of range")
+	ErrPrivate      = errors.New("memory: remote access to private memory")
+	ErrUnknownArea  = errors.New("memory: unknown area")
+	ErrExhausted    = errors.New("memory: public memory exhausted")
+	ErrBadLength    = errors.New("memory: non-positive area length")
+	ErrDuplicate    = errors.New("memory: duplicate area name")
+	ErrMisplacement = errors.New("memory: placement node out of range")
+)
+
+// Node is one processor's memory: a private segment and a public segment.
+type Node struct {
+	ID      int
+	private []Word
+	public  []Word
+}
+
+// NewNode allocates a node with the given segment sizes (in words).
+func NewNode(id, privateWords, publicWords int) *Node {
+	return &Node{
+		ID:      id,
+		private: make([]Word, privateWords),
+		public:  make([]Word, publicWords),
+	}
+}
+
+// PublicSize returns the public segment size in words.
+func (n *Node) PublicSize() int { return len(n.public) }
+
+// PrivateSize returns the private segment size in words.
+func (n *Node) PrivateSize() int { return len(n.private) }
+
+// ReadPublic copies words [off, off+len(dst)) of the public segment into dst.
+// Any node may call it (through the NIC); that is the point of public memory.
+func (n *Node) ReadPublic(off int, dst []Word) error {
+	if off < 0 || off+len(dst) > len(n.public) {
+		return fmt.Errorf("%w: public read [%d,%d) of %d words on node %d",
+			ErrOutOfRange, off, off+len(dst), len(n.public), n.ID)
+	}
+	copy(dst, n.public[off:])
+	return nil
+}
+
+// WritePublic copies src into the public segment at off.
+func (n *Node) WritePublic(off int, src []Word) error {
+	if off < 0 || off+len(src) > len(n.public) {
+		return fmt.Errorf("%w: public write [%d,%d) of %d words on node %d",
+			ErrOutOfRange, off, off+len(src), len(n.public), n.ID)
+	}
+	copy(n.public[off:], src)
+	return nil
+}
+
+// ReadPrivate reads the private segment; caller must be the owning process.
+// The caller parameter exists so the runtime can enforce Fig. 1's privacy
+// rule mechanically.
+func (n *Node) ReadPrivate(caller, off int, dst []Word) error {
+	if caller != n.ID {
+		return fmt.Errorf("%w: node %d reading node %d", ErrPrivate, caller, n.ID)
+	}
+	if off < 0 || off+len(dst) > len(n.private) {
+		return fmt.Errorf("%w: private read [%d,%d) of %d words",
+			ErrOutOfRange, off, off+len(dst), len(n.private))
+	}
+	copy(dst, n.private[off:])
+	return nil
+}
+
+// WritePrivate writes the private segment; caller must be the owning process.
+func (n *Node) WritePrivate(caller, off int, src []Word) error {
+	if caller != n.ID {
+		return fmt.Errorf("%w: node %d writing node %d", ErrPrivate, caller, n.ID)
+	}
+	if off < 0 || off+len(src) > len(n.private) {
+		return fmt.Errorf("%w: private write [%d,%d) of %d words",
+			ErrOutOfRange, off, off+len(src), len(n.private))
+	}
+	copy(n.private[off:], src)
+	return nil
+}
+
+// SnapshotPublic returns a copy of the node's public segment, used for
+// final-state comparison in the divergence experiments.
+func (n *Node) SnapshotPublic() []Word {
+	s := make([]Word, len(n.public))
+	copy(s, n.public)
+	return s
+}
+
+// Placement selects the home node for a new shared variable — the
+// compile-time data-locality decision of §III-A.
+type Placement interface {
+	// Place returns the home node for the idx-th allocated area among n nodes.
+	Place(idx, n int) int
+}
+
+// PlaceRoundRobin spreads areas cyclically over nodes.
+type PlaceRoundRobin struct{}
+
+// Place implements Placement.
+func (PlaceRoundRobin) Place(idx, n int) int { return idx % n }
+
+// PlaceOnNode pins every area to one node.
+type PlaceOnNode struct{ Node int }
+
+// Place implements Placement.
+func (p PlaceOnNode) Place(idx, n int) int { return p.Node }
+
+// PlaceBlocked fills node 0's quota first, then node 1, and so on.
+type PlaceBlocked struct{ PerNode int }
+
+// Place implements Placement.
+func (p PlaceBlocked) Place(idx, n int) int {
+	per := p.PerNode
+	if per <= 0 {
+		per = 1
+	}
+	h := idx / per
+	if h >= n {
+		h = n - 1
+	}
+	return h
+}
+
+// Space is the global address space directory: every node's memory plus the
+// area registry. It is built before the run starts (compile time) and is
+// immutable during execution, matching "data locality is resolved at
+// compile-time" (§II).
+type Space struct {
+	nodes   []*Node
+	areas   []Area
+	byName  map[string]AreaID
+	nextOff []int // allocation cursor per node
+	sealed  bool
+}
+
+// NewSpace creates a global address space over n nodes with the given
+// public/private sizes in words.
+func NewSpace(n, privateWords, publicWords int) *Space {
+	s := &Space{
+		byName:  make(map[string]AreaID),
+		nextOff: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		s.nodes = append(s.nodes, NewNode(i, privateWords, publicWords))
+	}
+	return s
+}
+
+// N returns the number of nodes.
+func (s *Space) N() int { return len(s.nodes) }
+
+// Node returns node id's memory.
+func (s *Space) Node(id int) *Node { return s.nodes[id] }
+
+// Seal freezes the registry; later Alloc calls fail. The runtime seals the
+// space when the simulation starts.
+func (s *Space) Seal() { s.sealed = true }
+
+// Alloc registers a shared variable of words length on the given home node
+// and returns its area. It fails once the space is sealed — shared-data
+// placement is a compile-time decision in this model.
+func (s *Space) Alloc(name string, home, words int) (Area, error) {
+	if s.sealed {
+		return Area{}, errors.New("memory: space sealed; allocation is compile-time only")
+	}
+	if words <= 0 {
+		return Area{}, fmt.Errorf("%w: %q len %d", ErrBadLength, name, words)
+	}
+	if home < 0 || home >= len(s.nodes) {
+		return Area{}, fmt.Errorf("%w: node %d of %d", ErrMisplacement, home, len(s.nodes))
+	}
+	if _, dup := s.byName[name]; dup {
+		return Area{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	off := s.nextOff[home]
+	if off+words > s.nodes[home].PublicSize() {
+		return Area{}, fmt.Errorf("%w: node %d needs %d words, %d free",
+			ErrExhausted, home, words, s.nodes[home].PublicSize()-off)
+	}
+	id := AreaID(len(s.areas))
+	a := Area{ID: id, Name: name, Home: home, Off: off, Len: words}
+	s.areas = append(s.areas, a)
+	s.byName[name] = id
+	s.nextOff[home] += words
+	return a, nil
+}
+
+// AllocAuto registers a shared variable, choosing the home with p.
+func (s *Space) AllocAuto(name string, words int, p Placement) (Area, error) {
+	if p == nil {
+		p = PlaceRoundRobin{}
+	}
+	return s.Alloc(name, p.Place(len(s.areas), len(s.nodes)), words)
+}
+
+// Lookup resolves a variable name to its area — the compiler's address
+// resolution step.
+func (s *Space) Lookup(name string) (Area, error) {
+	id, ok := s.byName[name]
+	if !ok {
+		return Area{}, fmt.Errorf("%w: %q", ErrUnknownArea, name)
+	}
+	return s.areas[id], nil
+}
+
+// AreaByID returns the area with the given id.
+func (s *Space) AreaByID(id AreaID) (Area, error) {
+	if id < 0 || int(id) >= len(s.areas) {
+		return Area{}, fmt.Errorf("%w: id %d", ErrUnknownArea, id)
+	}
+	return s.areas[id], nil
+}
+
+// Areas returns all registered areas sorted by ID.
+func (s *Space) Areas() []Area {
+	out := make([]Area, len(s.areas))
+	copy(out, s.areas)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AreaAt maps a global address on a node to the area containing it.
+func (s *Space) AreaAt(node, off int) (Area, bool) {
+	for _, a := range s.areas {
+		if a.Home == node && off >= a.Off && off < a.Off+a.Len {
+			return a, true
+		}
+	}
+	return Area{}, false
+}
+
+// Addr returns the global address of word idx within area a.
+func Addr(a Area, idx int) GlobalAddr {
+	return GlobalAddr{Node: a.Home, Off: a.Off + idx}
+}
+
+// Snapshot returns each node's public memory, indexed by node id, for
+// whole-system final-state comparison.
+func (s *Space) Snapshot() [][]Word {
+	out := make([][]Word, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = n.SnapshotPublic()
+	}
+	return out
+}

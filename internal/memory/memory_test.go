@@ -1,0 +1,224 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodePublicReadWrite(t *testing.T) {
+	n := NewNode(0, 8, 8)
+	if err := n.WritePublic(2, []Word{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Word, 3)
+	if err := n.ReadPublic(1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 || dst[1] != 7 || dst[2] != 8 {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestNodePublicBounds(t *testing.T) {
+	n := NewNode(0, 0, 4)
+	if err := n.WritePublic(3, []Word{1, 2}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := n.ReadPublic(-1, make([]Word, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestPrivateMemoryEnforcement(t *testing.T) {
+	// Fig. 1: the private memory can be accessed from its own processor only.
+	n := NewNode(2, 4, 0)
+	if err := n.WritePrivate(2, 0, []Word{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WritePrivate(1, 0, []Word{13}); !errors.Is(err, ErrPrivate) {
+		t.Fatalf("remote private write: err = %v, want ErrPrivate", err)
+	}
+	if err := n.ReadPrivate(3, 0, make([]Word, 1)); !errors.Is(err, ErrPrivate) {
+		t.Fatalf("remote private read: err = %v, want ErrPrivate", err)
+	}
+	dst := make([]Word, 1)
+	if err := n.ReadPrivate(2, 0, dst); err != nil || dst[0] != 42 {
+		t.Fatalf("local private read: %v %v", dst, err)
+	}
+	if err := n.ReadPrivate(2, 4, dst); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := n.WritePrivate(2, 4, dst); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestSpaceAllocAndLookup(t *testing.T) {
+	s := NewSpace(3, 16, 16)
+	a, err := s.Alloc("x", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Home != 1 || a.Off != 0 || a.Len != 4 {
+		t.Fatalf("area = %+v", a)
+	}
+	b, err := s.Alloc("y", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Off != 4 {
+		t.Fatalf("second area on same node must follow the first: %+v", b)
+	}
+	got, err := s.Lookup("x")
+	if err != nil || got.ID != a.ID {
+		t.Fatalf("Lookup = %+v, %v", got, err)
+	}
+	if _, err := s.Lookup("zz"); !errors.Is(err, ErrUnknownArea) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.AreaByID(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AreaByID(99); !errors.Is(err, ErrUnknownArea) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpaceAllocErrors(t *testing.T) {
+	s := NewSpace(2, 0, 4)
+	if _, err := s.Alloc("x", 0, 0); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Alloc("x", 5, 1); !errors.Is(err, ErrMisplacement) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Alloc("x", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc("x", 0, 1); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Alloc("y", 0, 2); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Seal()
+	if _, err := s.Alloc("z", 1, 1); err == nil {
+		t.Fatal("alloc after seal must fail")
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	if (PlaceRoundRobin{}).Place(5, 3) != 2 {
+		t.Fatal("round robin")
+	}
+	if (PlaceOnNode{Node: 1}).Place(9, 4) != 1 {
+		t.Fatal("on node")
+	}
+	p := PlaceBlocked{PerNode: 2}
+	for i, want := range []int{0, 0, 1, 1, 2} {
+		if got := p.Place(i, 3); got != want {
+			t.Fatalf("blocked Place(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := p.Place(100, 3); got != 2 {
+		t.Fatalf("blocked overflow clamps to last node, got %d", got)
+	}
+	if got := (PlaceBlocked{}).Place(1, 3); got != 1 {
+		t.Fatalf("zero PerNode defaults to 1, got %d", got)
+	}
+}
+
+func TestAllocAutoDefaultsToRoundRobin(t *testing.T) {
+	s := NewSpace(2, 0, 8)
+	a, _ := s.AllocAuto("a", 1, nil)
+	b, _ := s.AllocAuto("b", 1, nil)
+	if a.Home != 0 || b.Home != 1 {
+		t.Fatalf("homes = %d,%d", a.Home, b.Home)
+	}
+}
+
+func TestAreaAt(t *testing.T) {
+	s := NewSpace(2, 0, 8)
+	a, _ := s.Alloc("x", 0, 3)
+	s.Alloc("y", 0, 2)
+	got, ok := s.AreaAt(0, 2)
+	if !ok || got.ID != a.ID {
+		t.Fatalf("AreaAt(0,2) = %+v, %v", got, ok)
+	}
+	got, ok = s.AreaAt(0, 3)
+	if !ok || got.Name != "y" {
+		t.Fatalf("AreaAt(0,3) = %+v, %v", got, ok)
+	}
+	if _, ok := s.AreaAt(0, 7); ok {
+		t.Fatal("unallocated offset must not resolve")
+	}
+	if _, ok := s.AreaAt(1, 0); ok {
+		t.Fatal("wrong node must not resolve")
+	}
+}
+
+func TestAddrAndString(t *testing.T) {
+	a := Area{Home: 2, Off: 10, Len: 4}
+	g := Addr(a, 3)
+	if g.Node != 2 || g.Off != 13 {
+		t.Fatalf("Addr = %+v", g)
+	}
+	if g.String() != "P2:13" {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := NewSpace(2, 0, 4)
+	s.Node(0).WritePublic(0, []Word{9})
+	snap := s.Snapshot()
+	s.Node(0).WritePublic(0, []Word{1})
+	if snap[0][0] != 9 {
+		t.Fatal("snapshot aliases live memory")
+	}
+	if len(snap) != 2 || len(snap[1]) != 4 {
+		t.Fatalf("snapshot shape: %v", snap)
+	}
+}
+
+func TestAreasSortedAndNonOverlapping(t *testing.T) {
+	// Property: arbitrary allocations never overlap within a node and IDs
+	// are dense and ordered.
+	f := func(sizes [6]uint8) bool {
+		s := NewSpace(3, 0, 1024)
+		var areas []Area
+		for i, sz := range sizes {
+			w := int(sz%7) + 1
+			a, err := s.AllocAuto(string(rune('a'+i)), w, PlaceRoundRobin{})
+			if err != nil {
+				return false
+			}
+			areas = append(areas, a)
+		}
+		listed := s.Areas()
+		if len(listed) != len(areas) {
+			return false
+		}
+		for i := range listed {
+			if listed[i].ID != AreaID(i) {
+				return false
+			}
+		}
+		for i := 0; i < len(areas); i++ {
+			for j := i + 1; j < len(areas); j++ {
+				a, b := areas[i], areas[j]
+				if a.Home != b.Home {
+					continue
+				}
+				if a.Off < b.Off+b.Len && b.Off < a.Off+a.Len {
+					return false // overlap
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

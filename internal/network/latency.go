@@ -1,0 +1,103 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsmrace/internal/sim"
+)
+
+// LatencyModel computes the one-way delay of a message.
+type LatencyModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Delay returns the transfer delay for a message of size bytes from a
+	// to b. rng is the kernel's deterministic source; models without jitter
+	// must not consume from it.
+	Delay(a, b NodeID, bytes int, rng *rand.Rand) sim.Time
+}
+
+// Constant is a fixed one-way latency regardless of size and distance;
+// loopback is free.
+type Constant struct{ L sim.Time }
+
+// Name implements LatencyModel.
+func (c Constant) Name() string { return fmt.Sprintf("const(%v)", c.L) }
+
+// Delay implements LatencyModel.
+func (c Constant) Delay(a, b NodeID, bytes int, _ *rand.Rand) sim.Time {
+	if a == b {
+		return 0
+	}
+	return c.L
+}
+
+// Linear is the classic α+β·n model: fixed per-message cost plus a per-byte
+// cost. InfiniBand-class defaults are provided by DefaultIB.
+type Linear struct {
+	Alpha   sim.Time // per-message latency
+	PerByte sim.Time // transfer time per byte
+}
+
+// DefaultIB returns a latency model loosely calibrated to the hardware the
+// paper motivates (InfiniBand-class: ~1.5us one-way latency, ~3GB/s).
+func DefaultIB() Linear {
+	return Linear{Alpha: 1500 * sim.Nanosecond, PerByte: sim.Time(1)} // ~1ns/byte
+}
+
+// DefaultMyrinet returns a model loosely calibrated to Myrinet-class
+// hardware (~3us, ~2GB/s), the paper's other named interconnect.
+func DefaultMyrinet() Linear {
+	return Linear{Alpha: 3 * sim.Microsecond, PerByte: sim.Time(2)}
+}
+
+// Name implements LatencyModel.
+func (l Linear) Name() string { return fmt.Sprintf("linear(a=%v,b=%v/B)", l.Alpha, l.PerByte) }
+
+// Delay implements LatencyModel.
+func (l Linear) Delay(a, b NodeID, bytes int, _ *rand.Rand) sim.Time {
+	if a == b {
+		return 0
+	}
+	return l.Alpha + sim.Time(bytes)*l.PerByte
+}
+
+// Hops charges per switch hop on top of a per-byte cost, using a Topology.
+type Hops struct {
+	Topo    Topology
+	PerHop  sim.Time
+	PerByte sim.Time
+}
+
+// Name implements LatencyModel.
+func (h Hops) Name() string { return fmt.Sprintf("hops(%s)", h.Topo.Name()) }
+
+// Delay implements LatencyModel.
+func (h Hops) Delay(a, b NodeID, bytes int, _ *rand.Rand) sim.Time {
+	return sim.Time(h.Topo.Hops(a, b))*h.PerHop + sim.Time(bytes)*h.PerByte
+}
+
+// Jitter wraps a base model and scales each delay by a uniform factor in
+// [1-Frac, 1+Frac]. Jitter is what makes different seeds explore different
+// interleavings, i.e. what makes races manifest (E-T8).
+type Jitter struct {
+	Base LatencyModel
+	Frac float64
+}
+
+// Name implements LatencyModel.
+func (j Jitter) Name() string { return fmt.Sprintf("jitter(%s,%.0f%%)", j.Base.Name(), j.Frac*100) }
+
+// Delay implements LatencyModel.
+func (j Jitter) Delay(a, b NodeID, bytes int, rng *rand.Rand) sim.Time {
+	d := j.Base.Delay(a, b, bytes, rng)
+	if d == 0 {
+		return 0
+	}
+	f := 1 + j.Frac*(2*rng.Float64()-1)
+	out := sim.Time(float64(d) * f)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsmrace/internal/sim"
+)
+
+// Kind classifies messages for accounting. The experiment tables break
+// message counts down by kind to show where the detection overhead goes.
+type Kind int
+
+// Message kinds. Data kinds carry application payload; clock and lock kinds
+// are pure detection/synchronisation overhead.
+const (
+	KindPutReq Kind = iota
+	KindPutAck
+	KindGetReq
+	KindGetReply
+	KindLockReq
+	KindLockGrant
+	KindUnlock
+	KindClockRead     // literal protocol: get_clock / get_clock_W request
+	KindClockReadResp // literal protocol: clock value reply
+	KindClockWrite    // literal protocol: put_clock
+	KindAtomicReq
+	KindAtomicReply
+	KindBarrier
+	KindUser
+	numKinds
+)
+
+var kindNames = [...]string{
+	"put.req", "put.ack", "get.req", "get.reply",
+	"lock.req", "lock.grant", "unlock",
+	"clock.read", "clock.read.resp", "clock.write",
+	"atomic.req", "atomic.reply", "barrier", "user",
+}
+
+// String returns the kind's report label.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsOverhead reports whether the kind exists only because of the detection
+// or locking machinery (as opposed to moving application data).
+func (k Kind) IsOverhead() bool {
+	switch k {
+	case KindLockReq, KindLockGrant, KindUnlock, KindClockRead, KindClockReadResp, KindClockWrite:
+		return true
+	}
+	return false
+}
+
+// Message is one network packet. Payload is simulator-internal (the NIC
+// knows what to do with it); Size is the modelled wire size in bytes and is
+// what the latency model and the statistics see.
+type Message struct {
+	Src, Dst NodeID
+	Kind     Kind
+	Size     int
+	Payload  any
+}
+
+// HeaderBytes is the modelled per-message header size (addresses, op code,
+// memory offsets) — roughly an InfiniBand RC send WQE worth of metadata.
+const HeaderBytes = 32
+
+// Handler consumes a delivered message. Handlers run in event context
+// ("on the NIC"): they must not block, mirroring OS-bypass hardware.
+type Handler func(m *Message)
+
+// Stats accumulates traffic totals. Counters are indexed by Kind.
+type Stats struct {
+	Msgs       [numKinds]uint64
+	Bytes      [numKinds]uint64
+	TotalMsgs  uint64
+	TotalBytes uint64
+}
+
+func (s *Stats) count(m *Message) {
+	s.Msgs[m.Kind]++
+	s.Bytes[m.Kind] += uint64(m.Size)
+	s.TotalMsgs++
+	s.TotalBytes += uint64(m.Size)
+}
+
+// OverheadMsgs returns the number of messages attributable to detection and
+// locking machinery.
+func (s *Stats) OverheadMsgs() uint64 {
+	var n uint64
+	for k := Kind(0); k < numKinds; k++ {
+		if k.IsOverhead() {
+			n += s.Msgs[k]
+		}
+	}
+	return n
+}
+
+// OverheadBytes returns the bytes attributable to detection and locking.
+func (s *Stats) OverheadBytes() uint64 {
+	var n uint64
+	for k := Kind(0); k < numKinds; k++ {
+		if k.IsOverhead() {
+			n += s.Bytes[k]
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Stats { return *s }
+
+// Sub returns the difference s - o, counter-wise.
+func (s Stats) Sub(o Stats) Stats {
+	var d Stats
+	for k := 0; k < int(numKinds); k++ {
+		d.Msgs[k] = s.Msgs[k] - o.Msgs[k]
+		d.Bytes[k] = s.Bytes[k] - o.Bytes[k]
+	}
+	d.TotalMsgs = s.TotalMsgs - o.TotalMsgs
+	d.TotalBytes = s.TotalBytes - o.TotalBytes
+	return d
+}
+
+// String renders non-zero counters sorted by kind name.
+func (s Stats) String() string {
+	var rows []string
+	for k := Kind(0); k < numKinds; k++ {
+		if s.Msgs[k] > 0 {
+			rows = append(rows, fmt.Sprintf("%s:%d(%dB)", k, s.Msgs[k], s.Bytes[k]))
+		}
+	}
+	sort.Strings(rows)
+	return fmt.Sprintf("msgs=%d bytes=%d [%s]", s.TotalMsgs, s.TotalBytes, strings.Join(rows, " "))
+}
+
+// Network connects n nodes over a latency model. Each node registers exactly
+// one delivery handler (its NIC).
+type Network struct {
+	k        *sim.Kernel
+	latency  LatencyModel
+	handlers []Handler
+	// lastArrival enforces FIFO per directed link: a message may not arrive
+	// before one sent earlier on the same link.
+	lastArrival map[[2]NodeID]sim.Time
+	stats       Stats
+	// Down records one-way link cuts for failure injection; messages on a
+	// down link are silently dropped (counted in Dropped).
+	down    map[[2]NodeID]bool
+	Dropped uint64
+}
+
+// New creates a network for n nodes on kernel k using the given latency
+// model (nil defaults to DefaultIB).
+func New(k *sim.Kernel, n int, lat LatencyModel) *Network {
+	if lat == nil {
+		lat = DefaultIB()
+	}
+	return &Network{
+		k:           k,
+		latency:     lat,
+		handlers:    make([]Handler, n),
+		lastArrival: make(map[[2]NodeID]sim.Time),
+		down:        make(map[[2]NodeID]bool),
+	}
+}
+
+// N returns the number of attached nodes.
+func (n *Network) N() int { return len(n.handlers) }
+
+// Kernel returns the simulation kernel the network is attached to.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Stats exposes the live traffic counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// SetHandler installs the delivery handler (the NIC) for node id.
+func (n *Network) SetHandler(id NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// CutLink drops all future messages from a to b (one direction).
+func (n *Network) CutLink(a, b NodeID) { n.down[[2]NodeID{a, b}] = true }
+
+// RestoreLink re-enables the a→b link.
+func (n *Network) RestoreLink(a, b NodeID) { delete(n.down, [2]NodeID{a, b}) }
+
+// Send transmits m; delivery is scheduled on the kernel after the modelled
+// latency, preserving FIFO order per directed link. The message is counted
+// at send time. Sends to down links are dropped.
+func (n *Network) Send(m *Message) {
+	if m.Size < HeaderBytes {
+		m.Size = HeaderBytes
+	}
+	n.stats.count(m)
+	link := [2]NodeID{m.Src, m.Dst}
+	if n.down[link] {
+		n.Dropped++
+		return
+	}
+	d := n.latency.Delay(m.Src, m.Dst, m.Size, n.k.Rand())
+	at := n.k.Now() + d
+	if last := n.lastArrival[link]; at < last {
+		at = last // FIFO: cannot overtake an earlier message on this link
+	}
+	n.lastArrival[link] = at
+	n.k.At(at, func() {
+		h := n.handlers[m.Dst]
+		if h == nil {
+			panic(fmt.Sprintf("network: node %d has no handler", m.Dst))
+		}
+		h(m)
+	})
+}

@@ -1,0 +1,252 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsmrace/internal/sim"
+)
+
+func TestTopologyHops(t *testing.T) {
+	cases := []struct {
+		topo Topology
+		a, b NodeID
+		want int
+	}{
+		{FullMesh{}, 0, 0, 0},
+		{FullMesh{}, 0, 5, 1},
+		{Ring{N: 6}, 0, 1, 1},
+		{Ring{N: 6}, 0, 5, 1}, // wraps
+		{Ring{N: 6}, 0, 3, 3},
+		{Ring{N: 1}, 0, 0, 0},
+		{Torus2D{W: 4, H: 4}, 0, 5, 2},  // (0,0)->(1,1)
+		{Torus2D{W: 4, H: 4}, 0, 3, 1},  // wrap in x
+		{Torus2D{W: 4, H: 4}, 0, 15, 2}, // (0,0)->(3,3) wraps both
+		{Star{}, 2, 2, 0},
+		{Star{}, 0, 9, 2},
+		{FatTree{Arity: 4}, 0, 3, 2},
+		{FatTree{Arity: 4}, 0, 4, 4},
+		{FatTree{Arity: 4}, 7, 7, 0},
+		{FatTree{Arity: 0}, 0, 1, 4},
+	}
+	for _, c := range cases {
+		if got := c.topo.Hops(c.a, c.b); got != c.want {
+			t.Errorf("%s.Hops(%d,%d) = %d, want %d", c.topo.Name(), c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTopologySymmetry(t *testing.T) {
+	topos := []Topology{FullMesh{}, Ring{N: 7}, Torus2D{W: 3, H: 5}, Star{}, FatTree{Arity: 3}}
+	f := func(a8, b8 uint8) bool {
+		a, b := NodeID(a8%14), NodeID(b8%14)
+		for _, tp := range topos {
+			if tp.Hops(a, b) != tp.Hops(b, a) {
+				return false
+			}
+			if a == b && tp.Hops(a, b) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (Constant{L: 100}).Delay(0, 1, 9999, rng); d != 100 {
+		t.Errorf("Constant = %v", d)
+	}
+	if d := (Constant{L: 100}).Delay(3, 3, 10, rng); d != 0 {
+		t.Errorf("Constant loopback = %v", d)
+	}
+	lin := Linear{Alpha: 1000, PerByte: 2}
+	if d := lin.Delay(0, 1, 100, rng); d != 1200 {
+		t.Errorf("Linear = %v, want 1200", d)
+	}
+	if d := lin.Delay(1, 1, 100, rng); d != 0 {
+		t.Errorf("Linear loopback = %v", d)
+	}
+	h := Hops{Topo: Ring{N: 4}, PerHop: 500, PerByte: 1}
+	if d := h.Delay(0, 2, 10, rng); d != 1010 {
+		t.Errorf("Hops = %v, want 1010", d)
+	}
+	for _, m := range []LatencyModel{Constant{L: 1}, lin, h, DefaultIB(), DefaultMyrinet(), Jitter{Base: lin, Frac: 0.1}} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	base := Linear{Alpha: 1000, PerByte: 0}
+	j := Jitter{Base: base, Frac: 0.2}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		d := j.Delay(0, 1, 64, rng)
+		if d < 800 || d > 1200 {
+			t.Fatalf("jitter out of bounds: %v", d)
+		}
+	}
+	if d := j.Delay(2, 2, 64, rng); d != 0 {
+		t.Fatalf("jitter loopback = %v", d)
+	}
+	// Same seed, same sequence.
+	a := rand.New(rand.NewSource(5))
+	b := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		if j.Delay(0, 1, 64, a) != j.Delay(0, 1, 64, b) {
+			t.Fatal("jitter not deterministic under equal seeds")
+		}
+	}
+}
+
+func newTestNet(t *testing.T, n int, lat LatencyModel) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel(sim.Config{Seed: 1})
+	return k, New(k, n, lat)
+}
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	k, nw := newTestNet(t, 2, Constant{L: 100})
+	var at sim.Time
+	nw.SetHandler(1, func(m *Message) { at = k.Now() })
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser, Size: 64})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Fatalf("delivered at %v, want 100", at)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	// With jitter a later message could compute a shorter delay; FIFO must
+	// still deliver in send order on the same link.
+	k := sim.NewKernel(sim.Config{Seed: 3})
+	nw := New(k, 2, Jitter{Base: Linear{Alpha: 1000, PerByte: 0}, Frac: 0.9})
+	var got []int
+	nw.SetHandler(1, func(m *Message) { got = append(got, m.Payload.(int)) })
+	for i := 0; i < 50; i++ {
+		nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser, Payload: i})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got[:i+1])
+		}
+	}
+	if len(got) != 50 {
+		t.Fatalf("delivered %d of 50", len(got))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	k, nw := newTestNet(t, 3, Constant{L: 10})
+	for i := 0; i < 3; i++ {
+		nw.SetHandler(NodeID(i), func(m *Message) {})
+	}
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindPutReq, Size: 100})
+	nw.Send(&Message{Src: 1, Dst: 0, Kind: KindPutAck, Size: 40})
+	nw.Send(&Message{Src: 0, Dst: 2, Kind: KindClockRead, Size: 40})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats().Snapshot()
+	if s.TotalMsgs != 3 || s.TotalBytes != 180 {
+		t.Fatalf("totals = %d msgs %d bytes", s.TotalMsgs, s.TotalBytes)
+	}
+	if s.Msgs[KindPutReq] != 1 || s.Bytes[KindPutReq] != 100 {
+		t.Fatalf("put.req counters wrong: %v", s)
+	}
+	if s.OverheadMsgs() != 1 || s.OverheadBytes() != 40 {
+		t.Fatalf("overhead = %d msgs %d bytes", s.OverheadMsgs(), s.OverheadBytes())
+	}
+}
+
+func TestStatsSubAndString(t *testing.T) {
+	var a, b Stats
+	m1 := &Message{Src: 0, Dst: 1, Kind: KindGetReq, Size: 50}
+	a.count(m1)
+	a.count(&Message{Src: 0, Dst: 1, Kind: KindGetReply, Size: 90})
+	b.count(m1)
+	d := a.Sub(b)
+	if d.TotalMsgs != 1 || d.TotalBytes != 90 || d.Msgs[KindGetReply] != 1 {
+		t.Fatalf("Sub wrong: %v", d)
+	}
+	if s := d.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMinimumHeaderSize(t *testing.T) {
+	k, nw := newTestNet(t, 2, Constant{L: 1})
+	nw.SetHandler(1, func(m *Message) {})
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser, Size: 0})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats().TotalBytes != HeaderBytes {
+		t.Fatalf("bytes = %d, want header minimum %d", nw.Stats().TotalBytes, HeaderBytes)
+	}
+}
+
+func TestCutLinkDropsAndRestore(t *testing.T) {
+	k, nw := newTestNet(t, 2, Constant{L: 1})
+	delivered := 0
+	nw.SetHandler(1, func(m *Message) { delivered++ })
+	nw.CutLink(0, 1)
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser})
+	nw.RestoreLink(0, 1)
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 || nw.Dropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d", delivered, nw.Dropped)
+	}
+}
+
+func TestMissingHandlerPanicsInsideRun(t *testing.T) {
+	k, nw := newTestNet(t, 2, Constant{L: 1})
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing handler")
+		}
+	}()
+	_ = k.Run()
+}
+
+func TestKindStringAndOverhead(t *testing.T) {
+	if KindPutReq.String() != "put.req" || Kind(99).String() != "kind(99)" {
+		t.Fatal("Kind.String broken")
+	}
+	if KindPutReq.IsOverhead() || !KindLockReq.IsOverhead() || !KindClockWrite.IsOverhead() {
+		t.Fatal("IsOverhead misclassifies")
+	}
+}
+
+func TestLoopbackIsImmediateButOrdered(t *testing.T) {
+	k, nw := newTestNet(t, 1, DefaultIB())
+	var got []int
+	nw.SetHandler(0, func(m *Message) { got = append(got, m.Payload.(int)) })
+	nw.Send(&Message{Src: 0, Dst: 0, Kind: KindUser, Payload: 1})
+	nw.Send(&Message{Src: 0, Dst: 0, Kind: KindUser, Payload: 2})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("loopback order: %v", got)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("loopback consumed time: %v", k.Now())
+	}
+}

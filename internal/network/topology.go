@@ -1,0 +1,118 @@
+// Package network simulates the interconnection network of §III: reliable
+// point-to-point FIFO links between nodes, pluggable latency models and
+// topologies, and per-kind message/byte accounting used by the overhead
+// experiments (E-T2).
+package network
+
+import "fmt"
+
+// NodeID identifies a node (processor) in the system.
+type NodeID int
+
+// Topology answers how many switch hops separate two nodes; latency models
+// can charge per hop.
+type Topology interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Hops returns the number of hops between two nodes; 0 for loopback.
+	Hops(a, b NodeID) int
+}
+
+// FullMesh is a crossbar: every pair of distinct nodes is one hop apart.
+type FullMesh struct{}
+
+// Name implements Topology.
+func (FullMesh) Name() string { return "fullmesh" }
+
+// Hops implements Topology.
+func (FullMesh) Hops(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Ring is a bidirectional ring of n nodes.
+type Ring struct{ N int }
+
+// Name implements Topology.
+func (r Ring) Name() string { return fmt.Sprintf("ring%d", r.N) }
+
+// Hops implements Topology.
+func (r Ring) Hops(a, b NodeID) int {
+	if r.N <= 1 {
+		return 0
+	}
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	if w := r.N - d; w < d {
+		d = w
+	}
+	return d
+}
+
+// Torus2D is a 2-D torus of W×H nodes; node i sits at (i%W, i/W).
+type Torus2D struct{ W, H int }
+
+// Name implements Topology.
+func (t Torus2D) Name() string { return fmt.Sprintf("torus%dx%d", t.W, t.H) }
+
+// Hops implements Topology.
+func (t Torus2D) Hops(a, b NodeID) int {
+	ax, ay := int(a)%t.W, int(a)/t.W
+	bx, by := int(b)%t.W, int(b)/t.W
+	dx := wrapDist(ax, bx, t.W)
+	dy := wrapDist(ay, by, t.H)
+	return dx + dy
+}
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n > 0 {
+		if w := n - d; w < d {
+			d = w
+		}
+	}
+	return d
+}
+
+// Star routes every pair through a central switch: two hops, except loopback.
+type Star struct{}
+
+// Name implements Topology.
+func (Star) Name() string { return "star" }
+
+// Hops implements Topology.
+func (Star) Hops(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	return 2
+}
+
+// FatTree approximates a two-level fat tree with a given arity: nodes in the
+// same pod (group of Arity) are two hops apart, nodes in different pods four.
+type FatTree struct{ Arity int }
+
+// Name implements Topology.
+func (f FatTree) Name() string { return fmt.Sprintf("fattree%d", f.Arity) }
+
+// Hops implements Topology.
+func (f FatTree) Hops(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	ar := f.Arity
+	if ar <= 0 {
+		ar = 1
+	}
+	if int(a)/ar == int(b)/ar {
+		return 2
+	}
+	return 4
+}

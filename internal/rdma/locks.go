@@ -1,0 +1,64 @@
+package rdma
+
+import "dsmrace/internal/vclock"
+
+// lockState is the NIC-side lock for one memory area (§III-A: "since NICs
+// are in charge with memory management in the public memory space, they can
+// provide locks on memory areas"). Waiters are queued FIFO as continuations;
+// the lock is re-entrant per owner so a process holding a user-level lock
+// on an area can still operate on it.
+type lockState struct {
+	held    bool
+	owner   int
+	depth   int
+	waiters []lockWaiter
+	// relClock is the clock carried by the most recent user-level unlock;
+	// the next user-level grant returns it, creating the release→acquire
+	// happens-before edge.
+	relClock vclock.VC
+}
+
+type lockWaiter struct {
+	owner int
+	fn    func()
+}
+
+// acquire runs fn once the lock is held by owner. When the lock is free or
+// already held by the same owner, fn runs immediately (still in the current
+// event); otherwise it is queued.
+func (l *lockState) acquire(owner int, fn func()) {
+	if l.held && l.owner == owner {
+		l.depth++
+		fn()
+		return
+	}
+	if !l.held {
+		l.held = true
+		l.owner = owner
+		l.depth = 1
+		fn()
+		return
+	}
+	l.waiters = append(l.waiters, lockWaiter{owner: owner, fn: fn})
+}
+
+// release drops one level of the lock; when fully released the next waiter
+// (if any) acquires and its continuation runs.
+func (l *lockState) release() {
+	if !l.held {
+		panic("rdma: release of unheld lock")
+	}
+	l.depth--
+	if l.depth > 0 {
+		return
+	}
+	if len(l.waiters) == 0 {
+		l.held = false
+		return
+	}
+	w := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.owner = w.owner
+	l.depth = 1
+	w.fn()
+}

@@ -1,0 +1,250 @@
+package rdma
+
+import (
+	"fmt"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// Put writes data into area at word offset off (one-sided remote write,
+// Fig. 2 left... right arrow). acc carries the initiator's identity and
+// ticked clock. It returns the clock the initiator should absorb (nil when
+// none) and blocks p until completion.
+func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.VC, error) {
+	acc.Area = area.ID
+	if n.sys.cfg.Protocol == ProtocolLiteral && n.sys.DetectionOn() {
+		return n.putLiteral(p, area, off, data, acc)
+	}
+	size := network.HeaderBytes + len(data)*memory.WordBytes
+	hasAcc := n.sys.DetectionOn()
+	if hasAcc {
+		size += n.sys.clockBytesFor(fmt.Sprintf("req:%d:%d", n.id, area.ID), acc.Clock)
+	}
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindPutReq, size,
+		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc})
+	if err := asError(rs.err); err != nil {
+		return nil, err
+	}
+	if n.sys.cfg.AbsorbOnPutAck {
+		return rs.clock, nil
+	}
+	return nil, nil
+}
+
+// Get reads count words from area at word offset off (one-sided remote
+// read). It returns the data and the clock to absorb (the area's write
+// clock when AbsorbOnGetReply is set).
+func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
+	acc.Area = area.ID
+	if n.sys.cfg.Protocol == ProtocolLiteral && n.sys.DetectionOn() {
+		return n.getLiteral(p, area, off, count, acc)
+	}
+	size := network.HeaderBytes
+	hasAcc := n.sys.DetectionOn()
+	if hasAcc {
+		size += n.sys.clockBytesFor(fmt.Sprintf("req:%d:%d", n.id, area.ID), acc.Clock)
+	}
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, size,
+		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
+	if err := asError(rs.err); err != nil {
+		return nil, nil, err
+	}
+	if n.sys.cfg.AbsorbOnGetReply {
+		return rs.data, rs.clock, nil
+	}
+	return rs.data, nil, nil
+}
+
+// FetchAdd atomically adds delta to the word at (area, off) and returns the
+// previous value. The operation counts as a write for detection.
+func (n *NIC) FetchAdd(p *sim.Proc, area memory.Area, off int, delta memory.Word, acc core.Access) (memory.Word, vclock.VC, error) {
+	return n.atomic(p, area, off, AtomicFetchAdd, delta, 0, acc)
+}
+
+// CompareAndSwap atomically replaces the word at (area, off) with repl when
+// it equals expect; it returns the previous value (swap happened iff
+// old == expect).
+func (n *NIC) CompareAndSwap(p *sim.Proc, area memory.Area, off int, expect, repl memory.Word, acc core.Access) (memory.Word, vclock.VC, error) {
+	return n.atomic(p, area, off, AtomicCAS, expect, repl, acc)
+}
+
+func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2 memory.Word, acc core.Access) (memory.Word, vclock.VC, error) {
+	acc.Area = area.ID
+	size := network.HeaderBytes + 2*memory.WordBytes
+	hasAcc := n.sys.DetectionOn()
+	if hasAcc {
+		size += n.sys.clockBytesFor(fmt.Sprintf("req:%d:%d", n.id, area.ID), acc.Clock)
+	}
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindAtomicReq, size,
+		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc})
+	if err := asError(rs.err); err != nil {
+		return 0, nil, err
+	}
+	var absorb vclock.VC
+	if n.sys.cfg.AbsorbOnPutAck {
+		absorb = rs.clock
+	}
+	return rs.data[0], absorb, nil
+}
+
+// LockArea acquires the NIC lock of the area for proc (a user-level lock;
+// the same lock the NIC uses internally, so user critical sections exclude
+// remote operations on the area). The returned clock, when non-nil, is the
+// previous releaser's clock: absorbing it gives the acquirer the
+// release→acquire happens-before edge.
+func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.VC {
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
+		&req{area: area, acc: core.Access{Proc: proc}, user: true})
+	return rs.clock
+}
+
+// UnlockArea releases the area lock, carrying the releaser's clock rel for
+// the next acquirer (one-way; FIFO links guarantee it cannot overtake the
+// holder's earlier traffic to the home).
+func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.VC) {
+	size := network.HeaderBytes
+	if rel != nil {
+		size += rel.WireSize()
+	}
+	n.sys.net.Send(&network.Message{
+		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindUnlock,
+		Size: size, Payload: &req{area: area, acc: core.Access{Proc: proc, Clock: rel}, user: true},
+	})
+}
+
+// lockInternal acquires the area lock for the literal protocol's own use:
+// not observed, no clock transport (the mechanism lock must not create
+// user-visible happens-before, or no race could ever be detected).
+func (n *NIC) lockInternal(p *sim.Proc, area memory.Area, proc int) {
+	n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
+		&req{area: area, acc: core.Access{Proc: proc}})
+}
+
+// unlockInternal releases a lockInternal acquisition.
+func (n *NIC) unlockInternal(area memory.Area, proc int) {
+	n.sys.net.Send(&network.Message{
+		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindUnlock,
+		Size: network.HeaderBytes, Payload: &req{area: area, acc: core.Access{Proc: proc}},
+	})
+}
+
+// ---- Literal protocol: Algorithms 1 and 2, message by message ----
+
+// readClocks performs get_clock / get_clock_W: one request, one response
+// carrying both stored clocks.
+func (n *NIC) readClocks(p *sim.Proc, area memory.Area) (v, w vclock.VC) {
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindClockRead, network.HeaderBytes,
+		&req{area: area})
+	return rs.v, rs.w
+}
+
+// writeClockApply performs put_clock in "apply" form: the home folds the
+// access into the area state (merge per Algorithm 4, home tick, W update).
+func (n *NIC) writeClockApply(area memory.Area, acc core.Access) {
+	n.sys.net.Send(&network.Message{
+		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindClockWrite,
+		Size:    network.HeaderBytes + acc.Clock.WireSize(),
+		Payload: &req{area: area, acc: acc, apply: true},
+	})
+}
+
+// writeClockRaw performs put_clock with explicit values (the second
+// update_clock of Algorithm 1; idempotent by construction).
+func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
+	size := network.HeaderBytes
+	if v != nil {
+		size += v.WireSize()
+	}
+	if w != nil {
+		size += w.WireSize()
+	}
+	n.sys.net.Send(&network.Message{
+		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindClockWrite,
+		Size: size, Payload: &req{area: area, v: v, w: w},
+	})
+}
+
+// putLiteral is Algorithm 1 verbatim:
+//
+//	lock(P0,src)            — local, no-op for private memory (§IV-A)
+//	lock(P1,dst)            — remote NIC lock
+//	V = update_local_clock  — done by the caller (acc.Clock is ticked)
+//	V' = get_clock(P1,dst)  — remote clock fetch
+//	compare_clocks both ways (Algorithm 3) → signal_race_condition
+//	put(P0,src,P1,dst)      — the data message
+//	update_clock_W / update_clock (Algorithm 5: fetch, max, write back)
+//	unlock(P1,dst); unlock(P0,src)
+func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.VC, error) {
+	lockOn := n.sys.cfg.LocksEnabled
+	if lockOn {
+		n.lockInternal(p, area, acc.Proc)
+	}
+	v, _ := n.readClocks(p, area)
+	if core.CheckWrite(acc.Clock, v) {
+		n.sys.signal(&core.Report{
+			Detector:    n.sys.cfg.Detector.Name(),
+			Area:        area.ID,
+			Current:     acc,
+			StoredClock: v,
+		}, p.Now())
+	}
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindPutReq,
+		network.HeaderBytes+len(data)*memory.WordBytes,
+		&req{area: area, off: off, data: data, acc: acc, hasAcc: false})
+	err := asError(rs.err)
+	if err == nil {
+		// update_clock_W: re-fetch (Algorithm 5's get_clock), then fold the
+		// write into the state.
+		n.readClocks(p, area)
+		n.writeClockApply(area, acc)
+		// update_clock: fetch the (now updated) clocks and write them back —
+		// idempotent, kept for message fidelity.
+		v2, w2 := n.readClocks(p, area)
+		n.writeClockRaw(area, v2, w2)
+	}
+	if lockOn {
+		n.unlockInternal(area, acc.Proc)
+	}
+	return nil, err
+}
+
+// getLiteral is Algorithm 2 verbatim: lock, fetch clocks, compare the
+// initiator clock against the *write* clock, transfer the data, run
+// update_clock on the source area, unlock.
+func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
+	lockOn := n.sys.cfg.LocksEnabled
+	if lockOn {
+		n.lockInternal(p, area, acc.Proc)
+	}
+	_, w := n.readClocks(p, area)
+	if core.CheckRead(acc.Clock, w) {
+		n.sys.signal(&core.Report{
+			Detector:    n.sys.cfg.Detector.Name(),
+			Area:        area.ID,
+			Current:     acc,
+			StoredClock: w,
+		}, p.Now())
+	}
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, network.HeaderBytes,
+		&req{area: area, off: off, count: count, acc: acc, hasAcc: false})
+	err := asError(rs.err)
+	var absorb vclock.VC
+	if err == nil {
+		n.readClocks(p, area)
+		n.writeClockApply(area, acc)
+		if n.sys.cfg.AbsorbOnGetReply {
+			absorb = w // the write clock the read observed (reads-from edge)
+		}
+	}
+	if lockOn {
+		n.unlockInternal(area, acc.Proc)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs.data, absorb, nil
+}

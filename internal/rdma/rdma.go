@@ -1,0 +1,338 @@
+// Package rdma models the network interface cards of §III-B: one-sided
+// put/get with OS bypass (remote operations are served entirely inside
+// message-delivery events — the target *process* is never scheduled), NIC
+// locks on memory areas with FIFO queuing (so a put on an area is delayed
+// until a get in progress finishes, Fig. 3), and remote atomics as an
+// extension.
+//
+// The race detector is wired into this layer, matching §V-B ("implemented
+// in the communication library of the run-time support system"). Two wire
+// protocols are provided:
+//
+//   - ProtocolLiteral follows Algorithms 1–2 message by message: the
+//     initiating library locks the remote area, fetches its clocks
+//     (get_clock/get_clock_W), compares locally (Algorithm 3), moves the
+//     data, runs update_clock/update_clock_W (Algorithm 5: fetch, max_clock,
+//     write back), and unlocks.
+//   - ProtocolPiggyback sends one request carrying the initiator's clock;
+//     the home NIC checks and updates atomically under its local lock and
+//     replies with the merged clock.
+//
+// Both protocols produce identical verdicts (the comparison happens against
+// the same state, under the same lock); they differ only in message count
+// and bytes, which is what experiment E-T2 measures.
+package rdma
+
+import (
+	"fmt"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// Protocol selects the wire protocol implementing Algorithms 1–2.
+type Protocol int
+
+// Protocols.
+const (
+	// ProtocolPiggyback is the optimised single round-trip protocol.
+	ProtocolPiggyback Protocol = iota
+	// ProtocolLiteral is the paper's message sequence, verbatim.
+	ProtocolLiteral
+)
+
+// String names the protocol for tables.
+func (p Protocol) String() string {
+	if p == ProtocolLiteral {
+		return "literal"
+	}
+	return "piggyback"
+}
+
+// Granularity selects what a detection-state instance covers.
+type Granularity int
+
+// Granularities.
+const (
+	// GranularityArea keeps one (V, W) pair per shared variable — §V-A's
+	// "a clock must be used for each shared piece of data".
+	GranularityArea Granularity = iota
+	// GranularityNode keeps one pair per node, the coarser model used by
+	// the paper's figures (node clock = area clock).
+	GranularityNode
+	// GranularityWord keeps one pair per word: no clock false sharing at
+	// the maximum storage cost — the fine end of §V-A's trade-off (E-T11).
+	// Not supported by the literal protocol (Algorithms 1–2 fetch one
+	// clock pair per operation).
+	GranularityWord
+)
+
+// String names the granularity for tables.
+func (g Granularity) String() string {
+	switch g {
+	case GranularityNode:
+		return "node"
+	case GranularityWord:
+		return "word"
+	default:
+		return "area"
+	}
+}
+
+// Config parameterises the RDMA system.
+type Config struct {
+	// Protocol selects literal or piggyback wiring.
+	Protocol Protocol
+	// Granularity selects per-area or per-node detection state.
+	Granularity Granularity
+	// Detector is the race detector; nil disables detection entirely
+	// (no clock bytes on the wire, no checks).
+	Detector core.Detector
+	// Collector receives race reports; required when Detector is set.
+	Collector *core.Collector
+	// AbsorbOnGetReply merges the area's write clock into the reader's
+	// clock (reads-from edge). The paper's figures require true.
+	AbsorbOnGetReply bool
+	// AbsorbOnPutAck merges the updated area clock into the writer's clock.
+	// The completion ack is a real message from the home, so its reception
+	// is a legitimate happens-before edge; absorbing it lets a process's
+	// later operations dominate its own earlier writes (including the home
+	// tick). The paper's algorithms do not absorb — that stricter mode is
+	// kept for figure reproduction and the E-T10 ablation.
+	AbsorbOnPutAck bool
+	// LocksEnabled grants each operation exclusive access to its area (Fig. 3).
+	// Disabling it is the torn-access ablation.
+	LocksEnabled bool
+	// NICDelay is the processing time the NIC charges per remote operation.
+	NICDelay sim.Time
+	// MemPerWord is the memory-occupancy time per word moved, the window
+	// during which the area lock is held (what delays the put in Fig. 3).
+	MemPerWord sim.Time
+	// Observer, when non-nil, receives apply-order notifications of memory
+	// and user-lock events (trace recording).
+	Observer Observer
+	// CompressClocks accounts clock wire bytes with the delta encoding
+	// (each channel sends only the components that changed since its last
+	// message) instead of the full 2+8n fixed format. An optimisation
+	// ablation for E-T2; verdicts are unaffected.
+	CompressClocks bool
+}
+
+// Observer receives apply-order event notifications from the NICs.
+// Implementations must not block; calls happen in event context.
+type Observer interface {
+	// Access fires when a put/get/atomic is applied at its home.
+	Access(acc core.Access, area memory.Area, off, count int, at sim.Time)
+	// LockAcq fires when a user-level lock is granted.
+	LockAcq(proc int, area memory.Area, at sim.Time)
+	// LockRel fires when a user-level lock is released.
+	LockRel(proc int, area memory.Area, at sim.Time)
+}
+
+// DefaultConfig returns the configuration matching the paper's model:
+// piggyback protocol, per-area clocks, completion-edge absorption, locks on.
+func DefaultConfig(det core.Detector, col *core.Collector) Config {
+	return Config{
+		Protocol:         ProtocolPiggyback,
+		Granularity:      GranularityArea,
+		Detector:         det,
+		Collector:        col,
+		AbsorbOnGetReply: true,
+		AbsorbOnPutAck:   true,
+		LocksEnabled:     true,
+		NICDelay:         200 * sim.Nanosecond,
+		MemPerWord:       2 * sim.Nanosecond,
+	}
+}
+
+// System owns the NICs, the detection state and the lock tables for a
+// cluster sharing one memory space.
+type System struct {
+	cfg    Config
+	net    *network.Network
+	space  *memory.Space
+	nics   []*NIC
+	states map[int]core.AreaState
+	reqSeq uint64
+	// lastClock remembers, per logical channel, the last clock whose bytes
+	// were accounted — the receiver's decoder state for CompressClocks.
+	lastClock map[string]vclock.VC
+}
+
+// NewSystem wires one NIC per node onto the network. The space should be
+// fully allocated (it is sealed here).
+func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
+	if cfg.Detector != nil && cfg.Collector == nil {
+		cfg.Collector = &core.Collector{}
+	}
+	if cfg.Granularity == GranularityWord && cfg.Protocol == ProtocolLiteral {
+		panic("rdma: the literal protocol does not support word granularity")
+	}
+	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[string]vclock.VC)}
+	space.Seal()
+	for i := 0; i < space.N(); i++ {
+		nic := &NIC{sys: s, id: network.NodeID(i), pending: make(map[uint64]*pending), locks: make(map[memory.AreaID]*lockState)}
+		s.nics = append(s.nics, nic)
+		net.SetHandler(nic.id, nic.handle)
+	}
+	return s
+}
+
+// NIC returns node id's network interface.
+func (s *System) NIC(id int) *NIC { return s.nics[id] }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Space returns the shared memory space.
+func (s *System) Space() *memory.Space { return s.space }
+
+// Collector returns the race report collector (nil when detection is off).
+func (s *System) Collector() *core.Collector { return s.cfg.Collector }
+
+// DetectionOn reports whether a detector is configured.
+func (s *System) DetectionOn() bool { return s.cfg.Detector != nil }
+
+// stateKey maps an area (and, at word granularity, a word) to its
+// detection-state key under the configured granularity.
+func (s *System) stateKey(a memory.Area, word int) int {
+	switch s.cfg.Granularity {
+	case GranularityNode:
+		return -(a.Home + 1)
+	case GranularityWord:
+		// Words are globally identified by the home's public offset.
+		return (a.Home+1)<<24 | (a.Off + word)
+	default:
+		return int(a.ID)
+	}
+}
+
+// stateFor returns (lazily creating) the detection state covering area a
+// (word-granularity callers pass the word index; others pass 0).
+func (s *System) stateFor(a memory.Area, word int) core.AreaState {
+	k := s.stateKey(a, word)
+	st, ok := s.states[k]
+	if !ok {
+		st = s.cfg.Detector.NewAreaState(s.space.N())
+		s.states[k] = st
+	}
+	return st
+}
+
+// checkAccess runs the detector for an access spanning [off, off+count) of
+// area a, handling the granularity fan-out: one state at node/area
+// granularity, one per word at word granularity (the first report wins,
+// absorbed clocks merge). It returns the clock for the initiator to absorb.
+func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at sim.Time) vclock.VC {
+	if s.cfg.Granularity != GranularityWord {
+		rep, clk := s.stateFor(a, 0).OnAccess(acc, a.Home)
+		s.signal(rep, at)
+		return clk
+	}
+	var absorb vclock.VC
+	var first *core.Report
+	if count < 1 {
+		count = 1
+	}
+	for w := off; w < off+count; w++ {
+		rep, clk := s.stateFor(a, w).OnAccess(acc, a.Home)
+		if rep != nil && first == nil {
+			first = rep
+		}
+		if clk != nil {
+			if absorb == nil {
+				absorb = clk.Copy()
+			} else {
+				absorb.Merge(clk)
+			}
+		}
+	}
+	s.signal(first, at)
+	return absorb
+}
+
+// StorageBytes sums detection-state bytes over all instantiated states —
+// the measured quantity of E-T1.
+func (s *System) StorageBytes() int {
+	total := 0
+	for _, st := range s.states {
+		total += st.StorageBytes()
+	}
+	return total
+}
+
+func (s *System) nextReq() uint64 {
+	s.reqSeq++
+	return s.reqSeq
+}
+
+// signal forwards a detector report to the collector, stamping the time.
+func (s *System) signal(rep *core.Report, at sim.Time) {
+	if rep == nil || s.cfg.Collector == nil {
+		return
+	}
+	r := *rep
+	r.Time = at
+	s.cfg.Collector.Signal(r)
+}
+
+// clockBytes returns the wire size of one clock under the current system
+// size, or 0 when detection is off.
+func (s *System) clockBytes() int {
+	if !s.DetectionOn() {
+		return 0
+	}
+	return vclock.New(s.space.N()).WireSize()
+}
+
+// clockBytesFor returns the wire bytes of transmitting clk on the given
+// logical channel. With CompressClocks only the delta against the channel's
+// previous clock is charged (the peer keeps the decoder state).
+func (s *System) clockBytesFor(channel string, clk vclock.VC) int {
+	if clk == nil {
+		return 0
+	}
+	if !s.cfg.CompressClocks {
+		return clk.WireSize()
+	}
+	prev, ok := s.lastClock[channel]
+	if !ok {
+		prev = vclock.New(clk.Len())
+	}
+	n := len(clk.AppendDelta(nil, prev))
+	s.lastClock[channel] = clk.Copy()
+	return n
+}
+
+// occupancy is how long the NIC holds the area lock while moving words.
+func (s *System) occupancy(words int) sim.Time {
+	return s.cfg.NICDelay + sim.Time(words)*s.cfg.MemPerWord
+}
+
+// AtomicOp selects a remote atomic operation.
+type AtomicOp int
+
+// Atomic operations (extensions beyond the paper's put/get).
+const (
+	AtomicFetchAdd AtomicOp = iota
+	AtomicCAS
+)
+
+// errString converts an error for transport in a response.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// asError converts a transported error string back to an error.
+func asError(s string) error {
+	if s == "" {
+		return nil
+	}
+	return fmt.Errorf("rdma: %s", s)
+}

@@ -1,0 +1,297 @@
+package rdma
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+func TestLiteralWithoutLocksSkipsLockTraffic(t *testing.T) {
+	cfg := DefaultConfig(core.NewVWDetector(), nil)
+	cfg.Protocol = ProtocolLiteral
+	cfg.LocksEnabled = false
+	r := newRig(t, 2, cfg, func(s *memory.Space) { s.Alloc("x", 1, 1) })
+	area := mustArea(t, r.space, "x")
+	r.k.Spawn("P0", func(p *sim.Proc) {
+		clk := vclock.New(2)
+		clk.Tick(0)
+		r.sys.NIC(0).Put(p, area, 0, []memory.Word{1}, wacc(0, 1, clk))
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.net.Stats().Snapshot()
+	if s.Msgs[network.KindLockReq] != 0 || s.Msgs[network.KindUnlock] != 0 {
+		t.Fatalf("lock traffic with locks disabled: %v", s)
+	}
+	// 13 - lock(2) - unlock(1) = 10 messages.
+	if s.TotalMsgs != 10 {
+		t.Fatalf("msgs = %d, want 10", s.TotalMsgs)
+	}
+}
+
+func TestLiteralDetectionOffFallsBackToPiggyback(t *testing.T) {
+	cfg := DefaultConfig(nil, nil)
+	cfg.Protocol = ProtocolLiteral
+	r := newRig(t, 2, cfg, func(s *memory.Space) { s.Alloc("x", 1, 1) })
+	area := mustArea(t, r.space, "x")
+	r.k.Spawn("P0", func(p *sim.Proc) {
+		r.sys.NIC(0).Put(p, area, 0, []memory.Word{1}, wacc(0, 1, nil))
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.net.Stats().TotalMsgs; got != 2 {
+		t.Fatalf("literal with detection off should cost 2 msgs, got %d", got)
+	}
+}
+
+func TestLockReentrancyDepth(t *testing.T) {
+	l := &lockState{}
+	order := []string{}
+	l.acquire(1, func() { order = append(order, "first") })
+	l.acquire(1, func() { order = append(order, "reentrant") })
+	l.acquire(2, func() { order = append(order, "other") })
+	if strings.Join(order, ",") != "first,reentrant" {
+		t.Fatalf("order = %v", order)
+	}
+	l.release() // depth 2 -> 1
+	if len(order) != 2 {
+		t.Fatal("waiter ran before full release")
+	}
+	l.release() // depth 1 -> 0, waiter runs
+	if strings.Join(order, ",") != "first,reentrant,other" {
+		t.Fatalf("order = %v", order)
+	}
+	l.release()
+	if l.held {
+		t.Fatal("lock still held")
+	}
+}
+
+func TestReleaseUnheldLockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&lockState{}).release()
+}
+
+func TestNodeGranularitySharesOneState(t *testing.T) {
+	cfg := DefaultConfig(core.NewVWDetector(), nil)
+	cfg.Granularity = GranularityNode
+	r := newRig(t, 3, cfg, func(s *memory.Space) {
+		s.Alloc("a", 1, 1)
+		s.Alloc("b", 1, 1)
+		s.Alloc("c", 2, 1)
+	})
+	a := mustArea(t, r.space, "a")
+	b := mustArea(t, r.space, "b")
+	c := mustArea(t, r.space, "c")
+	r.k.Spawn("P0", func(p *sim.Proc) {
+		clk := vclock.New(3)
+		clk.Tick(0)
+		r.sys.NIC(0).Put(p, a, 0, []memory.Word{1}, wacc(0, 1, clk.Copy()))
+		clk.Tick(0)
+		r.sys.NIC(0).Put(p, b, 0, []memory.Word{1}, wacc(0, 2, clk.Copy()))
+		clk.Tick(0)
+		r.sys.NIC(0).Put(p, c, 0, []memory.Word{1}, wacc(0, 3, clk.Copy()))
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Areas a and b share node 1's state; c is node 2's: 2 states total.
+	perState := 2 * (2 + 8*3)
+	if got := r.sys.StorageBytes(); got != 2*perState {
+		t.Fatalf("storage = %d, want %d (2 node states)", got, 2*perState)
+	}
+}
+
+func TestOrphanResponsePanics(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(nil, nil), nil)
+	r.net.Send(&network.Message{Src: 1, Dst: 0, Kind: network.KindPutAck, Payload: &resp{id: 999}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for orphan response")
+		}
+	}()
+	_ = r.k.Run()
+}
+
+func TestMissingUserHandlerPanics(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(nil, nil), nil)
+	r.net.Send(&network.Message{Src: 0, Dst: 1, Kind: network.KindUser, Payload: "hello"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing user handler")
+		}
+	}()
+	_ = r.k.Run()
+}
+
+func TestUserHandlerReceivesUserMessages(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(nil, nil), nil)
+	var got any
+	r.sys.NIC(1).UserHandler = func(m *network.Message) { got = m.Payload }
+	r.sys.NIC(0).SendUser(1, network.KindUser, 64, "ping")
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping" {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestAtomicCarriesDetection(t *testing.T) {
+	// Two concurrent FetchAdds on one counter are flagged (atomics count as
+	// writes), even though the arithmetic stays exact.
+	cfg := DefaultConfig(core.NewExactVWDetector(), nil)
+	r := newRig(t, 3, cfg, func(s *memory.Space) { s.Alloc("ctr", 0, 1) })
+	area := mustArea(t, r.space, "ctr")
+	for i := 1; i <= 2; i++ {
+		i := i
+		r.k.Spawn("adder", func(p *sim.Proc) {
+			clk := vclock.New(3)
+			clk.Tick(i)
+			r.sys.NIC(i).FetchAdd(p, area, 0, 1, wacc(i, 1, clk))
+		})
+	}
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.sys.Collector().Total() == 0 {
+		t.Fatal("concurrent atomics should be signalled (benign but concurrent)")
+	}
+	final := make([]memory.Word, 1)
+	r.space.Node(0).ReadPublic(area.Off, final)
+	if final[0] != 2 {
+		t.Fatalf("counter = %d", final[0])
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	cfg := DefaultConfig(core.NewVWDetector(), nil)
+	r := newRig(t, 2, cfg, nil)
+	if !r.sys.DetectionOn() {
+		t.Fatal("DetectionOn")
+	}
+	if r.sys.Config().Protocol != ProtocolPiggyback {
+		t.Fatal("Config")
+	}
+	if r.sys.Space() != r.space {
+		t.Fatal("Space")
+	}
+	if r.sys.NIC(1).ID() != 1 {
+		t.Fatal("NIC ID")
+	}
+	off := newRig(t, 2, DefaultConfig(nil, nil), nil)
+	if off.sys.DetectionOn() || off.sys.Collector() != nil {
+		t.Fatal("detection-off accessors")
+	}
+}
+
+func TestFig3OccupancyScalesWithSize(t *testing.T) {
+	// Larger transfers hold the area longer: virtual completion time must
+	// grow with the payload (the occupancy model behind Fig. 3).
+	dur := func(words int) sim.Time {
+		cfg := DefaultConfig(nil, nil)
+		cfg.MemPerWord = 5 * sim.Nanosecond
+		r := newRig(t, 2, cfg, func(s *memory.Space) { s.Alloc("buf", 1, 2048) })
+		area := mustArea(t, r.space, "buf")
+		r.k.Spawn("P0", func(p *sim.Proc) {
+			r.sys.NIC(0).Put(p, area, 0, make([]memory.Word, words), wacc(0, 1, nil))
+		})
+		if err := r.k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.k.Now()
+	}
+	small, large := dur(8), dur(1024)
+	if large <= small {
+		t.Fatalf("occupancy not size-dependent: %v vs %v", small, large)
+	}
+}
+
+func TestWordGranularityEliminatesFalseSharing(t *testing.T) {
+	// Disjoint-slot writes inside one area: flagged at area granularity,
+	// clean at word granularity — and an overlapping write is still caught.
+	run := func(g Granularity) (races int, storage int) {
+		cfg := DefaultConfig(core.NewExactVWDetector(), nil)
+		cfg.Granularity = g
+		r := newRig(t, 3, cfg, func(s *memory.Space) { s.Alloc("slots", 0, 3) })
+		area := mustArea(t, r.space, "slots")
+		for i := 1; i <= 2; i++ {
+			i := i
+			r.k.Spawn(fmt.Sprintf("P%d", i), func(p *sim.Proc) {
+				clk := vclock.New(3)
+				clk.Tick(i)
+				r.sys.NIC(i).Put(p, area, i, []memory.Word{memory.Word(i)}, wacc(i, 1, clk))
+			})
+		}
+		if err := r.k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.sys.Collector().Total(), r.sys.StorageBytes()
+	}
+	areaRaces, areaStorage := run(GranularityArea)
+	wordRaces, wordStorage := run(GranularityWord)
+	if areaRaces == 0 {
+		t.Fatal("area granularity must flag the disjoint-slot writes (false sharing)")
+	}
+	if wordRaces != 0 {
+		t.Fatalf("word granularity must not flag disjoint slots: %d", wordRaces)
+	}
+	if wordStorage <= areaStorage {
+		t.Fatalf("word granularity must cost more storage: %d vs %d", wordStorage, areaStorage)
+	}
+}
+
+func TestWordGranularityStillCatchesOverlap(t *testing.T) {
+	cfg := DefaultConfig(core.NewExactVWDetector(), nil)
+	cfg.Granularity = GranularityWord
+	r := newRig(t, 3, cfg, func(s *memory.Space) { s.Alloc("slots", 0, 4) })
+	area := mustArea(t, r.space, "slots")
+	// Ranges [0,3) and [2,4): overlap at word 2.
+	r.k.Spawn("P1", func(p *sim.Proc) {
+		clk := vclock.New(3)
+		clk.Tick(1)
+		r.sys.NIC(1).Put(p, area, 0, []memory.Word{1, 1, 1}, wacc(1, 1, clk))
+	})
+	r.k.Spawn("P2", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Microsecond)
+		clk := vclock.New(3)
+		clk.Tick(2)
+		r.sys.NIC(2).Put(p, area, 2, []memory.Word{2, 2}, wacc(2, 1, clk))
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.sys.Collector().Total(); got != 1 {
+		t.Fatalf("overlapping ranges: %d reports, want 1 (deduped per op)", got)
+	}
+}
+
+func TestWordGranularityRejectsLiteralProtocol(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig(core.NewVWDetector(), nil)
+	cfg.Granularity = GranularityWord
+	cfg.Protocol = ProtocolLiteral
+	newRig(t, 2, cfg, nil)
+}
+
+func TestGranularityWordString(t *testing.T) {
+	if GranularityWord.String() != "word" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,172 @@
+// Package shmem is a Cray-SHMEM-style API veneer over the DSM runtime. The
+// paper notes that "the SHMEM library, developed by Cray, also implements
+// one-sided operations ... the model and algorithms presented in this paper
+// can easily be extended to shared memory systems" (§III-B); this package
+// is that extension: symmetric objects (the same variable instantiated on
+// every PE), shmem_put/shmem_get/shmem_add style operations addressed by
+// (symmetric name, target PE), wait-until point-to-point synchronisation
+// and all-PE collectives — all flowing through the detector-instrumented
+// NIC layer.
+package shmem
+
+import (
+	"fmt"
+
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/sim"
+)
+
+// World owns the symmetric-heap naming for one cluster.
+type World struct {
+	c    *dsm.Cluster
+	npes int
+}
+
+// NewWorld wraps a cluster (before Run).
+func NewWorld(c *dsm.Cluster) *World {
+	return &World{c: c, npes: c.Space().N()}
+}
+
+// instance is the per-PE shared variable backing a symmetric object.
+func instance(name string, pe int) string { return fmt.Sprintf("sym:%s@%d", name, pe) }
+
+// AllocSymmetric creates a symmetric object: `words` words in *every* PE's
+// public memory under the same logical name (shmalloc).
+func (w *World) AllocSymmetric(name string, words int) error {
+	for pe := 0; pe < w.npes; pe++ {
+		if err := w.c.Alloc(instance(name, pe), pe, words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PE is the per-process SHMEM context.
+type PE struct {
+	w *World
+	p *dsm.Proc
+}
+
+// Attach binds a running process to the world. Call it at the top of the
+// program function.
+func (w *World) Attach(p *dsm.Proc) *PE { return &PE{w: w, p: p} }
+
+// MyPE returns the calling PE's rank (shmem_my_pe).
+func (pe *PE) MyPE() int { return pe.p.ID() }
+
+// NPEs returns the number of PEs (shmem_n_pes).
+func (pe *PE) NPEs() int { return pe.w.npes }
+
+// Put writes vals into target's instance of the symmetric object
+// (shmem_put: one-sided, target not involved).
+func (pe *PE) Put(name string, off int, target int, vals ...memory.Word) error {
+	return pe.p.Put(instance(name, target), off, vals...)
+}
+
+// Get reads count words from source's instance (shmem_get).
+func (pe *PE) Get(name string, off, count, source int) ([]memory.Word, error) {
+	return pe.p.Get(instance(name, source), off, count)
+}
+
+// GetWord reads one word from source's instance.
+func (pe *PE) GetWord(name string, off, source int) (memory.Word, error) {
+	return pe.p.GetWord(instance(name, source), off)
+}
+
+// Add atomically adds delta to target's instance (shmem_long_add).
+func (pe *PE) Add(name string, off, target int, delta memory.Word) (memory.Word, error) {
+	return pe.p.FetchAdd(instance(name, target), off, delta)
+}
+
+// Cswap atomically compare-and-swaps on target's instance
+// (shmem_long_cswap); it returns the previous value.
+func (pe *PE) Cswap(name string, off, target int, expect, repl memory.Word) (memory.Word, error) {
+	old, _, err := pe.p.CompareAndSwap(instance(name, target), off, expect, repl)
+	return old, err
+}
+
+// BarrierAll synchronises every PE (shmem_barrier_all).
+func (pe *PE) BarrierAll() { pe.p.Barrier() }
+
+// Fence and Quiet order one-sided operations. The runtime's put/get are
+// blocking (remotely complete before returning), so both are satisfied
+// trivially; they exist for API fidelity and forward portability.
+func (pe *PE) Fence() {}
+
+// Quiet — see Fence.
+func (pe *PE) Quiet() {}
+
+// Compare conditions for WaitUntil (shmem_wait_until).
+type Cmp int
+
+// Comparison operators.
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpLT
+	CmpLE
+)
+
+func (c Cmp) holds(a, b memory.Word) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLT:
+		return a < b
+	default:
+		return a <= b
+	}
+}
+
+// WaitUntil polls the *local* instance of the symmetric object until the
+// condition holds (shmem_wait_until). Peers signal by putting into this
+// PE's instance.
+func (pe *PE) WaitUntil(name string, off int, cmp Cmp, value memory.Word) error {
+	for {
+		v, err := pe.p.GetWord(instance(name, pe.MyPE()), off)
+		if err != nil {
+			return err
+		}
+		if cmp.holds(v, value) {
+			return nil
+		}
+		pe.p.Sleep(2 * sim.Microsecond)
+	}
+}
+
+// SumToAll reduces each PE's value and leaves the total visible to all
+// (shmem_longlong_sum_to_all over a 1-word symmetric work array). The
+// symmetric object must have at least 2 words: word 0 is the contribution,
+// word 1 receives the result.
+func (pe *PE) SumToAll(name string, value memory.Word) (memory.Word, error) {
+	if err := pe.Put(name, 0, pe.MyPE(), value); err != nil {
+		return 0, err
+	}
+	pe.BarrierAll()
+	if pe.MyPE() == 0 {
+		var total memory.Word
+		for src := 0; src < pe.NPEs(); src++ {
+			v, err := pe.GetWord(name, 0, src)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+		for dst := 0; dst < pe.NPEs(); dst++ {
+			if err := pe.Put(name, 1, dst, total); err != nil {
+				return 0, err
+			}
+		}
+	}
+	pe.BarrierAll()
+	return pe.GetWord(name, 1, pe.MyPE())
+}

@@ -1,0 +1,259 @@
+package shmem
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/rdma"
+)
+
+func world(t *testing.T, procs int, det core.Detector) (*dsm.Cluster, *World) {
+	t.Helper()
+	c, err := dsm.New(dsm.Config{Procs: procs, Seed: 1, RDMA: rdma.DefaultConfig(det, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, NewWorld(c)
+}
+
+func TestSymmetricAllocOnEveryPE(t *testing.T) {
+	c, w := world(t, 3, nil)
+	if err := w.AllocSymmetric("buf", 4); err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 3; pe++ {
+		a, err := c.Space().Lookup(instance("buf", pe))
+		if err != nil {
+			t.Fatalf("PE %d missing instance: %v", pe, err)
+		}
+		if a.Home != pe || a.Len != 4 {
+			t.Fatalf("PE %d instance misplaced: %+v", pe, a)
+		}
+	}
+}
+
+func TestPutGetAcrossPEs(t *testing.T) {
+	c, w := world(t, 3, core.NewExactVWDetector())
+	if err := w.AllocSymmetric("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		// Each PE writes its rank into its right neighbour's instance.
+		right := (pe.MyPE() + 1) % pe.NPEs()
+		if err := pe.Put("x", 0, right, memory.Word(pe.MyPE()+100)); err != nil {
+			return err
+		}
+		pe.BarrierAll()
+		// Everyone reads its own instance: must hold the left neighbour.
+		v, err := pe.GetWord("x", 0, pe.MyPE())
+		if err != nil {
+			return err
+		}
+		left := (pe.MyPE() + pe.NPEs() - 1) % pe.NPEs()
+		if v != memory.Word(left+100) {
+			return fmt.Errorf("PE %d read %d, want %d", pe.MyPE(), v, left+100)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 {
+		t.Fatalf("disjoint neighbour writes raced: %v", res.Races)
+	}
+}
+
+func TestWaitUntilPingPong(t *testing.T) {
+	c, w := world(t, 2, nil)
+	if err := w.AllocSymmetric("flag", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AllocSymmetric("data", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		if pe.MyPE() == 0 {
+			// Producer: write data into PE1, then raise PE1's flag.
+			if err := pe.Put("data", 0, 1, 777); err != nil {
+				return err
+			}
+			return pe.Put("flag", 0, 1, 1)
+		}
+		// Consumer: wait for its local flag, then read its local data.
+		if err := pe.WaitUntil("flag", 0, CmpEQ, 1); err != nil {
+			return err
+		}
+		v, err := pe.GetWord("data", 0, 1)
+		if err != nil {
+			return err
+		}
+		if v != 777 {
+			return fmt.Errorf("consumer read %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitUntilComparators(t *testing.T) {
+	cases := []struct {
+		cmp  Cmp
+		a, b memory.Word
+		want bool
+	}{
+		{CmpEQ, 3, 3, true}, {CmpEQ, 3, 4, false},
+		{CmpNE, 3, 4, true}, {CmpNE, 3, 3, false},
+		{CmpGT, 4, 3, true}, {CmpGT, 3, 3, false},
+		{CmpGE, 3, 3, true}, {CmpGE, 2, 3, false},
+		{CmpLT, 2, 3, true}, {CmpLT, 3, 3, false},
+		{CmpLE, 3, 3, true}, {CmpLE, 4, 3, false},
+	}
+	for _, tc := range cases {
+		if got := tc.cmp.holds(tc.a, tc.b); got != tc.want {
+			t.Errorf("cmp %d holds(%d,%d) = %v, want %v", tc.cmp, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAtomicsOnSymmetric(t *testing.T) {
+	c, w := world(t, 3, nil)
+	if err := w.AllocSymmetric("ctr", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		for i := 0; i < 5; i++ {
+			if _, err := pe.Add("ctr", 0, 0, 1); err != nil {
+				return err
+			}
+		}
+		pe.BarrierAll()
+		if pe.MyPE() == 0 {
+			v, err := pe.GetWord("ctr", 0, 0)
+			if err != nil {
+				return err
+			}
+			if v != 15 {
+				return fmt.Errorf("counter = %d, want 15", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCswap(t *testing.T) {
+	c, w := world(t, 2, nil)
+	if err := w.AllocSymmetric("lockish", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		if pe.MyPE() != 0 {
+			return nil
+		}
+		old, err := pe.Cswap("lockish", 0, 1, 0, 9)
+		if err != nil || old != 0 {
+			return fmt.Errorf("first cswap: %d %v", old, err)
+		}
+		old, err = pe.Cswap("lockish", 0, 1, 0, 5)
+		if err != nil || old != 9 {
+			return fmt.Errorf("second cswap must fail with 9: %d %v", old, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumToAll(t *testing.T) {
+	const n = 4
+	c, w := world(t, n, core.NewExactVWDetector())
+	if err := w.AllocSymmetric("red", 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		total, err := pe.SumToAll("red", memory.Word(pe.MyPE()+1))
+		if err != nil {
+			return err
+		}
+		if total != 1+2+3+4 {
+			return fmt.Errorf("PE %d total = %d, want 10", pe.MyPE(), total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 {
+		t.Fatalf("sum_to_all raced: %v", res.Races)
+	}
+}
+
+func TestConcurrentPutsToSamePERace(t *testing.T) {
+	c, w := world(t, 3, core.NewExactVWDetector())
+	if err := w.AllocSymmetric("tgt", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		if pe.MyPE() == 0 {
+			return nil
+		}
+		return pe.Put("tgt", 0, 0, memory.Word(pe.MyPE()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("two PEs putting to PE0's instance must race")
+	}
+}
+
+func TestFenceAndQuietAreCallable(t *testing.T) {
+	c, w := world(t, 1, nil)
+	if err := w.AllocSymmetric("z", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(func(p *dsm.Proc) error {
+		pe := w.Attach(p)
+		if err := pe.Put("z", 0, 0, 1); err != nil {
+			return err
+		}
+		pe.Fence()
+		pe.Quiet()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+// Queue is an unbounded FIFO connecting simulation contexts: event handlers
+// and processes push, processes block on Pop. It is the building block for
+// NIC receive queues and mailboxes.
+type Queue[T any] struct {
+	k       *Kernel
+	name    string
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue labelled name (used in deadlock reports).
+func NewQueue[T any](k *Kernel, name string) *Queue[T] {
+	return &Queue[T]{k: k, name: name}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes the longest-waiting process, if any. Safe from
+// any simulation context.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.Ready()
+	}
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the calling process until an item is available, then removes
+// and returns the head item.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.Park("pop " + q.name)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// Semaphore is a counting semaphore for simulated processes.
+type Semaphore struct {
+	k       *Kernel
+	name    string
+	permits int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given initial permit count.
+func NewSemaphore(k *Kernel, name string, permits int) *Semaphore {
+	return &Semaphore{k: k, name: name, permits: permits}
+}
+
+// Acquire blocks the calling process until a permit is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.permits <= 0 {
+		s.waiters = append(s.waiters, p)
+		p.Park("acquire " + s.name)
+	}
+	s.permits--
+}
+
+// TryAcquire takes a permit without blocking; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.permits <= 0 {
+		return false
+	}
+	s.permits--
+	return true
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.permits++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.Ready()
+	}
+}
+
+// WaitGroup lets a process wait for a set of simulated completions.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add increments the completion counter by n.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the counter and wakes waiters when it reaches zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			p.Ready()
+		}
+		w.waiters = nil
+	}
+}
+
+// Wait blocks the calling process until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.waiters = append(w.waiters, p)
+		p.Park("waitgroup")
+	}
+}

@@ -1,0 +1,297 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// Simulated processes are ordinary Go functions running on goroutines, but
+// the kernel enforces that exactly one of them runs at a time, handing
+// control back and forth with unbuffered channels. All cross-process
+// signalling is routed through the event queue, so a run is a pure function
+// of (programs, configuration, seed): the same seed always yields the same
+// interleaving. Race *manifestation* is explored by sweeping seeds, which is
+// how the harness realises the paper's operational definition of a race
+// ("the result of a computation differs between executions", §III-C).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time in microseconds, the natural unit for the
+// InfiniBand-class latencies the paper targets.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+}
+
+// event is a scheduled callback. Ties on time are broken by insertion
+// sequence so execution order is fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Config parameterises a kernel.
+type Config struct {
+	// Seed drives every random choice in the simulation (latency jitter,
+	// workload randomness). Two runs with equal seeds are identical.
+	Seed int64
+	// MaxEvents aborts the run after this many events as a runaway guard.
+	// Zero means the default of 50 million.
+	MaxEvents uint64
+	// MaxTime aborts the run once virtual time passes this bound.
+	// Zero means unbounded.
+	MaxTime Time
+}
+
+// Kernel is the simulation core. Create one with NewKernel, spawn processes,
+// then call Run. A Kernel is not safe for concurrent use by real threads;
+// concurrency lives inside the simulation.
+type Kernel struct {
+	cfg     Config
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	procs   []*Proc
+	parked  chan struct{}
+	events  uint64
+	stopped bool
+}
+
+// NewKernel returns a kernel with the given configuration.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 50_000_000
+	}
+	return &Kernel{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		parked: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulation context (process bodies and event handlers).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Schedule runs fn after delay d of virtual time (d may be zero; negative
+// delays are clamped to zero). It may be called from process bodies, event
+// handlers, or before Run.
+func (k *Kernel) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Stop aborts the run after the current event completes. Parked processes
+// are left suspended; Run reports them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// ProcState describes where a process is in its lifecycle.
+type ProcState int
+
+// Process lifecycle states.
+const (
+	ProcReady ProcState = iota
+	ProcRunning
+	ProcParked
+	ProcDone
+)
+
+// Proc is a simulated process. The function passed to Spawn receives its
+// Proc and uses it for all blocking interactions with the simulation.
+type Proc struct {
+	ID    int
+	Name  string
+	k     *Kernel
+	wake  chan struct{}
+	state ProcState
+	// blockReason is a human-readable description of what the process is
+	// waiting for; surfaced by deadlock reports.
+	blockReason string
+	err         error
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Err returns the process's terminal error (panic converted to error), if any.
+func (p *Proc) Err() error { return p.err }
+
+// Spawn creates a process that starts executing fn at the current virtual
+// time. It may be called before Run or from inside the simulation.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{ID: len(k.procs), Name: name, k: k, wake: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.wake // wait to be scheduled for the first time
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = fmt.Errorf("sim: process %s panicked: %v", p.Name, r)
+			}
+			p.state = ProcDone
+			k.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.At(k.now, func() { k.resume(p) })
+	return p
+}
+
+// resume hands control to p and blocks until p parks or finishes. It must
+// only be called from kernel (event) context.
+func (k *Kernel) resume(p *Proc) {
+	if p.state == ProcDone {
+		return
+	}
+	p.state = ProcRunning
+	p.wake <- struct{}{}
+	<-k.parked
+}
+
+// Park suspends the calling process until something calls Ready on it.
+// reason is shown in deadlock reports. It must only be called from the
+// process's own goroutine.
+func (p *Proc) Park(reason string) {
+	p.state = ProcParked
+	p.blockReason = reason
+	p.k.parked <- struct{}{}
+	<-p.wake
+	p.state = ProcRunning
+	p.blockReason = ""
+}
+
+// Ready schedules p to resume at the current virtual time. Safe to call
+// from any simulation context (another process or an event handler);
+// resumption always happens through the event queue, preserving determinism.
+func (p *Proc) Ready() {
+	p.k.At(p.k.now, func() { p.k.resume(p) })
+}
+
+// Sleep suspends the calling process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Still yield through the event queue so equal-time events interleave
+		// deterministically.
+		d = 0
+	}
+	p.k.At(p.k.now+d, func() { p.k.resume(p) })
+	p.Park(fmt.Sprintf("sleep(%v)", d))
+}
+
+// Yield gives other ready processes and events at the current time a chance
+// to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still parked.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // "name: reason" for each parked process
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; blocked: %s", e.Time, strings.Join(e.Blocked, "; "))
+}
+
+// LimitError is returned when MaxEvents or MaxTime is exceeded.
+type LimitError struct {
+	What   string
+	Events uint64
+	Time   Time
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("sim: %s limit exceeded at %v after %d events", e.What, e.Time, e.Events)
+}
+
+// Run executes the simulation until the event queue is empty, a limit trips,
+// or Stop is called. It returns the first process error (panic) encountered,
+// a DeadlockError if processes remain parked, or nil.
+func (k *Kernel) Run() error {
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		if k.cfg.MaxTime > 0 && k.now > k.cfg.MaxTime {
+			return &LimitError{What: "time", Events: k.events, Time: k.now}
+		}
+		k.events++
+		if k.events > k.cfg.MaxEvents {
+			return &LimitError{What: "event", Events: k.events, Time: k.now}
+		}
+		e.fn()
+	}
+	for _, p := range k.procs {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	if k.stopped {
+		return nil
+	}
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state == ProcParked {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, p.blockReason))
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Time: k.now, Blocked: blocked}
+	}
+	return nil
+}

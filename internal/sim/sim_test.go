@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	if err := k.Run(); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("time advanced with no events: %v", k.Now())
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", k.Now())
+	}
+}
+
+func TestEqualTimeTieBreakBySequence(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestNegativeAndPastSchedulesClamp(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	ran := false
+	k.Schedule(-5, func() { ran = true })
+	k.At(-100, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || k.Now() != 0 {
+		t.Fatalf("clamping failed: ran=%v now=%v", ran, k.Now())
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var wake Time
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		wake = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 2*Microsecond {
+		t.Fatalf("woke at %v, want 2us", wake)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func(seed int64) string {
+		k := NewKernel(Config{Seed: seed})
+		var log []string
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("p%d", i)
+			k.Spawn(name, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(Time(k.Rand().Intn(100)))
+					log = append(log, fmt.Sprintf("%s@%d", p.Name, j))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, ",")
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	c := run(43)
+	if a == c {
+		t.Log("different seeds happened to agree (allowed but unlikely)")
+	}
+}
+
+func TestProcPanicBecomesError(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	k.Spawn("boom", func(p *Proc) { panic("kapow") })
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "kapow") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	q := NewQueue[int](k, "never")
+	k.Spawn("waiter", func(p *Proc) { q.Pop(p) })
+	err := k.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(d.Blocked) != 1 || !strings.Contains(d.Blocked[0], "waiter") {
+		t.Fatalf("blocked = %v", d.Blocked)
+	}
+}
+
+func TestMaxEventsLimit(t *testing.T) {
+	k := NewKernel(Config{Seed: 1, MaxEvents: 10})
+	var tick func()
+	tick = func() { k.Schedule(1, tick) }
+	k.Schedule(0, tick)
+	err := k.Run()
+	var l *LimitError
+	if !errors.As(err, &l) || l.What != "event" {
+		t.Fatalf("err = %v, want event LimitError", err)
+	}
+}
+
+func TestMaxTimeLimit(t *testing.T) {
+	k := NewKernel(Config{Seed: 1, MaxTime: 5})
+	k.Schedule(10, func() {})
+	err := k.Run()
+	var l *LimitError
+	if !errors.As(err, &l) || l.What != "time" {
+		t.Fatalf("err = %v, want time LimitError", err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	n := 0
+	k.Schedule(1, func() { n++; k.Stop() })
+	k.Schedule(2, func() { n++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("events after Stop ran: n=%d", n)
+	}
+}
+
+func TestQueuePushPop(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	q := NewQueue[int](k, "q")
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			q.Push(i)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	q := NewQueue[string](k, "q")
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty succeeded")
+	}
+	q.Push("a")
+	q.Push("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.TryPop(); !ok || v != "a" {
+		t.Fatalf("TryPop = %q, %v", v, ok)
+	}
+}
+
+func TestQueueMultipleWaitersFIFO(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	q := NewQueue[int](k, "q")
+	var order []string
+	mk := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			v := q.Pop(p)
+			order = append(order, fmt.Sprintf("%s=%d", name, v))
+		})
+	}
+	mk("w0")
+	mk("w1")
+	k.Spawn("feeder", func(p *Proc) {
+		p.Sleep(5)
+		q.Push(100)
+		p.Sleep(5)
+		q.Push(200)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "w0=100,w1=200" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	s := NewSemaphore(k, "s", 1)
+	var maxIn, in int
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			s.Acquire(p)
+			in++
+			if in > maxIn {
+				maxIn = in
+			}
+			p.Sleep(10)
+			in--
+			s.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxIn != 1 {
+		t.Fatalf("mutual exclusion violated: max concurrent = %d", maxIn)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	s := NewSemaphore(k, "s", 1)
+	if !s.TryAcquire() {
+		t.Fatal("first TryAcquire must succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("second TryAcquire must fail")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire after Release must succeed")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var wg WaitGroup
+	wg.Add(3)
+	done := false
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		done = true
+	})
+	for i := 0; i < 3; i++ {
+		d := Time(10 * (i + 1))
+		k.Schedule(d, wg.Done)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("waiter never released")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var wg WaitGroup
+	wg.Done()
+}
+
+func TestSpawnFromInsideSimulation(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var child Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(50)
+		k.Spawn("child", func(c *Proc) {
+			child = c.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if child != 50 {
+		t.Fatalf("child started at %v, want 50", child)
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Property: for any seed, two runs of a randomized multi-process program
+	// produce identical event counts and final times.
+	f := func(seed int64) bool {
+		run := func() (uint64, Time) {
+			k := NewKernel(Config{Seed: seed})
+			q := NewQueue[int](k, "q")
+			k.Spawn("prod", func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					p.Sleep(Time(k.Rand().Intn(50)))
+					q.Push(i)
+				}
+			})
+			k.Spawn("cons", func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					q.Pop(p)
+					p.Sleep(Time(k.Rand().Intn(50)))
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return k.Events(), k.Now()
+		}
+		e1, t1 := run()
+		e2, t2 := run()
+		return e1 == e2 && t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (2500 * Nanosecond).String(); got != "2.500us" {
+		t.Fatalf("Time.String = %q", got)
+	}
+}
+
+func TestYield(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var log []string
+	k.Spawn("a", func(p *Proc) {
+		log = append(log, "a1")
+		p.Yield()
+		log = append(log, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		log = append(log, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(log, ",") != "a1,b1,a2" {
+		t.Fatalf("log = %v", log)
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats provides the summary statistics and fixed-width table
+// rendering used by the experiment harness (cmd/raceexp) and EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	P50, P90, P99    float64
+	Sum              float64
+	sortedForQuantts []float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var varsum float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(varsum / float64(s.N-1))
+	}
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Histogram is a fixed-bucket histogram.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	under   int
+	over    int
+	n       int
+}
+
+// NewHistogram returns a histogram of `buckets` equal bins over [lo, hi).
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic("stats: bad histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, buckets)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+		h.buckets[idx]++
+	}
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int { return h.n }
+
+// Bucket returns the count of bin i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// Render draws the histogram with unicode-free ASCII bars.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 1
+	for _, b := range h.buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	step := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, b := range h.buckets {
+		bar := strings.Repeat("#", b*width/max)
+		fmt.Fprintf(&sb, "%10.2f..%-10.2f %6d %s\n", h.lo+float64(i)*step, h.lo+float64(i+1)*step, b, bar)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&sb, "(under=%d over=%d)\n", h.under, h.over)
+	}
+	return sb.String()
+}
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i]+2, c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

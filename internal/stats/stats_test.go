@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Sum != 15 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.P99 != 7 || s.P50 != 7 {
+		t.Fatalf("single: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw [10]uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// Quantiles are bounded by min/max and ordered.
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 9.99, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(1) != 1 || h.Bucket(4) != 1 {
+		t.Fatalf("buckets: %+v", h)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "under=1 over=2") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("alpha", 1)
+	tb.Row("b", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[4], "2.500") {
+		t.Fatalf("float formatting: %q", lines[4])
+	}
+	// Columns align: header and row share the prefix width.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Row("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("empty title must not render")
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOptions controls timeline rendering.
+type RenderOptions struct {
+	// MaxEvents truncates the diagram (0 = 100).
+	MaxEvents int
+	// ColWidth is the per-process column width (0 = 18).
+	ColWidth int
+	// Marker, when non-nil, flags an access (e.g. the detector's race
+	// verdicts); flagged rows get a "RACE" annotation.
+	Marker func(proc int, seq uint64) bool
+	// ShowClocks prints recorded initiator clocks when present.
+	ShowClocks bool
+}
+
+// RenderTimeline draws the trace as a Fig.-5-style space-time diagram: one
+// column per process, one row per event in apply order, arrows from the
+// initiator's column toward the home node's column for remote accesses.
+func RenderTimeline(tr *Trace, opt RenderOptions) string {
+	if opt.MaxEvents == 0 {
+		opt.MaxEvents = 100
+	}
+	if opt.ColWidth == 0 {
+		opt.ColWidth = 18
+	}
+	w := opt.ColWidth
+	var sb strings.Builder
+
+	var hdr strings.Builder
+	for i := 0; i < tr.Procs; i++ {
+		fmt.Fprintf(&hdr, "%-*s", w, fmt.Sprintf("P%d", i))
+	}
+	sb.WriteString(strings.TrimRight(hdr.String(), " "))
+	sb.WriteByte('\n')
+
+	cell := func(col int, text string) string {
+		var b strings.Builder
+		b.WriteString(strings.Repeat(" ", col*w))
+		b.WriteString(text)
+		return b.String()
+	}
+	arrow := func(from, to int, label string) string {
+		lo, hi := from, to
+		rightward := from < to
+		if !rightward {
+			lo, hi = to, from
+		}
+		span := (hi-lo)*w - 2
+		if span < len(label)+2 {
+			span = len(label) + 2
+		}
+		dashes := span - len(label)
+		pre := strings.Repeat("-", dashes/2)
+		post := strings.Repeat("-", dashes-dashes/2)
+		body := pre + label + post
+		if rightward {
+			body += ">"
+		} else {
+			body = "<" + body
+		}
+		return strings.Repeat(" ", lo*w+1) + body
+	}
+
+	count := 0
+	for _, e := range tr.Events {
+		if count >= opt.MaxEvents {
+			fmt.Fprintf(&sb, "... %d more events\n", len(tr.Events)-count)
+			break
+		}
+		count++
+		label := ""
+		switch e.Kind {
+		case EvPut, EvGet, EvAtomic:
+			label = fmt.Sprintf("%s a%d[%d+%d)", e.Kind, e.Area, e.Off, e.Count)
+			if opt.ShowClocks && e.Clock != nil {
+				label += "(" + e.Clock.String() + ")"
+			}
+			if opt.Marker != nil && opt.Marker(e.Proc, e.Seq) {
+				label += " RACE"
+			}
+			if e.Proc != e.Home {
+				sb.WriteString(arrow(e.Proc, e.Home, label))
+			} else {
+				sb.WriteString(cell(e.Proc, label+" (local)"))
+			}
+		case EvLockAcq:
+			sb.WriteString(cell(e.Proc, fmt.Sprintf("lock a%d", e.Area)))
+		case EvLockRel:
+			sb.WriteString(cell(e.Proc, fmt.Sprintf("unlock a%d", e.Area)))
+		case EvBarrier:
+			sb.WriteString(cell(e.Proc, fmt.Sprintf("barrier %d", e.Epoch)))
+		default:
+			sb.WriteString(cell(e.Proc, e.Kind.String()))
+		}
+		fmt.Fprintf(&sb, "  @%v\n", e.Time)
+	}
+	return sb.String()
+}

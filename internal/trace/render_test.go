@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dsmrace/internal/vclock"
+)
+
+func timelineTrace() *Trace {
+	r := NewRecorder(3, 1, "render")
+	r.Append(Event{Kind: EvPut, Proc: 0, Seq: 1, Area: 0, Home: 1, Count: 1, Clock: vclock.VC{1, 0, 0}})
+	r.Append(Event{Kind: EvPut, Proc: 2, Seq: 1, Area: 0, Home: 1, Count: 1, Clock: vclock.VC{0, 0, 1}})
+	r.Append(Event{Kind: EvGet, Proc: 1, Seq: 1, Area: 0, Home: 1, Count: 1})
+	r.Append(Event{Kind: EvLockAcq, Proc: 0, Area: 2})
+	r.Append(Event{Kind: EvLockRel, Proc: 0, Area: 2})
+	r.Append(Event{Kind: EvBarrier, Proc: 1, Epoch: 3})
+	return r.Trace()
+}
+
+func TestRenderTimelineBasics(t *testing.T) {
+	out := RenderTimeline(timelineTrace(), RenderOptions{ShowClocks: true})
+	for _, want := range []string{"P0", "P1", "P2", "put a0[0+1)(100)", "(local)", "lock a2", "unlock a2", "barrier 3", "->", "<-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelineMarker(t *testing.T) {
+	out := RenderTimeline(timelineTrace(), RenderOptions{
+		Marker: func(proc int, seq uint64) bool { return proc == 2 && seq == 1 },
+	})
+	if !strings.Contains(out, "RACE") {
+		t.Fatalf("marker not rendered:\n%s", out)
+	}
+	if strings.Count(out, "RACE") != 1 {
+		t.Fatalf("marker over-applied:\n%s", out)
+	}
+}
+
+func TestRenderTimelineTruncation(t *testing.T) {
+	tr := timelineTrace()
+	out := RenderTimeline(tr, RenderOptions{MaxEvents: 2})
+	if !strings.Contains(out, "more events") {
+		t.Fatalf("truncation note missing:\n%s", out)
+	}
+}
+
+func TestRenderTimelineArrowDirections(t *testing.T) {
+	r := NewRecorder(2, 1, "dir")
+	r.Append(Event{Kind: EvPut, Proc: 0, Seq: 1, Area: 0, Home: 1, Count: 1})
+	r.Append(Event{Kind: EvPut, Proc: 1, Seq: 1, Area: 1, Home: 0, Count: 1})
+	out := RenderTimeline(r.Trace(), RenderOptions{})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], ">") || strings.Contains(lines[1], "<") {
+		t.Fatalf("rightward arrow wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "<") || strings.Contains(lines[2], ">") {
+		t.Fatalf("leftward arrow wrong: %q", lines[2])
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace records executions of the DSM runtime as a deterministic,
+// serialisable event stream. Events are appended in apply order (the order
+// the home NICs processed them — well-defined because the simulation kernel
+// serialises everything), which is exactly the order the offline verifier
+// needs to replay reference semantics and compute exact ground truth.
+package trace
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	EvPut EventKind = iota
+	EvGet
+	EvAtomic
+	EvLockAcq
+	EvLockRel
+	EvBarrier
+	EvRace
+)
+
+var evNames = [...]string{"put", "get", "atomic", "lock", "unlock", "barrier", "race"}
+
+// String returns the event kind's label.
+func (k EventKind) String() string {
+	if k >= 0 && int(k) < len(evNames) {
+		return evNames[k]
+	}
+	return fmt.Sprintf("ev(%d)", int(k))
+}
+
+// IsWrite reports whether the event kind mutates shared memory (atomics are
+// read-modify-writes and count as writes, consistently with the detector).
+func (k EventKind) IsWrite() bool { return k == EvPut || k == EvAtomic }
+
+// IsAccess reports whether the event is a shared-memory access (as opposed
+// to synchronisation or race bookkeeping).
+func (k EventKind) IsAccess() bool { return k == EvPut || k == EvGet || k == EvAtomic }
+
+// Event is one trace record. Clock is the initiator's clock when the run
+// had detection enabled; the verifier never relies on it and recomputes
+// clocks from the event structure.
+type Event struct {
+	Kind  EventKind
+	Proc  int
+	Seq   uint64
+	Area  memory.AreaID
+	Home  int
+	Off   int
+	Count int
+	Time  sim.Time
+	Clock vclock.VC `json:",omitempty"`
+	// Epoch is the barrier epoch for EvBarrier events.
+	Epoch int `json:",omitempty"`
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%v P%d#%d area=%d [%d+%d) t=%v", e.Kind, e.Proc, e.Seq, e.Area, e.Off, e.Count, e.Time)
+}
+
+// Trace is a complete recorded execution.
+type Trace struct {
+	// Procs is the number of processes in the run.
+	Procs int
+	// Seed is the simulation seed the run used.
+	Seed int64
+	// Label carries free-form run metadata (workload name, detector, ...).
+	Label string
+	// Events in apply order.
+	Events []Event
+}
+
+// Recorder accumulates events during a run. The zero value records into an
+// empty trace; a nil *Recorder safely discards everything.
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder returns a recorder for a run with the given process count,
+// seed and label.
+func NewRecorder(procs int, seed int64, label string) *Recorder {
+	return &Recorder{tr: Trace{Procs: procs, Seed: seed, Label: label}}
+}
+
+// Append adds an event; nil recorders drop it.
+func (r *Recorder) Append(e Event) {
+	if r == nil {
+		return
+	}
+	r.tr.Events = append(r.tr.Events, e)
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace {
+	if r == nil {
+		return &Trace{}
+	}
+	return &r.tr
+}
+
+// Accesses returns only the shared-memory access events.
+func (t *Trace) Accesses() []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Kind.IsAccess() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSON serialises the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteGob serialises the trace in the compact binary format.
+func (t *Trace) WriteGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// ReadGob parses a trace written by WriteGob.
+func ReadGob(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode gob: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dsmrace/internal/vclock"
+)
+
+func sampleTrace() *Trace {
+	r := NewRecorder(3, 42, "sample")
+	r.Append(Event{Kind: EvPut, Proc: 0, Seq: 1, Area: 2, Home: 1, Off: 0, Count: 3, Clock: vclock.VC{1, 0, 0}})
+	r.Append(Event{Kind: EvGet, Proc: 1, Seq: 1, Area: 2, Home: 1, Off: 1, Count: 1})
+	r.Append(Event{Kind: EvLockAcq, Proc: 1, Area: 2})
+	r.Append(Event{Kind: EvLockRel, Proc: 1, Area: 2})
+	r.Append(Event{Kind: EvBarrier, Proc: 0, Epoch: 1})
+	return r.Trace()
+}
+
+func TestRecorderBasics(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Procs != 3 || tr.Seed != 42 || tr.Label != "sample" {
+		t.Fatalf("metadata: %+v", tr)
+	}
+	if len(tr.Events) != 5 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	if got := len(tr.Accesses()); got != 2 {
+		t.Fatalf("accesses = %d, want 2", got)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Append(Event{Kind: EvPut})
+	if tr := r.Trace(); len(tr.Events) != 0 {
+		t.Fatal("nil recorder must produce an empty trace")
+	}
+}
+
+func TestEventKindHelpers(t *testing.T) {
+	if !EvPut.IsWrite() || !EvAtomic.IsWrite() || EvGet.IsWrite() {
+		t.Fatal("IsWrite")
+	}
+	if !EvPut.IsAccess() || !EvGet.IsAccess() || EvBarrier.IsAccess() {
+		t.Fatal("IsAccess")
+	}
+	if EvPut.String() != "put" || EventKind(99).String() != "ev(99)" {
+		t.Fatal("String")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: EvPut, Proc: 2, Seq: 7, Area: 1, Off: 3, Count: 2}
+	s := e.String()
+	for _, frag := range []string{"put", "P2#7", "area=1"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("event string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, tr)
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) || got.Procs != tr.Procs {
+		t.Fatalf("gob mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Events[0].Clock, tr.Events[0].Clock) {
+		t.Fatal("clock lost in gob")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad json must fail")
+	}
+	if _, err := ReadGob(strings.NewReader("garbage")); err == nil {
+		t.Fatal("bad gob must fail")
+	}
+}
+
+func TestGobSmallerThanJSON(t *testing.T) {
+	r := NewRecorder(4, 1, "size")
+	for i := 0; i < 200; i++ {
+		r.Append(Event{Kind: EvPut, Proc: i % 4, Seq: uint64(i), Area: 1, Count: 1, Clock: vclock.VC{1, 2, 3, 4}})
+	}
+	var j, g bytes.Buffer
+	if err := r.Trace().WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Trace().WriteGob(&g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() >= j.Len() {
+		t.Fatalf("gob %d >= json %d", g.Len(), j.Len())
+	}
+}

@@ -1,0 +1,185 @@
+// Package upc is a miniature PGAS (partitioned global address space) layer
+// in the style of UPC / Titanium / Co-Array Fortran, the languages whose
+// memory model motivates the paper (§I, §III-A). A SharedArray is a logical
+// array distributed over the cluster's public memories with a block or
+// cyclic layout chosen at declaration time; the package performs the
+// compiler's job — data placement and the translation of logical indices
+// into (processor, local address) pairs — while every element access flows
+// through the DSM runtime's one-sided operations, where the race detector
+// lives.
+package upc
+
+import (
+	"fmt"
+
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+)
+
+// Layout selects how elements map to processors.
+type Layout int
+
+// Layouts.
+const (
+	// Block gives each processor one contiguous chunk (UPC's [*] layout).
+	Block Layout = iota
+	// Cyclic deals elements round-robin (UPC's default [1] layout).
+	Cyclic
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	if l == Cyclic {
+		return "cyclic"
+	}
+	return "block"
+}
+
+// SharedArray is a distributed array of words.
+type SharedArray struct {
+	name   string
+	length int
+	procs  int
+	layout Layout
+	chunk  int // block: elements per processor
+}
+
+// chunkName is the shared variable holding node's part of the array.
+func (a *SharedArray) chunkName(node int) string {
+	return fmt.Sprintf("%s@%d", a.name, node)
+}
+
+// Declare allocates a shared array across the cluster — the compile-time
+// placement step. It must run before the cluster starts.
+func Declare(c *dsm.Cluster, name string, length int, layout Layout) (*SharedArray, error) {
+	procs := c.Space().N()
+	if length <= 0 {
+		return nil, fmt.Errorf("upc: array %q length %d", name, length)
+	}
+	a := &SharedArray{name: name, length: length, procs: procs, layout: layout}
+	a.chunk = (length + procs - 1) / procs
+	for node := 0; node < procs; node++ {
+		words := a.chunkSize(node)
+		if words == 0 {
+			words = 1 // keep a placeholder so every node has the variable
+		}
+		if err := c.Alloc(a.chunkName(node), node, words); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// chunkSize returns how many elements node actually stores.
+func (a *SharedArray) chunkSize(node int) int {
+	switch a.layout {
+	case Cyclic:
+		n := a.length / a.procs
+		if node < a.length%a.procs {
+			n++
+		}
+		return n
+	default:
+		lo := node * a.chunk
+		if lo >= a.length {
+			return 0
+		}
+		hi := lo + a.chunk
+		if hi > a.length {
+			hi = a.length
+		}
+		return hi - lo
+	}
+}
+
+// Len returns the logical length.
+func (a *SharedArray) Len() int { return a.length }
+
+// Name returns the array's name.
+func (a *SharedArray) Name() string { return a.name }
+
+// Layout returns the distribution.
+func (a *SharedArray) Layout() Layout { return a.layout }
+
+// Owner returns the processor with affinity to element i — UPC's
+// upc_threadof.
+func (a *SharedArray) Owner(i int) int {
+	a.check(i)
+	if a.layout == Cyclic {
+		return i % a.procs
+	}
+	return i / a.chunk
+}
+
+// locate translates a logical index to (chunk variable, offset) — the
+// compiler's address resolution into (processor_name, local_address).
+func (a *SharedArray) locate(i int) (string, int) {
+	a.check(i)
+	if a.layout == Cyclic {
+		return a.chunkName(i % a.procs), i / a.procs
+	}
+	return a.chunkName(i / a.chunk), i % a.chunk
+}
+
+func (a *SharedArray) check(i int) {
+	if i < 0 || i >= a.length {
+		panic(fmt.Sprintf("upc: index %d out of range [0,%d)", i, a.length))
+	}
+}
+
+// Read fetches element i through a one-sided get.
+func (a *SharedArray) Read(p *dsm.Proc, i int) (memory.Word, error) {
+	name, off := a.locate(i)
+	return p.GetWord(name, off)
+}
+
+// Write stores element i through a one-sided put.
+func (a *SharedArray) Write(p *dsm.Proc, i int, v memory.Word) error {
+	name, off := a.locate(i)
+	return p.Put(name, off, v)
+}
+
+// Add atomically adds delta to element i.
+func (a *SharedArray) Add(p *dsm.Proc, i int, delta memory.Word) (memory.Word, error) {
+	name, off := a.locate(i)
+	return p.FetchAdd(name, off, delta)
+}
+
+// ReadChunk fetches processor node's whole chunk in one get.
+func (a *SharedArray) ReadChunk(p *dsm.Proc, node int) ([]memory.Word, error) {
+	words := a.chunkSize(node)
+	if words == 0 {
+		return nil, nil
+	}
+	return p.Get(a.chunkName(node), 0, words)
+}
+
+// ForAll runs body(i) on the calling process for every index i whose
+// affinity is the caller — upc_forall's affinity clause. Iterating only
+// owned indices keeps the touched chunks disjoint across processes.
+func (a *SharedArray) ForAll(p *dsm.Proc, body func(i int) error) error {
+	for i := 0; i < a.length; i++ {
+		if a.Owner(i) == p.ID() {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SumOneSided reduces the whole array from the calling process alone using
+// chunk gets — the paper's §V-B one-sided reduction over a PGAS array.
+func (a *SharedArray) SumOneSided(p *dsm.Proc) (memory.Word, error) {
+	var total memory.Word
+	for node := 0; node < a.procs; node++ {
+		chunk, err := a.ReadChunk(p, node)
+		if err != nil {
+			return 0, err
+		}
+		for _, w := range chunk {
+			total += w
+		}
+	}
+	return total, nil
+}

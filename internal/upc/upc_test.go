@@ -1,0 +1,245 @@
+package upc
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/rdma"
+)
+
+func cluster(t *testing.T, procs int, det core.Detector) *dsm.Cluster {
+	t.Helper()
+	c, err := dsm.New(dsm.Config{Procs: procs, Seed: 1, RDMA: rdma.DefaultConfig(det, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDeclareValidation(t *testing.T) {
+	c := cluster(t, 2, nil)
+	if _, err := Declare(c, "bad", 0, Block); err == nil {
+		t.Fatal("zero length must fail")
+	}
+	if _, err := Declare(c, "a", 5, Block); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Declare(c, "a", 5, Block); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+}
+
+func TestBlockAffinity(t *testing.T) {
+	c := cluster(t, 3, nil)
+	a, err := Declare(c, "blk", 10, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chunk = ceil(10/3) = 4: [0..3]→0, [4..7]→1, [8..9]→2.
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := a.Owner(i); got != w {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if a.chunkSize(0) != 4 || a.chunkSize(1) != 4 || a.chunkSize(2) != 2 {
+		t.Fatalf("chunk sizes: %d %d %d", a.chunkSize(0), a.chunkSize(1), a.chunkSize(2))
+	}
+}
+
+func TestCyclicAffinity(t *testing.T) {
+	c := cluster(t, 3, nil)
+	a, err := Declare(c, "cyc", 8, Cyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got := a.Owner(i); got != i%3 {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, i%3)
+		}
+	}
+	if a.chunkSize(0) != 3 || a.chunkSize(1) != 3 || a.chunkSize(2) != 2 {
+		t.Fatalf("cyclic chunk sizes: %d %d %d", a.chunkSize(0), a.chunkSize(1), a.chunkSize(2))
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	c := cluster(t, 2, nil)
+	a, _ := Declare(c, "x", 4, Block)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Owner(4)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{Block, Cyclic} {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			const n, length = 3, 11
+			c := cluster(t, n, core.NewExactVWDetector())
+			a, err := Declare(c, "arr", length, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(func(p *dsm.Proc) error {
+				// Phase 1: every process writes its owned elements.
+				if err := a.ForAll(p, func(i int) error {
+					return a.Write(p, i, memory.Word(i*i))
+				}); err != nil {
+					return err
+				}
+				p.Barrier()
+				// Phase 2: every process reads the whole array.
+				for i := 0; i < length; i++ {
+					v, err := a.Read(p, i)
+					if err != nil {
+						return err
+					}
+					if v != memory.Word(i*i) {
+						return fmt.Errorf("a[%d] = %d, want %d", i, v, i*i)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.FirstError(); err != nil {
+				t.Fatal(err)
+			}
+			if res.RaceCount != 0 {
+				t.Fatalf("owner-computes + barrier raced: %v", res.Races[:1])
+			}
+		})
+	}
+}
+
+func TestForAllCoversExactlyOwnedIndices(t *testing.T) {
+	c := cluster(t, 4, nil)
+	a, _ := Declare(c, "cover", 13, Cyclic)
+	counts := make([]int, 13)
+	res, err := c.Run(func(p *dsm.Proc) error {
+		return a.ForAll(p, func(i int) error {
+			if a.Owner(i) != p.ID() {
+				return fmt.Errorf("P%d visited foreign index %d", p.ID(), i)
+			}
+			counts[i]++
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+}
+
+func TestConcurrentWritesToSameElementRace(t *testing.T) {
+	c := cluster(t, 2, core.NewExactVWDetector())
+	a, _ := Declare(c, "hot", 2, Block)
+	res, err := c.Run(func(p *dsm.Proc) error {
+		return a.Write(p, 0, memory.Word(p.ID()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("unsynchronised writes to one element must race")
+	}
+}
+
+func TestAtomicAddAccumulates(t *testing.T) {
+	c := cluster(t, 3, nil)
+	a, _ := Declare(c, "acc", 1, Block)
+	res, err := c.Run(func(p *dsm.Proc) error {
+		for i := 0; i < 4; i++ {
+			if _, err := a.Add(p, 0, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Memory[0][0] != 12 {
+		t.Fatalf("total = %d, want 12", res.Memory[0][0])
+	}
+}
+
+func TestSumOneSided(t *testing.T) {
+	const n, length = 3, 9
+	c := cluster(t, n, nil)
+	a, _ := Declare(c, "sum", length, Block)
+	progs := make([]dsm.Program, n)
+	progs[2] = func(p *dsm.Proc) error {
+		// Initialise remotely, then reduce one-sided: total of 0..8 = 36.
+		for i := 0; i < length; i++ {
+			if err := a.Write(p, i, memory.Word(i)); err != nil {
+				return err
+			}
+		}
+		got, err := a.SumOneSided(p)
+		if err != nil {
+			return err
+		}
+		if got != 36 {
+			return fmt.Errorf("sum = %d, want 36", got)
+		}
+		return nil
+	}
+	res, err := c.RunEach(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadChunk(t *testing.T) {
+	c := cluster(t, 2, nil)
+	a, _ := Declare(c, "chunks", 6, Block)
+	res, err := c.Run(func(p *dsm.Proc) error {
+		if p.ID() == 0 {
+			for i := 0; i < 6; i++ {
+				if err := a.Write(p, i, memory.Word(10+i)); err != nil {
+					return err
+				}
+			}
+		}
+		p.Barrier()
+		chunk, err := a.ReadChunk(p, 1)
+		if err != nil {
+			return err
+		}
+		if len(chunk) != 3 || chunk[0] != 13 {
+			return fmt.Errorf("chunk = %v", chunk)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	if Block.String() != "block" || Cyclic.String() != "cyclic" {
+		t.Fatal("layout names")
+	}
+}

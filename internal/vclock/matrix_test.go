@@ -1,0 +1,140 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixTickAndRow(t *testing.T) {
+	m := NewMatrix(3)
+	m.TickLocal(1)
+	m.TickLocal(1)
+	if got := m.Row(1).String(); got != "020" {
+		t.Fatalf("row 1 = %s, want 020", got)
+	}
+	if !m.Row(0).IsZero() || !m.Row(2).IsZero() {
+		t.Fatal("other rows must stay zero")
+	}
+}
+
+func TestMatrixRowAliasesStorage(t *testing.T) {
+	m := NewMatrix(2)
+	r := m.Row(0)
+	r.Tick(1)
+	if m.Row(0)[1] != 1 {
+		t.Fatal("Row must be a view into the matrix")
+	}
+	c := m.RowCopy(0)
+	c.Tick(0)
+	if m.Row(0)[0] != 0 {
+		t.Fatal("RowCopy must not alias")
+	}
+}
+
+func TestMatrixMergeMatrix(t *testing.T) {
+	a, b := NewMatrix(2), NewMatrix(2)
+	a.TickLocal(0) // a = [10 / 00]
+	b.TickLocal(1) // b = [00 / 01]
+	b.TickLocal(1) // b = [00 / 02]
+	a.MergeMatrix(b)
+	if a.Row(0).String() != "10" || a.Row(1).String() != "02" {
+		t.Fatalf("merged matrix wrong:\n%s", a)
+	}
+}
+
+func TestMatrixMergePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2).MergeMatrix(NewMatrix(3))
+}
+
+func TestMatrixMinKnown(t *testing.T) {
+	// Simulate: P0 ticks 3 times and everyone eventually hears about 2 of
+	// them; MinKnown(0) must be 2.
+	m := NewMatrix(3)
+	m.Row(0)[0] = 3
+	m.Row(1)[0] = 2
+	m.Row(2)[0] = 2
+	if got := m.MinKnown(0); got != 2 {
+		t.Fatalf("MinKnown(0) = %d, want 2", got)
+	}
+	if got := m.MinKnown(1); got != 0 {
+		t.Fatalf("MinKnown(1) = %d, want 0", got)
+	}
+}
+
+func TestMatrixMinKnownNeverExceedsOwnRow(t *testing.T) {
+	f := func(vals [9]uint8) bool {
+		m := NewMatrix(3)
+		for i := range vals {
+			m.m[i] = uint64(vals[i])
+		}
+		for c := 0; c < 3; c++ {
+			mk := m.MinKnown(c)
+			for r := 0; r < 3; r++ {
+				if mk > m.Row(r)[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixCopyIndependent(t *testing.T) {
+	m := NewMatrix(2)
+	m.TickLocal(0)
+	c := m.Copy()
+	c.TickLocal(0)
+	if m.Row(0)[0] != 1 || c.Row(0)[0] != 2 {
+		t.Fatal("Copy must not alias")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(2)
+	m.TickLocal(0)
+	if got := m.String(); got != "10\n00" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLamportClock(t *testing.T) {
+	var l Lamport
+	if l.Tick() != 1 {
+		t.Fatal("first tick must be 1")
+	}
+	if l.Witness(10) != 11 {
+		t.Fatalf("witness(10) = %d, want 11", l)
+	}
+	if l.Witness(3) != 12 {
+		t.Fatalf("witness of older timestamp must still tick: %d", l)
+	}
+}
+
+func TestLamportCannotDetectConcurrency(t *testing.T) {
+	// Two causally unrelated events can get ordered scalar timestamps — the
+	// reason the paper (§IV-A) needs vector clocks for detection.
+	var p0, p1 Lamport
+	e0 := p0.Tick() // event on P0
+	e1 := p1.Tick() // concurrent event on P1
+	_ = e1
+	e1b := p1.Tick()
+	if !(e0 < e1b) {
+		t.Fatal("scalar clocks impose an order even on concurrent events")
+	}
+	// Whereas vector clocks keep them incomparable:
+	v0, v1 := New(2), New(2)
+	v0.Tick(0)
+	v1.Tick(1)
+	v1.Tick(1)
+	if Compare(v0, v1) != Concurrent {
+		t.Fatal("vector clocks must report concurrency")
+	}
+}

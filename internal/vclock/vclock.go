@@ -1,0 +1,296 @@
+// Package vclock implements the logical-clock machinery the paper's race
+// detector is built on: vector clocks with the Mattern comparison lattice
+// (Algorithm 3 / Lemma 1), the max-merge of Algorithm 4, matrix clocks
+// (the per-process clock matrix V_Pi of §IV-B), Lamport scalar clocks, and
+// compact binary encodings used to account for clock bytes on the wire.
+package vclock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Order is the result of comparing two vector clocks under the Mattern
+// partial order.
+type Order int
+
+// The four possible outcomes of Compare.
+const (
+	// Equal means both clocks are identical component-wise.
+	Equal Order = iota
+	// Before means the first clock happens-before the second (≤ everywhere,
+	// < somewhere).
+	Before
+	// After means the second clock happens-before the first.
+	After
+	// Concurrent means neither ordering holds: the events are causally
+	// unrelated. Corollary 1 of the paper: a concurrent pair that involves a
+	// write is a race condition.
+	Concurrent
+)
+
+// String returns a human-readable name for the order.
+func (o Order) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// VC is a vector clock over a fixed number of processes. The zero-length
+// clock is valid and compares Equal to itself.
+//
+// Component i counts the events observed from process i. The paper stores
+// one general-purpose clock V and one write clock W per shared memory area.
+type VC []uint64
+
+// New returns a zeroed vector clock for n processes.
+func New(n int) VC {
+	if n < 0 {
+		panic("vclock: negative size")
+	}
+	return make(VC, n)
+}
+
+// Len returns the number of components.
+func (v VC) Len() int { return len(v) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Tick increments component i — the paper's update_local_clock performed by
+// process P_i before every event.
+func (v VC) Tick(i int) {
+	v[i]++
+}
+
+// Merge sets v to the component-wise maximum of v and o (Algorithm 4,
+// max_clock). Clocks of different lengths cannot be merged.
+func (v VC) Merge(o VC) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: merge size mismatch %d != %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Merged returns a fresh clock equal to max(v, o) without mutating either.
+func Merged(v, o VC) VC {
+	c := v.Copy()
+	c.Merge(o)
+	return c
+}
+
+// Compare classifies the pair (v, o) under the Mattern partial order.
+//
+// The paper's Algorithm 3 writes the test with strict "<" on every
+// component; Lemma 1 (Mattern's Theorem 10) actually requires the standard
+// order: v < o iff v ≤ o component-wise and v ≠ o. That is what we implement;
+// DESIGN.md records the deviation.
+func Compare(v, o VC) Order {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare size mismatch %d != %d", len(v), len(o)))
+	}
+	less, greater := false, false
+	for i := range v {
+		switch {
+		case v[i] < o[i]:
+			less = true
+		case v[i] > o[i]:
+			greater = true
+		}
+		if less && greater {
+			return Concurrent
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappensBefore reports whether v happened-before o (strictly).
+func HappensBefore(v, o VC) bool { return Compare(v, o) == Before }
+
+// ConcurrentWith reports whether v and o are causally unrelated. Per
+// Corollary 1 this is the race predicate once a write is involved.
+func ConcurrentWith(v, o VC) bool { return Compare(v, o) == Concurrent }
+
+// Dominates reports v ≥ o component-wise (o happened-before-or-equal v).
+// The detector's check "incoming clock dominates the stored clock" uses this.
+func (v VC) Dominates(o VC) bool {
+	ord := Compare(v, o)
+	return ord == After || ord == Equal
+}
+
+// IsZero reports whether every component is zero.
+func (v VC) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all components — a cheap progress metric used by
+// the statistics harness.
+func (v VC) Sum() uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// String renders the clock the way the paper's figures do for small values:
+// "110" for (1,1,0) when every component is a single digit, otherwise a
+// bracketed list "[12 3 0]".
+func (v VC) String() string {
+	compact := true
+	for _, x := range v {
+		if x > 9 {
+			compact = false
+			break
+		}
+	}
+	var b strings.Builder
+	if compact {
+		for _, x := range v {
+			fmt.Fprintf(&b, "%d", x)
+		}
+		return b.String()
+	}
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// WireSize returns the number of bytes the clock occupies in the fixed
+// binary encoding. Experiment E-T1 uses this to measure the storage overhead
+// discussed in §IV-C/§V-A.
+func (v VC) WireSize() int { return 2 + 8*len(v) }
+
+// MarshalBinary encodes the clock as a uint16 length followed by big-endian
+// uint64 components.
+func (v VC) MarshalBinary() ([]byte, error) {
+	if len(v) > 0xFFFF {
+		return nil, errors.New("vclock: too many components")
+	}
+	buf := make([]byte, v.WireSize())
+	binary.BigEndian.PutUint16(buf, uint16(len(v)))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(buf[2+8*i:], x)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a clock written by MarshalBinary.
+func (v *VC) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 {
+		return errors.New("vclock: short buffer")
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if len(data) < 2+8*n {
+		return errors.New("vclock: truncated clock")
+	}
+	c := make(VC, n)
+	for i := range c {
+		c[i] = binary.BigEndian.Uint64(data[2+8*i:])
+	}
+	*v = c
+	return nil
+}
+
+// AppendDelta appends a delta encoding of v relative to base to dst and
+// returns the extended slice. Components equal to the base are skipped;
+// each changed component is written as (uvarint index, uvarint value).
+// This is the optimised wire format measured in the E-T2 ablation.
+func (v VC) AppendDelta(dst []byte, base VC) []byte {
+	if len(base) != len(v) {
+		panic("vclock: delta base size mismatch")
+	}
+	var changed uint64
+	for i := range v {
+		if v[i] != base[i] {
+			changed++
+		}
+	}
+	dst = binary.AppendUvarint(dst, changed)
+	for i := range v {
+		if v[i] != base[i] {
+			dst = binary.AppendUvarint(dst, uint64(i))
+			dst = binary.AppendUvarint(dst, v[i])
+		}
+	}
+	return dst
+}
+
+// DecodeDelta decodes a delta produced by AppendDelta on top of base,
+// returning the reconstructed clock and the number of bytes consumed.
+func DecodeDelta(data []byte, base VC) (VC, int, error) {
+	out := base.Copy()
+	pos := 0
+	changed, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, errors.New("vclock: bad delta header")
+	}
+	pos += n
+	for k := uint64(0); k < changed; k++ {
+		idx, n1 := binary.Uvarint(data[pos:])
+		if n1 <= 0 {
+			return nil, 0, errors.New("vclock: bad delta index")
+		}
+		pos += n1
+		val, n2 := binary.Uvarint(data[pos:])
+		if n2 <= 0 {
+			return nil, 0, errors.New("vclock: bad delta value")
+		}
+		pos += n2
+		if idx >= uint64(len(out)) {
+			return nil, 0, fmt.Errorf("vclock: delta index %d out of range", idx)
+		}
+		out[idx] = val
+	}
+	return out, pos, nil
+}
+
+// Truncate returns a copy of v keeping only the first k components. It is
+// deliberately *unsound* — Charron-Bost proved clocks must have at least n
+// components — and exists only for the E-T9 ablation that demonstrates what
+// breaks when the bound is violated.
+func (v VC) Truncate(k int) VC {
+	if k > len(v) {
+		k = len(v)
+	}
+	c := make(VC, k)
+	copy(c, v[:k])
+	return c
+}

@@ -1,0 +1,85 @@
+package verify_test
+
+import (
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/verify"
+)
+
+// randomWorkload issues a mix of puts and gets over two areas.
+func randomWorkload(p *dsm.Proc) error {
+	for i := 0; i < 6; i++ {
+		name := "x"
+		if (i+p.ID())%2 == 0 {
+			name = "y"
+		}
+		if p.Rand().Intn(3) == 0 {
+			if _, err := p.GetWord(name, 0); err != nil {
+				return err
+			}
+		} else if err := p.Put(name, 0, memory.Word(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runScored(t *testing.T, det core.Detector, seed int64) verify.Score {
+	t.Helper()
+	c, err := dsm.New(dsm.Config{Procs: 4, Seed: seed, Trace: true, RDMA: rdma.DefaultConfig(det, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAlloc("x", 0, 4)
+	c.MustAlloc("y", 1, 4)
+	res, err := c.Run(randomWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := verify.GroundTruth(res.Trace, verify.DefaultOptions())
+	return verify.ScoreReports(truth, det.Name(), res.Races)
+}
+
+// TestExactModeMatchesGroundTruthAcrossSeeds: the exact detector (no home
+// tick) is both sound and complete relative to pairwise ground truth.
+func TestExactModeMatchesGroundTruthAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		s := runScored(t, core.NewExactVWDetector(), seed)
+		if s.FP != 0 || s.FN != 0 {
+			t.Fatalf("seed %d: exact mode diverged: %v (fp samples %v)", seed, s, s.FalsePositiveSamples)
+		}
+	}
+}
+
+// TestPaperModeHomeTickLosesExactness characterises a reproduction finding
+// recorded in DESIGN.md and measured by E-T10: the paper's home-tick rule
+// stores a per-area write counter in the home process's clock component.
+// Once completion-edge absorption spreads those inflated components through
+// the system, pairwise comparisons are corrupted — a process can appear to
+// "know" another's access it never causally observed — and the detector
+// misses some true races that the exact (tick-free) variant reports. The
+// seeds below deterministically exhibit the gap while staying close to
+// truth (high recall, perfect precision on these workloads).
+func TestPaperModeHomeTickLosesExactness(t *testing.T) {
+	totalTP, totalFN, totalFP := 0, 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		s := runScored(t, core.NewVWDetector(), seed)
+		totalTP += s.TP
+		totalFN += s.FN
+		totalFP += s.FP
+	}
+	if totalFN == 0 {
+		t.Fatal("expected the home-tick collision to cost some recall on these seeds")
+	}
+	recall := float64(totalTP) / float64(totalTP+totalFN)
+	if recall < 0.9 {
+		t.Fatalf("paper mode recall collapsed: %.3f (TP=%d FN=%d)", recall, totalTP, totalFN)
+	}
+	if totalFP != 0 {
+		t.Logf("paper mode also over-reported %d accesses on these seeds", totalFP)
+	}
+}

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"dsmrace/internal/core"
+	"dsmrace/internal/trace"
+	"dsmrace/internal/vclock"
+)
+
+// ReplayDetector runs any online detector over a recorded trace, feeding it
+// the same apply-order access stream the live run produced, with reference
+// clocks recomputed under opt. This evaluates detectors on *identical*
+// schedules — live runs of two detectors never see exactly the same
+// interleaving, because clock bytes perturb message timing.
+//
+// Lock events feed the replayed accesses' held-lock sets (for lockset-style
+// detectors) exactly as the runtime would.
+func ReplayDetector(tr *trace.Trace, det core.Detector, opt Options) []core.Report {
+	n := tr.Procs
+	states := make(map[int]core.AreaState)
+	stateOf := func(area int) core.AreaState {
+		st, ok := states[area]
+		if !ok {
+			st = det.NewAreaState(n)
+			states[area] = st
+		}
+		return st
+	}
+
+	type refArea struct{ v, w vclock.VC }
+	clocks := make([]vclock.VC, n)
+	held := make([][]int, n)
+	for i := range clocks {
+		clocks[i] = vclock.New(n)
+	}
+	areas := make(map[int]*refArea)
+	refOf := func(area int) *refArea {
+		st, ok := areas[area]
+		if !ok {
+			st = &refArea{v: vclock.New(n), w: vclock.New(n)}
+			areas[area] = st
+		}
+		return st
+	}
+	lockSlots := make(map[int]vclock.VC)
+	barrierBuf := make(map[int][]int)
+
+	var reports []core.Report
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvPut, trace.EvGet, trace.EvAtomic:
+			p := e.Proc
+			clocks[p].Tick(p)
+			k := clocks[p].Copy()
+			kind := core.Read
+			if e.Kind.IsWrite() {
+				kind = core.Write
+			}
+			acc := core.Access{
+				Proc: p, Seq: e.Seq, Area: e.Area, Kind: kind,
+				Clock: k, Locks: append([]int(nil), held[p]...), Time: e.Time,
+			}
+			rep, _ := stateOf(int(e.Area)).OnAccess(acc, e.Home)
+			if rep != nil {
+				reports = append(reports, *rep)
+			}
+			ref := refOf(int(e.Area))
+			ref.v.Merge(k)
+			if kind == core.Write {
+				ref.w = ref.v.Copy()
+				if opt.AbsorbOnPutAck {
+					clocks[p].Merge(ref.v)
+				}
+			} else if opt.AbsorbOnGetReply {
+				clocks[p].Merge(ref.w)
+			}
+		case trace.EvLockAcq:
+			clocks[e.Proc].Tick(e.Proc)
+			if slot, ok := lockSlots[int(e.Area)]; ok {
+				clocks[e.Proc].Merge(slot)
+			}
+			held[e.Proc] = append(held[e.Proc], int(e.Area))
+		case trace.EvLockRel:
+			clocks[e.Proc].Tick(e.Proc)
+			lockSlots[int(e.Area)] = clocks[e.Proc].Copy()
+			held[e.Proc] = removeLock(held[e.Proc], int(e.Area))
+		case trace.EvBarrier:
+			clocks[e.Proc].Tick(e.Proc)
+			barrierBuf[e.Epoch] = append(barrierBuf[e.Epoch], e.Proc)
+			if len(barrierBuf[e.Epoch]) == n {
+				merged := vclock.New(n)
+				for _, q := range barrierBuf[e.Epoch] {
+					merged.Merge(clocks[q])
+				}
+				for _, q := range barrierBuf[e.Epoch] {
+					clocks[q] = merged.Copy()
+				}
+				delete(barrierBuf, e.Epoch)
+			}
+		}
+	}
+	return reports
+}
+
+func removeLock(held []int, area int) []int {
+	for i, a := range held {
+		if a == area {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}

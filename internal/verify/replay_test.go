@@ -1,0 +1,201 @@
+package verify_test
+
+import (
+	"testing"
+
+	"dsmrace/internal/baseline"
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/trace"
+	"dsmrace/internal/verify"
+)
+
+func TestReplayDetectorMatchesLiveRun(t *testing.T) {
+	// Replaying the recorded trace through the same detector must produce
+	// the same flags the live run produced (the live run used vw-exact with
+	// default absorption — the replay mirrors it).
+	res := tracedRun(t, 4, core.NewExactVWDetector(),
+		func(c *dsm.Cluster) { c.MustAlloc("x", 0, 2); c.MustAlloc("y", 1, 2) },
+		randomWorkload)
+	replayed := verify.ReplayDetector(res.Trace, core.NewExactVWDetector(), verify.DefaultOptions())
+	if len(replayed) != len(res.Races) {
+		t.Fatalf("replay flags = %d, live flags = %d", len(replayed), len(res.Races))
+	}
+	liveSet := map[verify.AccessID]bool{}
+	for _, r := range res.Races {
+		liveSet[verify.AccessID{Proc: r.Current.Proc, Seq: r.Current.Seq}] = true
+	}
+	for _, r := range replayed {
+		if !liveSet[verify.AccessID{Proc: r.Current.Proc, Seq: r.Current.Seq}] {
+			t.Fatalf("replay flagged %v which the live run did not", r.Current)
+		}
+	}
+}
+
+func TestReplayDifferentDetectorOnSameSchedule(t *testing.T) {
+	// One trace, several detectors: apples-to-apples comparison on an
+	// identical schedule. The single-clock replay must flag at least as
+	// many accesses as vw-exact on a read-heavy trace.
+	res := tracedRun(t, 4, core.NewExactVWDetector(),
+		func(c *dsm.Cluster) { c.MustAlloc("x", 0, 1) },
+		func(p *dsm.Proc) error {
+			if p.ID() == 0 {
+				if err := p.Put("x", 0, 1); err != nil {
+					return err
+				}
+			}
+			p.Barrier()
+			for i := 0; i < 4; i++ {
+				if _, err := p.GetWord("x", 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if res.RaceCount != 0 {
+		t.Fatalf("live vw-exact flagged a clean program: %v", res.Races)
+	}
+	vw := verify.ReplayDetector(res.Trace, core.NewExactVWDetector(), verify.DefaultOptions())
+	sc := verify.ReplayDetector(res.Trace, baseline.NewSingleClock(), verify.DefaultOptions())
+	if len(vw) != 0 {
+		t.Fatalf("vw replay flagged clean trace: %v", vw)
+	}
+	if len(sc) == 0 {
+		t.Fatal("single-clock replay should flag the concurrent reads")
+	}
+}
+
+func TestReplayFeedsLocksToLockset(t *testing.T) {
+	res := tracedRun(t, 2, core.NewExactVWDetector(),
+		func(c *dsm.Cluster) { c.MustAlloc("x", 0, 1) },
+		func(p *dsm.Proc) error {
+			if err := p.Lock("x"); err != nil {
+				return err
+			}
+			if err := p.Put("x", 0, memory.Word(p.ID())); err != nil {
+				return err
+			}
+			return p.Unlock("x")
+		})
+	reports := verify.ReplayDetector(res.Trace, baseline.NewLockset(), verify.DefaultOptions())
+	if len(reports) != 0 {
+		t.Fatalf("lock-disciplined trace flagged by lockset replay: %v", reports)
+	}
+	// Without the lock discipline the same detector must complain.
+	res2 := tracedRun(t, 2, core.NewExactVWDetector(),
+		func(c *dsm.Cluster) { c.MustAlloc("x", 0, 1) },
+		func(p *dsm.Proc) error { return p.Put("x", 0, memory.Word(p.ID())) })
+	reports2 := verify.ReplayDetector(res2.Trace, baseline.NewLockset(), verify.DefaultOptions())
+	if len(reports2) == 0 {
+		t.Fatal("unlocked trace not flagged by lockset replay")
+	}
+}
+
+func TestLockOrderDetectsInversion(t *testing.T) {
+	tr := &trace.Trace{
+		Procs: 2,
+		Events: []trace.Event{
+			// P0: lock 1 then 2.
+			{Kind: trace.EvLockAcq, Proc: 0, Area: 1},
+			{Kind: trace.EvLockAcq, Proc: 0, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 0, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 0, Area: 1},
+			// P1: lock 2 then 1 — inversion.
+			{Kind: trace.EvLockAcq, Proc: 1, Area: 2},
+			{Kind: trace.EvLockAcq, Proc: 1, Area: 1},
+			{Kind: trace.EvLockRel, Proc: 1, Area: 1},
+			{Kind: trace.EvLockRel, Proc: 1, Area: 2},
+		},
+	}
+	reports := verify.LockOrder(tr)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if len(reports[0].Cycle) != 2 || reports[0].Cycle[0] != 1 || reports[0].Cycle[1] != 2 {
+		t.Fatalf("cycle = %v", reports[0].Cycle)
+	}
+	if reports[0].String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestLockOrderCleanOnConsistentOrder(t *testing.T) {
+	tr := &trace.Trace{
+		Procs: 2,
+		Events: []trace.Event{
+			{Kind: trace.EvLockAcq, Proc: 0, Area: 1},
+			{Kind: trace.EvLockAcq, Proc: 0, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 0, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 0, Area: 1},
+			{Kind: trace.EvLockAcq, Proc: 1, Area: 1},
+			{Kind: trace.EvLockAcq, Proc: 1, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 1, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 1, Area: 1},
+		},
+	}
+	if reports := verify.LockOrder(tr); len(reports) != 0 {
+		t.Fatalf("consistent order flagged: %v", reports)
+	}
+}
+
+func TestLockOrderThreeWayCycle(t *testing.T) {
+	// 1→2 (P0), 2→3 (P1), 3→1 (P2): a cycle of length 3.
+	tr := &trace.Trace{
+		Procs: 3,
+		Events: []trace.Event{
+			{Kind: trace.EvLockAcq, Proc: 0, Area: 1},
+			{Kind: trace.EvLockAcq, Proc: 0, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 0, Area: 2},
+			{Kind: trace.EvLockRel, Proc: 0, Area: 1},
+			{Kind: trace.EvLockAcq, Proc: 1, Area: 2},
+			{Kind: trace.EvLockAcq, Proc: 1, Area: 3},
+			{Kind: trace.EvLockRel, Proc: 1, Area: 3},
+			{Kind: trace.EvLockRel, Proc: 1, Area: 2},
+			{Kind: trace.EvLockAcq, Proc: 2, Area: 3},
+			{Kind: trace.EvLockAcq, Proc: 2, Area: 1},
+			{Kind: trace.EvLockRel, Proc: 2, Area: 1},
+			{Kind: trace.EvLockRel, Proc: 2, Area: 3},
+		},
+	}
+	reports := verify.LockOrder(tr)
+	if len(reports) != 1 || len(reports[0].Cycle) != 3 {
+		t.Fatalf("three-way cycle: %v", reports)
+	}
+}
+
+func TestLockOrderOnRealRun(t *testing.T) {
+	// Two processes locking two areas in opposite orders, serialized by a
+	// barrier so the run completes — but the order inversion is latent.
+	res := tracedRun(t, 2, core.NewExactVWDetector(),
+		func(c *dsm.Cluster) { c.MustAlloc("a", 0, 1); c.MustAlloc("b", 1, 1) },
+		func(p *dsm.Proc) error {
+			first, second := "a", "b"
+			if p.ID() == 1 {
+				first, second = "b", "a"
+			}
+			if p.ID() == 1 {
+				p.Barrier()
+			}
+			if err := p.Lock(first); err != nil {
+				return err
+			}
+			if err := p.Lock(second); err != nil {
+				return err
+			}
+			if err := p.Unlock(second); err != nil {
+				return err
+			}
+			if err := p.Unlock(first); err != nil {
+				return err
+			}
+			if p.ID() == 0 {
+				p.Barrier()
+			}
+			return nil
+		})
+	reports := verify.LockOrder(res.Trace)
+	if len(reports) != 1 {
+		t.Fatalf("latent inversion not found: %v", reports)
+	}
+}

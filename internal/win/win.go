@@ -1,0 +1,237 @@
+// Package win models MPI-2 one-sided communication — windows, fence-based
+// access epochs, and RMA put/get/accumulate — together with a MARMOT-style
+// usage checker. The paper's related work (§II) cites MPI-2's remote memory
+// access operations and the MARMOT tool that "checks correct usage of the
+// synchronization features provided by MPI, such as fences and windows";
+// this package reproduces that style of *discipline* checking so the
+// evaluation can contrast it with the paper's clock-based *race* detection:
+// MARMOT-style checks are purely syntactic (epoch bracketing, same-epoch
+// conflicts) and need no clocks, but they cannot see cross-epoch races the
+// way vector clocks do.
+package win
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+)
+
+// Window is an MPI-2 window: one region of every process's public memory
+// exposed for RMA.
+type Window struct {
+	name  string
+	words int
+	n     int
+	chk   *Checker
+}
+
+// part is the shared variable backing rank's exposure of the window.
+func (w *Window) part(rank int) string { return fmt.Sprintf("win:%s@%d", w.name, rank) }
+
+// Create allocates the window across the cluster (MPI_Win_create is
+// collective; here it is the compile-time allocation step).
+func Create(c *dsm.Cluster, name string, words int) (*Window, error) {
+	w := &Window{name: name, words: words, n: c.Space().N(), chk: NewChecker()}
+	for r := 0; r < w.n; r++ {
+		if err := c.Alloc(w.part(r), r, words); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Checker returns the window's usage checker.
+func (w *Window) Checker() *Checker { return w.chk }
+
+// Handle is a process's connection to a window.
+type Handle struct {
+	w       *Window
+	p       *dsm.Proc
+	epoch   int
+	inEpoch bool
+}
+
+// Attach binds a running process to the window.
+func (w *Window) Attach(p *dsm.Proc) *Handle { return &Handle{w: w, p: p} }
+
+// Fence closes the current access epoch (if any) and opens the next
+// (MPI_Win_fence). It synchronises all processes.
+func (h *Handle) Fence() {
+	if h.inEpoch {
+		h.w.chk.closeEpoch(h.p.ID(), h.epoch)
+	}
+	h.p.Barrier()
+	h.epoch++
+	h.inEpoch = true
+	h.w.chk.openEpoch(h.p.ID(), h.epoch)
+}
+
+// Put performs MPI_Put: write vals into target's window part at off.
+func (h *Handle) Put(target, off int, vals ...memory.Word) error {
+	h.w.chk.rma(h.p.ID(), h.epoch, h.inEpoch, opPut, target, off, len(vals))
+	return h.p.Put(h.w.part(target), off, vals...)
+}
+
+// Get performs MPI_Get: read count words from target's window part.
+func (h *Handle) Get(target, off, count int) ([]memory.Word, error) {
+	h.w.chk.rma(h.p.ID(), h.epoch, h.inEpoch, opGet, target, off, count)
+	return h.p.Get(h.w.part(target), off, count)
+}
+
+// Accumulate performs MPI_Accumulate with MPI_SUM on one word. Unlike Put,
+// concurrent same-epoch accumulates to the same location are legal in
+// MPI-2, and the checker treats them so.
+func (h *Handle) Accumulate(target, off int, delta memory.Word) error {
+	h.w.chk.rma(h.p.ID(), h.epoch, h.inEpoch, opAcc, target, off, 1)
+	_, err := h.p.FetchAdd(h.w.part(target), off, delta)
+	return err
+}
+
+// ---- the MARMOT-style checker ----
+
+type opKind int
+
+const (
+	opPut opKind = iota
+	opGet
+	opAcc
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	default:
+		return "accumulate"
+	}
+}
+
+// ViolationKind classifies checker findings.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// OutsideEpoch: an RMA call before the first fence (no access epoch).
+	OutsideEpoch ViolationKind = iota
+	// ConflictingRMA: two same-epoch RMA operations touch the same word of
+	// the same target and at least one is a put — erroneous in MPI-2's
+	// separate memory model (puts must be exclusive within an epoch).
+	ConflictingRMA
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	if k == OutsideEpoch {
+		return "rma-outside-epoch"
+	}
+	return "conflicting-rma-in-epoch"
+}
+
+// Violation is one checker finding.
+type Violation struct {
+	Kind   ViolationKind
+	Origin int // calling rank
+	Other  int // conflicting rank (ConflictingRMA), -1 otherwise
+	Target int
+	Off    int
+	Op     string
+	Epoch  int
+}
+
+// String renders the finding.
+func (v Violation) String() string {
+	if v.Kind == OutsideEpoch {
+		return fmt.Sprintf("MARMOT: rank %d called %s on target %d outside any access epoch", v.Origin, v.Op, v.Target)
+	}
+	return fmt.Sprintf("MARMOT: epoch %d: rank %d's %s conflicts with rank %d at (target %d, word %d)",
+		v.Epoch, v.Origin, v.Op, v.Other, v.Target, v.Off)
+}
+
+// Checker accumulates usage violations. It is driven by Handle calls and is
+// safe under the simulation's serialised execution.
+type Checker struct {
+	violations []Violation
+	// epochOps[epoch] -> per (target,off) the ops seen this epoch.
+	epochOps map[int]map[[2]int][]epochOp
+}
+
+type epochOp struct {
+	origin int
+	kind   opKind
+}
+
+// NewChecker returns an empty checker.
+func NewChecker() *Checker {
+	return &Checker{epochOps: make(map[int]map[[2]int][]epochOp)}
+}
+
+// Violations returns all findings, sorted deterministically.
+func (c *Checker) Violations() []Violation {
+	out := append([]Violation(nil), c.violations...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Off < b.Off
+	})
+	return out
+}
+
+func (c *Checker) openEpoch(rank, epoch int) {
+	if c.epochOps[epoch] == nil {
+		c.epochOps[epoch] = make(map[[2]int][]epochOp)
+	}
+}
+
+func (c *Checker) closeEpoch(rank, epoch int) {}
+
+func (c *Checker) rma(origin, epoch int, inEpoch bool, kind opKind, target, off, count int) {
+	if !inEpoch {
+		c.violations = append(c.violations, Violation{
+			Kind: OutsideEpoch, Origin: origin, Other: -1, Target: target, Off: off, Op: kind.String(), Epoch: epoch,
+		})
+		return
+	}
+	ops := c.epochOps[epoch]
+	if ops == nil {
+		ops = make(map[[2]int][]epochOp)
+		c.epochOps[epoch] = ops
+	}
+	for w := off; w < off+count; w++ {
+		key := [2]int{target, w}
+		for _, prev := range ops[key] {
+			if prev.origin == origin {
+				continue // same origin: program order governs
+			}
+			// Accumulates commute with each other; any put conflicts with
+			// everything; a get conflicts with a put.
+			conflict := false
+			switch {
+			case kind == opPut || prev.kind == opPut:
+				conflict = true
+			case kind == opAcc && prev.kind == opAcc:
+				conflict = false
+			case kind == opGet && prev.kind == opGet:
+				conflict = false
+			case (kind == opGet && prev.kind == opAcc) || (kind == opAcc && prev.kind == opGet):
+				conflict = true
+			}
+			if conflict {
+				c.violations = append(c.violations, Violation{
+					Kind: ConflictingRMA, Origin: origin, Other: prev.origin,
+					Target: target, Off: w, Op: kind.String(), Epoch: epoch,
+				})
+				break
+			}
+		}
+		ops[key] = append(ops[key], epochOp{origin: origin, kind: kind})
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/verify"
+)
+
+func cfg(seed int64, det core.Detector) dsm.Config {
+	return dsm.Config{Seed: seed, Trace: true, RDMA: rdma.DefaultConfig(det, nil)}
+}
+
+// checkProfile runs w and asserts its race profile against both the
+// detector and exact ground truth.
+func checkProfile(t *testing.T, w Workload, seed int64) *dsm.Result {
+	t.Helper()
+	res, err := w.Run(cfg(seed, core.NewExactVWDetector()))
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	truth := verify.GroundTruth(res.Trace, verify.DefaultOptions())
+	switch w.Profile {
+	case RaceFree:
+		if len(truth.Pairs) != 0 {
+			t.Fatalf("%s: race-free workload has true races: %v", w.Name, truth.Pairs[:min(3, len(truth.Pairs))])
+		}
+		if res.RaceCount != 0 {
+			t.Fatalf("%s: detector flagged a race-free workload: %v", w.Name, res.Races[:min(3, len(res.Races))])
+		}
+	default:
+		if len(truth.Pairs) == 0 {
+			t.Fatalf("%s: racy workload has empty ground truth", w.Name)
+		}
+		if res.RaceCount == 0 {
+			t.Fatalf("%s: detector missed all races", w.Name)
+		}
+	}
+	return res
+}
+
+func TestRandomLockDisciplined(t *testing.T) {
+	w := Random(RandomSpec{Procs: 3, Areas: 3, AreaWords: 2, OpsPerProc: 10, ReadPercent: 50, LockDiscipline: true})
+	if w.Profile != RaceFree {
+		t.Fatal("lock discipline must be race-free")
+	}
+	checkProfile(t, w, 5)
+}
+
+func TestRandomUnsynchronisedRaces(t *testing.T) {
+	w := Random(RandomSpec{Procs: 3, Areas: 2, AreaWords: 2, OpsPerProc: 10, ReadPercent: 30})
+	checkProfile(t, w, 5)
+}
+
+func TestRandomWithBarriers(t *testing.T) {
+	// Barriers order *phases* but ops within one phase still race with each
+	// other; the detector must agree exactly with ground truth, and the
+	// barriers must strictly reduce the race population versus the
+	// unsynchronised run.
+	barriered := Random(RandomSpec{Procs: 3, Areas: 2, AreaWords: 2, OpsPerProc: 6, ReadPercent: 50, BarrierEvery: 1})
+	resB, err := barriered.Run(cfg(3, core.NewExactVWDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthB := verify.GroundTruth(resB.Trace, verify.DefaultOptions())
+	score := verify.ScoreReports(truthB, "vw-exact", resB.Races)
+	if score.FP != 0 || score.FN != 0 {
+		t.Fatalf("detector diverged from truth under barriers: %v", score)
+	}
+
+	free := Random(RandomSpec{Procs: 3, Areas: 2, AreaWords: 2, OpsPerProc: 6, ReadPercent: 50})
+	resF, err := free.Run(cfg(3, core.NewExactVWDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthF := verify.GroundTruth(resF.Trace, verify.DefaultOptions())
+	if len(truthB.Pairs) >= len(truthF.Pairs) {
+		t.Fatalf("barriers did not reduce true races: %d vs %d", len(truthB.Pairs), len(truthF.Pairs))
+	}
+}
+
+func TestMasterWorkerBenign(t *testing.T) {
+	w := MasterWorker(4, 3)
+	res := checkProfile(t, w, 7)
+	// The check inside Run already validated the total; double-check the
+	// signal-don't-abort property: program errors empty, races present.
+	if res.FirstError() != nil {
+		t.Fatal(res.FirstError())
+	}
+}
+
+func TestStencilCleanAndBuggy(t *testing.T) {
+	checkProfile(t, Stencil1D(4, 4, 3), 11)
+	checkProfile(t, StencilBuggy(4, 4, 3), 11)
+}
+
+func TestStencilConverges(t *testing.T) {
+	w := Stencil1D(3, 3, 8)
+	res, err := w.Run(cfg(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaging with wrap-around converges toward the mean of the ids
+	// (0,1,2): all cells must be in [0,2] and not all equal to the initial
+	// pattern.
+	for node := 0; node < 3; node++ {
+		for i := 0; i < 3; i++ {
+			v := res.Memory[node][i]
+			if v > 2 {
+				t.Fatalf("cell out of range: node %d[%d] = %d", node, i, v)
+			}
+		}
+	}
+}
+
+func TestHistogramExactTotals(t *testing.T) {
+	w := Histogram(3, 5, 8)
+	checkProfile(t, w, 13)
+}
+
+func TestHistogramRacyFlagged(t *testing.T) {
+	w := HistogramRacy(3, 2, 6)
+	checkProfile(t, w, 13)
+}
+
+func TestProducerConsumer(t *testing.T) {
+	w := ProducerConsumer(2, 3)
+	checkProfile(t, w, 17)
+}
+
+func TestProfileStrings(t *testing.T) {
+	if RaceFree.String() != "race-free" || RacyBenign.String() != "racy-benign" || RacyBug.String() != "racy-bug" {
+		t.Fatal("profile names")
+	}
+}
+
+func TestWorkloadRunLabel(t *testing.T) {
+	w := MasterWorker(3, 1)
+	res, err := w.Run(cfg(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Label != "master-worker" {
+		t.Fatalf("label = %q", res.Trace.Label)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPipelineTokenPassing(t *testing.T) {
+	w := Pipeline(4, 3)
+	res, err := w.Run(cfg(9, core.NewExactVWDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("flag polling is synchronisation-via-race and must be flagged")
+	}
+	// The decisive property: every report concerns a flag area, never a
+	// data area. Flags are allocated second per node, so their area ids are
+	// odd (data0=0, flag0=1, data1=2, ...).
+	for _, r := range res.Races {
+		if int(r.Area)%2 == 0 {
+			t.Fatalf("data area %d flagged — the reads-from edge should order data: %v", r.Area, r)
+		}
+	}
+	// Ground truth agrees: all true races live on flag areas.
+	truth := verify.GroundTruth(res.Trace, verify.DefaultOptions())
+	for _, pr := range truth.Pairs {
+		if int(pr.Area)%2 == 0 {
+			t.Fatalf("ground truth found a data race on data area %d", pr.Area)
+		}
+	}
+	if len(truth.Pairs) == 0 {
+		t.Fatal("flag races must exist in ground truth")
+	}
+}
