@@ -1,0 +1,85 @@
+package dsmrace
+
+import (
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/vclock"
+)
+
+// TestOnAccessAllocationBudget pins the zero-allocation contract of the
+// detection hot path: once warm, a steady-state OnAccess step performs no
+// allocation when it does not race, and at most one (the report) when it
+// does. The absorb scratch buffer is threaded back in exactly as the NIC
+// does.
+func TestOnAccessAllocationBudget(t *testing.T) {
+	const n = 16
+
+	// Quiet stream: one writer whose node is the home — every access is
+	// causally after the last, so no detector reports.
+	t.Run("quiet", func(t *testing.T) {
+		for _, d := range benchDetectors() {
+			d := d
+			t.Run(d.Name(), func(t *testing.T) {
+				st := d.NewAreaState(n)
+				clk := vclock.New(n)
+				var scratch vclock.VC
+				seq := uint64(0)
+				step := func() {
+					seq++
+					clk.Tick(0)
+					rep, absorbed := st.OnAccess(core.Access{
+						Proc: 0, Seq: seq, Kind: core.Write, Clock: clk,
+					}, 0, scratch)
+					if rep != nil {
+						t.Fatal("quiet stream raced")
+					}
+					if absorbed != nil {
+						scratch = absorbed
+					}
+				}
+				for i := 0; i < 32; i++ {
+					step() // warm the state-owned buffers
+				}
+				if avg := testing.AllocsPerRun(100, step); avg > 0 {
+					t.Errorf("steady-state quiet OnAccess allocates %.2f/op, want 0", avg)
+				}
+			})
+		}
+	})
+
+	// Racing stream: rotating writers that never gossip — every access is
+	// concurrent with the stored clock for the clock-based detectors. The
+	// only permitted allocation is the race report itself.
+	t.Run("racing", func(t *testing.T) {
+		for _, d := range benchDetectors() {
+			d := d
+			t.Run(d.Name(), func(t *testing.T) {
+				st := d.NewAreaState(n)
+				clocks := make([]vclock.VC, n)
+				for i := range clocks {
+					clocks[i] = vclock.New(n)
+				}
+				var scratch vclock.VC
+				seq, proc := uint64(0), 0
+				step := func() {
+					seq++
+					proc = (proc + 1) % n
+					clocks[proc].Tick(proc)
+					_, absorbed := st.OnAccess(core.Access{
+						Proc: proc, Seq: seq, Kind: core.Write, Clock: clocks[proc],
+					}, 0, scratch)
+					if absorbed != nil {
+						scratch = absorbed
+					}
+				}
+				for i := 0; i < 3*n; i++ {
+					step()
+				}
+				if avg := testing.AllocsPerRun(100, step); avg > 1 {
+					t.Errorf("steady-state racing OnAccess allocates %.2f/op, want <= 1 (the report)", avg)
+				}
+			})
+		}
+	})
+}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"testing"
 
-	"dsmrace/internal/baseline"
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/memory"
@@ -16,45 +15,6 @@ import (
 	"dsmrace/internal/vclock"
 	"dsmrace/internal/workload"
 )
-
-// benchOps runs a single-writer loop of b.N remote puts/gets under the
-// given spec knobs and reports virtual message/byte/latency metrics.
-func benchOps(b *testing.B, detector, protocol string, payloadWords int, read bool) {
-	b.Helper()
-	spec := RunSpec{
-		Procs:    2,
-		Seed:     1,
-		Detector: detector,
-		Protocol: protocol,
-		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, max(payloadWords, 1)) },
-	}
-	vals := make([]Word, payloadWords)
-	n := b.N
-	spec.Programs = []Program{
-		nil,
-		func(p *Proc) error {
-			for i := 0; i < n; i++ {
-				if read {
-					if _, err := p.Get("x", 0, payloadWords); err != nil {
-						return err
-					}
-				} else if err := p.Put("x", 0, vals...); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
-	}
-	b.ResetTimer()
-	res, err := Run(spec)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(n), "msgs/op")
-	b.ReportMetric(float64(res.NetStats.TotalBytes)/float64(n), "wireB/op")
-	b.ReportMetric(float64(res.Duration)/float64(n), "vns/op")
-}
 
 // BenchmarkE_F2_Put measures the put primitive of Fig. 2 (detection off).
 func BenchmarkE_F2_Put(b *testing.B) { benchOps(b, "off", "", 1, false) }
@@ -136,23 +96,7 @@ func BenchmarkE_T4_Throughput(b *testing.B) {
 	for _, n := range []int{2, 4, 8, 16} {
 		for _, det := range []string{"off", "vw-exact"} {
 			b.Run(fmt.Sprintf("n=%d/det=%s", n, det), func(b *testing.B) {
-				d, err := NewDetector(det)
-				if err != nil {
-					b.Fatal(err)
-				}
-				w := workload.Random(workload.RandomSpec{
-					Procs: n, Areas: 2 * n, AreaWords: 4,
-					OpsPerProc: b.N, ReadPercent: 50,
-				})
-				b.ResetTimer()
-				res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil)})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StopTimer()
-				totalOps := float64(n * b.N)
-				b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
-				b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
+				benchThroughput(b, n, det)
 			})
 		}
 	}
@@ -311,37 +255,18 @@ func BenchmarkMergeClocks(b *testing.B) {
 	}
 }
 
-// BenchmarkDetectorOnAccess measures one detection step per detector.
+// BenchmarkDetectorOnAccess measures one detection step per detector. The
+// vw detectors are required to stay at or below one allocation per access
+// in steady state (see TestOnAccessAllocationBudget).
 func BenchmarkDetectorOnAccess(b *testing.B) {
-	dets := []core.Detector{
-		core.NewVWDetector(), core.NewExactVWDetector(),
-		baseline.NewSingleClock(), baseline.NewEpoch(), baseline.NewLockset(), baseline.Nop{},
-	}
-	for _, d := range dets {
-		b.Run(d.Name(), func(b *testing.B) {
-			const n = 16
-			st := d.NewAreaState(n)
-			clk := vclock.New(n)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				clk.Tick(i % n)
-				acc := core.Access{Proc: i % n, Seq: uint64(i), Kind: core.Write, Clock: clk}
-				st.OnAccess(acc, 0)
-			}
-		})
+	for _, d := range benchDetectors() {
+		b.Run(d.Name(), func(b *testing.B) { benchDetectorOnAccess(b, d) })
 	}
 }
 
 // BenchmarkMemoryPutThroughput measures raw substrate bandwidth (large
 // payload puts, detection off).
 func BenchmarkMemoryPutThroughput(b *testing.B) {
-	benchOps(b, "off", "", 512, false)
 	b.SetBytes(512 * memory.WordBytes)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	benchOps(b, "off", "", 512, false)
 }

@@ -1,0 +1,146 @@
+package dsmrace
+
+// The benchmark bodies shared between `go test -bench` (bench_test.go
+// wrappers) and the cmd/bench harness, which runs them via
+// testing.Benchmark and writes the machine-readable perf trajectory
+// (BENCH_<pr>.json). Keeping one implementation ensures the JSON numbers
+// and the interactive bench numbers measure the same code.
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/baseline"
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/vclock"
+	"dsmrace/internal/workload"
+)
+
+// BenchSpec names one benchmark runnable by the harness.
+type BenchSpec struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// benchOps runs a single-writer loop of b.N remote puts/gets under the
+// given spec knobs and reports virtual message/byte/latency metrics.
+func benchOps(b *testing.B, detector, protocol string, payloadWords int, read bool) {
+	b.Helper()
+	spec := RunSpec{
+		Procs:    2,
+		Seed:     1,
+		Detector: detector,
+		Protocol: protocol,
+		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, max(payloadWords, 1)) },
+	}
+	vals := make([]Word, payloadWords)
+	n := b.N
+	spec.Programs = []Program{
+		nil,
+		func(p *Proc) error {
+			for i := 0; i < n; i++ {
+				if read {
+					if _, err := p.Get("x", 0, payloadWords); err != nil {
+						return err
+					}
+				} else if err := p.Put("x", 0, vals...); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	b.ResetTimer()
+	res, err := Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/float64(n), "msgs/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/float64(n), "wireB/op")
+	b.ReportMetric(float64(res.Duration)/float64(n), "vns/op")
+}
+
+// benchThroughput is the E-T4 body: the mixed random workload, b.N ops per
+// process across n processes, detection as named.
+func benchThroughput(b *testing.B, n int, det string) {
+	b.Helper()
+	d, err := NewDetector(det)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Random(workload.RandomSpec{
+		Procs: n, Areas: 2 * n, AreaWords: 4,
+		OpsPerProc: b.N, ReadPercent: 50,
+	})
+	b.ResetTimer()
+	res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	totalOps := float64(n * b.N)
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+	b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
+}
+
+// benchDetectors lists the detectors the OnAccess microbenchmark measures.
+func benchDetectors() []core.Detector {
+	return []core.Detector{
+		core.NewVWDetector(), core.NewExactVWDetector(),
+		baseline.NewSingleClock(), baseline.NewEpoch(), baseline.NewLockset(), baseline.Nop{},
+	}
+}
+
+// benchDetectorOnAccess measures one steady-state detection step: a
+// rotating-writer stream against a single area state, threading the absorb
+// scratch buffer exactly as the NIC hot path does.
+func benchDetectorOnAccess(b *testing.B, d core.Detector) {
+	b.Helper()
+	const n = 16
+	st := d.NewAreaState(n)
+	clk := vclock.New(n)
+	var scratch vclock.VC
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Tick(i % n)
+		acc := core.Access{Proc: i % n, Seq: uint64(i), Kind: core.Write, Clock: clk}
+		_, absorbed := st.OnAccess(acc, 0, scratch)
+		if absorbed != nil {
+			scratch = absorbed
+		}
+	}
+}
+
+// StandardBenchmarks returns the canonical benchmark set the cmd/bench
+// harness records in the perf trajectory: the raw put/get primitives, the
+// protocol ablation, the E-T4 throughput grid, and the per-detector
+// OnAccess microbenchmark.
+func StandardBenchmarks() []BenchSpec {
+	specs := []BenchSpec{
+		{Name: "E_F2_Put", F: func(b *testing.B) { benchOps(b, "off", "", 1, false) }},
+		{Name: "E_F2_Get", F: func(b *testing.B) { benchOps(b, "off", "", 1, true) }},
+		{Name: "E_T2_Protocols/piggyback", F: func(b *testing.B) { benchOps(b, "vw", "piggyback", 1, false) }},
+		{Name: "E_T2_Protocols/literal", F: func(b *testing.B) { benchOps(b, "vw", "literal", 1, false) }},
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, det := range []string{"off", "vw-exact"} {
+			n, det := n, det
+			specs = append(specs, BenchSpec{
+				Name: fmt.Sprintf("E_T4_Throughput/n=%d/det=%s", n, det),
+				F:    func(b *testing.B) { benchThroughput(b, n, det) },
+			})
+		}
+	}
+	for _, d := range benchDetectors() {
+		d := d
+		specs = append(specs, BenchSpec{
+			Name: "DetectorOnAccess/" + d.Name(),
+			F:    func(b *testing.B) { benchDetectorOnAccess(b, d) },
+		})
+	}
+	return specs
+}

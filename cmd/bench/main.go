@@ -1,0 +1,168 @@
+// Command bench runs the repository's standard benchmark families via
+// testing.Benchmark and writes a machine-readable JSON record — the
+// persistent perf trajectory every PR appends to (BENCH_<pr>.json).
+//
+// For each benchmark it reports host ns/op, allocs/op and B/op next to the
+// simulator's virtual metrics (msgs/op, vns/op, wireB/op), so hot-path
+// regressions are visible in both host time and modelled cost.
+//
+// Usage:
+//
+//	go run ./cmd/bench                                # all families, 2000 iterations
+//	go run ./cmd/bench -filter 'E_T4' -benchtime 50000x
+//	go run ./cmd/bench -out BENCH_2.json -pr 2 -note "after sharding"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"dsmrace"
+)
+
+// Result is one benchmark's recorded numbers.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk schema of BENCH_<pr>.json.
+type File struct {
+	Schema    string            `json:"schema"`
+	PR        int               `json:"pr,omitempty"`
+	Note      string            `json:"note,omitempty"`
+	Date      string            `json:"date"`
+	GoVersion string            `json:"go_version"`
+	CPU       string            `json:"cpu"`
+	BenchTime string            `json:"benchtime"`
+	Results   []Result          `json:"results"`
+	Baseline  map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default: stdout)")
+	filter := flag.String("filter", "", "regexp selecting benchmark names (default: all)")
+	benchtime := flag.String("benchtime", "2000x", "benchmark duration per family (Nx or duration)")
+	pr := flag.Int("pr", 0, "PR number to record")
+	note := flag.String("note", "", "free-form note recorded in the file")
+	baseline := flag.String("baseline", "", "existing BENCH_*.json whose results become this file's baseline section")
+	flag.Parse()
+
+	// testing.Benchmark honours the package-level benchtime flag; Init
+	// registers it so a main program can set it.
+	testing.Init()
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	file := File{
+		Schema:    "dsmrace-bench/v1",
+		PR:        *pr,
+		Note:      *note,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPU:       fmt.Sprintf("%s/%s x%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		BenchTime: *benchtime,
+	}
+	if *baseline != "" {
+		prev, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		file.Baseline = prev
+	}
+
+	for _, spec := range dsmrace.StandardBenchmarks() {
+		if re != nil && !re.MatchString(spec.Name) {
+			continue
+		}
+		r := testing.Benchmark(spec.F)
+		res := Result{
+			Name:        spec.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		file.Results = append(file.Results, res)
+		fmt.Fprintf(os.Stderr, "%-40s %10d iters %12.1f ns/op %6d allocs/op%s\n",
+			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, metricsLine(res.Metrics))
+	}
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(file.Results))
+}
+
+// readBaseline lifts a previous run's results into a name-indexed map.
+func readBaseline(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	m := make(map[string]Result, len(f.Results))
+	for _, r := range f.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func metricsLine(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("  %s=%.1f", k, m[k])
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package dsmrace
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/workload"
+)
+
+// The fingerprints below were captured from the seed tree (before the
+// zero-allocation hot-path rework) on the mixed random workload: 4 procs,
+// 6 areas of 4 words, 60 ops/proc, 40% reads, a barrier every 25 ops. They
+// pin down the full observable output of a fixed-seed run — race count,
+// virtual duration, message/byte totals, and a hash over every race report
+// string — so any refactor of the kernel, clock, detector or transport
+// layers that shifts event ordering, clock values or report content by a
+// single bit fails here.
+//
+// The "off" hash is sha256("") — no reports.
+type goldenRun struct {
+	det, proto string
+	seed       int64
+	races      int
+	dur        int64
+	msgs       uint64
+	bytes      uint64
+	hash       string
+}
+
+var goldenRuns = []goldenRun{
+	{"vw", "piggyback", 1, 119, 188138, 496, 34656, "07834b20669405dd"},
+	{"vw", "piggyback", 7, 140, 181858, 496, 34656, "71ade93075f9a312"},
+	{"vw", "literal", 1, 176, 979270, 2842, 153520, "cb4bf7cb68f4b4f1"},
+	{"vw", "literal", 7, 174, 983834, 2878, 156304, "8743fa64fa9f343f"},
+	{"vw-exact", "piggyback", 1, 134, 188138, 496, 34656, "39031d86a4f32cf8"},
+	{"vw-exact", "piggyback", 7, 149, 181858, 496, 34656, "fc196e6c7ede44cd"},
+	{"vw-exact", "literal", 1, 176, 979270, 2842, 153520, "d5252a1d085236d2"},
+	{"vw-exact", "literal", 7, 181, 983834, 2878, 156304, "635470c510258f71"},
+	{"single-clock", "piggyback", 1, 139, 188138, 496, 34656, "039b0afdcfe38876"},
+	{"single-clock", "piggyback", 7, 147, 181858, 496, 34656, "eb4da60be9f2e113"},
+	{"single-clock", "literal", 1, 178, 979270, 2842, 153520, "37b2724587dd3e00"},
+	{"single-clock", "literal", 7, 178, 983834, 2878, 156304, "244c0dedc0fb4185"},
+	{"epoch", "piggyback", 1, 180, 192522, 496, 26496, "b0a6c550fb226343"},
+	{"epoch", "piggyback", 7, 175, 180090, 496, 26496, "243cfcc91e9aad05"},
+	{"lockset", "piggyback", 1, 6, 192522, 496, 26496, "744d88aa3f27a4dc"},
+	{"lockset", "piggyback", 7, 6, 180090, 496, 26496, "271fe81e108033d6"},
+	{"off", "piggyback", 1, 0, 184466, 496, 18336, "e3b0c44298fc1c14"},
+	{"off", "piggyback", 7, 0, 178322, 496, 18336, "e3b0c44298fc1c14"},
+}
+
+func reportHash(res *Result) string {
+	h := sha256.New()
+	for _, r := range res.Races {
+		fmt.Fprintln(h, r.String())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// TestDeterminismGoldenFingerprints verifies that fixed-seed simulations are
+// bit-identical to the seed tree: same race reports, same NetStats, same
+// virtual durations.
+func TestDeterminismGoldenFingerprints(t *testing.T) {
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(fmt.Sprintf("%s/%s/seed=%d", g.det, g.proto, g.seed), func(t *testing.T) {
+			d, err := NewDetector(g.det)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := workload.Random(workload.RandomSpec{
+				Procs: 4, Areas: 6, AreaWords: 4, OpsPerProc: 60, ReadPercent: 40,
+				BarrierEvery: 25,
+			})
+			cfg := rdma.DefaultConfig(d, nil)
+			if g.proto == "literal" {
+				cfg.Protocol = rdma.ProtocolLiteral
+			}
+			res, err := w.Run(dsm.Config{Seed: g.seed, RDMA: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RaceCount != g.races {
+				t.Errorf("races = %d, want %d", res.RaceCount, g.races)
+			}
+			if int64(res.Duration) != g.dur {
+				t.Errorf("duration = %d, want %d", int64(res.Duration), g.dur)
+			}
+			if res.NetStats.TotalMsgs != g.msgs {
+				t.Errorf("msgs = %d, want %d", res.NetStats.TotalMsgs, g.msgs)
+			}
+			if res.NetStats.TotalBytes != g.bytes {
+				t.Errorf("bytes = %d, want %d", res.NetStats.TotalBytes, g.bytes)
+			}
+			if got := reportHash(res); got != g.hash {
+				t.Errorf("report hash = %s, want %s (race report content changed)", got, g.hash)
+			}
+		})
+	}
+}
+
+// TestDeterminismWordGranularityCompressed pins the facade path with word
+// granularity, delta-compressed clock accounting and latency jitter — the
+// configuration exercising the CompressClocks decoder state and the
+// word-level detection fan-out.
+func TestDeterminismWordGranularityCompressed(t *testing.T) {
+	res, err := Run(RunSpec{
+		Procs: 3, Seed: 3, Detector: "vw", Granularity: "word", CompressClocks: true, Jitter: 0.2,
+		Setup: func(c *Cluster) error { return c.Alloc("x", 0, 4) },
+		Program: func(p *Proc) error {
+			for i := 0; i < 30; i++ {
+				if i%2 == 0 {
+					if err := p.Put("x", i%4, Word(i)); err != nil {
+						return err
+					}
+				} else if _, err := p.GetWord("x", (i+1)%4); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 34 {
+		t.Errorf("races = %d, want 34", res.RaceCount)
+	}
+	if int64(res.Duration) != 100437 {
+		t.Errorf("duration = %d, want 100437", int64(res.Duration))
+	}
+	if res.NetStats.TotalMsgs != 180 || res.NetStats.TotalBytes != 7406 {
+		t.Errorf("netstats = %d msgs / %d bytes, want 180 / 7406",
+			res.NetStats.TotalMsgs, res.NetStats.TotalBytes)
+	}
+	if got := reportHash(res); got != "5aa37228059a73db" {
+		t.Errorf("report hash = %s, want 5aa37228059a73db", got)
+	}
+}
+
+// TestSameSeedTwiceIsIdentical runs the same racy spec twice in-process and
+// requires byte-identical outcomes — catching any nondeterminism introduced
+// by pooling or buffer reuse (a recycled buffer leaking stale state would
+// desync the two runs' reports).
+func TestSameSeedTwiceIsIdentical(t *testing.T) {
+	run := func() (*Result, error) {
+		d, err := NewDetector("vw")
+		if err != nil {
+			return nil, err
+		}
+		w := workload.Random(workload.RandomSpec{
+			Procs: 4, Areas: 3, AreaWords: 2, OpsPerProc: 40, ReadPercent: 50,
+		})
+		return w.Run(dsm.Config{Seed: 42, RDMA: rdma.DefaultConfig(d, nil)})
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RaceCount != b.RaceCount || a.Duration != b.Duration ||
+		a.NetStats != b.NetStats || reportHash(a) != reportHash(b) {
+		t.Fatalf("two identical-seed runs diverged: races %d/%d dur %v/%v hash %s/%s",
+			a.RaceCount, b.RaceCount, a.Duration, b.Duration, reportHash(a), reportHash(b))
+	}
+}

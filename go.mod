@@ -1,0 +1,3 @@
+module dsmrace
+
+go 1.24

@@ -33,30 +33,46 @@ func (d *SingleClock) NewAreaState(n int) core.AreaState {
 }
 
 type singleState struct {
-	det  *SingleClock
-	v    vclock.VC
-	last *core.Access
+	det     *SingleClock
+	v       vclock.VC
+	last    core.Access
+	hasLast bool
+	// lastClock, repClock and priorBuf are state-owned buffers backing the
+	// retained last access and the borrowed report fields (see
+	// core.AreaState.OnAccess).
+	lastClock  vclock.VC
+	repClock   vclock.VC
+	priorBuf   core.Access
+	priorClock vclock.VC
 }
 
-func (s *singleState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) {
+func (s *singleState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
 	var rep *core.Report
 	if vclock.ConcurrentWith(acc.Clock, s.v) {
+		s.repClock = s.v.CopyInto(s.repClock)
 		rep = &core.Report{
 			Detector:    s.det.Name(),
 			Area:        acc.Area,
 			Current:     acc,
-			StoredClock: s.v.Copy(),
-			Prior:       s.last,
+			StoredClock: s.repClock,
 			Time:        acc.Time,
+		}
+		if s.hasLast {
+			s.priorClock = s.last.Clock.CopyInto(s.priorClock)
+			s.priorBuf = s.last
+			s.priorBuf.Clock = s.priorClock
+			rep.Prior = &s.priorBuf
 		}
 	}
 	s.v.Merge(acc.Clock)
 	if acc.Kind == core.Write && s.det.TickHomeOnWrite {
 		s.v.Tick(home)
 	}
-	a := acc
-	s.last = &a
-	return rep, s.v.Copy()
+	s.lastClock = acc.Clock.CopyInto(s.lastClock)
+	s.last = acc
+	s.last.Clock = s.lastClock
+	s.hasLast = true
+	return rep, s.v.CopyInto(absorb)
 }
 
 func (s *singleState) StorageBytes() int { return s.v.WireSize() }
@@ -68,9 +84,9 @@ func (s *singleState) Clocks() (v, w vclock.VC) { return s.v.Copy(), s.v.Copy() 
 // SetClocks implements core.ClockAccessor.
 func (s *singleState) SetClocks(v, w vclock.VC) {
 	if v != nil {
-		s.v = v.Copy()
+		s.v = v.CopyInto(s.v)
 	} else if w != nil {
-		s.v = w.Copy()
+		s.v = w.CopyInto(s.v)
 	}
 }
 
@@ -86,5 +102,7 @@ func (Nop) NewAreaState(n int) core.AreaState { return nopState{} }
 
 type nopState struct{}
 
-func (nopState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) { return nil, nil }
-func (nopState) StorageBytes() int                                            { return 0 }
+func (nopState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
+	return nil, nil
+}
+func (nopState) StorageBytes() int { return 0 }

@@ -43,47 +43,67 @@ type epochState struct {
 	w        epoch     // last write epoch
 	r        epoch     // last read epoch (when not inflated)
 	rv       vclock.VC // inflated read vector, nil until needed
-	lastW    *core.Access
-	lastR    *core.Access
-	homeTick uint64 // counts write events at the home, mirroring the VW home tick
+	homeTick uint64    // counts write events at the home, mirroring the VW home tick
+
+	// Last-access context stored by value in state-owned buffers; reports
+	// borrow priorBuf (see core.AreaState.OnAccess).
+	lastW, lastR       core.Access
+	hasLastW, hasLastR bool
+	lwClock, lrClock   vclock.VC
+	priorBuf           core.Access
+	priorClock         vclock.VC
 }
 
-func (s *epochState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) {
+// setLast records acc into a last-access slot, copying its clock into the
+// slot's state-owned buffer.
+func (s *epochState) setLast(slot *core.Access, clk *vclock.VC, has *bool, acc core.Access) {
+	*clk = acc.Clock.CopyInto(*clk)
+	*slot = acc
+	slot.Clock = *clk
+	*has = true
+}
+
+func (s *epochState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
 	var rep *core.Report
-	mk := func(prior *core.Access) *core.Report {
-		return &core.Report{
+	mk := func(prior *core.Access, has bool) *core.Report {
+		r := &core.Report{
 			Detector: "epoch",
 			Area:     acc.Area,
 			Current:  acc,
-			Prior:    prior,
 			Time:     acc.Time,
 		}
+		if has {
+			s.priorClock = prior.Clock.CopyInto(s.priorClock)
+			s.priorBuf = *prior
+			s.priorBuf.Clock = s.priorClock
+			r.Prior = &s.priorBuf
+		}
+		return r
 	}
 	switch acc.Kind {
 	case core.Write:
 		// write-write race: last write not covered by k.
 		if !s.w.isZero() && !s.w.happensBefore(acc.Clock) {
-			rep = mk(s.lastW)
+			rep = mk(&s.lastW, s.hasLastW)
 		}
 		// write-read races: any recorded read not covered by k.
 		if rep == nil {
 			if s.rv != nil {
 				if !acc.Clock.Dominates(s.rv) {
-					rep = mk(s.lastR)
+					rep = mk(&s.lastR, s.hasLastR)
 				}
 			} else if !s.r.isZero() && !s.r.happensBefore(acc.Clock) {
-				rep = mk(s.lastR)
+				rep = mk(&s.lastR, s.hasLastR)
 			}
 		}
 		s.w = epoch{clk: acc.Clock[acc.Proc], proc: acc.Proc}
 		s.r = epoch{}
 		s.rv = nil
 		s.homeTick++
-		a := acc
-		s.lastW = &a
+		s.setLast(&s.lastW, &s.lwClock, &s.hasLastW, acc)
 	default: // Read
 		if !s.w.isZero() && !s.w.happensBefore(acc.Clock) {
-			rep = mk(s.lastW)
+			rep = mk(&s.lastW, s.hasLastW)
 		}
 		me := epoch{clk: acc.Clock[acc.Proc], proc: acc.Proc}
 		switch {
@@ -103,8 +123,7 @@ func (s *epochState) OnAccess(acc core.Access, home int) (*core.Report, vclock.V
 			}
 			s.r = epoch{}
 		}
-		a := acc
-		s.lastR = &a
+		s.setLast(&s.lastR, &s.lrClock, &s.hasLastR, acc)
 	}
 	return rep, nil
 }

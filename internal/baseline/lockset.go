@@ -43,20 +43,31 @@ type locksetState struct {
 	phase lsPhase
 	owner int
 	// candidates is the intersection of lock sets seen so far; nil means
-	// "all locks" (no constraining access yet). Kept sorted.
+	// "all locks" (no constraining access yet). Kept sorted and refined in
+	// place, so steady-state accesses do not allocate.
 	candidates []int
 	hasCands   bool
 	reported   bool // Eraser reports each area at most once
-	last       *core.Access
+	// heldBuf is scratch for the sorted copy of acc.Locks.
+	heldBuf []int
+	// Last-access context stored by value; reports borrow priorBuf.
+	last       core.Access
+	hasLast    bool
+	lastClock  vclock.VC
+	lastLocks  []int
+	priorBuf   core.Access
+	priorClock vclock.VC
 }
 
-func intersect(a []int, b []int) []int {
-	out := a[:0:0]
-	i, j := 0, 0
+// intersectInPlace filters a down to its intersection with b (both sorted).
+// The write index never passes the read index, so a's storage is reused.
+func intersectInPlace(a []int, b []int) []int {
+	k, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] == b[j]:
-			out = append(out, a[i])
+			a[k] = a[i]
+			k++
 			i++
 			j++
 		case a[i] < b[j]:
@@ -65,11 +76,12 @@ func intersect(a []int, b []int) []int {
 			j++
 		}
 	}
-	return out
+	return a[:k]
 }
 
-func (s *locksetState) OnAccess(acc core.Access, home int) (*core.Report, vclock.VC) {
-	held := append([]int(nil), acc.Locks...)
+func (s *locksetState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
+	s.heldBuf = append(s.heldBuf[:0], acc.Locks...)
+	held := s.heldBuf
 	sort.Ints(held)
 
 	switch s.phase {
@@ -83,7 +95,7 @@ func (s *locksetState) OnAccess(acc core.Access, home int) (*core.Report, vclock
 			} else {
 				s.phase = lsSharedModified
 			}
-			s.candidates = held
+			s.candidates = append(s.candidates[:0], held...)
 			s.hasCands = true
 		}
 	case lsShared:
@@ -102,22 +114,31 @@ func (s *locksetState) OnAccess(acc core.Access, home int) (*core.Report, vclock
 			Detector: "lockset",
 			Area:     acc.Area,
 			Current:  acc,
-			Prior:    s.last,
 			Time:     acc.Time,
 		}
+		if s.hasLast {
+			s.priorClock = s.last.Clock.CopyInto(s.priorClock)
+			s.priorBuf = s.last
+			s.priorBuf.Clock = s.priorClock
+			rep.Prior = &s.priorBuf
+		}
 	}
-	a := acc
-	s.last = &a
+	s.lastClock = acc.Clock.CopyInto(s.lastClock)
+	s.lastLocks = append(s.lastLocks[:0], acc.Locks...)
+	s.last = acc
+	s.last.Clock = s.lastClock
+	s.last.Locks = s.lastLocks
+	s.hasLast = true
 	return rep, nil
 }
 
 func (s *locksetState) refine(held []int) {
 	if !s.hasCands {
-		s.candidates = held
+		s.candidates = append(s.candidates[:0], held...)
 		s.hasCands = true
 		return
 	}
-	s.candidates = intersect(s.candidates, held)
+	s.candidates = intersectInPlace(s.candidates, held)
 }
 
 // StorageBytes: phase byte + candidate lock ids (8 bytes each).

@@ -62,7 +62,7 @@ func TestExactVWMatchesFullHistoryOracle(t *testing.T) {
 			acc := Access{Proc: p, Seq: uint64(step), Kind: kind, Clock: clocks[p].Copy()}
 
 			want := oracle.check(acc)
-			rep, absorb := st.OnAccess(acc, 0)
+			rep, absorb := st.OnAccess(acc, 0, nil)
 			got := rep != nil
 			if got != want {
 				t.Fatalf("seed %d step %d: detector=%v oracle=%v for %v (V=%s W=%s)",
@@ -95,14 +95,14 @@ func TestHomeTickMasksConcurrency(t *testing.T) {
 	}
 
 	exact := NewExactVWDetector().NewAreaState(3)
-	exact.OnAccess(w1, 0)
-	if rep, _ := exact.OnAccess(w0, 0); rep == nil {
+	exact.OnAccess(w1, 0, nil)
+	if rep, _ := exact.OnAccess(w0, 0, nil); rep == nil {
 		t.Fatal("exact mode must flag the concurrent write")
 	}
 
 	paper := NewVWDetector().NewAreaState(3)
-	paper.OnAccess(w1, 0) // V becomes 110: merge(010) + tick of home 0
-	if rep, _ := paper.OnAccess(w0, 0); rep != nil {
+	paper.OnAccess(w1, 0, nil) // V becomes 110: merge(010) + tick of home 0
+	if rep, _ := paper.OnAccess(w0, 0, nil); rep != nil {
 		// K=100 vs V=110 compares Before — the tick masked the race. If
 		// this ever starts flagging, the semantics changed; update
 		// DESIGN.md's finding.

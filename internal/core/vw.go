@@ -16,18 +16,6 @@ func CheckWrite(k, v vclock.VC) bool { return vclock.ConcurrentWith(k, v) }
 // concurrent read-only accesses never race.
 func CheckRead(k, w vclock.VC) bool { return vclock.ConcurrentWith(k, w) }
 
-// VWState is the paper's per-area detection state: the general-purpose
-// clock V and the write clock W (§IV-A), plus best-effort context about the
-// most recent conflicting accesses for report quality.
-type VWState struct {
-	V vclock.VC
-	W vclock.VC
-	// lastWrite and lastRead provide Prior context in reports.
-	lastWrite *Access
-	lastRead  *Access
-	name      string
-}
-
 // VWDetector implements the paper's detector.
 //
 // TickHomeOnWrite controls whether a write-apply increments the home
@@ -65,100 +53,189 @@ func (d *VWDetector) Name() string {
 // NewAreaState implements Detector.
 func (d *VWDetector) NewAreaState(n int) AreaState {
 	return &vwAreaState{
-		det: d,
-		st:  VWState{V: vclock.New(n), W: vclock.New(n)},
+		det:  d,
+		v:    vclock.New(n),
+		w:    vclock.New(n),
+		wIsV: false,
 	}
 }
 
+// vwAreaState is the paper's per-area detection state — the general-purpose
+// clock V and the write clock W (§IV-A) — maintained allocation-free in
+// steady state:
+//
+//   - W is a copy-on-write alias of V: a write sets W = V conceptually
+//     (Algorithm 5), which the state records as a flag instead of a copy.
+//     The stored W bytes are materialised only when a later read is about
+//     to diverge V from W.
+//   - Last-access context for report quality is stored by value in
+//     state-owned buffers, so reports borrow rather than allocate.
 type vwAreaState struct {
 	det *VWDetector
-	st  VWState
+	v   vclock.VC
+	// w holds the write clock's storage. When wIsV is set the logical W
+	// equals V and w's contents are stale.
+	w    vclock.VC
+	wIsV bool
+
+	// lastWrite and lastRead provide Prior context in reports; their Clock
+	// fields point into the state-owned lwClock/lrClock buffers.
+	lastWrite, lastRead       Access
+	hasLastWrite, hasLastRead bool
+	lwClock, lrClock          vclock.VC
+
+	// repClock and priorBuf back the StoredClock and Prior fields of
+	// returned reports (borrowed; see AreaState.OnAccess).
+	repClock   vclock.VC
+	priorBuf   Access
+	priorClock vclock.VC
+}
+
+// wClock returns the logical write clock, honouring the copy-on-write alias.
+func (s *vwAreaState) wClock() vclock.VC {
+	if s.wIsV {
+		return s.v
+	}
+	return s.w
 }
 
 // OnAccess implements AreaState: Algorithm 1 (writes) and Algorithm 2
 // (reads), with the clock updates of Algorithms 4–5 folded in.
-func (s *vwAreaState) OnAccess(acc Access, home int) (*Report, vclock.VC) {
+func (s *vwAreaState) OnAccess(acc Access, home int, absorb vclock.VC) (*Report, vclock.VC) {
 	var rep *Report
 	switch acc.Kind {
 	case Write:
-		if CheckWrite(acc.Clock, s.st.V) {
-			rep = s.report(acc, s.st.V.Copy(), s.conflictContext(acc))
+		// Snapshot V before the update: a race report must show the clock
+		// the check ran against. Then run the fused Algorithm 3 + 4 walk —
+		// MergeAndCompare classifies acc.Clock against the old V while
+		// folding it in (update_clock), one pass instead of two.
+		s.repClock = s.v.CopyInto(s.repClock)
+		if s.v.MergeAndCompare(acc.Clock) == vclock.Concurrent { // CheckWrite
+			rep = s.report(acc, s.conflictContext(acc))
 		}
-		// update_clock + update_clock_W (Algorithms 4–5): merge the
-		// initiator's clock, count the write as an event of the home node,
-		// and advance the write clock to the new access clock.
-		s.st.V.Merge(acc.Clock)
+		// Count the write as an event of the home node (Algorithm 5) and
+		// advance the write clock: W = V is recorded as an alias, not a
+		// copy.
 		if s.det.TickHomeOnWrite {
-			s.st.V.Tick(home)
+			s.v.Tick(home)
 		}
-		s.st.W = s.st.V.Copy()
-		a := acc
-		s.st.lastWrite = &a
+		s.wIsV = true
+		s.setLast(&s.lastWrite, &s.lwClock, &s.hasLastWrite, acc)
 		// The initiator absorbs the merged clock on the ack (production
 		// mode; the runtime decides whether to apply it).
-		return rep, s.st.V.Copy()
+		return rep, s.v.CopyInto(absorb)
 	default: // Read
-		if CheckRead(acc.Clock, s.st.W) {
-			rep = s.report(acc, s.st.W.Copy(), s.st.lastWrite)
+		w := s.wClock()
+		if CheckRead(acc.Clock, w) {
+			s.repClock = w.CopyInto(s.repClock)
+			rep = s.report(acc, s.priorWrite())
 		}
 		// Reads mark the access clock but are not write events: no home
-		// tick, no W update.
-		s.st.V.Merge(acc.Clock)
-		a := acc
-		s.st.lastRead = &a
+		// tick, no W update. While W aliases V, V may only be merged after
+		// materialising W's own storage — and only when the reader's clock
+		// is not already covered; once they have diverged, the fused
+		// merge-compare does the cover check and the merge in one pass.
+		if s.wIsV {
+			if !s.v.Dominates(acc.Clock) {
+				s.w = s.v.CopyInto(s.w)
+				s.wIsV = false
+				s.v.Merge(acc.Clock)
+			}
+		} else {
+			s.v.MergeAndCompare(acc.Clock)
+		}
+		s.setLast(&s.lastRead, &s.lrClock, &s.hasLastRead, acc)
 		// The reply carries W: the reader absorbs the clock of the write it
 		// observed (reads-from edge).
-		return rep, s.st.W.Copy()
+		return rep, s.wClock().CopyInto(absorb)
 	}
+}
+
+// setLast records acc into a state-owned last-access slot, copying its
+// clock into the slot's buffer so the caller's clock is not retained.
+func (s *vwAreaState) setLast(slot *Access, clk *vclock.VC, has *bool, acc Access) {
+	*clk = acc.Clock.CopyInto(*clk)
+	*slot = acc
+	slot.Clock = *clk
+	*has = true
+}
+
+// priorWrite returns the last write as report context, or nil.
+func (s *vwAreaState) priorWrite() *Access {
+	if s.hasLastWrite {
+		return &s.lastWrite
+	}
+	return nil
 }
 
 // conflictContext picks the most useful prior access to attach to a write
 // race: a concurrent prior write if one is known, else a concurrent prior
 // read, else whichever access is recorded.
 func (s *vwAreaState) conflictContext(acc Access) *Access {
-	if s.st.lastWrite != nil && vclock.ConcurrentWith(acc.Clock, s.st.lastWrite.Clock) {
-		return s.st.lastWrite
+	if s.hasLastWrite && vclock.ConcurrentWith(acc.Clock, s.lastWrite.Clock) {
+		return &s.lastWrite
 	}
-	if s.st.lastRead != nil && vclock.ConcurrentWith(acc.Clock, s.st.lastRead.Clock) {
-		return s.st.lastRead
+	if s.hasLastRead && vclock.ConcurrentWith(acc.Clock, s.lastRead.Clock) {
+		return &s.lastRead
 	}
-	if s.st.lastWrite != nil {
-		return s.st.lastWrite
+	if s.hasLastWrite {
+		return &s.lastWrite
 	}
-	return s.st.lastRead
+	if s.hasLastRead {
+		return &s.lastRead
+	}
+	return nil
 }
 
-func (s *vwAreaState) report(acc Access, stored vclock.VC, prior *Access) *Report {
-	return &Report{
+// report builds a race report around the repClock scratch the caller has
+// already snapshotted (the pre-update stored clock); prior (a pointer into
+// the last-access slots) is snapshotted into priorBuf because the same
+// OnAccess call overwrites those slots on its way out.
+func (s *vwAreaState) report(acc Access, prior *Access) *Report {
+	rep := &Report{
 		Detector:    s.det.Name(),
 		Area:        acc.Area,
 		Current:     acc,
-		StoredClock: stored,
-		Prior:       prior,
+		StoredClock: s.repClock,
 		Time:        acc.Time,
 	}
+	if prior != nil {
+		s.priorClock = prior.Clock.CopyInto(s.priorClock)
+		s.priorBuf = *prior
+		s.priorBuf.Clock = s.priorClock
+		rep.Prior = &s.priorBuf
+	}
+	return rep
 }
 
 // StorageBytes implements AreaState: two vector clocks — the paper's
-// "drawback ... it doubles the necessary amount of memory" (§IV-D).
+// "drawback ... it doubles the necessary amount of memory" (§IV-D). The
+// copy-on-write alias is an implementation detail; the modelled cost keeps
+// both clocks.
 func (s *vwAreaState) StorageBytes() int {
-	return s.st.V.WireSize() + s.st.W.WireSize()
+	return s.v.WireSize() + s.v.WireSize()
 }
 
 // Clocks exposes copies of (V, W) for the literal protocol's get_clock /
 // get_clock_W operations and for tests.
 func (s *vwAreaState) Clocks() (v, w vclock.VC) {
-	return s.st.V.Copy(), s.st.W.Copy()
+	return s.v.Copy(), s.wClock().Copy()
 }
 
 // SetClocks overwrites the stored clocks — the literal protocol's put_clock
 // after the initiator computed max_clock locally.
 func (s *vwAreaState) SetClocks(v, w vclock.VC) {
+	if s.wIsV {
+		// Break the alias first: a partial update must not drag the other
+		// clock along.
+		s.w = s.v.CopyInto(s.w)
+		s.wIsV = false
+	}
 	if v != nil {
-		s.st.V = v.Copy()
+		s.v = v.CopyInto(s.v)
 	}
 	if w != nil {
-		s.st.W = w.Copy()
+		s.w = w.CopyInto(s.w)
 	}
 }
 

@@ -33,7 +33,7 @@ func TestVWFig5aScenario(t *testing.T) {
 	// P0 and P2 both put into P1's memory with no causal relation.
 	d := NewVWDetector()
 	st := d.NewAreaState(3)
-	rep, absorbed := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1)
+	rep, absorbed := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1, nil)
 	if rep != nil {
 		t.Fatalf("first write raced: %v", rep)
 	}
@@ -41,7 +41,7 @@ func TestVWFig5aScenario(t *testing.T) {
 	if absorbed.String() != "110" {
 		t.Fatalf("area clock after m1 = %s, want 110", absorbed)
 	}
-	rep, _ = st.OnAccess(acc(2, 1, Write, 0, 0, 1), 1)
+	rep, _ = st.OnAccess(acc(2, 1, Write, 0, 0, 1), 1, nil)
 	if rep == nil {
 		t.Fatal("Fig. 5(a) race not detected")
 	}
@@ -59,7 +59,7 @@ func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(3)
 	// Home P1 initialises a = A (write with clock 010).
-	if rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1, 0), 1); rep != nil {
+	if rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1, 0), 1, nil); rep != nil {
 		t.Fatalf("init write raced: %v", rep)
 	}
 	// Both readers have absorbed the initialisation (e.g. via a barrier):
@@ -69,10 +69,10 @@ func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
 	if !vclock.ConcurrentWith(r0.Clock, r2.Clock) {
 		t.Fatal("test setup: readers must be mutually concurrent")
 	}
-	if rep, _ := st.OnAccess(r0, 1); rep != nil {
+	if rep, _ := st.OnAccess(r0, 1, nil); rep != nil {
 		t.Fatalf("read 1 falsely raced: %v", rep)
 	}
-	if rep, _ := st.OnAccess(r2, 1); rep != nil {
+	if rep, _ := st.OnAccess(r2, 1, nil); rep != nil {
 		t.Fatalf("read 2 falsely raced: %v", rep)
 	}
 }
@@ -80,10 +80,10 @@ func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
 func TestVWReadAgainstConcurrentWriteRaces(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(2)
-	if rep, _ := st.OnAccess(acc(0, 1, Write, 1, 0), 0); rep != nil {
+	if rep, _ := st.OnAccess(acc(0, 1, Write, 1, 0), 0, nil); rep != nil {
 		t.Fatal("unexpected race")
 	}
-	rep, _ := st.OnAccess(acc(1, 1, Read, 0, 1), 0)
+	rep, _ := st.OnAccess(acc(1, 1, Read, 0, 1), 0, nil)
 	if rep == nil {
 		t.Fatal("read concurrent with write must race")
 	}
@@ -95,8 +95,8 @@ func TestVWReadAgainstConcurrentWriteRaces(t *testing.T) {
 func TestVWWriteAfterConcurrentReadRaces(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(2)
-	st.OnAccess(acc(0, 1, Read, 1, 0), 0)
-	rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1), 0)
+	st.OnAccess(acc(0, 1, Read, 1, 0), 0, nil)
+	rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1), 0, nil)
 	if rep == nil {
 		t.Fatal("write concurrent with a read must race (write checks V)")
 	}
@@ -108,9 +108,9 @@ func TestVWWriteAfterConcurrentReadRaces(t *testing.T) {
 func TestVWReaderAbsorbsWriteClock(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(2)
-	_, wclk := st.OnAccess(acc(0, 1, Write, 1, 0), 0)
+	_, wclk := st.OnAccess(acc(0, 1, Write, 1, 0), 0, nil)
 	_ = wclk
-	_, absorbed := st.OnAccess(acc(1, 1, Read, 1, 1), 0)
+	_, absorbed := st.OnAccess(acc(1, 1, Read, 1, 1), 0, nil)
 	// Reply to a read carries W so the reader inherits the reads-from edge.
 	if absorbed.String() != "20" { // write merged 10, home tick -> 20
 		t.Fatalf("read reply clock = %s, want 20", absorbed)
@@ -120,7 +120,7 @@ func TestVWReaderAbsorbsWriteClock(t *testing.T) {
 func TestVWHomeTickAblation(t *testing.T) {
 	d := &VWDetector{TickHomeOnWrite: false}
 	st := d.NewAreaState(3)
-	_, clk := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1)
+	_, clk := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1, nil)
 	if clk.String() != "100" {
 		t.Fatalf("passive home: clock = %s, want 100", clk)
 	}
@@ -225,7 +225,7 @@ func TestVWSequentialAccessesNeverRace(t *testing.T) {
 		if i%3 == 0 {
 			kind = Read
 		}
-		rep, absorbed := st.OnAccess(Access{Proc: 0, Seq: uint64(i), Kind: kind, Clock: clk.Copy()}, 1)
+		rep, absorbed := st.OnAccess(Access{Proc: 0, Seq: uint64(i), Kind: kind, Clock: clk.Copy()}, 1, nil)
 		if rep != nil {
 			t.Fatalf("op %d raced: %v", i, rep)
 		}

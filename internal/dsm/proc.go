@@ -68,9 +68,13 @@ func (p *Proc) newAccess(kind core.AccessKind) core.Access {
 	return core.Access{Proc: p.id, Seq: p.seq, Kind: kind, Clock: p.clock.Copy(), Locks: locks}
 }
 
+// absorb merges a piggybacked reply clock into the process clock and
+// returns the buffer to the RDMA system's pool — the operation that handed
+// it out is complete and nothing else references it.
 func (p *Proc) absorb(clk vclock.VC) {
 	if clk != nil {
 		p.clock.Merge(clk)
+		p.c.sys.ReleaseClock(clk)
 	}
 }
 
@@ -162,7 +166,9 @@ func (p *Proc) Unlock(name string) error {
 	}
 	p.held = append(p.held[:idx], p.held[idx+1:]...)
 	p.clock.Tick(p.id)
-	p.c.sys.NIC(p.id).UnlockArea(a, p.id, p.clock.Copy())
+	// The release clock rides to the home in a pooled buffer; the home's
+	// unlock handler releases it after folding it into the lock slot.
+	p.c.sys.NIC(p.id).UnlockArea(a, p.id, p.clock.CopyInto(p.c.sys.GrabClock()))
 	return nil
 }
 

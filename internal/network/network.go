@@ -140,6 +140,26 @@ func (s Stats) String() string {
 	return fmt.Sprintf("msgs=%d bytes=%d [%s]", s.TotalMsgs, s.TotalBytes, strings.Join(rows, " "))
 }
 
+// inflight is a pooled in-transit message. The deliver closure is bound
+// once when the wrapper is first created and reused for every flight, so a
+// steady-state send performs no allocation: the caller's Message literal is
+// copied in, delivered, and the wrapper recycled.
+type inflight struct {
+	net *Network
+	m   Message
+	fn  func()
+}
+
+func (f *inflight) deliver() {
+	h := f.net.handlers[f.m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("network: node %d has no handler", f.m.Dst))
+	}
+	h(&f.m)
+	f.m.Payload = nil
+	f.net.pool = append(f.net.pool, f)
+}
+
 // Network connects n nodes over a latency model. Each node registers exactly
 // one delivery handler (its NIC).
 type Network struct {
@@ -150,6 +170,8 @@ type Network struct {
 	// before one sent earlier on the same link.
 	lastArrival map[[2]NodeID]sim.Time
 	stats       Stats
+	// pool recycles in-flight message wrappers once delivered.
+	pool []*inflight
 	// Down records one-way link cuts for failure injection; messages on a
 	// down link are silently dropped (counted in Dropped).
 	down    map[[2]NodeID]bool
@@ -194,6 +216,11 @@ func (n *Network) RestoreLink(a, b NodeID) { delete(n.down, [2]NodeID{a, b}) }
 // Send transmits m; delivery is scheduled on the kernel after the modelled
 // latency, preserving FIFO order per directed link. The message is counted
 // at send time. Sends to down links are dropped.
+//
+// The network copies m into a pooled in-flight wrapper: the caller's
+// Message is not retained (and with escape analysis a stack literal stays
+// on the stack). Handlers receive a *Message that is only valid for the
+// duration of the delivery call; payloads are handed off as-is.
 func (n *Network) Send(m *Message) {
 	if m.Size < HeaderBytes {
 		m.Size = HeaderBytes
@@ -210,11 +237,14 @@ func (n *Network) Send(m *Message) {
 		at = last // FIFO: cannot overtake an earlier message on this link
 	}
 	n.lastArrival[link] = at
-	n.k.At(at, func() {
-		h := n.handlers[m.Dst]
-		if h == nil {
-			panic(fmt.Sprintf("network: node %d has no handler", m.Dst))
-		}
-		h(m)
-	})
+	var f *inflight
+	if p := len(n.pool); p > 0 {
+		f = n.pool[p-1]
+		n.pool = n.pool[:p-1]
+	} else {
+		f = &inflight{net: n}
+		f.fn = f.deliver
+	}
+	f.m = *m
+	n.k.At(at, f.fn)
 }

@@ -107,25 +107,63 @@ func (n *NIC) handle(m *network.Message) {
 	}
 }
 
-// roundTrip sends a request and parks the calling process until the
-// response arrives.
-func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size int, r *req) *resp {
-	r.id = n.sys.nextReq()
-	r.origin = n.id
-	pd := &pending{proc: p}
-	n.pending[r.id] = pd
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: r})
-	for !pd.done {
-		p.Park("rdma " + kind.String())
+// parkReasons caches the "rdma <kind>" park labels so the per-operation
+// wait loop never builds a string. Indexed by message kind.
+var parkReasons = func() []string {
+	labels := make([]string, int(network.KindUser)+1)
+	for k := range labels {
+		labels[k] = "rdma " + network.Kind(k).String()
 	}
-	delete(n.pending, r.id)
-	return pd.resp
+	return labels
+}()
+
+func parkReason(k network.Kind) string {
+	if int(k) < len(parkReasons) {
+		return parkReasons[k]
+	}
+	return "rdma " + k.String()
 }
 
-// reply sends a response back to the request's origin.
+// roundTrip sends a request and parks the calling process until the
+// response arrives. The caller's req literal is copied into a pooled
+// struct, so it can live on the caller's stack; the pooled req is recycled
+// once the response proves the home side is done with it. The returned resp
+// is pooled too: the caller extracts what it needs and hands it back via
+// releaseResp.
+func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size int, r *req) *resp {
+	rr := n.sys.grabReq()
+	*rr = *r
+	rr.id = n.sys.nextReq()
+	rr.origin = n.id
+	pd := n.sys.grabPending(p)
+	n.pending[rr.id] = pd
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+	for !pd.done {
+		p.Park(parkReason(kind))
+	}
+	delete(n.pending, rr.id)
+	rs := pd.resp
+	n.sys.releasePending(pd)
+	n.sys.releaseReq(rr)
+	return rs
+}
+
+// send transmits a one-way request (no response expected). The home-side
+// handler recycles the pooled req when it is done.
+func (n *NIC) send(dst network.NodeID, kind network.Kind, size int, r *req) {
+	rr := n.sys.grabReq()
+	*rr = *r
+	rr.origin = n.id
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+}
+
+// reply sends a response back to the request's origin. The caller's resp
+// literal is copied into a pooled struct released by the initiator.
 func (n *NIC) reply(r *req, kind network.Kind, size int, rs *resp) {
-	rs.id = r.id
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: r.origin, Kind: kind, Size: size, Payload: rs})
+	rr := n.sys.grabResp()
+	*rr = *rs
+	rr.id = r.id
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: r.origin, Kind: kind, Size: size, Payload: rr})
 }
 
 // withAreaLock runs fn under the area's NIC lock (immediately when locking
@@ -169,7 +207,7 @@ func (n *NIC) handlePut(m *network.Message) {
 				absorb = n.sys.checkAccess(acc, r.area, r.off, len(r.data), k.Now())
 			}
 			release()
-			size := network.HeaderBytes + n.sys.clockBytesFor(fmt.Sprintf("ack:%d:%d", r.origin, r.area.ID), absorb)
+			size := network.HeaderBytes + n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
 			n.reply(r, network.KindPutAck, size, &resp{clock: absorb, err: errString(err)})
 		})
 	})
@@ -197,7 +235,7 @@ func (n *NIC) handleGet(m *network.Message) {
 			}
 			release()
 			size := network.HeaderBytes + len(data)*memory.WordBytes +
-				n.sys.clockBytesFor(fmt.Sprintf("ack:%d:%d", r.origin, r.area.ID), absorb)
+				n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
 			if err != nil {
 				data = nil
 			}
@@ -211,17 +249,18 @@ func (n *NIC) handleLock(m *network.Message) {
 	l := n.lockFor(r.area.ID)
 	l.acquire(r.acc.Proc, func() {
 		// The lock stays held until an Unlock message arrives. User-level
-		// grants carry the previous releaser's clock (release→acquire edge).
-		rs := &resp{}
+		// grants carry the previous releaser's clock (release→acquire edge),
+		// copied into a pooled buffer the acquirer releases after absorbing.
+		var rs resp
 		size := network.HeaderBytes
 		if r.user && l.relClock != nil {
-			rs.clock = l.relClock.Copy()
+			rs.clock = l.relClock.CopyInto(n.sys.grabClock())
 			size += rs.clock.WireSize()
 		}
 		if r.user && n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockAcq(r.acc.Proc, r.area, n.sys.net.Kernel().Now())
 		}
-		n.reply(r, network.KindLockGrant, size, rs)
+		n.reply(r, network.KindLockGrant, size, &rs)
 	})
 }
 
@@ -230,13 +269,15 @@ func (n *NIC) handleUnlock(m *network.Message) {
 	l := n.lockFor(r.area.ID)
 	if r.user {
 		if r.acc.Clock != nil {
-			l.relClock = r.acc.Clock.Copy()
+			l.relClock = r.acc.Clock.CopyInto(l.relClock)
+			n.sys.ReleaseClock(r.acc.Clock) // pooled by UnlockArea's sender
 		}
 		if n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockRel(r.acc.Proc, r.area, n.sys.net.Kernel().Now())
 		}
 	}
 	l.release()
+	n.sys.releaseReq(r) // unlock is one-way: the handler owns the req
 }
 
 func (n *NIC) handleClockRead(m *network.Message) {
@@ -252,6 +293,7 @@ func (n *NIC) handleClockRead(m *network.Message) {
 
 func (n *NIC) handleClockWrite(m *network.Message) {
 	r := m.Payload.(*req)
+	defer n.sys.releaseReq(r) // clock writes are one-way: the handler owns the req
 	st := n.sys.stateFor(r.area, 0)
 	if r.apply {
 		// Fold the access into the state exactly as the piggyback path
@@ -259,7 +301,8 @@ func (n *NIC) handleClockWrite(m *network.Message) {
 		// under the lock, so the verdict here is identical and dropped.
 		acc := r.acc
 		acc.Time = n.sys.net.Kernel().Now()
-		st.OnAccess(acc, int(n.id))
+		_, clk := st.OnAccess(acc, int(n.id), n.sys.grabClock())
+		n.sys.ReleaseClock(clk) // the literal protocol ignores the merged clock here
 		return
 	}
 	if ca, ok := st.(core.ClockAccessor); ok {
@@ -299,7 +342,7 @@ func (n *NIC) handleAtomic(m *network.Message) {
 			}
 			release()
 			size := network.HeaderBytes + memory.WordBytes +
-				n.sys.clockBytesFor(fmt.Sprintf("ack:%d:%d", r.origin, r.area.ID), absorb)
+				n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
 			n.reply(r, network.KindAtomicReply, size, &resp{data: old, clock: absorb, err: errString(err)})
 		})
 	})

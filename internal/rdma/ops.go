@@ -1,8 +1,6 @@
 package rdma
 
 import (
-	"fmt"
-
 	"dsmrace/internal/core"
 	"dsmrace/internal/memory"
 	"dsmrace/internal/network"
@@ -22,16 +20,20 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 	size := network.HeaderBytes + len(data)*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(fmt.Sprintf("req:%d:%d", n.id, area.ID), acc.Clock)
+		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindPutReq, size,
 		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc})
-	if err := asError(rs.err); err != nil {
+	clock, err := rs.clock, asError(rs.err)
+	n.sys.releaseResp(rs)
+	if err != nil {
+		n.sys.ReleaseClock(clock)
 		return nil, err
 	}
 	if n.sys.cfg.AbsorbOnPutAck {
-		return rs.clock, nil
+		return clock, nil
 	}
+	n.sys.ReleaseClock(clock)
 	return nil, nil
 }
 
@@ -46,17 +48,21 @@ func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(fmt.Sprintf("req:%d:%d", n.id, area.ID), acc.Clock)
+		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
-	if err := asError(rs.err); err != nil {
+	data, clock, err := rs.data, rs.clock, asError(rs.err)
+	n.sys.releaseResp(rs)
+	if err != nil {
+		n.sys.ReleaseClock(clock)
 		return nil, nil, err
 	}
 	if n.sys.cfg.AbsorbOnGetReply {
-		return rs.data, rs.clock, nil
+		return data, clock, nil
 	}
-	return rs.data, nil, nil
+	n.sys.ReleaseClock(clock)
+	return data, nil, nil
 }
 
 // FetchAdd atomically adds delta to the word at (area, off) and returns the
@@ -77,18 +83,27 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 	size := network.HeaderBytes + 2*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(fmt.Sprintf("req:%d:%d", n.id, area.ID), acc.Clock)
+		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindAtomicReq, size,
 		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc})
-	if err := asError(rs.err); err != nil {
+	clock, err := rs.clock, asError(rs.err)
+	var old memory.Word
+	if len(rs.data) > 0 {
+		old = rs.data[0]
+	}
+	n.sys.releaseResp(rs)
+	if err != nil {
+		n.sys.ReleaseClock(clock)
 		return 0, nil, err
 	}
 	var absorb vclock.VC
 	if n.sys.cfg.AbsorbOnPutAck {
-		absorb = rs.clock
+		absorb = clock
+	} else {
+		n.sys.ReleaseClock(clock)
 	}
-	return rs.data[0], absorb, nil
+	return old, absorb, nil
 }
 
 // LockArea acquires the NIC lock of the area for proc (a user-level lock;
@@ -99,7 +114,9 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.VC {
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}, user: true})
-	return rs.clock
+	clock := rs.clock
+	n.sys.releaseResp(rs)
+	return clock
 }
 
 // UnlockArea releases the area lock, carrying the releaser's clock rel for
@@ -110,26 +127,23 @@ func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.VC) {
 	if rel != nil {
 		size += rel.WireSize()
 	}
-	n.sys.net.Send(&network.Message{
-		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindUnlock,
-		Size: size, Payload: &req{area: area, acc: core.Access{Proc: proc, Clock: rel}, user: true},
-	})
+	n.send(network.NodeID(area.Home), network.KindUnlock, size,
+		&req{area: area, acc: core.Access{Proc: proc, Clock: rel}, user: true})
 }
 
 // lockInternal acquires the area lock for the literal protocol's own use:
 // not observed, no clock transport (the mechanism lock must not create
 // user-visible happens-before, or no race could ever be detected).
 func (n *NIC) lockInternal(p *sim.Proc, area memory.Area, proc int) {
-	n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}})
+	n.sys.releaseResp(rs)
 }
 
 // unlockInternal releases a lockInternal acquisition.
 func (n *NIC) unlockInternal(area memory.Area, proc int) {
-	n.sys.net.Send(&network.Message{
-		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindUnlock,
-		Size: network.HeaderBytes, Payload: &req{area: area, acc: core.Access{Proc: proc}},
-	})
+	n.send(network.NodeID(area.Home), network.KindUnlock, network.HeaderBytes,
+		&req{area: area, acc: core.Access{Proc: proc}})
 }
 
 // ---- Literal protocol: Algorithms 1 and 2, message by message ----
@@ -139,17 +153,16 @@ func (n *NIC) unlockInternal(area memory.Area, proc int) {
 func (n *NIC) readClocks(p *sim.Proc, area memory.Area) (v, w vclock.VC) {
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindClockRead, network.HeaderBytes,
 		&req{area: area})
-	return rs.v, rs.w
+	v, w = rs.v, rs.w
+	n.sys.releaseResp(rs)
+	return v, w
 }
 
 // writeClockApply performs put_clock in "apply" form: the home folds the
 // access into the area state (merge per Algorithm 4, home tick, W update).
 func (n *NIC) writeClockApply(area memory.Area, acc core.Access) {
-	n.sys.net.Send(&network.Message{
-		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindClockWrite,
-		Size:    network.HeaderBytes + acc.Clock.WireSize(),
-		Payload: &req{area: area, acc: acc, apply: true},
-	})
+	n.send(network.NodeID(area.Home), network.KindClockWrite,
+		network.HeaderBytes+acc.Clock.WireSize(), &req{area: area, acc: acc, apply: true})
 }
 
 // writeClockRaw performs put_clock with explicit values (the second
@@ -162,10 +175,7 @@ func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
 	if w != nil {
 		size += w.WireSize()
 	}
-	n.sys.net.Send(&network.Message{
-		Src: n.id, Dst: network.NodeID(area.Home), Kind: network.KindClockWrite,
-		Size: size, Payload: &req{area: area, v: v, w: w},
-	})
+	n.send(network.NodeID(area.Home), network.KindClockWrite, size, &req{area: area, v: v, w: w})
 }
 
 // putLiteral is Algorithm 1 verbatim:
@@ -196,6 +206,7 @@ func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.W
 		network.HeaderBytes+len(data)*memory.WordBytes,
 		&req{area: area, off: off, data: data, acc: acc, hasAcc: false})
 	err := asError(rs.err)
+	n.sys.releaseResp(rs)
 	if err == nil {
 		// update_clock_W: re-fetch (Algorithm 5's get_clock), then fold the
 		// write into the state.
@@ -231,7 +242,8 @@ func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, network.HeaderBytes,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: false})
-	err := asError(rs.err)
+	gotData, err := rs.data, asError(rs.err)
+	n.sys.releaseResp(rs)
 	var absorb vclock.VC
 	if err == nil {
 		n.readClocks(p, area)
@@ -246,5 +258,5 @@ func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core
 	if err != nil {
 		return nil, nil, err
 	}
-	return rs.data, absorb, nil
+	return gotData, absorb, nil
 }

@@ -148,6 +148,15 @@ func DefaultConfig(det core.Detector, col *core.Collector) Config {
 	}
 }
 
+// chanKey identifies a logical clock channel (one direction of one
+// initiator↔area conversation) for the CompressClocks decoder state. A
+// struct key keeps the per-message accounting free of string formatting.
+type chanKey struct {
+	ack  bool // false: request (initiator→home); true: ack/reply (home→initiator)
+	node network.NodeID
+	area memory.AreaID
+}
+
 // System owns the NICs, the detection state and the lock tables for a
 // cluster sharing one memory space.
 type System struct {
@@ -159,7 +168,65 @@ type System struct {
 	reqSeq uint64
 	// lastClock remembers, per logical channel, the last clock whose bytes
 	// were accounted — the receiver's decoder state for CompressClocks.
-	lastClock map[string]vclock.VC
+	lastClock map[chanKey]vclock.VC
+	// clockPool recycles the clock buffers piggybacked on replies (the
+	// "absorb" clocks). The simulation is single-threaded, so a free list
+	// suffices: a buffer is grabbed when a reply is built and released once
+	// the initiator has merged it.
+	clockPool []vclock.VC
+	// wordScratch is the per-word OnAccess absorb buffer reused across the
+	// word-granularity fan-out loop.
+	wordScratch vclock.VC
+	// reqPool, respPool and pendPool recycle the per-operation request,
+	// response and wait-state structs (single-threaded simulation: free
+	// lists, no locking). See NIC.roundTrip and NIC.reply for the ownership
+	// hand-offs.
+	reqPool  []*req
+	respPool []*resp
+	pendPool []*pending
+}
+
+func (s *System) grabReq() *req {
+	if n := len(s.reqPool); n > 0 {
+		r := s.reqPool[n-1]
+		s.reqPool = s.reqPool[:n-1]
+		return r
+	}
+	return &req{}
+}
+
+func (s *System) releaseReq(r *req) {
+	*r = req{}
+	s.reqPool = append(s.reqPool, r)
+}
+
+func (s *System) grabResp() *resp {
+	if n := len(s.respPool); n > 0 {
+		r := s.respPool[n-1]
+		s.respPool = s.respPool[:n-1]
+		return r
+	}
+	return &resp{}
+}
+
+func (s *System) releaseResp(r *resp) {
+	*r = resp{}
+	s.respPool = append(s.respPool, r)
+}
+
+func (s *System) grabPending(p *sim.Proc) *pending {
+	if n := len(s.pendPool); n > 0 {
+		pd := s.pendPool[n-1]
+		s.pendPool = s.pendPool[:n-1]
+		pd.proc = p
+		return pd
+	}
+	return &pending{proc: p}
+}
+
+func (s *System) releasePending(pd *pending) {
+	*pd = pending{}
+	s.pendPool = append(s.pendPool, pd)
 }
 
 // NewSystem wires one NIC per node onto the network. The space should be
@@ -171,7 +238,7 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 	if cfg.Granularity == GranularityWord && cfg.Protocol == ProtocolLiteral {
 		panic("rdma: the literal protocol does not support word granularity")
 	}
-	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[string]vclock.VC)}
+	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[chanKey]vclock.VC)}
 	space.Seal()
 	for i := 0; i < space.N(); i++ {
 		nic := &NIC{sys: s, id: network.NodeID(i), pending: make(map[uint64]*pending), locks: make(map[memory.AreaID]*lockState)}
@@ -180,6 +247,31 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 	}
 	return s
 }
+
+// grabClock takes a recycled clock buffer from the pool (nil when empty —
+// the detector then allocates one of the right size).
+func (s *System) grabClock() vclock.VC {
+	if n := len(s.clockPool); n > 0 {
+		c := s.clockPool[n-1]
+		s.clockPool = s.clockPool[:n-1]
+		return c
+	}
+	return nil
+}
+
+// ReleaseClock returns a piggybacked clock buffer to the pool once its
+// contents have been absorbed. Callers must not retain the slice afterwards;
+// releasing a buffer still referenced elsewhere corrupts a future reply.
+func (s *System) ReleaseClock(c vclock.VC) {
+	if c != nil {
+		s.clockPool = append(s.clockPool, c)
+	}
+}
+
+// GrabClock hands out a pooled clock buffer for callers (the DSM runtime)
+// that ship a clock snapshot through the system and get it released on the
+// receiving side — the exported counterpart of ReleaseClock.
+func (s *System) GrabClock() vclock.VC { return s.grabClock() }
 
 // NIC returns node id's network interface.
 func (s *System) NIC(id int) *NIC { return s.nics[id] }
@@ -228,7 +320,13 @@ func (s *System) stateFor(a memory.Area, word int) core.AreaState {
 // absorbed clocks merge). It returns the clock for the initiator to absorb.
 func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at sim.Time) vclock.VC {
 	if s.cfg.Granularity != GranularityWord {
-		rep, clk := s.stateFor(a, 0).OnAccess(acc, a.Home)
+		buf := s.grabClock()
+		rep, clk := s.stateFor(a, 0).OnAccess(acc, a.Home, buf)
+		if clk == nil {
+			// Detectors without an absorb clock (epoch, lockset, nop)
+			// ignore the scratch buffer; keep it in the pool.
+			s.ReleaseClock(buf)
+		}
 		s.signal(rep, at)
 		return clk
 	}
@@ -238,13 +336,16 @@ func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at 
 		count = 1
 	}
 	for w := off; w < off+count; w++ {
-		rep, clk := s.stateFor(a, w).OnAccess(acc, a.Home)
+		// Each word has its own state (and so its own report scratch): the
+		// first report's borrowed fields stay valid across the loop.
+		rep, clk := s.stateFor(a, w).OnAccess(acc, a.Home, s.wordScratch)
 		if rep != nil && first == nil {
 			first = rep
 		}
 		if clk != nil {
+			s.wordScratch = clk
 			if absorb == nil {
-				absorb = clk.Copy()
+				absorb = clk.CopyInto(s.grabClock())
 			} else {
 				absorb.Merge(clk)
 			}
@@ -290,20 +391,22 @@ func (s *System) clockBytes() int {
 
 // clockBytesFor returns the wire bytes of transmitting clk on the given
 // logical channel. With CompressClocks only the delta against the channel's
-// previous clock is charged (the peer keeps the decoder state).
-func (s *System) clockBytesFor(channel string, clk vclock.VC) int {
+// previous clock is charged (the peer keeps the decoder state); the size is
+// computed without building the encoding and the channel's decoder-state
+// buffer is recycled in place.
+func (s *System) clockBytesFor(ch chanKey, clk vclock.VC) int {
 	if clk == nil {
 		return 0
 	}
 	if !s.cfg.CompressClocks {
 		return clk.WireSize()
 	}
-	prev, ok := s.lastClock[channel]
+	prev, ok := s.lastClock[ch]
 	if !ok {
 		prev = vclock.New(clk.Len())
 	}
-	n := len(clk.AppendDelta(nil, prev))
-	s.lastClock[channel] = clk.Copy()
+	n := clk.DeltaSize(prev)
+	s.lastClock[ch] = clk.CopyInto(prev)
 	return n
 }
 

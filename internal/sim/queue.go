@@ -2,75 +2,87 @@ package sim
 
 // Queue is an unbounded FIFO connecting simulation contexts: event handlers
 // and processes push, processes block on Pop. It is the building block for
-// NIC receive queues and mailboxes.
+// NIC receive queues and mailboxes. Items and waiters live in ring buffers,
+// so a steady-state put/get cycle performs no allocation and no slice
+// reslicing.
 type Queue[T any] struct {
-	k       *Kernel
-	name    string
-	items   []T
-	waiters []*Proc
+	k         *Kernel
+	name      string
+	popReason string // precomputed Park label ("pop <name>")
+	items     Ring[T]
+	waiters   Ring[*Proc]
 }
 
 // NewQueue returns an empty queue labelled name (used in deadlock reports).
 func NewQueue[T any](k *Kernel, name string) *Queue[T] {
-	return &Queue[T]{k: k, name: name}
+	return &Queue[T]{k: k, name: name, popReason: "pop " + name}
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }
 
 // Push appends v and wakes the longest-waiting process, if any. Safe from
 // any simulation context.
 func (q *Queue[T]) Push(v T) {
-	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		w.Ready()
+	q.items.PushBack(v)
+	if q.waiters.Len() > 0 {
+		q.waiters.PopFront().Ready()
 	}
 }
 
 // TryPop removes and returns the head item without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.PopFront(), true
 }
 
 // Pop blocks the calling process until an item is available, then removes
 // and returns the head item.
+//
+// A woken process re-checks emptiness (its item may have been taken by
+// TryPop between wake and resume) and re-parks. On the way out it removes
+// itself from the waiter ring explicitly. Push itself always dequeues the
+// waiter it wakes, so within the queue's own API the scan finds nothing
+// (and costs nothing: the ring is almost always empty here) — it guards
+// the one path Push cannot see: a process woken from *outside* the queue
+// (a stray Ready) that re-parked and now appears twice, where a stale
+// entry would absorb a future wakeup meant for a live waiter.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
-		q.waiters = append(q.waiters, p)
-		p.Park("pop " + q.name)
+	for q.items.Len() == 0 {
+		q.waiters.PushBack(p)
+		p.Park(q.popReason)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	q.waiters.RemoveFunc(func(w *Proc) bool { return w == p })
+	return q.items.PopFront()
 }
+
+// Waiters returns the number of processes parked in Pop (diagnostics).
+func (q *Queue[T]) Waiters() int { return q.waiters.Len() }
 
 // Semaphore is a counting semaphore for simulated processes.
 type Semaphore struct {
-	k       *Kernel
-	name    string
-	permits int
-	waiters []*Proc
+	k         *Kernel
+	name      string
+	acqReason string
+	permits   int
+	waiters   Ring[*Proc]
 }
 
 // NewSemaphore returns a semaphore with the given initial permit count.
 func NewSemaphore(k *Kernel, name string, permits int) *Semaphore {
-	return &Semaphore{k: k, name: name, permits: permits}
+	return &Semaphore{k: k, name: name, acqReason: "acquire " + name, permits: permits}
 }
 
 // Acquire blocks the calling process until a permit is available.
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.permits <= 0 {
-		s.waiters = append(s.waiters, p)
-		p.Park("acquire " + s.name)
+		s.waiters.PushBack(p)
+		p.Park(s.acqReason)
 	}
+	s.waiters.RemoveFunc(func(w *Proc) bool { return w == p })
 	s.permits--
 }
 
@@ -86,17 +98,15 @@ func (s *Semaphore) TryAcquire() bool {
 // Release returns a permit and wakes one waiter.
 func (s *Semaphore) Release() {
 	s.permits++
-	if len(s.waiters) > 0 {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
-		w.Ready()
+	if s.waiters.Len() > 0 {
+		s.waiters.PopFront().Ready()
 	}
 }
 
 // WaitGroup lets a process wait for a set of simulated completions.
 type WaitGroup struct {
 	count   int
-	waiters []*Proc
+	waiters Ring[*Proc]
 }
 
 // Add increments the completion counter by n.
@@ -109,17 +119,17 @@ func (w *WaitGroup) Done() {
 		panic("sim: WaitGroup counter below zero")
 	}
 	if w.count == 0 {
-		for _, p := range w.waiters {
-			p.Ready()
+		for w.waiters.Len() > 0 {
+			w.waiters.PopFront().Ready()
 		}
-		w.waiters = nil
 	}
 }
 
 // Wait blocks the calling process until the counter reaches zero.
 func (w *WaitGroup) Wait(p *Proc) {
 	for w.count > 0 {
-		w.waiters = append(w.waiters, p)
+		w.waiters.PushBack(p)
 		p.Park("waitgroup")
 	}
+	w.waiters.RemoveFunc(func(q *Proc) bool { return q == p })
 }

@@ -1,0 +1,109 @@
+package sim
+
+import "testing"
+
+// TestQueueDoubleWakeWithTryPopSteal exercises the wake/steal race: a parked
+// popper is woken by Push, but an event handler steals the item with TryPop
+// before the popper resumes. The popper must re-park (not spin or grab a
+// phantom item), a second Push must wake it again, and the waiter ring must
+// end empty — no stale waiter entry survives.
+func TestQueueDoubleWakeWithTryPopSteal(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	q := NewQueue[int](k, "q")
+	var got []int
+
+	k.Spawn("popper", func(p *Proc) {
+		got = append(got, q.Pop(p))
+	})
+
+	// Both t=5 events are scheduled before Run, so they execute in this
+	// order: the push wakes the popper (its resume joins the queue *behind*
+	// the already-scheduled steal event), then the steal drains the item.
+	// The popper resumes third, finds the queue empty, and must re-park.
+	k.Schedule(5, func() { q.Push(1) })
+	k.Schedule(5, func() {
+		if v, ok := q.TryPop(); !ok || v != 1 {
+			t.Errorf("steal TryPop = %v, %v; want 1, true", v, ok)
+		}
+	})
+	// Second round: the re-parked popper must be woken again and win this one.
+	k.Schedule(20, func() { q.Push(2) })
+
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("popper got %v, want [2]", got)
+	}
+	if q.Waiters() != 0 {
+		t.Fatalf("waiter ring holds %d stale entries, want 0", q.Waiters())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue holds %d leftover items, want 0", q.Len())
+	}
+}
+
+// TestQueueWokenPopperBeatenByDirectPop covers the other steal path: the
+// woken waiter loses the item to a second process that called Pop on a
+// non-empty queue (never parking). The loser must re-park and be woken by
+// the next Push, and no process may be counted as a waiter twice.
+func TestQueueWokenPopperBeatenByDirectPop(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	q := NewQueue[int](k, "q")
+	var first, second int
+
+	k.Spawn("waiter", func(p *Proc) {
+		first = q.Pop(p) // parks at t=0, queue empty
+	})
+	k.Spawn("thief", func(p *Proc) {
+		p.Sleep(5)
+		// Runs in the same instant as the push below but after the waiter's
+		// wake was queued; Pop sees the item and takes it without parking.
+		second = q.Pop(p)
+	})
+	k.Schedule(5, func() { q.Push(10) })
+	k.Schedule(6, func() { q.Push(20) })
+
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one process got each value, whichever won the t=5 instant.
+	vals := map[int]bool{first: true, second: true}
+	if !vals[10] || !vals[20] {
+		t.Fatalf("values delivered: first=%d second=%d, want {10, 20} exactly once each", first, second)
+	}
+	if q.Waiters() != 0 {
+		t.Fatalf("waiter ring holds %d stale entries, want 0", q.Waiters())
+	}
+}
+
+// TestSemaphoreWakeSteal: a Release wakes a parked Acquirer, but TryAcquire
+// steals the permit first; the woken process must re-park and the next
+// Release must serve it.
+func TestSemaphoreWakeSteal(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	s := NewSemaphore(k, "s", 0)
+	done := false
+
+	k.Spawn("acquirer", func(p *Proc) {
+		s.Acquire(p)
+		done = true
+	})
+	k.Schedule(5, func() {
+		s.Release()
+		if !s.TryAcquire() {
+			t.Error("TryAcquire failed with a free permit")
+		}
+	})
+	k.Schedule(10, func() { s.Release() })
+
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("acquirer never got a permit")
+	}
+	if s.waiters.Len() != 0 {
+		t.Fatalf("semaphore waiter ring holds %d stale entries, want 0", s.waiters.Len())
+	}
+}

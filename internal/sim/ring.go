@@ -1,0 +1,91 @@
+package sim
+
+// Ring is a growable circular FIFO. The kernel's same-time event queue and
+// the Queue/Semaphore waiter lists use it instead of `items = items[1:]`
+// reslicing, which strands popped elements in the backing array and forces a
+// reallocation per wrap: a ring's storage is reused indefinitely once it
+// reaches the workload's high-water mark.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of elements
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// PushBack appends v at the tail, growing the buffer when full.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// Front returns the head element; it panics on an empty ring.
+func (r *Ring[T]) Front() T {
+	if r.n == 0 {
+		panic("sim: Front on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// PopFront removes and returns the head element; it panics on an empty ring.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("sim: PopFront on empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// At returns the i-th element from the front (0 = front).
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("sim: ring index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// RemoveFunc deletes the first element matching eq, preserving FIFO order of
+// the rest. It reports whether an element was removed. Used for explicit
+// waiter removal: a process that leaves a wait loop through another path
+// must not linger in the waiter ring.
+func (r *Ring[T]) RemoveFunc(eq func(T) bool) bool {
+	idx := -1
+	for i := 0; i < r.n; i++ {
+		if eq(r.At(i)) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	// Shift everything after idx forward one slot.
+	for i := idx; i < r.n-1; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = r.buf[(r.head+i+1)%len(r.buf)]
+	}
+	var zero T
+	r.buf[(r.head+r.n-1)%len(r.buf)] = zero
+	r.n--
+	return true
+}
+
+func (r *Ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+func TestRingFIFOAcrossWraps(t *testing.T) {
+	var r Ring[int]
+	next, want := 0, 0
+	// Interleave pushes and pops so head wraps the backing array repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			r.PushBack(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := r.PopFront(); got != want {
+				t.Fatalf("PopFront = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.PopFront(); got != want {
+			t.Fatalf("drain PopFront = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d items, pushed %d", want, next)
+	}
+}
+
+func TestRingRemoveFunc(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 6; i++ {
+		r.PushBack(i)
+	}
+	r.PopFront()
+	r.PopFront() // head = 2, contents 2..5
+	r.PushBack(6)
+	r.PushBack(7) // wrapped; contents 2..7
+
+	if !r.RemoveFunc(func(v int) bool { return v == 4 }) {
+		t.Fatal("RemoveFunc did not find 4")
+	}
+	if r.RemoveFunc(func(v int) bool { return v == 99 }) {
+		t.Fatal("RemoveFunc removed a missing element")
+	}
+	want := []int{2, 3, 5, 6, 7}
+	if r.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d (order not preserved)", i, got, w)
+		}
+	}
+}
+
+func TestRingGrowPreservesOrder(t *testing.T) {
+	var r Ring[int]
+	r.PushBack(0)
+	r.PushBack(1)
+	r.PopFront() // head off zero before growth
+	for i := 2; i < 40; i++ {
+		r.PushBack(i)
+	}
+	for want := 1; want < 40; want++ {
+		if got := r.PopFront(); got != want {
+			t.Fatalf("PopFront = %d, want %d", got, want)
+		}
+	}
+}

@@ -36,11 +36,15 @@ func (t Time) String() string {
 }
 
 // event is a scheduled callback. Ties on time are broken by insertion
-// sequence so execution order is fully deterministic.
+// sequence so execution order is fully deterministic. When proc is non-nil
+// the event resumes that process instead of calling fn — the dominant event
+// shape (every wakeup), kept closure-free so Ready/Sleep never allocate.
+// Events are pooled: the kernel recycles them once executed.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
 type eventHeap []*event
@@ -80,10 +84,16 @@ type Config struct {
 // then call Run. A Kernel is not safe for concurrent use by real threads;
 // concurrency lives inside the simulation.
 type Kernel struct {
-	cfg     Config
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	cfg   Config
+	now   Time
+	seq   uint64
+	queue eventHeap
+	// nowQ holds events scheduled for the current instant. They would sit at
+	// the heap's front anyway (time now, larger seq than anything queued), so
+	// a FIFO ring serves them in O(1) — the fast path every same-time
+	// Ready()/Yield() wakeup takes, skipping two heap operations.
+	nowQ    Ring[*event]
+	free    []*event // recycled event structs
 	rng     *rand.Rand
 	procs   []*Proc
 	parked  chan struct{}
@@ -125,11 +135,50 @@ func (k *Kernel) Schedule(d Time, fn func()) {
 
 // At runs fn at absolute virtual time t (clamped to now).
 func (k *Kernel) At(t Time, fn func()) {
+	k.push(t, fn, nil)
+}
+
+// atResume schedules p's resumption at absolute time t without allocating a
+// closure.
+func (k *Kernel) atResume(t Time, p *Proc) {
+	k.push(t, nil, p)
+}
+
+// push enqueues an event: same-instant events go to the FIFO now-queue,
+// future events to the heap. Execution order is identical to a single
+// (time, seq) heap — now-queue entries carry larger sequence numbers than
+// any same-time event already heaped, and Run picks the smaller of the two
+// fronts.
+func (k *Kernel) push(t Time, fn func(), p *Proc) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+	e := k.newEvent(t, fn, p)
+	if t == k.now {
+		k.nowQ.PushBack(e)
+		return
+	}
+	heap.Push(&k.queue, e)
+}
+
+// newEvent takes an event from the pool (or allocates one) and fills it.
+func (k *Kernel) newEvent(t Time, fn func(), p *Proc) *event {
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at, e.seq, e.fn, e.proc = t, k.seq, fn, p
+	return e
+}
+
+// recycle returns an executed event to the pool, dropping its references.
+func (k *Kernel) recycle(e *event) {
+	e.fn, e.proc = nil, nil
+	k.free = append(k.free, e)
 }
 
 // Stop aborts the run after the current event completes. Parked processes
@@ -186,7 +235,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.At(k.now, func() { k.resume(p) })
+	k.atResume(k.now, p)
 	return p
 }
 
@@ -216,8 +265,10 @@ func (p *Proc) Park(reason string) {
 // Ready schedules p to resume at the current virtual time. Safe to call
 // from any simulation context (another process or an event handler);
 // resumption always happens through the event queue, preserving determinism.
+// Same-time wakeups take the kernel's now-queue fast path: no heap
+// operations and no allocation.
 func (p *Proc) Ready() {
-	p.k.At(p.k.now, func() { p.k.resume(p) })
+	p.k.atResume(p.k.now, p)
 }
 
 // Sleep suspends the calling process for d of virtual time.
@@ -227,8 +278,11 @@ func (p *Proc) Sleep(d Time) {
 		// deterministically.
 		d = 0
 	}
-	p.k.At(p.k.now+d, func() { p.k.resume(p) })
-	p.Park(fmt.Sprintf("sleep(%v)", d))
+	p.k.atResume(p.k.now+d, p)
+	// A sleeping process always has its wakeup queued, so the reason can
+	// never surface in a deadlock report; a static label avoids formatting
+	// a fresh string per sleep.
+	p.Park("sleep")
 }
 
 // Yield gives other ready processes and events at the current time a chance
@@ -263,8 +317,21 @@ func (e *LimitError) Error() string {
 // or Stop is called. It returns the first process error (panic) encountered,
 // a DeadlockError if processes remain parked, or nil.
 func (k *Kernel) Run() error {
-	for len(k.queue) > 0 && !k.stopped {
-		e := heap.Pop(&k.queue).(*event)
+	for (k.nowQ.Len() > 0 || len(k.queue) > 0) && !k.stopped {
+		// The next event is the (time, seq)-least of the heap front and the
+		// now-queue front. Every now-queue entry is at the current instant;
+		// heap entries at the same instant were scheduled earlier (smaller
+		// seq) unless they were heaped for this time *before* it arrived.
+		var e *event
+		switch {
+		case k.nowQ.Len() == 0:
+			e = heap.Pop(&k.queue).(*event)
+		case len(k.queue) == 0 || k.queue[0].at > k.now ||
+			k.queue[0].seq > k.nowQ.Front().seq:
+			e = k.nowQ.PopFront()
+		default:
+			e = heap.Pop(&k.queue).(*event)
+		}
 		k.now = e.at
 		if k.cfg.MaxTime > 0 && k.now > k.cfg.MaxTime {
 			return &LimitError{What: "time", Events: k.events, Time: k.now}
@@ -273,7 +340,13 @@ func (k *Kernel) Run() error {
 		if k.events > k.cfg.MaxEvents {
 			return &LimitError{What: "event", Events: k.events, Time: k.now}
 		}
-		e.fn()
+		fn, p := e.fn, e.proc
+		k.recycle(e)
+		if p != nil {
+			k.resume(p)
+		} else {
+			fn()
+		}
 	}
 	for _, p := range k.procs {
 		if p.err != nil {

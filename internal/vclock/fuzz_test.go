@@ -1,0 +1,64 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDeltaRoundTrip checks that any clock delta-encoded against any base
+// decodes back to the original clock, consuming exactly the bytes written,
+// and that DeltaSize agrees with the encoder.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1}, uint8(4))
+	f.Add([]byte{}, []byte{}, uint8(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, []byte{0, 0, 0, 0}, uint8(8))
+	f.Fuzz(func(t *testing.T, rawV, rawBase []byte, n8 uint8) {
+		n := int(n8%16) + 1
+		mk := func(raw []byte) VC {
+			c := New(n)
+			for i := range c {
+				var chunk [8]byte
+				copy(chunk[:], raw[min(8*i, len(raw)):])
+				c[i] = binary.LittleEndian.Uint64(chunk[:])
+			}
+			return c
+		}
+		v, base := mk(rawV), mk(rawBase)
+
+		enc := v.AppendDelta(nil, base)
+		if got := v.DeltaSize(base); got != len(enc) {
+			t.Fatalf("DeltaSize = %d, encoder wrote %d bytes", got, len(enc))
+		}
+		// Trailing garbage must not be consumed.
+		dec, used, err := DecodeDelta(append(enc, 0xAA, 0xBB), base)
+		if err != nil {
+			t.Fatalf("DecodeDelta failed on valid input: %v", err)
+		}
+		if used != len(enc) {
+			t.Fatalf("DecodeDelta consumed %d bytes, encoder wrote %d", used, len(enc))
+		}
+		if Compare(dec, v) != Equal {
+			t.Fatalf("round trip: got %v, want %v (base %v)", dec, v, base)
+		}
+	})
+}
+
+// FuzzDecodeDeltaRobust feeds arbitrary bytes to the decoder: it must either
+// return an error or a well-formed clock, never panic or read out of range.
+func FuzzDecodeDeltaRobust(f *testing.F) {
+	f.Add([]byte{2, 0, 5, 1, 9}, uint8(3))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, n8 uint8) {
+		base := New(int(n8 % 16))
+		dec, used, err := DecodeDelta(data, base)
+		if err != nil {
+			return
+		}
+		if used < 0 || used > len(data) {
+			t.Fatalf("DecodeDelta consumed %d of %d bytes", used, len(data))
+		}
+		if dec.Len() != base.Len() {
+			t.Fatalf("decoded clock has %d components, base has %d", dec.Len(), base.Len())
+		}
+	})
+}

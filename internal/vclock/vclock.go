@@ -72,6 +72,70 @@ func (v VC) Copy() VC {
 	return c
 }
 
+// CopyInto copies v into dst, reusing dst's storage when its capacity
+// suffices, and returns the (possibly re-grown) destination. A nil dst
+// behaves like Copy. This is the allocation-free variant the detection hot
+// path uses to recycle scratch buffers across accesses.
+func (v VC) CopyInto(dst VC) VC {
+	if cap(dst) < len(v) {
+		dst = make(VC, len(v))
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	return dst
+}
+
+// MergeInto stores max(a, b) into dst (Algorithm 4 without mutating either
+// input), reusing dst's storage when possible, and returns the destination.
+// dst may alias a or b.
+func MergeInto(dst, a, b VC) VC {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vclock: merge size mismatch %d != %d", len(a), len(b)))
+	}
+	if cap(dst) < len(a) {
+		dst = make(VC, len(a))
+	}
+	dst = dst[:len(a)]
+	for i := range a {
+		if a[i] >= b[i] {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+	return dst
+}
+
+// MergeAndCompare folds o into v (v = max(v, o), Algorithm 4) and returns
+// the order o held against v's *previous* value (Algorithm 3). Fusing the
+// two walks halves the passes the detector makes per access: the race check
+// and the clock update read the same components.
+func (v VC) MergeAndCompare(o VC) Order {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare size mismatch %d != %d", len(v), len(o)))
+	}
+	less, greater := false, false
+	for i, x := range o {
+		switch {
+		case x < v[i]:
+			less = true
+		case x > v[i]:
+			greater = true
+			v[i] = x
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
 // Tick increments component i — the paper's update_local_clock performed by
 // process P_i before every event.
 func (v VC) Tick(i int) {
@@ -204,12 +268,22 @@ func (v VC) MarshalBinary() ([]byte, error) {
 	if len(v) > 0xFFFF {
 		return nil, errors.New("vclock: too many components")
 	}
-	buf := make([]byte, v.WireSize())
-	binary.BigEndian.PutUint16(buf, uint16(len(v)))
-	for i, x := range v {
-		binary.BigEndian.PutUint64(buf[2+8*i:], x)
+	return v.AppendBinary(make([]byte, 0, v.WireSize())), nil
+}
+
+// AppendBinary appends the fixed binary encoding of v (the MarshalBinary
+// format) to dst and returns the extended slice. Callers that recycle dst
+// marshal without allocating; oversized clocks (> 65535 components) panic,
+// matching New's contract that sizes are validated at construction.
+func (v VC) AppendBinary(dst []byte) []byte {
+	if len(v) > 0xFFFF {
+		panic("vclock: too many components")
 	}
-	return buf, nil
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v)))
+	for _, x := range v {
+		dst = binary.BigEndian.AppendUint64(dst, x)
+	}
+	return dst
 }
 
 // UnmarshalBinary decodes a clock written by MarshalBinary.
@@ -251,6 +325,34 @@ func (v VC) AppendDelta(dst []byte, base VC) []byte {
 		}
 	}
 	return dst
+}
+
+// DeltaSize returns len(v.AppendDelta(nil, base)) without building the
+// encoding — the wire-byte accounting path charges delta bytes per message
+// and must not allocate per message to do so.
+func (v VC) DeltaSize(base VC) int {
+	if len(base) != len(v) {
+		panic("vclock: delta base size mismatch")
+	}
+	var changed uint64
+	size := 0
+	for i := range v {
+		if v[i] != base[i] {
+			changed++
+			size += uvarintLen(uint64(i)) + uvarintLen(v[i])
+		}
+	}
+	return uvarintLen(changed) + size
+}
+
+// uvarintLen is the number of bytes binary.AppendUvarint emits for x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }
 
 // DecodeDelta decodes a delta produced by AppendDelta on top of base,

@@ -59,9 +59,10 @@ func ReplayDetector(tr *trace.Trace, det core.Detector, opt Options) []core.Repo
 				Proc: p, Seq: e.Seq, Area: e.Area, Kind: kind,
 				Clock: k, Locks: append([]int(nil), held[p]...), Time: e.Time,
 			}
-			rep, _ := stateOf(int(e.Area)).OnAccess(acc, e.Home)
+			rep, _ := stateOf(int(e.Area)).OnAccess(acc, e.Home, nil)
 			if rep != nil {
-				reports = append(reports, *rep)
+				// Reports borrow detector-state scratch; Clone before keeping.
+				reports = append(reports, rep.Clone())
 			}
 			ref := refOf(int(e.Area))
 			ref.v.Merge(k)

@@ -124,7 +124,13 @@ func Random(spec RandomSpec) Workload {
 	if spec.LockDiscipline {
 		profile = RaceFree
 	}
-	areaName := func(i int) string { return fmt.Sprintf("rand%d", i) }
+	// Precomputed names: the op loop resolves an area per operation, and a
+	// Sprintf there is a measurable share of benchmark allocations.
+	names := make([]string, spec.Areas)
+	for i := range names {
+		names[i] = fmt.Sprintf("rand%d", i)
+	}
+	areaName := func(i int) string { return names[i] }
 	return Workload{
 		Name:    fmt.Sprintf("random-r%d", spec.ReadPercent),
 		Procs:   spec.Procs,
