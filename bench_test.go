@@ -102,6 +102,20 @@ func BenchmarkE_T4_Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE_Coherence contrasts the coherence protocols on the
+// ownership-sensitive workloads (E-T12): migration favours write-update,
+// repeated consumption favours write-invalidate; compare msgs/op.
+func BenchmarkE_Coherence(b *testing.B) {
+	for _, wl := range coherenceBenchWorkloads {
+		for _, coh := range CoherenceNames() {
+			wl, coh := wl, coh
+			b.Run(fmt.Sprintf("%s/%s", wl.name, coh), func(b *testing.B) {
+				benchCoherence(b, coh, wl.mk)
+			})
+		}
+	}
+}
+
 // BenchmarkE_T6_ReadRatio sweeps the read fraction and reports the race
 // flags per operation for the paper detector versus the single-clock
 // baseline (the false positives W eliminates, §IV-D).

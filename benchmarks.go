@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"dsmrace/internal/baseline"
+	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/rdma"
@@ -86,6 +87,47 @@ func benchThroughput(b *testing.B, n int, det string) {
 	b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
 }
 
+// benchCoherence is the E-T12 body: a coherence-sensitive workload with
+// b.N rounds under the named protocol; one op is one critical section /
+// stage-round, so msgs/op exposes the per-protocol wire cost the
+// BENCH_*.json trajectory tracks.
+func benchCoherence(b *testing.B, coh string, mkW func(rounds int) workload.Workload) {
+	b.Helper()
+	cp, err := coherence.FromName(coh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rdma.DefaultConfig(d, nil)
+	cfg.Coherence = cp
+	w := mkW(b.N)
+	b.ResetTimer()
+	res, err := w.Run(dsm.Config{Seed: 1, RDMA: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	totalOps := float64(w.Procs * b.N)
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/totalOps, "wireB/op")
+	b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
+	b.ReportMetric(float64(res.Coherence.Hits)/totalOps, "hits/op")
+	b.ReportMetric(float64(res.Coherence.Invalidations)/totalOps, "invals/op")
+}
+
+// coherenceBenchWorkloads are the protocol-divergent workloads measured
+// per-protocol in the perf trajectory.
+var coherenceBenchWorkloads = []struct {
+	name string
+	mk   func(rounds int) workload.Workload
+}{
+	{"migratory", func(rounds int) workload.Workload { return workload.Migratory(4, rounds, 8) }},
+	{"prodchain", func(rounds int) workload.Workload { return workload.ProducerConsumerChain(4, rounds, 8, 4) }},
+}
+
 // benchDetectors lists the detectors the OnAccess microbenchmark measures.
 func benchDetectors() []core.Detector {
 	return []core.Detector{
@@ -117,8 +159,8 @@ func benchDetectorOnAccess(b *testing.B, d core.Detector) {
 
 // StandardBenchmarks returns the canonical benchmark set the cmd/bench
 // harness records in the perf trajectory: the raw put/get primitives, the
-// protocol ablation, the E-T4 throughput grid, and the per-detector
-// OnAccess microbenchmark.
+// wire-protocol ablation, the E-T4 throughput grid, the per-coherence
+// workload comparison, and the per-detector OnAccess microbenchmark.
 func StandardBenchmarks() []BenchSpec {
 	specs := []BenchSpec{
 		{Name: "E_F2_Put", F: func(b *testing.B) { benchOps(b, "off", "", 1, false) }},
@@ -132,6 +174,15 @@ func StandardBenchmarks() []BenchSpec {
 			specs = append(specs, BenchSpec{
 				Name: fmt.Sprintf("E_T4_Throughput/n=%d/det=%s", n, det),
 				F:    func(b *testing.B) { benchThroughput(b, n, det) },
+			})
+		}
+	}
+	for _, wl := range coherenceBenchWorkloads {
+		for _, coh := range CoherenceNames() {
+			wl, coh := wl, coh
+			specs = append(specs, BenchSpec{
+				Name: fmt.Sprintf("E_Coherence/%s/%s", wl.name, coh),
+				F:    func(b *testing.B) { benchCoherence(b, coh, wl.mk) },
 			})
 		}
 	}

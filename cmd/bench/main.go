@@ -9,8 +9,8 @@
 // Usage:
 //
 //	go run ./cmd/bench                                # all families, 2000 iterations
-//	go run ./cmd/bench -filter 'E_T4' -benchtime 50000x
-//	go run ./cmd/bench -out BENCH_2.json -pr 2 -note "after sharding"
+//	go run ./cmd/bench -filter 'E_T4|E_Coherence' -benchtime 50000x
+//	go run ./cmd/bench -out BENCH_<pr>.json -pr <pr> -baseline BENCH_<pr-1>.json -note "after <change>"
 package main
 
 import (

@@ -1,12 +1,13 @@
 // Command dsmrace runs a named workload on the simulated DSM cluster with
-// a chosen race detector and prints the signalled races, traffic statistics
-// and (optionally) the exact ground truth.
+// a chosen race detector and prints the signalled races, traffic and
+// coherence statistics and (optionally) the exact ground truth.
 //
 // Usage:
 //
 //	dsmrace -workload master-worker -procs 6 -detector vw
 //	dsmrace -workload stencil-buggy -detector vw-exact -truth
 //	dsmrace -workload random -read 80 -ops 200 -detector single-clock
+//	dsmrace -workload migratory -coherence write-invalidate
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"dsmrace"
+	coherencepkg "dsmrace/internal/coherence"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/rdma"
 	"dsmrace/internal/trace"
@@ -24,16 +26,17 @@ import (
 
 func main() {
 	var (
-		name     = flag.String("workload", "master-worker", "workload: master-worker, stencil, stencil-buggy, histogram, histogram-racy, prodcons, random, random-locked, pipeline")
-		procs    = flag.Int("procs", 4, "number of processes")
-		detector = flag.String("detector", "vw", "detector: vw, vw-exact, single-clock, lockset, epoch, off")
-		protocol = flag.String("protocol", "piggyback", "wire protocol: piggyback or literal")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		ops      = flag.Int("ops", 50, "operations per process (random workloads)")
-		readPct  = flag.Int("read", 50, "read percentage (random workloads)")
-		truth    = flag.Bool("truth", false, "compute exact ground truth and score the detector")
-		traceOut = flag.String("trace", "", "write the execution trace (JSON) to this file")
-		maxRaces = flag.Int("max-races", 10, "print at most this many race reports")
+		name      = flag.String("workload", "master-worker", "workload: master-worker, stencil, stencil-buggy, histogram, histogram-racy, prodcons, random, random-locked, pipeline, migratory, prodchain")
+		procs     = flag.Int("procs", 4, "number of processes")
+		detector  = flag.String("detector", "vw", "detector: vw, vw-exact, single-clock, lockset, epoch, off")
+		protocol  = flag.String("protocol", "piggyback", "wire protocol: piggyback or literal")
+		coherence = flag.String("coherence", "write-update", "coherence protocol: write-update or write-invalidate")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		ops       = flag.Int("ops", 50, "operations per process (random workloads)")
+		readPct   = flag.Int("read", 50, "read percentage (random workloads)")
+		truth     = flag.Bool("truth", false, "compute exact ground truth and score the detector")
+		traceOut  = flag.String("trace", "", "write the execution trace (JSON) to this file")
+		maxRaces  = flag.Int("max-races", 10, "print at most this many race reports")
 	)
 	flag.Parse()
 
@@ -48,9 +51,24 @@ func main() {
 		os.Exit(2)
 	}
 	rcfg := rdma.DefaultConfig(det, nil)
-	if *protocol == "literal" {
+	switch *protocol {
+	case "", "piggyback":
+	case "literal":
 		rcfg.Protocol = rdma.ProtocolLiteral
+	default:
+		fmt.Fprintf(os.Stderr, "dsmrace: unknown wire protocol %q (want piggyback or literal)\n", *protocol)
+		os.Exit(2)
 	}
+	coh, err := coherencepkg.FromName(*coherence)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrace:", err)
+		os.Exit(2)
+	}
+	if coh.CachesRemoteReads() && rcfg.Protocol == rdma.ProtocolLiteral {
+		fmt.Fprintln(os.Stderr, "dsmrace: write-invalidate requires the piggyback wire protocol")
+		os.Exit(2)
+	}
+	rcfg.Coherence = coh
 	needTrace := *truth || *traceOut != ""
 	res, err := w.Run(dsm.Config{Seed: *seed, RDMA: rcfg, Trace: needTrace})
 	if err != nil {
@@ -60,10 +78,15 @@ func main() {
 		}
 	}
 
-	fmt.Printf("workload=%s procs=%d detector=%s protocol=%s seed=%d profile=%s\n",
-		w.Name, w.Procs, *detector, *protocol, *seed, w.Profile)
+	fmt.Printf("workload=%s procs=%d detector=%s protocol=%s coherence=%s seed=%d profile=%s\n",
+		w.Name, w.Procs, *detector, *protocol, coh.Name(), *seed, w.Profile)
 	fmt.Printf("virtual time: %v   events: %d\n", res.Duration, res.Events)
 	fmt.Printf("traffic: %v\n", res.NetStats)
+	if coh.CachesRemoteReads() {
+		ch := res.Coherence
+		fmt.Printf("coherence: fetches=%d hits=%d home-reads=%d invalidations=%d\n",
+			ch.Fetches, ch.Hits, ch.HomeReads, ch.Invalidations)
+	}
 	fmt.Printf("detection state: %d bytes\n", res.StorageBytes)
 	fmt.Printf("races signalled: %d\n", res.RaceCount)
 	for i, r := range res.Races {
@@ -109,6 +132,10 @@ func pick(name string, procs, ops, readPct int) (workload.Workload, error) {
 		return workload.Random(workload.RandomSpec{Procs: procs, Areas: 2 * procs, AreaWords: 4, OpsPerProc: ops, ReadPercent: readPct, LockDiscipline: true}), nil
 	case "pipeline":
 		return workload.Pipeline(procs, ops/10+1), nil
+	case "migratory":
+		return workload.Migratory(procs, ops/5+1, 8), nil
+	case "prodchain":
+		return workload.ProducerConsumerChain(procs, ops/10+1, 8, 4), nil
 	default:
 		return workload.Workload{}, fmt.Errorf("unknown workload %q", name)
 	}

@@ -1,10 +1,17 @@
 // Command raceexp is the experiment driver: it regenerates every table of
-// EXPERIMENTS.md (E-T1 … E-T11) from live simulation runs.
+// EXPERIMENTS.md (E-T1 … E-T12) from live simulation runs.
+//
+// Independent trials (seed sweeps, detector grids, protocol comparisons)
+// fan out across OS threads via the parallel experiment driver; -par caps
+// the worker count (default: GOMAXPROCS). Results are merged in trial
+// order, so the emitted tables are bit-identical for a fixed seed whatever
+// the parallelism.
 //
 // Usage:
 //
-//	raceexp             # run every experiment
+//	raceexp             # run every experiment, GOMAXPROCS-wide
 //	raceexp -exp T3     # run one experiment
+//	raceexp -par 1      # serial execution (same output)
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"strings"
 
 	"dsmrace"
+	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/rdma"
@@ -39,10 +47,14 @@ var experiments = []struct {
 	{"T9", "truncated clocks: the Charron-Bost bound in action (§IV-C)", expT9},
 	{"T10", "ablations: protocol x granularity x home tick", expT10},
 	{"T11", "clock-granularity false sharing: area clocks vs word-level truth (§V-A)", expT11},
+	{"T12", "coherence protocols: write-update vs write-invalidate cost and coverage", expT12},
 }
 
+// par is the -par worker cap, shared by every experiment's trial fan-out.
+var par = flag.Int("par", 0, "max concurrent trials (0 = GOMAXPROCS, 1 = serial)")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1..T11) or all")
+	exp := flag.String("exp", "all", "experiment id (T1..T12) or all")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {
@@ -65,6 +77,12 @@ func must[T any](v T, err error) T {
 		panic(err)
 	}
 	return v
+}
+
+// parTrials fans n independent trials across the driver's workers and
+// returns the results in trial order.
+func parTrials[T any](n int, trial func(i int) (T, error)) []T {
+	return must(dsmrace.Parallel(n, *par, trial))
 }
 
 func detectorOf(name string) core.Detector { return must(dsmrace.NewDetector(name)) }
@@ -138,13 +156,18 @@ func expT2() {
 }
 
 // scoreWorkload runs w under det and scores against exact ground truth.
-func scoreWorkload(w workload.Workload, det string, seed int64) verify.Score {
-	res := must(w.Run(dsm.Config{Seed: seed, Trace: true, RDMA: rdma.DefaultConfig(detectorOf(det), nil)}))
+func scoreWorkload(w workload.Workload, det string, seed int64) (verify.Score, error) {
+	res, err := w.Run(dsm.Config{Seed: seed, Trace: true, RDMA: rdma.DefaultConfig(detectorOf(det), nil)})
+	if err != nil {
+		return verify.Score{}, err
+	}
 	truth := verify.GroundTruth(res.Trace, verify.DefaultOptions())
-	return verify.ScoreReports(truth, det, res.Races)
+	return verify.ScoreReports(truth, det, res.Races), nil
 }
 
 // expT3: precision/recall of every detector on three workload families.
+// The family x detector x seed grid is one flat trial list for the
+// parallel driver; rows aggregate in grid order.
 func expT3() {
 	families := []struct {
 		name string
@@ -158,16 +181,25 @@ func expT3() {
 		}},
 		{"stencil-buggy", func() workload.Workload { return workload.StencilBuggy(4, 4, 3) }},
 	}
+	dets := []string{"vw-exact", "vw", "single-clock", "epoch", "lockset"}
+	const seeds = 5
+	scores := parTrials(len(families)*len(dets)*seeds, func(i int) (verify.Score, error) {
+		fam := families[i/(len(dets)*seeds)]
+		det := dets[(i/seeds)%len(dets)]
+		seed := int64(i%seeds) + 1
+		return scoreWorkload(fam.mk(), det, seed)
+	})
+	i := 0
 	for _, fam := range families {
 		tb := stats.NewTable("workload "+fam.name,
 			"detector", "TP", "FP", "FN", "precision", "recall")
-		for _, det := range []string{"vw-exact", "vw", "single-clock", "epoch", "lockset"} {
+		for _, det := range dets {
 			var tp, fp, fn int
-			for seed := int64(1); seed <= 5; seed++ {
-				s := scoreWorkload(fam.mk(), det, seed)
-				tp += s.TP
-				fp += s.FP
-				fn += s.FN
+			for s := 0; s < seeds; s++ {
+				tp += scores[i].TP
+				fp += scores[i].FP
+				fn += scores[i].FN
+				i++
 			}
 			prec, rec := 1.0, 1.0
 			if tp+fp > 0 {
@@ -217,19 +249,30 @@ func expT5() {
 	fmt.Println("claim check: races are signalled but execution is never aborted; the master still collects the exact total (§IV-D).")
 }
 
-// expT6: false-positive rate vs read ratio.
+// expT6: false-positive rate vs read ratio, the grid flattened for the
+// parallel driver.
 func expT6() {
+	readPcts := []int{0, 25, 50, 75, 90, 100}
+	dets := []string{"vw-exact", "single-clock"}
+	const seeds = 3
+	scores := parTrials(len(readPcts)*len(dets)*seeds, func(i int) (verify.Score, error) {
+		readPct := readPcts[i/(len(dets)*seeds)]
+		det := dets[(i/seeds)%len(dets)]
+		seed := int64(i%seeds) + 1
+		w := workload.Random(workload.RandomSpec{Procs: 4, Areas: 4, AreaWords: 2, OpsPerProc: 20, ReadPercent: readPct})
+		return scoreWorkload(w, det, seed)
+	})
 	tb := stats.NewTable("flags vs exact truth across read ratios (4 procs, 20 ops/proc, 3 seeds)",
 		"read %", "detector", "flags", "true racy accesses", "false positives")
-	for _, readPct := range []int{0, 25, 50, 75, 90, 100} {
-		for _, det := range []string{"vw-exact", "single-clock"} {
+	i := 0
+	for _, readPct := range readPcts {
+		for _, det := range dets {
 			var flags, racy, fp int
-			for seed := int64(1); seed <= 3; seed++ {
-				w := workload.Random(workload.RandomSpec{Procs: 4, Areas: 4, AreaWords: 2, OpsPerProc: 20, ReadPercent: readPct})
-				s := scoreWorkload(w, det, seed)
-				flags += s.Flagged
-				racy += s.TP + s.FN
-				fp += s.FP
+			for s := 0; s < seeds; s++ {
+				flags += scores[i].Flagged
+				racy += scores[i].TP + scores[i].FN
+				fp += scores[i].FP
+				i++
 			}
 			tb.Row(readPct, det, flags, racy, fp)
 		}
@@ -305,8 +348,8 @@ func expT8() {
 	}
 	tb := stats.NewTable("16-seed sweep with 30% latency jitter",
 		"program", "distinct final states", "diverged", "total races signalled")
-	racy := must(dsmrace.ExploreSchedules(mkRacy, dsmrace.SeedRange(16)))
-	clean := must(dsmrace.ExploreSchedules(mkClean, dsmrace.SeedRange(16)))
+	racy := must(dsmrace.ExploreSchedulesParallel(mkRacy, dsmrace.SeedRange(16), *par))
+	clean := must(dsmrace.ExploreSchedulesParallel(mkClean, dsmrace.SeedRange(16), *par))
 	tb.Row("3 unsynchronised writers", racy.DistinctStates(), racy.Diverged(), racy.TotalRaces())
 	tb.Row("barrier-ordered write/read", clean.DistinctStates(), clean.Diverged(), clean.TotalRaces())
 	fmt.Print(tb)
@@ -440,4 +483,74 @@ func expT11() {
 	tb.Row("4 areas, 1 slot each", f, ap, wp, st)
 	fmt.Print(tb)
 	fmt.Println("claim check: per-area clocks flag disjoint-slot writes (false sharing) — word-level truth shows zero real races; word-granularity clocks (or splitting the variable) remove every flag at n-fold clock storage. This is the granularity face of §V-A's 'a clock must be used for each shared piece of data'.")
+}
+
+// expT12: the coherence-protocol axis. Each workload runs under
+// write-update and write-invalidate with the exact detector; the table
+// shows the wire cost (including the replica traffic network statistics
+// alone cannot attribute: fetches, hits, invalidations) next to the
+// detector's coverage against ground truth — because under
+// write-invalidate a cache hit reaches no home, and an access the home
+// never sees is an access the online detector cannot check.
+func expT12() {
+	wls := []struct {
+		name string
+		mk   func() workload.Workload
+	}{
+		{"migratory", func() workload.Workload { return workload.Migratory(4, 8, 8) }},
+		{"prodchain", func() workload.Workload { return workload.ProducerConsumerChain(4, 6, 8, 4) }},
+		{"stencil1d", func() workload.Workload { return workload.Stencil1D(4, 4, 3) }},
+		{"pipeline", func() workload.Workload { return workload.Pipeline(4, 2) }},
+		{"random-50r", func() workload.Workload {
+			return workload.Random(workload.RandomSpec{Procs: 4, Areas: 4, AreaWords: 2, OpsPerProc: 20, ReadPercent: 50})
+		}},
+	}
+	cohs := []string{"write-update", "write-invalidate"}
+	type cell struct {
+		res   *dsm.Result
+		score verify.Score
+		pairs string // sync-only ground-truth pair fingerprint
+	}
+	cells := parTrials(len(wls)*len(cohs), func(i int) (cell, error) {
+		w := wls[i/len(cohs)].mk()
+		cp, err := coherence.FromName(cohs[i%len(cohs)])
+		if err != nil {
+			return cell{}, err
+		}
+		cfg := rdma.DefaultConfig(detectorOf("vw-exact"), nil)
+		cfg.Coherence = cp
+		res, err := w.Run(dsm.Config{Seed: 1, Trace: true, RDMA: cfg})
+		if err != nil {
+			return cell{}, err
+		}
+		truth := verify.GroundTruth(res.Trace, verify.DefaultOptions())
+		sync := verify.GroundTruth(res.Trace, verify.SyncOnlyOptions())
+		return cell{
+			res:   res,
+			score: verify.ScoreReports(truth, "vw-exact", res.Races),
+			pairs: fmt.Sprint(sync.Pairs),
+		}, nil
+	})
+	tb := stats.NewTable("coherence protocol comparison (vw-exact, seed 1)",
+		"workload", "coherence", "msgs", "wire bytes", "fetch/hit/inval", "flags", "recall")
+	for i, c := range cells {
+		ch := c.res.Coherence
+		tb.Row(wls[i/len(cohs)].name, cohs[i%len(cohs)],
+			c.res.NetStats.TotalMsgs, c.res.NetStats.TotalBytes,
+			fmt.Sprintf("%d/%d/%d", ch.Fetches, ch.Hits, ch.Invalidations),
+			c.res.RaceCount, c.score.Recall)
+	}
+	fmt.Print(tb)
+	// The deterministic workloads also prove protocol equivalence at the
+	// ground-truth level: identical sync-only race sets under both
+	// protocols (the same property the test suite asserts on every seed
+	// workload).
+	for i, w := range wls {
+		if w.name == "pipeline" || w.name == "random-50r" {
+			continue // timing-dependent access streams: compared in-suite at area/profile level
+		}
+		same := cells[i*len(cohs)].pairs == cells[i*len(cohs)+1].pairs
+		fmt.Printf("ground-truth equivalence [%s]: %v\n", w.name, same)
+	}
+	fmt.Println("claim check: migration is write-update's best case (write-invalidate pays a whole-area fetch plus an invalidation round per ownership hop); repeated consumption is write-invalidate's (re-reads are message-free cache hits). The races a program contains are protocol-invariant — but the detector's recall drops under write-invalidate exactly where reads stop reaching the home.")
 }

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	tracer -in run.json -verify          # exact ground truth of a trace
-//	tracer -in run.json -stats           # event statistics
-//	tracer -in run.json -out run.gob     # convert between JSON and gob
-//	tracer -in run.json -dump -limit 20  # print events
+//	tracer -in run.json -verify           # exact ground truth of a trace
+//	tracer -in run.json -stats            # event statistics
+//	tracer -in run.json -out run.gob      # convert between JSON and gob
+//	tracer -in run.json -dump -limit 20   # print events
+//	tracer -in run.json -replay vw        # run an online detector over the trace
+//	tracer -in run.json -lockorder        # potential-deadlock analysis of user locks
+//	tracer -in run.json -timeline -replay vw  # space-time diagram, races marked
 package main
 
 import (

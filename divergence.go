@@ -61,24 +61,45 @@ func fingerprint(mem [][]Word) string {
 // ExploreSchedules runs the spec once per seed (the spec's own Seed is
 // ignored) and compares final memory states. Latency jitter is forced on
 // (default 30%) so seeds actually explore different interleavings.
+//
+// Seeds run serially, preserving this function's original contract: the
+// spec's Setup and Program closures are never invoked concurrently, so
+// they may share mutable state. Use ExploreSchedulesParallel to fan the
+// sweep across workers when the closures are concurrency-safe.
 func ExploreSchedules(spec RunSpec, seeds []int64) (*DivergenceReport, error) {
+	return ExploreSchedulesParallel(spec, seeds, 1)
+}
+
+// ExploreSchedulesParallel is ExploreSchedules with the seeds explored
+// concurrently on up to workers goroutines (workers as in Parallel: <= 0
+// selects Parallelism(), 1 is serial). The report is assembled in seed
+// order, so it is bit-identical for any worker count. The spec's Setup and
+// Program closures run concurrently across seeds and must not share
+// mutable state.
+func ExploreSchedulesParallel(spec RunSpec, seeds []int64, workers int) (*DivergenceReport, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("dsmrace: no seeds to explore")
 	}
 	if spec.Jitter == 0 {
 		spec.Jitter = 0.3
 	}
-	rep := &DivergenceReport{States: make(map[string][]int64)}
-	for _, seed := range seeds {
+	results, err := Parallel(len(seeds), workers, func(i int) (*Result, error) {
 		s := spec
-		s.Seed = seed
+		s.Seed = seeds[i]
 		res, err := Run(s)
 		if err != nil {
-			return nil, fmt.Errorf("dsmrace: seed %d: %w", seed, err)
+			return nil, fmt.Errorf("seed %d: %w", seeds[i], err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsmrace: schedule sweep: %w", err)
+	}
+	rep := &DivergenceReport{States: make(map[string][]int64)}
+	for i, res := range results {
 		fp := fingerprint(res.Memory)
-		rep.Seeds = append(rep.Seeds, seed)
-		rep.States[fp] = append(rep.States[fp], seed)
+		rep.Seeds = append(rep.Seeds, seeds[i])
+		rep.States[fp] = append(rep.States[fp], seeds[i])
 		rep.RaceCounts = append(rep.RaceCounts, res.RaceCount)
 		rep.Results = append(rep.Results, res)
 	}

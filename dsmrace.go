@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"dsmrace/internal/baseline"
+	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/network"
@@ -61,6 +62,9 @@ type (
 	Score = verify.Score
 	// Time is virtual simulation time in nanoseconds.
 	Time = sim.Time
+	// CoherenceStats counts replica events (hits, fetches, invalidations)
+	// of a run — all zero under write-update, which keeps no replicas.
+	CoherenceStats = coherence.Stats
 )
 
 // Reduction operators re-exported for collective calls.
@@ -75,6 +79,9 @@ const (
 func DetectorNames() []string {
 	return []string{"vw", "vw-exact", "single-clock", "lockset", "epoch", "off"}
 }
+
+// CoherenceNames lists the accepted RunSpec.Coherence values.
+func CoherenceNames() []string { return coherence.Names() }
 
 // NewDetector builds a detector by name ("off" and "" yield nil: detection
 // disabled).
@@ -110,8 +117,16 @@ type RunSpec struct {
 	// "single-clock", "lockset", "epoch" or "off"/"" (disabled).
 	Detector string
 	// Protocol is "piggyback" (default) or "literal" (the paper's
-	// Algorithms 1–5 message by message).
+	// Algorithms 1–5 message by message). This is the *wire* protocol —
+	// how clocks travel with an access; Coherence below is the *coherence*
+	// protocol — which copies of the data exist at all.
 	Protocol string
+	// Coherence selects the coherence protocol: "write-update" (default;
+	// the single-copy home-based model of the paper) or "write-invalidate"
+	// (home-based directory, whole-area read caching, acknowledged
+	// invalidations). Write-invalidate requires the piggyback wire
+	// protocol.
+	Coherence string
 	// Granularity is "area" (default; one clock pair per shared variable),
 	// "node" (the figures' coarse model) or "word" (no clock false
 	// sharing, maximum storage; piggyback protocol only).
@@ -150,6 +165,14 @@ func (s RunSpec) build() (*Cluster, []Program, error) {
 	default:
 		return nil, nil, fmt.Errorf("dsmrace: unknown protocol %q", s.Protocol)
 	}
+	coh, err := coherence.FromName(s.Coherence)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsmrace: %w", err)
+	}
+	if coh.CachesRemoteReads() && rcfg.Protocol == rdma.ProtocolLiteral {
+		return nil, nil, fmt.Errorf("dsmrace: coherence %q requires the piggyback wire protocol", s.Coherence)
+	}
+	rcfg.Coherence = coh
 	switch s.Granularity {
 	case "", "area":
 	case "node":

@@ -42,6 +42,7 @@ func main() {
 		Procs:    3,
 		Seed:     1,
 		Detector: "vw-exact",
+		Trace:    true,
 		Setup: func(c *dsmrace.Cluster) error {
 			return c.Alloc("x", 0, 1)
 		},
@@ -62,4 +63,9 @@ func main() {
 	}
 	fmt.Printf("fixed run: %d race(s), final x = %d (last barrier turn wins, deterministically)\n",
 		clean.RaceCount, clean.Memory[0][0])
+	cleanTruth, err := dsmrace.GroundTruthOf(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground truth agrees: %d racing pair(s)\n", len(cleanTruth.Pairs))
 }

@@ -1,0 +1,7 @@
+// Package baseline implements the comparator race detectors the evaluation
+// tables measure the paper's detector against: a single-clock variant (the
+// strawman §IV-D argues against), an Eraser-style lockset detector, a
+// FastTrack-style epoch detector (an extension showing what a decade of
+// shared-memory race detection buys in this model), and a no-op detector
+// establishing the overhead floor.
+package baseline

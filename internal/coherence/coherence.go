@@ -1,0 +1,314 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/vclock"
+)
+
+// Kind enumerates the provided coherence protocols.
+type Kind int
+
+// Kinds.
+const (
+	// WriteUpdate is the model's original behaviour: the home copy is the
+	// only copy. Writes push data to the home, reads pull from it; no node
+	// ever retains a replica, so there is nothing to keep coherent and no
+	// coherence traffic exists.
+	WriteUpdate Kind = iota
+	// WriteInvalidate is the home-based invalidation protocol: readers
+	// retain whole-area copies fetched on demand (with the area's write
+	// clock piggybacked), the home directory tracks who holds one, and a
+	// write invalidates every other copy — and is acknowledged only after
+	// every invalidation is — before it completes.
+	WriteInvalidate
+)
+
+// String names the kind for tables and flags.
+func (k Kind) String() string {
+	if k == WriteInvalidate {
+		return "write-invalidate"
+	}
+	return "write-update"
+}
+
+// Protocol is a pluggable coherence policy. The transport (internal/rdma)
+// owns the messages; the protocol owns the decisions: whether a read can be
+// served from a local copy, which copies a write must invalidate, and the
+// replica bookkeeping itself (directory + caches) via State.
+//
+// Implementations must be deterministic: any iteration over replica holders
+// happens in ascending node order, so a fixed seed reproduces a fixed
+// message sequence.
+type Protocol interface {
+	// Name identifies the protocol in tables and reports.
+	Name() string
+	// Kind returns the protocol's kind.
+	Kind() Kind
+	// CachesRemoteReads reports whether readers retain fetched copies (and
+	// therefore whether the directory/invalidation machinery is live).
+	CachesRemoteReads() bool
+	// ServesHomeReadsLocally reports whether a node reads areas homed on
+	// itself without any messages (the home copy is by definition valid).
+	ServesHomeReadsLocally() bool
+	// NewState returns fresh per-run protocol state for a cluster of nodes.
+	NewState(nodes int) State
+}
+
+// Stats counts protocol-level events for one run. Cache hits generate no
+// messages, so they are invisible to network statistics; these counters are
+// the only place the silent part of a protocol's behaviour shows up.
+type Stats struct {
+	// HomeReads are reads served from the reader's own public memory.
+	HomeReads uint64
+	// Hits are remote reads served from a valid local copy (no messages).
+	Hits uint64
+	// Fetches are whole-area fetches (read misses).
+	Fetches uint64
+	// Installs counts copies installed by fetches.
+	Installs uint64
+	// Patches counts writer-local copy updates after a completed write.
+	Patches uint64
+	// Invalidations counts invalidation messages requested by writes.
+	Invalidations uint64
+}
+
+// State is the mutable replica bookkeeping of one run: the home-side
+// directory (which nodes hold a valid copy of which area) and the node-side
+// caches (the copies themselves, each stamped with the write clock it was
+// fetched under). The simulation kernel serialises all calls; no locking.
+//
+// The directory and the caches are kept in lockstep by the transport: a
+// node is listed as a sharer if and only if it holds a valid copy. (The one
+// transient exception — a copy whose invalidation message is in flight — is
+// closed before the invalidating write completes, because the write waits
+// for every acknowledgement while holding the area lock.)
+type State interface {
+	// CachedRead serves a read of [off, off+count) of a by node from its
+	// valid local copy. The returned data is a fresh slice owned by the
+	// caller; w is the copy's write clock (borrowed — copy to retain; nil
+	// when the run carries no clocks). ok reports whether a valid copy
+	// existed; on false the read must fetch from the home.
+	CachedRead(node int, a memory.Area, off, count int) (data []memory.Word, w vclock.VC, ok bool)
+	// InstallCopy records that node now holds the whole-area data with
+	// write clock w (both copied in; w may be nil with detection off).
+	InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.VC)
+	// PatchCopy folds node's own committed write of data at word offset off
+	// into its cached copy, advancing the copy's write clock to neww — the
+	// writer's copy stays valid because every other copy was invalidated.
+	// No-op when node holds no valid copy.
+	PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.VC)
+	// DropCopy invalidates node's copy of a (invalidation receipt).
+	DropCopy(node int, a memory.Area)
+	// AddSharer registers reader in a's directory (a fetch was served).
+	AddSharer(reader int, a memory.Area)
+	// Invalidees returns the nodes other than writer whose copies a write
+	// to a must invalidate, in ascending node order, and removes them from
+	// the directory (their DropCopy happens when the invalidation message
+	// arrives). The returned slice is reused by the next call.
+	Invalidees(writer int, a memory.Area) []int
+	// Stats returns the run's protocol event counters.
+	Stats() Stats
+}
+
+// FromName resolves a protocol by flag value: "" and "write-update" (or
+// "wu") select WriteUpdate, "write-invalidate" (or "wi") selects
+// WriteInvalidate.
+func FromName(name string) (Protocol, error) {
+	switch name {
+	case "", "write-update", "wu":
+		return NewWriteUpdate(), nil
+	case "write-invalidate", "wi":
+		return NewWriteInvalidate(), nil
+	default:
+		return nil, fmt.Errorf("coherence: unknown protocol %q (want write-update or write-invalidate)", name)
+	}
+}
+
+// Names lists the accepted protocol selector values.
+func Names() []string { return []string{"write-update", "write-invalidate"} }
+
+// ---- Write-update ----
+
+// writeUpdate is the null policy: no replicas, no directory, every access
+// goes to the home. Extracting it as a Protocol keeps the original
+// transport path byte-identical while making the protocol axis explicit.
+type writeUpdate struct{}
+
+// NewWriteUpdate returns the write-update protocol.
+func NewWriteUpdate() Protocol { return writeUpdate{} }
+
+func (writeUpdate) Name() string                 { return "write-update" }
+func (writeUpdate) Kind() Kind                   { return WriteUpdate }
+func (writeUpdate) CachesRemoteReads() bool      { return false }
+func (writeUpdate) ServesHomeReadsLocally() bool { return false }
+func (writeUpdate) NewState(nodes int) State     { return nopState{} }
+
+// nopState is write-update's replica bookkeeping: there are no replicas.
+type nopState struct{}
+
+func (nopState) CachedRead(int, memory.Area, int, int) ([]memory.Word, vclock.VC, bool) {
+	return nil, nil, false
+}
+func (nopState) InstallCopy(int, memory.Area, []memory.Word, vclock.VC)    {}
+func (nopState) PatchCopy(int, memory.Area, int, []memory.Word, vclock.VC) {}
+func (nopState) DropCopy(int, memory.Area)                                 {}
+func (nopState) AddSharer(int, memory.Area)                                {}
+func (nopState) Invalidees(int, memory.Area) []int                         { return nil }
+func (nopState) Stats() Stats                                              { return Stats{} }
+
+// ---- Write-invalidate ----
+
+// writeInvalidate is the home-based invalidation protocol.
+type writeInvalidate struct{}
+
+// NewWriteInvalidate returns the write-invalidate protocol.
+func NewWriteInvalidate() Protocol { return writeInvalidate{} }
+
+func (writeInvalidate) Name() string                 { return "write-invalidate" }
+func (writeInvalidate) Kind() Kind                   { return WriteInvalidate }
+func (writeInvalidate) CachesRemoteReads() bool      { return true }
+func (writeInvalidate) ServesHomeReadsLocally() bool { return true }
+
+func (writeInvalidate) NewState(nodes int) State {
+	return &wiState{
+		caches:  make([]map[memory.AreaID]*copyLine, nodes),
+		sharers: make(map[memory.AreaID][]bool),
+		nodes:   nodes,
+	}
+}
+
+// copyLine is one node's cached copy of one area.
+type copyLine struct {
+	data  []memory.Word
+	w     vclock.VC // write clock of the copy; nil when detection is off
+	valid bool
+}
+
+// wiState implements State for write-invalidate: per-node caches plus the
+// per-area sharer vector (the directory, conceptually resident at each
+// area's home — one global map here because the simulator is one process).
+type wiState struct {
+	caches  []map[memory.AreaID]*copyLine
+	sharers map[memory.AreaID][]bool
+	nodes   int
+	scratch []int // Invalidees result buffer, reused
+	stats   Stats
+}
+
+func (s *wiState) line(node int, id memory.AreaID, create bool) *copyLine {
+	m := s.caches[node]
+	if m == nil {
+		if !create {
+			return nil
+		}
+		m = make(map[memory.AreaID]*copyLine)
+		s.caches[node] = m
+	}
+	l := m[id]
+	if l == nil && create {
+		l = &copyLine{}
+		m[id] = l
+	}
+	return l
+}
+
+// CachedRead implements State.
+func (s *wiState) CachedRead(node int, a memory.Area, off, count int) ([]memory.Word, vclock.VC, bool) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return nil, nil, false
+	}
+	if off < 0 || count < 0 || off+count > len(l.data) {
+		return nil, nil, false
+	}
+	s.stats.Hits++
+	out := make([]memory.Word, count)
+	copy(out, l.data[off:off+count])
+	return out, l.w, true
+}
+
+// InstallCopy implements State.
+func (s *wiState) InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.VC) {
+	l := s.line(node, a.ID, true)
+	if cap(l.data) < len(data) {
+		l.data = make([]memory.Word, len(data))
+	}
+	l.data = l.data[:len(data)]
+	copy(l.data, data)
+	if w != nil {
+		l.w = w.CopyInto(l.w)
+	} else {
+		l.w = nil
+	}
+	l.valid = true
+	s.stats.Installs++
+}
+
+// PatchCopy implements State.
+func (s *wiState) PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.VC) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return
+	}
+	if off < 0 || off+len(data) > len(l.data) {
+		return
+	}
+	copy(l.data[off:], data)
+	if neww != nil {
+		l.w = neww.CopyInto(l.w)
+	}
+	s.stats.Patches++
+}
+
+// DropCopy implements State.
+func (s *wiState) DropCopy(node int, a memory.Area) {
+	if l := s.line(node, a.ID, false); l != nil {
+		l.valid = false
+	}
+}
+
+// AddSharer implements State.
+func (s *wiState) AddSharer(reader int, a memory.Area) {
+	v := s.sharers[a.ID]
+	if v == nil {
+		v = make([]bool, s.nodes)
+		s.sharers[a.ID] = v
+	}
+	v[reader] = true
+}
+
+// Invalidees implements State. Ascending node order keeps runs
+// deterministic.
+func (s *wiState) Invalidees(writer int, a memory.Area) []int {
+	v := s.sharers[a.ID]
+	if v == nil {
+		return nil
+	}
+	out := s.scratch[:0]
+	for node, holds := range v {
+		if holds && node != writer {
+			out = append(out, node)
+			v[node] = false
+			s.stats.Invalidations++
+		}
+	}
+	s.scratch = out
+	return out
+}
+
+// Stats implements State.
+func (s *wiState) Stats() Stats { return s.stats }
+
+// CountHomeRead and CountFetch let the transport attribute events the state
+// cannot see from its own calls.
+func (s *wiState) CountHomeRead() { s.stats.HomeReads++ }
+func (s *wiState) CountFetch()    { s.stats.Fetches++ }
+
+// Counter is implemented by states that track transport-visible events
+// (home-local reads, fetches). The transport calls it when present.
+type Counter interface {
+	CountHomeRead()
+	CountFetch()
+}

@@ -1,0 +1,120 @@
+package coherence
+
+import (
+	"testing"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/vclock"
+)
+
+var area = memory.Area{ID: 7, Name: "x", Home: 0, Off: 0, Len: 4}
+
+func TestFromName(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"": WriteUpdate, "wu": WriteUpdate, "write-update": WriteUpdate,
+		"wi": WriteInvalidate, "write-invalidate": WriteInvalidate,
+	} {
+		p, err := FromName(name)
+		if err != nil {
+			t.Fatalf("FromName(%q): %v", name, err)
+		}
+		if p.Kind() != want {
+			t.Errorf("FromName(%q).Kind() = %v, want %v", name, p.Kind(), want)
+		}
+	}
+	if _, err := FromName("msi"); err == nil {
+		t.Error("FromName(msi) accepted")
+	}
+}
+
+func TestWriteUpdateIsInert(t *testing.T) {
+	p := NewWriteUpdate()
+	if p.CachesRemoteReads() || p.ServesHomeReadsLocally() {
+		t.Error("write-update must not cache or shortcut reads")
+	}
+	st := p.NewState(4)
+	st.InstallCopy(1, area, []memory.Word{1, 2, 3, 4}, nil)
+	st.AddSharer(1, area)
+	if _, _, ok := st.CachedRead(1, area, 0, 4); ok {
+		t.Error("write-update served a cached read")
+	}
+	if inv := st.Invalidees(2, area); len(inv) != 0 {
+		t.Errorf("write-update invalidees = %v", inv)
+	}
+	if st.Stats() != (Stats{}) {
+		t.Errorf("write-update stats = %+v", st.Stats())
+	}
+}
+
+func TestWriteInvalidateLifecycle(t *testing.T) {
+	st := NewWriteInvalidate().NewState(4)
+	w := vclock.New(4)
+	w.Tick(0)
+
+	// Install on node 1, hit, and verify isolation of the returned slice.
+	st.InstallCopy(1, area, []memory.Word{10, 11, 12, 13}, w)
+	st.AddSharer(1, area)
+	data, gotW, ok := st.CachedRead(1, area, 1, 2)
+	if !ok || data[0] != 11 || data[1] != 12 {
+		t.Fatalf("hit = %v %v", data, ok)
+	}
+	if vclock.Compare(gotW, w) != vclock.Equal {
+		t.Errorf("copy clock = %s, want %s", gotW, w)
+	}
+	data[0] = 99
+	if d2, _, _ := st.CachedRead(1, area, 1, 1); d2[0] != 11 {
+		t.Error("CachedRead result aliases the cache line")
+	}
+	if _, _, ok := st.CachedRead(2, area, 0, 1); ok {
+		t.Error("node 2 hit without a copy")
+	}
+
+	// A second sharer; a write by node 3 must invalidate both, ascending.
+	st.InstallCopy(2, area, []memory.Word{10, 11, 12, 13}, w)
+	st.AddSharer(2, area)
+	inv := st.Invalidees(3, area)
+	if len(inv) != 2 || inv[0] != 1 || inv[1] != 2 {
+		t.Fatalf("invalidees = %v, want [1 2]", inv)
+	}
+	st.DropCopy(1, area)
+	st.DropCopy(2, area)
+	if _, _, ok := st.CachedRead(1, area, 0, 1); ok {
+		t.Error("node 1 hit after invalidation")
+	}
+	if again := st.Invalidees(3, area); len(again) != 0 {
+		t.Errorf("second invalidation round = %v, want empty", again)
+	}
+
+	// The writer's own copy survives its write and is patched in place.
+	st.InstallCopy(3, area, []memory.Word{0, 0, 0, 0}, w)
+	st.AddSharer(3, area)
+	if inv := st.Invalidees(3, area); len(inv) != 0 {
+		t.Fatalf("writer invalidated itself: %v", inv)
+	}
+	w2 := w.Copy()
+	w2.Tick(3)
+	st.PatchCopy(3, area, 2, []memory.Word{42}, w2)
+	d, gotW, ok := st.CachedRead(3, area, 2, 1)
+	if !ok || d[0] != 42 {
+		t.Fatalf("patched read = %v %v", d, ok)
+	}
+	if vclock.Compare(gotW, w2) != vclock.Equal {
+		t.Errorf("patched clock = %s, want %s", gotW, w2)
+	}
+
+	s := st.Stats()
+	if s.Installs != 3 || s.Invalidations != 2 || s.Patches != 1 || s.Hits != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWriteInvalidatePatchNeedsValidCopy(t *testing.T) {
+	st := NewWriteInvalidate().NewState(2)
+	st.PatchCopy(1, area, 0, []memory.Word{5}, nil) // no copy: must not create one
+	if _, _, ok := st.CachedRead(1, area, 0, 1); ok {
+		t.Error("patch created a copy out of thin air")
+	}
+	if st.Stats().Patches != 0 {
+		t.Errorf("patches = %d, want 0", st.Stats().Patches)
+	}
+}

@@ -1,0 +1,36 @@
+// Package coherence makes the DSM's coherence protocol a pluggable axis.
+//
+// The paper's model (and this repository's original implementation) keeps
+// exactly one copy of every shared area — the home copy — and routes every
+// access to it: effectively an eager write-update discipline in which the
+// question "which replicas must be kept coherent?" never arises. That
+// hard-wired choice is exposed here as the WriteUpdate Protocol, extracted
+// but behaviourally untouched.
+//
+// The second implementation, WriteInvalidate, is a home-based invalidation
+// protocol in the TreadMarks/Ivy lineage: a read miss fetches the whole
+// area from its home (the area is the coherence unit, like a DSM page) and
+// installs a local copy stamped with the area's write clock, which the home
+// piggybacks on the fetch reply; subsequent reads hit locally and absorb
+// that clock (the same reads-from happens-before edge a remote read would
+// get — valid because a copy can only be valid while no later write has
+// committed). The home directory tracks sharers, and a write completes only
+// after every other copy has been invalidated and acknowledged, so the
+// protocol never serves stale data through a synchronisation chain.
+//
+// The split between this package and internal/rdma is policy vs mechanism:
+// Protocol/State own the decisions and the replica bookkeeping (directory,
+// caches, invalidee selection); the NICs own the messages (fetch.req,
+// fetch.reply, inval, inval.ack — see internal/network's kinds) and the
+// locking. A future protocol (MSI-style exclusive ownership, lazy release
+// consistency) plugs in as a third implementation without touching the
+// detection core.
+//
+// Detection consequences. The race detector lives at the home (§V-B:
+// "implemented in the communication library") and sees exactly the traffic
+// that reaches it. Under write-update that is every access; under
+// write-invalidate, cache hits generate no traffic and are therefore
+// invisible to the online detector — the coverage consequence the protocol
+// comparison experiments (raceexp -exp T12) quantify. Ground truth is
+// unaffected: the trace records every access, hit or miss.
+package coherence

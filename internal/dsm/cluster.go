@@ -1,15 +1,10 @@
-// Package dsm is the distributed-shared-memory runtime of §III: a cluster
-// of processes, each mapping a private and a public memory segment, joined
-// by a simulated RDMA interconnect. Programs written against Proc's API
-// (Put/Get/Lock/Unlock/Barrier/collectives) execute deterministically under
-// a seeded discrete-event kernel, with the paper's race detector wired into
-// the communication library exactly as §V-B prescribes.
 package dsm
 
 import (
 	"errors"
 	"fmt"
 
+	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/memory"
 	"dsmrace/internal/network"
@@ -55,6 +50,9 @@ type Result struct {
 	RaceCount int
 	// NetStats are the network traffic counters.
 	NetStats network.Stats
+	// Coherence counts protocol-level replica events (cache hits, fetches,
+	// invalidations) — zero under write-update, where no replicas exist.
+	Coherence coherence.Stats
 	// Memory is each node's final public segment.
 	Memory [][]memory.Word
 	// Trace is the recorded event stream (nil unless Config.Trace).
@@ -210,6 +208,7 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 	runErr := c.kernel.Run()
 	res := &Result{
 		NetStats:     c.net.Stats().Snapshot(),
+		Coherence:    c.sys.CoherenceStats(),
 		Memory:       c.space.Snapshot(),
 		Duration:     c.kernel.Now(),
 		Events:       c.kernel.Events(),

@@ -1,0 +1,7 @@
+// Package figures reproduces every figure of the paper as an executable
+// scenario: the memory organisation of Fig. 1, the put/get primitives of
+// Fig. 2, the delayed-put atomicity of Fig. 3, the benign concurrent reads
+// of Fig. 4 and the three vector-clock use cases of Fig. 5. Each scenario
+// computes the clock values the paper prints (asserted by tests) and
+// renders an ASCII sequence diagram for cmd/figures.
+package figures

@@ -1,10 +1,3 @@
-// Package memory models the address-space organisation of Fig. 1: every
-// node maps a private memory (accessible only from its own process) and a
-// public memory that is part of the global address space and reachable from
-// any node through the NIC. Shared data lives in named areas; the area
-// registry plays the role the paper assigns to the compiler — deciding, for
-// each shared variable, which processor's public memory holds it and
-// resolving (processor_name, local_address) pairs (§III-A).
 package memory
 
 import (

@@ -1,0 +1,20 @@
+// Package network simulates the interconnection network of §III: reliable
+// point-to-point FIFO links between nodes, pluggable latency models
+// (constant, linear α+β·n calibrated to InfiniBand/Myrinet, hop-counted
+// topologies, jitter wrappers) and per-kind message/byte accounting used by
+// the overhead experiments (E-T2, E-T12).
+//
+// Message kinds classify every packet for the statistics tables: data kinds
+// (put/get/fetch and their replies, atomics) move application payload;
+// clock and lock kinds exist only because of the detection machinery; the
+// coherence kinds inval/inval.ack exist only because of write-invalidate's
+// replica management. Kind.IsOverhead draws exactly that line, so
+// Stats.OverheadMsgs answers "what does detection+coherence cost on the
+// wire" directly.
+//
+// Delivery preserves FIFO order per directed link (a message cannot
+// overtake an earlier one on the same link) — a property the runtime
+// exploits: lock grants and invalidations from the same home arrive in
+// issue order, which is what makes lock-disciplined programs coherent
+// under write-invalidate without extra synchronisation traffic.
+package network

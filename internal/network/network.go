@@ -27,6 +27,10 @@ const (
 	KindClockWrite    // literal protocol: put_clock
 	KindAtomicReq
 	KindAtomicReply
+	KindFetchReq   // write-invalidate: whole-area read-miss fetch request
+	KindFetchReply // write-invalidate: area data + piggybacked write clock
+	KindInval      // write-invalidate: drop-your-copy order from the home
+	KindInvalAck   // write-invalidate: invalidation acknowledgement
 	KindBarrier
 	KindUser
 	numKinds
@@ -36,7 +40,9 @@ var kindNames = [...]string{
 	"put.req", "put.ack", "get.req", "get.reply",
 	"lock.req", "lock.grant", "unlock",
 	"clock.read", "clock.read.resp", "clock.write",
-	"atomic.req", "atomic.reply", "barrier", "user",
+	"atomic.req", "atomic.reply",
+	"fetch.req", "fetch.reply", "inval", "inval.ack",
+	"barrier", "user",
 }
 
 // String returns the kind's report label.
@@ -47,11 +53,13 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// IsOverhead reports whether the kind exists only because of the detection
-// or locking machinery (as opposed to moving application data).
+// IsOverhead reports whether the kind exists only because of the detection,
+// locking or coherence machinery (as opposed to moving application data).
+// Fetches carry data and count as data traffic; invalidations carry none.
 func (k Kind) IsOverhead() bool {
 	switch k {
-	case KindLockReq, KindLockGrant, KindUnlock, KindClockRead, KindClockReadResp, KindClockWrite:
+	case KindLockReq, KindLockGrant, KindUnlock, KindClockRead, KindClockReadResp, KindClockWrite,
+		KindInval, KindInvalAck:
 		return true
 	}
 	return false

@@ -1,7 +1,3 @@
-// Package network simulates the interconnection network of §III: reliable
-// point-to-point FIFO links between nodes, pluggable latency models and
-// topologies, and per-kind message/byte accounting used by the overhead
-// experiments (E-T2).
 package network
 
 import "fmt"

@@ -1,0 +1,37 @@
+// Package rdma models the network interface cards of §III-B: one-sided
+// put/get with OS bypass (remote operations are served entirely inside
+// message-delivery events — the target *process* is never scheduled), NIC
+// locks on memory areas with FIFO queuing (so a put on an area is delayed
+// until a get in progress finishes, Fig. 3), and remote atomics as an
+// extension.
+//
+// The race detector is wired into this layer, matching §V-B ("implemented
+// in the communication library of the run-time support system"). Two wire
+// protocols are provided:
+//
+//   - ProtocolLiteral follows Algorithms 1–2 message by message: the
+//     initiating library locks the remote area, fetches its clocks
+//     (get_clock/get_clock_W), compares locally (Algorithm 3), moves the
+//     data, runs update_clock/update_clock_W (Algorithm 5: fetch, max_clock,
+//     write back), and unlocks.
+//   - ProtocolPiggyback sends one request carrying the initiator's clock;
+//     the home NIC checks and updates atomically under its local lock and
+//     replies with the merged clock.
+//
+// Both protocols produce identical verdicts (the comparison happens against
+// the same state, under the same lock); they differ only in message count
+// and bytes, which is what experiment E-T2 measures.
+//
+// Orthogonal to the wire protocol, the NICs serve accesses under a
+// pluggable coherence protocol (internal/coherence). Write-update — the
+// default and the model's original behaviour — keeps the home copy as the
+// only copy, so every access is a home round trip and the detector sees
+// everything. Write-invalidate caches whole areas at readers: a read miss
+// fetches the area (KindFetchReq/KindFetchReply, write clock piggybacked),
+// a hit is served locally with no messages, and a write completes only
+// after every other copy is invalidated and acknowledged
+// (KindInval/KindInvalAck), the home holding the area lock for the whole
+// round so no fetch can revalidate a copy mid-write. The policy decisions
+// and replica bookkeeping live in internal/coherence; this package owns
+// only the messages and the locking.
+package rdma

@@ -45,6 +45,15 @@ type pending struct {
 	resp *resp
 }
 
+// invalJoin tracks a home-side write waiting for invalidation
+// acknowledgements. Every invalidation message of the write points at the
+// same join; the last acknowledgement runs finish (which releases the area
+// lock and sends the write's completion).
+type invalJoin struct {
+	left   int
+	finish func()
+}
+
 // NIC is one node's network interface. Remote operations addressed to this
 // node are served inside its message handler — the owning process is never
 // involved (OS bypass, §III-B).
@@ -52,7 +61,10 @@ type NIC struct {
 	sys     *System
 	id      network.NodeID
 	pending map[uint64]*pending
-	locks   map[memory.AreaID]*lockState
+	// invalWait joins in-flight invalidation rounds issued by this (home)
+	// NIC, keyed by each invalidation's request id.
+	invalWait map[uint64]*invalJoin
+	locks     map[memory.AreaID]*lockState
 	// UserHandler receives KindUser and KindBarrier messages for the
 	// runtime layered above (e.g. barrier coordination).
 	UserHandler func(m *network.Message)
@@ -73,8 +85,8 @@ func (n *NIC) lockFor(a memory.AreaID) *lockState {
 // handle is the NIC's delivery handler.
 func (n *NIC) handle(m *network.Message) {
 	switch m.Kind {
-	case network.KindPutAck, network.KindGetReply, network.KindClockReadResp,
-		network.KindAtomicReply, network.KindLockGrant:
+	case network.KindPutAck, network.KindGetReply, network.KindFetchReply,
+		network.KindClockReadResp, network.KindAtomicReply, network.KindLockGrant:
 		r := m.Payload.(*resp)
 		pd, ok := n.pending[r.id]
 		if !ok {
@@ -87,6 +99,12 @@ func (n *NIC) handle(m *network.Message) {
 		n.handlePut(m)
 	case network.KindGetReq:
 		n.handleGet(m)
+	case network.KindFetchReq:
+		n.handleFetch(m)
+	case network.KindInval:
+		n.handleInval(m)
+	case network.KindInvalAck:
+		n.handleInvalAck(m)
 	case network.KindLockReq:
 		n.handleLock(m)
 	case network.KindUnlock:
@@ -206,11 +224,107 @@ func (n *NIC) handlePut(m *network.Message) {
 				acc.Time = k.Now()
 				absorb = n.sys.checkAccess(acc, r.area, r.off, len(r.data), k.Now())
 			}
-			release()
-			size := network.HeaderBytes + n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
-			n.reply(r, network.KindPutAck, size, &resp{clock: absorb, err: errString(err)})
+			n.finishWrite(r, err, release, func() {
+				size := network.HeaderBytes + n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
+				n.reply(r, network.KindPutAck, size, &resp{clock: absorb, err: errString(err)})
+			})
 		})
 	})
+}
+
+// finishWrite completes a home-side write or atomic: under write-invalidate
+// it first orders every other copy of the area dropped and waits for the
+// acknowledgements — the area lock stays held, so no fetch can revalidate a
+// copy mid-round — then releases the lock and sends the completion. With no
+// copies outstanding (always, under write-update) it completes immediately,
+// leaving the original path untouched.
+func (n *NIC) finishWrite(r *req, err error, release, send func()) {
+	if err == nil {
+		if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
+			join := &invalJoin{left: len(inv), finish: func() {
+				release()
+				send()
+			}}
+			for _, node := range inv {
+				rr := n.sys.grabReq()
+				rr.id = n.sys.nextReq()
+				rr.origin = n.id
+				rr.area = r.area
+				n.invalWait[rr.id] = join
+				n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(node),
+					Kind: network.KindInval, Size: network.HeaderBytes, Payload: rr})
+			}
+			return
+		}
+	}
+	release()
+	send()
+}
+
+// handleFetch serves a write-invalidate read miss: the whole area (the
+// coherence unit) is transferred and the reader registered as a sharer,
+// with the area's write clock piggybacked for the reader's copy. Detection
+// and tracing see the logical access span [off, off+count), not the
+// transfer span — the fetch is transport, the access is what the program
+// did.
+func (n *NIC) handleFetch(m *network.Message) {
+	r := m.Payload.(*req)
+	k := n.sys.net.Kernel()
+	n.withAreaLock(r.area, r.acc.Proc, func(release func()) {
+		k.Schedule(n.sys.occupancy(r.area.Len), func() {
+			var data []memory.Word
+			err := checkAreaRange(r.area, r.off, r.count)
+			if err == nil {
+				data = make([]memory.Word, r.area.Len)
+				err = n.sys.space.Node(int(n.id)).ReadPublic(r.area.Off, data)
+			}
+			if err == nil && n.sys.cfg.Observer != nil {
+				n.sys.cfg.Observer.Access(r.acc, r.area, r.off, r.count, k.Now())
+			}
+			var absorb vclock.VC
+			if err == nil && n.sys.DetectionOn() && r.hasAcc {
+				acc := r.acc
+				acc.Time = k.Now()
+				absorb = n.sys.checkAccess(acc, r.area, r.off, r.count, k.Now())
+			}
+			if err == nil {
+				n.sys.coh.AddSharer(int(r.origin), r.area)
+				n.sys.countFetch()
+			}
+			release()
+			size := network.HeaderBytes + len(data)*memory.WordBytes +
+				n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
+			if err != nil {
+				data = nil
+			}
+			n.reply(r, network.KindFetchReply, size, &resp{data: data, clock: absorb, err: errString(err)})
+		})
+	})
+}
+
+// handleInval drops this node's copy of the area and acknowledges. It never
+// blocks and takes no locks, so invalidation rounds cannot deadlock.
+func (n *NIC) handleInval(m *network.Message) {
+	r := m.Payload.(*req)
+	n.sys.coh.DropCopy(int(n.id), r.area)
+	n.reply(r, network.KindInvalAck, network.HeaderBytes, &resp{})
+	n.sys.releaseReq(r) // invalidations are one-way reqs: the handler owns it
+}
+
+// handleInvalAck joins one acknowledgement of an invalidation round; the
+// last one completes the write that started the round.
+func (n *NIC) handleInvalAck(m *network.Message) {
+	r := m.Payload.(*resp)
+	join, ok := n.invalWait[r.id]
+	if !ok {
+		panic(fmt.Sprintf("rdma: node %d: orphan inval ack %d", n.id, r.id))
+	}
+	delete(n.invalWait, r.id)
+	n.sys.releaseResp(r)
+	join.left--
+	if join.left == 0 {
+		join.finish()
+	}
 }
 
 func (n *NIC) handleGet(m *network.Message) {
@@ -322,14 +436,7 @@ func (n *NIC) handleAtomic(m *network.Message) {
 				err = node.ReadPublic(r.area.Off+r.off, old)
 			}
 			if err == nil {
-				switch r.op {
-				case AtomicFetchAdd:
-					err = node.WritePublic(r.area.Off+r.off, []memory.Word{old[0] + r.arg1})
-				case AtomicCAS:
-					if old[0] == r.arg1 {
-						err = node.WritePublic(r.area.Off+r.off, []memory.Word{r.arg2})
-					}
-				}
+				err = node.WritePublic(r.area.Off+r.off, []memory.Word{r.op.Apply(old[0], r.arg1, r.arg2)})
 			}
 			if err == nil && n.sys.cfg.Observer != nil {
 				n.sys.cfg.Observer.Access(r.acc, r.area, r.off, 1, k.Now())
@@ -340,10 +447,11 @@ func (n *NIC) handleAtomic(m *network.Message) {
 				acc.Time = k.Now()
 				absorb = n.sys.checkAccess(acc, r.area, r.off, 1, k.Now())
 			}
-			release()
-			size := network.HeaderBytes + memory.WordBytes +
-				n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
-			n.reply(r, network.KindAtomicReply, size, &resp{data: old, clock: absorb, err: errString(err)})
+			n.finishWrite(r, err, release, func() {
+				size := network.HeaderBytes + memory.WordBytes +
+					n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
+				n.reply(r, network.KindAtomicReply, size, &resp{data: old, clock: absorb, err: errString(err)})
+			})
 		})
 	})
 }

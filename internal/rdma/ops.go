@@ -30,6 +30,10 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 		n.sys.ReleaseClock(clock)
 		return nil, err
 	}
+	// Under write-invalidate the writer's own copy (every other copy is
+	// gone by now) absorbs the write, stamped with the merged clock the
+	// ack carried — the area's new write clock.
+	n.sys.coh.PatchCopy(int(n.id), area, off, data, clock)
 	if n.sys.cfg.AbsorbOnPutAck {
 		return clock, nil
 	}
@@ -39,9 +43,14 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 
 // Get reads count words from area at word offset off (one-sided remote
 // read). It returns the data and the clock to absorb (the area's write
-// clock when AbsorbOnGetReply is set).
+// clock when AbsorbOnGetReply is set). Under write-invalidate coherence the
+// read is served from a valid local copy when one exists and otherwise
+// fetches (and caches) the whole area.
 func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
 	acc.Area = area.ID
+	if n.sys.cfg.Coherence.CachesRemoteReads() {
+		return n.getInvalidate(p, area, off, count, acc)
+	}
 	if n.sys.cfg.Protocol == ProtocolLiteral && n.sys.DetectionOn() {
 		return n.getLiteral(p, area, off, count, acc)
 	}
@@ -97,6 +106,12 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 		n.sys.ReleaseClock(clock)
 		return 0, nil, err
 	}
+	if n.sys.cfg.Coherence.CachesRemoteReads() {
+		// Fold the atomic's outcome into the initiator's own copy (a failed
+		// CAS rewrites the old value — the write clock still advances,
+		// because the home counted the atomic as a write either way).
+		n.sys.coh.PatchCopy(int(n.id), area, off, []memory.Word{op.Apply(old, a1, a2)}, clock)
+	}
 	var absorb vclock.VC
 	if n.sys.cfg.AbsorbOnPutAck {
 		absorb = clock
@@ -104,6 +119,80 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 		n.sys.ReleaseClock(clock)
 	}
 	return old, absorb, nil
+}
+
+// getInvalidate is the write-invalidate read path: home-local reads and
+// cache hits are served without messages (modelling a plain load from
+// local memory — which also means the online detector at the home never
+// sees a cache hit, the coverage trade-off E-T12 measures); a miss fetches
+// and caches the whole area with the write clock piggybacked on the reply.
+func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
+	self := int(n.id)
+	if area.Home == self && n.sys.cfg.Coherence.ServesHomeReadsLocally() {
+		// The home copy is by definition valid, and the detection state is
+		// resident: the access is checked without any message.
+		if err := checkAreaRange(area, off, count); err != nil {
+			return nil, nil, err
+		}
+		data := make([]memory.Word, count)
+		if err := n.sys.space.Node(self).ReadPublic(area.Off+off, data); err != nil {
+			return nil, nil, err
+		}
+		p.Sleep(n.sys.occupancy(count))
+		now := p.Now()
+		if n.sys.cfg.Observer != nil {
+			n.sys.cfg.Observer.Access(acc, area, off, count, now)
+		}
+		n.sys.countHomeRead()
+		var absorb vclock.VC
+		if n.sys.DetectionOn() {
+			acc.Time = now
+			absorb = n.sys.checkAccess(acc, area, off, count, now)
+		}
+		if n.sys.cfg.AbsorbOnGetReply {
+			return data, absorb, nil
+		}
+		n.sys.ReleaseClock(absorb)
+		return data, nil, nil
+	}
+	if data, w, ok := n.sys.coh.CachedRead(self, area, off, count); ok {
+		p.Sleep(n.sys.occupancy(count))
+		now := p.Now()
+		if n.sys.cfg.Observer != nil {
+			n.sys.cfg.Observer.Access(acc, area, off, count, now)
+		}
+		var absorb vclock.VC
+		if w != nil && n.sys.cfg.AbsorbOnGetReply {
+			// The copy's write clock is exactly the area's current write
+			// clock — a valid copy means no write has committed since the
+			// fetch — so the hit gets the same reads-from edge a remote
+			// read would.
+			absorb = w.CopyInto(n.sys.grabClock())
+		}
+		return data, absorb, nil
+	}
+	// Miss: fetch the whole area (the coherence unit) from the home.
+	size := network.HeaderBytes
+	hasAcc := n.sys.DetectionOn()
+	if hasAcc {
+		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+	}
+	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindFetchReq, size,
+		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
+	data, clock, err := rs.data, rs.clock, asError(rs.err)
+	n.sys.releaseResp(rs)
+	if err != nil {
+		n.sys.ReleaseClock(clock)
+		return nil, nil, err
+	}
+	n.sys.coh.InstallCopy(self, area, data, clock)
+	out := make([]memory.Word, count)
+	copy(out, data[off:off+count])
+	if n.sys.cfg.AbsorbOnGetReply {
+		return out, clock, nil
+	}
+	n.sys.ReleaseClock(clock)
+	return out, nil, nil
 }
 
 // LockArea acquires the NIC lock of the area for proc (a user-level lock;

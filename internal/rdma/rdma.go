@@ -1,31 +1,9 @@
-// Package rdma models the network interface cards of §III-B: one-sided
-// put/get with OS bypass (remote operations are served entirely inside
-// message-delivery events — the target *process* is never scheduled), NIC
-// locks on memory areas with FIFO queuing (so a put on an area is delayed
-// until a get in progress finishes, Fig. 3), and remote atomics as an
-// extension.
-//
-// The race detector is wired into this layer, matching §V-B ("implemented
-// in the communication library of the run-time support system"). Two wire
-// protocols are provided:
-//
-//   - ProtocolLiteral follows Algorithms 1–2 message by message: the
-//     initiating library locks the remote area, fetches its clocks
-//     (get_clock/get_clock_W), compares locally (Algorithm 3), moves the
-//     data, runs update_clock/update_clock_W (Algorithm 5: fetch, max_clock,
-//     write back), and unlocks.
-//   - ProtocolPiggyback sends one request carrying the initiator's clock;
-//     the home NIC checks and updates atomically under its local lock and
-//     replies with the merged clock.
-//
-// Both protocols produce identical verdicts (the comparison happens against
-// the same state, under the same lock); they differ only in message count
-// and bytes, which is what experiment E-T2 measures.
 package rdma
 
 import (
 	"fmt"
 
+	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/memory"
 	"dsmrace/internal/network"
@@ -86,6 +64,13 @@ func (g Granularity) String() string {
 type Config struct {
 	// Protocol selects literal or piggyback wiring.
 	Protocol Protocol
+	// Coherence selects the coherence protocol layered over the NICs:
+	// write-update (the model's original single-copy behaviour; the
+	// default when nil) or write-invalidate (home-based directory with
+	// whole-area read caching and acknowledged invalidations). The literal
+	// wire protocol supports write-update only: Algorithms 1–2 prescribe
+	// the exact per-access message sequence, which caching would elide.
+	Coherence coherence.Protocol
 	// Granularity selects per-area or per-node detection state.
 	Granularity Granularity
 	// Detector is the race detector; nil disables detection entirely
@@ -160,10 +145,13 @@ type chanKey struct {
 // System owns the NICs, the detection state and the lock tables for a
 // cluster sharing one memory space.
 type System struct {
-	cfg    Config
-	net    *network.Network
-	space  *memory.Space
-	nics   []*NIC
+	cfg   Config
+	net   *network.Network
+	space *memory.Space
+	nics  []*NIC
+	// coh is the coherence protocol's replica bookkeeping (directory +
+	// caches); a write-update run carries the no-op state.
+	coh    coherence.State
 	states map[int]core.AreaState
 	reqSeq uint64
 	// lastClock remembers, per logical channel, the last clock whose bytes
@@ -238,14 +226,42 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 	if cfg.Granularity == GranularityWord && cfg.Protocol == ProtocolLiteral {
 		panic("rdma: the literal protocol does not support word granularity")
 	}
+	if cfg.Coherence == nil {
+		cfg.Coherence = coherence.NewWriteUpdate()
+	}
+	if cfg.Coherence.CachesRemoteReads() && cfg.Protocol == ProtocolLiteral {
+		panic("rdma: the literal protocol supports write-update coherence only")
+	}
 	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[chanKey]vclock.VC)}
+	s.coh = cfg.Coherence.NewState(space.N())
 	space.Seal()
 	for i := 0; i < space.N(); i++ {
-		nic := &NIC{sys: s, id: network.NodeID(i), pending: make(map[uint64]*pending), locks: make(map[memory.AreaID]*lockState)}
+		nic := &NIC{sys: s, id: network.NodeID(i), pending: make(map[uint64]*pending), invalWait: make(map[uint64]*invalJoin), locks: make(map[memory.AreaID]*lockState)}
 		s.nics = append(s.nics, nic)
 		net.SetHandler(nic.id, nic.handle)
 	}
 	return s
+}
+
+// Coherence returns the configured coherence protocol.
+func (s *System) Coherence() coherence.Protocol { return s.cfg.Coherence }
+
+// CoherenceStats returns the run's coherence event counters (hits, fetches,
+// invalidations) — the traffic the network statistics cannot see.
+func (s *System) CoherenceStats() coherence.Stats { return s.coh.Stats() }
+
+// countHomeRead and countFetch attribute transport-level coherence events
+// to the protocol state, when it tracks them.
+func (s *System) countHomeRead() {
+	if c, ok := s.coh.(coherence.Counter); ok {
+		c.CountHomeRead()
+	}
+}
+
+func (s *System) countFetch() {
+	if c, ok := s.coh.(coherence.Counter); ok {
+		c.CountFetch()
+	}
 }
 
 // grabClock takes a recycled clock buffer from the pool (nil when empty —
@@ -423,6 +439,24 @@ const (
 	AtomicFetchAdd AtomicOp = iota
 	AtomicCAS
 )
+
+// Apply computes the stored word after the operation runs against old with
+// operands a1, a2 (FetchAdd: old+a1; CAS: a2 iff old == a1). The home-side
+// handler and the write-invalidate cache patch both use it, so the two
+// sides cannot drift when an operation is added.
+func (op AtomicOp) Apply(old, a1, a2 memory.Word) memory.Word {
+	switch op {
+	case AtomicFetchAdd:
+		return old + a1
+	case AtomicCAS:
+		if old == a1 {
+			return a2
+		}
+		return old
+	default:
+		panic(fmt.Sprintf("rdma: unknown atomic op %d", int(op)))
+	}
+}
 
 // errString converts an error for transport in a response.
 func errString(err error) string {

@@ -1,0 +1,10 @@
+// Package shmem is a Cray-SHMEM-style API veneer over the DSM runtime. The
+// paper notes that "the SHMEM library, developed by Cray, also implements
+// one-sided operations ... the model and algorithms presented in this paper
+// can easily be extended to shared memory systems" (§III-B); this package
+// is that extension: symmetric objects (the same variable instantiated on
+// every PE), shmem_put/shmem_get/shmem_add style operations addressed by
+// (symmetric name, target PE), wait-until point-to-point synchronisation
+// and all-PE collectives — all flowing through the detector-instrumented
+// NIC layer.
+package shmem

@@ -1,13 +1,3 @@
-// Package sim is a deterministic discrete-event simulation kernel.
-//
-// Simulated processes are ordinary Go functions running on goroutines, but
-// the kernel enforces that exactly one of them runs at a time, handing
-// control back and forth with unbuffered channels. All cross-process
-// signalling is routed through the event queue, so a run is a pure function
-// of (programs, configuration, seed): the same seed always yields the same
-// interleaving. Race *manifestation* is explored by sweeping seeds, which is
-// how the harness realises the paper's operational definition of a race
-// ("the result of a computation differs between executions", §III-C).
 package sim
 
 import (

@@ -1,0 +1,7 @@
+// Package stats provides the summary statistics (mean/quantile summaries,
+// ASCII histograms) and the fixed-width table rendering used by the
+// experiment harness (cmd/raceexp) and EXPERIMENTS.md. Tables render
+// deterministically from row-insertion order, which keeps experiment
+// output diffable across runs and across the parallel driver's worker
+// counts.
+package stats

@@ -1,5 +1,3 @@
-// Package stats provides the summary statistics and fixed-width table
-// rendering used by the experiment harness (cmd/raceexp) and EXPERIMENTS.md.
 package stats
 
 import (

@@ -1,8 +1,3 @@
-// Package trace records executions of the DSM runtime as a deterministic,
-// serialisable event stream. Events are appended in apply order (the order
-// the home NICs processed them — well-defined because the simulation kernel
-// serialises everything), which is exactly the order the offline verifier
-// needs to replay reference semantics and compute exact ground truth.
 package trace
 
 import (

@@ -1,12 +1,3 @@
-// Package upc is a miniature PGAS (partitioned global address space) layer
-// in the style of UPC / Titanium / Co-Array Fortran, the languages whose
-// memory model motivates the paper (§I, §III-A). A SharedArray is a logical
-// array distributed over the cluster's public memories with a block or
-// cyclic layout chosen at declaration time; the package performs the
-// compiler's job — data placement and the translation of logical indices
-// into (processor, local address) pairs — while every element access flows
-// through the DSM runtime's one-sided operations, where the race detector
-// lives.
 package upc
 
 import (

@@ -1,8 +1,3 @@
-// Package vclock implements the logical-clock machinery the paper's race
-// detector is built on: vector clocks with the Mattern comparison lattice
-// (Algorithm 3 / Lemma 1), the max-merge of Algorithm 4, matrix clocks
-// (the per-process clock matrix V_Pi of §IV-B), Lamport scalar clocks, and
-// compact binary encodings used to account for clock bytes on the wire.
 package vclock
 
 import (

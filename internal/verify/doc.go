@@ -1,0 +1,23 @@
+// Package verify computes exact race ground truth from a recorded trace.
+//
+// It replays the event stream (in apply order) through reference clock
+// semantics identical to the runtime's — per-process clocks ticked per
+// operation, home ticks on writes, absorption on completion edges, barrier
+// merges, lock release→acquire edges — but keeps the *full access history*
+// of every area instead of the detector's merged summary clocks. Two
+// conflicting accesses (same area, at least one write) race iff their
+// clocks are concurrent (Corollary 1); the full history makes the answer
+// exact and pairwise, which is what the precision/recall tables (E-T3,
+// E-T6) score online detectors against.
+//
+// Options select which happens-before edges the replay honours.
+// DefaultOptions mirrors the runtime's full absorption semantics.
+// SyncOnlyOptions keeps only program order, locks and barriers — the
+// protocol-invariant relation the coherence-equivalence suite compares
+// write-update and write-invalidate under, because absorption edges depend
+// on home-arrival order (i.e. on protocol timing) while synchronisation
+// edges do not. Note the replay models every read as reaching the home;
+// under write-invalidate the runtime's cache hits do not, so DefaultOptions
+// ground truth is the fully-observed reference a write-invalidate detector
+// is scored against (its blind spots then show up as recall loss, E-T12).
+package verify

@@ -1,14 +1,3 @@
-// Package verify computes exact race ground truth from a recorded trace.
-//
-// It replays the event stream (in apply order) through reference clock
-// semantics identical to the runtime's — per-process clocks ticked per
-// operation, home ticks on writes, absorption on completion edges, barrier
-// merges, lock release→acquire edges — but keeps the *full access history*
-// of every area instead of the detector's merged summary clocks. Two
-// conflicting accesses (same area, at least one write) race iff their
-// clocks are concurrent (Corollary 1); the full history makes the answer
-// exact and pairwise, which is what the precision/recall tables (E-T3,
-// E-T6) score online detectors against.
 package verify
 
 import (
@@ -58,6 +47,17 @@ func WordLevelOptions() Options {
 	o.WordLevel = true
 	return o
 }
+
+// SyncOnlyOptions computes the *protocol-invariant* ground truth: only
+// program order, lock release→acquire edges and barriers order accesses —
+// no completion-absorption edges. Absorption edges depend on the order in
+// which accesses reach an area's home, which in turn depends on message
+// timing, i.e. on the coherence protocol and the interconnect; the
+// sync-only relation depends on neither. For a workload whose per-process
+// access sequence is schedule-independent, the sync-only race set is
+// therefore a function of the program alone — the set the protocol
+// equivalence suite asserts write-update and write-invalidate agree on.
+func SyncOnlyOptions() Options { return Options{} }
 
 // AccessID identifies one access as (process, per-process sequence).
 type AccessID struct {

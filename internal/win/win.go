@@ -1,13 +1,3 @@
-// Package win models MPI-2 one-sided communication — windows, fence-based
-// access epochs, and RMA put/get/accumulate — together with a MARMOT-style
-// usage checker. The paper's related work (§II) cites MPI-2's remote memory
-// access operations and the MARMOT tool that "checks correct usage of the
-// synchronization features provided by MPI, such as fences and windows";
-// this package reproduces that style of *discipline* checking so the
-// evaluation can contrast it with the paper's clock-based *race* detection:
-// MARMOT-style checks are purely syntactic (epoch bracketing, same-epoch
-// conflicts) and need no clocks, but they cannot see cross-epoch races the
-// way vector clocks do.
 package win
 
 import (

@@ -1,0 +1,7 @@
+// Package workload generates the parallel programs the evaluation runs on:
+// randomized access mixes with tunable read ratio and contention, the
+// paper's master-worker benign-race pattern (§IV-D), barrier-phased stencil
+// halo exchange (with a deliberately buggy variant), histogram updates and
+// a lock-disciplined producer/consumer. Every workload reports its expected
+// race profile so experiments can assert shape, not just run.
+package workload

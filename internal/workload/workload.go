@@ -1,9 +1,3 @@
-// Package workload generates the parallel programs the evaluation runs on:
-// randomized access mixes with tunable read ratio and contention, the
-// paper's master-worker benign-race pattern (§IV-D), barrier-phased stencil
-// halo exchange (with a deliberately buggy variant), histogram updates and
-// a lock-disciplined producer/consumer. Every workload reports its expected
-// race profile so experiments can assert shape, not just run.
 package workload
 
 import (
@@ -489,6 +483,145 @@ func ProducerConsumer(pairs, itemsPerPair int) Workload {
 			}
 			return nil
 		}),
+	}
+}
+
+// Migratory is the classic ownership-migration pattern the coherence
+// protocols genuinely diverge on: one lock-protected shared object homed on
+// node 0 migrates between processes. Every process repeatedly locks the
+// object, reads all of it, increments every word and writes it back — so
+// the object's freshest copy hops from critical section to critical
+// section. Race-free (every conflicting access is under the object's lock)
+// with a schedule-independent per-process access stream, which makes it
+// valid for the protocol equivalence suite and the determinism
+// fingerprints.
+//
+// Write-update moves exactly the requested words twice per critical section
+// (get + put). Write-invalidate adds a whole-area fetch for the incoming
+// owner plus an invalidation round trip evicting the previous owner's copy,
+// and its cached copy is always stale by the time the lock is re-acquired —
+// migration is write-update's best case and write-invalidate's worst
+// (measured in E-T12 and the E_Coherence benchmarks).
+func Migratory(procs, rounds, words int) Workload {
+	expected := memory.Word(procs * rounds)
+	return Workload{
+		Name:    "migratory",
+		Procs:   procs,
+		Profile: RaceFree,
+		Setup: func(c *dsm.Cluster) error {
+			return c.Alloc("mig.obj", 0, words)
+		},
+		Programs: spmd(procs, func(p *dsm.Proc) error {
+			for r := 0; r < rounds; r++ {
+				if err := p.Lock("mig.obj"); err != nil {
+					return err
+				}
+				cur, err := p.Get("mig.obj", 0, words)
+				if err != nil {
+					p.Unlock("mig.obj")
+					return err
+				}
+				for i := range cur {
+					cur[i]++
+				}
+				if err := p.Put("mig.obj", 0, cur...); err != nil {
+					p.Unlock("mig.obj")
+					return err
+				}
+				if err := p.Unlock("mig.obj"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		Check: func(res *dsm.Result) error {
+			for w := 0; w < words; w++ {
+				if got := res.Memory[0][w]; got != expected {
+					return fmt.Errorf("object word %d = %d, want %d", w, got, expected)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ProducerConsumerChain is a ring of single-producer/single-consumer
+// buffers: stage i produces into chain (i+1)%n — homed on node i, so every
+// write is producer-local — and consumes chain i from its upstream
+// neighbour's memory, re-reading it rereads times per round (validate,
+// transform, checksum passes). Barrier-phased and race-free with a
+// schedule-independent access stream.
+//
+// The divergence mirror image of Migratory: write-invalidate serves every
+// re-read after the first from the consumer's cached copy, while
+// write-update pays a full round trip per re-read — repeated reads are
+// write-invalidate's best case.
+func ProducerConsumerChain(stages, rounds, words, rereads int) Workload {
+	if rereads < 1 {
+		rereads = 1
+	}
+	chain := func(i int) string { return fmt.Sprintf("chain%d", i) }
+	return Workload{
+		Name:    "prodchain",
+		Procs:   stages,
+		Profile: RaceFree,
+		Setup: func(c *dsm.Cluster) error {
+			for j := 0; j < stages; j++ {
+				// chain j is written by stage (j-1+stages)%stages: home it there.
+				if err := c.Alloc(chain(j), (j-1+stages)%stages, words); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Programs: spmd(stages, func(p *dsm.Proc) error {
+			in := chain(p.ID())
+			out := chain((p.ID() + 1) % p.N())
+			// Seed the ring: every stage publishes its id downstream.
+			vals := make([]memory.Word, words)
+			for i := range vals {
+				vals[i] = memory.Word(p.ID())
+			}
+			if err := p.Put(out, 0, vals...); err != nil {
+				return err
+			}
+			p.Barrier()
+			for r := 0; r < rounds; r++ {
+				var cur []memory.Word
+				for k := 0; k < rereads; k++ {
+					var err error
+					if cur, err = p.Get(in, 0, words); err != nil {
+						return err
+					}
+				}
+				// Everyone finishes consuming round r's input before anyone
+				// overwrites it with round r+1's output.
+				p.Barrier()
+				for i := range cur {
+					cur[i]++
+				}
+				if err := p.Put(out, 0, cur...); err != nil {
+					return err
+				}
+				p.Barrier()
+			}
+			return nil
+		}),
+		Check: func(res *dsm.Result) error {
+			// chain j's final value telescopes: it was seeded on ring position
+			// (j-1-rounds) mod stages and incremented once per round.
+			for j := 0; j < stages; j++ {
+				home := (j - 1 + stages) % stages
+				seed := ((j-1-rounds)%stages + stages) % stages
+				want := memory.Word(seed + rounds)
+				for w := 0; w < words; w++ {
+					if got := res.Memory[home][w]; got != want {
+						return fmt.Errorf("chain%d word %d = %d, want %d", j, w, got, want)
+					}
+				}
+			}
+			return nil
+		},
 	}
 }
 

@@ -1,0 +1,91 @@
+package dsmrace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment driver. One simulation is inherently sequential —
+// the discrete-event kernel serialises everything, which is what makes runs
+// reproducible — but an *experiment* is usually many independent
+// simulations (a seed sweep, a detector grid, a protocol comparison), and
+// those parallelise perfectly: each trial owns its kernel, network, memory
+// and RNG, and shares nothing.
+//
+// Determinism is preserved by construction: trial i's inputs depend only on
+// i (per-trial seeds, per-trial workload builders), and results are merged
+// by trial index, never by completion order. The merged output of a fixed
+// trial list is therefore bit-identical regardless of GOMAXPROCS or worker
+// count — asserted by TestParallelMergeDeterminism.
+
+// Parallelism returns the default worker count for Parallel: GOMAXPROCS,
+// i.e. one simulation per available OS thread.
+func Parallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Parallel runs trial(i) for every i in [0, n) on up to workers concurrent
+// goroutines (workers <= 0 selects Parallelism()) and returns the results
+// in trial order. The error returned is the lowest-indexed trial's error —
+// also independent of scheduling — with every completed trial's result
+// still filled in.
+//
+// trial must be safe for concurrent invocation: build anything mutable
+// (workloads, clusters, specs with closures over shared state) inside the
+// trial function, not outside it.
+func Parallel[T any](n, workers int, trial func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, same merged output.
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = trial(i)
+		}
+		return out, firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = trial(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// firstError returns the lowest-indexed non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMany executes every spec with Run concurrently (workers as in
+// Parallel) and returns the results in spec order. Each spec's Setup and
+// Program closures may run concurrently with every other spec's; specs
+// sharing mutable state must be built per-trial via Parallel instead.
+func RunMany(specs []RunSpec, workers int) ([]*Result, error) {
+	return Parallel(len(specs), workers, func(i int) (*Result, error) {
+		return Run(specs[i])
+	})
+}

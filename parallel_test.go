@@ -1,0 +1,173 @@
+package dsmrace
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// trialSpec builds the i-th trial of a small mixed grid: seeds and
+// coherence protocols vary with the trial index, everything is built inside
+// the trial (the concurrency contract).
+func trialSpec(i int) RunSpec {
+	coh := "write-update"
+	if i%2 == 1 {
+		coh = "write-invalidate"
+	}
+	return RunSpec{
+		Procs:     3,
+		Seed:      int64(i / 2),
+		Detector:  "vw-exact",
+		Coherence: coh,
+		Setup:     func(c *Cluster) error { return c.Alloc("x", 0, 4) },
+		Program: func(p *Proc) error {
+			for k := 0; k < 10; k++ {
+				if (p.ID()+k)%2 == 0 {
+					if err := p.Put("x", k%4, Word(k)); err != nil {
+						return err
+					}
+				} else if _, err := p.GetWord("x", (k+1)%4); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// mergedFingerprint hashes everything observable about a merged result
+// list: order, race reports, traffic, durations.
+func mergedFingerprint(results []*Result) string {
+	h := sha256.New()
+	for i, res := range results {
+		fmt.Fprintf(h, "%d %d %d %d %d %s\n", i, res.RaceCount, res.NetStats.TotalMsgs,
+			res.NetStats.TotalBytes, int64(res.Duration), reportHash(res))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// TestParallelMergeDeterminism is the driver's acceptance property: the
+// merged output of a fixed trial list is bit-identical no matter how many
+// workers run it or what GOMAXPROCS is.
+func TestParallelMergeDeterminism(t *testing.T) {
+	const trials = 12
+	run := func(workers int) string {
+		results, err := Parallel(trials, workers, func(i int) (*Result, error) {
+			return Run(trialSpec(i))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mergedFingerprint(results)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8, 0} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: merged fingerprint %s, want %s", workers, got, want)
+		}
+	}
+	// And under a different GOMAXPROCS entirely.
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	if got := run(0); got != want {
+		t.Errorf("GOMAXPROCS=2: merged fingerprint %s, want %s", got, want)
+	}
+}
+
+// TestParallelErrorIsLowestIndexed: the returned error must not depend on
+// completion order.
+func TestParallelErrorIsLowestIndexed(t *testing.T) {
+	_, err := Parallel(8, 4, func(i int) (int, error) {
+		if i == 6 || i == 3 {
+			return 0, fmt.Errorf("trial %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "trial 3 failed" {
+		t.Fatalf("err = %v, want trial 3's", err)
+	}
+	out, err := Parallel(5, 3, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d (order not preserved)", i, v, i*i)
+		}
+	}
+}
+
+// TestRunManyMatchesRun: RunMany's per-spec results equal individual Run
+// calls.
+func TestRunManyMatchesRun(t *testing.T) {
+	specs := make([]RunSpec, 6)
+	for i := range specs {
+		specs[i] = trialSpec(i)
+	}
+	many, err := RunMany(specs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		solo, err := Run(trialSpec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many[i].RaceCount != solo.RaceCount || many[i].NetStats != solo.NetStats ||
+			many[i].Duration != solo.Duration || reportHash(many[i]) != reportHash(solo) {
+			t.Errorf("spec %d: RunMany result diverges from Run", i)
+		}
+	}
+}
+
+// TestExploreSchedulesDeterministicAcrossWorkers: the seed-sweep report is
+// identical whether the sweep runs serially (ExploreSchedules' contract)
+// or fanned across any number of workers.
+func TestExploreSchedulesDeterministicAcrossWorkers(t *testing.T) {
+	spec := RunSpec{
+		Procs:    3,
+		Detector: "vw-exact",
+		Setup:    func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+		Program:  func(p *Proc) error { return p.Put("x", 0, Word(p.ID()+1)) },
+	}
+	sweep := func(workers int) string {
+		rep, err := ExploreSchedulesParallel(spec, SeedRange(12), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v/%s", rep.RaceCounts, mergedFingerprint(rep.Results))
+	}
+	serial, err := ExploreSchedules(spec, SeedRange(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%v/%s", serial.RaceCounts, mergedFingerprint(serial.Results))
+	for _, workers := range []int{1, 3, 0} {
+		if got := sweep(workers); got != want {
+			t.Errorf("workers=%d: sweep diverged:\n  %s\n  %s", workers, got, want)
+		}
+	}
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	if got := sweep(0); got != want {
+		t.Errorf("GOMAXPROCS=2: sweep diverged:\n  %s\n  %s", got, want)
+	}
+}
+
+// TestExploreSchedulesNamesFailingSeed: a failing trial's error must
+// identify the seed to re-run.
+func TestExploreSchedulesNamesFailingSeed(t *testing.T) {
+	spec := RunSpec{
+		Procs: 2,
+		Setup: func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+		Program: func(p *Proc) error {
+			return fmt.Errorf("boom")
+		},
+	}
+	_, err := ExploreSchedules(spec, []int64{5, 6})
+	if err == nil || !strings.Contains(err.Error(), "seed 5") {
+		t.Fatalf("err = %v, want mention of seed 5", err)
+	}
+}
