@@ -1,6 +1,7 @@
 package dsmrace
 
 import (
+	"fmt"
 	"testing"
 
 	"dsmrace/internal/core"
@@ -13,73 +14,76 @@ import (
 // does. The absorb scratch buffer is threaded back in exactly as the NIC
 // does.
 func TestOnAccessAllocationBudget(t *testing.T) {
-	const n = 16
+	// 16 is the historical debugging-scale size; 256 is the E_Scale regime —
+	// the zero-allocation contract must hold at every measured cluster size.
+	for _, n := range []int{16, 256} {
+		n := n
+		// Quiet stream: one writer whose node is the home — every access is
+		// causally after the last, so no detector reports.
+		t.Run(fmt.Sprintf("quiet/n=%d", n), func(t *testing.T) {
+			for _, d := range benchDetectors() {
+				d := d
+				t.Run(d.Name(), func(t *testing.T) {
+					st := d.NewAreaState(n)
+					clk := vclock.New(n)
+					var scratch vclock.Masked
+					seq := uint64(0)
+					step := func() {
+						seq++
+						clk.Tick(0)
+						rep, absorbed := st.OnAccess(core.Access{
+							Proc: 0, Seq: seq, Kind: core.Write, Clock: clk,
+						}, 0, scratch)
+						if rep != nil {
+							t.Fatal("quiet stream raced")
+						}
+						if !absorbed.IsNil() {
+							scratch = absorbed
+						}
+					}
+					for i := 0; i < 32; i++ {
+						step() // warm the state-owned buffers
+					}
+					if avg := testing.AllocsPerRun(100, step); avg > 0 {
+						t.Errorf("steady-state quiet OnAccess allocates %.2f/op, want 0", avg)
+					}
+				})
+			}
+		})
 
-	// Quiet stream: one writer whose node is the home — every access is
-	// causally after the last, so no detector reports.
-	t.Run("quiet", func(t *testing.T) {
-		for _, d := range benchDetectors() {
-			d := d
-			t.Run(d.Name(), func(t *testing.T) {
-				st := d.NewAreaState(n)
-				clk := vclock.New(n)
-				var scratch vclock.VC
-				seq := uint64(0)
-				step := func() {
-					seq++
-					clk.Tick(0)
-					rep, absorbed := st.OnAccess(core.Access{
-						Proc: 0, Seq: seq, Kind: core.Write, Clock: clk,
-					}, 0, scratch)
-					if rep != nil {
-						t.Fatal("quiet stream raced")
+		// Racing stream: rotating writers that never gossip — every access is
+		// concurrent with the stored clock for the clock-based detectors. The
+		// only permitted allocation is the race report itself.
+		t.Run(fmt.Sprintf("racing/n=%d", n), func(t *testing.T) {
+			for _, d := range benchDetectors() {
+				d := d
+				t.Run(d.Name(), func(t *testing.T) {
+					st := d.NewAreaState(n)
+					clocks := make([]vclock.VC, n)
+					for i := range clocks {
+						clocks[i] = vclock.New(n)
 					}
-					if absorbed != nil {
-						scratch = absorbed
+					var scratch vclock.Masked
+					seq, proc := uint64(0), 0
+					step := func() {
+						seq++
+						proc = (proc + 1) % n
+						clocks[proc].Tick(proc)
+						_, absorbed := st.OnAccess(core.Access{
+							Proc: proc, Seq: seq, Kind: core.Write, Clock: clocks[proc],
+						}, 0, scratch)
+						if !absorbed.IsNil() {
+							scratch = absorbed
+						}
 					}
-				}
-				for i := 0; i < 32; i++ {
-					step() // warm the state-owned buffers
-				}
-				if avg := testing.AllocsPerRun(100, step); avg > 0 {
-					t.Errorf("steady-state quiet OnAccess allocates %.2f/op, want 0", avg)
-				}
-			})
-		}
-	})
-
-	// Racing stream: rotating writers that never gossip — every access is
-	// concurrent with the stored clock for the clock-based detectors. The
-	// only permitted allocation is the race report itself.
-	t.Run("racing", func(t *testing.T) {
-		for _, d := range benchDetectors() {
-			d := d
-			t.Run(d.Name(), func(t *testing.T) {
-				st := d.NewAreaState(n)
-				clocks := make([]vclock.VC, n)
-				for i := range clocks {
-					clocks[i] = vclock.New(n)
-				}
-				var scratch vclock.VC
-				seq, proc := uint64(0), 0
-				step := func() {
-					seq++
-					proc = (proc + 1) % n
-					clocks[proc].Tick(proc)
-					_, absorbed := st.OnAccess(core.Access{
-						Proc: proc, Seq: seq, Kind: core.Write, Clock: clocks[proc],
-					}, 0, scratch)
-					if absorbed != nil {
-						scratch = absorbed
+					for i := 0; i < 3*n; i++ {
+						step()
 					}
-				}
-				for i := 0; i < 3*n; i++ {
-					step()
-				}
-				if avg := testing.AllocsPerRun(100, step); avg > 1 {
-					t.Errorf("steady-state racing OnAccess allocates %.2f/op, want <= 1 (the report)", avg)
-				}
-			})
-		}
-	})
+					if avg := testing.AllocsPerRun(100, step); avg > 1 {
+						t.Errorf("steady-state racing OnAccess allocates %.2f/op, want <= 1 (the report)", avg)
+					}
+				})
+			}
+		})
+	}
 }

@@ -102,6 +102,21 @@ func BenchmarkE_T4_Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE_Scale runs the small end of the E_Scale cluster-size sweep
+// (the full n≤512 sweep lives in cmd/bench, which gives the family its own
+// benchtime — the large-n entries are orders of magnitude more work per
+// iteration than any other family).
+func BenchmarkE_Scale(b *testing.B) {
+	for _, wl := range scaleBenchWorkloads {
+		for _, n := range []int{16, 64} {
+			wl, n := wl, n
+			b.Run(fmt.Sprintf("%s/n=%d", wl.name, n), func(b *testing.B) {
+				benchScale(b, n, wl.mk)
+			})
+		}
+	}
+}
+
 // BenchmarkE_Coherence contrasts the coherence protocols on the
 // ownership-sensitive workloads (E-T12): migration favours write-update,
 // repeated consumption favours write-invalidate; compare msgs/op.
@@ -274,7 +289,15 @@ func BenchmarkMergeClocks(b *testing.B) {
 // in steady state (see TestOnAccessAllocationBudget).
 func BenchmarkDetectorOnAccess(b *testing.B) {
 	for _, d := range benchDetectors() {
-		b.Run(d.Name(), func(b *testing.B) { benchDetectorOnAccess(b, d) })
+		b.Run(d.Name(), func(b *testing.B) { benchDetectorOnAccess(b, d, 16) })
+	}
+}
+
+// BenchmarkDetectorOnAccess256 is the same step at cluster size 256 — the
+// clock sizes the E_Scale family runs at.
+func BenchmarkDetectorOnAccess256(b *testing.B) {
+	for _, d := range benchDetectors() {
+		b.Run(d.Name(), func(b *testing.B) { benchDetectorOnAccess(b, d, 256) })
 	}
 }
 

@@ -84,7 +84,74 @@ func benchThroughput(b *testing.B, n int, det string) {
 	b.StopTimer()
 	totalOps := float64(n * b.N)
 	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
-	b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/totalOps, "wireB/op")
+	b.ReportMetric(float64(res.Duration)/totalOps, "vns/op")
+}
+
+// benchScale is the E_Scale body: one of the large-n workloads with b.N
+// rounds per process under the paper's exact detector. One op is one logical
+// program operation (a critical section for the migratory families, one
+// locked access for uniform), and every virtual metric — msgs/op, wireB/op,
+// vns/op — is normalised by the run's total op count, the uniform accounting
+// all benchmark families share.
+func benchScale(b *testing.B, n int, mkW func(n, rounds int) workload.Workload) {
+	b.Helper()
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := mkW(n, b.N)
+	b.ResetTimer()
+	res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	totalOps := float64(w.Procs * b.N)
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/totalOps, "wireB/op")
+	b.ReportMetric(float64(res.Duration)/totalOps, "vns/op")
+}
+
+// scaleBenchWorkloads are the E_Scale workload shapes: uniform is the E_T4
+// mixed random traffic under lock discipline (race-free, so the numbers
+// measure detection overhead rather than report construction), migratory is
+// the global lock-passing ring whose clocks go dense immediately, and groups
+// is the partitioned variant whose clocks stay sparse at any cluster size.
+var scaleBenchWorkloads = []struct {
+	name string
+	mk   func(n, rounds int) workload.Workload
+}{
+	{"uniform", func(n, rounds int) workload.Workload {
+		return workload.Random(workload.RandomSpec{
+			Procs: n, Areas: 2 * n, AreaWords: 4,
+			OpsPerProc: rounds, ReadPercent: 50, LockDiscipline: true,
+		})
+	}},
+	{"migratory", func(n, rounds int) workload.Workload { return workload.Migratory(n, rounds, 8) }},
+	{"groups", func(n, rounds int) workload.Workload { return workload.MigratoryGroups(n, 8, rounds, 8) }},
+}
+
+// ScaleNs is the cluster-size sweep of the E_Scale family.
+var ScaleNs = []int{16, 64, 128, 256, 512}
+
+// ScaleBenchmarks returns the E_Scale family: every scale workload at every
+// swept cluster size. They are kept out of StandardBenchmarks because the
+// large-n entries are orders of magnitude more work per iteration; cmd/bench
+// runs them with their own (smaller) benchtime, and the `go test -bench`
+// wrappers only pick up the n≤64 entries.
+func ScaleBenchmarks() []BenchSpec {
+	var specs []BenchSpec
+	for _, wl := range scaleBenchWorkloads {
+		for _, n := range ScaleNs {
+			wl, n := wl, n
+			specs = append(specs, BenchSpec{
+				Name: fmt.Sprintf("E_Scale/%s/n=%d", wl.name, n),
+				F:    func(b *testing.B) { benchScale(b, n, wl.mk) },
+			})
+		}
+	}
+	return specs
 }
 
 // benchCoherence is the E-T12 body: a coherence-sensitive workload with
@@ -113,7 +180,7 @@ func benchCoherence(b *testing.B, coh string, mkW func(rounds int) workload.Work
 	totalOps := float64(w.Procs * b.N)
 	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
 	b.ReportMetric(float64(res.NetStats.TotalBytes)/totalOps, "wireB/op")
-	b.ReportMetric(float64(res.Duration)/float64(b.N), "vns/op")
+	b.ReportMetric(float64(res.Duration)/totalOps, "vns/op")
 	b.ReportMetric(float64(res.Coherence.Hits)/totalOps, "hits/op")
 	b.ReportMetric(float64(res.Coherence.Invalidations)/totalOps, "invals/op")
 }
@@ -139,19 +206,18 @@ func benchDetectors() []core.Detector {
 // benchDetectorOnAccess measures one steady-state detection step: a
 // rotating-writer stream against a single area state, threading the absorb
 // scratch buffer exactly as the NIC hot path does.
-func benchDetectorOnAccess(b *testing.B, d core.Detector) {
+func benchDetectorOnAccess(b *testing.B, d core.Detector, n int) {
 	b.Helper()
-	const n = 16
 	st := d.NewAreaState(n)
-	clk := vclock.New(n)
-	var scratch vclock.VC
+	clk := vclock.NewMasked(n)
+	var scratch vclock.Masked
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clk.Tick(i % n)
-		acc := core.Access{Proc: i % n, Seq: uint64(i), Kind: core.Write, Clock: clk}
+		acc := core.Access{Proc: i % n, Seq: uint64(i), Kind: core.Write, Clock: clk.V, ClockNZ: clk.M}
 		_, absorbed := st.OnAccess(acc, 0, scratch)
-		if absorbed != nil {
+		if !absorbed.IsNil() {
 			scratch = absorbed
 		}
 	}
@@ -187,11 +253,17 @@ func StandardBenchmarks() []BenchSpec {
 		}
 	}
 	for _, d := range benchDetectors() {
-		d := d
-		specs = append(specs, BenchSpec{
-			Name: "DetectorOnAccess/" + d.Name(),
-			F:    func(b *testing.B) { benchDetectorOnAccess(b, d) },
-		})
+		for _, n := range []int{16, 256} {
+			d, n := d, n
+			name := "DetectorOnAccess/" + d.Name()
+			if n != 16 {
+				name = fmt.Sprintf("DetectorOnAccess%d/%s", n, d.Name())
+			}
+			specs = append(specs, BenchSpec{
+				Name: name,
+				F:    func(b *testing.B) { benchDetectorOnAccess(b, d, n) },
+			})
+		}
 	}
 	return specs
 }

@@ -11,12 +11,16 @@
 //	go run ./cmd/bench                                # all families, 2000 iterations
 //	go run ./cmd/bench -filter 'E_T4|E_Coherence' -benchtime 50000x
 //	go run ./cmd/bench -out BENCH_<pr>.json -pr <pr> -baseline BENCH_<pr-1>.json -note "after <change>"
+//	go run ./cmd/bench -scale-benchtime 150x          # include the E_Scale n≤512 sweep
+//	go run ./cmd/bench -compare BENCH_2.json -in BENCH_3.json   # delta table, no benchmarks run
+//	go run ./cmd/bench -compare BENCH_2.json          # run, then print the delta table
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -39,32 +43,57 @@ type Result struct {
 
 // File is the on-disk schema of BENCH_<pr>.json.
 type File struct {
-	Schema    string            `json:"schema"`
-	PR        int               `json:"pr,omitempty"`
-	Note      string            `json:"note,omitempty"`
-	Date      string            `json:"date"`
-	GoVersion string            `json:"go_version"`
-	CPU       string            `json:"cpu"`
-	BenchTime string            `json:"benchtime"`
-	Results   []Result          `json:"results"`
-	Baseline  map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
+	Schema    string `json:"schema"`
+	PR        int    `json:"pr,omitempty"`
+	Note      string `json:"note,omitempty"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	CPU       string `json:"cpu"`
+	BenchTime string `json:"benchtime"`
+	// ScaleBenchTime is the separate (smaller) benchtime the E_Scale family
+	// ran with; its entries in Results are per-that-many rounds.
+	ScaleBenchTime string            `json:"scale_benchtime,omitempty"`
+	Results        []Result          `json:"results"`
+	Baseline       map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
 }
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default: stdout)")
 	filter := flag.String("filter", "", "regexp selecting benchmark names (default: all)")
 	benchtime := flag.String("benchtime", "2000x", "benchmark duration per family (Nx or duration)")
+	scaleBenchtime := flag.String("scale-benchtime", "", "benchtime for the E_Scale family (empty = skip the family)")
 	pr := flag.Int("pr", 0, "PR number to record")
 	note := flag.String("note", "", "free-form note recorded in the file")
 	baseline := flag.String("baseline", "", "existing BENCH_*.json whose results become this file's baseline section")
+	compare := flag.String("compare", "", "previous BENCH_*.json to print a per-benchmark delta table against")
+	in := flag.String("in", "", "with -compare: existing BENCH_*.json to compare instead of running benchmarks")
 	flag.Parse()
+
+	if *in != "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "bench: -in only makes sense with -compare")
+		os.Exit(2)
+	}
+	if *compare != "" && *in != "" {
+		old, err := readFile(*compare)
+		if err == nil {
+			var cur *File
+			if cur, err = readFile(*in); err == nil {
+				printCompare(os.Stdout, old, cur)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
 
 	// testing.Benchmark honours the package-level benchtime flag; Init
 	// registers it so a main program can set it.
 	testing.Init()
-	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
-		os.Exit(2)
+	setBenchtime := func(bt string) {
+		if err := flag.Lookup("test.benchtime").Value.Set(bt); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: bad benchtime %q: %v\n", bt, err)
+			os.Exit(2)
+		}
 	}
 
 	var re *regexp.Regexp
@@ -85,6 +114,9 @@ func main() {
 		CPU:       fmt.Sprintf("%s/%s x%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
 		BenchTime: *benchtime,
 	}
+	if *scaleBenchtime != "" {
+		file.ScaleBenchTime = *scaleBenchtime
+	}
 	if *baseline != "" {
 		prev, err := readBaseline(*baseline)
 		if err != nil {
@@ -94,27 +126,35 @@ func main() {
 		file.Baseline = prev
 	}
 
-	for _, spec := range dsmrace.StandardBenchmarks() {
-		if re != nil && !re.MatchString(spec.Name) {
-			continue
-		}
-		r := testing.Benchmark(spec.F)
-		res := Result{
-			Name:        spec.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		if len(r.Extra) > 0 {
-			res.Metrics = make(map[string]float64, len(r.Extra))
-			for k, v := range r.Extra {
-				res.Metrics[k] = v
+	run := func(specs []dsmrace.BenchSpec) {
+		for _, spec := range specs {
+			if re != nil && !re.MatchString(spec.Name) {
+				continue
 			}
+			r := testing.Benchmark(spec.F)
+			res := Result{
+				Name:        spec.Name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if len(r.Extra) > 0 {
+				res.Metrics = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					res.Metrics[k] = v
+				}
+			}
+			file.Results = append(file.Results, res)
+			fmt.Fprintf(os.Stderr, "%-40s %10d iters %12.1f ns/op %6d allocs/op%s\n",
+				res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, metricsLine(res.Metrics))
 		}
-		file.Results = append(file.Results, res)
-		fmt.Fprintf(os.Stderr, "%-40s %10d iters %12.1f ns/op %6d allocs/op%s\n",
-			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, metricsLine(res.Metrics))
+	}
+	setBenchtime(*benchtime)
+	run(dsmrace.StandardBenchmarks())
+	if *scaleBenchtime != "" {
+		setBenchtime(*scaleBenchtime)
+		run(dsmrace.ScaleBenchmarks())
 	}
 
 	enc, err := json.MarshalIndent(file, "", "  ")
@@ -125,17 +165,78 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(file.Results))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+	if *compare != "" {
+		old, err := readFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		// Without -out, stdout already carries the JSON record: keep the
+		// human-readable table off it so the record stays parseable.
+		dst := os.Stdout
+		if *out == "" {
+			dst = os.Stderr
+		}
+		printCompare(dst, old, &file)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(file.Results))
 }
 
-// readBaseline lifts a previous run's results into a name-indexed map.
-func readBaseline(path string) (map[string]Result, error) {
+// printCompare renders the per-benchmark delta table between two recorded
+// runs: host ns/op and allocs/op plus the virtual msgs/op, for every
+// benchmark present in both files (new-only benchmarks are listed without
+// deltas; old-only benchmarks are dropped with a note).
+func printCompare(w *os.File, old, cur *File) {
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	fmt.Fprintf(w, "# bench delta: %s (pr %d) -> %s (pr %d)\n",
+		old.Date, old.PR, cur.Date, cur.PR)
+	fmt.Fprintf(w, "%-42s %12s %12s %8s  %7s  %9s  %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs", "old msgs", "new msgs")
+	msgs := func(r Result) string {
+		m, ok := r.Metrics["msgs/op"]
+		if !ok {
+			return "-" // host-only benchmark: no simulated traffic to report
+		}
+		return fmt.Sprintf("%.2f", m)
+	}
+	dropped := len(oldByName)
+	for _, r := range cur.Results {
+		o, ok := oldByName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-42s %12s %12.1f %8s  %7d  %9s  %9s\n",
+				r.Name, "-", r.NsPerOp, "new", r.AllocsPerOp, "-", msgs(r))
+			continue
+		}
+		dropped--
+		fmt.Fprintf(w, "%-42s %12.1f %12.1f %7.1f%%  %4d%+-3d  %9s  %9s\n",
+			r.Name, o.NsPerOp, r.NsPerOp, pctDelta(o.NsPerOp, r.NsPerOp),
+			o.AllocsPerOp, r.AllocsPerOp-o.AllocsPerOp,
+			msgs(o), msgs(r))
+	}
+	if dropped > 0 {
+		fmt.Fprintf(w, "(%d benchmark(s) in %s are not in the new run)\n", dropped, old.Date)
+	}
+}
+
+// pctDelta is the signed percentage change old -> new (negative = faster).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return math.NaN()
+	}
+	return (new - old) / old * 100
+}
+
+// readFile parses a recorded BENCH_*.json.
+func readFile(path string) (*File, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -143,6 +244,15 @@ func readBaseline(path string) (map[string]Result, error) {
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// readBaseline lifts a previous run's results into a name-indexed map.
+func readBaseline(path string) (map[string]Result, error) {
+	f, err := readFile(path)
+	if err != nil {
+		return nil, err
 	}
 	m := make(map[string]Result, len(f.Results))
 	for _, r := range f.Results {

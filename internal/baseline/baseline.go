@@ -23,27 +23,32 @@ func (d *SingleClock) Name() string { return "single-clock" }
 
 // NewAreaState implements core.Detector.
 func (d *SingleClock) NewAreaState(n int) core.AreaState {
-	return &singleState{det: d, v: vclock.New(n)}
+	return &singleState{det: d, v: vclock.NewMasked(n)}
 }
 
 type singleState struct {
 	det     *SingleClock
-	v       vclock.VC
+	v       vclock.Masked
 	last    core.Access
 	hasLast bool
 	// lastClock, repClock and priorBuf are state-owned buffers backing the
 	// retained last access and the borrowed report fields (see
 	// core.AreaState.OnAccess).
-	lastClock  vclock.VC
+	lastClock  vclock.Masked
 	repClock   vclock.VC
 	priorBuf   core.Access
 	priorClock vclock.VC
 }
 
-func (s *singleState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
+func (s *singleState) OnAccess(acc core.Access, home int, absorb vclock.Masked) (*core.Report, vclock.Masked) {
 	var rep *core.Report
-	if vclock.ConcurrentWith(acc.Clock, s.v) {
-		s.repClock = s.v.CopyInto(s.repClock)
+	in := vclock.Masked{V: acc.Clock, M: acc.ClockNZ}
+	// Compare-then-fold, as in the vw detector: the pre-merge snapshot a
+	// report must show is only taken on the racing path, and a covering
+	// access folds in as a block copy.
+	ord := in.Compare(s.v)
+	if ord == vclock.Concurrent {
+		s.repClock = s.v.V.CopyInto(s.repClock)
 		rep = &core.Report{
 			Detector:    s.det.Name(),
 			Area:        acc.Area,
@@ -55,32 +60,36 @@ func (s *singleState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*co
 			s.priorClock = s.last.Clock.CopyInto(s.priorClock)
 			s.priorBuf = s.last
 			s.priorBuf.Clock = s.priorClock
+			s.priorBuf.ClockNZ = nil
 			rep.Prior = &s.priorBuf
 		}
+		s.v.Merge(in)
+	} else if ord == vclock.After {
+		s.v = in.CopyInto(s.v)
 	}
-	s.v.Merge(acc.Clock)
 	if acc.Kind == core.Write && s.det.TickHomeOnWrite {
 		s.v.Tick(home)
 	}
-	s.lastClock = acc.Clock.CopyInto(s.lastClock)
+	s.lastClock = in.CopyInto(s.lastClock)
 	s.last = acc
-	s.last.Clock = s.lastClock
+	s.last.Clock = s.lastClock.V
+	s.last.ClockNZ = s.lastClock.M
 	s.hasLast = true
 	return rep, s.v.CopyInto(absorb)
 }
 
-func (s *singleState) StorageBytes() int { return s.v.WireSize() }
+func (s *singleState) StorageBytes() int { return s.v.StorageBytes() }
 
 // Clocks implements core.ClockAccessor: with a single clock, V and W are
 // the same clock.
-func (s *singleState) Clocks() (v, w vclock.VC) { return s.v.Copy(), s.v.Copy() }
+func (s *singleState) Clocks() (v, w vclock.VC) { return s.v.V.Copy(), s.v.V.Copy() }
 
 // SetClocks implements core.ClockAccessor.
 func (s *singleState) SetClocks(v, w vclock.VC) {
 	if v != nil {
-		s.v = v.CopyInto(s.v)
+		s.v = vclock.Dense(v).CopyInto(s.v)
 	} else if w != nil {
-		s.v = w.CopyInto(s.v)
+		s.v = vclock.Dense(w).CopyInto(s.v)
 	}
 }
 
@@ -96,7 +105,7 @@ func (Nop) NewAreaState(n int) core.AreaState { return nopState{} }
 
 type nopState struct{}
 
-func (nopState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
-	return nil, nil
+func (nopState) OnAccess(acc core.Access, home int, absorb vclock.Masked) (*core.Report, vclock.Masked) {
+	return nil, vclock.Masked{}
 }
 func (nopState) StorageBytes() int { return 0 }

@@ -25,18 +25,18 @@ func TestSingleClockFalsePositiveOnConcurrentReads(t *testing.T) {
 	r2 := acc(2, 1, core.Read, 0, 2, 1)
 
 	for _, st := range []core.AreaState{single, vw} {
-		if rep, _ := st.OnAccess(init, 1, nil); rep != nil {
+		if rep, _ := st.OnAccess(init, 1, vclock.Masked{}); rep != nil {
 			t.Fatal("init must not race")
 		}
-		if rep, _ := st.OnAccess(r0, 1, nil); rep != nil {
+		if rep, _ := st.OnAccess(r0, 1, vclock.Masked{}); rep != nil {
 			t.Fatal("first read must not race under either detector")
 		}
 	}
-	rep, _ := single.OnAccess(r2, 1, nil)
+	rep, _ := single.OnAccess(r2, 1, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("single-clock must flag the second concurrent read (false positive)")
 	}
-	rep2, _ := vw.OnAccess(r2, 1, nil)
+	rep2, _ := vw.OnAccess(r2, 1, vclock.Masked{})
 	if rep2 != nil {
 		t.Fatal("vw must not flag concurrent reads")
 	}
@@ -44,8 +44,8 @@ func TestSingleClockFalsePositiveOnConcurrentReads(t *testing.T) {
 
 func TestSingleClockStillCatchesTrueRaces(t *testing.T) {
 	st := NewSingleClock().NewAreaState(3)
-	st.OnAccess(acc(0, 1, core.Write, 1, 0, 0), 1, nil)
-	rep, _ := st.OnAccess(acc(2, 1, core.Write, 0, 0, 1), 1, nil)
+	st.OnAccess(acc(0, 1, core.Write, 1, 0, 0), 1, vclock.Masked{})
+	rep, _ := st.OnAccess(acc(2, 1, core.Write, 0, 0, 1), 1, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("single-clock must detect Fig. 5(a)")
 	}
@@ -80,8 +80,8 @@ func TestSingleClockClockAccessor(t *testing.T) {
 func TestNopNeverReports(t *testing.T) {
 	st := Nop{}.NewAreaState(4)
 	for i := 0; i < 10; i++ {
-		rep, clk := st.OnAccess(acc(i%2, uint64(i), core.Write, 1, 0, 0, 0), 0, nil)
-		if rep != nil || clk != nil {
+		rep, clk := st.OnAccess(acc(i%2, uint64(i), core.Write, 1, 0, 0, 0), 0, vclock.Masked{})
+		if rep != nil || !clk.IsNil() {
 			t.Fatal("nop must stay silent")
 		}
 	}
@@ -103,7 +103,7 @@ func TestLocksetDisciplinedProgramClean(t *testing.T) {
 		accL(1, core.Write, []int{7, 9}, 0, 2),
 	}
 	for i, a := range seq {
-		if rep, _ := st.OnAccess(a, 0, nil); rep != nil {
+		if rep, _ := st.OnAccess(a, 0, vclock.Masked{}); rep != nil {
 			t.Fatalf("disciplined access %d reported: %v", i, rep)
 		}
 	}
@@ -111,13 +111,13 @@ func TestLocksetDisciplinedProgramClean(t *testing.T) {
 
 func TestLocksetDetectsUnlockedSharing(t *testing.T) {
 	st := NewLockset().NewAreaState(2)
-	st.OnAccess(accL(0, core.Write, nil, 1, 0), 0, nil)
-	rep, _ := st.OnAccess(accL(1, core.Write, nil, 0, 1), 0, nil)
+	st.OnAccess(accL(0, core.Write, nil, 1, 0), 0, vclock.Masked{})
+	rep, _ := st.OnAccess(accL(1, core.Write, nil, 0, 1), 0, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("unlocked write-write sharing must be reported")
 	}
 	// Eraser reports once per area.
-	rep2, _ := st.OnAccess(accL(0, core.Write, nil, 2, 1), 0, nil)
+	rep2, _ := st.OnAccess(accL(0, core.Write, nil, 2, 1), 0, vclock.Masked{})
 	if rep2 != nil {
 		t.Fatal("lockset must report an area at most once")
 	}
@@ -125,9 +125,9 @@ func TestLocksetDetectsUnlockedSharing(t *testing.T) {
 
 func TestLocksetReadSharingIsClean(t *testing.T) {
 	st := NewLockset().NewAreaState(3)
-	st.OnAccess(accL(0, core.Write, nil, 1, 0, 0), 0, nil) // init, exclusive
-	st.OnAccess(accL(1, core.Read, nil, 0, 1, 0), 0, nil)  // shared
-	rep, _ := st.OnAccess(accL(2, core.Read, nil, 0, 0, 1), 0, nil)
+	st.OnAccess(accL(0, core.Write, nil, 1, 0, 0), 0, vclock.Masked{}) // init, exclusive
+	st.OnAccess(accL(1, core.Read, nil, 0, 1, 0), 0, vclock.Masked{})  // shared
+	rep, _ := st.OnAccess(accL(2, core.Read, nil, 0, 0, 1), 0, vclock.Masked{})
 	if rep != nil {
 		t.Fatal("read-only sharing must not be reported")
 	}
@@ -137,7 +137,7 @@ func TestLocksetExclusivePhaseIgnoresLocks(t *testing.T) {
 	// Initialisation by one process without locks is fine (virgin/exclusive).
 	st := NewLockset().NewAreaState(2)
 	for i := 0; i < 5; i++ {
-		if rep, _ := st.OnAccess(accL(0, core.Write, nil, uint64(i+1), 0), 0, nil); rep != nil {
+		if rep, _ := st.OnAccess(accL(0, core.Write, nil, uint64(i+1), 0), 0, vclock.Masked{}); rep != nil {
 			t.Fatal("exclusive-phase accesses must not be reported")
 		}
 	}
@@ -145,13 +145,13 @@ func TestLocksetExclusivePhaseIgnoresLocks(t *testing.T) {
 
 func TestLocksetIntersectionRefinement(t *testing.T) {
 	st := NewLockset().NewAreaState(2)
-	st.OnAccess(accL(0, core.Write, []int{1, 2}, 1, 0), 0, nil)
+	st.OnAccess(accL(0, core.Write, []int{1, 2}, 1, 0), 0, vclock.Masked{})
 	// Second process shares only lock 2 — still protected.
-	if rep, _ := st.OnAccess(accL(1, core.Write, []int{2, 3}, 0, 1), 0, nil); rep != nil {
+	if rep, _ := st.OnAccess(accL(1, core.Write, []int{2, 3}, 0, 1), 0, vclock.Masked{}); rep != nil {
 		t.Fatal("common lock 2 still held")
 	}
 	// Now an access under disjoint lock 9: intersection empties.
-	rep, _ := st.OnAccess(accL(0, core.Write, []int{9}, 2, 1), 0, nil)
+	rep, _ := st.OnAccess(accL(0, core.Write, []int{9}, 2, 1), 0, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("emptied lockset must be reported")
 	}
@@ -162,8 +162,8 @@ func TestLocksetTimingInsensitiveFalsePositive(t *testing.T) {
 	// ordered (no true race) but lockset still complains — its documented
 	// weakness, measured in E-T3.
 	st := NewLockset().NewAreaState(2)
-	st.OnAccess(accL(0, core.Write, nil, 1, 0), 0, nil)
-	rep, _ := st.OnAccess(accL(1, core.Write, nil, 2, 1), 0, nil) // causally after
+	st.OnAccess(accL(0, core.Write, nil, 1, 0), 0, vclock.Masked{})
+	rep, _ := st.OnAccess(accL(1, core.Write, nil, 2, 1), 0, vclock.Masked{}) // causally after
 	if rep == nil {
 		t.Fatal("lockset is timing-insensitive and must (falsely) report here")
 	}
@@ -171,8 +171,8 @@ func TestLocksetTimingInsensitiveFalsePositive(t *testing.T) {
 
 func TestEpochWriteWriteRace(t *testing.T) {
 	st := NewEpoch().NewAreaState(3)
-	st.OnAccess(acc(0, 1, core.Write, 1, 0, 0), 1, nil)
-	rep, _ := st.OnAccess(acc(2, 1, core.Write, 0, 0, 1), 1, nil)
+	st.OnAccess(acc(0, 1, core.Write, 1, 0, 0), 1, vclock.Masked{})
+	rep, _ := st.OnAccess(acc(2, 1, core.Write, 0, 0, 1), 1, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("epoch must detect Fig. 5(a) write-write race")
 	}
@@ -183,23 +183,23 @@ func TestEpochWriteWriteRace(t *testing.T) {
 
 func TestEpochOrderedWritesClean(t *testing.T) {
 	st := NewEpoch().NewAreaState(2)
-	st.OnAccess(acc(0, 1, core.Write, 1, 0), 0, nil)
+	st.OnAccess(acc(0, 1, core.Write, 1, 0), 0, vclock.Masked{})
 	// P1 absorbed P0's write (clock 1,1 dominates epoch 1@0).
-	if rep, _ := st.OnAccess(acc(1, 1, core.Write, 1, 1), 0, nil); rep != nil {
+	if rep, _ := st.OnAccess(acc(1, 1, core.Write, 1, 1), 0, vclock.Masked{}); rep != nil {
 		t.Fatalf("ordered write raced: %v", rep)
 	}
 }
 
 func TestEpochReadWriteRaces(t *testing.T) {
 	st := NewEpoch().NewAreaState(2)
-	st.OnAccess(acc(0, 1, core.Write, 1, 0), 0, nil)
-	rep, _ := st.OnAccess(acc(1, 1, core.Read, 0, 1), 0, nil)
+	st.OnAccess(acc(0, 1, core.Write, 1, 0), 0, vclock.Masked{})
+	rep, _ := st.OnAccess(acc(1, 1, core.Read, 0, 1), 0, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("read concurrent with write must race")
 	}
 	st2 := NewEpoch().NewAreaState(2)
-	st2.OnAccess(acc(0, 1, core.Read, 1, 0), 0, nil)
-	rep, _ = st2.OnAccess(acc(1, 1, core.Write, 0, 1), 0, nil)
+	st2.OnAccess(acc(0, 1, core.Read, 1, 0), 0, vclock.Masked{})
+	rep, _ = st2.OnAccess(acc(1, 1, core.Write, 0, 1), 0, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("write concurrent with read must race")
 	}
@@ -208,10 +208,10 @@ func TestEpochReadWriteRaces(t *testing.T) {
 func TestEpochConcurrentReadsBenignAndInflate(t *testing.T) {
 	st := NewEpoch().NewAreaState(3)
 	before := st.StorageBytes()
-	if rep, _ := st.OnAccess(acc(0, 1, core.Read, 1, 0, 0), 1, nil); rep != nil {
+	if rep, _ := st.OnAccess(acc(0, 1, core.Read, 1, 0, 0), 1, vclock.Masked{}); rep != nil {
 		t.Fatal("read must not race")
 	}
-	if rep, _ := st.OnAccess(acc(2, 1, core.Read, 0, 0, 1), 1, nil); rep != nil {
+	if rep, _ := st.OnAccess(acc(2, 1, core.Read, 0, 0, 1), 1, vclock.Masked{}); rep != nil {
 		t.Fatal("concurrent reads must not race under epoch either")
 	}
 	if st.StorageBytes() <= before {
@@ -219,7 +219,7 @@ func TestEpochConcurrentReadsBenignAndInflate(t *testing.T) {
 	}
 	// A write concurrent with one of the reads must still be caught after
 	// inflation.
-	rep, _ := st.OnAccess(acc(1, 1, core.Write, 1, 1, 0), 1, nil) // covers P0's read, not P2's
+	rep, _ := st.OnAccess(acc(1, 1, core.Write, 1, 1, 0), 1, vclock.Masked{}) // covers P0's read, not P2's
 	if rep == nil {
 		t.Fatal("write concurrent with an inflated read must race")
 	}
@@ -231,7 +231,7 @@ func TestEpochSameEpochFastPathKeepsStorageFlat(t *testing.T) {
 	base := st.StorageBytes()
 	for i := 0; i < 20; i++ {
 		clk.Tick(1)
-		if rep, _ := st.OnAccess(core.Access{Proc: 1, Kind: core.Read, Clock: clk.Copy()}, 0, nil); rep != nil {
+		if rep, _ := st.OnAccess(core.Access{Proc: 1, Kind: core.Read, Clock: clk.Copy()}, 0, vclock.Masked{}); rep != nil {
 			t.Fatal("sequential reads race-free")
 		}
 	}

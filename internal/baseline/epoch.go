@@ -60,10 +60,11 @@ func (s *epochState) setLast(slot *core.Access, clk *vclock.VC, has *bool, acc c
 	*clk = acc.Clock.CopyInto(*clk)
 	*slot = acc
 	slot.Clock = *clk
+	slot.ClockNZ = nil // the caller's mask aliases its scratch; drop it
 	*has = true
 }
 
-func (s *epochState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
+func (s *epochState) OnAccess(acc core.Access, home int, absorb vclock.Masked) (*core.Report, vclock.Masked) {
 	var rep *core.Report
 	mk := func(prior *core.Access, has bool) *core.Report {
 		r := &core.Report{
@@ -76,6 +77,7 @@ func (s *epochState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*cor
 			s.priorClock = prior.Clock.CopyInto(s.priorClock)
 			s.priorBuf = *prior
 			s.priorBuf.Clock = s.priorClock
+			s.priorBuf.ClockNZ = nil
 			r.Prior = &s.priorBuf
 		}
 		return r
@@ -125,7 +127,7 @@ func (s *epochState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*cor
 		}
 		s.setLast(&s.lastR, &s.lrClock, &s.hasLastR, acc)
 	}
-	return rep, nil
+	return rep, vclock.Masked{}
 }
 
 // StorageBytes: two epochs (12 bytes each modelled) plus the read vector

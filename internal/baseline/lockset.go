@@ -79,7 +79,7 @@ func intersectInPlace(a []int, b []int) []int {
 	return a[:k]
 }
 
-func (s *locksetState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*core.Report, vclock.VC) {
+func (s *locksetState) OnAccess(acc core.Access, home int, absorb vclock.Masked) (*core.Report, vclock.Masked) {
 	s.heldBuf = append(s.heldBuf[:0], acc.Locks...)
 	held := s.heldBuf
 	sort.Ints(held)
@@ -120,6 +120,7 @@ func (s *locksetState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*c
 			s.priorClock = s.last.Clock.CopyInto(s.priorClock)
 			s.priorBuf = s.last
 			s.priorBuf.Clock = s.priorClock
+			s.priorBuf.ClockNZ = nil
 			rep.Prior = &s.priorBuf
 		}
 	}
@@ -127,9 +128,10 @@ func (s *locksetState) OnAccess(acc core.Access, home int, absorb vclock.VC) (*c
 	s.lastLocks = append(s.lastLocks[:0], acc.Locks...)
 	s.last = acc
 	s.last.Clock = s.lastClock
+	s.last.ClockNZ = nil // the caller's mask aliases its scratch; drop it
 	s.last.Locks = s.lastLocks
 	s.hasLast = true
-	return rep, nil
+	return rep, vclock.Masked{}
 }
 
 func (s *locksetState) refine(held []int) {

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dsmrace/internal/memory"
 	"dsmrace/internal/vclock"
@@ -87,18 +88,19 @@ type Stats struct {
 type State interface {
 	// CachedRead serves a read of [off, off+count) of a by node from its
 	// valid local copy. The returned data is a fresh slice owned by the
-	// caller; w is the copy's write clock (borrowed — copy to retain; nil
-	// when the run carries no clocks). ok reports whether a valid copy
-	// existed; on false the read must fetch from the home.
-	CachedRead(node int, a memory.Area, off, count int) (data []memory.Word, w vclock.VC, ok bool)
+	// caller; w is the copy's write clock (borrowed — copy to retain; the
+	// zero Masked when the run carries no clocks). ok reports whether a
+	// valid copy existed; on false the read must fetch from the home.
+	CachedRead(node int, a memory.Area, off, count int) (data []memory.Word, w vclock.Masked, ok bool)
 	// InstallCopy records that node now holds the whole-area data with
-	// write clock w (both copied in; w may be nil with detection off).
-	InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.VC)
+	// write clock w (both copied in; w may be the zero Masked with
+	// detection off).
+	InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.Masked)
 	// PatchCopy folds node's own committed write of data at word offset off
 	// into its cached copy, advancing the copy's write clock to neww — the
 	// writer's copy stays valid because every other copy was invalidated.
 	// No-op when node holds no valid copy.
-	PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.VC)
+	PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked)
 	// DropCopy invalidates node's copy of a (invalidation receipt).
 	DropCopy(node int, a memory.Area)
 	// AddSharer registers reader in a's directory (a fetch was served).
@@ -148,15 +150,15 @@ func (writeUpdate) NewState(nodes int) State     { return nopState{} }
 // nopState is write-update's replica bookkeeping: there are no replicas.
 type nopState struct{}
 
-func (nopState) CachedRead(int, memory.Area, int, int) ([]memory.Word, vclock.VC, bool) {
-	return nil, nil, false
+func (nopState) CachedRead(int, memory.Area, int, int) ([]memory.Word, vclock.Masked, bool) {
+	return nil, vclock.Masked{}, false
 }
-func (nopState) InstallCopy(int, memory.Area, []memory.Word, vclock.VC)    {}
-func (nopState) PatchCopy(int, memory.Area, int, []memory.Word, vclock.VC) {}
-func (nopState) DropCopy(int, memory.Area)                                 {}
-func (nopState) AddSharer(int, memory.Area)                                {}
-func (nopState) Invalidees(int, memory.Area) []int                         { return nil }
-func (nopState) Stats() Stats                                              { return Stats{} }
+func (nopState) InstallCopy(int, memory.Area, []memory.Word, vclock.Masked)    {}
+func (nopState) PatchCopy(int, memory.Area, int, []memory.Word, vclock.Masked) {}
+func (nopState) DropCopy(int, memory.Area)                                     {}
+func (nopState) AddSharer(int, memory.Area)                                    {}
+func (nopState) Invalidees(int, memory.Area) []int                             { return nil }
+func (nopState) Stats() Stats                                                  { return Stats{} }
 
 // ---- Write-invalidate ----
 
@@ -172,29 +174,53 @@ func (writeInvalidate) CachesRemoteReads() bool      { return true }
 func (writeInvalidate) ServesHomeReadsLocally() bool { return true }
 
 func (writeInvalidate) NewState(nodes int) State {
-	return &wiState{
-		caches:  make([]map[memory.AreaID]*copyLine, nodes),
-		sharers: make(map[memory.AreaID][]bool),
-		nodes:   nodes,
+	s := &wiState{
+		caches: make([]map[memory.AreaID]*copyLine, nodes),
+		nodes:  nodes,
 	}
+	for i := range s.dir {
+		s.dir[i] = make(map[memory.AreaID][]uint64)
+	}
+	return s
 }
 
 // copyLine is one node's cached copy of one area.
 type copyLine struct {
 	data  []memory.Word
-	w     vclock.VC // write clock of the copy; nil when detection is off
+	w     vclock.Masked // write clock of the copy; zero when detection is off
 	valid bool
 }
 
+// dirShards is the sharer directory's shard fan-out (a power of two: the
+// shard pick is a mask of the area id).
+const dirShards = 16
+
 // wiState implements State for write-invalidate: per-node caches plus the
-// per-area sharer vector (the directory, conceptually resident at each
-// area's home — one global map here because the simulator is one process).
+// per-area sharer directory (conceptually resident at each area's home —
+// held here because the simulator is one process). The directory is sharded
+// by area id so lookups and invalidation fan-outs at large area counts
+// probe one small map instead of serialising on a single big one, and each
+// area's sharer set is a bitset: registering a sharer is one OR, and
+// collecting a write's invalidees walks set bits — O(nodes/64 + sharers),
+// not O(nodes).
 type wiState struct {
 	caches  []map[memory.AreaID]*copyLine
-	sharers map[memory.AreaID][]bool
+	dir     [dirShards]map[memory.AreaID][]uint64
 	nodes   int
 	scratch []int // Invalidees result buffer, reused
 	stats   Stats
+}
+
+// sharerSet returns (lazily creating, when create is set) the sharer bitset
+// of area id.
+func (s *wiState) sharerSet(id memory.AreaID, create bool) []uint64 {
+	shard := s.dir[int(id)&(dirShards-1)]
+	v := shard[id]
+	if v == nil && create {
+		v = make([]uint64, (s.nodes+63)/64)
+		shard[id] = v
+	}
+	return v
 }
 
 func (s *wiState) line(node int, id memory.AreaID, create bool) *copyLine {
@@ -215,13 +241,13 @@ func (s *wiState) line(node int, id memory.AreaID, create bool) *copyLine {
 }
 
 // CachedRead implements State.
-func (s *wiState) CachedRead(node int, a memory.Area, off, count int) ([]memory.Word, vclock.VC, bool) {
+func (s *wiState) CachedRead(node int, a memory.Area, off, count int) ([]memory.Word, vclock.Masked, bool) {
 	l := s.line(node, a.ID, false)
 	if l == nil || !l.valid {
-		return nil, nil, false
+		return nil, vclock.Masked{}, false
 	}
 	if off < 0 || count < 0 || off+count > len(l.data) {
-		return nil, nil, false
+		return nil, vclock.Masked{}, false
 	}
 	s.stats.Hits++
 	out := make([]memory.Word, count)
@@ -230,24 +256,24 @@ func (s *wiState) CachedRead(node int, a memory.Area, off, count int) ([]memory.
 }
 
 // InstallCopy implements State.
-func (s *wiState) InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.VC) {
+func (s *wiState) InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.Masked) {
 	l := s.line(node, a.ID, true)
 	if cap(l.data) < len(data) {
 		l.data = make([]memory.Word, len(data))
 	}
 	l.data = l.data[:len(data)]
 	copy(l.data, data)
-	if w != nil {
+	if !w.IsNil() {
 		l.w = w.CopyInto(l.w)
 	} else {
-		l.w = nil
+		l.w = vclock.Masked{}
 	}
 	l.valid = true
 	s.stats.Installs++
 }
 
 // PatchCopy implements State.
-func (s *wiState) PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.VC) {
+func (s *wiState) PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked) {
 	l := s.line(node, a.ID, false)
 	if l == nil || !l.valid {
 		return
@@ -256,7 +282,7 @@ func (s *wiState) PatchCopy(node int, a memory.Area, off int, data []memory.Word
 		return
 	}
 	copy(l.data[off:], data)
-	if neww != nil {
+	if !neww.IsNil() {
 		l.w = neww.CopyInto(l.w)
 	}
 	s.stats.Patches++
@@ -271,28 +297,30 @@ func (s *wiState) DropCopy(node int, a memory.Area) {
 
 // AddSharer implements State.
 func (s *wiState) AddSharer(reader int, a memory.Area) {
-	v := s.sharers[a.ID]
-	if v == nil {
-		v = make([]bool, s.nodes)
-		s.sharers[a.ID] = v
-	}
-	v[reader] = true
+	s.sharerSet(a.ID, true)[reader>>6] |= 1 << (uint(reader) & 63)
 }
 
-// Invalidees implements State. Ascending node order keeps runs
-// deterministic.
+// Invalidees implements State. Ascending node order (trailing-zeros scans
+// of ascending bitset words) keeps runs deterministic.
 func (s *wiState) Invalidees(writer int, a memory.Area) []int {
-	v := s.sharers[a.ID]
+	v := s.sharerSet(a.ID, false)
 	if v == nil {
 		return nil
 	}
 	out := s.scratch[:0]
-	for node, holds := range v {
-		if holds && node != writer {
-			out = append(out, node)
-			v[node] = false
+	for w, word := range v {
+		if w == writer>>6 {
+			word &^= 1 << (uint(writer) & 63) // the writer keeps its copy
+		}
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		for b := word; b != 0; b &= b - 1 {
+			out = append(out, base+bits.TrailingZeros64(b))
 			s.stats.Invalidations++
 		}
+		v[w] &^= word
 	}
 	s.scratch = out
 	return out

@@ -33,7 +33,7 @@ func TestWriteUpdateIsInert(t *testing.T) {
 		t.Error("write-update must not cache or shortcut reads")
 	}
 	st := p.NewState(4)
-	st.InstallCopy(1, area, []memory.Word{1, 2, 3, 4}, nil)
+	st.InstallCopy(1, area, []memory.Word{1, 2, 3, 4}, vclock.Masked{})
 	st.AddSharer(1, area)
 	if _, _, ok := st.CachedRead(1, area, 0, 4); ok {
 		t.Error("write-update served a cached read")
@@ -52,14 +52,14 @@ func TestWriteInvalidateLifecycle(t *testing.T) {
 	w.Tick(0)
 
 	// Install on node 1, hit, and verify isolation of the returned slice.
-	st.InstallCopy(1, area, []memory.Word{10, 11, 12, 13}, w)
+	st.InstallCopy(1, area, []memory.Word{10, 11, 12, 13}, vclock.Dense(w))
 	st.AddSharer(1, area)
 	data, gotW, ok := st.CachedRead(1, area, 1, 2)
 	if !ok || data[0] != 11 || data[1] != 12 {
 		t.Fatalf("hit = %v %v", data, ok)
 	}
-	if vclock.Compare(gotW, w) != vclock.Equal {
-		t.Errorf("copy clock = %s, want %s", gotW, w)
+	if vclock.Compare(gotW.V, w) != vclock.Equal {
+		t.Errorf("copy clock = %s, want %s", gotW.V, w)
 	}
 	data[0] = 99
 	if d2, _, _ := st.CachedRead(1, area, 1, 1); d2[0] != 11 {
@@ -70,7 +70,7 @@ func TestWriteInvalidateLifecycle(t *testing.T) {
 	}
 
 	// A second sharer; a write by node 3 must invalidate both, ascending.
-	st.InstallCopy(2, area, []memory.Word{10, 11, 12, 13}, w)
+	st.InstallCopy(2, area, []memory.Word{10, 11, 12, 13}, vclock.Dense(w))
 	st.AddSharer(2, area)
 	inv := st.Invalidees(3, area)
 	if len(inv) != 2 || inv[0] != 1 || inv[1] != 2 {
@@ -86,20 +86,20 @@ func TestWriteInvalidateLifecycle(t *testing.T) {
 	}
 
 	// The writer's own copy survives its write and is patched in place.
-	st.InstallCopy(3, area, []memory.Word{0, 0, 0, 0}, w)
+	st.InstallCopy(3, area, []memory.Word{0, 0, 0, 0}, vclock.Dense(w))
 	st.AddSharer(3, area)
 	if inv := st.Invalidees(3, area); len(inv) != 0 {
 		t.Fatalf("writer invalidated itself: %v", inv)
 	}
 	w2 := w.Copy()
 	w2.Tick(3)
-	st.PatchCopy(3, area, 2, []memory.Word{42}, w2)
+	st.PatchCopy(3, area, 2, []memory.Word{42}, vclock.Dense(w2))
 	d, gotW, ok := st.CachedRead(3, area, 2, 1)
 	if !ok || d[0] != 42 {
 		t.Fatalf("patched read = %v %v", d, ok)
 	}
-	if vclock.Compare(gotW, w2) != vclock.Equal {
-		t.Errorf("patched clock = %s, want %s", gotW, w2)
+	if vclock.Compare(gotW.V, w2) != vclock.Equal {
+		t.Errorf("patched clock = %s, want %s", gotW.V, w2)
 	}
 
 	s := st.Stats()
@@ -110,7 +110,7 @@ func TestWriteInvalidateLifecycle(t *testing.T) {
 
 func TestWriteInvalidatePatchNeedsValidCopy(t *testing.T) {
 	st := NewWriteInvalidate().NewState(2)
-	st.PatchCopy(1, area, 0, []memory.Word{5}, nil) // no copy: must not create one
+	st.PatchCopy(1, area, 0, []memory.Word{5}, vclock.Masked{}) // no copy: must not create one
 	if _, _, ok := st.CachedRead(1, area, 0, 1); ok {
 		t.Error("patch created a copy out of thin air")
 	}

@@ -39,6 +39,10 @@ type Access struct {
 	// Clock is the initiator's vector clock K, ticked just before the
 	// operation was issued.
 	Clock vclock.VC
+	// ClockNZ is Clock's occupancy mask (see vclock.Mask); nil means dense.
+	// Purely an accelerator: detectors use it to skip provably-zero clock
+	// spans, never to decide values.
+	ClockNZ vclock.Mask
 	// Locks are the user-level locks held by the initiator, for
 	// lockset-style detectors. Nil when none.
 	Locks []int
@@ -87,15 +91,18 @@ func (r Report) String() string {
 // zero-allocation contract); anything that retains a report past the next
 // OnAccess call on the same state must Clone it first.
 //
-// Current.Clock is deliberately *not* copied: it belongs to the access's
-// initiator (stable for the life of the operation), exactly as it did when
-// reports were built from fresh copies.
+// Current.Clock is copied too: the initiator's clock rides in a per-process
+// scratch buffer that the process's *next* operation overwrites, so a
+// retained report must own its bytes.
 func (r Report) Clone() Report {
 	c := r
 	c.StoredClock = r.StoredClock.Copy()
+	c.Current.Clock = r.Current.Clock.Copy()
+	c.Current.ClockNZ = nil
 	if r.Prior != nil {
 		p := *r.Prior
 		p.Clock = r.Prior.Clock.Copy()
+		p.ClockNZ = nil
 		if r.Prior.Locks != nil {
 			p.Locks = append([]int(nil), r.Prior.Locks...)
 		}
@@ -124,23 +131,33 @@ func (r Report) Pair() (a, b [2]uint64, ok bool) {
 type AreaState interface {
 	// OnAccess checks acc against the state, then folds acc into the state.
 	// It returns a non-nil report iff a race is detected, and the clock the
-	// initiator should absorb (nil when the detector is not clock-based).
+	// initiator should absorb (IsNil when the detector is not clock-based).
 	//
 	// absorb is a caller-owned scratch buffer: when the detector returns a
-	// clock it copies into absorb (growing it as needed) and returns the
-	// result, so a caller that threads the returned slice back in performs
-	// no allocation in steady state. Pass nil to get a freshly allocated
-	// clock.
+	// clock it copies into absorb (growing it as needed, values and
+	// occupancy mask together) and returns the result, so a caller that
+	// threads the returned buffer back in performs no allocation in steady
+	// state. Pass the zero Masked to get a freshly allocated clock.
 	//
 	// The returned report borrows its StoredClock and Prior fields from
 	// per-state scratch storage; they are valid until the next OnAccess call
 	// on this state. Retain with Report.Clone (Collector.Signal clones).
 	// The state may also retain acc.Clock only until it returns: it copies
 	// what it needs into its own buffers.
-	OnAccess(acc Access, home int, absorb vclock.VC) (*Report, vclock.VC)
+	OnAccess(acc Access, home int, absorb vclock.Masked) (*Report, vclock.Masked)
 	// StorageBytes reports the bytes of detection metadata held for the
 	// area — the storage-overhead measurement of E-T1 (§V-A).
 	StorageBytes() int
+}
+
+// AbsorbElider is implemented by area states that can prove an absorb
+// clock is already covered by the access's own clock and skip materialising
+// it (returning a Covered Masked instead). The transport opts in per run:
+// elision is only sound when the reply's clock bytes can be accounted
+// without the value (fixed wire format, no CompressClocks) and nothing else
+// consumes the reply clock (no caching coherence protocol).
+type AbsorbElider interface {
+	EnableAbsorbElision()
 }
 
 // Detector manufactures per-area state.

@@ -62,7 +62,7 @@ func TestExactVWMatchesFullHistoryOracle(t *testing.T) {
 			acc := Access{Proc: p, Seq: uint64(step), Kind: kind, Clock: clocks[p].Copy()}
 
 			want := oracle.check(acc)
-			rep, absorb := st.OnAccess(acc, 0, nil)
+			rep, absorb := st.OnAccess(acc, 0, vclock.Masked{})
 			got := rep != nil
 			if got != want {
 				t.Fatalf("seed %d step %d: detector=%v oracle=%v for %v (V=%s W=%s)",
@@ -70,8 +70,8 @@ func TestExactVWMatchesFullHistoryOracle(t *testing.T) {
 			}
 			oracle.add(acc)
 			// Mirror the runtime absorption: writers absorb V, readers W.
-			if absorb != nil {
-				clocks[p].Merge(absorb)
+			if !absorb.IsNil() {
+				clocks[p].Merge(absorb.V)
 			}
 			ca := st.(ClockAccessor)
 			lastV, lastW = ca.Clocks()
@@ -95,14 +95,14 @@ func TestHomeTickMasksConcurrency(t *testing.T) {
 	}
 
 	exact := NewExactVWDetector().NewAreaState(3)
-	exact.OnAccess(w1, 0, nil)
-	if rep, _ := exact.OnAccess(w0, 0, nil); rep == nil {
+	exact.OnAccess(w1, 0, vclock.Masked{})
+	if rep, _ := exact.OnAccess(w0, 0, vclock.Masked{}); rep == nil {
 		t.Fatal("exact mode must flag the concurrent write")
 	}
 
 	paper := NewVWDetector().NewAreaState(3)
-	paper.OnAccess(w1, 0, nil) // V becomes 110: merge(010) + tick of home 0
-	if rep, _ := paper.OnAccess(w0, 0, nil); rep != nil {
+	paper.OnAccess(w1, 0, vclock.Masked{}) // V becomes 110: merge(010) + tick of home 0
+	if rep, _ := paper.OnAccess(w0, 0, vclock.Masked{}); rep != nil {
 		// K=100 vs V=110 compares Before — the tick masked the race. If
 		// this ever starts flagging, the semantics changed; update
 		// DESIGN.md's finding.

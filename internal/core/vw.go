@@ -16,6 +16,12 @@ func CheckWrite(k, v vclock.VC) bool { return vclock.ConcurrentWith(k, v) }
 // concurrent read-only accesses never race.
 func CheckRead(k, w vclock.VC) bool { return vclock.ConcurrentWith(k, w) }
 
+// maskedClock wraps an access's clock and occupancy mask for the masked
+// clock walks (a nil mask means dense — observationally identical).
+func maskedClock(acc Access) vclock.Masked {
+	return vclock.Masked{V: acc.Clock, M: acc.ClockNZ}
+}
+
 // VWDetector implements the paper's detector.
 //
 // TickHomeOnWrite controls whether a write-apply increments the home
@@ -54,35 +60,44 @@ func (d *VWDetector) Name() string {
 func (d *VWDetector) NewAreaState(n int) AreaState {
 	return &vwAreaState{
 		det:  d,
-		v:    vclock.New(n),
-		w:    vclock.New(n),
+		v:    vclock.NewMasked(n),
+		w:    vclock.NewMasked(n),
 		wIsV: false,
 	}
 }
 
 // vwAreaState is the paper's per-area detection state — the general-purpose
 // clock V and the write clock W (§IV-A) — maintained allocation-free in
-// steady state:
+// steady state and sublinear in cluster size on communication-local
+// workloads:
 //
+//   - V and W carry occupancy masks (vclock.Masked): every clock walk
+//     skips spans both sides can prove zero, so an area touched by k of the
+//     n processes costs O(k) per access, not O(n).
 //   - W is a copy-on-write alias of V: a write sets W = V conceptually
 //     (Algorithm 5), which the state records as a flag instead of a copy.
 //     The stored W bytes are materialised only when a later read is about
 //     to diverge V from W.
+//   - The write path is compare-then-fold: the order decides whether the
+//     fold is a block copy (covering writer), a no-op (covered writer) or —
+//     only when racing — a snapshot plus a real merge.
 //   - Last-access context for report quality is stored by value in
 //     state-owned buffers, so reports borrow rather than allocate.
 type vwAreaState struct {
 	det *VWDetector
-	v   vclock.VC
+	v   vclock.Masked
 	// w holds the write clock's storage. When wIsV is set the logical W
 	// equals V and w's contents are stale.
-	w    vclock.VC
+	w    vclock.Masked
 	wIsV bool
+	// elide: see core.AbsorbElider.
+	elide bool
 
 	// lastWrite and lastRead provide Prior context in reports; their Clock
 	// fields point into the state-owned lwClock/lrClock buffers.
 	lastWrite, lastRead       Access
 	hasLastWrite, hasLastRead bool
-	lwClock, lrClock          vclock.VC
+	lwClock, lrClock          vclock.Masked
 
 	// repClock and priorBuf back the StoredClock and Prior fields of
 	// returned reports (borrowed; see AreaState.OnAccess).
@@ -91,8 +106,11 @@ type vwAreaState struct {
 	priorClock vclock.VC
 }
 
+// EnableAbsorbElision implements AbsorbElider.
+func (s *vwAreaState) EnableAbsorbElision() { s.elide = true }
+
 // wClock returns the logical write clock, honouring the copy-on-write alias.
-func (s *vwAreaState) wClock() vclock.VC {
+func (s *vwAreaState) wClock() vclock.Masked {
 	if s.wIsV {
 		return s.v
 	}
@@ -101,17 +119,27 @@ func (s *vwAreaState) wClock() vclock.VC {
 
 // OnAccess implements AreaState: Algorithm 1 (writes) and Algorithm 2
 // (reads), with the clock updates of Algorithms 4–5 folded in.
-func (s *vwAreaState) OnAccess(acc Access, home int, absorb vclock.VC) (*Report, vclock.VC) {
+func (s *vwAreaState) OnAccess(acc Access, home int, absorb vclock.Masked) (*Report, vclock.Masked) {
 	var rep *Report
+	in := maskedClock(acc)
 	switch acc.Kind {
 	case Write:
-		// Snapshot V before the update: a race report must show the clock
-		// the check ran against. Then run the fused Algorithm 3 + 4 walk —
-		// MergeAndCompare classifies acc.Clock against the old V while
-		// folding it in (update_clock), one pass instead of two.
-		s.repClock = s.v.CopyInto(s.repClock)
-		if s.v.MergeAndCompare(acc.Clock) == vclock.Concurrent { // CheckWrite
-			rep = s.report(acc, s.conflictContext(acc))
+		// Algorithm 3 classifies the writer against V, then Algorithm 4
+		// folds it in — and the fold's shape follows from the order, so
+		// each pass stays cheap: a covering writer (After, which
+		// lock-disciplined traffic produces on nearly every write) replaces
+		// V with a masked block copy, a covered writer (Before/Equal)
+		// changes nothing, and only the racing case pays for the pre-merge
+		// snapshot a report must show plus a real merge — and there the
+		// compare early-exited the moment both directions were seen.
+		ord := in.Compare(s.v)
+		switch ord {
+		case vclock.Concurrent: // CheckWrite
+			s.repClock = s.v.V.CopyInto(s.repClock)
+			rep = s.report(acc, s.conflictContext(in))
+			s.v.Merge(in)
+		case vclock.After:
+			s.v = in.CopyInto(s.v)
 		}
 		// Count the write as an event of the home node (Algorithm 5) and
 		// advance the write clock: W = V is recorded as an alias, not a
@@ -122,41 +150,67 @@ func (s *vwAreaState) OnAccess(acc Access, home int, absorb vclock.VC) (*Report,
 		s.wIsV = true
 		s.setLast(&s.lastWrite, &s.lwClock, &s.hasLastWrite, acc)
 		// The initiator absorbs the merged clock on the ack (production
-		// mode; the runtime decides whether to apply it).
+		// mode; the runtime decides whether to apply it). A covering writer
+		// with no home tick already *is* the merged clock: elide as covered.
+		if s.elide && !s.det.TickHomeOnWrite && (ord == vclock.After || ord == vclock.Equal) {
+			return rep, vclock.Masked{Covered: true}
+		}
 		return rep, s.v.CopyInto(absorb)
 	default: // Read
-		w := s.wClock()
-		if CheckRead(acc.Clock, w) {
-			s.repClock = w.CopyInto(s.repClock)
-			rep = s.report(acc, s.priorWrite())
-		}
 		// Reads mark the access clock but are not write events: no home
-		// tick, no W update. While W aliases V, V may only be merged after
-		// materialising W's own storage — and only when the reader's clock
-		// is not already covered; once they have diverged, the fused
-		// merge-compare does the cover check and the merge in one pass.
+		// tick, no W update. While W aliases V, one comparison against V
+		// answers every question at once — is the read racing W(=V)
+		// (CheckRead, Algorithm 3), must W diverge, and is the reply's W
+		// already covered by the reader. A covering reader replaces V
+		// outright: W adopts V's old buffer (its correct value) and V
+		// becomes a copy of the reader's clock.
+		covered := false
 		if s.wIsV {
-			if !s.v.Dominates(acc.Clock) {
+			ord := in.Compare(s.v)
+			switch ord {
+			case vclock.Concurrent: // CheckRead
+				s.repClock = s.v.V.CopyInto(s.repClock)
+				rep = s.report(acc, s.priorWrite())
 				s.w = s.v.CopyInto(s.w)
 				s.wIsV = false
-				s.v.Merge(acc.Clock)
+				s.v.Merge(in)
+			case vclock.After:
+				// max(V, in) = in: swap the buffers instead of copying V
+				// aside and merging.
+				s.v, s.w = s.w, s.v
+				s.v = in.CopyInto(s.v)
+				s.wIsV = false
 			}
+			// in ≥ W(=V before any divergence): absorbing W is a no-op.
+			covered = ord == vclock.After || ord == vclock.Equal
 		} else {
-			s.v.MergeAndCompare(acc.Clock)
+			ord := in.Compare(s.w)
+			if ord == vclock.Concurrent { // CheckRead
+				s.repClock = s.w.V.CopyInto(s.repClock)
+				rep = s.report(acc, s.priorWrite())
+			}
+			s.v.MergeAndCompare(in)
+			covered = ord == vclock.After || ord == vclock.Equal
 		}
 		s.setLast(&s.lastRead, &s.lrClock, &s.hasLastRead, acc)
 		// The reply carries W: the reader absorbs the clock of the write it
-		// observed (reads-from edge).
+		// observed (reads-from edge) — elided as covered when the reader
+		// provably observed that write already.
+		if s.elide && covered {
+			return rep, vclock.Masked{Covered: true}
+		}
 		return rep, s.wClock().CopyInto(absorb)
 	}
 }
 
 // setLast records acc into a state-owned last-access slot, copying its
-// clock into the slot's buffer so the caller's clock is not retained.
-func (s *vwAreaState) setLast(slot *Access, clk *vclock.VC, has *bool, acc Access) {
-	*clk = acc.Clock.CopyInto(*clk)
+// clock (and mask) into the slot's buffer so the caller's clock is not
+// retained.
+func (s *vwAreaState) setLast(slot *Access, clk *vclock.Masked, has *bool, acc Access) {
+	*clk = maskedClock(acc).CopyInto(*clk)
 	*slot = acc
-	slot.Clock = *clk
+	slot.Clock = clk.V
+	slot.ClockNZ = clk.M
 	*has = true
 }
 
@@ -171,11 +225,11 @@ func (s *vwAreaState) priorWrite() *Access {
 // conflictContext picks the most useful prior access to attach to a write
 // race: a concurrent prior write if one is known, else a concurrent prior
 // read, else whichever access is recorded.
-func (s *vwAreaState) conflictContext(acc Access) *Access {
-	if s.hasLastWrite && vclock.ConcurrentWith(acc.Clock, s.lastWrite.Clock) {
+func (s *vwAreaState) conflictContext(in vclock.Masked) *Access {
+	if s.hasLastWrite && in.ConcurrentWith(s.lwClock) {
 		return &s.lastWrite
 	}
-	if s.hasLastRead && vclock.ConcurrentWith(acc.Clock, s.lastRead.Clock) {
+	if s.hasLastRead && in.ConcurrentWith(s.lrClock) {
 		return &s.lastRead
 	}
 	if s.hasLastWrite {
@@ -188,7 +242,7 @@ func (s *vwAreaState) conflictContext(acc Access) *Access {
 }
 
 // report builds a race report around the repClock scratch the caller has
-// already snapshotted (the pre-update stored clock); prior (a pointer into
+// already rebuilt (the pre-update stored clock); prior (a pointer into
 // the last-access slots) is snapshotted into priorBuf because the same
 // OnAccess call overwrites those slots on its way out.
 func (s *vwAreaState) report(acc Access, prior *Access) *Report {
@@ -203,27 +257,29 @@ func (s *vwAreaState) report(acc Access, prior *Access) *Report {
 		s.priorClock = prior.Clock.CopyInto(s.priorClock)
 		s.priorBuf = *prior
 		s.priorBuf.Clock = s.priorClock
+		s.priorBuf.ClockNZ = nil
 		rep.Prior = &s.priorBuf
 	}
 	return rep
 }
 
 // StorageBytes implements AreaState: two vector clocks — the paper's
-// "drawback ... it doubles the necessary amount of memory" (§IV-D). The
-// copy-on-write alias is an implementation detail; the modelled cost keeps
-// both clocks.
+// "drawback ... it doubles the necessary amount of memory" (§IV-D) — plus
+// their occupancy masks (8 bytes per 64 components each). The copy-on-write
+// alias is an implementation detail; the modelled cost keeps both clocks.
 func (s *vwAreaState) StorageBytes() int {
-	return s.v.WireSize() + s.v.WireSize()
+	return 2 * s.v.StorageBytes()
 }
 
 // Clocks exposes copies of (V, W) for the literal protocol's get_clock /
 // get_clock_W operations and for tests.
 func (s *vwAreaState) Clocks() (v, w vclock.VC) {
-	return s.v.Copy(), s.wClock().Copy()
+	return s.v.V.Copy(), s.wClock().V.Copy()
 }
 
 // SetClocks overwrites the stored clocks — the literal protocol's put_clock
-// after the initiator computed max_clock locally.
+// after the initiator computed max_clock locally. Raw clock writes carry no
+// masks, so the stored masks saturate (dense fallback).
 func (s *vwAreaState) SetClocks(v, w vclock.VC) {
 	if s.wIsV {
 		// Break the alias first: a partial update must not drag the other
@@ -232,10 +288,10 @@ func (s *vwAreaState) SetClocks(v, w vclock.VC) {
 		s.wIsV = false
 	}
 	if v != nil {
-		s.v = v.CopyInto(s.v)
+		s.v = vclock.Dense(v).CopyInto(s.v)
 	}
 	if w != nil {
-		s.w = w.CopyInto(s.w)
+		s.w = vclock.Dense(w).CopyInto(s.w)
 	}
 }
 

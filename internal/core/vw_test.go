@@ -33,15 +33,15 @@ func TestVWFig5aScenario(t *testing.T) {
 	// P0 and P2 both put into P1's memory with no causal relation.
 	d := NewVWDetector()
 	st := d.NewAreaState(3)
-	rep, absorbed := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1, nil)
+	rep, absorbed := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1, vclock.Masked{})
 	if rep != nil {
 		t.Fatalf("first write raced: %v", rep)
 	}
 	// After m1 the area clock must be 110, as printed in Fig. 5(a).
-	if absorbed.String() != "110" {
-		t.Fatalf("area clock after m1 = %s, want 110", absorbed)
+	if absorbed.V.String() != "110" {
+		t.Fatalf("area clock after m1 = %s, want 110", absorbed.V)
 	}
-	rep, _ = st.OnAccess(acc(2, 1, Write, 0, 0, 1), 1, nil)
+	rep, _ = st.OnAccess(acc(2, 1, Write, 0, 0, 1), 1, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("Fig. 5(a) race not detected")
 	}
@@ -59,7 +59,7 @@ func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(3)
 	// Home P1 initialises a = A (write with clock 010).
-	if rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1, 0), 1, nil); rep != nil {
+	if rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1, 0), 1, vclock.Masked{}); rep != nil {
 		t.Fatalf("init write raced: %v", rep)
 	}
 	// Both readers have absorbed the initialisation (e.g. via a barrier):
@@ -69,10 +69,10 @@ func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
 	if !vclock.ConcurrentWith(r0.Clock, r2.Clock) {
 		t.Fatal("test setup: readers must be mutually concurrent")
 	}
-	if rep, _ := st.OnAccess(r0, 1, nil); rep != nil {
+	if rep, _ := st.OnAccess(r0, 1, vclock.Masked{}); rep != nil {
 		t.Fatalf("read 1 falsely raced: %v", rep)
 	}
-	if rep, _ := st.OnAccess(r2, 1, nil); rep != nil {
+	if rep, _ := st.OnAccess(r2, 1, vclock.Masked{}); rep != nil {
 		t.Fatalf("read 2 falsely raced: %v", rep)
 	}
 }
@@ -80,10 +80,10 @@ func TestVWFig4ConcurrentReadsAreBenign(t *testing.T) {
 func TestVWReadAgainstConcurrentWriteRaces(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(2)
-	if rep, _ := st.OnAccess(acc(0, 1, Write, 1, 0), 0, nil); rep != nil {
+	if rep, _ := st.OnAccess(acc(0, 1, Write, 1, 0), 0, vclock.Masked{}); rep != nil {
 		t.Fatal("unexpected race")
 	}
-	rep, _ := st.OnAccess(acc(1, 1, Read, 0, 1), 0, nil)
+	rep, _ := st.OnAccess(acc(1, 1, Read, 0, 1), 0, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("read concurrent with write must race")
 	}
@@ -95,8 +95,8 @@ func TestVWReadAgainstConcurrentWriteRaces(t *testing.T) {
 func TestVWWriteAfterConcurrentReadRaces(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(2)
-	st.OnAccess(acc(0, 1, Read, 1, 0), 0, nil)
-	rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1), 0, nil)
+	st.OnAccess(acc(0, 1, Read, 1, 0), 0, vclock.Masked{})
+	rep, _ := st.OnAccess(acc(1, 1, Write, 0, 1), 0, vclock.Masked{})
 	if rep == nil {
 		t.Fatal("write concurrent with a read must race (write checks V)")
 	}
@@ -108,21 +108,21 @@ func TestVWWriteAfterConcurrentReadRaces(t *testing.T) {
 func TestVWReaderAbsorbsWriteClock(t *testing.T) {
 	d := NewVWDetector()
 	st := d.NewAreaState(2)
-	_, wclk := st.OnAccess(acc(0, 1, Write, 1, 0), 0, nil)
+	_, wclk := st.OnAccess(acc(0, 1, Write, 1, 0), 0, vclock.Masked{})
 	_ = wclk
-	_, absorbed := st.OnAccess(acc(1, 1, Read, 1, 1), 0, nil)
+	_, absorbed := st.OnAccess(acc(1, 1, Read, 1, 1), 0, vclock.Masked{})
 	// Reply to a read carries W so the reader inherits the reads-from edge.
-	if absorbed.String() != "20" { // write merged 10, home tick -> 20
-		t.Fatalf("read reply clock = %s, want 20", absorbed)
+	if absorbed.V.String() != "20" { // write merged 10, home tick -> 20
+		t.Fatalf("read reply clock = %s, want 20", absorbed.V)
 	}
 }
 
 func TestVWHomeTickAblation(t *testing.T) {
 	d := &VWDetector{TickHomeOnWrite: false}
 	st := d.NewAreaState(3)
-	_, clk := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1, nil)
-	if clk.String() != "100" {
-		t.Fatalf("passive home: clock = %s, want 100", clk)
+	_, clk := st.OnAccess(acc(0, 1, Write, 1, 0, 0), 1, vclock.Masked{})
+	if clk.V.String() != "100" {
+		t.Fatalf("passive home: clock = %s, want 100", clk.V)
 	}
 }
 
@@ -131,7 +131,9 @@ func TestVWStorageBytesDoubles(t *testing.T) {
 	n := 16
 	vw := NewVWDetector().NewAreaState(n)
 	single := vw.StorageBytes()
-	want := 2 * (2 + 8*n)
+	// Each clock stores its fixed wire bytes plus the occupancy mask (8
+	// bytes per 64 components) the masked representation keeps locally.
+	want := 2 * (2 + 8*n + 8*vclock.MaskWords(n))
 	if single != want {
 		t.Fatalf("VW storage = %d, want %d", single, want)
 	}
@@ -225,10 +227,10 @@ func TestVWSequentialAccessesNeverRace(t *testing.T) {
 		if i%3 == 0 {
 			kind = Read
 		}
-		rep, absorbed := st.OnAccess(Access{Proc: 0, Seq: uint64(i), Kind: kind, Clock: clk.Copy()}, 1, nil)
+		rep, absorbed := st.OnAccess(Access{Proc: 0, Seq: uint64(i), Kind: kind, Clock: clk.Copy()}, 1, vclock.Masked{})
 		if rep != nil {
 			t.Fatalf("op %d raced: %v", i, rep)
 		}
-		clk.Merge(absorbed)
+		clk.Merge(absorbed.V)
 	}
 }

@@ -192,9 +192,10 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 			continue
 		}
 		p := &Proc{
-			id:    i,
-			c:     c,
-			clock: vclock.New(c.cfg.Procs),
+			id:      i,
+			c:       c,
+			clock:   vclock.NewMasked(c.cfg.Procs),
+			literal: rcfg.Protocol == rdma.ProtocolLiteral,
 		}
 		c.procs = append(c.procs, p)
 		prog := programs[i]

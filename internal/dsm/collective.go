@@ -64,12 +64,14 @@ func (p *Proc) Barrier() {
 	p.clock.Tick(p.id)
 	p.barrierDone = false
 	p.c.sys.NIC(p.id).SendUser(0, network.KindBarrier,
-		network.HeaderBytes+p.clock.WireSize(),
-		&barrierArrive{proc: p.id, epoch: p.epoch, clock: p.clock.Copy()})
+		network.HeaderBytes+p.clock.V.WireSize(),
+		&barrierArrive{proc: p.id, epoch: p.epoch, clock: p.clock.V.Copy()})
 	for !p.barrierDone {
 		p.sp.Park(fmt.Sprintf("barrier %d", p.epoch))
 	}
-	p.clock.Merge(p.barrierClock)
+	// The merged barrier clock has contributions from every process: merge
+	// it densely (the mask saturates, as it must).
+	p.clock.Merge(vclock.Dense(p.barrierClock))
 }
 
 func (p *Proc) barrierRelease(clk vclock.VC) {

@@ -18,9 +18,17 @@ type Proc struct {
 	id    int
 	c     *Cluster
 	sp    *sim.Proc
-	clock vclock.VC
+	clock vclock.Masked
 	seq   uint64
 	held  []int // sorted area ids of held user locks
+	// lastName/lastArea memoise the most recent name resolution.
+	lastName string
+	lastArea memory.Area
+	// literal records whether the run uses the literal wire protocol, whose
+	// one-way clock messages outlive the issuing operation and therefore
+	// need fresh access-clock copies; the piggyback protocol lets accesses
+	// alias the process clock directly (see newAccess).
+	literal bool
 
 	epoch        int
 	barrierDone  bool
@@ -46,15 +54,25 @@ func (p *Proc) Sleep(d sim.Time) { p.sp.Sleep(d) }
 func (p *Proc) Yield() { p.sp.Yield() }
 
 // Clock returns a copy of the process's current vector clock.
-func (p *Proc) Clock() vclock.VC { return p.clock.Copy() }
+func (p *Proc) Clock() vclock.VC { return p.clock.V.Copy() }
 
 // Seq returns the per-process operation sequence number of the most recent
 // operation.
 func (p *Proc) Seq() uint64 { return p.seq }
 
 // Area resolves a shared variable name (compile-time address resolution).
+// A one-entry memo captures the dominant pattern — lock, access, unlock on
+// the same variable — so two of the three resolutions are a pointer-equal
+// string compare instead of a hash-and-probe.
 func (p *Proc) Area(name string) (memory.Area, error) {
-	return p.c.space.Lookup(name)
+	if name == p.lastName {
+		return p.lastArea, nil
+	}
+	a, err := p.c.space.Lookup(name)
+	if err == nil {
+		p.lastName, p.lastArea = name, a
+	}
+	return a, err
 }
 
 // newAccess ticks the local clock and stamps a new access descriptor.
@@ -65,17 +83,49 @@ func (p *Proc) newAccess(kind core.AccessKind) core.Access {
 	if len(p.held) > 0 {
 		locks = append(locks, p.held...)
 	}
-	return core.Access{Proc: p.id, Seq: p.seq, Kind: kind, Clock: p.clock.Copy(), Locks: locks}
+	// Under the piggyback protocol the access clock aliases the process
+	// clock with no copy at all: the process is parked for the whole round
+	// trip (its clock cannot tick), the home side finishes reading the
+	// clock strictly before it sends the reply, and every retainer — the
+	// detector's last-access slots, cloned reports, the trace recorder —
+	// copies at handling time. The literal protocol ships clocks in
+	// one-way messages that outlive the operation, so it snapshots.
+	snap := p.clock
+	if p.literal {
+		snap = p.clock.Copy()
+	}
+	return core.Access{Proc: p.id, Seq: p.seq, Kind: kind, Clock: snap.V, ClockNZ: snap.M, Locks: locks}
 }
 
 // absorb merges a piggybacked reply clock into the process clock and
 // returns the buffer to the RDMA system's pool — the operation that handed
 // it out is complete and nothing else references it.
-func (p *Proc) absorb(clk vclock.VC) {
-	if clk != nil {
+func (p *Proc) absorb(clk vclock.Masked) {
+	if !clk.IsNil() {
 		p.clock.Merge(clk)
 		p.c.sys.ReleaseClock(clk)
 	}
+}
+
+// absorbDominant installs a reply clock known to dominate the process's
+// current clock, collapsing the merge to a buffer swap. A write ack's
+// piggybacked clock qualifies: it is the area clock *after* the home merged
+// in the very clock K this process sent — V' = max(V, K) (+ home tick) ≥ K —
+// and the process was parked for the whole round trip, so its clock still
+// equals K and max(K, V') is V' verbatim. By reply time nothing else
+// references either buffer (the pooled reply buffer was detached from its
+// resp, and the in-flight access that aliased the process clock completed),
+// so the process adopts the reply buffer and recycles its old clock.
+func (p *Proc) absorbDominant(clk vclock.Masked) {
+	if clk.IsNil() {
+		return
+	}
+	if clk.Len() == p.clock.Len() {
+		p.clock, clk = clk, p.clock
+	} else {
+		p.clock = clk.CopyInto(p.clock)
+	}
+	p.c.sys.ReleaseClock(clk)
 }
 
 // Put writes vals into the shared variable name starting at word offset off
@@ -86,7 +136,7 @@ func (p *Proc) Put(name string, off int, vals ...memory.Word) error {
 		return err
 	}
 	absorb, err := p.c.sys.NIC(p.id).Put(p.sp, a, off, vals, p.newAccess(core.Write))
-	p.absorb(absorb)
+	p.absorbDominant(absorb)
 	return err
 }
 
@@ -118,7 +168,7 @@ func (p *Proc) FetchAdd(name string, off int, delta memory.Word) (memory.Word, e
 		return 0, err
 	}
 	old, absorb, err := p.c.sys.NIC(p.id).FetchAdd(p.sp, a, off, delta, p.newAccess(core.Write))
-	p.absorb(absorb)
+	p.absorbDominant(absorb)
 	return old, err
 }
 
@@ -130,7 +180,7 @@ func (p *Proc) CompareAndSwap(name string, off int, expect, repl memory.Word) (o
 		return 0, false, err
 	}
 	old, absorb, err := p.c.sys.NIC(p.id).CompareAndSwap(p.sp, a, off, expect, repl, p.newAccess(core.Write))
-	p.absorb(absorb)
+	p.absorbDominant(absorb)
 	return old, err == nil && old == expect, err
 }
 
@@ -167,7 +217,10 @@ func (p *Proc) Unlock(name string) error {
 	p.held = append(p.held[:idx], p.held[idx+1:]...)
 	p.clock.Tick(p.id)
 	// The release clock rides to the home in a pooled buffer; the home's
-	// unlock handler releases it after folding it into the lock slot.
+	// unlock handler adopts that buffer as the lock's release-clock slot
+	// (recycling the previous slot buffer) and the next user-level grant
+	// hands it onward — it re-enters the pool only after the acquirer
+	// absorbs it.
 	p.c.sys.NIC(p.id).UnlockArea(a, p.id, p.clock.CopyInto(p.c.sys.GrabClock()))
 	return nil
 }

@@ -289,7 +289,7 @@ func Fig4() Figure {
 		r0 := core.Access{Proc: 0, Seq: 1, Kind: core.Read, Clock: vclock.VC{1, 0, 0}}
 		r2 := core.Access{Proc: 2, Seq: 1, Kind: core.Read, Clock: vclock.VC{0, 0, 1}}
 		for _, a := range []core.Access{r0, r2} {
-			if rep, _ := st.OnAccess(a, 1, nil); rep != nil {
+			if rep, _ := st.OnAccess(a, 1, vclock.Masked{}); rep != nil {
 				col.Signal(*rep)
 			}
 		}

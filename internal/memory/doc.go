@@ -5,4 +5,10 @@
 // registry plays the role the paper assigns to the compiler — deciding, for
 // each shared variable, which processor's public memory holds it and
 // resolving (processor_name, local_address) pairs (§III-A).
+//
+// The registry is built for large clusters: the name directory is sharded
+// by hash, address-to-area resolution binary-searches a per-node interval
+// index, and node segments are lazily backed — logical sizes are enforced
+// on every access, but storage materialises only where writes land, so a
+// 512-node cluster no longer pays half a gigabyte of zeroing per run.
 package memory

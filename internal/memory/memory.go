@@ -3,6 +3,7 @@ package memory
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 )
 
@@ -46,46 +47,81 @@ var (
 	ErrMisplacement = errors.New("memory: placement node out of range")
 )
 
+// segment is one lazily-backed run of words: size is the logical extent
+// (what bounds checks enforce), data the materialised prefix. Unwritten
+// words read as zero without ever being allocated — at 512 nodes the old
+// eagerly-zeroed 64Ki-word segments cost half a gigabyte of allocation per
+// run before the first operation executed.
+type segment struct {
+	size int
+	data []Word
+}
+
+// read copies words [off, off+len(dst)) into dst, zero-filling past the
+// materialised prefix. Bounds are the caller's business.
+func (s *segment) read(off int, dst []Word) {
+	n := copy(dst, s.data[min(off, len(s.data)):])
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// write copies src into the segment at off, materialising backing words up
+// to off+len(src) (amortised doubling; make zero-fills the gap).
+func (s *segment) write(off int, src []Word) {
+	if need := off + len(src); need > len(s.data) {
+		if need <= cap(s.data) {
+			s.data = s.data[:need]
+		} else {
+			grown := make([]Word, need, max(need*2, 64))
+			copy(grown, s.data)
+			s.data = grown
+		}
+	}
+	copy(s.data[off:], src)
+}
+
 // Node is one processor's memory: a private segment and a public segment.
 type Node struct {
 	ID      int
-	private []Word
-	public  []Word
+	private segment
+	public  segment
 }
 
-// NewNode allocates a node with the given segment sizes (in words).
+// NewNode allocates a node with the given segment sizes (in words). The
+// segments are logical: backing storage materialises on first write.
 func NewNode(id, privateWords, publicWords int) *Node {
 	return &Node{
 		ID:      id,
-		private: make([]Word, privateWords),
-		public:  make([]Word, publicWords),
+		private: segment{size: privateWords},
+		public:  segment{size: publicWords},
 	}
 }
 
 // PublicSize returns the public segment size in words.
-func (n *Node) PublicSize() int { return len(n.public) }
+func (n *Node) PublicSize() int { return n.public.size }
 
 // PrivateSize returns the private segment size in words.
-func (n *Node) PrivateSize() int { return len(n.private) }
+func (n *Node) PrivateSize() int { return n.private.size }
 
 // ReadPublic copies words [off, off+len(dst)) of the public segment into dst.
 // Any node may call it (through the NIC); that is the point of public memory.
 func (n *Node) ReadPublic(off int, dst []Word) error {
-	if off < 0 || off+len(dst) > len(n.public) {
+	if off < 0 || off+len(dst) > n.public.size {
 		return fmt.Errorf("%w: public read [%d,%d) of %d words on node %d",
-			ErrOutOfRange, off, off+len(dst), len(n.public), n.ID)
+			ErrOutOfRange, off, off+len(dst), n.public.size, n.ID)
 	}
-	copy(dst, n.public[off:])
+	n.public.read(off, dst)
 	return nil
 }
 
 // WritePublic copies src into the public segment at off.
 func (n *Node) WritePublic(off int, src []Word) error {
-	if off < 0 || off+len(src) > len(n.public) {
+	if off < 0 || off+len(src) > n.public.size {
 		return fmt.Errorf("%w: public write [%d,%d) of %d words on node %d",
-			ErrOutOfRange, off, off+len(src), len(n.public), n.ID)
+			ErrOutOfRange, off, off+len(src), n.public.size, n.ID)
 	}
-	copy(n.public[off:], src)
+	n.public.write(off, src)
 	return nil
 }
 
@@ -96,11 +132,11 @@ func (n *Node) ReadPrivate(caller, off int, dst []Word) error {
 	if caller != n.ID {
 		return fmt.Errorf("%w: node %d reading node %d", ErrPrivate, caller, n.ID)
 	}
-	if off < 0 || off+len(dst) > len(n.private) {
+	if off < 0 || off+len(dst) > n.private.size {
 		return fmt.Errorf("%w: private read [%d,%d) of %d words",
-			ErrOutOfRange, off, off+len(dst), len(n.private))
+			ErrOutOfRange, off, off+len(dst), n.private.size)
 	}
-	copy(dst, n.private[off:])
+	n.private.read(off, dst)
 	return nil
 }
 
@@ -109,19 +145,21 @@ func (n *Node) WritePrivate(caller, off int, src []Word) error {
 	if caller != n.ID {
 		return fmt.Errorf("%w: node %d writing node %d", ErrPrivate, caller, n.ID)
 	}
-	if off < 0 || off+len(src) > len(n.private) {
+	if off < 0 || off+len(src) > n.private.size {
 		return fmt.Errorf("%w: private write [%d,%d) of %d words",
-			ErrOutOfRange, off, off+len(src), len(n.private))
+			ErrOutOfRange, off, off+len(src), n.private.size)
 	}
-	copy(n.private[off:], src)
+	n.private.write(off, src)
 	return nil
 }
 
-// SnapshotPublic returns a copy of the node's public segment, used for
-// final-state comparison in the divergence experiments.
+// SnapshotPublic returns a copy of the node's *materialised* public prefix
+// (unwritten words past it are zero by definition), used for final-state
+// comparison in the divergence experiments. Space.Snapshot pads it to the
+// node's allocated extent so lengths are schedule-independent.
 func (n *Node) SnapshotPublic() []Word {
-	s := make([]Word, len(n.public))
-	copy(s, n.public)
+	s := make([]Word, len(n.public.data))
+	copy(s, n.public.data)
 	return s
 }
 
@@ -160,15 +198,27 @@ func (p PlaceBlocked) Place(idx, n int) int {
 	return h
 }
 
+// nameShardCount is the shard fan-out of the name directory. A power of two
+// so the shard pick is a mask of the hash.
+const nameShardCount = 16
+
 // Space is the global address space directory: every node's memory plus the
 // area registry. It is built before the run starts (compile time) and is
 // immutable during execution, matching "data locality is resolved at
 // compile-time" (§II).
+//
+// The registry is sharded and indexed for large clusters: name lookups hash
+// into one of nameShardCount small maps (read-only once sealed, so parallel
+// trial drivers can resolve names without contending on one big table), and
+// address-to-area resolution binary-searches a per-node interval index
+// instead of scanning every registered area.
 type Space struct {
 	nodes   []*Node
 	areas   []Area
-	byName  map[string]AreaID
-	nextOff []int // allocation cursor per node
+	byName  [nameShardCount]map[string]AreaID
+	seed    maphash.Seed
+	byNode  [][]AreaID // per node, area ids in ascending Off order
+	nextOff []int      // allocation cursor per node
 	sealed  bool
 }
 
@@ -176,13 +226,22 @@ type Space struct {
 // public/private sizes in words.
 func NewSpace(n, privateWords, publicWords int) *Space {
 	s := &Space{
-		byName:  make(map[string]AreaID),
+		seed:    maphash.MakeSeed(),
+		byNode:  make([][]AreaID, n),
 		nextOff: make([]int, n),
+	}
+	for i := range s.byName {
+		s.byName[i] = make(map[string]AreaID)
 	}
 	for i := 0; i < n; i++ {
 		s.nodes = append(s.nodes, NewNode(i, privateWords, publicWords))
 	}
 	return s
+}
+
+// shard picks the name directory shard for a variable name.
+func (s *Space) shard(name string) map[string]AreaID {
+	return s.byName[maphash.String(s.seed, name)&(nameShardCount-1)]
 }
 
 // N returns the number of nodes.
@@ -208,7 +267,8 @@ func (s *Space) Alloc(name string, home, words int) (Area, error) {
 	if home < 0 || home >= len(s.nodes) {
 		return Area{}, fmt.Errorf("%w: node %d of %d", ErrMisplacement, home, len(s.nodes))
 	}
-	if _, dup := s.byName[name]; dup {
+	sh := s.shard(name)
+	if _, dup := sh[name]; dup {
 		return Area{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	off := s.nextOff[home]
@@ -219,7 +279,8 @@ func (s *Space) Alloc(name string, home, words int) (Area, error) {
 	id := AreaID(len(s.areas))
 	a := Area{ID: id, Name: name, Home: home, Off: off, Len: words}
 	s.areas = append(s.areas, a)
-	s.byName[name] = id
+	sh[name] = id
+	s.byNode[home] = append(s.byNode[home], id) // cursor allocation: Off ascending
 	s.nextOff[home] += words
 	return a, nil
 }
@@ -235,7 +296,7 @@ func (s *Space) AllocAuto(name string, words int, p Placement) (Area, error) {
 // Lookup resolves a variable name to its area — the compiler's address
 // resolution step.
 func (s *Space) Lookup(name string) (Area, error) {
-	id, ok := s.byName[name]
+	id, ok := s.shard(name)[name]
 	if !ok {
 		return Area{}, fmt.Errorf("%w: %q", ErrUnknownArea, name)
 	}
@@ -258,12 +319,25 @@ func (s *Space) Areas() []Area {
 	return out
 }
 
-// AreaAt maps a global address on a node to the area containing it.
+// AreaCount returns the number of registered areas.
+func (s *Space) AreaCount() int { return len(s.areas) }
+
+// AreaAt maps a global address on a node to the area containing it, binary
+// searching the node's interval index (areas on a node are registered at
+// ascending offsets by the allocation cursor).
 func (s *Space) AreaAt(node, off int) (Area, bool) {
-	for _, a := range s.areas {
-		if a.Home == node && off >= a.Off && off < a.Off+a.Len {
-			return a, true
-		}
+	if node < 0 || node >= len(s.byNode) {
+		return Area{}, false
+	}
+	ids := s.byNode[node]
+	// First area starting after off; the candidate is its predecessor.
+	i := sort.Search(len(ids), func(i int) bool { return s.areas[ids[i]].Off > off })
+	if i == 0 {
+		return Area{}, false
+	}
+	a := s.areas[ids[i-1]]
+	if off < a.Off+a.Len {
+		return a, true
 	}
 	return Area{}, false
 }
@@ -274,11 +348,20 @@ func Addr(a Area, idx int) GlobalAddr {
 }
 
 // Snapshot returns each node's public memory, indexed by node id, for
-// whole-system final-state comparison.
+// whole-system final-state comparison. Each snapshot covers exactly the
+// node's allocated extent — schedule-independent, since placement is fixed
+// at compile time — rather than the full logical segment, so snapshotting a
+// 512-node cluster copies the areas, not half a gigabyte of zeros.
 func (s *Space) Snapshot() [][]Word {
 	out := make([][]Word, len(s.nodes))
 	for i, n := range s.nodes {
-		out[i] = n.SnapshotPublic()
+		used := s.nextOff[i]
+		if backed := len(n.public.data); backed > used {
+			used = backed // direct writes past the allocated extent (tests)
+		}
+		seg := make([]Word, used)
+		n.public.read(0, seg)
+		out[i] = seg
 	}
 	return out
 }

@@ -177,8 +177,52 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	if snap[0][0] != 9 {
 		t.Fatal("snapshot aliases live memory")
 	}
-	if len(snap) != 2 || len(snap[1]) != 4 {
+	// Snapshots cover the used extent, not the logical segment: node 1 has
+	// neither allocations nor writes, so its snapshot is empty.
+	if len(snap) != 2 || len(snap[1]) != 0 {
 		t.Fatalf("snapshot shape: %v", snap)
+	}
+}
+
+func TestSnapshotCoversAllocatedExtent(t *testing.T) {
+	s := NewSpace(2, 0, 1<<16)
+	if _, err := s.Alloc("x", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Only word 0 is ever written; the snapshot must still span the whole
+	// allocated area (words 1-2 zero), and nothing beyond it.
+	s.Node(0).WritePublic(0, []Word{5})
+	snap := s.Snapshot()
+	if len(snap[0]) != 3 || snap[0][0] != 5 || snap[0][1] != 0 || snap[0][2] != 0 {
+		t.Fatalf("snapshot = %v, want [5 0 0]", snap[0])
+	}
+}
+
+func TestLazySegmentReadBeyondBacking(t *testing.T) {
+	n := NewNode(0, 0, 1<<16)
+	dst := make([]Word, 4)
+	for i := range dst {
+		dst[i] = 99 // stale caller buffer must be zero-filled
+	}
+	if err := n.ReadPublic(1<<15, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range dst {
+		if w != 0 {
+			t.Fatalf("unwritten word %d reads %d, want 0", i, w)
+		}
+	}
+	// A write far into the segment materialises backing up to that point
+	// and reads spanning the boundary see both halves correctly.
+	if err := n.WritePublic(6, []Word{7}); err != nil {
+		t.Fatal(err)
+	}
+	span := make([]Word, 4)
+	if err := n.ReadPublic(5, span); err != nil {
+		t.Fatal(err)
+	}
+	if span[0] != 0 || span[1] != 7 || span[2] != 0 || span[3] != 0 {
+		t.Fatalf("span = %v, want [0 7 0 0]", span)
 	}
 }
 

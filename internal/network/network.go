@@ -175,14 +175,19 @@ type Network struct {
 	latency  LatencyModel
 	handlers []Handler
 	// lastArrival enforces FIFO per directed link: a message may not arrive
-	// before one sent earlier on the same link.
-	lastArrival map[[2]NodeID]sim.Time
+	// before one sent earlier on the same link. Flat n×n array indexed
+	// src*n+dst — Send is the single hottest transport call and a map
+	// lookup per message dominated it at large n.
+	lastArrival []sim.Time
 	stats       Stats
 	// pool recycles in-flight message wrappers once delivered.
 	pool []*inflight
-	// Down records one-way link cuts for failure injection; messages on a
-	// down link are silently dropped (counted in Dropped).
-	down    map[[2]NodeID]bool
+	// down records one-way link cuts for failure injection (same indexing
+	// as lastArrival); messages on a down link are silently dropped
+	// (counted in Dropped). anyDown short-circuits the per-send check for
+	// the overwhelmingly common fully-connected case.
+	down    []bool
+	anyDown bool
 	Dropped uint64
 }
 
@@ -196,9 +201,14 @@ func New(k *sim.Kernel, n int, lat LatencyModel) *Network {
 		k:           k,
 		latency:     lat,
 		handlers:    make([]Handler, n),
-		lastArrival: make(map[[2]NodeID]sim.Time),
-		down:        make(map[[2]NodeID]bool),
+		lastArrival: make([]sim.Time, n*n),
+		down:        make([]bool, n*n),
 	}
+}
+
+// linkIndex flattens a directed link into the per-link arrays.
+func (n *Network) linkIndex(src, dst NodeID) int {
+	return int(src)*len(n.handlers) + int(dst)
 }
 
 // N returns the number of attached nodes.
@@ -216,10 +226,22 @@ func (n *Network) SetHandler(id NodeID, h Handler) {
 }
 
 // CutLink drops all future messages from a to b (one direction).
-func (n *Network) CutLink(a, b NodeID) { n.down[[2]NodeID{a, b}] = true }
+func (n *Network) CutLink(a, b NodeID) {
+	n.down[n.linkIndex(a, b)] = true
+	n.anyDown = true
+}
 
 // RestoreLink re-enables the a→b link.
-func (n *Network) RestoreLink(a, b NodeID) { delete(n.down, [2]NodeID{a, b}) }
+func (n *Network) RestoreLink(a, b NodeID) {
+	n.down[n.linkIndex(a, b)] = false
+	n.anyDown = false
+	for _, d := range n.down {
+		if d {
+			n.anyDown = true
+			break
+		}
+	}
+}
 
 // Send transmits m; delivery is scheduled on the kernel after the modelled
 // latency, preserving FIFO order per directed link. The message is counted
@@ -234,8 +256,8 @@ func (n *Network) Send(m *Message) {
 		m.Size = HeaderBytes
 	}
 	n.stats.count(m)
-	link := [2]NodeID{m.Src, m.Dst}
-	if n.down[link] {
+	link := n.linkIndex(m.Src, m.Dst)
+	if n.anyDown && n.down[link] {
 		n.Dropped++
 		return
 	}

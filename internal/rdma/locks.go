@@ -14,8 +14,9 @@ type lockState struct {
 	waiters []lockWaiter
 	// relClock is the clock carried by the most recent user-level unlock;
 	// the next user-level grant returns it, creating the release→acquire
-	// happens-before edge.
-	relClock vclock.VC
+	// happens-before edge. Masked, so a lock chain confined to a few
+	// processes keeps its clocks sparse.
+	relClock vclock.Masked
 }
 
 type lockWaiter struct {

@@ -33,8 +33,8 @@ type req struct {
 type resp struct {
 	id    uint64
 	data  []memory.Word
-	v, w  vclock.VC // clock reads
-	clock vclock.VC // merged clock for the initiator to absorb
+	v, w  vclock.VC     // clock reads
+	clock vclock.Masked // merged clock for the initiator to absorb
 	err   string
 }
 
@@ -58,24 +58,63 @@ type invalJoin struct {
 // node are served inside its message handler — the owning process is never
 // involved (OS bypass, §III-B).
 type NIC struct {
-	sys     *System
-	id      network.NodeID
-	pending map[uint64]*pending
+	sys *System
+	id  network.NodeID
+	// pending tracks initiator-side operations awaiting responses. A node
+	// runs one process, so only a handful of operations are ever in flight
+	// at once: a tiny linear-scanned table beats a map on every round trip.
+	pending []pendEntry
 	// invalWait joins in-flight invalidation rounds issued by this (home)
 	// NIC, keyed by each invalidation's request id.
 	invalWait map[uint64]*invalJoin
-	locks     map[memory.AreaID]*lockState
+	// locks is the per-area lock table, indexed by AreaID (dense: the
+	// space is sealed before the run); entries materialise on first use.
+	locks []*lockState
 	// UserHandler receives KindUser and KindBarrier messages for the
 	// runtime layered above (e.g. barrier coordination).
 	UserHandler func(m *network.Message)
+}
+
+// pendEntry is one in-flight request in a NIC's pending table.
+type pendEntry struct {
+	id uint64
+	pd *pending
+}
+
+// addPending registers an in-flight request.
+func (n *NIC) addPending(id uint64, pd *pending) {
+	n.pending = append(n.pending, pendEntry{id: id, pd: pd})
+}
+
+// findPending resolves a response id, or nil.
+func (n *NIC) findPending(id uint64) *pending {
+	for i := range n.pending {
+		if n.pending[i].id == id {
+			return n.pending[i].pd
+		}
+	}
+	return nil
+}
+
+// dropPending removes a completed request from the table.
+func (n *NIC) dropPending(id uint64) {
+	for i := range n.pending {
+		if n.pending[i].id == id {
+			last := len(n.pending) - 1
+			n.pending[i] = n.pending[last]
+			n.pending[last] = pendEntry{}
+			n.pending = n.pending[:last]
+			return
+		}
+	}
 }
 
 // ID returns the node this NIC belongs to.
 func (n *NIC) ID() network.NodeID { return n.id }
 
 func (n *NIC) lockFor(a memory.AreaID) *lockState {
-	l, ok := n.locks[a]
-	if !ok {
+	l := n.locks[a]
+	if l == nil {
 		l = &lockState{}
 		n.locks[a] = l
 	}
@@ -88,8 +127,8 @@ func (n *NIC) handle(m *network.Message) {
 	case network.KindPutAck, network.KindGetReply, network.KindFetchReply,
 		network.KindClockReadResp, network.KindAtomicReply, network.KindLockGrant:
 		r := m.Payload.(*resp)
-		pd, ok := n.pending[r.id]
-		if !ok {
+		pd := n.findPending(r.id)
+		if pd == nil {
 			panic(fmt.Sprintf("rdma: node %d: orphan response %d", n.id, r.id))
 		}
 		pd.resp = r
@@ -154,12 +193,12 @@ func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size
 	rr.id = n.sys.nextReq()
 	rr.origin = n.id
 	pd := n.sys.grabPending(p)
-	n.pending[rr.id] = pd
+	n.addPending(rr.id, pd)
 	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
 	for !pd.done {
 		p.Park(parkReason(kind))
 	}
-	delete(n.pending, rr.id)
+	n.dropPending(rr.id)
 	rs := pd.resp
 	n.sys.releasePending(pd)
 	n.sys.releaseReq(rr)
@@ -184,15 +223,185 @@ func (n *NIC) reply(r *req, kind network.Kind, size int, rs *resp) {
 	n.sys.net.Send(&network.Message{Src: n.id, Dst: r.origin, Kind: kind, Size: size, Payload: rr})
 }
 
-// withAreaLock runs fn under the area's NIC lock (immediately when locking
-// is disabled). fn receives a release function it must call exactly once.
-func (n *NIC) withAreaLock(a memory.Area, owner int, fn func(release func())) {
+// homeOp is a pooled home-side operation continuation: lock grant →
+// occupancy delay → body → (invalidation round) → reply. Its continuation
+// funcs are bound once when the struct is first created, so serving a
+// request allocates no closures — at hundreds of thousands of operations
+// per run the per-op closure chain was a measurable slice of both allocator
+// and GC time.
+type homeOp struct {
+	n      *NIC
+	r      *req
+	kind   network.Kind // request kind (put/get/atomic/fetch)
+	l      *lockState   // nil when locking is disabled
+	err    error
+	absorb vclock.Masked
+	old    memory.Word // atomic: previous stored value
+
+	grantFn  func() // o.grant, bound once
+	runFn    func() // o.run, bound once
+	finishFn func() // o.finish, bound once
+}
+
+// startHomeOp begins serving a data request at its home: acquire the area
+// lock (if enabled), then model the memory occupancy, then run the body.
+func (n *NIC) startHomeOp(m *network.Message, kind network.Kind) {
+	r := m.Payload.(*req)
+	o := n.sys.grabOp()
+	o.n, o.r, o.kind = n, r, kind
 	if !n.sys.cfg.LocksEnabled {
-		fn(func() {})
+		o.l = nil
+		o.grant()
 		return
 	}
-	l := n.lockFor(a.ID)
-	l.acquire(owner, func() { fn(l.release) })
+	o.l = n.lockFor(r.area.ID)
+	o.l.acquire(r.acc.Proc, o.grantFn)
+}
+
+// grant runs once the area lock is held: charge the occupancy window for
+// the words this operation moves, then run the body.
+func (o *homeOp) grant() {
+	var words int
+	switch o.kind {
+	case network.KindPutReq:
+		words = len(o.r.data)
+	case network.KindGetReq:
+		words = o.r.count
+	case network.KindAtomicReq:
+		words = 1
+	default: // fetch moves the whole area (the coherence unit)
+		words = o.r.area.Len
+	}
+	o.n.sys.net.Kernel().Schedule(o.n.sys.occupancy(words), o.runFn)
+}
+
+// release drops the area lock if one is held.
+func (o *homeOp) release() {
+	if o.l != nil {
+		o.l.release()
+	}
+}
+
+// run is the operation body, at the end of the occupancy window.
+func (o *homeOp) run() {
+	n, r := o.n, o.r
+	k := n.sys.net.Kernel()
+	switch o.kind {
+	case network.KindPutReq:
+		o.err = checkAreaRange(r.area, r.off, len(r.data))
+		if o.err == nil {
+			o.err = n.sys.space.Node(int(n.id)).WritePublic(r.area.Off+r.off, r.data)
+		}
+		o.observeAndCheck(r.off, len(r.data), k.Now())
+		o.finishWrite()
+	case network.KindAtomicReq:
+		node := n.sys.space.Node(int(n.id))
+		var old [1]memory.Word
+		o.err = checkAreaRange(r.area, r.off, 1)
+		if o.err == nil {
+			o.err = node.ReadPublic(r.area.Off+r.off, old[:])
+		}
+		if o.err == nil {
+			o.old = old[0]
+			o.err = node.WritePublic(r.area.Off+r.off, []memory.Word{r.op.Apply(old[0], r.arg1, r.arg2)})
+		}
+		o.observeAndCheck(r.off, 1, k.Now())
+		o.finishWrite()
+	case network.KindGetReq:
+		// The reply transfers exactly the requested span.
+		o.serveRead(r.off, r.count, network.KindGetReply, nil)
+	default: // KindFetchReq: write-invalidate read miss, whole-area transfer
+		// The reply transfers the whole area (the coherence unit) and
+		// registers the reader as a sharer.
+		o.serveRead(0, r.area.Len, network.KindFetchReply, func() {
+			n.sys.coh.AddSharer(int(r.origin), r.area)
+			n.sys.countFetch()
+		})
+	}
+}
+
+// serveRead is the shared read-serve tail of the get and fetch bodies: read
+// [readOff, readOff+readLen) of the area, run the observer/detector on the
+// *logical* access span [r.off, r.off+r.count), apply the protocol hook,
+// release the lock and reply with replyKind. Errors reply with nil data but
+// a size computed before the data is dropped, matching the wire model (the
+// request was for that many words).
+func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServed func()) {
+	n, r := o.n, o.r
+	var data []memory.Word
+	o.err = checkAreaRange(r.area, r.off, r.count)
+	if o.err == nil {
+		data = make([]memory.Word, readLen)
+		o.err = n.sys.space.Node(int(n.id)).ReadPublic(r.area.Off+readOff, data)
+	}
+	o.observeAndCheck(r.off, r.count, n.sys.net.Kernel().Now())
+	if o.err == nil && onServed != nil {
+		onServed()
+	}
+	o.release()
+	size := network.HeaderBytes + len(data)*memory.WordBytes +
+		n.sys.replyClockBytes(chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
+	if o.err != nil {
+		data = nil
+	}
+	n.reply(r, replyKind, size, &resp{data: data, clock: o.absorb, err: errString(o.err)})
+	n.sys.releaseOp(o)
+}
+
+// observeAndCheck notifies the trace observer and runs the detector for the
+// access span, filling o.absorb.
+func (o *homeOp) observeAndCheck(off, count int, at sim.Time) {
+	if o.err != nil {
+		return
+	}
+	n, r := o.n, o.r
+	if n.sys.cfg.Observer != nil {
+		n.sys.cfg.Observer.Access(r.acc, r.area, off, count, at)
+	}
+	if n.sys.DetectionOn() && r.hasAcc {
+		acc := r.acc
+		acc.Time = at
+		o.absorb = n.sys.checkAccess(acc, r.area, off, count, at)
+	}
+}
+
+// finishWrite completes a home-side write or atomic: under write-invalidate
+// it first orders every other copy of the area dropped and waits for the
+// acknowledgements — the area lock stays held, so no fetch can revalidate a
+// copy mid-round — then releases the lock and sends the completion. With no
+// copies outstanding (always, under write-update) it completes immediately.
+func (o *homeOp) finishWrite() {
+	n, r := o.n, o.r
+	if o.err == nil {
+		if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
+			join := &invalJoin{left: len(inv), finish: o.finishFn}
+			for _, node := range inv {
+				rr := n.sys.grabReq()
+				rr.id = n.sys.nextReq()
+				rr.origin = n.id
+				rr.area = r.area
+				n.invalWait[rr.id] = join
+				n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(node),
+					Kind: network.KindInval, Size: network.HeaderBytes, Payload: rr})
+			}
+			return
+		}
+	}
+	o.finish()
+}
+
+// finish releases the lock and sends the write's completion reply.
+func (o *homeOp) finish() {
+	n, r := o.n, o.r
+	o.release()
+	size := network.HeaderBytes + n.sys.replyClockBytes(chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
+	if o.kind == network.KindAtomicReq {
+		size += memory.WordBytes
+		n.reply(r, network.KindAtomicReply, size, &resp{data: []memory.Word{o.old}, clock: o.absorb, err: errString(o.err)})
+	} else {
+		n.reply(r, network.KindPutAck, size, &resp{clock: o.absorb, err: errString(o.err)})
+	}
+	n.sys.releaseOp(o)
 }
 
 // ---- Home-side handlers (the one-sided target path) ----
@@ -207,58 +416,7 @@ func checkAreaRange(a memory.Area, off, count int) error {
 }
 
 func (n *NIC) handlePut(m *network.Message) {
-	r := m.Payload.(*req)
-	k := n.sys.net.Kernel()
-	n.withAreaLock(r.area, r.acc.Proc, func(release func()) {
-		k.Schedule(n.sys.occupancy(len(r.data)), func() {
-			err := checkAreaRange(r.area, r.off, len(r.data))
-			if err == nil {
-				err = n.sys.space.Node(int(n.id)).WritePublic(r.area.Off+r.off, r.data)
-			}
-			if err == nil && n.sys.cfg.Observer != nil {
-				n.sys.cfg.Observer.Access(r.acc, r.area, r.off, len(r.data), k.Now())
-			}
-			var absorb vclock.VC
-			if err == nil && n.sys.DetectionOn() && r.hasAcc {
-				acc := r.acc
-				acc.Time = k.Now()
-				absorb = n.sys.checkAccess(acc, r.area, r.off, len(r.data), k.Now())
-			}
-			n.finishWrite(r, err, release, func() {
-				size := network.HeaderBytes + n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
-				n.reply(r, network.KindPutAck, size, &resp{clock: absorb, err: errString(err)})
-			})
-		})
-	})
-}
-
-// finishWrite completes a home-side write or atomic: under write-invalidate
-// it first orders every other copy of the area dropped and waits for the
-// acknowledgements — the area lock stays held, so no fetch can revalidate a
-// copy mid-round — then releases the lock and sends the completion. With no
-// copies outstanding (always, under write-update) it completes immediately,
-// leaving the original path untouched.
-func (n *NIC) finishWrite(r *req, err error, release, send func()) {
-	if err == nil {
-		if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
-			join := &invalJoin{left: len(inv), finish: func() {
-				release()
-				send()
-			}}
-			for _, node := range inv {
-				rr := n.sys.grabReq()
-				rr.id = n.sys.nextReq()
-				rr.origin = n.id
-				rr.area = r.area
-				n.invalWait[rr.id] = join
-				n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(node),
-					Kind: network.KindInval, Size: network.HeaderBytes, Payload: rr})
-			}
-			return
-		}
-	}
-	release()
-	send()
+	n.startHomeOp(m, network.KindPutReq)
 }
 
 // handleFetch serves a write-invalidate read miss: the whole area (the
@@ -268,38 +426,7 @@ func (n *NIC) finishWrite(r *req, err error, release, send func()) {
 // transfer span — the fetch is transport, the access is what the program
 // did.
 func (n *NIC) handleFetch(m *network.Message) {
-	r := m.Payload.(*req)
-	k := n.sys.net.Kernel()
-	n.withAreaLock(r.area, r.acc.Proc, func(release func()) {
-		k.Schedule(n.sys.occupancy(r.area.Len), func() {
-			var data []memory.Word
-			err := checkAreaRange(r.area, r.off, r.count)
-			if err == nil {
-				data = make([]memory.Word, r.area.Len)
-				err = n.sys.space.Node(int(n.id)).ReadPublic(r.area.Off, data)
-			}
-			if err == nil && n.sys.cfg.Observer != nil {
-				n.sys.cfg.Observer.Access(r.acc, r.area, r.off, r.count, k.Now())
-			}
-			var absorb vclock.VC
-			if err == nil && n.sys.DetectionOn() && r.hasAcc {
-				acc := r.acc
-				acc.Time = k.Now()
-				absorb = n.sys.checkAccess(acc, r.area, r.off, r.count, k.Now())
-			}
-			if err == nil {
-				n.sys.coh.AddSharer(int(r.origin), r.area)
-				n.sys.countFetch()
-			}
-			release()
-			size := network.HeaderBytes + len(data)*memory.WordBytes +
-				n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
-			if err != nil {
-				data = nil
-			}
-			n.reply(r, network.KindFetchReply, size, &resp{data: data, clock: absorb, err: errString(err)})
-		})
-	})
+	n.startHomeOp(m, network.KindFetchReq)
 }
 
 // handleInval drops this node's copy of the area and acknowledges. It never
@@ -328,34 +455,7 @@ func (n *NIC) handleInvalAck(m *network.Message) {
 }
 
 func (n *NIC) handleGet(m *network.Message) {
-	r := m.Payload.(*req)
-	k := n.sys.net.Kernel()
-	n.withAreaLock(r.area, r.acc.Proc, func(release func()) {
-		k.Schedule(n.sys.occupancy(r.count), func() {
-			var data []memory.Word
-			err := checkAreaRange(r.area, r.off, r.count)
-			if err == nil {
-				data = make([]memory.Word, r.count)
-				err = n.sys.space.Node(int(n.id)).ReadPublic(r.area.Off+r.off, data)
-			}
-			if err == nil && n.sys.cfg.Observer != nil {
-				n.sys.cfg.Observer.Access(r.acc, r.area, r.off, r.count, k.Now())
-			}
-			var absorb vclock.VC
-			if err == nil && n.sys.DetectionOn() && r.hasAcc {
-				acc := r.acc
-				acc.Time = k.Now()
-				absorb = n.sys.checkAccess(acc, r.area, r.off, r.count, k.Now())
-			}
-			release()
-			size := network.HeaderBytes + len(data)*memory.WordBytes +
-				n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
-			if err != nil {
-				data = nil
-			}
-			n.reply(r, network.KindGetReply, size, &resp{data: data, clock: absorb, err: errString(err)})
-		})
-	})
+	n.startHomeOp(m, network.KindGetReq)
 }
 
 func (n *NIC) handleLock(m *network.Message) {
@@ -367,9 +467,18 @@ func (n *NIC) handleLock(m *network.Message) {
 		// copied into a pooled buffer the acquirer releases after absorbing.
 		var rs resp
 		size := network.HeaderBytes
-		if r.user && l.relClock != nil {
-			rs.clock = l.relClock.CopyInto(n.sys.grabClock())
-			size += rs.clock.WireSize()
+		if r.user && !l.relClock.IsNil() {
+			// Hand the release clock's buffer to the grant outright: each
+			// user-level release is consumed by exactly the next user-level
+			// grant (the lock is held in between), so the slot would be
+			// overwritten before it is read again — and the acquirer
+			// returns the buffer to the pool after absorbing, completing
+			// the unlock → slot → grant → pool lifecycle without a copy.
+			// (A re-entrant re-acquire no longer re-ships the clock it
+			// already absorbed — a no-op merge either way.)
+			rs.clock = l.relClock
+			l.relClock = vclock.Masked{}
+			size += rs.clock.V.WireSize()
 		}
 		if r.user && n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockAcq(r.acc.Proc, r.area, n.sys.net.Kernel().Now())
@@ -383,8 +492,12 @@ func (n *NIC) handleUnlock(m *network.Message) {
 	l := n.lockFor(r.area.ID)
 	if r.user {
 		if r.acc.Clock != nil {
-			l.relClock = r.acc.Clock.CopyInto(l.relClock)
-			n.sys.ReleaseClock(r.acc.Clock) // pooled by UnlockArea's sender
+			// The release clock arrived in a pooled buffer owned by this
+			// message; adopt it as the lock's release-clock slot outright
+			// and recycle the previous slot — a swap instead of a copy.
+			old := l.relClock
+			l.relClock = vclock.Masked{V: r.acc.Clock, M: r.acc.ClockNZ}
+			n.sys.ReleaseClock(old)
 		}
 		if n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockRel(r.acc.Proc, r.area, n.sys.net.Kernel().Now())
@@ -425,35 +538,7 @@ func (n *NIC) handleClockWrite(m *network.Message) {
 }
 
 func (n *NIC) handleAtomic(m *network.Message) {
-	r := m.Payload.(*req)
-	k := n.sys.net.Kernel()
-	n.withAreaLock(r.area, r.acc.Proc, func(release func()) {
-		k.Schedule(n.sys.occupancy(1), func() {
-			node := n.sys.space.Node(int(n.id))
-			old := make([]memory.Word, 1)
-			err := checkAreaRange(r.area, r.off, 1)
-			if err == nil {
-				err = node.ReadPublic(r.area.Off+r.off, old)
-			}
-			if err == nil {
-				err = node.WritePublic(r.area.Off+r.off, []memory.Word{r.op.Apply(old[0], r.arg1, r.arg2)})
-			}
-			if err == nil && n.sys.cfg.Observer != nil {
-				n.sys.cfg.Observer.Access(r.acc, r.area, r.off, 1, k.Now())
-			}
-			var absorb vclock.VC
-			if err == nil && n.sys.DetectionOn() && r.hasAcc {
-				acc := r.acc
-				acc.Time = k.Now()
-				absorb = n.sys.checkAccess(acc, r.area, r.off, 1, k.Now())
-			}
-			n.finishWrite(r, err, release, func() {
-				size := network.HeaderBytes + memory.WordBytes +
-					n.sys.clockBytesFor(chanKey{ack: true, node: r.origin, area: r.area.ID}, absorb)
-				n.reply(r, network.KindAtomicReply, size, &resp{data: old, clock: absorb, err: errString(err)})
-			})
-		})
-	})
+	n.startHomeOp(m, network.KindAtomicReq)
 }
 
 // SendUser transmits an application-level message (used by the runtime for

@@ -12,7 +12,7 @@ import (
 // Fig. 2 left... right arrow). acc carries the initiator's identity and
 // ticked clock. It returns the clock the initiator should absorb (nil when
 // none) and blocks p until completion.
-func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.VC, error) {
+func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.Masked, error) {
 	acc.Area = area.ID
 	if n.sys.cfg.Protocol == ProtocolLiteral && n.sys.DetectionOn() {
 		return n.putLiteral(p, area, off, data, acc)
@@ -28,7 +28,7 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 	n.sys.releaseResp(rs)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
-		return nil, err
+		return vclock.Masked{}, err
 	}
 	// Under write-invalidate the writer's own copy (every other copy is
 	// gone by now) absorbs the write, stamped with the merged clock the
@@ -38,7 +38,7 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 		return clock, nil
 	}
 	n.sys.ReleaseClock(clock)
-	return nil, nil
+	return vclock.Masked{}, nil
 }
 
 // Get reads count words from area at word offset off (one-sided remote
@@ -46,7 +46,7 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 // clock when AbsorbOnGetReply is set). Under write-invalidate coherence the
 // read is served from a valid local copy when one exists and otherwise
 // fetches (and caches) the whole area.
-func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
+func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
 	acc.Area = area.ID
 	if n.sys.cfg.Coherence.CachesRemoteReads() {
 		return n.getInvalidate(p, area, off, count, acc)
@@ -65,29 +65,29 @@ func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access
 	n.sys.releaseResp(rs)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
-		return nil, nil, err
+		return nil, vclock.Masked{}, err
 	}
 	if n.sys.cfg.AbsorbOnGetReply {
 		return data, clock, nil
 	}
 	n.sys.ReleaseClock(clock)
-	return data, nil, nil
+	return data, vclock.Masked{}, nil
 }
 
 // FetchAdd atomically adds delta to the word at (area, off) and returns the
 // previous value. The operation counts as a write for detection.
-func (n *NIC) FetchAdd(p *sim.Proc, area memory.Area, off int, delta memory.Word, acc core.Access) (memory.Word, vclock.VC, error) {
+func (n *NIC) FetchAdd(p *sim.Proc, area memory.Area, off int, delta memory.Word, acc core.Access) (memory.Word, vclock.Masked, error) {
 	return n.atomic(p, area, off, AtomicFetchAdd, delta, 0, acc)
 }
 
 // CompareAndSwap atomically replaces the word at (area, off) with repl when
 // it equals expect; it returns the previous value (swap happened iff
 // old == expect).
-func (n *NIC) CompareAndSwap(p *sim.Proc, area memory.Area, off int, expect, repl memory.Word, acc core.Access) (memory.Word, vclock.VC, error) {
+func (n *NIC) CompareAndSwap(p *sim.Proc, area memory.Area, off int, expect, repl memory.Word, acc core.Access) (memory.Word, vclock.Masked, error) {
 	return n.atomic(p, area, off, AtomicCAS, expect, repl, acc)
 }
 
-func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2 memory.Word, acc core.Access) (memory.Word, vclock.VC, error) {
+func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2 memory.Word, acc core.Access) (memory.Word, vclock.Masked, error) {
 	acc.Area = area.ID
 	size := network.HeaderBytes + 2*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
@@ -104,7 +104,7 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 	n.sys.releaseResp(rs)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
-		return 0, nil, err
+		return 0, vclock.Masked{}, err
 	}
 	if n.sys.cfg.Coherence.CachesRemoteReads() {
 		// Fold the atomic's outcome into the initiator's own copy (a failed
@@ -112,7 +112,7 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 		// because the home counted the atomic as a write either way).
 		n.sys.coh.PatchCopy(int(n.id), area, off, []memory.Word{op.Apply(old, a1, a2)}, clock)
 	}
-	var absorb vclock.VC
+	var absorb vclock.Masked
 	if n.sys.cfg.AbsorbOnPutAck {
 		absorb = clock
 	} else {
@@ -126,17 +126,17 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 // local memory — which also means the online detector at the home never
 // sees a cache hit, the coverage trade-off E-T12 measures); a miss fetches
 // and caches the whole area with the write clock piggybacked on the reply.
-func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
+func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
 	self := int(n.id)
 	if area.Home == self && n.sys.cfg.Coherence.ServesHomeReadsLocally() {
 		// The home copy is by definition valid, and the detection state is
 		// resident: the access is checked without any message.
 		if err := checkAreaRange(area, off, count); err != nil {
-			return nil, nil, err
+			return nil, vclock.Masked{}, err
 		}
 		data := make([]memory.Word, count)
 		if err := n.sys.space.Node(self).ReadPublic(area.Off+off, data); err != nil {
-			return nil, nil, err
+			return nil, vclock.Masked{}, err
 		}
 		p.Sleep(n.sys.occupancy(count))
 		now := p.Now()
@@ -144,7 +144,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 			n.sys.cfg.Observer.Access(acc, area, off, count, now)
 		}
 		n.sys.countHomeRead()
-		var absorb vclock.VC
+		var absorb vclock.Masked
 		if n.sys.DetectionOn() {
 			acc.Time = now
 			absorb = n.sys.checkAccess(acc, area, off, count, now)
@@ -153,7 +153,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 			return data, absorb, nil
 		}
 		n.sys.ReleaseClock(absorb)
-		return data, nil, nil
+		return data, vclock.Masked{}, nil
 	}
 	if data, w, ok := n.sys.coh.CachedRead(self, area, off, count); ok {
 		p.Sleep(n.sys.occupancy(count))
@@ -161,8 +161,8 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		if n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.Access(acc, area, off, count, now)
 		}
-		var absorb vclock.VC
-		if w != nil && n.sys.cfg.AbsorbOnGetReply {
+		var absorb vclock.Masked
+		if !w.IsNil() && n.sys.cfg.AbsorbOnGetReply {
 			// The copy's write clock is exactly the area's current write
 			// clock — a valid copy means no write has committed since the
 			// fetch — so the hit gets the same reads-from edge a remote
@@ -183,7 +183,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 	n.sys.releaseResp(rs)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
-		return nil, nil, err
+		return nil, vclock.Masked{}, err
 	}
 	n.sys.coh.InstallCopy(self, area, data, clock)
 	out := make([]memory.Word, count)
@@ -192,7 +192,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		return out, clock, nil
 	}
 	n.sys.ReleaseClock(clock)
-	return out, nil, nil
+	return out, vclock.Masked{}, nil
 }
 
 // LockArea acquires the NIC lock of the area for proc (a user-level lock;
@@ -200,7 +200,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 // remote operations on the area). The returned clock, when non-nil, is the
 // previous releaser's clock: absorbing it gives the acquirer the
 // release→acquire happens-before edge.
-func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.VC {
+func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.Masked {
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}, user: true})
 	clock := rs.clock
@@ -211,13 +211,13 @@ func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.VC {
 // UnlockArea releases the area lock, carrying the releaser's clock rel for
 // the next acquirer (one-way; FIFO links guarantee it cannot overtake the
 // holder's earlier traffic to the home).
-func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.VC) {
+func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.Masked) {
 	size := network.HeaderBytes
-	if rel != nil {
-		size += rel.WireSize()
+	if !rel.IsNil() {
+		size += rel.V.WireSize()
 	}
 	n.send(network.NodeID(area.Home), network.KindUnlock, size,
-		&req{area: area, acc: core.Access{Proc: proc, Clock: rel}, user: true})
+		&req{area: area, acc: core.Access{Proc: proc, Clock: rel.V, ClockNZ: rel.M}, user: true})
 }
 
 // lockInternal acquires the area lock for the literal protocol's own use:
@@ -277,7 +277,7 @@ func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
 //	put(P0,src,P1,dst)      — the data message
 //	update_clock_W / update_clock (Algorithm 5: fetch, max, write back)
 //	unlock(P1,dst); unlock(P0,src)
-func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.VC, error) {
+func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.Masked, error) {
 	lockOn := n.sys.cfg.LocksEnabled
 	if lockOn {
 		n.lockInternal(p, area, acc.Proc)
@@ -309,13 +309,13 @@ func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.W
 	if lockOn {
 		n.unlockInternal(area, acc.Proc)
 	}
-	return nil, err
+	return vclock.Masked{}, err
 }
 
 // getLiteral is Algorithm 2 verbatim: lock, fetch clocks, compare the
 // initiator clock against the *write* clock, transfer the data, run
 // update_clock on the source area, unlock.
-func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.VC, error) {
+func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
 	lockOn := n.sys.cfg.LocksEnabled
 	if lockOn {
 		n.lockInternal(p, area, acc.Proc)
@@ -333,19 +333,21 @@ func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: false})
 	gotData, err := rs.data, asError(rs.err)
 	n.sys.releaseResp(rs)
-	var absorb vclock.VC
+	var absorb vclock.Masked
 	if err == nil {
 		n.readClocks(p, area)
 		n.writeClockApply(area, acc)
 		if n.sys.cfg.AbsorbOnGetReply {
-			absorb = w // the write clock the read observed (reads-from edge)
+			// The write clock the read observed (reads-from edge); a raw
+			// clock read carries no mask, so the absorb is dense.
+			absorb = vclock.Dense(w)
 		}
 	}
 	if lockOn {
 		n.unlockInternal(area, acc.Proc)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, vclock.Masked{}, err
 	}
 	return gotData, absorb, nil
 }

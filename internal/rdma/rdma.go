@@ -151,27 +151,61 @@ type System struct {
 	nics  []*NIC
 	// coh is the coherence protocol's replica bookkeeping (directory +
 	// caches); a write-update run carries the no-op state.
-	coh    coherence.State
-	states map[int]core.AreaState
-	reqSeq uint64
+	coh coherence.State
+	// areaStates is the detection-state table at area granularity, indexed
+	// directly by AreaID — the registry is sealed before the run, so the id
+	// space is dense and a slice beats a map at large area counts. The other
+	// granularities (node, word) fall back to the keyed map.
+	areaStates []core.AreaState
+	states     map[int]core.AreaState
+	// elideAbsorb enables covered-absorb elision on newly created states.
+	elideAbsorb bool
+	reqSeq      uint64
 	// lastClock remembers, per logical channel, the last clock whose bytes
 	// were accounted — the receiver's decoder state for CompressClocks.
 	lastClock map[chanKey]vclock.VC
-	// clockPool recycles the clock buffers piggybacked on replies (the
-	// "absorb" clocks). The simulation is single-threaded, so a free list
-	// suffices: a buffer is grabbed when a reply is built and released once
-	// the initiator has merged it.
-	clockPool []vclock.VC
+	// clockPool recycles the masked clock buffers piggybacked on replies
+	// (the "absorb" clocks). The simulation is single-threaded, so a free
+	// list suffices: a buffer is grabbed when a reply is built and released
+	// once the initiator has merged it. Values and occupancy masks travel
+	// together, so sparse clocks stay sparse across the reply hop.
+	clockPool []vclock.Masked
 	// wordScratch is the per-word OnAccess absorb buffer reused across the
 	// word-granularity fan-out loop.
-	wordScratch vclock.VC
-	// reqPool, respPool and pendPool recycle the per-operation request,
-	// response and wait-state structs (single-threaded simulation: free
-	// lists, no locking). See NIC.roundTrip and NIC.reply for the ownership
+	wordScratch vclock.Masked
+	// reqPool, respPool, pendPool and opPool recycle the per-operation
+	// request, response, wait-state and home-side continuation structs
+	// (single-threaded simulation: free lists, no locking). See
+	// NIC.roundTrip, NIC.reply and NIC.startHomeOp for the ownership
 	// hand-offs.
 	reqPool  []*req
 	respPool []*resp
 	pendPool []*pending
+	opPool   []*homeOp
+}
+
+// grabOp takes a home-side operation struct from the pool, binding its
+// continuation funcs once on first creation.
+func (s *System) grabOp() *homeOp {
+	if n := len(s.opPool); n > 0 {
+		o := s.opPool[n-1]
+		s.opPool = s.opPool[:n-1]
+		return o
+	}
+	o := &homeOp{}
+	o.grantFn = o.grant
+	o.runFn = o.run
+	o.finishFn = o.finish
+	return o
+}
+
+// releaseOp recycles a completed home-side operation.
+func (s *System) releaseOp(o *homeOp) {
+	o.n, o.r, o.l = nil, nil, nil
+	o.err = nil
+	o.absorb = vclock.Masked{}
+	o.old = 0
+	s.opPool = append(s.opPool, o)
 }
 
 func (s *System) grabReq() *req {
@@ -234,9 +268,18 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 	}
 	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[chanKey]vclock.VC)}
 	s.coh = cfg.Coherence.NewState(space.N())
+	// Covered-absorb elision (see core.AbsorbElider) is sound when the
+	// reply clock's wire bytes are value-independent (fixed format, so not
+	// under CompressClocks), no replica machinery consumes the reply clock
+	// (write-update only), and states are not fanned out per word.
+	s.elideAbsorb = cfg.Protocol == ProtocolPiggyback && !cfg.CompressClocks &&
+		cfg.Granularity != GranularityWord && !cfg.Coherence.CachesRemoteReads()
 	space.Seal()
+	if cfg.Granularity == GranularityArea {
+		s.areaStates = make([]core.AreaState, space.AreaCount())
+	}
 	for i := 0; i < space.N(); i++ {
-		nic := &NIC{sys: s, id: network.NodeID(i), pending: make(map[uint64]*pending), invalWait: make(map[uint64]*invalJoin), locks: make(map[memory.AreaID]*lockState)}
+		nic := &NIC{sys: s, id: network.NodeID(i), invalWait: make(map[uint64]*invalJoin), locks: make([]*lockState, space.AreaCount())}
 		s.nics = append(s.nics, nic)
 		net.SetHandler(nic.id, nic.handle)
 	}
@@ -264,22 +307,23 @@ func (s *System) countFetch() {
 	}
 }
 
-// grabClock takes a recycled clock buffer from the pool (nil when empty —
-// the detector then allocates one of the right size).
-func (s *System) grabClock() vclock.VC {
+// grabClock takes a recycled masked clock buffer from the pool (the zero
+// Masked when empty — the detector then allocates one of the right size).
+func (s *System) grabClock() vclock.Masked {
 	if n := len(s.clockPool); n > 0 {
 		c := s.clockPool[n-1]
 		s.clockPool = s.clockPool[:n-1]
 		return c
 	}
-	return nil
+	return vclock.Masked{}
 }
 
 // ReleaseClock returns a piggybacked clock buffer to the pool once its
-// contents have been absorbed. Callers must not retain the slice afterwards;
-// releasing a buffer still referenced elsewhere corrupts a future reply.
-func (s *System) ReleaseClock(c vclock.VC) {
-	if c != nil {
+// contents have been absorbed. Callers must not retain the buffer
+// afterwards; releasing one still referenced elsewhere corrupts a future
+// reply.
+func (s *System) ReleaseClock(c vclock.Masked) {
+	if !c.IsNil() {
 		s.clockPool = append(s.clockPool, c)
 	}
 }
@@ -287,7 +331,7 @@ func (s *System) ReleaseClock(c vclock.VC) {
 // GrabClock hands out a pooled clock buffer for callers (the DSM runtime)
 // that ship a clock snapshot through the system and get it released on the
 // receiving side — the exported counterpart of ReleaseClock.
-func (s *System) GrabClock() vclock.VC { return s.grabClock() }
+func (s *System) GrabClock() vclock.Masked { return s.grabClock() }
 
 // NIC returns node id's network interface.
 func (s *System) NIC(id int) *NIC { return s.nics[id] }
@@ -319,13 +363,33 @@ func (s *System) stateKey(a memory.Area, word int) int {
 }
 
 // stateFor returns (lazily creating) the detection state covering area a
-// (word-granularity callers pass the word index; others pass 0).
+// (word-granularity callers pass the word index; others pass 0). Area
+// granularity — the default and the hot path — indexes the dense slice.
 func (s *System) stateFor(a memory.Area, word int) core.AreaState {
+	if s.areaStates != nil {
+		st := s.areaStates[a.ID]
+		if st == nil {
+			st = s.newAreaState()
+			s.areaStates[a.ID] = st
+		}
+		return st
+	}
 	k := s.stateKey(a, word)
 	st, ok := s.states[k]
 	if !ok {
-		st = s.cfg.Detector.NewAreaState(s.space.N())
+		st = s.newAreaState()
 		s.states[k] = st
+	}
+	return st
+}
+
+// newAreaState builds a detection state with the run's options applied.
+func (s *System) newAreaState() core.AreaState {
+	st := s.cfg.Detector.NewAreaState(s.space.N())
+	if s.elideAbsorb {
+		if e, ok := st.(core.AbsorbElider); ok {
+			e.EnableAbsorbElision()
+		}
 	}
 	return st
 }
@@ -334,11 +398,11 @@ func (s *System) stateFor(a memory.Area, word int) core.AreaState {
 // area a, handling the granularity fan-out: one state at node/area
 // granularity, one per word at word granularity (the first report wins,
 // absorbed clocks merge). It returns the clock for the initiator to absorb.
-func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at sim.Time) vclock.VC {
+func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at sim.Time) vclock.Masked {
 	if s.cfg.Granularity != GranularityWord {
 		buf := s.grabClock()
 		rep, clk := s.stateFor(a, 0).OnAccess(acc, a.Home, buf)
-		if clk == nil {
+		if clk.IsNil() {
 			// Detectors without an absorb clock (epoch, lockset, nop)
 			// ignore the scratch buffer; keep it in the pool.
 			s.ReleaseClock(buf)
@@ -346,7 +410,7 @@ func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at 
 		s.signal(rep, at)
 		return clk
 	}
-	var absorb vclock.VC
+	var absorb vclock.Masked
 	var first *core.Report
 	if count < 1 {
 		count = 1
@@ -358,9 +422,9 @@ func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at 
 		if rep != nil && first == nil {
 			first = rep
 		}
-		if clk != nil {
+		if !clk.IsNil() {
 			s.wordScratch = clk
-			if absorb == nil {
+			if absorb.IsNil() {
 				absorb = clk.CopyInto(s.grabClock())
 			} else {
 				absorb.Merge(clk)
@@ -375,6 +439,11 @@ func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at 
 // the measured quantity of E-T1.
 func (s *System) StorageBytes() int {
 	total := 0
+	for _, st := range s.areaStates {
+		if st != nil {
+			total += st.StorageBytes()
+		}
+	}
 	for _, st := range s.states {
 		total += st.StorageBytes()
 	}
@@ -402,7 +471,18 @@ func (s *System) clockBytes() int {
 	if !s.DetectionOn() {
 		return 0
 	}
-	return vclock.New(s.space.N()).WireSize()
+	return vclock.WireSizeFor(s.space.N())
+}
+
+// replyClockBytes returns the wire bytes of the clock piggybacked on a
+// reply. A Covered absorb still carries a full fixed-format clock on the
+// wire — only its local materialisation was elided (which is why elision is
+// disabled under CompressClocks, whose accounting needs the value).
+func (s *System) replyClockBytes(ch chanKey, clk vclock.Masked) int {
+	if clk.Covered {
+		return s.clockBytes()
+	}
+	return s.clockBytesFor(ch, clk.V)
 }
 
 // clockBytesFor returns the wire bytes of transmitting clk on the given

@@ -108,7 +108,7 @@ func TestNodeGranularitySharesOneState(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Areas a and b share node 1's state; c is node 2's: 2 states total.
-	perState := 2 * (2 + 8*3)
+	perState := 2 * (2 + 8*3 + 8) // V + W, each with a one-word occupancy mask
 	if got := r.sys.StorageBytes(); got != 2*perState {
 		t.Fatalf("storage = %d, want %d (2 node states)", got, 2*perState)
 	}

@@ -8,4 +8,9 @@
 // interleaving. Race *manifestation* is explored by sweeping seeds, which is
 // how the harness realises the paper's operational definition of a race
 // ("the result of a computation differs between executions", §III-C).
+//
+// The future-event queue is a hierarchical timing wheel (wheel.go): O(1)
+// amortised schedule and pop, byte-identical (time, seq) execution order to
+// the container/heap queue it replaced, with same-instant wakeups served
+// from a FIFO now-queue that skips the wheel entirely.
 package sim

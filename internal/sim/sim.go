@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -37,26 +36,6 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Config parameterises a kernel.
 type Config struct {
 	// Seed drives every random choice in the simulation (latency jitter,
@@ -74,14 +53,16 @@ type Config struct {
 // then call Run. A Kernel is not safe for concurrent use by real threads;
 // concurrency lives inside the simulation.
 type Kernel struct {
-	cfg   Config
-	now   Time
-	seq   uint64
-	queue eventHeap
+	cfg Config
+	now Time
+	seq uint64
+	// queue holds all future events, ordered (time, seq), in a hierarchical
+	// timing wheel (see wheel.go): O(1) amortised schedule and pop.
+	queue wheel
 	// nowQ holds events scheduled for the current instant. They would sit at
-	// the heap's front anyway (time now, larger seq than anything queued), so
-	// a FIFO ring serves them in O(1) — the fast path every same-time
-	// Ready()/Yield() wakeup takes, skipping two heap operations.
+	// the wheel's front anyway (time now, larger seq than anything queued),
+	// so a FIFO ring serves them in O(1) — the fast path every same-time
+	// Ready()/Yield() wakeup takes, skipping the wheel entirely.
 	nowQ    Ring[*event]
 	free    []*event // recycled event structs
 	rng     *rand.Rand
@@ -135,10 +116,10 @@ func (k *Kernel) atResume(t Time, p *Proc) {
 }
 
 // push enqueues an event: same-instant events go to the FIFO now-queue,
-// future events to the heap. Execution order is identical to a single
-// (time, seq) heap — now-queue entries carry larger sequence numbers than
-// any same-time event already heaped, and Run picks the smaller of the two
-// fronts.
+// future events to the timing wheel. Execution order is identical to a
+// single (time, seq) priority queue — now-queue entries carry larger
+// sequence numbers than any same-time event already queued, and Run picks
+// the smaller of the two fronts.
 func (k *Kernel) push(t Time, fn func(), p *Proc) {
 	if t < k.now {
 		t = k.now
@@ -149,7 +130,7 @@ func (k *Kernel) push(t Time, fn func(), p *Proc) {
 		k.nowQ.PushBack(e)
 		return
 	}
-	heap.Push(&k.queue, e)
+	k.queue.push(e)
 }
 
 // newEvent takes an event from the pool (or allocates one) and fills it.
@@ -307,20 +288,22 @@ func (e *LimitError) Error() string {
 // or Stop is called. It returns the first process error (panic) encountered,
 // a DeadlockError if processes remain parked, or nil.
 func (k *Kernel) Run() error {
-	for (k.nowQ.Len() > 0 || len(k.queue) > 0) && !k.stopped {
-		// The next event is the (time, seq)-least of the heap front and the
-		// now-queue front. Every now-queue entry is at the current instant;
-		// heap entries at the same instant were scheduled earlier (smaller
-		// seq) unless they were heaped for this time *before* it arrived.
+	for (k.nowQ.Len() > 0 || k.queue.len() > 0) && !k.stopped {
+		// The next event is the (time, seq)-least of the wheel front and
+		// the now-queue front. Every now-queue entry is at the current
+		// instant; wheel entries at the same instant were scheduled earlier
+		// (smaller seq) unless they were filed for this time *before* it
+		// arrived. The peek is bounded by now when the now-queue can win,
+		// so the wheel cursor never passes the kernel clock while events
+		// can still be pushed behind it.
 		var e *event
-		switch {
-		case k.nowQ.Len() == 0:
-			e = heap.Pop(&k.queue).(*event)
-		case len(k.queue) == 0 || k.queue[0].at > k.now ||
-			k.queue[0].seq > k.nowQ.Front().seq:
+		if k.nowQ.Len() == 0 {
+			k.queue.peekWithin(timeMax)
+			e = k.queue.take()
+		} else if we := k.queue.peekWithin(k.now); we != nil && we.seq < k.nowQ.Front().seq {
+			e = k.queue.take()
+		} else {
 			e = k.nowQ.PopFront()
-		default:
-			e = heap.Pop(&k.queue).(*event)
 		}
 		k.now = e.at
 		if k.cfg.MaxTime > 0 && k.now > k.cfg.MaxTime {

@@ -3,4 +3,11 @@
 // (Algorithm 3 / Lemma 1), the max-merge of Algorithm 4, matrix clocks
 // (the per-process clock matrix V_Pi of §IV-B), Lamport scalar clocks, and
 // compact binary encodings used to account for clock bytes on the wire.
+//
+// The Masked representation (masked.go) couples a clock with a word-granular
+// occupancy bitmap so every hot-path walk skips provably-zero spans —
+// O(communicating processes) per access instead of O(cluster size) — while
+// staying observationally identical to the dense operations (pinned by a
+// lockstep shadow suite and fuzzer). Masks are node-local metadata: they
+// never travel on the wire, and only StorageBytes accounts for them.
 package vclock

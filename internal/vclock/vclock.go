@@ -255,7 +255,12 @@ func (v VC) String() string {
 // WireSize returns the number of bytes the clock occupies in the fixed
 // binary encoding. Experiment E-T1 uses this to measure the storage overhead
 // discussed in §IV-C/§V-A.
-func (v VC) WireSize() int { return 2 + 8*len(v) }
+func (v VC) WireSize() int { return WireSizeFor(len(v)) }
+
+// WireSizeFor returns the fixed-encoding wire size of an n-component clock
+// without building one — the single definition transport accounting that
+// cannot see a clock value (e.g. covered-absorb elision) must share.
+func WireSizeFor(n int) int { return 2 + 8*n }
 
 // MarshalBinary encodes the clock as a uint16 length followed by big-endian
 // uint64 components.

@@ -59,7 +59,7 @@ func ReplayDetector(tr *trace.Trace, det core.Detector, opt Options) []core.Repo
 				Proc: p, Seq: e.Seq, Area: e.Area, Kind: kind,
 				Clock: k, Locks: append([]int(nil), held[p]...), Time: e.Time,
 			}
-			rep, _ := stateOf(int(e.Area)).OnAccess(acc, e.Home, nil)
+			rep, _ := stateOf(int(e.Area)).OnAccess(acc, e.Home, vclock.Masked{})
 			if rep != nil {
 				// Reports borrow detector-state scratch; Clone before keeping.
 				reports = append(reports, rep.Clone())

@@ -545,6 +545,78 @@ func Migratory(procs, rounds, words int) Workload {
 	}
 }
 
+// MigratoryGroups partitions the cluster into independent migratory rings:
+// procs are split into ⌈procs/groupSize⌉ groups, and each group lock-passes
+// its own shared object (homed on the group's first node) exactly as
+// Migratory does. There is no cross-group synchronisation and no global
+// barrier, so a process's vector clock only ever gains components from its
+// own group — the workload stays clock-sparse at any cluster size, which is
+// the communication structure large clusters actually exhibit (and what the
+// dirty-masked clock representation exploits). Race-free.
+func MigratoryGroups(procs, groupSize, rounds, words int) Workload {
+	if groupSize <= 0 || groupSize > procs {
+		groupSize = procs
+	}
+	groups := (procs + groupSize - 1) / groupSize
+	obj := func(g int) string { return fmt.Sprintf("mig.grp%d", g) }
+	groupOf := func(id int) int { return id / groupSize }
+	membersOf := func(g int) int {
+		m := procs - g*groupSize
+		if m > groupSize {
+			m = groupSize
+		}
+		return m
+	}
+	return Workload{
+		Name:    "migratory-groups",
+		Procs:   procs,
+		Profile: RaceFree,
+		Setup: func(c *dsm.Cluster) error {
+			for g := 0; g < groups; g++ {
+				if err := c.Alloc(obj(g), g*groupSize, words); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Programs: spmd(procs, func(p *dsm.Proc) error {
+			name := obj(groupOf(p.ID()))
+			for r := 0; r < rounds; r++ {
+				if err := p.Lock(name); err != nil {
+					return err
+				}
+				cur, err := p.Get(name, 0, words)
+				if err != nil {
+					p.Unlock(name)
+					return err
+				}
+				for i := range cur {
+					cur[i]++
+				}
+				if err := p.Put(name, 0, cur...); err != nil {
+					p.Unlock(name)
+					return err
+				}
+				if err := p.Unlock(name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		Check: func(res *dsm.Result) error {
+			for g := 0; g < groups; g++ {
+				want := memory.Word(membersOf(g) * rounds)
+				for w := 0; w < words; w++ {
+					if got := res.Memory[g*groupSize][w]; got != want {
+						return fmt.Errorf("group %d word %d = %d, want %d", g, w, got, want)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
 // ProducerConsumerChain is a ring of single-producer/single-consumer
 // buffers: stage i produces into chain (i+1)%n — homed on node i, so every
 // write is producer-local — and consumes chain i from its upstream
