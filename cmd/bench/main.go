@@ -20,10 +20,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
@@ -67,8 +69,21 @@ func main() {
 	baseline := flag.String("baseline", "", "existing BENCH_*.json whose results become this file's baseline section")
 	compare := flag.String("compare", "", "previous BENCH_*.json to print a per-benchmark delta table against")
 	in := flag.String("in", "", "with -compare: existing BENCH_*.json to compare instead of running benchmarks")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	flag.Parse()
 
+	// fail flushes the CPU profile (if one is running) before exiting, so
+	// an error on the way out — an unwritable -out path, a bad -compare
+	// file — never discards an expensive profiled benchmark run.
+	// StopCPUProfile is a no-op when profiling never started.
+	fail := func(format string, args ...any) {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
+
+	// Flag validation and the run-nothing compare-only mode come before
+	// profiling starts: every later exit path runs through fail().
 	if *in != "" && *compare == "" {
 		fmt.Fprintln(os.Stderr, "bench: -in only makes sense with -compare")
 		os.Exit(2)
@@ -84,6 +99,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("bench: %v\n", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("bench: %v\n", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	// testing.Benchmark honours the package-level benchtime flag; Init
@@ -120,8 +146,7 @@ func main() {
 	if *baseline != "" {
 		prev, err := readBaseline(*baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			fail("bench: %v\n", err)
 		}
 		file.Baseline = prev
 	}
@@ -159,24 +184,21 @@ func main() {
 
 	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		fail("bench: %v\n", err)
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
 	} else {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			fail("bench: %v\n", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(file.Results))
 	}
 	if *compare != "" {
 		old, err := readFile(*compare)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			fail("bench: %v\n", err)
 		}
 		// Without -out, stdout already carries the JSON record: keep the
 		// human-readable table off it so the record stays parseable.
@@ -191,8 +213,11 @@ func main() {
 // printCompare renders the per-benchmark delta table between two recorded
 // runs: host ns/op and allocs/op plus the virtual msgs/op, for every
 // benchmark present in both files (new-only benchmarks are listed without
-// deltas; old-only benchmarks are dropped with a note).
-func printCompare(w *os.File, old, cur *File) {
+// deltas; old-only benchmarks are dropped with a note). It must cope with
+// damaged or partial baselines — a baseline missing a whole family, or one
+// with zero/NaN ns/op entries (a truncated run) — by printing "n/a" rows
+// rather than dividing by zero.
+func printCompare(w io.Writer, old, cur *File) {
 	oldByName := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
 		oldByName[r.Name] = r
@@ -217,8 +242,8 @@ func printCompare(w *os.File, old, cur *File) {
 			continue
 		}
 		dropped--
-		fmt.Fprintf(w, "%-42s %12.1f %12.1f %7.1f%%  %4d%+-3d  %9s  %9s\n",
-			r.Name, o.NsPerOp, r.NsPerOp, pctDelta(o.NsPerOp, r.NsPerOp),
+		fmt.Fprintf(w, "%-42s %12s %12s %8s  %4d%+-3d  %9s  %9s\n",
+			r.Name, ns(o.NsPerOp), ns(r.NsPerOp), pctDelta(o.NsPerOp, r.NsPerOp),
 			o.AllocsPerOp, r.AllocsPerOp-o.AllocsPerOp,
 			msgs(o), msgs(r))
 	}
@@ -227,12 +252,22 @@ func printCompare(w *os.File, old, cur *File) {
 	}
 }
 
-// pctDelta is the signed percentage change old -> new (negative = faster).
-func pctDelta(old, new float64) float64 {
-	if old == 0 {
-		return math.NaN()
+// pctDelta renders the signed percentage change old -> new (negative =
+// faster), or "n/a" when the baseline entry is unusable (zero from a
+// truncated run, or NaN from a hand-edited file).
+func pctDelta(old, new float64) string {
+	if old == 0 || math.IsNaN(old) || math.IsNaN(new) || math.IsInf(old, 0) || math.IsInf(new, 0) {
+		return "n/a"
 	}
-	return (new - old) / old * 100
+	return fmt.Sprintf("%.1f%%", (new-old)/old*100)
+}
+
+// ns renders an ns/op cell, degrading non-finite values to "n/a".
+func ns(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", v)
 }
 
 // readFile parses a recorded BENCH_*.json.

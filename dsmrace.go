@@ -172,6 +172,13 @@ func (s RunSpec) build() (*Cluster, []Program, error) {
 	if coh.CachesRemoteReads() && rcfg.Protocol == rdma.ProtocolLiteral {
 		return nil, nil, fmt.Errorf("dsmrace: coherence %q requires the piggyback wire protocol", s.Coherence)
 	}
+	if rcfg.Protocol == rdma.ProtocolLiteral && det != nil {
+		// Algorithms 1–2 fetch and write back the stored clocks, which a
+		// non-clock detector cannot serve (rdma.NewSystem would panic).
+		if _, ok := det.NewAreaState(1).(core.ClockAccessor); !ok {
+			return nil, nil, fmt.Errorf("dsmrace: detector %q has no clocks; the literal protocol requires a clock-based detector", s.Detector)
+		}
+	}
 	rcfg.Coherence = coh
 	switch s.Granularity {
 	case "", "area":

@@ -1,0 +1,19 @@
+package dsmrace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLiteralRejectsNonClockDetectors(t *testing.T) {
+	for _, det := range []string{"epoch", "lockset"} {
+		_, err := Run(RunSpec{
+			Procs: 2, Detector: det, Protocol: "literal",
+			Setup:   func(c *Cluster) error { return c.Alloc("x", 0, 1) },
+			Program: func(p *Proc) error { return nil },
+		})
+		if err == nil || !strings.Contains(err.Error(), "clock-based") {
+			t.Errorf("%s+literal: err = %v, want clock-based rejection", det, err)
+		}
+	}
+}

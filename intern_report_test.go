@@ -1,0 +1,84 @@
+package dsmrace
+
+import (
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/rdma"
+)
+
+// TestReportClockInterningRotatingWriter is the rotating-writer
+// microbenchmark for the collector's hash-consed report clocks: one writer
+// rotates over the shared areas while every other process polls them with
+// unsynchronised reads (absorption edges off, so every poll stays
+// concurrent with the stored write clock). Between two writes, every racing
+// read reports the *same* stored clock and the same prior write, so
+// interning should collapse the bulk of the report storage — while leaving
+// the reports themselves bit-identical to the non-interned collector.
+func TestReportClockInterningRotatingWriter(t *testing.T) {
+	const procs, areas, rounds = 16, 4, 40
+	run := func(noIntern bool) (*Result, *core.Collector) {
+		d, err := NewDetector("vw-exact")
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := &core.Collector{NoIntern: noIntern}
+		cfg := rdma.DefaultConfig(d, col)
+		// The E-T10 ablation shape: no reply absorption, so readers never
+		// catch up with the write clock and every poll reports.
+		cfg.AbsorbOnGetReply = false
+		cfg.AbsorbOnPutAck = false
+		c, err := dsm.New(dsm.Config{Procs: procs, Seed: 11, RDMA: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < areas; a++ {
+			c.MustAlloc(area(a), a, 2)
+		}
+		res, err := c.Run(func(p *dsm.Proc) error {
+			for i := 0; i < rounds; i++ {
+				name := area(i % areas)
+				if p.ID() == 0 {
+					if err := p.Put(name, 0, Word(i)); err != nil {
+						return err
+					}
+				} else if _, err := p.Get(name, 0, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, col
+	}
+
+	interned, col := run(false)
+	plain, _ := run(true)
+	if interned.RaceCount == 0 {
+		t.Fatal("rotating-writer workload reported no races; the microbenchmark is broken")
+	}
+	if interned.RaceCount != plain.RaceCount {
+		t.Fatalf("race counts differ: interned %d vs plain %d", interned.RaceCount, plain.RaceCount)
+	}
+	if a, b := reportHash(interned), reportHash(plain); a != b {
+		t.Fatalf("interning changed report content: %s vs %s", a, b)
+	}
+	st := col.InternStats()
+	if st.Refs == 0 || st.Unique == 0 {
+		t.Fatalf("intern table empty: %+v", st)
+	}
+	if 2*st.Bytes >= st.NaiveBytes {
+		t.Errorf("report-clock storage did not drop by half: %d bytes held vs %d naive (unique %d of %d refs)",
+			st.Bytes, st.NaiveBytes, st.Unique, st.Refs)
+	}
+	t.Logf("races=%d report clocks: %d refs, %d unique, %dB held vs %dB naive (%.1fx)",
+		interned.RaceCount, st.Refs, st.Unique, st.Bytes, st.NaiveBytes,
+		float64(st.NaiveBytes)/float64(st.Bytes))
+}
+
+func area(i int) string {
+	return string(rune('a' + i))
+}

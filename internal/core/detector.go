@@ -177,17 +177,31 @@ const reportChunk = 512
 
 // Collector gathers reports with an optional cap and callback. It
 // implements the paper's signalling policy: record and continue.
+//
+// Stored reports' clock fields are interned: reports whose StoredClock,
+// Current.Clock or Prior.Clock are equal by value share one immutable
+// snapshot (see intern.go), so a racy run that signals thousands of reports
+// against the same handful of area clocks holds each distinct clock once.
+// Reports returned by Reports() (or passed to OnReport) are therefore
+// read-only: mutating a clock in one would silently corrupt every report
+// sharing it. Set NoIntern to fall back to fully independent per-report
+// copies.
 type Collector struct {
 	// Limit caps stored reports (0 = unlimited). Detection continues past
 	// the limit; only storage stops.
 	Limit int
 	// OnReport, when non-nil, is invoked for every report (even past Limit).
 	OnReport func(Report)
+	// NoIntern disables report-clock interning: every stored report owns
+	// private copies of its clocks (the pre-interning behaviour; used by
+	// callers that mutate reports, and by the interning equivalence tests).
+	NoIntern bool
 
 	chunks [][]Report
 	stored int
 	total  int
 	flat   []Report // cached Reports() result; nil after a new Signal
+	intern clockIntern
 }
 
 // Signal records a report. The report is deep-copied on the way in:
@@ -200,7 +214,15 @@ func (c *Collector) Signal(r Report) {
 	if !retain && c.OnReport == nil {
 		return
 	}
-	r = r.Clone()
+	// Intern only reports that will actually be stored: a report merely
+	// streamed to OnReport past Limit gets a plain GC-able clone, so the
+	// intern table stays bounded by the retained reports (and InternStats
+	// keeps describing exactly them).
+	if c.NoIntern || !retain {
+		r = r.Clone()
+	} else {
+		r = r.cloneInterned(&c.intern)
+	}
 	if c.OnReport != nil {
 		c.OnReport(r)
 	}
@@ -231,3 +253,16 @@ func (c *Collector) Reports() []Report {
 // Total returns the number of signalled races including any dropped past
 // Limit.
 func (c *Collector) Total() int { return c.total }
+
+// InternStats reports the clock-storage footprint of the stored reports:
+// bytes actually held by the interned snapshots against what per-report
+// cloning would have held. All zeros when NoIntern is set (nothing is
+// tracked on that path).
+func (c *Collector) InternStats() InternStats {
+	return InternStats{
+		Refs:       c.intern.refs,
+		Unique:     c.intern.unique,
+		Bytes:      c.intern.bytes,
+		NaiveBytes: c.intern.naive,
+	}
+}

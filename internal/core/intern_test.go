@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"dsmrace/internal/vclock"
+)
+
+func TestClockInternDedups(t *testing.T) {
+	var tab clockIntern
+	a := vclock.VC{1, 2, 3}
+	b := vclock.VC{1, 2, 3}
+	c := vclock.VC{4, 5, 6}
+	ia := tab.get(a)
+	ib := tab.get(b)
+	ic := tab.get(c)
+	if &ia[0] != &ib[0] {
+		t.Error("equal clocks not shared")
+	}
+	if &ia[0] == &ic[0] {
+		t.Error("distinct clocks shared")
+	}
+	if got := tab.get(nil); got != nil {
+		t.Errorf("intern(nil) = %v", got)
+	}
+	if tab.unique != 2 || tab.refs != 3 {
+		t.Errorf("unique=%d refs=%d, want 2/3", tab.unique, tab.refs)
+	}
+	if tab.bytes != 2*3*8 || tab.naive != 3*3*8 {
+		t.Errorf("bytes=%d naive=%d, want 48/72", tab.bytes, tab.naive)
+	}
+	// The canonical copy must not alias the caller's buffer.
+	a[0] = 99
+	if ia[0] != 1 {
+		t.Error("interned snapshot aliases the input buffer")
+	}
+}
+
+// TestCloneInternedMatchesClone pins the equivalence that keeps report-hash
+// fingerprints safe: an interned clone renders identically to a deep clone.
+func TestCloneInternedMatchesClone(t *testing.T) {
+	prior := &Access{Proc: 1, Seq: 4, Kind: Write, Clock: vclock.VC{0, 7}, Locks: []int{2}}
+	r := Report{
+		Detector:    "vw",
+		Area:        3,
+		Current:     Access{Proc: 0, Seq: 9, Kind: Read, Clock: vclock.VC{5, 1}, ClockNZ: vclock.Mask{1}},
+		StoredClock: vclock.VC{4, 7},
+		Prior:       prior,
+	}
+	var tab clockIntern
+	a, b := r.Clone(), r.cloneInterned(&tab)
+	if a.String() != b.String() {
+		t.Errorf("interned clone renders differently:\n%s\n%s", a.String(), b.String())
+	}
+	if b.Current.ClockNZ != nil || b.Prior == prior {
+		t.Error("interned clone retains borrowed structure")
+	}
+	// Shared storage across reports with equal clocks.
+	c := r.cloneInterned(&tab)
+	if &b.StoredClock[0] != &c.StoredClock[0] {
+		t.Error("repeated interned clones do not share storage")
+	}
+}
+
+func TestCollectorInternStats(t *testing.T) {
+	mk := func(noIntern bool) *Collector {
+		col := &Collector{NoIntern: noIntern}
+		stored := vclock.VC{9, 9, 9, 9}
+		priorClock := vclock.VC{1, 0, 0, 0}
+		for i := 0; i < 100; i++ {
+			cur := vclock.VC{0, uint64(i + 1), 0, 0} // unique per report
+			col.Signal(Report{
+				Detector:    "vw",
+				Current:     Access{Proc: 1, Seq: uint64(i), Kind: Read, Clock: cur},
+				StoredClock: stored, // identical across all reports
+				Prior:       &Access{Proc: 0, Seq: 1, Kind: Write, Clock: priorClock},
+			})
+		}
+		return col
+	}
+	a, b := mk(false), mk(true)
+	ra, rb := a.Reports(), b.Reports()
+	if len(ra) != len(rb) {
+		t.Fatalf("report counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].String() != rb[i].String() {
+			t.Fatalf("report %d differs between interned and plain collectors", i)
+		}
+	}
+	st := a.InternStats()
+	// 300 clock fields stored, but only 102 distinct values (one stored
+	// clock, one prior clock, 100 current clocks).
+	if st.Refs != 300 || st.Unique != 102 {
+		t.Errorf("refs=%d unique=%d, want 300/102", st.Refs, st.Unique)
+	}
+	if st.Bytes*2 >= st.NaiveBytes {
+		t.Errorf("interning saved too little: %d of %d naive bytes", st.Bytes, st.NaiveBytes)
+	}
+	if zero := b.InternStats(); zero != (InternStats{}) {
+		t.Errorf("NoIntern collector tracked stats: %+v", zero)
+	}
+}
+
+// TestCollectorInternBoundedByLimit: reports streamed to OnReport past the
+// storage limit must not grow the intern table — it tracks exactly the
+// stored reports.
+func TestCollectorInternBoundedByLimit(t *testing.T) {
+	streamed := 0
+	col := &Collector{Limit: 2, OnReport: func(Report) { streamed++ }}
+	for i := 0; i < 50; i++ {
+		col.Signal(Report{
+			Current:     Access{Proc: 0, Seq: uint64(i), Clock: vclock.VC{uint64(i), 1}},
+			StoredClock: vclock.VC{7, uint64(i)},
+		})
+	}
+	if streamed != 50 || col.Total() != 50 {
+		t.Fatalf("streamed=%d total=%d, want 50/50", streamed, col.Total())
+	}
+	st := col.InternStats()
+	if st.Refs != 4 { // 2 stored reports x 2 clock fields (no Prior)
+		t.Errorf("refs = %d, want 4 (only stored reports interned)", st.Refs)
+	}
+}

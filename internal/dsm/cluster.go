@@ -285,3 +285,9 @@ func (o recorderObserver) LockRel(proc int, area memory.Area, at sim.Time) {
 // network; a cut link therefore manifests as a blocked operation, which the
 // kernel surfaces as a deadlock report naming the stuck process.
 func (c *Cluster) Network() *network.Network { return c.net }
+
+// System exposes the RDMA layer after Run has wired it (nil before), so
+// tests can assert transport-level invariants — pool balance, coherence
+// statistics — against full runtime runs with locks, barriers and
+// collectives in play.
+func (c *Cluster) System() *rdma.System { return c.sys }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/memory"
 	"dsmrace/internal/rdma"
@@ -507,5 +508,52 @@ func TestHeldLocksTracking(t *testing.T) {
 	}
 	if err := res.FirstError(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRuntimePoolBalance runs a full runtime workout — user locks with
+// clock-carrying unlocks, barriers, collectives, puts/gets/atomics — under
+// both coherence protocols and asserts the transport's pool-ownership
+// invariant: everything grabbed was released by the end of the run.
+func TestRuntimePoolBalance(t *testing.T) {
+	for _, coh := range []string{"write-update", "write-invalidate"} {
+		coh := coh
+		t.Run(coh, func(t *testing.T) {
+			cp, err := coherence.FromName(coh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := rdma.DefaultConfig(core.NewVWDetector(), nil)
+			cfg.Coherence = cp
+			c, err := New(Config{Procs: 4, Seed: 3, RDMA: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.MustAlloc("x", 0, 8)
+			c.MustAlloc("s", 1, 8)
+			res, err := c.Run(func(p *Proc) error {
+				for i := 0; i < 10; i++ {
+					p.MustLock("x")
+					p.MustPut("x", p.ID(), memory.Word(i))
+					p.MustGet("x", 0, 4)
+					p.MustUnlock("x")
+					p.MustFetchAdd("x", 4, 1)
+				}
+				p.Barrier()
+				if _, err := p.ReduceCollective("s", memory.Word(p.ID()), OpSum, 1); err != nil {
+					return err
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ferr := res.FirstError(); ferr != nil {
+				t.Fatal(ferr)
+			}
+			if got := c.System().PoolBalance(); got != (rdma.PoolBalance{}) {
+				t.Errorf("pool balance after a clean runtime run = %+v, want all zero", got)
+			}
+		})
 	}
 }

@@ -189,6 +189,14 @@ type Network struct {
 	down    []bool
 	anyDown bool
 	Dropped uint64
+	// OnDrop, when non-nil, receives the kind and payload of every message
+	// dropped on a down link before it vanishes, so the layer that pooled
+	// the payload can reclaim it (a dropped round-trip request has no reply
+	// to trigger the usual release; a dropped reply has no receiver at
+	// all). The hook deliberately does not see the *Message: taking it
+	// would make every caller's Message literal escape to the heap, and
+	// Send is the hottest transport call in the simulator.
+	OnDrop func(kind Kind, payload any)
 }
 
 // New creates a network for n nodes on kernel k using the given latency
@@ -259,6 +267,9 @@ func (n *Network) Send(m *Message) {
 	link := n.linkIndex(m.Src, m.Dst)
 	if n.anyDown && n.down[link] {
 		n.Dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(m.Kind, m.Payload)
+		}
 		return
 	}
 	d := n.latency.Delay(m.Src, m.Dst, m.Size, n.k.Rand())

@@ -22,6 +22,21 @@
 // the same state, under the same lock); they differ only in message count
 // and bytes, which is what experiment E-T2 measures.
 //
+// Both sides of every operation are event-driven. The home side serves
+// requests as pooled homeOp continuations inside message-delivery events
+// (the target process is never scheduled). The initiator side is symmetric
+// since the CPS conversion: an operation is a pooled initOp whose process
+// issues the first request and parks exactly once — every intermediate hop
+// (lock grants, the literal protocol's clock fetches, data replies)
+// completes through pre-bound continuations in event context, with each
+// follow-up phase filed via sim.Kernel.Defer into the very slot the old
+// parked path's per-hop wakeup occupied. A remote operation therefore costs
+// zero goroutine scheduling beyond its single park, and under the kernel's
+// baton-passing scheduler even that park usually resumes without a
+// goroutine switch. The pre-CPS parked path survives behind
+// Config.LegacyInitiator purely as the reference for the differential
+// determinism suite.
+//
 // Orthogonal to the wire protocol, the NICs serve accesses under a
 // pluggable coherence protocol (internal/coherence). Write-update — the
 // default and the model's original behaviour — keeps the home copy as the

@@ -1,0 +1,309 @@
+package rdma
+
+import (
+	"dsmrace/internal/core"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// initOp is a pooled initiator-side operation in continuation-passing style —
+// the symmetric counterpart of the home side's homeOp. The initiating
+// process issues the first request and parks exactly once (Proc.Await); from
+// then on the operation advances entirely in event context: each reply is
+// absorbed by a pre-bound continuation, and each follow-up phase runs in a
+// Kernel.Defer slot — the exact (time, seq) position the old parked path's
+// per-hop process wakeup occupied, which is what keeps every fingerprint
+// (durations, message order, RNG draws) bit-identical to that path. Only the
+// final reply wakes the goroutine, and the operation's tail (coherence-copy
+// patching, absorb-buffer hand-off, pool release) runs on the process as
+// before.
+//
+// Ownership at each hop:
+//   - o.rr (pooled req): owned by the operation from issue until the reply
+//     proves the home is done with it; the reply continuation releases it.
+//     (A request dropped on a down link is reclaimed by the network's drop
+//     hook instead — see System.reclaimDropped.)
+//   - the pooled resp: owned by the reply continuation for the duration of
+//     the capture; released before the continuation returns.
+//   - o.clock (pooled absorb clock): detached from the resp by the capture;
+//     owned by the operation until the process-side tail either hands it to
+//     the caller (who releases it after absorbing) or releases it on error.
+//   - o itself: grabbed by the entry point, released by the entry point
+//     after the tail has copied the results out.
+//
+// All continuation funcs are bound once when the struct is first created, so
+// a steady-state operation allocates nothing.
+type initOp struct {
+	n    *NIC
+	p    *sim.Proc
+	rr   *req         // in-flight pooled request (nil between hops)
+	next func(*resp)  // reply continuation for the in-flight request
+	kind network.Kind // in-flight request kind (park label)
+	done bool
+
+	// Operation inputs (only what the literal-protocol continuations read;
+	// single-round-trip ops carry their inputs in the req alone).
+	area       memory.Area
+	off, count int
+	data       []memory.Word
+	acc        core.Access
+	lockOn     bool // literal protocol: internal area lock taken
+
+	// Results, filled by reply continuations.
+	outData []memory.Word
+	clock   vclock.Masked
+	errs    string
+	v, w    vclock.VC
+
+	// Pre-bound continuations (see the methods of the same names).
+	captureFn       func(*resp) // single round-trip ops: absorb + finish
+	grantFn         func(*resp) // literal: internal lock granted
+	stage1Fn        func()      // literal: first post-grant phase (per-op, set at start)
+	putStage1Fn     func()
+	putClocks1Fn    func(*resp)
+	putStage2Fn     func()
+	putAckFn        func(*resp)
+	putStage3Fn     func()
+	putClocksDiscFn func(*resp)
+	putStage4Fn     func()
+	putClocks3Fn    func(*resp)
+	getStage1Fn     func()
+	getClocks1Fn    func(*resp)
+	getStage2Fn     func()
+	getReplyFn      func(*resp)
+	getStage3Fn     func()
+	getClocks2Fn    func(*resp)
+}
+
+// grabInit takes an initiator operation from the pool, binding its
+// continuations once on first creation.
+func (s *System) grabInit(n *NIC, p *sim.Proc) *initOp {
+	s.balance.InitOps++
+	var o *initOp
+	if k := len(s.initPool); k > 0 {
+		o = s.initPool[k-1]
+		s.initPool = s.initPool[:k-1]
+	} else {
+		o = &initOp{}
+		o.captureFn = o.capture
+		o.grantFn = o.grant
+		o.putStage1Fn = o.putStage1
+		o.putClocks1Fn = o.putClocks1
+		o.putStage2Fn = o.putStage2
+		o.putAckFn = o.putAck
+		o.putStage3Fn = o.putStage3
+		o.putClocksDiscFn = o.putClocksDiscard
+		o.putStage4Fn = o.putStage4
+		o.putClocks3Fn = o.putClocks3
+		o.getStage1Fn = o.getStage1
+		o.getClocks1Fn = o.getClocks1
+		o.getStage2Fn = o.getStage2
+		o.getReplyFn = o.getReply
+		o.getStage3Fn = o.getStage3
+		o.getClocks2Fn = o.getClocks2
+	}
+	o.n, o.p = n, p
+	return o
+}
+
+// releaseInit recycles a completed initiator operation. The caller must have
+// taken ownership of (or released) every result buffer first.
+func (s *System) releaseInit(o *initOp) {
+	s.balance.InitOps--
+	o.n, o.p, o.rr, o.next, o.stage1Fn = nil, nil, nil, nil, nil
+	o.done, o.lockOn = false, false
+	o.data, o.outData, o.v, o.w = nil, nil, nil, nil
+	o.acc = core.Access{}
+	o.clock = vclock.Masked{}
+	o.errs = ""
+	s.initPool = append(s.initPool, o)
+}
+
+// issue sends one request hop of the operation and registers cont as its
+// reply continuation. The park label follows the in-flight kind, so a
+// deadlock report names the hop actually stuck (Relabel is a no-op on the
+// first hop, where the process has not parked yet — Await supplies the
+// label there).
+func (o *initOp) issue(dst network.NodeID, kind network.Kind, size int, r *req, cont func(*resp)) {
+	n := o.n
+	rr := n.sys.grabReq()
+	*rr = *r
+	rr.id = n.sys.nextReq()
+	rr.origin = n.id
+	o.rr, o.next, o.kind = rr, cont, kind
+	n.addPending(rr.id, o)
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+	o.p.Relabel(parkReason(kind))
+}
+
+// absorb releases the hop's request and detaches the pooled resp's payload
+// fields into the operation; the resp itself goes back to its pool. Every
+// reply continuation starts here.
+func (o *initOp) absorb(rs *resp) {
+	sys := o.n.sys
+	if o.rr != nil {
+		sys.releaseReq(o.rr)
+		o.rr = nil
+	}
+	o.next = nil
+	// Only overwrite fields the reply actually carries: a literal-protocol
+	// clock fetch must not clobber the data an earlier hop captured, and
+	// vice versa.
+	if rs.data != nil {
+		o.outData = rs.data
+	}
+	if rs.err != "" {
+		o.errs = rs.err
+	}
+	if rs.v != nil || rs.w != nil {
+		o.v, o.w = rs.v, rs.w
+	}
+	if !rs.clock.IsNil() {
+		o.clock = rs.clock
+	}
+	sys.releaseResp(rs)
+}
+
+// finish completes the operation: the single process wakeup of its lifetime.
+func (o *initOp) finish() {
+	o.done = true
+	o.p.Ready()
+}
+
+// await parks the process until the continuation chain completes.
+func (o *initOp) await() {
+	o.p.Await(&o.done, parkReason(o.kind))
+}
+
+// capture is the reply continuation of every single-round-trip operation
+// (piggyback put/get/atomic, write-invalidate fetch, lock grant): absorb the
+// reply and wake the process for the tail.
+func (o *initOp) capture(rs *resp) {
+	o.absorb(rs)
+	o.finish()
+}
+
+// ---- Literal protocol continuations (Algorithms 1 and 2). Each Defer'd
+// stage occupies the event slot where the parked path resumed the process,
+// and each one-way clock message is sent from the same slot it was sent
+// from there. ----
+
+// grant absorbs the internal lock grant and defers the per-op first stage.
+func (o *initOp) grant(rs *resp) {
+	o.absorb(rs)
+	o.n.sys.net.Kernel().Defer(o.stage1Fn)
+}
+
+// readClocks issues a get_clock/get_clock_W hop with the given continuation.
+func (o *initOp) readClocks(cont func(*resp)) {
+	o.issue(network.NodeID(o.area.Home), network.KindClockRead, network.HeaderBytes,
+		&req{area: o.area}, cont)
+}
+
+// putStage1 — Algorithm 1 after the lock: fetch the area clocks.
+func (o *initOp) putStage1() { o.readClocks(o.putClocks1Fn) }
+
+// putClocks1 holds V; the comparison itself runs in the next deferred slot.
+func (o *initOp) putClocks1(rs *resp) {
+	o.absorb(rs)
+	o.n.sys.net.Kernel().Defer(o.putStage2Fn)
+}
+
+// putStage2 compares clocks both ways (Algorithm 3), signals, and sends the
+// data message.
+func (o *initOp) putStage2() {
+	n := o.n
+	if core.CheckWrite(o.acc.Clock, o.v) {
+		n.sys.signal(&core.Report{
+			Detector:    n.sys.cfg.Detector.Name(),
+			Area:        o.area.ID,
+			Current:     o.acc,
+			StoredClock: o.v,
+		}, n.sys.net.Kernel().Now())
+	}
+	o.issue(network.NodeID(o.area.Home), network.KindPutReq,
+		network.HeaderBytes+len(o.data)*memory.WordBytes,
+		&req{area: o.area, off: o.off, data: o.data, acc: o.acc, hasAcc: false}, o.putAckFn)
+}
+
+// putAck absorbs the data ack; an error short-circuits to the tail (which
+// unlocks), success continues into update_clock_W.
+func (o *initOp) putAck(rs *resp) {
+	o.absorb(rs)
+	if o.errs != "" {
+		o.finish()
+		return
+	}
+	o.n.sys.net.Kernel().Defer(o.putStage3Fn)
+}
+
+// putStage3 — update_clock_W's re-fetch (Algorithm 5's get_clock).
+func (o *initOp) putStage3() { o.readClocks(o.putClocksDiscFn) }
+
+// putClocksDiscard absorbs a clock fetch whose values the algorithm ignores.
+func (o *initOp) putClocksDiscard(rs *resp) {
+	o.absorb(rs)
+	o.n.sys.net.Kernel().Defer(o.putStage4Fn)
+}
+
+// putStage4 folds the write into the state (put_clock apply) and starts the
+// final idempotent update_clock fetch.
+func (o *initOp) putStage4() {
+	o.n.writeClockApply(o.area, o.acc)
+	o.readClocks(o.putClocks3Fn)
+}
+
+// putClocks3 holds the final clocks; the tail writes them back and unlocks.
+func (o *initOp) putClocks3(rs *resp) {
+	o.absorb(rs)
+	o.finish()
+}
+
+// getStage1 — Algorithm 2 after the lock: fetch the area clocks.
+func (o *initOp) getStage1() { o.readClocks(o.getClocks1Fn) }
+
+// getClocks1 holds W (kept for the tail's reads-from absorb edge).
+func (o *initOp) getClocks1(rs *resp) {
+	o.absorb(rs)
+	o.n.sys.net.Kernel().Defer(o.getStage2Fn)
+}
+
+// getStage2 compares the initiator clock against the write clock, signals,
+// and sends the data request.
+func (o *initOp) getStage2() {
+	n := o.n
+	if core.CheckRead(o.acc.Clock, o.w) {
+		n.sys.signal(&core.Report{
+			Detector:    n.sys.cfg.Detector.Name(),
+			Area:        o.area.ID,
+			Current:     o.acc,
+			StoredClock: o.w,
+		}, n.sys.net.Kernel().Now())
+	}
+	o.issue(network.NodeID(o.area.Home), network.KindGetReq, network.HeaderBytes,
+		&req{area: o.area, off: o.off, count: o.count, acc: o.acc, hasAcc: false}, o.getReplyFn)
+}
+
+// getReply absorbs the data; errors short-circuit to the tail.
+func (o *initOp) getReply(rs *resp) {
+	o.absorb(rs)
+	if o.errs != "" {
+		o.finish()
+		return
+	}
+	o.n.sys.net.Kernel().Defer(o.getStage3Fn)
+}
+
+// getStage3 — update_clock's fetch on the source area.
+func (o *initOp) getStage3() { o.readClocks(o.getClocks2Fn) }
+
+// getClocks2 absorbs the (ignored) clock fetch; the tail applies the access
+// clock and unlocks.
+func (o *initOp) getClocks2(rs *resp) {
+	w := o.w // the reads-from edge uses the *first* fetch's W (Algorithm 2)
+	o.absorb(rs)
+	o.w = w
+	o.finish()
+}

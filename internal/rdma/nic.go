@@ -38,7 +38,8 @@ type resp struct {
 	err   string
 }
 
-// pending tracks an initiator-side operation awaiting its response.
+// pending tracks a legacy-path initiator-side operation awaiting its
+// response (the CPS path registers the initOp itself — see pendEntry).
 type pending struct {
 	proc *sim.Proc
 	done bool
@@ -75,37 +76,47 @@ type NIC struct {
 	UserHandler func(m *network.Message)
 }
 
-// pendEntry is one in-flight request in a NIC's pending table.
+// pendEntry is one in-flight request in a NIC's pending table: a CPS
+// initiator operation (op) whose reply continuation runs in delivery-event
+// context, or a legacy parked-path wait state (pd).
 type pendEntry struct {
 	id uint64
+	op *initOp
 	pd *pending
 }
 
-// addPending registers an in-flight request.
-func (n *NIC) addPending(id uint64, pd *pending) {
+// addPending registers an in-flight CPS request.
+func (n *NIC) addPending(id uint64, op *initOp) {
+	n.pending = append(n.pending, pendEntry{id: id, op: op})
+}
+
+// addLegacyPending registers an in-flight legacy-path request.
+func (n *NIC) addLegacyPending(id uint64, pd *pending) {
 	n.pending = append(n.pending, pendEntry{id: id, pd: pd})
 }
 
-// findPending resolves a response id, or nil.
-func (n *NIC) findPending(id uint64) *pending {
+// findPending resolves a response id to its table index, or -1.
+func (n *NIC) findPending(id uint64) int {
 	for i := range n.pending {
 		if n.pending[i].id == id {
-			return n.pending[i].pd
+			return i
 		}
 	}
-	return nil
+	return -1
+}
+
+// dropPendingAt removes the table entry at index i.
+func (n *NIC) dropPendingAt(i int) {
+	last := len(n.pending) - 1
+	n.pending[i] = n.pending[last]
+	n.pending[last] = pendEntry{}
+	n.pending = n.pending[:last]
 }
 
 // dropPending removes a completed request from the table.
 func (n *NIC) dropPending(id uint64) {
-	for i := range n.pending {
-		if n.pending[i].id == id {
-			last := len(n.pending) - 1
-			n.pending[i] = n.pending[last]
-			n.pending[last] = pendEntry{}
-			n.pending = n.pending[:last]
-			return
-		}
+	if i := n.findPending(id); i >= 0 {
+		n.dropPendingAt(i)
 	}
 }
 
@@ -127,10 +138,19 @@ func (n *NIC) handle(m *network.Message) {
 	case network.KindPutAck, network.KindGetReply, network.KindFetchReply,
 		network.KindClockReadResp, network.KindAtomicReply, network.KindLockGrant:
 		r := m.Payload.(*resp)
-		pd := n.findPending(r.id)
-		if pd == nil {
+		i := n.findPending(r.id)
+		if i < 0 {
 			panic(fmt.Sprintf("rdma: node %d: orphan response %d", n.id, r.id))
 		}
+		if op := n.pending[i].op; op != nil {
+			// CPS initiator: the reply continuation absorbs the resp right
+			// here in delivery-event context; the process is woken only by
+			// the operation's final hop.
+			n.dropPendingAt(i)
+			op.next(r)
+			return
+		}
+		pd := n.pending[i].pd
 		pd.resp = r
 		pd.done = true
 		pd.proc.Ready()
@@ -179,30 +199,6 @@ func parkReason(k network.Kind) string {
 		return parkReasons[k]
 	}
 	return "rdma " + k.String()
-}
-
-// roundTrip sends a request and parks the calling process until the
-// response arrives. The caller's req literal is copied into a pooled
-// struct, so it can live on the caller's stack; the pooled req is recycled
-// once the response proves the home side is done with it. The returned resp
-// is pooled too: the caller extracts what it needs and hands it back via
-// releaseResp.
-func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size int, r *req) *resp {
-	rr := n.sys.grabReq()
-	*rr = *r
-	rr.id = n.sys.nextReq()
-	rr.origin = n.id
-	pd := n.sys.grabPending(p)
-	n.addPending(rr.id, pd)
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
-	for !pd.done {
-		p.Park(parkReason(kind))
-	}
-	n.dropPending(rr.id)
-	rs := pd.resp
-	n.sys.releasePending(pd)
-	n.sys.releaseReq(rr)
-	return rs
 }
 
 // send transmits a one-way request (no response expected). The home-side

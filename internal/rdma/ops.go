@@ -8,6 +8,15 @@ import (
 	"dsmrace/internal/vclock"
 )
 
+// The initiator-side operations run in continuation-passing style (see
+// initOp in init_op.go): the process issues the first request, parks once,
+// and every intermediate protocol hop — lock grants, literal-protocol clock
+// fetches, data replies — completes through pooled continuations in event
+// context. The tail of each operation (the code below each await) runs on
+// the process after the single wakeup, exactly where the parked path ran it.
+// The pre-CPS parked path is kept in ops_legacy.go behind
+// Config.LegacyInitiator for the differential determinism suite.
+
 // Put writes data into area at word offset off (one-sided remote write,
 // Fig. 2 left... right arrow). acc carries the initiator's identity and
 // ticked clock. It returns the clock the initiator should absorb (nil when
@@ -17,15 +26,20 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 	if n.sys.cfg.Protocol == ProtocolLiteral && n.sys.DetectionOn() {
 		return n.putLiteral(p, area, off, data, acc)
 	}
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyPut(p, area, off, data, acc)
+	}
 	size := network.HeaderBytes + len(data)*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
 		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindPutReq, size,
-		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc})
-	clock, err := rs.clock, asError(rs.err)
-	n.sys.releaseResp(rs)
+	o := n.sys.grabInit(n, p)
+	o.issue(network.NodeID(area.Home), network.KindPutReq, size,
+		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc}, o.captureFn)
+	o.await()
+	clock, err := o.clock, asError(o.errs)
+	n.sys.releaseInit(o)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
 		return vclock.Masked{}, err
@@ -54,15 +68,20 @@ func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access
 	if n.sys.cfg.Protocol == ProtocolLiteral && n.sys.DetectionOn() {
 		return n.getLiteral(p, area, off, count, acc)
 	}
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyGet(p, area, off, count, acc)
+	}
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
 		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, size,
-		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
-	data, clock, err := rs.data, rs.clock, asError(rs.err)
-	n.sys.releaseResp(rs)
+	o := n.sys.grabInit(n, p)
+	o.issue(network.NodeID(area.Home), network.KindGetReq, size,
+		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
+	o.await()
+	data, clock, err := o.outData, o.clock, asError(o.errs)
+	n.sys.releaseInit(o)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
 		return nil, vclock.Masked{}, err
@@ -89,19 +108,24 @@ func (n *NIC) CompareAndSwap(p *sim.Proc, area memory.Area, off int, expect, rep
 
 func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2 memory.Word, acc core.Access) (memory.Word, vclock.Masked, error) {
 	acc.Area = area.ID
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyAtomic(p, area, off, op, a1, a2, acc)
+	}
 	size := network.HeaderBytes + 2*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
 		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindAtomicReq, size,
-		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc})
-	clock, err := rs.clock, asError(rs.err)
+	o := n.sys.grabInit(n, p)
+	o.issue(network.NodeID(area.Home), network.KindAtomicReq, size,
+		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc}, o.captureFn)
+	o.await()
+	clock, err := o.clock, asError(o.errs)
 	var old memory.Word
-	if len(rs.data) > 0 {
-		old = rs.data[0]
+	if len(o.outData) > 0 {
+		old = o.outData[0]
 	}
-	n.sys.releaseResp(rs)
+	n.sys.releaseInit(o)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
 		return 0, vclock.Masked{}, err
@@ -171,16 +195,21 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		}
 		return data, absorb, nil
 	}
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyFetchMiss(p, area, off, count, acc)
+	}
 	// Miss: fetch the whole area (the coherence unit) from the home.
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
 		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindFetchReq, size,
-		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
-	data, clock, err := rs.data, rs.clock, asError(rs.err)
-	n.sys.releaseResp(rs)
+	o := n.sys.grabInit(n, p)
+	o.issue(network.NodeID(area.Home), network.KindFetchReq, size,
+		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
+	o.await()
+	data, clock, err := o.outData, o.clock, asError(o.errs)
+	n.sys.releaseInit(o)
 	if err != nil {
 		n.sys.ReleaseClock(clock)
 		return nil, vclock.Masked{}, err
@@ -201,10 +230,15 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 // previous releaser's clock: absorbing it gives the acquirer the
 // release→acquire happens-before edge.
 func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.Masked {
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
-		&req{area: area, acc: core.Access{Proc: proc}, user: true})
-	clock := rs.clock
-	n.sys.releaseResp(rs)
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyLockArea(p, area, proc)
+	}
+	o := n.sys.grabInit(n, p)
+	o.issue(network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
+		&req{area: area, acc: core.Access{Proc: proc}, user: true}, o.captureFn)
+	o.await()
+	clock := o.clock
+	n.sys.releaseInit(o)
 	return clock
 }
 
@@ -220,32 +254,15 @@ func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.Masked) {
 		&req{area: area, acc: core.Access{Proc: proc, Clock: rel.V, ClockNZ: rel.M}, user: true})
 }
 
-// lockInternal acquires the area lock for the literal protocol's own use:
-// not observed, no clock transport (the mechanism lock must not create
-// user-visible happens-before, or no race could ever be detected).
-func (n *NIC) lockInternal(p *sim.Proc, area memory.Area, proc int) {
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
-		&req{area: area, acc: core.Access{Proc: proc}})
-	n.sys.releaseResp(rs)
-}
-
-// unlockInternal releases a lockInternal acquisition.
+// unlockInternal releases a literal-protocol internal lock acquisition.
 func (n *NIC) unlockInternal(area memory.Area, proc int) {
 	n.send(network.NodeID(area.Home), network.KindUnlock, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}})
 }
 
-// ---- Literal protocol: Algorithms 1 and 2, message by message ----
-
-// readClocks performs get_clock / get_clock_W: one request, one response
-// carrying both stored clocks.
-func (n *NIC) readClocks(p *sim.Proc, area memory.Area) (v, w vclock.VC) {
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindClockRead, network.HeaderBytes,
-		&req{area: area})
-	v, w = rs.v, rs.w
-	n.sys.releaseResp(rs)
-	return v, w
-}
+// ---- Literal protocol: Algorithms 1 and 2, message by message. The hop
+// sequence lives in the initOp continuations (init_op.go); only the first
+// hop and the post-completion tail run on the process. ----
 
 // writeClockApply performs put_clock in "apply" form: the home folds the
 // access into the area state (merge per Algorithm 4, home tick, W update).
@@ -267,6 +284,22 @@ func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
 	n.send(network.NodeID(area.Home), network.KindClockWrite, size, &req{area: area, v: v, w: w})
 }
 
+// startLiteral begins a literal-protocol operation: with locks enabled it
+// issues the internal lock request (not observed, no clock transport — the
+// mechanism lock must not create user-visible happens-before, or no race
+// could ever be detected) and the grant continuation defers stage1;
+// otherwise stage1 runs directly from process context, exactly where the
+// parked path issued its first clock fetch.
+func (o *initOp) startLiteral(stage1 func()) {
+	o.stage1Fn = stage1
+	if o.lockOn {
+		o.issue(network.NodeID(o.area.Home), network.KindLockReq, network.HeaderBytes,
+			&req{area: o.area, acc: core.Access{Proc: o.acc.Proc}}, o.grantFn)
+		return
+	}
+	stage1()
+}
+
 // putLiteral is Algorithm 1 verbatim:
 //
 //	lock(P0,src)            — local, no-op for private memory (§IV-A)
@@ -278,37 +311,24 @@ func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
 //	update_clock_W / update_clock (Algorithm 5: fetch, max, write back)
 //	unlock(P1,dst); unlock(P0,src)
 func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.Word, acc core.Access) (vclock.Masked, error) {
-	lockOn := n.sys.cfg.LocksEnabled
-	if lockOn {
-		n.lockInternal(p, area, acc.Proc)
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyPutLiteral(p, area, off, data, acc)
 	}
-	v, _ := n.readClocks(p, area)
-	if core.CheckWrite(acc.Clock, v) {
-		n.sys.signal(&core.Report{
-			Detector:    n.sys.cfg.Detector.Name(),
-			Area:        area.ID,
-			Current:     acc,
-			StoredClock: v,
-		}, p.Now())
-	}
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindPutReq,
-		network.HeaderBytes+len(data)*memory.WordBytes,
-		&req{area: area, off: off, data: data, acc: acc, hasAcc: false})
-	err := asError(rs.err)
-	n.sys.releaseResp(rs)
+	o := n.sys.grabInit(n, p)
+	o.area, o.off, o.data, o.acc = area, off, data, acc
+	o.lockOn = n.sys.cfg.LocksEnabled
+	o.startLiteral(o.putStage1Fn)
+	o.await()
+	err := asError(o.errs)
 	if err == nil {
-		// update_clock_W: re-fetch (Algorithm 5's get_clock), then fold the
-		// write into the state.
-		n.readClocks(p, area)
-		n.writeClockApply(area, acc)
-		// update_clock: fetch the (now updated) clocks and write them back —
-		// idempotent, kept for message fidelity.
-		v2, w2 := n.readClocks(p, area)
-		n.writeClockRaw(area, v2, w2)
+		// update_clock: write the (already updated) clocks back — idempotent,
+		// kept for message fidelity.
+		n.writeClockRaw(area, o.v, o.w)
 	}
-	if lockOn {
+	if o.lockOn {
 		n.unlockInternal(area, acc.Proc)
 	}
+	n.sys.releaseInit(o)
 	return vclock.Masked{}, err
 }
 
@@ -316,36 +336,28 @@ func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.W
 // initiator clock against the *write* clock, transfer the data, run
 // update_clock on the source area, unlock.
 func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
-	lockOn := n.sys.cfg.LocksEnabled
-	if lockOn {
-		n.lockInternal(p, area, acc.Proc)
+	if n.sys.cfg.LegacyInitiator {
+		return n.legacyGetLiteral(p, area, off, count, acc)
 	}
-	_, w := n.readClocks(p, area)
-	if core.CheckRead(acc.Clock, w) {
-		n.sys.signal(&core.Report{
-			Detector:    n.sys.cfg.Detector.Name(),
-			Area:        area.ID,
-			Current:     acc,
-			StoredClock: w,
-		}, p.Now())
-	}
-	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, network.HeaderBytes,
-		&req{area: area, off: off, count: count, acc: acc, hasAcc: false})
-	gotData, err := rs.data, asError(rs.err)
-	n.sys.releaseResp(rs)
+	o := n.sys.grabInit(n, p)
+	o.area, o.off, o.count, o.acc = area, off, count, acc
+	o.lockOn = n.sys.cfg.LocksEnabled
+	o.startLiteral(o.getStage1Fn)
+	o.await()
+	gotData, err := o.outData, asError(o.errs)
 	var absorb vclock.Masked
 	if err == nil {
-		n.readClocks(p, area)
 		n.writeClockApply(area, acc)
 		if n.sys.cfg.AbsorbOnGetReply {
 			// The write clock the read observed (reads-from edge); a raw
 			// clock read carries no mask, so the absorb is dense.
-			absorb = vclock.Dense(w)
+			absorb = vclock.Dense(o.w)
 		}
 	}
-	if lockOn {
+	if o.lockOn {
 		n.unlockInternal(area, acc.Proc)
 	}
+	n.sys.releaseInit(o)
 	if err != nil {
 		return nil, vclock.Masked{}, err
 	}

@@ -104,6 +104,12 @@ type Config struct {
 	// message) instead of the full 2+8n fixed format. An optimisation
 	// ablation for E-T2; verdicts are unaffected.
 	CompressClocks bool
+	// LegacyInitiator routes initiator-side operations through the pre-CPS
+	// parked path (one goroutine park/resume round trip per protocol hop)
+	// instead of the continuation-passing path. A test shim: it exists only
+	// so the differential determinism suite can prove the two paths
+	// bit-identical on the same schedules. Not for production use.
+	LegacyInitiator bool
 }
 
 // Observer receives apply-order event notifications from the NICs.
@@ -173,20 +179,63 @@ type System struct {
 	// wordScratch is the per-word OnAccess absorb buffer reused across the
 	// word-granularity fan-out loop.
 	wordScratch vclock.Masked
-	// reqPool, respPool, pendPool and opPool recycle the per-operation
-	// request, response, wait-state and home-side continuation structs
-	// (single-threaded simulation: free lists, no locking). See
-	// NIC.roundTrip, NIC.reply and NIC.startHomeOp for the ownership
-	// hand-offs.
+	// reqPool, respPool, pendPool, opPool and initPool recycle the
+	// per-operation request, response, legacy wait-state, home-side and
+	// initiator-side continuation structs (single-threaded simulation: free
+	// lists, no locking). See initOp.issue, NIC.reply and NIC.startHomeOp
+	// for the ownership hand-offs. balance tracks live (grabbed minus
+	// released) counts per pool — the ownership-audit invariant checked by
+	// the pool-balance tests.
 	reqPool  []*req
 	respPool []*resp
 	pendPool []*pending
 	opPool   []*homeOp
+	initPool []*initOp
+	balance  PoolBalance
+}
+
+// PoolBalance is the live (grabbed minus released) count of every pooled
+// per-operation struct. Every operation that ran to completion returns all
+// of its buffers, so a finished run balances to zero everywhere; the only
+// legitimate nonzero entries belong to operations a failure schedule left
+// permanently stuck (e.g. a request dropped on a cut link parks its
+// initiator forever, keeping its initOp — and, on the legacy path, its
+// pending — alive). A nonzero balance after a clean run is a leak.
+type PoolBalance struct {
+	Reqs, Resps, Pendings, HomeOps, InitOps int
+}
+
+// PoolBalance returns the current live pool counts.
+func (s *System) PoolBalance() PoolBalance { return s.balance }
+
+// reclaimDropped is the network's drop hook: a message dropped on a cut
+// link vanishes together with its pooled payload, which would otherwise
+// leak (the initiator of a dropped round trip parks forever and can never
+// release the request it no longer owns; a dropped reply's resp has no
+// receiver at all). User-level payloads (barriers) are not pooled here and
+// pass through untouched.
+func (s *System) reclaimDropped(kind network.Kind, payload any) {
+	switch pl := payload.(type) {
+	case *req:
+		// A user-level unlock ships the releaser's clock in a pooled buffer
+		// (adopted by the home's unlock handler on arrival); reclaim it with
+		// the req. Data requests must not release theirs: a piggyback access
+		// clock aliases the initiating process's live clock.
+		if kind == network.KindUnlock && pl.user && pl.acc.Clock != nil {
+			s.ReleaseClock(vclock.Masked{V: pl.acc.Clock, M: pl.acc.ClockNZ})
+		}
+		s.releaseReq(pl)
+	case *resp:
+		// Acks, replies and lock grants piggyback pooled absorb clocks.
+		s.ReleaseClock(pl.clock)
+		s.releaseResp(pl)
+	}
 }
 
 // grabOp takes a home-side operation struct from the pool, binding its
 // continuation funcs once on first creation.
 func (s *System) grabOp() *homeOp {
+	s.balance.HomeOps++
 	if n := len(s.opPool); n > 0 {
 		o := s.opPool[n-1]
 		s.opPool = s.opPool[:n-1]
@@ -201,6 +250,7 @@ func (s *System) grabOp() *homeOp {
 
 // releaseOp recycles a completed home-side operation.
 func (s *System) releaseOp(o *homeOp) {
+	s.balance.HomeOps--
 	o.n, o.r, o.l = nil, nil, nil
 	o.err = nil
 	o.absorb = vclock.Masked{}
@@ -209,6 +259,7 @@ func (s *System) releaseOp(o *homeOp) {
 }
 
 func (s *System) grabReq() *req {
+	s.balance.Reqs++
 	if n := len(s.reqPool); n > 0 {
 		r := s.reqPool[n-1]
 		s.reqPool = s.reqPool[:n-1]
@@ -218,11 +269,13 @@ func (s *System) grabReq() *req {
 }
 
 func (s *System) releaseReq(r *req) {
+	s.balance.Reqs--
 	*r = req{}
 	s.reqPool = append(s.reqPool, r)
 }
 
 func (s *System) grabResp() *resp {
+	s.balance.Resps++
 	if n := len(s.respPool); n > 0 {
 		r := s.respPool[n-1]
 		s.respPool = s.respPool[:n-1]
@@ -232,11 +285,13 @@ func (s *System) grabResp() *resp {
 }
 
 func (s *System) releaseResp(r *resp) {
+	s.balance.Resps--
 	*r = resp{}
 	s.respPool = append(s.respPool, r)
 }
 
 func (s *System) grabPending(p *sim.Proc) *pending {
+	s.balance.Pendings++
 	if n := len(s.pendPool); n > 0 {
 		pd := s.pendPool[n-1]
 		s.pendPool = s.pendPool[:n-1]
@@ -247,6 +302,7 @@ func (s *System) grabPending(p *sim.Proc) *pending {
 }
 
 func (s *System) releasePending(pd *pending) {
+	s.balance.Pendings--
 	*pd = pending{}
 	s.pendPool = append(s.pendPool, pd)
 }
@@ -266,8 +322,20 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 	if cfg.Coherence.CachesRemoteReads() && cfg.Protocol == ProtocolLiteral {
 		panic("rdma: the literal protocol supports write-update coherence only")
 	}
+	if cfg.Protocol == ProtocolLiteral && cfg.Detector != nil {
+		// Algorithms 1–2 fetch and write back the stored clocks; a detector
+		// without clock access cannot serve get_clock/put_clock. Reject the
+		// combination up front — the two initiator paths would otherwise
+		// fail in different ways mid-run (the parked path ignored clock-read
+		// errors and tripped over nil clocks later; the CPS path would fail
+		// the operation at the first hop).
+		if _, ok := cfg.Detector.NewAreaState(space.N()).(core.ClockAccessor); !ok {
+			panic("rdma: the literal protocol requires a clock-based detector")
+		}
+	}
 	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[chanKey]vclock.VC)}
 	s.coh = cfg.Coherence.NewState(space.N())
+	net.OnDrop = s.reclaimDropped
 	// Covered-absorb elision (see core.AbsorbElider) is sound when the
 	// reply clock's wire bytes are value-independent (fixed format, so not
 	// under CompressClocks), no replica machinery consumes the reply clock

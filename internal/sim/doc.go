@@ -1,13 +1,28 @@
 // Package sim is a deterministic discrete-event simulation kernel.
 //
 // Simulated processes are ordinary Go functions running on goroutines, but
-// the kernel enforces that exactly one of them runs at a time, handing
-// control back and forth with unbuffered channels. All cross-process
-// signalling is routed through the event queue, so a run is a pure function
-// of (programs, configuration, seed): the same seed always yields the same
-// interleaving. Race *manifestation* is explored by sweeping seeds, which is
-// how the harness realises the paper's operational definition of a race
-// ("the result of a computation differs between executions", §III-C).
+// the kernel enforces that exactly one of them runs at a time. Scheduling is
+// baton-passing: whichever goroutine holds the baton executes the event loop
+// in place. A process that parks does not hand control to a central
+// scheduler goroutine — it becomes the driver itself, executes events
+// inline, and resumes directly (zero goroutine switches) when the next
+// resumption it pops is its own; only a resumption of a *different* process
+// moves the baton, with a single direct channel hand-off. All cross-process
+// signalling is still routed through the event queue, so a run is a pure
+// function of (programs, configuration, seed): the same seed always yields
+// the same interleaving — which goroutine happens to execute an event is
+// invisible to the simulation. Race *manifestation* is explored by sweeping
+// seeds, which is how the harness realises the paper's operational
+// definition of a race ("the result of a computation differs between
+// executions", §III-C).
+//
+// For operations that advance as event-driven state machines instead of
+// parked goroutines (the RDMA initiator path), the kernel provides
+// first-class continuation scheduling: Kernel.Defer files a continuation in
+// exactly the (time, seq) slot a Proc.Ready wakeup pushed at the same
+// moment would occupy, Proc.Await is the single join point such a chain
+// releases, and Proc.Relabel keeps deadlock reports naming the phase
+// actually stuck while the process stays parked across phases.
 //
 // The future-event queue is a hierarchical timing wheel (wheel.go): O(1)
 // amortised schedule and pop, byte-identical (time, seq) execution order to

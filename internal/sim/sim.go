@@ -52,6 +52,14 @@ type Config struct {
 // Kernel is the simulation core. Create one with NewKernel, spawn processes,
 // then call Run. A Kernel is not safe for concurrent use by real threads;
 // concurrency lives inside the simulation.
+//
+// Scheduling is baton-passing: exactly one goroutine — the driver — executes
+// the event loop at any moment. A process that parks becomes the driver
+// itself and keeps executing events in place; it performs a goroutine
+// hand-off only when an event resumes a *different* process (and none at all
+// when the next resumption is its own — the common case for a process
+// waiting on its own continuation events). Run's goroutine drives until the
+// first process resumption and is handed the baton back when the run ends.
 type Kernel struct {
 	cfg Config
 	now Time
@@ -62,14 +70,25 @@ type Kernel struct {
 	// nowQ holds events scheduled for the current instant. They would sit at
 	// the wheel's front anyway (time now, larger seq than anything queued),
 	// so a FIFO ring serves them in O(1) — the fast path every same-time
-	// Ready()/Yield() wakeup takes, skipping the wheel entirely.
-	nowQ    Ring[*event]
-	free    []*event // recycled event structs
-	rng     *rand.Rand
-	procs   []*Proc
-	parked  chan struct{}
-	events  uint64
-	stopped bool
+	// Ready()/Yield()/Defer() continuation takes, skipping the wheel entirely.
+	nowQ  Ring[*event]
+	free  []*event // recycled event structs
+	rng   *rand.Rand
+	procs []*Proc
+	// mainWake returns the baton to Run's goroutine when a driving process
+	// ends the run (queue drained, limit tripped, or Stop). The send is the
+	// happens-before edge that lets Run read runErr, runPanic and every
+	// process's state without further synchronisation: only the goroutine
+	// that ended the run sends, and only Run receives.
+	mainWake chan struct{}
+	runErr   error
+	// runPanic holds a panic value recovered from an event callback; Run
+	// re-raises it on its own goroutine, preserving the pre-baton semantics
+	// (an event-handler panic always escaped Run) and never blaming the
+	// process goroutine that happened to be driving.
+	runPanic any
+	events   uint64
+	stopped  bool
 }
 
 // NewKernel returns a kernel with the given configuration.
@@ -78,9 +97,9 @@ func NewKernel(cfg Config) *Kernel {
 		cfg.MaxEvents = 50_000_000
 	}
 	return &Kernel{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		parked: make(chan struct{}),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		mainWake: make(chan struct{}),
 	}
 }
 
@@ -109,6 +128,17 @@ func (k *Kernel) At(t Time, fn func()) {
 	k.push(t, fn, nil)
 }
 
+// Defer schedules fn at the current instant, behind everything already
+// queued for it — the continuation-scheduling primitive. A deferred
+// continuation occupies exactly the (time, seq) slot a Proc.Ready() wakeup
+// pushed at the same point would, so an event-driven state machine (e.g. the
+// RDMA initiator's continuation chain) interleaves with the rest of the
+// simulation identically to the goroutine-parked code it replaces — without
+// scheduling, waking, or parking any goroutine.
+func (k *Kernel) Defer(fn func()) {
+	k.push(k.now, fn, nil)
+}
+
 // atResume schedules p's resumption at absolute time t without allocating a
 // closure.
 func (k *Kernel) atResume(t Time, p *Proc) {
@@ -118,8 +148,8 @@ func (k *Kernel) atResume(t Time, p *Proc) {
 // push enqueues an event: same-instant events go to the FIFO now-queue,
 // future events to the timing wheel. Execution order is identical to a
 // single (time, seq) priority queue — now-queue entries carry larger
-// sequence numbers than any same-time event already queued, and Run picks
-// the smaller of the two fronts.
+// sequence numbers than any same-time event already queued, and the driver
+// picks the smaller of the two fronts.
 func (k *Kernel) push(t Time, fn func(), p *Proc) {
 	if t < k.now {
 		t = k.now
@@ -197,40 +227,172 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.procs = append(k.procs, p)
 	go func() {
 		<-p.wake // wait to be scheduled for the first time
-		defer func() {
-			if r := recover(); r != nil {
-				p.err = fmt.Errorf("sim: process %s panicked: %v", p.Name, r)
-			}
-			p.state = ProcDone
-			k.parked <- struct{}{}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = fmt.Errorf("sim: process %s panicked: %v", p.Name, r)
+				}
+			}()
+			fn(p)
 		}()
-		fn(p)
+		p.state = ProcDone
+		// A finished process holds the baton; keep executing events until it
+		// moves to another goroutine, then let this one exit.
+		if k.drive(p) == driveEnd {
+			k.mainWake <- struct{}{}
+		}
 	}()
 	k.atResume(k.now, p)
 	return p
 }
 
-// resume hands control to p and blocks until p parks or finishes. It must
-// only be called from kernel (event) context.
-func (k *Kernel) resume(p *Proc) {
-	if p.state == ProcDone {
-		return
+// driveResult says how a drive call ended.
+type driveResult int
+
+const (
+	// driveSelf: an event resumed the driving process itself — it keeps
+	// running with zero goroutine hand-offs.
+	driveSelf driveResult = iota
+	// driveHandoff: the baton (and the loop) moved to another process's
+	// goroutine; the caller just waits for its own wakeup.
+	driveHandoff
+	// driveEnd: the run is over (queue drained, limit, Stop, or an event
+	// callback panicked). Only the goroutine that observed the end gets
+	// this result, and it must return the baton to Run over mainWake.
+	driveEnd
+)
+
+// drive executes the event loop on the calling goroutine until an event
+// resumes self (driveSelf — zero goroutine hand-offs: the park/continue
+// round-trip through channels that the old kernel paid on every wakeup
+// disappears), an event resumes another process (driveHandoff — the baton
+// moved), or the run is over (driveEnd). It must only be called by the
+// goroutine that currently holds the baton, and no kernel field it touches
+// is accessed concurrently: after a hand-off the caller only waits on its
+// own wake channel.
+func (k *Kernel) drive(self *Proc) driveResult {
+	for {
+		if k.stopped || (k.nowQ.Len() == 0 && k.queue.len() == 0) {
+			k.endRun(nil)
+			return driveEnd
+		}
+		// The next event is the (time, seq)-least of the wheel front and
+		// the now-queue front. Every now-queue entry is at the current
+		// instant; wheel entries at the same instant were scheduled earlier
+		// (smaller seq) unless they were filed for this time *before* it
+		// arrived. The peek is bounded by now when the now-queue can win,
+		// so the wheel cursor never passes the kernel clock while events
+		// can still be pushed behind it.
+		var e *event
+		if k.nowQ.Len() == 0 {
+			k.queue.peekWithin(timeMax)
+			e = k.queue.take()
+		} else if we := k.queue.peekWithin(k.now); we != nil && we.seq < k.nowQ.Front().seq {
+			e = k.queue.take()
+		} else {
+			e = k.nowQ.PopFront()
+		}
+		k.now = e.at
+		if k.cfg.MaxTime > 0 && k.now > k.cfg.MaxTime {
+			k.endRun(&LimitError{What: "time", Events: k.events, Time: k.now})
+			return driveEnd
+		}
+		k.events++
+		if k.events > k.cfg.MaxEvents {
+			k.endRun(&LimitError{What: "event", Events: k.events, Time: k.now})
+			return driveEnd
+		}
+		fn, p := e.fn, e.proc
+		k.recycle(e)
+		if p == nil {
+			if !k.callEvent(fn) {
+				k.endRun(nil)
+				return driveEnd
+			}
+			continue
+		}
+		if p.state == ProcDone {
+			continue // stale wakeup for a finished process
+		}
+		if p == self {
+			return driveSelf
+		}
+		p.state = ProcRunning
+		p.wake <- struct{}{}
+		return driveHandoff
 	}
-	p.state = ProcRunning
-	p.wake <- struct{}{}
-	<-k.parked
+}
+
+// callEvent runs one event callback, catching a panic at the event
+// boundary so it cannot unwind into (and be blamed on) whichever process
+// goroutine happens to be driving. It reports whether the callback
+// completed; on false the recovered value is in runPanic and Run re-raises
+// it on its own goroutine — the behaviour event-handler panics always had.
+func (k *Kernel) callEvent(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.runPanic = r
+		}
+	}()
+	fn()
+	return true
+}
+
+// endRun records the run-ending error, if any; the first error wins. Only
+// the goroutine holding the baton calls it, exactly once per run.
+func (k *Kernel) endRun(err error) {
+	if err != nil && k.runErr == nil {
+		k.runErr = err
+	}
 }
 
 // Park suspends the calling process until something calls Ready on it.
 // reason is shown in deadlock reports. It must only be called from the
 // process's own goroutine.
+//
+// The parking process does not hand control to a scheduler goroutine: it
+// becomes the driver and executes events in place until its own resumption
+// surfaces (no goroutine switch at all) or the baton moves to another
+// process (one direct switch).
 func (p *Proc) Park(reason string) {
 	p.state = ProcParked
 	p.blockReason = reason
-	p.k.parked <- struct{}{}
-	<-p.wake
+	k := p.k
+	switch k.drive(p) {
+	case driveSelf:
+		// Resumed in place; fall through.
+	case driveEnd:
+		// The run is over with this process still parked (deadlock, limit,
+		// or Stop); return the baton to Run and stay suspended — Run
+		// reports the process via its recorded block reason.
+		k.mainWake <- struct{}{}
+		<-p.wake
+	case driveHandoff:
+		<-p.wake
+	}
 	p.state = ProcRunning
 	p.blockReason = ""
+}
+
+// Relabel replaces the parked calling-context process's block reason — used
+// by event-driven operations that advance through several phases while their
+// process stays parked, so a deadlock report names the phase actually stuck
+// rather than the one the process first parked on. No-op unless p is parked.
+func (p *Proc) Relabel(reason string) {
+	if p.state == ProcParked {
+		p.blockReason = reason
+	}
+}
+
+// Await parks p until *done is true, re-parking on stray wakeups. It is the
+// join point of a continuation chain: an event-driven operation sets *done
+// and calls Ready exactly once, and the process sleeps through anything
+// else. reason labels the park in deadlock reports (see Relabel for
+// updating it as a multi-phase operation advances).
+func (p *Proc) Await(done *bool, reason string) {
+	for !*done {
+		p.Park(reason)
+	}
 }
 
 // Ready schedules p to resume at the current virtual time. Safe to call
@@ -288,38 +450,18 @@ func (e *LimitError) Error() string {
 // or Stop is called. It returns the first process error (panic) encountered,
 // a DeadlockError if processes remain parked, or nil.
 func (k *Kernel) Run() error {
-	for (k.nowQ.Len() > 0 || k.queue.len() > 0) && !k.stopped {
-		// The next event is the (time, seq)-least of the wheel front and
-		// the now-queue front. Every now-queue entry is at the current
-		// instant; wheel entries at the same instant were scheduled earlier
-		// (smaller seq) unless they were filed for this time *before* it
-		// arrived. The peek is bounded by now when the now-queue can win,
-		// so the wheel cursor never passes the kernel clock while events
-		// can still be pushed behind it.
-		var e *event
-		if k.nowQ.Len() == 0 {
-			k.queue.peekWithin(timeMax)
-			e = k.queue.take()
-		} else if we := k.queue.peekWithin(k.now); we != nil && we.seq < k.nowQ.Front().seq {
-			e = k.queue.take()
-		} else {
-			e = k.nowQ.PopFront()
-		}
-		k.now = e.at
-		if k.cfg.MaxTime > 0 && k.now > k.cfg.MaxTime {
-			return &LimitError{What: "time", Events: k.events, Time: k.now}
-		}
-		k.events++
-		if k.events > k.cfg.MaxEvents {
-			return &LimitError{What: "event", Events: k.events, Time: k.now}
-		}
-		fn, p := e.fn, e.proc
-		k.recycle(e)
-		if p != nil {
-			k.resume(p)
-		} else {
-			fn()
-		}
+	// Run's goroutine drives until the first process resumption; from then
+	// on the baton travels between process goroutines and comes back over
+	// mainWake when the run is over (the receive is the synchronisation
+	// point for everything read below).
+	if k.drive(nil) != driveEnd {
+		<-k.mainWake
+	}
+	if k.runPanic != nil {
+		panic(k.runPanic)
+	}
+	if k.runErr != nil {
+		return k.runErr
 	}
 	for _, p := range k.procs {
 		if p.err != nil {

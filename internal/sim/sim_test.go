@@ -375,3 +375,140 @@ func TestYield(t *testing.T) {
 		t.Fatalf("log = %v", log)
 	}
 }
+
+// TestDeferMatchesReadySlot pins the contract the RDMA continuation chain
+// depends on: a Defer'd continuation runs in exactly the (time, seq) slot a
+// Ready() wakeup pushed at the same moment would, interleaving identically
+// with other same-instant events.
+func TestDeferMatchesReadySlot(t *testing.T) {
+	order := func(useDefer bool) string {
+		k := NewKernel(Config{Seed: 1})
+		var log []string
+		done := false
+		p := k.Spawn("p", func(p *Proc) {
+			p.Await(&done, "wait")
+			log = append(log, "resume")
+		})
+		k.Schedule(10, func() {
+			log = append(log, "a")
+			if useDefer {
+				k.Defer(func() { log = append(log, "resume") })
+			} else {
+				done = true
+				p.Ready()
+			}
+			k.Defer(func() { log = append(log, "b") })
+		})
+		if useDefer {
+			// Nothing resumes p in this variant; release it so the run ends.
+			k.Schedule(20, func() { done = true; p.Ready() })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if useDefer {
+			return strings.Join(log[:3], ",")
+		}
+		return strings.Join(log, ",")
+	}
+	ready, deferred := order(false), order(true)
+	if ready != deferred {
+		t.Fatalf("Defer slot differs from Ready slot: %q vs %q", ready, deferred)
+	}
+	if ready != "a,resume,b" {
+		t.Fatalf("order = %q, want a,resume,b", ready)
+	}
+}
+
+// TestAwaitIgnoresStrayWakeups: a process joined on a condition re-parks on
+// wakeups that did not set it.
+func TestAwaitIgnoresStrayWakeups(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	done := false
+	woke := false
+	p := k.Spawn("p", func(p *Proc) {
+		p.Await(&done, "join")
+		woke = true
+	})
+	k.Schedule(5, p.Ready) // stray: condition still false
+	k.Schedule(9, func() {
+		if woke {
+			t.Error("stray wakeup released the join")
+		}
+	})
+	k.Schedule(10, func() { done = true; p.Ready() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Fatal("join never released")
+	}
+}
+
+// TestRelabelNamesStuckPhase: an event-driven operation that advances while
+// its process stays parked updates the deadlock report's reason.
+func TestRelabelNamesStuckPhase(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	done := false
+	p := k.Spawn("p", func(p *Proc) {
+		p.Await(&done, "phase 1")
+	})
+	k.Schedule(10, func() { p.Relabel("phase 2") })
+	err := k.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0] != "p: phase 2" {
+		t.Fatalf("blocked = %v, want [p: phase 2]", d.Blocked)
+	}
+}
+
+// TestParkSelfResumeNoHandoff: a process whose wakeup is the next event
+// resumes by driving the loop itself — the goroutine count cannot grow
+// while it round-trips through Park.
+func TestParkSelfResumeNoHandoff(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var times []int64
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(Time(i + 1))
+			times = append(times, int64(p.Now()))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(times) != "[1 3 6 10 15]" {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+// TestEventCallbackPanicEscapesRun: a panic in an event callback must
+// escape Run on Run's own goroutine — never be recorded as the error of
+// whichever process goroutine happened to be driving the loop when the
+// event fired.
+func TestEventCallbackPanicEscapesRun(t *testing.T) {
+	k := NewKernel(Config{Seed: 1})
+	var innocent *Proc
+	innocent = k.Spawn("innocent", func(p *Proc) {
+		// Parked across t=50, so this process's goroutine is the driver
+		// when the panicking event fires.
+		p.Sleep(100)
+	})
+	k.Schedule(50, func() { panic("event boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("event panic did not escape Run")
+		}
+		if fmt.Sprint(r) != "event boom" {
+			t.Fatalf("recovered %v, want the event's own panic value", r)
+		}
+		if innocent.Err() != nil {
+			t.Fatalf("innocent driving process blamed for the event panic: %v", innocent.Err())
+		}
+	}()
+	k.Run()
+	t.Fatal("Run returned normally")
+}
