@@ -117,6 +117,38 @@ func BenchmarkE_Scale(b *testing.B) {
 	}
 }
 
+// BenchmarkE_Partition runs the small end of the E_Partition multi-kernel
+// sweep (the full n≤512 × K≤8 grid lives in cmd/bench with its own
+// benchtime): the communication-local shapes at n=64 across shard counts.
+// The runs are bit-identical across K (gated by the multi-kernel
+// differential); ns/op is the only axis that moves.
+func BenchmarkE_Partition(b *testing.B) {
+	for _, wl := range scaleBenchWorkloads {
+		for _, k := range []int{1, 4} {
+			wl, k := wl, k
+			b.Run(fmt.Sprintf("%s/n=64/k=%d", wl.name, k), func(b *testing.B) {
+				benchPartition(b, 64, k, wl.mk)
+			})
+		}
+	}
+}
+
+// BenchmarkE_HomeBatch is the home slot-batching ablation pair on the
+// colliding lockstep shape; msgs/op must not move between the rows, vns/op
+// records the coalesced NICDelays.
+func BenchmarkE_HomeBatch(b *testing.B) {
+	for _, batch := range []bool{false, true} {
+		batch := batch
+		name := "off"
+		if batch {
+			name = "on"
+		}
+		b.Run("lockstep-barrier/n=64/batch="+name, func(b *testing.B) {
+			benchHomeBatch(b, 64, batch)
+		})
+	}
+}
+
 // BenchmarkE_Coherence contrasts the coherence protocols on the
 // ownership-sensitive workloads (E-T12): migration favours write-update,
 // repeated consumption favours write-invalidate; compare msgs/op.

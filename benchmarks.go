@@ -154,6 +154,134 @@ func ScaleBenchmarks() []BenchSpec {
 	return specs
 }
 
+// benchPartition is the E_Partition body: one of the scale workloads at
+// cluster size n on kernels shards, b.N rounds per process, locality-aware
+// partitioning. Fingerprints are bit-identical across kernels (gated by the
+// multi-kernel differential), so these rows measure exactly one thing: the
+// wall-clock cost/benefit of partitioned execution on this host. The
+// effective shard count is recorded as a metric — a serial-only workload
+// (uniform draws from the shared RNG) legitimately degrades to 1 and its
+// rows measure the single kernel under the request.
+func benchPartition(b *testing.B, n, kernels int, mkW func(n, rounds int) workload.Workload) {
+	b.Helper()
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := mkW(n, b.N)
+	b.ResetTimer()
+	res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil), Kernels: kernels})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	totalOps := float64(w.Procs * b.N)
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+	b.ReportMetric(float64(res.Duration)/totalOps, "vns/op")
+	b.ReportMetric(float64(res.Kernels), "kernels")
+}
+
+// PartitionNs and PartitionKs are the E_Partition sweep axes.
+var (
+	PartitionNs = []int{64, 256, 512}
+	PartitionKs = []int{1, 2, 4, 8}
+)
+
+// PartitionBenchmarks returns the E_Partition family: the uniform /
+// migratory / groups shapes at n ∈ {64, 256, 512} across K ∈ {1, 2, 4, 8}
+// kernel shards. K=1 rows are the baseline the speedups read against.
+func PartitionBenchmarks() []BenchSpec {
+	var specs []BenchSpec
+	for _, wl := range scaleBenchWorkloads {
+		for _, n := range PartitionNs {
+			for _, k := range PartitionKs {
+				wl, n, k := wl, n, k
+				specs = append(specs, BenchSpec{
+					Name: fmt.Sprintf("E_Partition/%s/n=%d/k=%d", wl.name, n, k),
+					F:    func(b *testing.B) { benchPartition(b, n, k, wl.mk) },
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// homeBatchWorkload is the E_HomeBatch shape: barrier-phased colliding
+// adders. Every round all workers hit the same cell in one delivery slot at
+// the home and then meet at a barrier, so the round's span is bounded by
+// the *last* completion — exactly the latency the batch's single lock
+// tenure compresses (unbatched, the k-th op waits behind k-1 serialized
+// occupancy windows). Barrier-phased, so race-free after the clock
+// exchange; the two rows' verdicts and message totals are identical and
+// vns/op carries the whole delta.
+func homeBatchWorkload(procs, rounds int) workload.Workload {
+	return workload.Workload{
+		Name:    "lockstep-barrier",
+		Procs:   procs,
+		Profile: workload.RacyBenign,
+		Setup:   func(c *dsm.Cluster) error { return c.Alloc("cell", 0, 1) },
+		Programs: func() []dsm.Program {
+			ps := make([]dsm.Program, procs)
+			for i := range ps {
+				ps[i] = func(p *dsm.Proc) error {
+					for r := 0; r < rounds; r++ {
+						if p.ID() != 0 {
+							if _, err := p.FetchAdd("cell", 0, 1); err != nil {
+								return err
+							}
+						}
+						p.Barrier()
+					}
+					return nil
+				}
+			}
+			return ps
+		},
+	}
+}
+
+// benchHomeBatch is the E_HomeBatch body: the colliding barrier-phased
+// shape with home slot batching off or on; the msgs/op (must not move) and
+// vns/op (drops by the coalesced lock tenures) deltas between the two rows
+// are the ablation's record.
+func benchHomeBatch(b *testing.B, n int, batch bool) {
+	b.Helper()
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rdma.DefaultConfig(d, nil)
+	cfg.HomeSlotBatch = batch
+	w := homeBatchWorkload(n, b.N)
+	b.ResetTimer()
+	res, err := w.Run(dsm.Config{Seed: 1, RDMA: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	totalOps := float64((w.Procs - 1) * b.N)
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/totalOps, "wireB/op")
+	b.ReportMetric(float64(res.Duration)/totalOps, "vns/op")
+}
+
+// HomeBatchBenchmarks returns the E_HomeBatch ablation pair.
+func HomeBatchBenchmarks() []BenchSpec {
+	var specs []BenchSpec
+	for _, batch := range []bool{false, true} {
+		batch := batch
+		name := "off"
+		if batch {
+			name = "on"
+		}
+		specs = append(specs, BenchSpec{
+			Name: fmt.Sprintf("E_HomeBatch/lockstep-barrier/n=64/batch=%s", name),
+			F:    func(b *testing.B) { benchHomeBatch(b, 64, batch) },
+		})
+	}
+	return specs
+}
+
 // benchCoherence is the E-T12 body: a coherence-sensitive workload with
 // b.N rounds under the named protocol; one op is one critical section /
 // stage-round, so msgs/op exposes the per-protocol wire cost the

@@ -12,6 +12,7 @@
 //	go run ./cmd/bench -filter 'E_T4|E_Coherence' -benchtime 50000x
 //	go run ./cmd/bench -out BENCH_<pr>.json -pr <pr> -baseline BENCH_<pr-1>.json -note "after <change>"
 //	go run ./cmd/bench -scale-benchtime 150x          # include the E_Scale n≤512 sweep
+//	go run ./cmd/bench -partition-benchtime 50x       # include the E_Partition kernels sweep + E_HomeBatch
 //	go run ./cmd/bench -compare BENCH_2.json -in BENCH_3.json   # delta table, no benchmarks run
 //	go run ./cmd/bench -compare BENCH_2.json          # run, then print the delta table
 package main
@@ -27,6 +28,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,11 +55,20 @@ type File struct {
 	GoVersion string `json:"go_version"`
 	CPU       string `json:"cpu"`
 	BenchTime string `json:"benchtime"`
+	// GoMaxProcs and CPUModel pin the host parallelism the wall-clock
+	// numbers were taken under — indispensable context for the E_Partition
+	// rows (a GOMAXPROCS=1 host cannot show multi-kernel speedup; its K>1
+	// rows measure pure partitioning overhead).
+	GoMaxProcs int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
 	// ScaleBenchTime is the separate (smaller) benchtime the E_Scale family
 	// ran with; its entries in Results are per-that-many rounds.
-	ScaleBenchTime string            `json:"scale_benchtime,omitempty"`
-	Results        []Result          `json:"results"`
-	Baseline       map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
+	ScaleBenchTime string `json:"scale_benchtime,omitempty"`
+	// PartitionBenchTime is the benchtime of the E_Partition + E_HomeBatch
+	// families (skipped when empty).
+	PartitionBenchTime string            `json:"partition_benchtime,omitempty"`
+	Results            []Result          `json:"results"`
+	Baseline           map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
 }
 
 func main() {
@@ -64,6 +76,8 @@ func main() {
 	filter := flag.String("filter", "", "regexp selecting benchmark names (default: all)")
 	benchtime := flag.String("benchtime", "2000x", "benchmark duration per family (Nx or duration)")
 	scaleBenchtime := flag.String("scale-benchtime", "", "benchtime for the E_Scale family (empty = skip the family)")
+	partitionBenchtime := flag.String("partition-benchtime", "", "benchtime for the E_Partition and E_HomeBatch families (empty = skip them)")
+	kernels := flag.String("kernels", "", "comma-separated shard counts for the E_Partition sweep (default 1,2,4,8)")
 	pr := flag.Int("pr", 0, "PR number to record")
 	note := flag.String("note", "", "free-form note recorded in the file")
 	baseline := flag.String("baseline", "", "existing BENCH_*.json whose results become this file's baseline section")
@@ -132,16 +146,21 @@ func main() {
 	}
 
 	file := File{
-		Schema:    "dsmrace-bench/v1",
-		PR:        *pr,
-		Note:      *note,
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		CPU:       fmt.Sprintf("%s/%s x%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
-		BenchTime: *benchtime,
+		Schema:     "dsmrace-bench/v1",
+		PR:         *pr,
+		Note:       *note,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPU:        fmt.Sprintf("%s/%s x%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		BenchTime:  *benchtime,
 	}
 	if *scaleBenchtime != "" {
 		file.ScaleBenchTime = *scaleBenchtime
+	}
+	if *partitionBenchtime != "" {
+		file.PartitionBenchTime = *partitionBenchtime
 	}
 	if *baseline != "" {
 		prev, err := readBaseline(*baseline)
@@ -180,6 +199,18 @@ func main() {
 	if *scaleBenchtime != "" {
 		setBenchtime(*scaleBenchtime)
 		run(dsmrace.ScaleBenchmarks())
+	}
+	if *partitionBenchtime != "" {
+		if *kernels != "" {
+			ks, err := parseKernels(*kernels)
+			if err != nil {
+				fail("bench: %v\n", err)
+			}
+			dsmrace.PartitionKs = ks
+		}
+		setBenchtime(*partitionBenchtime)
+		run(dsmrace.PartitionBenchmarks())
+		run(dsmrace.HomeBatchBenchmarks())
 	}
 
 	enc, err := json.MarshalIndent(file, "", "  ")
@@ -268,6 +299,38 @@ func ns(v float64) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.1f", v)
+}
+
+// parseKernels parses the -kernels list ("1,2,4,8"); every entry must be a
+// whole positive integer (Atoi rejects trailing garbage like "2x8").
+func parseKernels(list string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(list, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -kernels entry %q (want positive integers)", part)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+// cpuModel best-effort reads the host CPU model name (Linux /proc/cpuinfo;
+// empty elsewhere) so BENCH records say what machine their wall-clock
+// numbers came from.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // readFile parses a recorded BENCH_*.json.

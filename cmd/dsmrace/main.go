@@ -37,6 +37,7 @@ func main() {
 		truth     = flag.Bool("truth", false, "compute exact ground truth and score the detector")
 		traceOut  = flag.String("trace", "", "write the execution trace (JSON) to this file")
 		maxRaces  = flag.Int("max-races", 10, "print at most this many race reports")
+		kernels   = flag.Int("kernels", 1, "kernel shards for partitioned multi-kernel execution (bit-identical to 1; serial-only workloads degrade)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 	}
 	rcfg.Coherence = coh
 	needTrace := *truth || *traceOut != ""
-	res, err := w.Run(dsm.Config{Seed: *seed, RDMA: rcfg, Trace: needTrace})
+	res, err := w.Run(dsm.Config{Seed: *seed, RDMA: rcfg, Trace: needTrace, Kernels: *kernels})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrace: run:", err)
 		if res == nil {
@@ -81,6 +82,13 @@ func main() {
 	fmt.Printf("workload=%s procs=%d detector=%s protocol=%s coherence=%s seed=%d profile=%s\n",
 		w.Name, w.Procs, *detector, *protocol, coh.Name(), *seed, w.Profile)
 	fmt.Printf("virtual time: %v   events: %d\n", res.Duration, res.Events)
+	if *kernels > 1 {
+		note := ""
+		if res.KernelNote != "" {
+			note = " (" + res.KernelNote + ")"
+		}
+		fmt.Fprintf(os.Stderr, "kernels: %d%s\n", res.Kernels, note)
+	}
 	fmt.Printf("traffic: %v\n", res.NetStats)
 	if coh.CachesRemoteReads() {
 		ch := res.Coherence

@@ -52,32 +52,37 @@ func largeGoldenWorkload(name string) workload.Workload {
 
 // TestDeterminismLargeClusterFingerprints verifies 64-node fixed-seed runs
 // are bit-identical to the pre-scale-work implementation, under both
-// coherence protocols.
+// coherence protocols — and, since PR 5, at every multi-kernel shard count:
+// the partitioned run must reproduce the same golden hashes the single
+// kernel pins (shared-RNG workloads degrade to one kernel by declaration
+// and must still match trivially).
 func TestDeterminismLargeClusterFingerprints(t *testing.T) {
 	for _, g := range largeGoldenRuns {
 		g := g
 		t.Run(g.name, func(t *testing.T) {
-			d, err := NewDetector(g.det)
-			if err != nil {
-				t.Fatal(err)
-			}
-			cp, err := coherence.FromName(g.coh)
-			if err != nil {
-				t.Fatal(err)
-			}
-			cfg := rdma.DefaultConfig(d, nil)
-			cfg.Coherence = cp
-			res, err := largeGoldenWorkload(g.name).Run(dsm.Config{Seed: 1, RDMA: cfg})
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := fmt.Sprintf("races=%d dur=%d msgs=%d bytes=%d fetches=%d hits=%d invals=%d hash=%s",
-				res.RaceCount, int64(res.Duration), res.NetStats.TotalMsgs, res.NetStats.TotalBytes,
-				res.Coherence.Fetches, res.Coherence.Hits, res.Coherence.Invalidations, reportHash(res))
-			want := fmt.Sprintf("races=%d dur=%d msgs=%d bytes=%d fetches=%d hits=%d invals=%d hash=%s",
-				g.races, g.dur, g.msgs, g.bytes, g.fetches, g.hits, g.invals, g.hash)
-			if got != want {
-				t.Errorf("fingerprint drift:\n got  %s\n want %s", got, want)
+			for _, kernels := range []int{0, 1, 2, 4, 8} {
+				d, err := NewDetector(g.det)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cp, err := coherence.FromName(g.coh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := rdma.DefaultConfig(d, nil)
+				cfg.Coherence = cp
+				res, err := largeGoldenWorkload(g.name).Run(dsm.Config{Seed: 1, RDMA: cfg, Kernels: kernels})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fmt.Sprintf("races=%d dur=%d msgs=%d bytes=%d fetches=%d hits=%d invals=%d hash=%s",
+					res.RaceCount, int64(res.Duration), res.NetStats.TotalMsgs, res.NetStats.TotalBytes,
+					res.Coherence.Fetches, res.Coherence.Hits, res.Coherence.Invalidations, reportHash(res))
+				want := fmt.Sprintf("races=%d dur=%d msgs=%d bytes=%d fetches=%d hits=%d invals=%d hash=%s",
+					g.races, g.dur, g.msgs, g.bytes, g.fetches, g.hits, g.invals, g.hash)
+				if got != want {
+					t.Errorf("kernels=%d: fingerprint drift:\n got  %s\n want %s", kernels, got, want)
+				}
 			}
 		})
 	}

@@ -139,6 +139,23 @@ type RunSpec struct {
 	// CompressClocks transmits clock deltas instead of full vectors (wire
 	// byte accounting only; verdicts unaffected).
 	CompressClocks bool
+	// Kernels requests partitioned multi-kernel execution: the cluster's
+	// nodes split across this many kernel shards running in parallel under
+	// conservative time windows, bit-identical to the single-kernel run
+	// (0/1 = single kernel). Requests degrade back to one kernel — recorded
+	// in Result.Kernels/KernelNote — when the run cannot be parallelised
+	// deterministically (tracing, or a latency model without a provable
+	// lookahead; note RunSpec programs count as serial-only when they use
+	// Proc.Rand — declare via SerialOnly).
+	Kernels int
+	// Partition selects the node→shard policy: "blocks" (locality-aware,
+	// default) or "round-robin".
+	Partition string
+	// LocalityGroup hints the affinity-group size for the blocks policy.
+	LocalityGroup int
+	// SerialOnly declares the programs draw from Proc.Rand (or share Go
+	// state across processes); such runs execute on one kernel.
+	SerialOnly bool
 	// Trace enables execution tracing (required for GroundTruthOf).
 	Trace bool
 	// Label tags the run.
@@ -201,12 +218,16 @@ func (s RunSpec) build() (*Cluster, []Program, error) {
 		lat = network.Jitter{Base: lat, Frac: s.Jitter}
 	}
 	c, err := dsm.New(dsm.Config{
-		Procs:   s.Procs,
-		Seed:    s.Seed,
-		Latency: lat,
-		RDMA:    rcfg,
-		Trace:   s.Trace,
-		Label:   s.Label,
+		Procs:         s.Procs,
+		Seed:          s.Seed,
+		Latency:       lat,
+		RDMA:          rcfg,
+		Trace:         s.Trace,
+		Label:         s.Label,
+		Kernels:       s.Kernels,
+		Partition:     s.Partition,
+		LocalityGroup: s.LocalityGroup,
+		SerialOnly:    s.SerialOnly,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,126 @@
+package dsmrace
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/workload"
+)
+
+// runHomeBatch executes a workload with HomeSlotBatch set as given and
+// returns the result plus the cluster (for batch counters / pool audits).
+func runHomeBatch(t *testing.T, w workload.Workload, batch bool, kernels int) (*Result, *dsm.Cluster) {
+	t.Helper()
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rdma.DefaultConfig(d, nil)
+	cfg.HomeSlotBatch = batch
+	c, err := dsm.New(dsm.Config{Procs: w.Procs, Seed: 1, RDMA: cfg, Kernels: kernels, Label: w.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(c); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunEach(w.Programs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr := res.FirstError(); ferr != nil {
+		t.Fatal(ferr)
+	}
+	if w.Check != nil {
+		if err := w.Check(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res, c
+}
+
+// reportOps projects a run's reports onto their schedule-independent core:
+// the (proc, seq) of each flagged operation, in detection order.
+func reportOps(res *Result) []string {
+	out := make([]string, 0, len(res.Races))
+	for _, r := range res.Races {
+		out = append(out, fmt.Sprintf("P%d#%d@a%d", r.Current.Proc, r.Current.Seq, r.Current.Area))
+	}
+	return out
+}
+
+// TestHomeSlotBatchDifferential is the micro-batching groundwork gate:
+// batching same-slot same-area requests at the home must leave the race
+// *verdicts* identical — same flagged (proc, seq) operations in the same
+// order, zero staying zero on race-free workloads — and the memory image,
+// message totals and completion semantics untouched, while virtual time
+// improves on the colliding shape. Batching intentionally compresses
+// timing, so durations (and report timestamps) may differ; verdicts may
+// not.
+func TestHomeSlotBatchDifferential(t *testing.T) {
+	workloads := []workload.Workload{
+		workload.LockstepAdders(12, 5),
+		workload.Stencil1D(16, 8, 3),
+		workload.ProducerConsumerChain(12, 3, 8, 3),
+		workload.Migratory(16, 4, 8),
+	}
+	engaged := false
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			plain, _ := runHomeBatch(t, w, false, 0)
+			batched, c := runHomeBatch(t, w, true, 0)
+			if plain.RaceCount != batched.RaceCount {
+				t.Fatalf("races diverged: plain=%d batched=%d", plain.RaceCount, batched.RaceCount)
+			}
+			if w.Profile == workload.RaceFree && plain.RaceCount != 0 {
+				t.Fatalf("race-free workload signalled %d races", plain.RaceCount)
+			}
+			po, bo := reportOps(plain), reportOps(batched)
+			for i := range po {
+				if bo[i] != po[i] {
+					t.Fatalf("verdict %d diverged: plain=%s batched=%s", i, po[i], bo[i])
+				}
+			}
+			if plain.NetStats.TotalMsgs != batched.NetStats.TotalMsgs {
+				t.Fatalf("batching changed message totals: %d vs %d",
+					batched.NetStats.TotalMsgs, plain.NetStats.TotalMsgs)
+			}
+			if batched.Duration > plain.Duration {
+				t.Fatalf("batching slowed virtual time: %v vs %v", batched.Duration, plain.Duration)
+			}
+			if n := c.System().BatchedOps(); n > 0 {
+				engaged = true
+				t.Logf("%s: %d ops batched, vns %d -> %d (-%.1f%%)", w.Name, n,
+					plain.Duration, batched.Duration,
+					100*float64(plain.Duration-batched.Duration)/float64(plain.Duration))
+			}
+		})
+	}
+	if !engaged {
+		t.Fatal("no workload engaged the batcher; the differential proved nothing")
+	}
+}
+
+// TestHomeSlotBatchMultiKernel pins that batching composes with the
+// partitioned multi-kernel: a batched K=4 run is bit-identical to the
+// batched single-kernel run.
+func TestHomeSlotBatchMultiKernel(t *testing.T) {
+	w := workload.LockstepAdders(12, 5)
+	single, _ := runHomeBatch(t, w, true, 0)
+	multi, c := runHomeBatch(t, w, true, 4)
+	if multiFingerprintOf(single).runFingerprint != multiFingerprintOf(multi).runFingerprint {
+		t.Fatalf("batched multi-kernel diverged:\n single %+v\n multi  %+v",
+			multiFingerprintOf(single), multiFingerprintOf(multi))
+	}
+	for s := 0; s < c.System().PoolShards(); s++ {
+		if b := c.System().PoolBalanceShard(s); b != (rdma.PoolBalance{}) {
+			t.Fatalf("pool shard %d unbalanced: %+v", s, b)
+		}
+	}
+	if c.System().BatchedOps() == 0 {
+		t.Fatal("multi-kernel run never batched")
+	}
+}

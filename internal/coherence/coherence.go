@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
 	"dsmrace/internal/memory"
 	"dsmrace/internal/vclock"
@@ -53,8 +54,10 @@ type Protocol interface {
 	// ServesHomeReadsLocally reports whether a node reads areas homed on
 	// itself without any messages (the home copy is by definition valid).
 	ServesHomeReadsLocally() bool
-	// NewState returns fresh per-run protocol state for a cluster of nodes.
-	NewState(nodes int) State
+	// NewState returns fresh per-run protocol state for a cluster of nodes
+	// sharing areas shared variables (the area id space is dense and sealed
+	// before the run starts).
+	NewState(nodes, areas int) State
 }
 
 // Stats counts protocol-level events for one run. Cache hits generate no
@@ -141,11 +144,11 @@ type writeUpdate struct{}
 // NewWriteUpdate returns the write-update protocol.
 func NewWriteUpdate() Protocol { return writeUpdate{} }
 
-func (writeUpdate) Name() string                 { return "write-update" }
-func (writeUpdate) Kind() Kind                   { return WriteUpdate }
-func (writeUpdate) CachesRemoteReads() bool      { return false }
-func (writeUpdate) ServesHomeReadsLocally() bool { return false }
-func (writeUpdate) NewState(nodes int) State     { return nopState{} }
+func (writeUpdate) Name() string                    { return "write-update" }
+func (writeUpdate) Kind() Kind                      { return WriteUpdate }
+func (writeUpdate) CachesRemoteReads() bool         { return false }
+func (writeUpdate) ServesHomeReadsLocally() bool    { return false }
+func (writeUpdate) NewState(nodes, areas int) State { return nopState{} }
 
 // nopState is write-update's replica bookkeeping: there are no replicas.
 type nopState struct{}
@@ -173,15 +176,14 @@ func (writeInvalidate) Kind() Kind                   { return WriteInvalidate }
 func (writeInvalidate) CachesRemoteReads() bool      { return true }
 func (writeInvalidate) ServesHomeReadsLocally() bool { return true }
 
-func (writeInvalidate) NewState(nodes int) State {
-	s := &wiState{
-		caches: make([]map[memory.AreaID]*copyLine, nodes),
-		nodes:  nodes,
+func (writeInvalidate) NewState(nodes, areas int) State {
+	return &wiState{
+		caches:  make([]map[memory.AreaID]*copyLine, nodes),
+		dir:     make([][]uint64, areas),
+		nodes:   nodes,
+		scratch: make([][]int, nodes),
+		stats:   make([]paddedStats, nodes),
 	}
-	for i := range s.dir {
-		s.dir[i] = make(map[memory.AreaID][]uint64)
-	}
-	return s
 }
 
 // copyLine is one node's cached copy of one area.
@@ -191,34 +193,42 @@ type copyLine struct {
 	valid bool
 }
 
-// dirShards is the sharer directory's shard fan-out (a power of two: the
-// shard pick is a mask of the area id).
-const dirShards = 16
+// paddedStats is one node's protocol counters, padded to a cache line so
+// nodes on different kernel shards never false-share a counter word (the
+// pad is derived from the struct size, so growing Stats keeps it correct).
+type paddedStats struct {
+	s Stats
+	_ [(64 - unsafe.Sizeof(Stats{})%64) % 64]byte
+}
 
 // wiState implements State for write-invalidate: per-node caches plus the
 // per-area sharer directory (conceptually resident at each area's home —
-// held here because the simulator is one process). The directory is sharded
-// by area id so lookups and invalidation fan-outs at large area counts
-// probe one small map instead of serialising on a single big one, and each
-// area's sharer set is a bitset: registering a sharer is one OR, and
+// held here because the simulator is one process). The directory is a dense
+// slice indexed by area id — the id space is sealed before the run — so an
+// area's sharer set is touched only from its home's execution context, which
+// is what lets a multi-kernel run fan homes across shards without locks.
+// Each sharer set is a bitset: registering a sharer is one OR, and
 // collecting a write's invalidees walks set bits — O(nodes/64 + sharers),
-// not O(nodes).
+// not O(nodes). Event counters are per node (every event is attributable to
+// the node whose context observes it) and summed on read, so the totals are
+// bit-identical however the nodes are sharded.
 type wiState struct {
-	caches  []map[memory.AreaID]*copyLine
-	dir     [dirShards]map[memory.AreaID][]uint64
-	nodes   int
-	scratch []int // Invalidees result buffer, reused
-	stats   Stats
+	caches []map[memory.AreaID]*copyLine
+	dir    [][]uint64
+	nodes  int
+	// scratch is the per-node Invalidees result buffer (Invalidees runs in
+	// the home's context, so per-node buffers never race).
+	scratch [][]int
+	stats   []paddedStats
 }
 
 // sharerSet returns (lazily creating, when create is set) the sharer bitset
-// of area id.
+// of area id. Only ever called from the area's home context.
 func (s *wiState) sharerSet(id memory.AreaID, create bool) []uint64 {
-	shard := s.dir[int(id)&(dirShards-1)]
-	v := shard[id]
+	v := s.dir[id]
 	if v == nil && create {
 		v = make([]uint64, (s.nodes+63)/64)
-		shard[id] = v
+		s.dir[id] = v
 	}
 	return v
 }
@@ -249,7 +259,7 @@ func (s *wiState) CachedRead(node int, a memory.Area, off, count int) ([]memory.
 	if off < 0 || count < 0 || off+count > len(l.data) {
 		return nil, vclock.Masked{}, false
 	}
-	s.stats.Hits++
+	s.stats[node].s.Hits++
 	out := make([]memory.Word, count)
 	copy(out, l.data[off:off+count])
 	return out, l.w, true
@@ -269,7 +279,7 @@ func (s *wiState) InstallCopy(node int, a memory.Area, data []memory.Word, w vcl
 		l.w = vclock.Masked{}
 	}
 	l.valid = true
-	s.stats.Installs++
+	s.stats[node].s.Installs++
 }
 
 // PatchCopy implements State.
@@ -285,7 +295,7 @@ func (s *wiState) PatchCopy(node int, a memory.Area, off int, data []memory.Word
 	if !neww.IsNil() {
 		l.w = neww.CopyInto(l.w)
 	}
-	s.stats.Patches++
+	s.stats[node].s.Patches++
 }
 
 // DropCopy implements State.
@@ -307,7 +317,8 @@ func (s *wiState) Invalidees(writer int, a memory.Area) []int {
 	if v == nil {
 		return nil
 	}
-	out := s.scratch[:0]
+	home := a.Home
+	out := s.scratch[home][:0]
 	for w, word := range v {
 		if w == writer>>6 {
 			word &^= 1 << (uint(writer) & 63) // the writer keeps its copy
@@ -318,25 +329,40 @@ func (s *wiState) Invalidees(writer int, a memory.Area) []int {
 		base := w * 64
 		for b := word; b != 0; b &= b - 1 {
 			out = append(out, base+bits.TrailingZeros64(b))
-			s.stats.Invalidations++
+			s.stats[home].s.Invalidations++
 		}
 		v[w] &^= word
 	}
-	s.scratch = out
+	s.scratch[home] = out
 	return out
 }
 
-// Stats implements State.
-func (s *wiState) Stats() Stats { return s.stats }
+// Stats implements State: the per-node counters summed — a commutative
+// total, bit-identical however the nodes were sharded.
+func (s *wiState) Stats() Stats {
+	var t Stats
+	for i := range s.stats {
+		n := &s.stats[i].s
+		t.HomeReads += n.HomeReads
+		t.Hits += n.Hits
+		t.Fetches += n.Fetches
+		t.Installs += n.Installs
+		t.Patches += n.Patches
+		t.Invalidations += n.Invalidations
+	}
+	return t
+}
 
 // CountHomeRead and CountFetch let the transport attribute events the state
-// cannot see from its own calls.
-func (s *wiState) CountHomeRead() { s.stats.HomeReads++ }
-func (s *wiState) CountFetch()    { s.stats.Fetches++ }
+// cannot see from its own calls; node is the node in whose execution
+// context the event happened (the home).
+func (s *wiState) CountHomeRead(node int) { s.stats[node].s.HomeReads++ }
+func (s *wiState) CountFetch(node int)    { s.stats[node].s.Fetches++ }
 
 // Counter is implemented by states that track transport-visible events
-// (home-local reads, fetches). The transport calls it when present.
+// (home-local reads, fetches). The transport calls it when present, passing
+// the node whose context observed the event.
 type Counter interface {
-	CountHomeRead()
-	CountFetch()
+	CountHomeRead(node int)
+	CountFetch(node int)
 }

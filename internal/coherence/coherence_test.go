@@ -32,7 +32,7 @@ func TestWriteUpdateIsInert(t *testing.T) {
 	if p.CachesRemoteReads() || p.ServesHomeReadsLocally() {
 		t.Error("write-update must not cache or shortcut reads")
 	}
-	st := p.NewState(4)
+	st := p.NewState(4, 8)
 	st.InstallCopy(1, area, []memory.Word{1, 2, 3, 4}, vclock.Masked{})
 	st.AddSharer(1, area)
 	if _, _, ok := st.CachedRead(1, area, 0, 4); ok {
@@ -47,7 +47,7 @@ func TestWriteUpdateIsInert(t *testing.T) {
 }
 
 func TestWriteInvalidateLifecycle(t *testing.T) {
-	st := NewWriteInvalidate().NewState(4)
+	st := NewWriteInvalidate().NewState(4, 8)
 	w := vclock.New(4)
 	w.Tick(0)
 
@@ -109,7 +109,7 @@ func TestWriteInvalidateLifecycle(t *testing.T) {
 }
 
 func TestWriteInvalidatePatchNeedsValidCopy(t *testing.T) {
-	st := NewWriteInvalidate().NewState(2)
+	st := NewWriteInvalidate().NewState(2, 8)
 	st.PatchCopy(1, area, 0, []memory.Word{5}, vclock.Masked{}) // no copy: must not create one
 	if _, _, ok := st.CachedRead(1, area, 0, 1); ok {
 		t.Error("patch created a copy out of thin air")

@@ -196,12 +196,76 @@ type Collector struct {
 	// private copies of its clocks (the pre-interning behaviour; used by
 	// callers that mutate reports, and by the interning equivalence tests).
 	NoIntern bool
+	// Sample, when non-zero, stores only a deterministic subset of the
+	// signalled reports — for runs where even interned reports are too
+	// many. Default (the zero SampleSpec) stores everything.
+	Sample SampleSpec
 
-	chunks [][]Report
-	stored int
-	total  int
-	flat   []Report // cached Reports() result; nil after a new Signal
-	intern clockIntern
+	chunks    [][]Report
+	stored    int
+	total     int
+	flat      []Report // cached Reports() result; nil after a new Signal
+	intern    clockIntern
+	areaCount map[memory.AreaID]int
+	sstats    SampleStats
+}
+
+// SampleSpec selects the collector's deterministic sampling mode. Sampling
+// decides purely from the signal sequence — the Nth signal and the per-area
+// stored count — never from wall time or randomness, so the sampled set is
+// a deterministic subset of the full run's reports: re-running the same
+// schedule without sampling yields a superset in the same relative order.
+// Total() still counts every signalled race, and OnReport still sees every
+// report; only storage is thinned.
+type SampleSpec struct {
+	// EveryN stores the 1st, (N+1)th, (2N+1)th... signalled report
+	// (0 or 1 = store every signal).
+	EveryN int
+	// AreaCap caps stored reports per area (0 = uncapped). Applied after
+	// EveryN: a report that passes the stride but lands on a full area is
+	// dropped and counted in SampleStats.
+	AreaCap int
+}
+
+func (s SampleSpec) enabled() bool { return s.EveryN > 1 || s.AreaCap > 0 }
+
+// SampleStats describes what sampling kept and dropped.
+type SampleStats struct {
+	// Seen counts reports that reached the sampler (signalled while
+	// storage was still below Limit).
+	Seen int
+	// Stored counts reports kept.
+	Stored int
+	// DroppedStride counts reports dropped by the EveryN stride.
+	DroppedStride int
+	// DroppedAreaCap counts reports dropped by a full per-area budget.
+	DroppedAreaCap int
+}
+
+// SampleStats returns the sampling counters (all zero when sampling is off
+// or never engaged).
+func (c *Collector) SampleStats() SampleStats { return c.sstats }
+
+// sampleAdmit applies the deterministic sampling decision for a report
+// about to be stored.
+func (c *Collector) sampleAdmit(r *Report) bool {
+	c.sstats.Seen++
+	if c.Sample.EveryN > 1 && (c.sstats.Seen-1)%c.Sample.EveryN != 0 {
+		c.sstats.DroppedStride++
+		return false
+	}
+	if c.Sample.AreaCap > 0 {
+		if c.areaCount == nil {
+			c.areaCount = make(map[memory.AreaID]int)
+		}
+		if c.areaCount[r.Area] >= c.Sample.AreaCap {
+			c.sstats.DroppedAreaCap++
+			return false
+		}
+		c.areaCount[r.Area]++
+	}
+	c.sstats.Stored++
+	return true
 }
 
 // Signal records a report. The report is deep-copied on the way in:
@@ -211,6 +275,9 @@ type Collector struct {
 func (c *Collector) Signal(r Report) {
 	c.total++
 	retain := c.Limit == 0 || c.stored < c.Limit
+	if retain && c.Sample.enabled() && !c.sampleAdmit(&r) {
+		retain = false // sampled out: counted, streamed, not stored
+	}
 	if !retain && c.OnReport == nil {
 		return
 	}

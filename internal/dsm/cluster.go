@@ -35,6 +35,30 @@ type Config struct {
 	// MaxEvents and MaxTime bound the simulation (runaway guards).
 	MaxEvents uint64
 	MaxTime   sim.Time
+	// Kernels requests partitioned multi-kernel execution: the cluster's
+	// nodes are split across this many cooperating kernel shards that run
+	// in parallel under conservative time windows, with fingerprints
+	// bit-identical to the single-kernel run (see internal/sim.MultiKernel).
+	// 0 or 1 selects the single kernel. The request degrades back to one
+	// kernel — recorded in Result.Kernels/KernelNote — when the run cannot
+	// be parallelised deterministically: serial-only programs, tracing or
+	// observers (both need the single kernel's apply order across nodes),
+	// or a latency model without a provable lookahead.
+	Kernels int
+	// Partition names the node→shard policy: "blocks" (locality-aware
+	// contiguous ranges, the default) or "round-robin".
+	Partition string
+	// LocalityGroup hints the affinity-group size for the blocks policy:
+	// nodes [g*group, (g+1)*group) communicate mostly among themselves
+	// (e.g. MigratoryGroups rings), so blocks are sized to whole groups and
+	// their traffic never crosses a window barrier.
+	LocalityGroup int
+	// SerialOnly declares that the programs draw from the shared simulation
+	// RNG (Proc.Rand) or share Go state across processes mid-run. Such a
+	// run's draw order is the serial interleaving itself, so it cannot be
+	// parallelised deterministically; Kernels degrades to 1. Workloads set
+	// this via workload.Workload.SharedRand.
+	SerialOnly bool
 }
 
 // Program is one process's code. It runs on a simulated process and may
@@ -61,6 +85,11 @@ type Result struct {
 	Duration sim.Time
 	// Events is the number of simulation events executed.
 	Events uint64
+	// Kernels is the number of kernel shards the run actually executed on
+	// (1 when a multi-kernel request degraded; see KernelNote).
+	Kernels int
+	// KernelNote explains a degraded Kernels request ("" when none).
+	KernelNote string
 	// StorageBytes is the detection metadata footprint (E-T1).
 	StorageBytes int
 	// Errors holds each program's returned error (index = process id).
@@ -80,16 +109,19 @@ func (r *Result) FirstError() error {
 // Cluster is a configured system ready to run one program set. Allocate
 // shared variables with Alloc before calling Run; a Cluster is single-shot.
 type Cluster struct {
-	cfg    Config
-	kernel *sim.Kernel
-	net    *network.Network
-	space  *memory.Space
-	sys    *rdma.System
-	col    *core.Collector
-	rec    *trace.Recorder
-	procs  []*Proc
-	bar    *barrierCoord
-	ran    bool
+	cfg        Config
+	kernel     *sim.Kernel // single-kernel mode (nil when mk is set)
+	mk         *sim.MultiKernel
+	shardOf    []int
+	kernelNote string
+	net        *network.Network
+	space      *memory.Space
+	sys        *rdma.System
+	col        *core.Collector
+	rec        *trace.Recorder
+	procs      []*Proc
+	bar        *barrierCoord
+	ran        bool
 }
 
 // New builds a cluster from cfg.
@@ -106,12 +138,51 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Latency == nil {
 		cfg.Latency = network.DefaultIB()
 	}
-	k := sim.NewKernel(sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime})
+	kcount := cfg.Kernels
+	if kcount < 1 {
+		kcount = 1
+	}
+	if kcount > cfg.Procs {
+		kcount = cfg.Procs
+	}
+	note := ""
+	var look sim.Time
+	deferAll := false
+	if kcount > 1 {
+		switch {
+		case cfg.SerialOnly:
+			kcount, note = 1, "serial-only programs (shared RNG draws order the run)"
+		case cfg.Trace:
+			kcount, note = 1, "tracing needs the single kernel's apply order"
+		case cfg.RDMA.Observer != nil:
+			kcount, note = 1, "observers need the single kernel's apply order"
+		case cfg.RDMA.LegacyInitiator:
+			kcount, note = 1, "the legacy initiator shim is single-kernel only"
+		default:
+			var ok bool
+			look, deferAll, ok = network.ParallelLookahead(cfg.Latency, cfg.Procs)
+			if !ok {
+				kcount, note = 1, "latency model admits no conservative lookahead"
+			}
+		}
+	}
 	c := &Cluster{
-		cfg:    cfg,
-		kernel: k,
-		net:    network.New(k, cfg.Procs, cfg.Latency),
-		space:  memory.NewSpace(cfg.Procs, cfg.PrivateWords, cfg.PublicWords),
+		cfg:        cfg,
+		kernelNote: note,
+		space:      memory.NewSpace(cfg.Procs, cfg.PrivateWords, cfg.PublicWords),
+	}
+	scfg := sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime}
+	if kcount > 1 {
+		policy, err := sim.PartitionPolicyFromName(cfg.Partition)
+		if err != nil {
+			return nil, fmt.Errorf("dsm: %w", err)
+		}
+		c.mk = sim.NewMultiKernel(scfg, kcount, look)
+		c.shardOf = sim.PartitionNodes(cfg.Procs, kcount, policy, cfg.LocalityGroup)
+		c.net = network.NewSharded(c.mk, c.shardOf, cfg.Procs, cfg.Latency, deferAll)
+	} else {
+		c.kernel = sim.NewKernel(scfg)
+		c.net = network.New(c.kernel, cfg.Procs, cfg.Latency)
 	}
 	if cfg.RDMA.Detector != nil {
 		if cfg.RDMA.Collector == nil {
@@ -123,8 +194,40 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Kernel exposes the simulation kernel (tests and advanced harnesses).
+// Kernel exposes the simulation kernel (tests and advanced harnesses) —
+// nil on a multi-kernel cluster, where no single kernel exists; see
+// MultiKernel and kernelFor.
 func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// MultiKernel exposes the sharded kernel of a Kernels>1 cluster (nil on a
+// single kernel).
+func (c *Cluster) MultiKernel() *sim.MultiKernel { return c.mk }
+
+// KernelsEffective returns the shard count the cluster will actually run
+// on, with the degrade note ("" when the request held).
+func (c *Cluster) KernelsEffective() (int, string) {
+	if c.mk != nil {
+		return c.mk.Shards(), ""
+	}
+	return 1, c.kernelNote
+}
+
+// ShardOf returns the kernel shard that owns node id (0 on a single
+// kernel) — placement introspection for partition-policy tests and tools.
+func (c *Cluster) ShardOf(id int) int {
+	if c.shardOf == nil {
+		return 0
+	}
+	return c.shardOf[id]
+}
+
+// kernelFor returns the kernel that executes node id's events.
+func (c *Cluster) kernelFor(id int) *sim.Kernel {
+	if c.mk != nil {
+		return c.mk.Shard(c.shardOf[id])
+	}
+	return c.kernel
+}
 
 // Space exposes the global address space.
 func (c *Cluster) Space() *memory.Space { return c.space }
@@ -200,19 +303,31 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 		c.procs = append(c.procs, p)
 		prog := programs[i]
 		idx := i
-		c.kernel.Spawn(fmt.Sprintf("P%d", i), func(sp *sim.Proc) {
+		c.kernelFor(i).Spawn(fmt.Sprintf("P%d", i), func(sp *sim.Proc) {
 			p.sp = sp
 			errs[idx] = prog(p)
 		})
 	}
 
-	runErr := c.kernel.Run()
+	var runErr error
+	var dur sim.Time
+	var events uint64
+	kernels := 1
+	if c.mk != nil {
+		runErr = c.mk.Run()
+		dur, events, kernels = c.mk.Now(), c.mk.Events(), c.mk.Shards()
+	} else {
+		runErr = c.kernel.Run()
+		dur, events = c.kernel.Now(), c.kernel.Events()
+	}
 	res := &Result{
-		NetStats:     c.net.Stats().Snapshot(),
+		NetStats:     c.net.TotalStats(),
 		Coherence:    c.sys.CoherenceStats(),
 		Memory:       c.space.Snapshot(),
-		Duration:     c.kernel.Now(),
-		Events:       c.kernel.Events(),
+		Duration:     dur,
+		Events:       events,
+		Kernels:      kernels,
+		KernelNote:   c.kernelNote,
 		StorageBytes: c.sys.StorageBytes(),
 		Errors:       errs,
 	}

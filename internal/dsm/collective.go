@@ -45,7 +45,7 @@ func (b *barrierCoord) arrive(a *barrierArrive) {
 	for _, ar := range arrivals {
 		merged.Merge(ar.clock)
 	}
-	now := b.c.kernel.Now()
+	now := b.c.kernelFor(0).Now()
 	for _, ar := range arrivals {
 		// Record the barrier at the merge instant so the verifier sees all
 		// participants' barrier events before any post-barrier access.

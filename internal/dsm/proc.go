@@ -44,8 +44,12 @@ func (p *Proc) N() int { return p.c.cfg.Procs }
 // Now returns the current virtual time.
 func (p *Proc) Now() sim.Time { return p.sp.Now() }
 
-// Rand returns the deterministic simulation random source.
-func (p *Proc) Rand() *rand.Rand { return p.c.kernel.Rand() }
+// Rand returns the deterministic simulation random source. On a
+// multi-kernel cluster the shared source is only drawable by serial-only
+// runs (Config.SerialOnly — which forces one kernel), so a draw here under
+// Kernels>1 panics with that instruction rather than silently breaking
+// determinism.
+func (p *Proc) Rand() *rand.Rand { return p.c.kernelFor(p.id).Rand() }
 
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d sim.Time) { p.sp.Sleep(d) }
@@ -103,7 +107,7 @@ func (p *Proc) newAccess(kind core.AccessKind) core.Access {
 func (p *Proc) absorb(clk vclock.Masked) {
 	if !clk.IsNil() {
 		p.clock.Merge(clk)
-		p.c.sys.ReleaseClock(clk)
+		p.c.sys.NIC(p.id).ReleaseClock(clk)
 	}
 }
 
@@ -125,7 +129,7 @@ func (p *Proc) absorbDominant(clk vclock.Masked) {
 	} else {
 		p.clock = clk.CopyInto(p.clock)
 	}
-	p.c.sys.ReleaseClock(clk)
+	p.c.sys.NIC(p.id).ReleaseClock(clk)
 }
 
 // Put writes vals into the shared variable name starting at word offset off
@@ -221,7 +225,7 @@ func (p *Proc) Unlock(name string) error {
 	// (recycling the previous slot buffer) and the next user-level grant
 	// hands it onward — it re-enters the pool only after the acquirer
 	// absorbs it.
-	p.c.sys.NIC(p.id).UnlockArea(a, p.id, p.clock.CopyInto(p.c.sys.GrabClock()))
+	p.c.sys.NIC(p.id).UnlockArea(a, p.id, p.clock.CopyInto(p.c.sys.NIC(p.id).GrabClock()))
 	return nil
 }
 

@@ -77,6 +77,90 @@ func (h Hops) Delay(a, b NodeID, bytes int, _ *rand.Rand) sim.Time {
 	return sim.Time(h.Topo.Hops(a, b))*h.PerHop + sim.Time(bytes)*h.PerByte
 }
 
+// DrawFreeModel is implemented by latency models whose Delay never consumes
+// the random source. The multi-kernel transport uses it to decide whether an
+// intra-shard send can be filed immediately during a parallel window (the
+// delay is a pure function) or must be deferred to the window barrier, where
+// drawing is legal and serially ordered.
+type DrawFreeModel interface {
+	// DrawFree reports that Delay ignores its rng argument entirely.
+	DrawFree() bool
+}
+
+// DrawFree implements DrawFreeModel.
+func (Constant) DrawFree() bool { return true }
+
+// DrawFree implements DrawFreeModel.
+func (Linear) DrawFree() bool { return true }
+
+// DrawFree implements DrawFreeModel.
+func (Hops) DrawFree() bool { return true }
+
+// ParallelLookahead derives the conservative-window parameters a model
+// admits for a cluster of the given size: look is a guaranteed lower bound
+// on every cross-node delay (the window length — nothing sent inside a
+// window can arrive before the next one), and deferAll reports whether every
+// cross-node send must be deferred to the window barrier because computing
+// its delay draws randomness. ok is false when the model cannot support
+// deterministic parallel execution at all: an unknown (possibly drawing)
+// model, a zero cross-node delay, or a drawing model whose *loopback* sends
+// draw (loopback deliveries land inside the sending window and cannot be
+// deferred).
+//
+// Delays are probed at HeaderBytes, the transport's minimum message size;
+// like every built-in model, a custom DrawFreeModel must not shrink its
+// delay as messages grow.
+func ParallelLookahead(m LatencyModel, nodes int) (look sim.Time, deferAll bool, ok bool) {
+	if j, isJitter := m.(Jitter); isJitter {
+		if df, has := j.Base.(DrawFreeModel); !has || !df.DrawFree() {
+			return 0, false, false
+		}
+		for i := 0; i < nodes; i++ {
+			if j.Base.Delay(NodeID(i), NodeID(i), HeaderBytes, nil) != 0 {
+				return 0, false, false // jittered loopback would draw mid-window
+			}
+		}
+		base := probeMinDelay(j.Base, nodes)
+		if base <= 0 {
+			return 0, false, false
+		}
+		f := 1 - j.Frac
+		if f <= 0 {
+			return 1, true, true // Delay clamps every jittered delay to >= 1
+		}
+		look = sim.Time(float64(base)*f) - 1 // floor slack for the float truncation
+		if look < 1 {
+			look = 1
+		}
+		return look, true, true
+	}
+	if df, has := m.(DrawFreeModel); has && df.DrawFree() {
+		min := probeMinDelay(m, nodes)
+		if min <= 0 {
+			return 0, false, false
+		}
+		return min, false, true
+	}
+	return 0, false, false
+}
+
+// probeMinDelay probes every directed cross-node link at the minimum
+// message size. Draw-free models only (rng is nil).
+func probeMinDelay(m LatencyModel, nodes int) sim.Time {
+	min := sim.Time(-1)
+	for a := 0; a < nodes; a++ {
+		for b := 0; b < nodes; b++ {
+			if a == b {
+				continue
+			}
+			if d := m.Delay(NodeID(a), NodeID(b), HeaderBytes, nil); min < 0 || d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
 // Jitter wraps a base model and scales each delay by a uniform factor in
 // [1-Frac, 1+Frac]. Jitter is what makes different seeds explore different
 // interleavings, i.e. what makes races manifest (E-T8).

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -151,9 +152,12 @@ func (s Stats) String() string {
 // inflight is a pooled in-transit message. The deliver closure is bound
 // once when the wrapper is first created and reused for every flight, so a
 // steady-state send performs no allocation: the caller's Message literal is
-// copied in, delivered, and the wrapper recycled.
+// copied in, delivered, and the wrapper recycled. In a sharded network the
+// wrapper belongs to the destination's shard pool (sh non-nil): it is both
+// grabbed and released in that shard's context, so pools never race.
 type inflight struct {
 	net *Network
+	sh  *netShard
 	m   Message
 	fn  func()
 }
@@ -165,11 +169,58 @@ func (f *inflight) deliver() {
 	}
 	h(&f.m)
 	f.m.Payload = nil
+	if f.sh != nil {
+		f.sh.pool = append(f.sh.pool, f)
+		return
+	}
 	f.net.pool = append(f.net.pool, f)
 }
 
+// netShard is one kernel shard's slice of the transport state: traffic
+// counters, drop counter and wrapper/envelope pools, touched only from that
+// shard's execution context (or the serial barrier).
+type netShard struct {
+	stats   Stats
+	dropped uint64
+	pool    []*inflight
+	envs    []*envelope
+}
+
+func (s *netShard) grabEnv() *envelope {
+	if n := len(s.envs); n > 0 {
+		e := s.envs[n-1]
+		s.envs = s.envs[:n-1]
+		return e
+	}
+	return &envelope{sh: s}
+}
+
+func (s *netShard) grabInflight(n *Network) *inflight {
+	if p := len(s.pool); p > 0 {
+		f := s.pool[p-1]
+		s.pool = s.pool[:p-1]
+		return f
+	}
+	f := &inflight{net: n, sh: s}
+	f.fn = f.deliver
+	return f
+}
+
+// envelope is a pooled deferred send: a message whose delivery cannot be
+// filed during the parallel window — its destination is on another shard,
+// or its delay draws randomness. The window barrier's serial replay files
+// it with its exact global key (see Network.fileEnvelope).
+type envelope struct {
+	sh *netShard // owning (source) shard pool
+	at sim.Time  // virtual send time
+	m  Message
+}
+
 // Network connects n nodes over a latency model. Each node registers exactly
-// one delivery handler (its NIC).
+// one delivery handler (its NIC). A network runs either on one kernel (New)
+// or sharded across a MultiKernel (NewSharded), where each node's deliveries
+// execute on the shard that owns it and cross-shard sends travel through
+// window-barrier envelopes.
 type Network struct {
 	k        *sim.Kernel
 	latency  LatencyModel
@@ -177,7 +228,10 @@ type Network struct {
 	// lastArrival enforces FIFO per directed link: a message may not arrive
 	// before one sent earlier on the same link. Flat n×n array indexed
 	// src*n+dst — Send is the single hottest transport call and a map
-	// lookup per message dominated it at large n.
+	// lookup per message dominated it at large n. In a sharded network a
+	// link's slot is touched either always from the source shard (links
+	// whose sends file immediately) or always from the serial barrier
+	// (deferred links) — never both, so no lock is needed.
 	lastArrival []sim.Time
 	stats       Stats
 	// pool recycles in-flight message wrappers once delivered.
@@ -189,14 +243,24 @@ type Network struct {
 	down    []bool
 	anyDown bool
 	Dropped uint64
-	// OnDrop, when non-nil, receives the kind and payload of every message
-	// dropped on a down link before it vanishes, so the layer that pooled
-	// the payload can reclaim it (a dropped round-trip request has no reply
-	// to trigger the usual release; a dropped reply has no receiver at
-	// all). The hook deliberately does not see the *Message: taking it
-	// would make every caller's Message literal escape to the heap, and
-	// Send is the hottest transport call in the simulator.
-	OnDrop func(kind Kind, payload any)
+	// OnDrop, when non-nil, receives the source, kind and payload of every
+	// message dropped on a down link before it vanishes, so the layer that
+	// pooled the payload can reclaim it into the right shard's pool (a
+	// dropped round-trip request has no reply to trigger the usual release;
+	// a dropped reply has no receiver at all). The hook deliberately does
+	// not see the *Message: taking it would make every caller's Message
+	// literal escape to the heap, and Send is the hottest transport call in
+	// the simulator.
+	OnDrop func(src NodeID, kind Kind, payload any)
+
+	// Sharded-mode state (nil/empty on a single-kernel network):
+	mk      *sim.MultiKernel
+	kernels []*sim.Kernel // per-shard
+	shardOf []int         // node -> shard
+	shards  []*netShard
+	// deferAll forces every cross-node send through a barrier envelope
+	// because computing its delay draws randomness (jittered models).
+	deferAll bool
 }
 
 // New creates a network for n nodes on kernel k using the given latency
@@ -214,6 +278,32 @@ func New(k *sim.Kernel, n int, lat LatencyModel) *Network {
 	}
 }
 
+// NewSharded creates a network for n nodes partitioned across mk's shards
+// by shardOf. The latency model must admit parallel execution (see
+// ParallelLookahead — the caller is expected to have sized mk's window from
+// it); deferAll is that probe's verdict on whether cross-node delays draw
+// randomness.
+func NewSharded(mk *sim.MultiKernel, shardOf []int, n int, lat LatencyModel, deferAll bool) *Network {
+	if lat == nil {
+		lat = DefaultIB()
+	}
+	net := &Network{
+		latency:     lat,
+		handlers:    make([]Handler, n),
+		lastArrival: make([]sim.Time, n*n),
+		down:        make([]bool, n*n),
+		mk:          mk,
+		shardOf:     shardOf,
+		deferAll:    deferAll,
+	}
+	for i := 0; i < mk.Shards(); i++ {
+		net.kernels = append(net.kernels, mk.Shard(i))
+		net.shards = append(net.shards, &netShard{})
+	}
+	mk.SetEnvelopeFiler(net.fileEnvelope)
+	return net
+}
+
 // linkIndex flattens a directed link into the per-link arrays.
 func (n *Network) linkIndex(src, dst NodeID) int {
 	return int(src)*len(n.handlers) + int(dst)
@@ -222,11 +312,72 @@ func (n *Network) linkIndex(src, dst NodeID) int {
 // N returns the number of attached nodes.
 func (n *Network) N() int { return len(n.handlers) }
 
-// Kernel returns the simulation kernel the network is attached to.
+// Kernel returns the simulation kernel the network is attached to — nil on
+// a sharded network, where there is no single kernel; use KernelFor.
 func (n *Network) Kernel() *sim.Kernel { return n.k }
 
-// Stats exposes the live traffic counters.
+// KernelFor returns the kernel that executes node id's events: the shard
+// that owns the node, or the single kernel.
+func (n *Network) KernelFor(id NodeID) *sim.Kernel {
+	if n.mk != nil {
+		return n.kernels[n.shardOf[id]]
+	}
+	return n.k
+}
+
+// Multi returns the owning MultiKernel (nil for a single-kernel network).
+func (n *Network) Multi() *sim.MultiKernel { return n.mk }
+
+// ShardCount returns the number of kernel shards (1 for a single kernel).
+func (n *Network) ShardCount() int {
+	if n.mk == nil {
+		return 1
+	}
+	return n.mk.Shards()
+}
+
+// ShardOf returns the shard owning node id (0 on a single kernel).
+func (n *Network) ShardOf(id NodeID) int {
+	if n.shardOf == nil {
+		return 0
+	}
+	return n.shardOf[id]
+}
+
+// Stats exposes the live traffic counters. Single-kernel networks only; a
+// sharded network accumulates per shard — use TotalStats.
 func (n *Network) Stats() *Stats { return &n.stats }
+
+// TotalStats returns the run's traffic counters, summed across shards.
+// Counter sums are order-independent, so the totals are bit-identical to
+// the single-kernel run's.
+func (n *Network) TotalStats() Stats {
+	if n.mk == nil {
+		return n.stats
+	}
+	var t Stats
+	for _, s := range n.shards {
+		for k := 0; k < int(numKinds); k++ {
+			t.Msgs[k] += s.stats.Msgs[k]
+			t.Bytes[k] += s.stats.Bytes[k]
+		}
+		t.TotalMsgs += s.stats.TotalMsgs
+		t.TotalBytes += s.stats.TotalBytes
+	}
+	return t
+}
+
+// TotalDropped returns the cut-link drop count, summed across shards.
+func (n *Network) TotalDropped() uint64 {
+	if n.mk == nil {
+		return n.Dropped
+	}
+	var t uint64
+	for _, s := range n.shards {
+		t += s.dropped
+	}
+	return t
+}
 
 // SetHandler installs the delivery handler (the NIC) for node id.
 func (n *Network) SetHandler(id NodeID, h Handler) {
@@ -263,12 +414,16 @@ func (n *Network) Send(m *Message) {
 	if m.Size < HeaderBytes {
 		m.Size = HeaderBytes
 	}
+	if n.mk != nil {
+		n.sendSharded(m)
+		return
+	}
 	n.stats.count(m)
 	link := n.linkIndex(m.Src, m.Dst)
 	if n.anyDown && n.down[link] {
 		n.Dropped++
 		if n.OnDrop != nil {
-			n.OnDrop(m.Kind, m.Payload)
+			n.OnDrop(m.Src, m.Kind, m.Payload)
 		}
 		return
 	}
@@ -288,4 +443,76 @@ func (n *Network) Send(m *Message) {
 	}
 	f.m = *m
 	n.k.At(at, f.fn)
+}
+
+// sendSharded is the sharded transmit path; it executes on the shard owning
+// m.Src. Loopbacks and — under a draw-free model — intra-shard sends file
+// their delivery immediately (the push takes this shard's next key slot,
+// exactly where the serial kernel pushed it). Cross-shard sends, and every
+// cross-node send under a drawing model, are deferred as envelopes: the
+// window barrier's serial replay computes their delay (drawing the shared
+// RNG in serial send order), applies the link FIFO, and files the delivery
+// into the destination shard at the same global key slot.
+func (n *Network) sendSharded(m *Message) {
+	sh := n.shardOf[m.Src]
+	ss := n.shards[sh]
+	ss.stats.count(m)
+	link := n.linkIndex(m.Src, m.Dst)
+	if n.anyDown && n.down[link] {
+		ss.dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(m.Src, m.Kind, m.Payload)
+		}
+		return
+	}
+	k := n.kernels[sh]
+	if k.InWindow() && m.Src != m.Dst && (n.deferAll || n.shardOf[m.Dst] != sh) {
+		env := ss.grabEnv()
+		env.at = k.Now()
+		env.m = *m
+		k.LogEnvelope(env)
+		return
+	}
+	// Immediate filing: loopback (zero-delay, draw-free — guaranteed by the
+	// parallel-capability gate) or intra-shard under a draw-free model. In
+	// serial phases (setup) the shared RNG is legal and ordered.
+	var rng *rand.Rand
+	if !k.InWindow() {
+		rng = k.Rand()
+	}
+	d := n.latency.Delay(m.Src, m.Dst, m.Size, rng)
+	at := k.Now() + d
+	if last := n.lastArrival[link]; at < last {
+		at = last
+	}
+	n.lastArrival[link] = at
+	ds := n.shards[n.shardOf[m.Dst]]
+	f := ds.grabInflight(n)
+	f.m = *m
+	// In-window immediate sends are intra-shard by construction (the
+	// destination kernel is this kernel); serial-phase sends may cross
+	// shards and file straight into the destination's queue.
+	n.kernels[n.shardOf[m.Dst]].At(at, f.fn)
+}
+
+// fileEnvelope is the barrier replay's deferred-send filer (registered with
+// the MultiKernel): compute the delay — drawing the shared RNG exactly
+// where the serial kernel drew it — apply the link FIFO, and file the
+// delivery into the destination shard with its resolved global key.
+func (n *Network) fileEnvelope(envAny any, key uint64) {
+	env := envAny.(*envelope)
+	m := &env.m
+	d := n.latency.Delay(m.Src, m.Dst, m.Size, n.mk.Rand())
+	at := env.at + d
+	link := n.linkIndex(m.Src, m.Dst)
+	if last := n.lastArrival[link]; at < last {
+		at = last
+	}
+	n.lastArrival[link] = at
+	ds := n.shards[n.shardOf[m.Dst]]
+	f := ds.grabInflight(n)
+	f.m = *m
+	n.kernels[n.shardOf[m.Dst]].PushKeyed(at, key, f.fn)
+	env.m.Payload = nil
+	env.sh.envs = append(env.sh.envs, env)
 }

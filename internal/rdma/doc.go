@@ -49,4 +49,15 @@
 // round so no fetch can revalidate a copy mid-write. The policy decisions
 // and replica bookkeeping live in internal/coherence; this package owns
 // only the messages and the locking.
+//
+// Under a partitioned multi-kernel run (sim.MultiKernel) every NIC executes
+// on the kernel shard that owns its node, and the per-operation pools are
+// sharded with it: a pooled struct belongs to the shard that grabbed it,
+// releases on a foreign shard ride a return bin home at the next window
+// barrier, and System.PoolBalanceShard audits each shard to zero after
+// clean runs. Race reports flush through the barrier's ordered replay so
+// the shared collector sees them in serial detection order. Opt-in home
+// slot batching (Config.HomeSlotBatch) coalesces same-slot same-area data
+// requests into one lock tenure with identical verdicts — see
+// ARCHITECTURE.md's shard/window section.
 package rdma

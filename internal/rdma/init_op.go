@@ -36,12 +36,13 @@ import (
 // All continuation funcs are bound once when the struct is first created, so
 // a steady-state operation allocates nothing.
 type initOp struct {
-	n    *NIC
-	p    *sim.Proc
-	rr   *req         // in-flight pooled request (nil between hops)
-	next func(*resp)  // reply continuation for the in-flight request
-	kind network.Kind // in-flight request kind (park label)
-	done bool
+	n     *NIC
+	p     *sim.Proc
+	rr    *req         // in-flight pooled request (nil between hops)
+	next  func(*resp)  // reply continuation for the in-flight request
+	kind  network.Kind // in-flight request kind (park label)
+	done  bool
+	owner int32 // pool shard that grabbed this struct
 
 	// Operation inputs (only what the literal-protocol continuations read;
 	// single-round-trip ops carry their inputs in the req alone).
@@ -78,15 +79,19 @@ type initOp struct {
 }
 
 // grabInit takes an initiator operation from the pool, binding its
-// continuations once on first creation.
+// continuations once on first creation. Initiator operations are grabbed
+// and released on the initiating node's shard, so n.ps is always the right
+// pool.
 func (s *System) grabInit(n *NIC, p *sim.Proc) *initOp {
-	s.balance.InitOps++
+	ps := n.ps
+	ps.balance.InitOps++
 	var o *initOp
-	if k := len(s.initPool); k > 0 {
-		o = s.initPool[k-1]
-		s.initPool = s.initPool[:k-1]
+	if k := len(ps.initPool); k > 0 {
+		o = ps.initPool[k-1]
+		ps.initPool = ps.initPool[:k-1]
+		o.owner = int32(ps.idx)
 	} else {
-		o = &initOp{}
+		o = &initOp{owner: int32(ps.idx)}
 		o.captureFn = o.capture
 		o.grantFn = o.grant
 		o.putStage1Fn = o.putStage1
@@ -109,16 +114,23 @@ func (s *System) grabInit(n *NIC, p *sim.Proc) *initOp {
 }
 
 // releaseInit recycles a completed initiator operation. The caller must have
-// taken ownership of (or released) every result buffer first.
-func (s *System) releaseInit(o *initOp) {
-	s.balance.InitOps--
+// taken ownership of (or released) every result buffer first. ps is the
+// releasing context's pool shard (the initiator's own, in every current
+// caller).
+func releaseInit(ps *shardPools, o *initOp) {
+	owner := o.owner
 	o.n, o.p, o.rr, o.next, o.stage1Fn = nil, nil, nil, nil, nil
 	o.done, o.lockOn = false, false
 	o.data, o.outData, o.v, o.w = nil, nil, nil, nil
 	o.acc = core.Access{}
 	o.clock = vclock.Masked{}
 	o.errs = ""
-	s.initPool = append(s.initPool, o)
+	if int(owner) == ps.idx {
+		ps.balance.InitOps--
+		ps.initPool = append(ps.initPool, o)
+		return
+	}
+	ps.ret[owner].inits = append(ps.ret[owner].inits, o)
 }
 
 // issue sends one request hop of the operation and registers cont as its
@@ -128,9 +140,11 @@ func (s *System) releaseInit(o *initOp) {
 // label there).
 func (o *initOp) issue(dst network.NodeID, kind network.Kind, size int, r *req, cont func(*resp)) {
 	n := o.n
-	rr := n.sys.grabReq()
+	rr := n.ps.grabReq()
+	owner := rr.owner
 	*rr = *r
-	rr.id = n.sys.nextReq()
+	rr.owner = owner
+	rr.id = n.ps.nextReq()
 	rr.origin = n.id
 	o.rr, o.next, o.kind = rr, cont, kind
 	n.addPending(rr.id, o)
@@ -140,11 +154,13 @@ func (o *initOp) issue(dst network.NodeID, kind network.Kind, size int, r *req, 
 
 // absorb releases the hop's request and detaches the pooled resp's payload
 // fields into the operation; the resp itself goes back to its pool. Every
-// reply continuation starts here.
+// reply continuation starts here, in the initiator's shard context — a
+// foreign-owned req/resp (home on another shard) settles home at the next
+// window barrier.
 func (o *initOp) absorb(rs *resp) {
-	sys := o.n.sys
+	ps := o.n.ps
 	if o.rr != nil {
-		sys.releaseReq(o.rr)
+		ps.releaseReq(o.rr)
 		o.rr = nil
 	}
 	o.next = nil
@@ -163,7 +179,7 @@ func (o *initOp) absorb(rs *resp) {
 	if !rs.clock.IsNil() {
 		o.clock = rs.clock
 	}
-	sys.releaseResp(rs)
+	ps.releaseResp(rs)
 }
 
 // finish completes the operation: the single process wakeup of its lifetime.
@@ -193,7 +209,7 @@ func (o *initOp) capture(rs *resp) {
 // grant absorbs the internal lock grant and defers the per-op first stage.
 func (o *initOp) grant(rs *resp) {
 	o.absorb(rs)
-	o.n.sys.net.Kernel().Defer(o.stage1Fn)
+	o.n.k.Defer(o.stage1Fn)
 }
 
 // readClocks issues a get_clock/get_clock_W hop with the given continuation.
@@ -208,7 +224,7 @@ func (o *initOp) putStage1() { o.readClocks(o.putClocks1Fn) }
 // putClocks1 holds V; the comparison itself runs in the next deferred slot.
 func (o *initOp) putClocks1(rs *resp) {
 	o.absorb(rs)
-	o.n.sys.net.Kernel().Defer(o.putStage2Fn)
+	o.n.k.Defer(o.putStage2Fn)
 }
 
 // putStage2 compares clocks both ways (Algorithm 3), signals, and sends the
@@ -216,12 +232,12 @@ func (o *initOp) putClocks1(rs *resp) {
 func (o *initOp) putStage2() {
 	n := o.n
 	if core.CheckWrite(o.acc.Clock, o.v) {
-		n.sys.signal(&core.Report{
+		n.sys.signal(n, &core.Report{
 			Detector:    n.sys.cfg.Detector.Name(),
 			Area:        o.area.ID,
 			Current:     o.acc,
 			StoredClock: o.v,
-		}, n.sys.net.Kernel().Now())
+		}, n.k.Now())
 	}
 	o.issue(network.NodeID(o.area.Home), network.KindPutReq,
 		network.HeaderBytes+len(o.data)*memory.WordBytes,
@@ -236,7 +252,7 @@ func (o *initOp) putAck(rs *resp) {
 		o.finish()
 		return
 	}
-	o.n.sys.net.Kernel().Defer(o.putStage3Fn)
+	o.n.k.Defer(o.putStage3Fn)
 }
 
 // putStage3 — update_clock_W's re-fetch (Algorithm 5's get_clock).
@@ -245,7 +261,7 @@ func (o *initOp) putStage3() { o.readClocks(o.putClocksDiscFn) }
 // putClocksDiscard absorbs a clock fetch whose values the algorithm ignores.
 func (o *initOp) putClocksDiscard(rs *resp) {
 	o.absorb(rs)
-	o.n.sys.net.Kernel().Defer(o.putStage4Fn)
+	o.n.k.Defer(o.putStage4Fn)
 }
 
 // putStage4 folds the write into the state (put_clock apply) and starts the
@@ -267,7 +283,7 @@ func (o *initOp) getStage1() { o.readClocks(o.getClocks1Fn) }
 // getClocks1 holds W (kept for the tail's reads-from absorb edge).
 func (o *initOp) getClocks1(rs *resp) {
 	o.absorb(rs)
-	o.n.sys.net.Kernel().Defer(o.getStage2Fn)
+	o.n.k.Defer(o.getStage2Fn)
 }
 
 // getStage2 compares the initiator clock against the write clock, signals,
@@ -275,12 +291,12 @@ func (o *initOp) getClocks1(rs *resp) {
 func (o *initOp) getStage2() {
 	n := o.n
 	if core.CheckRead(o.acc.Clock, o.w) {
-		n.sys.signal(&core.Report{
+		n.sys.signal(n, &core.Report{
 			Detector:    n.sys.cfg.Detector.Name(),
 			Area:        o.area.ID,
 			Current:     o.acc,
 			StoredClock: o.w,
-		}, n.sys.net.Kernel().Now())
+		}, n.k.Now())
 	}
 	o.issue(network.NodeID(o.area.Home), network.KindGetReq, network.HeaderBytes,
 		&req{area: o.area, off: o.off, count: o.count, acc: o.acc, hasAcc: false}, o.getReplyFn)
@@ -293,7 +309,7 @@ func (o *initOp) getReply(rs *resp) {
 		o.finish()
 		return
 	}
-	o.n.sys.net.Kernel().Defer(o.getStage3Fn)
+	o.n.k.Defer(o.getStage3Fn)
 }
 
 // getStage3 — update_clock's fetch on the source area.

@@ -13,6 +13,7 @@ import (
 // req is the payload of every NIC request message.
 type req struct {
 	id     uint64
+	owner  int32 // pool shard that grabbed this struct
 	origin network.NodeID
 	area   memory.Area
 	off    int // word offset within the area
@@ -32,6 +33,7 @@ type req struct {
 // resp is the payload of every NIC response message.
 type resp struct {
 	id    uint64
+	owner int32 // pool shard that grabbed this struct
 	data  []memory.Word
 	v, w  vclock.VC     // clock reads
 	clock vclock.Masked // merged clock for the initiator to absorb
@@ -41,9 +43,10 @@ type resp struct {
 // pending tracks a legacy-path initiator-side operation awaiting its
 // response (the CPS path registers the initOp itself — see pendEntry).
 type pending struct {
-	proc *sim.Proc
-	done bool
-	resp *resp
+	proc  *sim.Proc
+	done  bool
+	resp  *resp
+	owner int32 // pool shard that grabbed this struct
 }
 
 // invalJoin tracks a home-side write waiting for invalidation
@@ -61,6 +64,12 @@ type invalJoin struct {
 type NIC struct {
 	sys *System
 	id  network.NodeID
+	// k is the kernel that executes this node's events — the owning shard
+	// of a multi-kernel run, or the run's single kernel.
+	k *sim.Kernel
+	// ps is the pool shard of that kernel: every pooled grab/release in
+	// this NIC's execution context goes through it.
+	ps *shardPools
 	// pending tracks initiator-side operations awaiting responses. A node
 	// runs one process, so only a handful of operations are ever in flight
 	// at once: a tiny linear-scanned table beats a map on every round trip.
@@ -71,6 +80,10 @@ type NIC struct {
 	// locks is the per-area lock table, indexed by AreaID (dense: the
 	// space is sealed before the run); entries materialise on first use.
 	locks []*lockState
+	// batches tracks the open home slot batches of the current instant
+	// (Config.HomeSlotBatch); batchPool recycles batch structs.
+	batches   []*slotBatch
+	batchPool []*slotBatch
 	// UserHandler receives KindUser and KindBarrier messages for the
 	// runtime layered above (e.g. barrier coordination).
 	UserHandler func(m *network.Message)
@@ -122,6 +135,19 @@ func (n *NIC) dropPending(id uint64) {
 
 // ID returns the node this NIC belongs to.
 func (n *NIC) ID() network.NodeID { return n.id }
+
+// Kernel returns the kernel that executes this node's events (the owning
+// shard of a multi-kernel run, or the single kernel).
+func (n *NIC) Kernel() *sim.Kernel { return n.k }
+
+// GrabClock hands out a pooled clock buffer from this node's shard — for
+// callers (the DSM runtime) that ship a clock snapshot through the system
+// and have it released on the receiving side.
+func (n *NIC) GrabClock() vclock.Masked { return n.ps.grabClock() }
+
+// ReleaseClock returns an absorbed clock buffer to this node's shard pool.
+// Callers must not retain the buffer afterwards.
+func (n *NIC) ReleaseClock(c vclock.Masked) { n.ps.releaseClock(c) }
 
 func (n *NIC) lockFor(a memory.AreaID) *lockState {
 	l := n.locks[a]
@@ -204,8 +230,10 @@ func parkReason(k network.Kind) string {
 // send transmits a one-way request (no response expected). The home-side
 // handler recycles the pooled req when it is done.
 func (n *NIC) send(dst network.NodeID, kind network.Kind, size int, r *req) {
-	rr := n.sys.grabReq()
+	rr := n.ps.grabReq()
+	owner := rr.owner
 	*rr = *r
+	rr.owner = owner
 	rr.origin = n.id
 	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
 }
@@ -213,8 +241,10 @@ func (n *NIC) send(dst network.NodeID, kind network.Kind, size int, r *req) {
 // reply sends a response back to the request's origin. The caller's resp
 // literal is copied into a pooled struct released by the initiator.
 func (n *NIC) reply(r *req, kind network.Kind, size int, rs *resp) {
-	rr := n.sys.grabResp()
+	rr := n.ps.grabResp()
+	owner := rr.owner
 	*rr = *rs
+	rr.owner = owner
 	rr.id = r.id
 	n.sys.net.Send(&network.Message{Src: n.id, Dst: r.origin, Kind: kind, Size: size, Payload: rr})
 }
@@ -230,6 +260,7 @@ type homeOp struct {
 	r      *req
 	kind   network.Kind // request kind (put/get/atomic/fetch)
 	l      *lockState   // nil when locking is disabled
+	owner  int32        // pool shard that grabbed this struct
 	err    error
 	absorb vclock.Masked
 	old    memory.Word // atomic: previous stored value
@@ -241,17 +272,156 @@ type homeOp struct {
 
 // startHomeOp begins serving a data request at its home: acquire the area
 // lock (if enabled), then model the memory occupancy, then run the body.
+// With HomeSlotBatch, same-slot same-area requests coalesce instead (see
+// slotBatch).
 func (n *NIC) startHomeOp(m *network.Message, kind network.Kind) {
 	r := m.Payload.(*req)
-	o := n.sys.grabOp()
+	o := n.ps.grabOp()
 	o.n, o.r, o.kind = n, r, kind
 	if !n.sys.cfg.LocksEnabled {
 		o.l = nil
 		o.grant()
 		return
 	}
+	if n.sys.cfg.HomeSlotBatch && kind != network.KindFetchReq {
+		n.joinBatch(o)
+		return
+	}
 	o.l = n.lockFor(r.area.ID)
 	o.l.acquire(r.acc.Proc, o.grantFn)
+}
+
+// slotBatch groups the data requests for one area delivered at one virtual
+// instant (the micro-batching groundwork, Config.HomeSlotBatch): the batch
+// opens on the first such request, closes at the end of the instant (its
+// start continuation runs in a Defer slot — every same-instant delivery
+// carries a smaller sequence number, so all of them join first), then
+// serves the whole batch under one lock tenure with a single NICDelay
+// charge (per-word occupancy still accrues per member). Bodies run in
+// arrival order, so the per-area detector check/fold sequence — and with it
+// every verdict — is exactly the unbatched order; what changes is timing
+// (later members skip their own lock wait and NICDelay), which is why the
+// mode is opt-in rather than fingerprint-neutral. If the area lock turns
+// out to be held when the batch starts (a user critical section), batching
+// would fold foreign operations into the holder's tenure, so the batch
+// falls back to per-op queueing.
+type slotBatch struct {
+	n       *NIC
+	area    memory.AreaID
+	at      sim.Time
+	ops     []*homeOp
+	l       *lockState
+	idx     int // next body to run during the batched tenure
+	startFn func()
+	grantFn func()
+	runFn   func()
+}
+
+// joinBatch adds o to the open batch for its area at the current instant,
+// opening one (and scheduling its start behind the instant's deliveries)
+// when none is open.
+func (n *NIC) joinBatch(o *homeOp) {
+	now := n.k.Now()
+	// Expire batches from earlier instants lazily; a NIC rarely has more
+	// than a couple of areas hit in one slot, so a linear scan is fine.
+	live := n.batches[:0]
+	var b *slotBatch
+	for _, ob := range n.batches {
+		if ob.at == now {
+			live = append(live, ob)
+			if ob.area == o.r.area.ID {
+				b = ob
+			}
+		}
+	}
+	n.batches = live
+	if b == nil {
+		if k := len(n.batchPool); k > 0 {
+			b = n.batchPool[k-1]
+			n.batchPool = n.batchPool[:k-1]
+		} else {
+			b = &slotBatch{}
+			b.startFn = b.start
+			b.grantFn = b.grant
+			b.runFn = b.run
+		}
+		b.n, b.area, b.at, b.idx = n, o.r.area.ID, now, 0
+		n.batches = append(n.batches, b)
+		n.k.Defer(b.startFn)
+	}
+	b.ops = append(b.ops, o)
+}
+
+// start runs at the end of the batch's delivery slot, with every member
+// collected.
+func (b *slotBatch) start() {
+	n := b.n
+	l := n.lockFor(b.area)
+	ops := b.ops
+	if l.held || len(ops) == 1 {
+		// Held lock (fall back: the batch must not ride a user critical
+		// section) or a batch of one (nothing to coalesce): serve each op
+		// on the ordinary path, preserving arrival order.
+		b.ops = b.ops[:0]
+		b.release()
+		for _, o := range ops {
+			o.l = l
+			l.acquire(o.r.acc.Proc, o.grantFn)
+		}
+		return
+	}
+	n.ps.batched += uint64(len(ops))
+	b.l = l
+	l.acquire(ops[0].r.acc.Proc, b.grantFn)
+}
+
+// grant holds the lock for the whole batch: one NICDelay, the members'
+// words summed.
+func (b *slotBatch) grant() {
+	words := 0
+	for _, o := range b.ops {
+		switch o.kind {
+		case network.KindPutReq:
+			words += len(o.r.data)
+		case network.KindAtomicReq:
+			words++
+		default:
+			words += o.r.count
+		}
+	}
+	b.n.k.Schedule(b.n.sys.occupancy(words), b.runFn)
+}
+
+// run executes the members' bodies in arrival order. Each body runs in its
+// own Defer slot (mirroring the per-op cadence of the serial path within
+// the instant) with o.l nil, so per-op release is a no-op; the batch drops
+// the lock once after the last body.
+func (b *slotBatch) run() {
+	if b.idx >= len(b.ops) {
+		b.ops = b.ops[:0]
+		b.l.release()
+		b.l = nil
+		b.release()
+		return
+	}
+	o := b.ops[b.idx]
+	b.idx++
+	o.l = nil
+	o.run()
+	b.n.k.Defer(b.runFn)
+}
+
+// release recycles the batch struct (already emptied).
+func (b *slotBatch) release() {
+	n := b.n
+	for i, ob := range n.batches {
+		if ob == b {
+			n.batches = append(n.batches[:i], n.batches[i+1:]...)
+			break
+		}
+	}
+	b.n = nil
+	n.batchPool = append(n.batchPool, b)
 }
 
 // grant runs once the area lock is held: charge the occupancy window for
@@ -268,7 +438,7 @@ func (o *homeOp) grant() {
 	default: // fetch moves the whole area (the coherence unit)
 		words = o.r.area.Len
 	}
-	o.n.sys.net.Kernel().Schedule(o.n.sys.occupancy(words), o.runFn)
+	o.n.k.Schedule(o.n.sys.occupancy(words), o.runFn)
 }
 
 // release drops the area lock if one is held.
@@ -281,7 +451,7 @@ func (o *homeOp) release() {
 // run is the operation body, at the end of the occupancy window.
 func (o *homeOp) run() {
 	n, r := o.n, o.r
-	k := n.sys.net.Kernel()
+	k := n.k
 	switch o.kind {
 	case network.KindPutReq:
 		o.err = checkAreaRange(r.area, r.off, len(r.data))
@@ -311,7 +481,7 @@ func (o *homeOp) run() {
 		// registers the reader as a sharer.
 		o.serveRead(0, r.area.Len, network.KindFetchReply, func() {
 			n.sys.coh.AddSharer(int(r.origin), r.area)
-			n.sys.countFetch()
+			n.sys.countFetch(int(n.id))
 		})
 	}
 }
@@ -330,18 +500,18 @@ func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServe
 		data = make([]memory.Word, readLen)
 		o.err = n.sys.space.Node(int(n.id)).ReadPublic(r.area.Off+readOff, data)
 	}
-	o.observeAndCheck(r.off, r.count, n.sys.net.Kernel().Now())
+	o.observeAndCheck(r.off, r.count, n.k.Now())
 	if o.err == nil && onServed != nil {
 		onServed()
 	}
 	o.release()
 	size := network.HeaderBytes + len(data)*memory.WordBytes +
-		n.sys.replyClockBytes(chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
+		n.sys.replyClockBytes(n, chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
 	if o.err != nil {
 		data = nil
 	}
 	n.reply(r, replyKind, size, &resp{data: data, clock: o.absorb, err: errString(o.err)})
-	n.sys.releaseOp(o)
+	n.ps.releaseOp(o)
 }
 
 // observeAndCheck notifies the trace observer and runs the detector for the
@@ -357,7 +527,7 @@ func (o *homeOp) observeAndCheck(off, count int, at sim.Time) {
 	if n.sys.DetectionOn() && r.hasAcc {
 		acc := r.acc
 		acc.Time = at
-		o.absorb = n.sys.checkAccess(acc, r.area, off, count, at)
+		o.absorb = n.sys.checkAccess(n, acc, r.area, off, count, at)
 	}
 }
 
@@ -372,8 +542,8 @@ func (o *homeOp) finishWrite() {
 		if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
 			join := &invalJoin{left: len(inv), finish: o.finishFn}
 			for _, node := range inv {
-				rr := n.sys.grabReq()
-				rr.id = n.sys.nextReq()
+				rr := n.ps.grabReq()
+				rr.id = n.ps.nextReq()
 				rr.origin = n.id
 				rr.area = r.area
 				n.invalWait[rr.id] = join
@@ -390,14 +560,14 @@ func (o *homeOp) finishWrite() {
 func (o *homeOp) finish() {
 	n, r := o.n, o.r
 	o.release()
-	size := network.HeaderBytes + n.sys.replyClockBytes(chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
+	size := network.HeaderBytes + n.sys.replyClockBytes(n, chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
 	if o.kind == network.KindAtomicReq {
 		size += memory.WordBytes
 		n.reply(r, network.KindAtomicReply, size, &resp{data: []memory.Word{o.old}, clock: o.absorb, err: errString(o.err)})
 	} else {
 		n.reply(r, network.KindPutAck, size, &resp{clock: o.absorb, err: errString(o.err)})
 	}
-	n.sys.releaseOp(o)
+	n.ps.releaseOp(o)
 }
 
 // ---- Home-side handlers (the one-sided target path) ----
@@ -431,7 +601,7 @@ func (n *NIC) handleInval(m *network.Message) {
 	r := m.Payload.(*req)
 	n.sys.coh.DropCopy(int(n.id), r.area)
 	n.reply(r, network.KindInvalAck, network.HeaderBytes, &resp{})
-	n.sys.releaseReq(r) // invalidations are one-way reqs: the handler owns it
+	n.ps.releaseReq(r) // invalidations are one-way reqs: the handler owns it
 }
 
 // handleInvalAck joins one acknowledgement of an invalidation round; the
@@ -443,7 +613,7 @@ func (n *NIC) handleInvalAck(m *network.Message) {
 		panic(fmt.Sprintf("rdma: node %d: orphan inval ack %d", n.id, r.id))
 	}
 	delete(n.invalWait, r.id)
-	n.sys.releaseResp(r)
+	n.ps.releaseResp(r)
 	join.left--
 	if join.left == 0 {
 		join.finish()
@@ -477,7 +647,7 @@ func (n *NIC) handleLock(m *network.Message) {
 			size += rs.clock.V.WireSize()
 		}
 		if r.user && n.sys.cfg.Observer != nil {
-			n.sys.cfg.Observer.LockAcq(r.acc.Proc, r.area, n.sys.net.Kernel().Now())
+			n.sys.cfg.Observer.LockAcq(r.acc.Proc, r.area, n.k.Now())
 		}
 		n.reply(r, network.KindLockGrant, size, &rs)
 	})
@@ -493,14 +663,14 @@ func (n *NIC) handleUnlock(m *network.Message) {
 			// and recycle the previous slot — a swap instead of a copy.
 			old := l.relClock
 			l.relClock = vclock.Masked{V: r.acc.Clock, M: r.acc.ClockNZ}
-			n.sys.ReleaseClock(old)
+			n.ps.releaseClock(old)
 		}
 		if n.sys.cfg.Observer != nil {
-			n.sys.cfg.Observer.LockRel(r.acc.Proc, r.area, n.sys.net.Kernel().Now())
+			n.sys.cfg.Observer.LockRel(r.acc.Proc, r.area, n.k.Now())
 		}
 	}
 	l.release()
-	n.sys.releaseReq(r) // unlock is one-way: the handler owns the req
+	n.ps.releaseReq(r) // unlock is one-way: the handler owns the req
 }
 
 func (n *NIC) handleClockRead(m *network.Message) {
@@ -516,16 +686,16 @@ func (n *NIC) handleClockRead(m *network.Message) {
 
 func (n *NIC) handleClockWrite(m *network.Message) {
 	r := m.Payload.(*req)
-	defer n.sys.releaseReq(r) // clock writes are one-way: the handler owns the req
+	defer n.ps.releaseReq(r) // clock writes are one-way: the handler owns the req
 	st := n.sys.stateFor(r.area, 0)
 	if r.apply {
 		// Fold the access into the state exactly as the piggyback path
 		// would; the initiator already performed (and signalled) the check
 		// under the lock, so the verdict here is identical and dropped.
 		acc := r.acc
-		acc.Time = n.sys.net.Kernel().Now()
-		_, clk := st.OnAccess(acc, int(n.id), n.sys.grabClock())
-		n.sys.ReleaseClock(clk) // the literal protocol ignores the merged clock here
+		acc.Time = n.k.Now()
+		_, clk := st.OnAccess(acc, int(n.id), n.ps.grabClock())
+		n.ps.releaseClock(clk) // the literal protocol ignores the merged clock here
 		return
 	}
 	if ca, ok := st.(core.ClockAccessor); ok {

@@ -32,16 +32,16 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 	size := network.HeaderBytes + len(data)*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
 	o.issue(network.NodeID(area.Home), network.KindPutReq, size,
 		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
 	clock, err := o.clock, asError(o.errs)
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return vclock.Masked{}, err
 	}
 	// Under write-invalidate the writer's own copy (every other copy is
@@ -51,7 +51,7 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 	if n.sys.cfg.AbsorbOnPutAck {
 		return clock, nil
 	}
-	n.sys.ReleaseClock(clock)
+	n.ps.releaseClock(clock)
 	return vclock.Masked{}, nil
 }
 
@@ -74,22 +74,22 @@ func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
 	o.issue(network.NodeID(area.Home), network.KindGetReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
 	data, clock, err := o.outData, o.clock, asError(o.errs)
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return nil, vclock.Masked{}, err
 	}
 	if n.sys.cfg.AbsorbOnGetReply {
 		return data, clock, nil
 	}
-	n.sys.ReleaseClock(clock)
+	n.ps.releaseClock(clock)
 	return data, vclock.Masked{}, nil
 }
 
@@ -114,7 +114,7 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 	size := network.HeaderBytes + 2*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
 	o.issue(network.NodeID(area.Home), network.KindAtomicReq, size,
@@ -125,9 +125,9 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 	if len(o.outData) > 0 {
 		old = o.outData[0]
 	}
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return 0, vclock.Masked{}, err
 	}
 	if n.sys.cfg.Coherence.CachesRemoteReads() {
@@ -140,7 +140,7 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 	if n.sys.cfg.AbsorbOnPutAck {
 		absorb = clock
 	} else {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 	}
 	return old, absorb, nil
 }
@@ -167,16 +167,16 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		if n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.Access(acc, area, off, count, now)
 		}
-		n.sys.countHomeRead()
+		n.sys.countHomeRead(int(n.id))
 		var absorb vclock.Masked
 		if n.sys.DetectionOn() {
 			acc.Time = now
-			absorb = n.sys.checkAccess(acc, area, off, count, now)
+			absorb = n.sys.checkAccess(n, acc, area, off, count, now)
 		}
 		if n.sys.cfg.AbsorbOnGetReply {
 			return data, absorb, nil
 		}
-		n.sys.ReleaseClock(absorb)
+		n.ps.releaseClock(absorb)
 		return data, vclock.Masked{}, nil
 	}
 	if data, w, ok := n.sys.coh.CachedRead(self, area, off, count); ok {
@@ -191,7 +191,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 			// clock — a valid copy means no write has committed since the
 			// fetch — so the hit gets the same reads-from edge a remote
 			// read would.
-			absorb = w.CopyInto(n.sys.grabClock())
+			absorb = w.CopyInto(n.ps.grabClock())
 		}
 		return data, absorb, nil
 	}
@@ -202,16 +202,16 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
 	o.issue(network.NodeID(area.Home), network.KindFetchReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
 	data, clock, err := o.outData, o.clock, asError(o.errs)
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return nil, vclock.Masked{}, err
 	}
 	n.sys.coh.InstallCopy(self, area, data, clock)
@@ -220,7 +220,7 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 	if n.sys.cfg.AbsorbOnGetReply {
 		return out, clock, nil
 	}
-	n.sys.ReleaseClock(clock)
+	n.ps.releaseClock(clock)
 	return out, vclock.Masked{}, nil
 }
 
@@ -238,7 +238,7 @@ func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.Masked {
 		&req{area: area, acc: core.Access{Proc: proc}, user: true}, o.captureFn)
 	o.await()
 	clock := o.clock
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	return clock
 }
 
@@ -328,7 +328,7 @@ func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.W
 	if o.lockOn {
 		n.unlockInternal(area, acc.Proc)
 	}
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	return vclock.Masked{}, err
 }
 
@@ -357,7 +357,7 @@ func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core
 	if o.lockOn {
 		n.unlockInternal(area, acc.Proc)
 	}
-	n.sys.releaseInit(o)
+	releaseInit(n.ps, o)
 	if err != nil {
 		return nil, vclock.Masked{}, err
 	}

@@ -23,11 +23,11 @@ import (
 // is pooled too: the caller extracts what it needs and hands it back via
 // releaseResp.
 func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size int, r *req) *resp {
-	rr := n.sys.grabReq()
+	rr := n.ps.grabReq()
 	*rr = *r
-	rr.id = n.sys.nextReq()
+	rr.id = n.ps.nextReq()
 	rr.origin = n.id
-	pd := n.sys.grabPending(p)
+	pd := n.ps.grabPending(p)
 	n.addLegacyPending(rr.id, pd)
 	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
 	for !pd.done {
@@ -35,8 +35,8 @@ func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size
 	}
 	n.dropPending(rr.id)
 	rs := pd.resp
-	n.sys.releasePending(pd)
-	n.sys.releaseReq(rr)
+	n.ps.releasePending(pd)
+	n.ps.releaseReq(rr)
 	return rs
 }
 
@@ -46,21 +46,21 @@ func (n *NIC) legacyPut(p *sim.Proc, area memory.Area, off int, data []memory.Wo
 	size := network.HeaderBytes + len(data)*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindPutReq, size,
 		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc})
 	clock, err := rs.clock, asError(rs.err)
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return vclock.Masked{}, err
 	}
 	n.sys.coh.PatchCopy(int(n.id), area, off, data, clock)
 	if n.sys.cfg.AbsorbOnPutAck {
 		return clock, nil
 	}
-	n.sys.ReleaseClock(clock)
+	n.ps.releaseClock(clock)
 	return vclock.Masked{}, nil
 }
 
@@ -69,20 +69,20 @@ func (n *NIC) legacyGet(p *sim.Proc, area memory.Area, off, count int, acc core.
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
 	data, clock, err := rs.data, rs.clock, asError(rs.err)
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return nil, vclock.Masked{}, err
 	}
 	if n.sys.cfg.AbsorbOnGetReply {
 		return data, clock, nil
 	}
-	n.sys.ReleaseClock(clock)
+	n.ps.releaseClock(clock)
 	return data, vclock.Masked{}, nil
 }
 
@@ -91,7 +91,7 @@ func (n *NIC) legacyAtomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, 
 	size := network.HeaderBytes + 2*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindAtomicReq, size,
 		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc})
@@ -100,9 +100,9 @@ func (n *NIC) legacyAtomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, 
 	if len(rs.data) > 0 {
 		old = rs.data[0]
 	}
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return 0, vclock.Masked{}, err
 	}
 	if n.sys.cfg.Coherence.CachesRemoteReads() {
@@ -112,7 +112,7 @@ func (n *NIC) legacyAtomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, 
 	if n.sys.cfg.AbsorbOnPutAck {
 		absorb = clock
 	} else {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 	}
 	return old, absorb, nil
 }
@@ -124,14 +124,14 @@ func (n *NIC) legacyFetchMiss(p *sim.Proc, area memory.Area, off, count int, acc
 	size := network.HeaderBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
-		size += n.sys.clockBytesFor(chanKey{node: n.id, area: area.ID}, acc.Clock)
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindFetchReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc})
 	data, clock, err := rs.data, rs.clock, asError(rs.err)
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	if err != nil {
-		n.sys.ReleaseClock(clock)
+		n.ps.releaseClock(clock)
 		return nil, vclock.Masked{}, err
 	}
 	n.sys.coh.InstallCopy(int(n.id), area, data, clock)
@@ -140,7 +140,7 @@ func (n *NIC) legacyFetchMiss(p *sim.Proc, area memory.Area, off, count int, acc
 	if n.sys.cfg.AbsorbOnGetReply {
 		return out, clock, nil
 	}
-	n.sys.ReleaseClock(clock)
+	n.ps.releaseClock(clock)
 	return out, vclock.Masked{}, nil
 }
 
@@ -149,7 +149,7 @@ func (n *NIC) legacyLockArea(p *sim.Proc, area memory.Area, proc int) vclock.Mas
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}, user: true})
 	clock := rs.clock
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	return clock
 }
 
@@ -160,7 +160,7 @@ func (n *NIC) legacyLockArea(p *sim.Proc, area memory.Area, proc int) vclock.Mas
 func (n *NIC) lockInternal(p *sim.Proc, area memory.Area, proc int) {
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}})
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 }
 
 // readClocks performs get_clock / get_clock_W on the parked path: one
@@ -169,7 +169,7 @@ func (n *NIC) readClocks(p *sim.Proc, area memory.Area) (v, w vclock.VC) {
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindClockRead, network.HeaderBytes,
 		&req{area: area})
 	v, w = rs.v, rs.w
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	return v, w
 }
 
@@ -182,7 +182,7 @@ func (n *NIC) legacyPutLiteral(p *sim.Proc, area memory.Area, off int, data []me
 	}
 	v, _ := n.readClocks(p, area)
 	if core.CheckWrite(acc.Clock, v) {
-		n.sys.signal(&core.Report{
+		n.sys.signal(n, &core.Report{
 			Detector:    n.sys.cfg.Detector.Name(),
 			Area:        area.ID,
 			Current:     acc,
@@ -193,7 +193,7 @@ func (n *NIC) legacyPutLiteral(p *sim.Proc, area memory.Area, off int, data []me
 		network.HeaderBytes+len(data)*memory.WordBytes,
 		&req{area: area, off: off, data: data, acc: acc, hasAcc: false})
 	err := asError(rs.err)
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	if err == nil {
 		// update_clock_W: re-fetch (Algorithm 5's get_clock), then fold the
 		// write into the state.
@@ -218,7 +218,7 @@ func (n *NIC) legacyGetLiteral(p *sim.Proc, area memory.Area, off, count int, ac
 	}
 	_, w := n.readClocks(p, area)
 	if core.CheckRead(acc.Clock, w) {
-		n.sys.signal(&core.Report{
+		n.sys.signal(n, &core.Report{
 			Detector:    n.sys.cfg.Detector.Name(),
 			Area:        area.ID,
 			Current:     acc,
@@ -228,7 +228,7 @@ func (n *NIC) legacyGetLiteral(p *sim.Proc, area memory.Area, off, count int, ac
 	rs := n.roundTrip(p, network.NodeID(area.Home), network.KindGetReq, network.HeaderBytes,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: false})
 	gotData, err := rs.data, asError(rs.err)
-	n.sys.releaseResp(rs)
+	n.ps.releaseResp(rs)
 	var absorb vclock.Masked
 	if err == nil {
 		n.readClocks(p, area)

@@ -110,6 +110,17 @@ type Config struct {
 	// so the differential determinism suite can prove the two paths
 	// bit-identical on the same schedules. Not for production use.
 	LegacyInitiator bool
+	// HomeSlotBatch coalesces data requests for the same area that land at
+	// the home in the same delivery slot (the same virtual instant) into
+	// one batched lock tenure: one acquisition, one NICDelay for the whole
+	// batch (per-word occupancy still accrues per operation), bodies run in
+	// arrival order, every reply carries its own clock. Detection verdicts
+	// are untouched — the per-area check/fold sequence is the arrival order
+	// either way — but batched operations complete earlier, so this is an
+	// opt-in timing-model change, not fingerprint-neutral. Piggyback +
+	// write-update + locks only (micro-batching groundwork; see
+	// ARCHITECTURE.md).
+	HomeSlotBatch bool
 }
 
 // Observer receives apply-order event notifications from the NICs.
@@ -155,6 +166,10 @@ type System struct {
 	net   *network.Network
 	space *memory.Space
 	nics  []*NIC
+	// multi marks a sharded (multi-kernel) system: per-operation structs
+	// carry shard-ownership tags, race reports flush through the window
+	// barrier, and pool audits settle cross-shard returns there too.
+	multi bool
 	// coh is the coherence protocol's replica bookkeeping (directory +
 	// caches); a write-update run carries the no-op state.
 	coh coherence.State
@@ -166,32 +181,62 @@ type System struct {
 	states     map[int]core.AreaState
 	// elideAbsorb enables covered-absorb elision on newly created states.
 	elideAbsorb bool
-	reqSeq      uint64
+	// pools holds one pool shard per kernel shard (exactly one on a single
+	// kernel). Every NIC points at the pool shard of the kernel that runs
+	// its events, so pooled grabs and releases never race.
+	pools []*shardPools
+}
+
+// shardPools is one kernel shard's slice of the per-operation pools: the
+// request/response/continuation free lists, the piggybacked clock buffers,
+// the CompressClocks decoder state and the request-id counter. On a single
+// kernel there is exactly one; in a sharded system each shard owns one and
+// only ever touches its own — a pooled struct released on a shard that did
+// not grab it goes into that shard's return bin and travels home at the
+// next window barrier (settle), which is also what keeps the per-shard
+// balance audit exact.
+type shardPools struct {
+	idx    int
+	reqSeq uint64
+	// idBase namespaces request ids per shard (shard index in the top bits)
+	// so concurrently issued requests can never collide at a NIC's pending
+	// table or a home's invalidation join. Zero on a single kernel, which
+	// keeps its ids — and everything downstream — bit-identical.
+	idBase uint64
 	// lastClock remembers, per logical channel, the last clock whose bytes
-	// were accounted — the receiver's decoder state for CompressClocks.
+	// were accounted — the receiver's decoder state for CompressClocks. A
+	// channel's sender is a fixed node, so each channel lives in exactly one
+	// shard's map and the per-channel delta stream is untouched by sharding.
 	lastClock map[chanKey]vclock.VC
 	// clockPool recycles the masked clock buffers piggybacked on replies
-	// (the "absorb" clocks). The simulation is single-threaded, so a free
-	// list suffices: a buffer is grabbed when a reply is built and released
-	// once the initiator has merged it. Values and occupancy masks travel
-	// together, so sparse clocks stay sparse across the reply hop.
+	// (the "absorb" clocks). Buffers are fungible (no audit, no owner): a
+	// clock grabbed at the home and absorbed by a remote initiator is
+	// recycled into the initiator shard's pool.
 	clockPool []vclock.Masked
 	// wordScratch is the per-word OnAccess absorb buffer reused across the
 	// word-granularity fan-out loop.
 	wordScratch vclock.Masked
-	// reqPool, respPool, pendPool, opPool and initPool recycle the
-	// per-operation request, response, legacy wait-state, home-side and
-	// initiator-side continuation structs (single-threaded simulation: free
-	// lists, no locking). See initOp.issue, NIC.reply and NIC.startHomeOp
-	// for the ownership hand-offs. balance tracks live (grabbed minus
-	// released) counts per pool — the ownership-audit invariant checked by
-	// the pool-balance tests.
-	reqPool  []*req
-	respPool []*resp
-	pendPool []*pending
-	opPool   []*homeOp
-	initPool []*initOp
-	balance  PoolBalance
+	reqPool     []*req
+	respPool    []*resp
+	pendPool    []*pending
+	opPool      []*homeOp
+	initPool    []*initOp
+	balance     PoolBalance
+	// ret collects foreign-owned structs released on this shard, per owner
+	// shard; the barrier settle moves them home. Nil on a single kernel.
+	ret []retBin
+	// batched counts data operations served through multi-op home slot
+	// batches (Config.HomeSlotBatch).
+	batched uint64
+}
+
+// retBin buffers pooled structs owed to one owner shard.
+type retBin struct {
+	reqs  []*req
+	resps []*resp
+	pends []*pending
+	ops   []*homeOp
+	inits []*initOp
 }
 
 // PoolBalance is the live (grabbed minus released) count of every pooled
@@ -200,21 +245,95 @@ type System struct {
 // legitimate nonzero entries belong to operations a failure schedule left
 // permanently stuck (e.g. a request dropped on a cut link parks its
 // initiator forever, keeping its initOp — and, on the legacy path, its
-// pending — alive). A nonzero balance after a clean run is a leak.
+// pending — alive). A nonzero balance after a clean run is a leak — and in
+// a sharded run the balance is kept *per shard* (a struct counts against
+// the shard that grabbed it until it is released and settles home), so a
+// cross-shard envelope leak shows up in exactly the shard that owns the
+// leaked struct.
 type PoolBalance struct {
 	Reqs, Resps, Pendings, HomeOps, InitOps int
 }
 
-// PoolBalance returns the current live pool counts.
-func (s *System) PoolBalance() PoolBalance { return s.balance }
+func (b *PoolBalance) add(o PoolBalance) {
+	b.Reqs += o.Reqs
+	b.Resps += o.Resps
+	b.Pendings += o.Pendings
+	b.HomeOps += o.HomeOps
+	b.InitOps += o.InitOps
+}
+
+// PoolBalance returns the current live pool counts, summed across shards.
+func (s *System) PoolBalance() PoolBalance {
+	var total PoolBalance
+	for _, ps := range s.pools {
+		total.add(ps.balance)
+	}
+	return total
+}
+
+// PoolShards returns the number of pool shards (1 on a single kernel).
+func (s *System) PoolShards() int { return len(s.pools) }
+
+// PoolBalanceShard returns shard i's live pool counts. After a clean run
+// (and its final barrier settle) every shard balances to zero.
+func (s *System) PoolBalanceShard(i int) PoolBalance { return s.pools[i].balance }
+
+// BatchedOps returns the number of data operations served through multi-op
+// home slot batches (zero unless Config.HomeSlotBatch).
+func (s *System) BatchedOps() uint64 {
+	var total uint64
+	for _, ps := range s.pools {
+		total += ps.batched
+	}
+	return total
+}
+
+// settlePools is the window-barrier hook of a sharded system: move every
+// foreign-owned struct released since the last barrier back to its owner's
+// free list and debit the owner's balance. Serial context.
+func (s *System) settlePools() {
+	for _, ps := range s.pools {
+		for owner := range ps.ret {
+			bin := &ps.ret[owner]
+			op := s.pools[owner]
+			if len(bin.reqs) > 0 {
+				op.balance.Reqs -= len(bin.reqs)
+				op.reqPool = append(op.reqPool, bin.reqs...)
+				bin.reqs = bin.reqs[:0]
+			}
+			if len(bin.resps) > 0 {
+				op.balance.Resps -= len(bin.resps)
+				op.respPool = append(op.respPool, bin.resps...)
+				bin.resps = bin.resps[:0]
+			}
+			if len(bin.pends) > 0 {
+				op.balance.Pendings -= len(bin.pends)
+				op.pendPool = append(op.pendPool, bin.pends...)
+				bin.pends = bin.pends[:0]
+			}
+			if len(bin.ops) > 0 {
+				op.balance.HomeOps -= len(bin.ops)
+				op.opPool = append(op.opPool, bin.ops...)
+				bin.ops = bin.ops[:0]
+			}
+			if len(bin.inits) > 0 {
+				op.balance.InitOps -= len(bin.inits)
+				op.initPool = append(op.initPool, bin.inits...)
+				bin.inits = bin.inits[:0]
+			}
+		}
+	}
+}
 
 // reclaimDropped is the network's drop hook: a message dropped on a cut
 // link vanishes together with its pooled payload, which would otherwise
 // leak (the initiator of a dropped round trip parks forever and can never
 // release the request it no longer owns; a dropped reply's resp has no
-// receiver at all). User-level payloads (barriers) are not pooled here and
-// pass through untouched.
-func (s *System) reclaimDropped(kind network.Kind, payload any) {
+// receiver at all). It runs in the sending node's shard context, so the
+// payload is reclaimed into that shard's pools. User-level payloads
+// (barriers) are not pooled here and pass through untouched.
+func (s *System) reclaimDropped(src network.NodeID, kind network.Kind, payload any) {
+	ps := s.pools[s.net.ShardOf(src)]
 	switch pl := payload.(type) {
 	case *req:
 		// A user-level unlock ships the releaser's clock in a pooled buffer
@@ -222,26 +341,27 @@ func (s *System) reclaimDropped(kind network.Kind, payload any) {
 		// the req. Data requests must not release theirs: a piggyback access
 		// clock aliases the initiating process's live clock.
 		if kind == network.KindUnlock && pl.user && pl.acc.Clock != nil {
-			s.ReleaseClock(vclock.Masked{V: pl.acc.Clock, M: pl.acc.ClockNZ})
+			ps.releaseClock(vclock.Masked{V: pl.acc.Clock, M: pl.acc.ClockNZ})
 		}
-		s.releaseReq(pl)
+		ps.releaseReq(pl)
 	case *resp:
 		// Acks, replies and lock grants piggyback pooled absorb clocks.
-		s.ReleaseClock(pl.clock)
-		s.releaseResp(pl)
+		ps.releaseClock(pl.clock)
+		ps.releaseResp(pl)
 	}
 }
 
 // grabOp takes a home-side operation struct from the pool, binding its
 // continuation funcs once on first creation.
-func (s *System) grabOp() *homeOp {
-	s.balance.HomeOps++
-	if n := len(s.opPool); n > 0 {
-		o := s.opPool[n-1]
-		s.opPool = s.opPool[:n-1]
+func (ps *shardPools) grabOp() *homeOp {
+	ps.balance.HomeOps++
+	if n := len(ps.opPool); n > 0 {
+		o := ps.opPool[n-1]
+		ps.opPool = ps.opPool[:n-1]
+		o.owner = int32(ps.idx)
 		return o
 	}
-	o := &homeOp{}
+	o := &homeOp{owner: int32(ps.idx)}
 	o.grantFn = o.grant
 	o.runFn = o.run
 	o.finishFn = o.finish
@@ -249,62 +369,85 @@ func (s *System) grabOp() *homeOp {
 }
 
 // releaseOp recycles a completed home-side operation.
-func (s *System) releaseOp(o *homeOp) {
-	s.balance.HomeOps--
+func (ps *shardPools) releaseOp(o *homeOp) {
+	owner := o.owner
 	o.n, o.r, o.l = nil, nil, nil
 	o.err = nil
 	o.absorb = vclock.Masked{}
 	o.old = 0
-	s.opPool = append(s.opPool, o)
+	if int(owner) == ps.idx {
+		ps.balance.HomeOps--
+		ps.opPool = append(ps.opPool, o)
+		return
+	}
+	ps.ret[owner].ops = append(ps.ret[owner].ops, o)
 }
 
-func (s *System) grabReq() *req {
-	s.balance.Reqs++
-	if n := len(s.reqPool); n > 0 {
-		r := s.reqPool[n-1]
-		s.reqPool = s.reqPool[:n-1]
+func (ps *shardPools) grabReq() *req {
+	ps.balance.Reqs++
+	if n := len(ps.reqPool); n > 0 {
+		r := ps.reqPool[n-1]
+		ps.reqPool = ps.reqPool[:n-1]
+		r.owner = int32(ps.idx)
 		return r
 	}
-	return &req{}
+	return &req{owner: int32(ps.idx)}
 }
 
-func (s *System) releaseReq(r *req) {
-	s.balance.Reqs--
+func (ps *shardPools) releaseReq(r *req) {
+	owner := r.owner
 	*r = req{}
-	s.reqPool = append(s.reqPool, r)
+	if int(owner) == ps.idx {
+		ps.balance.Reqs--
+		ps.reqPool = append(ps.reqPool, r)
+		return
+	}
+	ps.ret[owner].reqs = append(ps.ret[owner].reqs, r)
 }
 
-func (s *System) grabResp() *resp {
-	s.balance.Resps++
-	if n := len(s.respPool); n > 0 {
-		r := s.respPool[n-1]
-		s.respPool = s.respPool[:n-1]
+func (ps *shardPools) grabResp() *resp {
+	ps.balance.Resps++
+	if n := len(ps.respPool); n > 0 {
+		r := ps.respPool[n-1]
+		ps.respPool = ps.respPool[:n-1]
+		r.owner = int32(ps.idx)
 		return r
 	}
-	return &resp{}
+	return &resp{owner: int32(ps.idx)}
 }
 
-func (s *System) releaseResp(r *resp) {
-	s.balance.Resps--
+func (ps *shardPools) releaseResp(r *resp) {
+	owner := r.owner
 	*r = resp{}
-	s.respPool = append(s.respPool, r)
+	if int(owner) == ps.idx {
+		ps.balance.Resps--
+		ps.respPool = append(ps.respPool, r)
+		return
+	}
+	ps.ret[owner].resps = append(ps.ret[owner].resps, r)
 }
 
-func (s *System) grabPending(p *sim.Proc) *pending {
-	s.balance.Pendings++
-	if n := len(s.pendPool); n > 0 {
-		pd := s.pendPool[n-1]
-		s.pendPool = s.pendPool[:n-1]
+func (ps *shardPools) grabPending(p *sim.Proc) *pending {
+	ps.balance.Pendings++
+	if n := len(ps.pendPool); n > 0 {
+		pd := ps.pendPool[n-1]
+		ps.pendPool = ps.pendPool[:n-1]
 		pd.proc = p
+		pd.owner = int32(ps.idx)
 		return pd
 	}
-	return &pending{proc: p}
+	return &pending{proc: p, owner: int32(ps.idx)}
 }
 
-func (s *System) releasePending(pd *pending) {
-	s.balance.Pendings--
+func (ps *shardPools) releasePending(pd *pending) {
+	owner := pd.owner
 	*pd = pending{}
-	s.pendPool = append(s.pendPool, pd)
+	if int(owner) == ps.idx {
+		ps.balance.Pendings--
+		ps.pendPool = append(ps.pendPool, pd)
+		return
+	}
+	ps.ret[owner].pends = append(ps.ret[owner].pends, pd)
 }
 
 // NewSystem wires one NIC per node onto the network. The space should be
@@ -333,8 +476,28 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 			panic("rdma: the literal protocol requires a clock-based detector")
 		}
 	}
-	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState), lastClock: make(map[chanKey]vclock.VC)}
-	s.coh = cfg.Coherence.NewState(space.N())
+	if cfg.HomeSlotBatch {
+		if cfg.Protocol != ProtocolPiggyback || cfg.Coherence.CachesRemoteReads() || !cfg.LocksEnabled {
+			panic("rdma: HomeSlotBatch requires the piggyback protocol, write-update coherence and locks enabled")
+		}
+	}
+	s := &System{cfg: cfg, net: net, space: space, states: make(map[int]core.AreaState)}
+	s.multi = net.Multi() != nil
+	shards := net.ShardCount()
+	for i := 0; i < shards; i++ {
+		ps := &shardPools{idx: i, lastClock: make(map[chanKey]vclock.VC)}
+		if shards > 1 {
+			// Namespaced ids: shard in the top 16 bits, counter below. A
+			// single kernel keeps idBase 0, i.e. the historical id stream.
+			ps.idBase = uint64(i) << 48
+			ps.ret = make([]retBin, shards)
+		}
+		s.pools = append(s.pools, ps)
+	}
+	if mk := net.Multi(); mk != nil {
+		mk.OnBarrier(s.settlePools)
+	}
+	s.coh = cfg.Coherence.NewState(space.N(), space.AreaCount())
 	net.OnDrop = s.reclaimDropped
 	// Covered-absorb elision (see core.AbsorbElider) is sound when the
 	// reply clock's wire bytes are value-independent (fixed format, so not
@@ -347,7 +510,14 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 		s.areaStates = make([]core.AreaState, space.AreaCount())
 	}
 	for i := 0; i < space.N(); i++ {
-		nic := &NIC{sys: s, id: network.NodeID(i), invalWait: make(map[uint64]*invalJoin), locks: make([]*lockState, space.AreaCount())}
+		nic := &NIC{
+			sys:       s,
+			id:        network.NodeID(i),
+			k:         net.KernelFor(network.NodeID(i)),
+			ps:        s.pools[net.ShardOf(network.NodeID(i))],
+			invalWait: make(map[uint64]*invalJoin),
+			locks:     make([]*lockState, space.AreaCount()),
+		}
 		s.nics = append(s.nics, nic)
 		net.SetHandler(nic.id, nic.handle)
 	}
@@ -362,44 +532,52 @@ func (s *System) Coherence() coherence.Protocol { return s.cfg.Coherence }
 func (s *System) CoherenceStats() coherence.Stats { return s.coh.Stats() }
 
 // countHomeRead and countFetch attribute transport-level coherence events
-// to the protocol state, when it tracks them.
-func (s *System) countHomeRead() {
+// to the protocol state, when it tracks them; node is the node in whose
+// execution context the event happened.
+func (s *System) countHomeRead(node int) {
 	if c, ok := s.coh.(coherence.Counter); ok {
-		c.CountHomeRead()
+		c.CountHomeRead(node)
 	}
 }
 
-func (s *System) countFetch() {
+func (s *System) countFetch(node int) {
 	if c, ok := s.coh.(coherence.Counter); ok {
-		c.CountFetch()
+		c.CountFetch(node)
 	}
 }
 
-// grabClock takes a recycled masked clock buffer from the pool (the zero
-// Masked when empty — the detector then allocates one of the right size).
-func (s *System) grabClock() vclock.Masked {
-	if n := len(s.clockPool); n > 0 {
-		c := s.clockPool[n-1]
-		s.clockPool = s.clockPool[:n-1]
+// grabClock takes a recycled masked clock buffer from the shard's pool (the
+// zero Masked when empty — the detector then allocates one of the right
+// size).
+func (ps *shardPools) grabClock() vclock.Masked {
+	if n := len(ps.clockPool); n > 0 {
+		c := ps.clockPool[n-1]
+		ps.clockPool = ps.clockPool[:n-1]
 		return c
 	}
 	return vclock.Masked{}
 }
 
-// ReleaseClock returns a piggybacked clock buffer to the pool once its
-// contents have been absorbed. Callers must not retain the buffer
+// releaseClock returns a piggybacked clock buffer to the shard's pool once
+// its contents have been absorbed. Callers must not retain the buffer
 // afterwards; releasing one still referenced elsewhere corrupts a future
-// reply.
-func (s *System) ReleaseClock(c vclock.Masked) {
+// reply. Clock buffers are fungible and unaudited, so a buffer grabbed on
+// another shard simply changes pools here.
+func (ps *shardPools) releaseClock(c vclock.Masked) {
 	if !c.IsNil() {
-		s.clockPool = append(s.clockPool, c)
+		ps.clockPool = append(ps.clockPool, c)
 	}
 }
 
+// ReleaseClock returns a clock buffer via node 0's pool shard — the
+// single-kernel compatibility path (sharded callers go through the NIC).
+func (s *System) ReleaseClock(c vclock.Masked) { s.pools[0].releaseClock(c) }
+
 // GrabClock hands out a pooled clock buffer for callers (the DSM runtime)
 // that ship a clock snapshot through the system and get it released on the
-// receiving side — the exported counterpart of ReleaseClock.
-func (s *System) GrabClock() vclock.Masked { return s.grabClock() }
+// receiving side — the exported counterpart of ReleaseClock. Single-kernel
+// compatibility path; sharded callers go through the NIC.
+func (s *System) GrabClock() vclock.Masked { return s.pools[0].grabClock() }
 
 // NIC returns node id's network interface.
 func (s *System) NIC(id int) *NIC { return s.nics[id] }
@@ -466,16 +644,20 @@ func (s *System) newAreaState() core.AreaState {
 // area a, handling the granularity fan-out: one state at node/area
 // granularity, one per word at word granularity (the first report wins,
 // absorbed clocks merge). It returns the clock for the initiator to absorb.
-func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at sim.Time) vclock.Masked {
+// n is the NIC in whose execution context the check runs (the home, or the
+// reader itself for home-local reads) — its shard owns the scratch buffers
+// and orders any report.
+func (s *System) checkAccess(n *NIC, acc core.Access, a memory.Area, off, count int, at sim.Time) vclock.Masked {
+	ps := n.ps
 	if s.cfg.Granularity != GranularityWord {
-		buf := s.grabClock()
+		buf := ps.grabClock()
 		rep, clk := s.stateFor(a, 0).OnAccess(acc, a.Home, buf)
 		if clk.IsNil() {
 			// Detectors without an absorb clock (epoch, lockset, nop)
 			// ignore the scratch buffer; keep it in the pool.
-			s.ReleaseClock(buf)
+			ps.releaseClock(buf)
 		}
-		s.signal(rep, at)
+		s.signal(n, rep, at)
 		return clk
 	}
 	var absorb vclock.Masked
@@ -486,20 +668,20 @@ func (s *System) checkAccess(acc core.Access, a memory.Area, off, count int, at 
 	for w := off; w < off+count; w++ {
 		// Each word has its own state (and so its own report scratch): the
 		// first report's borrowed fields stay valid across the loop.
-		rep, clk := s.stateFor(a, w).OnAccess(acc, a.Home, s.wordScratch)
+		rep, clk := s.stateFor(a, w).OnAccess(acc, a.Home, ps.wordScratch)
 		if rep != nil && first == nil {
 			first = rep
 		}
 		if !clk.IsNil() {
-			s.wordScratch = clk
+			ps.wordScratch = clk
 			if absorb.IsNil() {
-				absorb = clk.CopyInto(s.grabClock())
+				absorb = clk.CopyInto(ps.grabClock())
 			} else {
 				absorb.Merge(clk)
 			}
 		}
 	}
-	s.signal(first, at)
+	s.signal(n, first, at)
 	return absorb
 }
 
@@ -518,19 +700,29 @@ func (s *System) StorageBytes() int {
 	return total
 }
 
-func (s *System) nextReq() uint64 {
-	s.reqSeq++
-	return s.reqSeq
+func (ps *shardPools) nextReq() uint64 {
+	ps.reqSeq++
+	return ps.idBase | ps.reqSeq
 }
 
 // signal forwards a detector report to the collector, stamping the time.
-func (s *System) signal(rep *core.Report, at sim.Time) {
+// n is the NIC in whose context the report was produced. On a sharded
+// system the collector is shared across shards, so the (cloned) report is
+// deferred through the window barrier's ordered replay — it reaches the
+// collector at the signalling event's exact position in the serial order,
+// keeping report order, collector limits and interning bit-identical.
+func (s *System) signal(n *NIC, rep *core.Report, at sim.Time) {
 	if rep == nil || s.cfg.Collector == nil {
 		return
 	}
 	r := *rep
 	r.Time = at
-	s.cfg.Collector.Signal(r)
+	if !s.multi {
+		s.cfg.Collector.Signal(r)
+		return
+	}
+	rc := r.Clone() // the borrowed scratch fields won't survive the window
+	n.k.LogOrdered(func() { s.cfg.Collector.Signal(rc) })
 }
 
 // clockBytes returns the wire size of one clock under the current system
@@ -545,33 +737,38 @@ func (s *System) clockBytes() int {
 // replyClockBytes returns the wire bytes of the clock piggybacked on a
 // reply. A Covered absorb still carries a full fixed-format clock on the
 // wire — only its local materialisation was elided (which is why elision is
-// disabled under CompressClocks, whose accounting needs the value).
-func (s *System) replyClockBytes(ch chanKey, clk vclock.Masked) int {
+// disabled under CompressClocks, whose accounting needs the value). The
+// decoder state lives with the sending NIC's shard (n), which is the only
+// context that ever accounts this channel.
+func (s *System) replyClockBytes(n *NIC, ch chanKey, clk vclock.Masked) int {
 	if clk.Covered {
 		return s.clockBytes()
 	}
-	return s.clockBytesFor(ch, clk.V)
+	return s.clockBytesFor(n, ch, clk.V)
 }
 
 // clockBytesFor returns the wire bytes of transmitting clk on the given
 // logical channel. With CompressClocks only the delta against the channel's
 // previous clock is charged (the peer keeps the decoder state); the size is
 // computed without building the encoding and the channel's decoder-state
-// buffer is recycled in place.
-func (s *System) clockBytesFor(ch chanKey, clk vclock.VC) int {
+// buffer is recycled in place. A channel is written only from its sender's
+// shard, and the delta stream depends only on that channel's own history,
+// so per-shard decoder maps reproduce the single-kernel accounting exactly.
+func (s *System) clockBytesFor(n *NIC, ch chanKey, clk vclock.VC) int {
 	if clk == nil {
 		return 0
 	}
 	if !s.cfg.CompressClocks {
 		return clk.WireSize()
 	}
-	prev, ok := s.lastClock[ch]
+	ps := n.ps
+	prev, ok := ps.lastClock[ch]
 	if !ok {
 		prev = vclock.New(clk.Len())
 	}
-	n := clk.DeltaSize(prev)
-	s.lastClock[ch] = clk.CopyInto(prev)
-	return n
+	size := clk.DeltaSize(prev)
+	ps.lastClock[ch] = clk.CopyInto(prev)
+	return size
 }
 
 // occupancy is how long the NIC holds the area lock while moving words.

@@ -28,4 +28,16 @@
 // amortised schedule and pop, byte-identical (time, seq) execution order to
 // the container/heap queue it replaced, with same-instant wakeups served
 // from a FIFO now-queue that skips the wheel entirely.
+//
+// A simulation can also be partitioned across K cooperating shard kernels
+// (MultiKernel, multi.go): each shard owns a disjoint set of nodes and runs
+// conservative time windows — bounded by the network's minimum cross-node
+// latency — on its own goroutine, while a serial window barrier replays the
+// shards' execution logs in exact global (time, key) order to assign push
+// sequence numbers, draw deferred latency randomness, and file cross-shard
+// deliveries into their exact (time, seq) slots. The partitioned run is
+// bit-identical to the single-kernel run for any shard count; runs whose
+// processes draw the shared RNG mid-window are inherently serial and must
+// say so (the draw panics otherwise). PartitionNodes (partition.go)
+// supplies the round-robin and locality-aware node→shard policies.
 package sim

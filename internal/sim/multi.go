@@ -1,0 +1,495 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// gosched is runtime.Gosched, indirected for clarity at the spin sites.
+var gosched = runtime.Gosched
+
+// MultiKernel partitions one simulation across K cooperating shard kernels,
+// each owning a disjoint set of the simulated nodes, and executes it as a
+// sequence of conservative time windows: every shard runs its own events —
+// on its own goroutine — for a window no longer than the network's minimum
+// cross-node latency (the lookahead), so nothing a shard does inside a
+// window can affect any other shard before the window ends. Between windows
+// a serial barrier replay merges the shards' execution logs in exact
+// (time, key) order and, walking that order, assigns every push its true
+// global sequence number, draws any deferred latency randomness, files
+// cross-shard deliveries into their destination shards, and flushes ordered
+// side effects. The result is bit-identical to running the whole simulation
+// on one Kernel — fingerprints, event counts, RNG streams and all — for any
+// shard count.
+//
+// The equivalence argument, in three parts:
+//
+//  1. Within a window, shard state is disjoint (nodes are partitioned and
+//     cross-shard interaction travels only through deliveries at least one
+//     lookahead away), so the serial kernel's execution restricted to one
+//     shard's events is exactly what the shard computes alone.
+//
+//  2. The only cross-shard coupling is the order of (a) global sequence
+//     numbers, which break same-instant ties, and (b) shared-RNG draws.
+//     Both are reconstructed by the barrier replay: the serial execution
+//     order of a window is a deterministic K-way merge of the shard logs by
+//     (time, key), and walking it replays push-key assignment and RNG draws
+//     in exactly the serial kernel's order.
+//
+//  3. Draws that must happen mid-window (a process consuming the shared RNG
+//     between operations) cannot be reconstructed — their order *is* the
+//     serial interleaving — so MultiKernel.Rand panics during a parallel
+//     window. Runs that need such draws must declare themselves serial-only
+//     and run on a single kernel (see dsm.Config.SerialOnly).
+type MultiKernel struct {
+	cfg    Config
+	window Time
+	shards []*Kernel
+	rng    *rand.Rand
+	// inWindow guards the shared RNG: set while shard goroutines execute.
+	inWindow atomic.Bool
+	// gseq is the global sequence counter; serial phases only.
+	gseq uint64
+	// filer receives deferred-send envelopes with their resolved keys during
+	// the barrier replay (registered by the network layer).
+	filer func(env any, key uint64)
+	// hooks run serially at every barrier after the replay (pool settling).
+	hooks []func()
+	// procs is every process in global spawn order (error precedence).
+	procs []*Proc
+	// epoch/doneCount are the window barrier: the coordinator bumps epoch
+	// to release the runners into a window and spins until doneCount
+	// reaches the shard count. Sequentially consistent atomics, so the
+	// bump/observe pairs are the happens-before edges that order one
+	// shard's window against every other shard's next window (and the
+	// serial barrier in between). Spinning (with Gosched backoff) instead
+	// of channel hand-offs matters: windows are one network lookahead long
+	// — microseconds of virtual time, often under a microsecond of real
+	// work — and a futex sleep/wake pair per shard per window costs more
+	// than the window itself.
+	epoch     atomic.Uint64
+	doneCount atomic.Int64
+	quit      bool // read by runners after an epoch bump (hb via epoch)
+	// spin selects the spinning barrier; with GOMAXPROCS=1 there is nothing
+	// to spin for (no two goroutines run at once), so the runners block on
+	// channels instead — on one core a direct channel hand-off is cheaper
+	// than a yield storm, and the choice affects speed only, never results.
+	spin    bool
+	startCh []chan struct{}
+	doneCh  chan struct{}
+	started bool
+	// heads is the replay merge cursor per shard, reused across windows.
+	heads []int
+	// active flags the shards released into the current window (a shard
+	// with no event below the horizon skips the whole round trip — on a
+	// serialized workload most windows touch one shard); bounds caches the
+	// per-shard next-event lower bounds of the placement scan.
+	active []bool
+	bounds []Time
+	// runErr is the run-aborting error chosen at a barrier (earliest trip).
+	runErr error
+}
+
+// NewMultiKernel creates a multi-kernel of k shards sharing cfg's seed and
+// limits, advancing in conservative windows of the given lookahead (must be
+// positive). Each shard is a full Kernel; spawn processes on the shard that
+// owns their node, then call Run.
+func NewMultiKernel(cfg Config, k int, lookahead Time) *MultiKernel {
+	if k < 1 {
+		panic("sim: MultiKernel needs at least one shard")
+	}
+	if lookahead < 1 {
+		panic("sim: MultiKernel needs a positive lookahead")
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 50_000_000
+	}
+	m := &MultiKernel{
+		cfg:    cfg,
+		window: lookahead,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		heads:  make([]int, k),
+		active: make([]bool, k),
+		bounds: make([]Time, k),
+		spin:   spinBarrier(),
+		doneCh: make(chan struct{}),
+	}
+	for i := 0; i < k; i++ {
+		s := NewKernel(cfg)
+		s.mk, s.shard = m, i
+		m.shards = append(m.shards, s)
+		m.startCh = append(m.startCh, make(chan struct{}))
+	}
+	return m
+}
+
+// spinBarrier selects the window-barrier flavour (override for A/B tests
+// via DSMRACE_MK_BARRIER=spin|chan).
+func spinBarrier() bool {
+	switch os.Getenv("DSMRACE_MK_BARRIER") {
+	case "spin":
+		return true
+	case "chan":
+		return false
+	}
+	return runtime.GOMAXPROCS(0) > 1
+}
+
+// spinWait spins until cond holds, yielding the processor between probes so
+// co-scheduled trials and the coordinator stay runnable.
+func spinWait(cond func() bool) {
+	for i := 0; !cond(); i++ {
+		if i&63 == 63 {
+			gosched()
+		}
+	}
+}
+
+// Shards returns the shard count.
+func (m *MultiKernel) Shards() int { return len(m.shards) }
+
+// Shard returns shard i's kernel. Spawn node-owned processes here.
+func (m *MultiKernel) Shard(i int) *Kernel { return m.shards[i] }
+
+// Lookahead returns the conservative window length.
+func (m *MultiKernel) Lookahead() Time { return m.window }
+
+// nextKey hands out the next true global sequence number. Serial phases
+// only; shard kernels route their pushes here outside parallel windows.
+func (m *MultiKernel) nextKey() uint64 {
+	m.gseq++
+	return m.gseq
+}
+
+// Rand returns the shared deterministic random source. It may only be drawn
+// in serial phases (setup and the barrier replay, where draw order equals
+// the serial kernel's); drawing it while a parallel window executes would
+// make the stream depend on the cross-shard interleaving, so that panics.
+func (m *MultiKernel) Rand() *rand.Rand {
+	if m.inWindow.Load() {
+		panic("sim: shared RNG drawn during a parallel window; this run must be serial-only (one kernel)")
+	}
+	return m.rng
+}
+
+// SetEnvelopeFiler registers the callback the barrier replay hands deferred
+// send envelopes to, together with their resolved global keys. The filer
+// runs serially, may draw Rand(), and files the delivery with PushKeyed.
+func (m *MultiKernel) SetEnvelopeFiler(fn func(env any, key uint64)) { m.filer = fn }
+
+// OnBarrier registers fn to run serially at every window barrier, after the
+// replay (e.g. cross-shard pool settling). Hooks also run once before Run
+// returns.
+func (m *MultiKernel) OnBarrier(fn func()) { m.hooks = append(m.hooks, fn) }
+
+// Now returns the latest shard time — after Run, the virtual time of the
+// last executed event, exactly as a standalone kernel reports it.
+func (m *MultiKernel) Now() Time {
+	var t Time
+	for _, s := range m.shards {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
+
+// Events returns the total executed event count across shards.
+func (m *MultiKernel) Events() uint64 {
+	var n uint64
+	for _, s := range m.shards {
+		n += s.events
+	}
+	return n
+}
+
+// Stop aborts the run at the next window barrier.
+func (m *MultiKernel) Stop() {
+	for _, s := range m.shards {
+		s.stopped = true
+	}
+}
+
+// runners lazily starts one goroutine per shard; each executes windows on
+// demand. Observing the epoch bump publishes everything the barrier wrote
+// (other shards' window effects included) to the shard; the done increment
+// publishes the shard's window back to the barrier.
+func (m *MultiKernel) runners() {
+	if m.started {
+		return
+	}
+	m.started = true
+	for i := range m.shards {
+		go func(i int) {
+			s := m.shards[i]
+			last := uint64(0)
+			for {
+				if m.spin {
+					spinWait(func() bool { return m.epoch.Load() != last })
+					last = m.epoch.Load()
+				} else if _, ok := <-m.startCh[i]; !ok {
+					return
+				}
+				if m.quit {
+					return
+				}
+				if !m.active[i] {
+					m.doneCount.Add(1) // spin mode only: idle ack
+					continue
+				}
+				s.runWindow()
+				if m.spin {
+					m.doneCount.Add(1)
+				} else {
+					m.doneCh <- struct{}{}
+				}
+			}
+		}(i)
+	}
+}
+
+// releaseWindow runs one window on every active shard and waits for them.
+func (m *MultiKernel) releaseWindow() {
+	if m.spin {
+		// Spin mode wakes every runner; inactive ones ack immediately.
+		m.doneCount.Store(0)
+		m.epoch.Add(1)
+		want := int64(len(m.shards))
+		spinWait(func() bool { return m.doneCount.Load() == want })
+		return
+	}
+	n := 0
+	for i := range m.startCh {
+		if m.active[i] {
+			m.startCh[i] <- struct{}{}
+			n++
+		}
+	}
+	for ; n > 0; n-- {
+		<-m.doneCh
+	}
+}
+
+// Run executes the simulation to completion: windows in parallel, barriers
+// in series. Semantics match Kernel.Run, with two documented deviations on
+// *aborted* runs only: MaxEvents is enforced against the cross-shard total
+// at each barrier (a shard-local window can overshoot before the check),
+// and a MaxTime/Stop/panic in one shard lets other shards finish the
+// current window before the run stops. Clean runs are bit-identical.
+func (m *MultiKernel) Run() error {
+	m.runners()
+	defer func() {
+		for _, fn := range m.hooks {
+			fn()
+		}
+	}()
+	for {
+		// Window placement: the next window starts at the earliest pending
+		// event bound across shards and spans one lookahead. The bound may
+		// be coarse (a far-future event still parked in a high wheel
+		// bucket), in which case the window comes up empty and the next
+		// round's refined bound moves it forward — never backward, and
+		// never past a time the barrier could still file into.
+		var begin Time
+		any := false
+		for i, s := range m.shards {
+			at, ok := s.nextEventBound()
+			m.active[i] = ok
+			if ok {
+				m.bounds[i] = at
+				if !any || at < begin {
+					begin, any = at, true
+				}
+			}
+		}
+		if !any {
+			break // every shard drained: the run is over
+		}
+		stopped := false
+		for _, s := range m.shards {
+			if s.stopped {
+				stopped = true
+			}
+		}
+		if stopped {
+			break
+		}
+		horizon := begin + m.window
+		for i, s := range m.shards {
+			// Only shards with a pending event below the horizon take part
+			// in this window; the rest skip the release round trip (their
+			// queues cannot produce anything before the horizon).
+			m.active[i] = m.active[i] && m.bounds[i] < horizon
+			if m.active[i] {
+				s.beginWindow(horizon)
+			}
+		}
+		m.inWindow.Store(true)
+		m.releaseWindow()
+		m.inWindow.Store(false)
+		m.replay()
+		// The replay may have rewritten queued events' keys in place or
+		// filed deliveries into any shard; drop every cached wheel peek.
+		for _, s := range m.shards {
+			s.queue.invalidatePeek()
+		}
+		for _, fn := range m.hooks {
+			fn()
+		}
+		if err := m.abortError(); err != nil {
+			m.runErr = err
+			break
+		}
+		if p := m.panicked(); p != nil {
+			break // re-raised by finish, after the runners are released
+		}
+	}
+	// Release the shard runner goroutines for good.
+	m.quit = true
+	if m.spin {
+		m.epoch.Add(1)
+	} else {
+		for i := range m.startCh {
+			close(m.startCh[i])
+		}
+	}
+	return m.finish()
+}
+
+// replay is the serial window barrier: merge the shards' execution records
+// in exact (time, key) order and, walking that order, assign every logged
+// push its true global key — rewriting still-queued events in place,
+// resolving in-window-executed records, and filing deferred-send envelopes
+// (which draw any latency randomness here, in serial order) — then run the
+// ordered actions.
+func (m *MultiKernel) replay() {
+	heads := m.heads
+	total := 0
+	for i, s := range m.shards {
+		if !m.active[i] {
+			// An idle shard skipped beginWindow: its log is the previous
+			// window's, already replayed — park its head at the end.
+			heads[i] = len(s.execLog)
+			continue
+		}
+		heads[i] = 0
+		total += len(s.execLog)
+	}
+	for n := 0; n < total; n++ {
+		best := -1
+		var bestAt Time
+		var bestKey uint64
+		for i, s := range m.shards {
+			h := heads[i]
+			if h >= len(s.execLog) {
+				continue
+			}
+			rec := &s.execLog[h]
+			// A provisional key at a merge head is impossible: the pusher
+			// of an in-window event sits earlier in the same shard's log and
+			// resolved it when its own record was processed.
+			if rec.key&provBit != 0 {
+				panic("sim: unresolved provisional key at merge head")
+			}
+			if best < 0 || rec.at < bestAt || (rec.at == bestAt && rec.key < bestKey) {
+				best, bestAt, bestKey = i, rec.at, rec.key
+			}
+		}
+		s := m.shards[best]
+		rec := &s.execLog[heads[best]]
+		heads[best]++
+		for i := rec.pushLo; i < rec.pushHi; i++ {
+			key := m.nextKey()
+			pe := &s.pushLog[i]
+			if pe.env != nil {
+				m.filer(pe.env, key)
+				continue
+			}
+			switch st := s.provState[i]; st {
+			case provPending:
+				pe.e.seq = key // still queued in the shard's wheel
+			case provExecuted:
+				// Ran inside the window without pushing anything: the key
+				// is consumed (the serial kernel assigned one) but nothing
+				// survives to carry it.
+			default:
+				s.execLog[st].key = key // resolve the in-window record
+			}
+		}
+		for i := rec.actLo; i < rec.actHi; i++ {
+			s.actions[i]()
+		}
+	}
+}
+
+// abortError collects a limit abort: MaxEvents against the cross-shard
+// total, plus any shard-local error (MaxTime) — earliest trip time wins.
+func (m *MultiKernel) abortError() error {
+	var first *LimitError
+	for _, s := range m.shards {
+		if le, ok := s.runErr.(*LimitError); ok && (first == nil || le.Time < first.Time) {
+			first = le
+		}
+	}
+	if first != nil {
+		return first
+	}
+	if total := m.Events(); total > m.cfg.MaxEvents {
+		return &LimitError{What: "event", Events: total, Time: m.Now()}
+	}
+	return nil
+}
+
+// panicked returns the first (by shard order) captured event panic.
+func (m *MultiKernel) panicked() any {
+	for _, s := range m.shards {
+		if s.runPanic != nil {
+			return s.runPanic
+		}
+	}
+	return nil
+}
+
+// finish assembles the run result exactly as Kernel.Run does: panic first,
+// then the run error, then process errors in spawn order, then a deadlock
+// report over every still-parked process.
+func (m *MultiKernel) finish() error {
+	if p := m.panicked(); p != nil {
+		panic(p)
+	}
+	if m.runErr != nil {
+		return m.runErr
+	}
+	for _, s := range m.shards {
+		if s.runErr != nil {
+			return s.runErr
+		}
+	}
+	for _, p := range m.procs {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	for _, s := range m.shards {
+		if s.stopped {
+			return nil
+		}
+	}
+	var blocked []string
+	for _, s := range m.shards {
+		for _, p := range s.procs {
+			if p.state == ProcParked {
+				blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name, p.blockReason))
+			}
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Time: m.Now(), Blocked: blocked}
+	}
+	return nil
+}

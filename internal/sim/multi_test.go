@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// toyNet is a minimal cross-node transport for exercising the multi-kernel:
+// fixed latency, per-link FIFO, deliveries executed as fn events at the
+// destination node's kernel — the same shape internal/network implements.
+type toyNet struct {
+	single  *Kernel
+	mk      *MultiKernel
+	shardOf []int
+	lat     Time
+	handler func(dst int, hop int)
+	// defLat, when set, simulates a latency model that must defer every
+	// cross-node send to the barrier (as jitter does): the delay is drawn
+	// from the shared RNG at filing time.
+	defLat bool
+}
+
+type toyEnv struct {
+	sendAt   Time
+	src, dst int
+	hop      int
+}
+
+func (t *toyNet) kernelFor(node int) *Kernel {
+	if t.mk != nil {
+		return t.mk.Shard(t.shardOf[node])
+	}
+	return t.single
+}
+
+func (t *toyNet) delay() Time {
+	if !t.defLat {
+		return t.lat
+	}
+	// Draw order must match the serial kernel's send order bit-for-bit.
+	return t.lat + Time(t.kernelRand().Intn(64))
+}
+
+func (t *toyNet) kernelRand() interface{ Intn(int) int } {
+	if t.mk != nil {
+		return t.mk.Rand()
+	}
+	return t.single.Rand()
+}
+
+// send transmits a hop from src to dst at the current time of src's kernel.
+func (t *toyNet) send(src, dst, hop int) {
+	k := t.kernelFor(src)
+	sameShard := t.mk == nil || t.shardOf[src] == t.shardOf[dst]
+	if t.mk != nil && k.winLog && (!sameShard || t.defLat) {
+		k.LogEnvelope(&toyEnv{sendAt: k.Now(), src: src, dst: dst, hop: hop})
+		return
+	}
+	d := t.delay()
+	dstc, hopc := dst, hop
+	t.kernelFor(src).At(k.Now()+d, func() { t.handler(dstc, hopc) })
+}
+
+func (t *toyNet) file(env any, key uint64) {
+	e := env.(*toyEnv)
+	d := t.delay()
+	t.kernelFor(e.dst).PushKeyed(e.sendAt+d, key, func() { t.handler(e.dst, e.hop) })
+}
+
+// ringTrace runs a multi-token ring simulation — every node starts a token,
+// tokens hop rounds times with occasional same-instant collisions at shared
+// destinations — and returns the serially ordered trace plus run totals.
+func ringTrace(t *testing.T, nodes, shards, rounds int, deferred bool) (trace []string, events uint64, end Time) {
+	t.Helper()
+	cfg := Config{Seed: 42}
+	net := &toyNet{lat: 100, defLat: deferred}
+	var k *Kernel
+	var mk *MultiKernel
+	if shards <= 1 {
+		k = NewKernel(cfg)
+		net.single = k
+	} else {
+		mk = NewMultiKernel(cfg, shards, net.lat)
+		net.mk = mk
+		net.shardOf = PartitionNodes(nodes, shards, PartitionBlocks, 1)
+		mk.SetEnvelopeFiler(net.file)
+	}
+	log := func(node, hop int, at Time) func() {
+		return func() { trace = append(trace, fmt.Sprintf("t=%d node=%d hop=%d", at, node, hop)) }
+	}
+	net.handler = func(dst, hop int) {
+		kd := net.kernelFor(dst)
+		kd.LogOrdered(log(dst, hop, kd.Now()))
+		if hop < rounds*nodes {
+			// Odd hops also fan a burst to node 0, forcing same-instant
+			// cross-shard arrival collisions whose order must match the
+			// serial kernel's push order exactly.
+			if hop%3 == 1 && dst != 0 {
+				net.send(dst, 0, hop)
+			} else {
+				net.send(dst, (dst+1)%nodes, hop+1)
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		net.kernelFor(i).At(0, func() { net.send(i, (i+1)%nodes, 1) })
+	}
+	if mk != nil {
+		if err := mk.Run(); err != nil {
+			t.Fatalf("multi run: %v", err)
+		}
+		return trace, mk.Events(), mk.Now()
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	return trace, k.Events(), k.Now()
+}
+
+// TestMultiKernelTraceEquivalence is the sim-level differential: the fully
+// ordered event trace, the event count and the end time of a cross-shard
+// message ring must be bit-identical between a standalone kernel and a
+// multi-kernel at every shard count — with fixed latencies (immediate
+// intra-shard filing) and with barrier-deferred randomised latencies (RNG
+// replayed in serial order).
+func TestMultiKernelTraceEquivalence(t *testing.T) {
+	const nodes, rounds = 12, 6
+	for _, deferred := range []bool{false, true} {
+		name := "fixed"
+		if deferred {
+			name = "deferred-rng"
+		}
+		t.Run(name, func(t *testing.T) {
+			want, wantEv, wantEnd := ringTrace(t, nodes, 1, rounds, deferred)
+			if len(want) == 0 {
+				t.Fatal("empty reference trace")
+			}
+			for _, shards := range []int{2, 3, 4, 8} {
+				got, gotEv, gotEnd := ringTrace(t, nodes, shards, rounds, deferred)
+				if gotEv != wantEv || gotEnd != wantEnd {
+					t.Fatalf("shards=%d: events/end diverged: got %d/%d want %d/%d",
+						shards, gotEv, gotEnd, wantEv, wantEnd)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d: trace length %d, want %d", shards, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("shards=%d: trace[%d] = %q, want %q", shards, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiKernelProcsAcrossShards runs parked processes on every shard,
+// exchanging through the toy net, and checks deadlock-free completion and
+// bit-identical end state with the single kernel.
+func TestMultiKernelProcsAcrossShards(t *testing.T) {
+	const nodes, shards = 8, 4
+	run := func(shards int) (Time, uint64, []int) {
+		net := &toyNet{lat: 50}
+		counts := make([]int, nodes)
+		var mk *MultiKernel
+		var k *Kernel
+		if shards > 1 {
+			mk = NewMultiKernel(Config{Seed: 7}, shards, net.lat)
+			net.mk = mk
+			net.shardOf = PartitionNodes(nodes, shards, PartitionRoundRobin, 0)
+			mk.SetEnvelopeFiler(net.file)
+		} else {
+			k = NewKernel(Config{Seed: 7})
+			net.single = k
+		}
+		inbox := make([]int, nodes)
+		waiting := make([]*Proc, nodes)
+		net.handler = func(dst, hop int) {
+			inbox[dst]++
+			if waiting[dst] != nil {
+				waiting[dst].Ready()
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			i := i
+			net.kernelFor(i).Spawn(fmt.Sprintf("P%d", i), func(p *Proc) {
+				for r := 0; r < 10; r++ {
+					net.send(i, (i+1)%nodes, r)
+					waiting[i] = p
+					for inbox[i] <= r {
+						p.Park("await token")
+					}
+					waiting[i] = nil
+					counts[i]++
+				}
+			})
+		}
+		if mk != nil {
+			if err := mk.Run(); err != nil {
+				t.Fatalf("multi: %v", err)
+			}
+			return mk.Now(), mk.Events(), counts
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("single: %v", err)
+		}
+		return k.Now(), k.Events(), counts
+	}
+	wantEnd, wantEv, wantCounts := run(1)
+	gotEnd, gotEv, gotCounts := run(shards)
+	if gotEnd != wantEnd || gotEv != wantEv {
+		t.Fatalf("end/events diverged: got %d/%d want %d/%d", gotEnd, gotEv, wantEnd, wantEv)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("node %d completed %d rounds, want %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestMultiKernelRandGuard pins the capability boundary: drawing the shared
+// RNG from inside a parallel window must panic with a serial-only hint
+// rather than silently produce an interleaving-dependent stream.
+func TestMultiKernelRandGuard(t *testing.T) {
+	mk := NewMultiKernel(Config{Seed: 1}, 2, 100)
+	tripped := false
+	mk.Shard(0).At(10, func() {
+		defer func() {
+			if r := recover(); r != nil {
+				tripped = true
+				panic(r) // re-raise: the run must still fail loudly
+			}
+		}()
+		mk.Shard(0).Rand().Intn(4)
+	})
+	func() {
+		defer func() { recover() }()
+		mk.Run()
+	}()
+	if !tripped {
+		t.Fatal("shared RNG draw inside a parallel window did not panic")
+	}
+}
+
+// TestPartitionNodesTotal is the partition property test: every policy, for
+// a grid of (k, n, group), must produce a total partition — each node in
+// exactly one shard in range — with every shard non-empty when k <= n, and
+// the blocks policy must keep whole affinity groups inside one shard
+// whenever a shard's block is at least one group wide.
+func TestPartitionNodesTotal(t *testing.T) {
+	for _, policy := range []PartitionPolicy{PartitionRoundRobin, PartitionBlocks} {
+		for _, n := range []int{1, 2, 7, 8, 64, 65, 512} {
+			for _, k := range []int{1, 2, 3, 4, 8, 16} {
+				for _, group := range []int{0, 1, 4, 8, 13} {
+					shardOf := PartitionNodes(n, k, policy, group)
+					if len(shardOf) != n {
+						t.Fatalf("%v n=%d k=%d: %d assignments", policy, n, k, len(shardOf))
+					}
+					eff := k
+					if eff > n {
+						eff = n
+					}
+					seen := make([]int, eff)
+					for node, s := range shardOf {
+						if s < 0 || s >= eff {
+							t.Fatalf("%v n=%d k=%d: node %d -> shard %d out of range", policy, n, k, node, s)
+						}
+						seen[s]++
+					}
+					for s, c := range seen {
+						if c == 0 {
+							t.Fatalf("%v n=%d k=%d group=%d: shard %d empty", policy, n, k, group, s)
+						}
+					}
+					// Affinity: whenever every shard can hold at least one
+					// whole group, no group may straddle a shard boundary.
+					if policy == PartitionBlocks && group > 1 && eff*group <= n {
+						for g := 0; g*group+group <= n; g++ {
+							first := shardOf[g*group]
+							for i := g * group; i < (g+1)*group; i++ {
+								if shardOf[i] != first {
+									t.Fatalf("blocks n=%d k=%d group=%d: group %d split across shards %d and %d",
+										n, k, group, g, first, shardOf[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "fmt"
+
+// PartitionPolicy selects how a MultiKernel's nodes are assigned to shards.
+type PartitionPolicy int
+
+// Partition policies.
+const (
+	// PartitionRoundRobin deals node i to shard i % K — even load for
+	// workloads whose traffic is uniform across nodes.
+	PartitionRoundRobin PartitionPolicy = iota
+	// PartitionBlocks is the locality-aware policy: contiguous node ranges,
+	// sized as a multiple of the workload's declared affinity-group size, so
+	// communication-local structures (e.g. MigratoryGroups' lock-passing
+	// rings, which occupy contiguous node ranges) stay inside one shard and
+	// their traffic never crosses a window barrier.
+	PartitionBlocks
+)
+
+// String names the policy for flags and tables.
+func (p PartitionPolicy) String() string {
+	if p == PartitionRoundRobin {
+		return "round-robin"
+	}
+	return "blocks"
+}
+
+// PartitionPolicyFromName resolves a policy by flag value; "" selects the
+// locality-aware default.
+func PartitionPolicyFromName(name string) (PartitionPolicy, error) {
+	switch name {
+	case "", "blocks", "locality":
+		return PartitionBlocks, nil
+	case "round-robin", "rr":
+		return PartitionRoundRobin, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown partition policy %q (want blocks or round-robin)", name)
+	}
+}
+
+// PartitionNodes assigns n nodes to k shards under the policy and returns
+// shardOf[node]. group is the workload's affinity-group size hint for the
+// blocks policy (nodes [g*group, (g+1)*group) communicate mostly among
+// themselves); values < 1 mean no affinity. The result is always a total
+// partition: every node gets exactly one shard in [0, k), and every shard
+// is non-empty whenever k <= n.
+func PartitionNodes(n, k int, policy PartitionPolicy, group int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	shardOf := make([]int, n)
+	if policy == PartitionRoundRobin {
+		for i := range shardOf {
+			shardOf[i] = i % k
+		}
+		return shardOf
+	}
+	if group < 1 {
+		group = 1
+	}
+	// Blocks: contiguous, balanced ranges. With a usable affinity hint
+	// (every shard can hold at least one whole group) the unit of
+	// distribution is the group, so no group ever straddles a shard
+	// boundary — any partial tail group rides with the last shard. When the
+	// hint is too coarse (k*group > n) it is dropped: every shard staying
+	// non-empty outranks affinity — a split group's traffic crosses window
+	// barriers, which is slower, never wrong.
+	if group > 1 && k*group <= n {
+		g := n / group
+		for i := range shardOf {
+			grp := i / group
+			if grp >= g {
+				grp = g - 1 // tail partial group joins the last whole group
+			}
+			shardOf[i] = grp * k / g
+		}
+		return shardOf
+	}
+	for i := range shardOf {
+		shardOf[i] = i * k / n
+	}
+	return shardOf
+}

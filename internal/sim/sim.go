@@ -60,10 +60,47 @@ type Config struct {
 // when the next resumption is its own — the common case for a process
 // waiting on its own continuation events). Run's goroutine drives until the
 // first process resumption and is handed the baton back when the run ends.
+//
+// A Kernel can also be one shard of a MultiKernel (multi.go): the same event
+// loop then runs one conservative time window at a time, events pushed
+// during a window carry provisional keys that the window barrier's serial
+// replay rewrites into exact global sequence numbers, and the baton returns
+// to the shard runner at every window horizon through the same mainWake
+// hand-off that ends a standalone run.
 type Kernel struct {
 	cfg Config
 	now Time
 	seq uint64
+	// horizon is the exclusive upper bound of the current drive: events at
+	// or beyond it stay queued and drive returns the baton. timeMax for a
+	// standalone kernel (the horizon never triggers); a window end when the
+	// kernel is a MultiKernel shard.
+	horizon Time
+	// mk, shard link a shard kernel to its MultiKernel (nil/0 standalone).
+	mk    *MultiKernel
+	shard int
+	// winLog is set while a parallel window executes on this shard: pushes
+	// take provisional keys and are logged for the barrier replay.
+	winLog bool
+	// pushLog records every push of the current window, in push order; entry
+	// i belongs to provisional key provBit|i. An entry is either a local
+	// event (e) or a deferred cross-shard/latency-drawing send (env).
+	pushLog []pushEntry
+	// provState[i] records what became of push i: provPending (its event is
+	// still queued; the replay rewrites e.seq in place), provExecuted (it ran
+	// without pushing anything; the replay only advances the key counter), or
+	// the execLog index of its record (it ran and pushed/logged, so the
+	// replay resolves that record's key).
+	provState []int32
+	// execLog records, in execution order, every window event that pushed
+	// events or logged ordered actions; the barrier replay merges these
+	// across shards into the exact serial order.
+	execLog []execRec
+	// actions are ordered side effects (LogOrdered) of the window, flushed
+	// by the barrier replay in serial order.
+	actions []func()
+	curRec  execRec
+	recOpen bool
 	// queue holds all future events, ordered (time, seq), in a hierarchical
 	// timing wheel (see wheel.go): O(1) amortised schedule and pop.
 	queue wheel
@@ -98,17 +135,70 @@ func NewKernel(cfg Config) *Kernel {
 	}
 	return &Kernel{
 		cfg:      cfg,
+		horizon:  timeMax,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		mainWake: make(chan struct{}),
 	}
+}
+
+// provBit marks a provisional event key: assigned during a parallel window
+// in shard-local push order, rewritten to the true global sequence number by
+// the window barrier's serial replay. Provisional keys compare greater than
+// every true key — correct, because anything pushed during a window was
+// pushed after everything that already carried a true key — and two
+// provisional keys of the same shard compare by local push order, which is
+// exactly the serial kernel's relative order for same-shard pushes.
+const provBit = uint64(1) << 63
+
+// provState sentinels (non-negative values are execLog indices).
+const (
+	provPending  = int32(-1)
+	provExecuted = int32(-2)
+)
+
+// pushEntry is one logged push of a parallel window.
+type pushEntry struct {
+	e   *event // local push (intra-shard event), nil for deferred sends
+	env any    // deferred send envelope (opaque to sim; see EnvelopeFiler)
+}
+
+// execRec is one executed window event that produced pushes or ordered
+// actions. key is the event's (possibly provisional) sequence key; the
+// barrier replay resolves provisional keys before the record reaches its
+// shard's merge head.
+type execRec struct {
+	at             Time
+	key            uint64
+	pushLo, pushHi int32
+	actLo, actHi   int32
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Rand returns the kernel's deterministic random source. It must only be
-// used from simulation context (process bodies and event handlers).
-func (k *Kernel) Rand() *rand.Rand { return k.rng }
+// used from simulation context (process bodies and event handlers). A shard
+// kernel shares its MultiKernel's source, which is only drawable in serial
+// phases — drawing it from a parallel window panics, because the draw order
+// would depend on the cross-shard interleaving (see MultiKernel.Rand).
+func (k *Kernel) Rand() *rand.Rand {
+	if k.mk != nil {
+		return k.mk.Rand()
+	}
+	return k.rng
+}
+
+// InWindow reports whether the kernel is currently executing a parallel
+// window (pushes take provisional keys; cross-shard effects must be logged,
+// and the shared RNG is undrawable).
+func (k *Kernel) InWindow() bool { return k.winLog }
+
+// Shard returns the kernel's shard index within its MultiKernel (0 for a
+// standalone kernel).
+func (k *Kernel) Shard() int { return k.shard }
+
+// Multi returns the owning MultiKernel, nil for a standalone kernel.
+func (k *Kernel) Multi() *MultiKernel { return k.mk }
 
 // Events returns the number of events executed so far.
 func (k *Kernel) Events() uint64 { return k.events }
@@ -150,12 +240,29 @@ func (k *Kernel) atResume(t Time, p *Proc) {
 // single (time, seq) priority queue — now-queue entries carry larger
 // sequence numbers than any same-time event already queued, and the driver
 // picks the smaller of the two fronts.
+//
+// Key assignment: a standalone kernel increments its own counter. A shard
+// kernel takes true global keys from the MultiKernel's sequencer while in a
+// serial phase (setup, barrier filing), and provisional shard-local keys —
+// logged for the barrier replay — while a parallel window executes.
 func (k *Kernel) push(t Time, fn func(), p *Proc) {
 	if t < k.now {
 		t = k.now
 	}
-	k.seq++
-	e := k.newEvent(t, fn, p)
+	var key uint64
+	if k.winLog {
+		key = provBit | uint64(len(k.pushLog))
+	} else if k.mk != nil {
+		key = k.mk.nextKey()
+	} else {
+		k.seq++
+		key = k.seq
+	}
+	e := k.newEvent(t, key, fn, p)
+	if k.winLog {
+		k.pushLog = append(k.pushLog, pushEntry{e: e})
+		k.provState = append(k.provState, provPending)
+	}
 	if t == k.now {
 		k.nowQ.PushBack(e)
 		return
@@ -163,8 +270,53 @@ func (k *Kernel) push(t Time, fn func(), p *Proc) {
 	k.queue.push(e)
 }
 
+// PushKeyed schedules fn at absolute time t with an explicit, already
+// assigned global key. It is the barrier replay's filing primitive for
+// cross-shard and latency-deferred deliveries; serial phases only.
+func (k *Kernel) PushKeyed(t Time, key uint64, fn func()) {
+	if k.winLog {
+		panic("sim: PushKeyed during a parallel window")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := k.newEvent(t, key, fn, nil)
+	if t == k.now {
+		k.nowQ.PushBack(e)
+		return
+	}
+	k.queue.push(e)
+}
+
+// LogEnvelope records a deferred send in the current window's push log: the
+// envelope occupies exactly the key slot the serial kernel's delivery push
+// occupied, and the barrier replay hands it (with its resolved key) to the
+// registered EnvelopeFiler. env is opaque to the kernel.
+func (k *Kernel) LogEnvelope(env any) {
+	if !k.winLog {
+		panic("sim: LogEnvelope outside a parallel window")
+	}
+	k.pushLog = append(k.pushLog, pushEntry{env: env})
+	k.provState = append(k.provState, provPending)
+}
+
+// LogOrdered runs fn as an ordered side effect of the current event. On a
+// standalone kernel (or a shard in a serial phase) fn runs immediately;
+// during a parallel window it is deferred to the window barrier, where the
+// serial replay runs it at the executing event's exact position in the
+// global order. Use it for effects on state shared across shards (e.g.
+// appending to a global report collector) that must observe the serial
+// kernel's order.
+func (k *Kernel) LogOrdered(fn func()) {
+	if !k.winLog {
+		fn()
+		return
+	}
+	k.actions = append(k.actions, fn)
+}
+
 // newEvent takes an event from the pool (or allocates one) and fills it.
-func (k *Kernel) newEvent(t Time, fn func(), p *Proc) *event {
+func (k *Kernel) newEvent(t Time, key uint64, fn func(), p *Proc) *event {
 	var e *event
 	if n := len(k.free); n > 0 {
 		e = k.free[n-1]
@@ -172,7 +324,7 @@ func (k *Kernel) newEvent(t Time, fn func(), p *Proc) *event {
 	} else {
 		e = &event{}
 	}
-	e.at, e.seq, e.fn, e.proc = t, k.seq, fn, p
+	e.at, e.seq, e.fn, e.proc = t, key, fn, p
 	return e
 }
 
@@ -225,6 +377,12 @@ func (p *Proc) Err() error { return p.err }
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{ID: len(k.procs), Name: name, k: k, wake: make(chan struct{})}
 	k.procs = append(k.procs, p)
+	if k.mk != nil && !k.winLog {
+		// Serial-phase spawns record global order for error precedence.
+		// (In-window spawns stay shard-local; their errors surface in shard
+		// order — acceptable, and dsm-level runs never spawn mid-window.)
+		k.mk.procs = append(k.mk.procs, p)
+	}
 	go func() {
 		<-p.wake // wait to be scheduled for the first time
 		func() {
@@ -285,7 +443,15 @@ func (k *Kernel) drive(self *Proc) driveResult {
 		// can still be pushed behind it.
 		var e *event
 		if k.nowQ.Len() == 0 {
-			k.queue.peekWithin(timeMax)
+			// The horizon is exclusive: an event at or beyond it stays
+			// queued and the baton returns (window boundary). Standalone
+			// kernels have horizon timeMax, which no event can reach. The
+			// bounded peek also keeps the wheel cursor below the horizon, so
+			// the barrier can still file deliveries at any later instant.
+			if we := k.queue.peekWithin(k.horizon - 1); we == nil {
+				k.endRun(nil)
+				return driveEnd
+			}
 			e = k.queue.take()
 		} else if we := k.queue.peekWithin(k.now); we != nil && we.seq < k.nowQ.Front().seq {
 			e = k.queue.take()
@@ -293,6 +459,9 @@ func (k *Kernel) drive(self *Proc) driveResult {
 			e = k.nowQ.PopFront()
 		}
 		k.now = e.at
+		if k.winLog {
+			k.beginRec(e)
+		}
 		if k.cfg.MaxTime > 0 && k.now > k.cfg.MaxTime {
 			k.endRun(&LimitError{What: "time", Events: k.events, Time: k.now})
 			return driveEnd
@@ -339,11 +508,95 @@ func (k *Kernel) callEvent(fn func()) (ok bool) {
 }
 
 // endRun records the run-ending error, if any; the first error wins. Only
-// the goroutine holding the baton calls it, exactly once per run.
+// the goroutine holding the baton calls it, exactly once per run (once per
+// window boundary for a shard kernel).
 func (k *Kernel) endRun(err error) {
 	if err != nil && k.runErr == nil {
 		k.runErr = err
 	}
+}
+
+// beginRec closes the previous event's execution record and opens one for e.
+// Only called while winLog is set; the records drive the barrier replay.
+func (k *Kernel) beginRec(e *event) {
+	k.closeRec()
+	k.curRec = execRec{at: e.at, key: e.seq, pushLo: int32(len(k.pushLog)), actLo: int32(len(k.actions))}
+	k.recOpen = true
+}
+
+// closeRec finalises the open execution record. Records with no pushes and
+// no ordered actions are dropped — they contribute nothing to the replay —
+// but their provisional key is marked executed so the replay knows not to
+// rewrite a recycled event struct through a stale pointer.
+func (k *Kernel) closeRec() {
+	if !k.recOpen {
+		return
+	}
+	k.recOpen = false
+	k.curRec.pushHi = int32(len(k.pushLog))
+	k.curRec.actHi = int32(len(k.actions))
+	kept := k.curRec.pushHi > k.curRec.pushLo || k.curRec.actHi > k.curRec.actLo
+	if k.curRec.key&provBit != 0 {
+		if kept {
+			k.provState[k.curRec.key&^provBit] = int32(len(k.execLog))
+		} else {
+			k.provState[k.curRec.key&^provBit] = provExecuted
+		}
+	}
+	if kept {
+		k.execLog = append(k.execLog, k.curRec)
+	}
+}
+
+// beginWindow prepares the shard for one parallel window ending (exclusive)
+// at horizon: provisional keys, push/action logging, and a cleared wheel
+// peek cache (the barrier may have rewritten queued events' keys in place).
+func (k *Kernel) beginWindow(horizon Time) {
+	k.horizon = horizon
+	k.winLog = true
+	k.pushLog = k.pushLog[:0]
+	k.provState = k.provState[:0]
+	k.execLog = k.execLog[:0]
+	k.actions = k.actions[:0]
+	k.queue.invalidatePeek()
+}
+
+// runWindow executes the shard's events below the horizon set by
+// beginWindow and returns with the window's logs closed. Called by the
+// shard runner goroutine; the baton travels through process goroutines as
+// usual and comes back over mainWake at the horizon.
+func (k *Kernel) runWindow() {
+	if k.drive(nil) != driveEnd {
+		<-k.mainWake
+	}
+	k.closeRec()
+	k.winLog = false
+}
+
+// nextEventBound returns a lower bound on the virtual time of the shard's
+// earliest pending event, without moving the wheel cursor — the cursor must
+// never pass a window horizon, or a later barrier filing behind it would be
+// misfiled (cursor-safety invariant). The bound is exact for now-queue and
+// level-0 events; for events still parked in coarse buckets it is the
+// bucket's start time, which the next window's bounded peek refines by
+// cascading (so repeated empty windows always make progress).
+func (k *Kernel) nextEventBound() (Time, bool) {
+	if k.nowQ.Len() > 0 {
+		return k.now, true
+	}
+	if k.queue.len() == 0 {
+		return 0, false
+	}
+	lvl, start := k.queue.next()
+	if lvl < 0 {
+		return 0, false
+	}
+	if start < k.queue.cur {
+		// A coarse bucket's nominal start can predate the cursor; no event
+		// in it does.
+		start = k.queue.cur
+	}
+	return start, true
 }
 
 // Park suspends the calling process until something calls Ready on it.

@@ -64,9 +64,20 @@ type wheel struct {
 
 func (w *wheel) len() int { return w.count + len(w.over) }
 
+// invalidatePeek drops the cached peek. Required after resident events'
+// keys are rewritten in place (the window barrier's replay): a cached peek
+// memoises a min-seq scan that the rewrite may have invalidated.
+func (w *wheel) invalidatePeek() { w.peeked = nil }
+
 // push inserts an event; e.at must be >= w.cur (the kernel only schedules
-// at or after its current time, and the cursor never passes that).
+// at or after its current time, and the cursor never passes that — for a
+// MultiKernel shard the cursor additionally never passes the window
+// horizon, so barrier filings can never land behind it). A push behind the
+// cursor would be silently misfiled, so it panics instead.
 func (w *wheel) push(e *event) {
+	if e.at < w.cur {
+		panic("sim: event pushed behind the wheel cursor")
+	}
 	w.peeked = nil
 	d := e.at - w.cur
 	if d >= wheelHorizon {

@@ -46,6 +46,15 @@ type Workload struct {
 	Programs func() []dsm.Program
 	// Check validates the final memory state (nil = no check).
 	Check func(res *dsm.Result) error
+	// SharedRand declares that the programs draw from the shared simulation
+	// RNG (Proc.Rand) mid-run. Such runs are serial-only: the draw order is
+	// the serial interleaving itself, so a multi-kernel request degrades to
+	// one kernel (Run forwards this as dsm.Config.SerialOnly).
+	SharedRand bool
+	// LocalityGroup is the affinity-group size hint for locality-aware
+	// node partitioning: nodes [g*group, (g+1)*group) communicate mostly
+	// among themselves (0 = no affinity structure).
+	LocalityGroup int
 }
 
 // Run builds a cluster from cfg (Procs is overridden), applies Setup and
@@ -54,6 +63,12 @@ func (w Workload) Run(cfg dsm.Config) (*dsm.Result, error) {
 	cfg.Procs = w.Procs
 	if cfg.Label == "" {
 		cfg.Label = w.Name
+	}
+	if w.SharedRand {
+		cfg.SerialOnly = true
+	}
+	if cfg.LocalityGroup == 0 {
+		cfg.LocalityGroup = w.LocalityGroup
 	}
 	c, err := dsm.New(cfg)
 	if err != nil {
@@ -126,9 +141,10 @@ func Random(spec RandomSpec) Workload {
 	}
 	areaName := func(i int) string { return names[i] }
 	return Workload{
-		Name:    fmt.Sprintf("random-r%d", spec.ReadPercent),
-		Procs:   spec.Procs,
-		Profile: profile,
+		Name:       fmt.Sprintf("random-r%d", spec.ReadPercent),
+		Procs:      spec.Procs,
+		Profile:    profile,
+		SharedRand: true,
 		Setup: func(c *dsm.Cluster) error {
 			for i := 0; i < spec.Areas; i++ {
 				if err := c.Alloc(areaName(i), i%spec.Procs, spec.AreaWords); err != nil {
@@ -339,9 +355,10 @@ func StencilBuggy(procs, widthPerProc, iters int) Workload {
 // Atomic FetchAdds keep the totals exact; the races are benign by design.
 func Histogram(procs, bins, updatesPerProc int) Workload {
 	return Workload{
-		Name:    "histogram",
-		Procs:   procs,
-		Profile: RacyBenign,
+		Name:       "histogram",
+		Procs:      procs,
+		Profile:    RacyBenign,
+		SharedRand: true,
 		Setup: func(c *dsm.Cluster) error {
 			for b := 0; b < bins; b++ {
 				if err := c.Alloc(fmt.Sprintf("bin%d", b), b%procs, 1); err != nil {
@@ -568,9 +585,10 @@ func MigratoryGroups(procs, groupSize, rounds, words int) Workload {
 		return m
 	}
 	return Workload{
-		Name:    "migratory-groups",
-		Procs:   procs,
-		Profile: RaceFree,
+		Name:          "migratory-groups",
+		Procs:         procs,
+		Profile:       RaceFree,
+		LocalityGroup: groupSize,
 		Setup: func(c *dsm.Cluster) error {
 			for g := 0; g < groups; g++ {
 				if err := c.Alloc(obj(g), g*groupSize, words); err != nil {
@@ -691,6 +709,44 @@ func ProducerConsumerChain(stages, rounds, words, rereads int) Workload {
 						return fmt.Errorf("chain%d word %d = %d, want %d", j, w, got, want)
 					}
 				}
+			}
+			return nil
+		},
+	}
+}
+
+// LockstepAdders has every worker sleep the same interval and then hit the
+// same shared cell homed on the (otherwise idle) node 0 — so each round's
+// requests land at the home in one delivery slot. Racy by design
+// (unsynchronised writers racing on one word) with a schedule-independent
+// verdict sequence; built as the colliding shape for the home slot-batching
+// ablation (rdma.Config.HomeSlotBatch), where same-slot same-area requests
+// share one lock tenure.
+func LockstepAdders(procs, rounds int) Workload {
+	expected := memory.Word((procs - 1) * rounds)
+	return Workload{
+		Name:    "lockstep-adders",
+		Procs:   procs,
+		Profile: RacyBenign,
+		Setup:   func(c *dsm.Cluster) error { return c.Alloc("cell", 0, 1) },
+		Programs: func() []dsm.Program {
+			ps := make([]dsm.Program, procs)
+			for i := 1; i < procs; i++ {
+				ps[i] = func(p *dsm.Proc) error {
+					for r := 0; r < rounds; r++ {
+						p.Sleep(100_000)
+						if _, err := p.FetchAdd("cell", 0, 1); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+			}
+			return ps
+		},
+		Check: func(res *dsm.Result) error {
+			if got := res.Memory[0][0]; got != expected {
+				return fmt.Errorf("cell = %d, want %d", got, expected)
 			}
 			return nil
 		},

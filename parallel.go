@@ -23,6 +23,21 @@ import (
 // i.e. one simulation per available OS thread.
 func Parallelism() int { return runtime.GOMAXPROCS(0) }
 
+// ParallelismFor returns the worker count for trials that each run on
+// kernelsPerTrial kernel shards, keeping trials × shards within the one
+// GOMAXPROCS budget: a K-shard trial occupies K threads during its windows,
+// so the driver admits GOMAXPROCS/K concurrent trials (at least one).
+func ParallelismFor(kernelsPerTrial int) int {
+	if kernelsPerTrial < 1 {
+		kernelsPerTrial = 1
+	}
+	w := runtime.GOMAXPROCS(0) / kernelsPerTrial
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Parallel runs trial(i) for every i in [0, n) on up to workers concurrent
 // goroutines (workers <= 0 selects Parallelism()) and returns the results
 // in trial order. The error returned is the lowest-indexed trial's error —
@@ -84,7 +99,19 @@ func firstError(errs []error) error {
 // Parallel) and returns the results in spec order. Each spec's Setup and
 // Program closures may run concurrently with every other spec's; specs
 // sharing mutable state must be built per-trial via Parallel instead.
+// When workers defaults (<= 0) and specs request multi-kernel execution,
+// the admitted trial count is budgeted by the largest shard request
+// (ParallelismFor), keeping trials × shards within GOMAXPROCS.
 func RunMany(specs []RunSpec, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		maxK := 1
+		for _, s := range specs {
+			if s.Kernels > maxK {
+				maxK = s.Kernels
+			}
+		}
+		workers = ParallelismFor(maxK)
+	}
 	return Parallel(len(specs), workers, func(i int) (*Result, error) {
 		return Run(specs[i])
 	})

@@ -1,0 +1,94 @@
+package dsmrace
+
+import (
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/workload"
+)
+
+// sampledRun executes the racy mixed workload with the given collector.
+func sampledRun(t *testing.T, col *core.Collector) *Result {
+	t.Helper()
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rdma.DefaultConfig(d, col)
+	w := workload.Random(workload.RandomSpec{
+		Procs: 6, Areas: 8, AreaWords: 4, OpsPerProc: 60, ReadPercent: 40, BarrierEvery: 20,
+	})
+	res, err := w.Run(dsm.Config{Seed: 3, RDMA: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSamplingCollectorDeterministicSubset pins the sampling collector's
+// contract: with a fixed schedule, the sampled report set is exactly the
+// subset of the full run's reports selected by replaying the stride and
+// per-area-cap decisions over the full signal sequence — same reports, same
+// relative order — and the total race count is unchanged.
+func TestSamplingCollectorDeterministicSubset(t *testing.T) {
+	full := sampledRun(t, &core.Collector{})
+	if full.RaceCount < 20 {
+		t.Fatalf("workload signalled only %d races; need a racy schedule", full.RaceCount)
+	}
+	for _, spec := range []core.SampleSpec{
+		{EveryN: 3},
+		{AreaCap: 4},
+		{EveryN: 2, AreaCap: 3},
+	} {
+		spec := spec
+		col := &core.Collector{Sample: spec}
+		res := sampledRun(t, col)
+		if res.RaceCount != full.RaceCount {
+			t.Fatalf("%+v: sampling changed RaceCount: %d vs %d", spec, res.RaceCount, full.RaceCount)
+		}
+		// Replay the sampling decision over the full report stream.
+		var want []string
+		areaCount := map[int]int{}
+		for i, r := range full.Races {
+			if spec.EveryN > 1 && i%spec.EveryN != 0 {
+				continue
+			}
+			if spec.AreaCap > 0 {
+				if areaCount[int(r.Area)] >= spec.AreaCap {
+					continue
+				}
+				areaCount[int(r.Area)]++
+			}
+			want = append(want, r.String())
+		}
+		if len(res.Races) != len(want) {
+			t.Fatalf("%+v: stored %d reports, want %d (of %d full)", spec, len(res.Races), len(want), len(full.Races))
+		}
+		for i, r := range res.Races {
+			if r.String() != want[i] {
+				t.Fatalf("%+v: sampled report %d is not the expected subset element:\n got  %s\n want %s",
+					spec, i, r, want[i])
+			}
+		}
+		st := col.SampleStats()
+		if st.Seen != len(full.Races) || st.Stored != len(want) {
+			t.Fatalf("%+v: SampleStats %+v inconsistent (full=%d stored=%d)", spec, st, len(full.Races), len(want))
+		}
+		if st.Stored+st.DroppedStride+st.DroppedAreaCap != st.Seen {
+			t.Fatalf("%+v: SampleStats don't add up: %+v", spec, st)
+		}
+	}
+}
+
+// TestSamplingCollectorDefaultOff pins that the zero SampleSpec changes
+// nothing: same stored reports as an unsampled collector.
+func TestSamplingCollectorDefaultOff(t *testing.T) {
+	full := sampledRun(t, &core.Collector{})
+	again := sampledRun(t, &core.Collector{Sample: core.SampleSpec{}})
+	if len(full.Races) != len(again.Races) || full.RaceCount != again.RaceCount {
+		t.Fatalf("zero SampleSpec altered collection: %d/%d vs %d/%d",
+			len(again.Races), again.RaceCount, len(full.Races), full.RaceCount)
+	}
+}
