@@ -6,6 +6,7 @@ package dsmrace
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"dsmrace/internal/core"
@@ -146,6 +147,18 @@ func BenchmarkE_HomeBatch(b *testing.B) {
 		b.Run("lockstep-barrier/n=64/batch="+name, func(b *testing.B) {
 			benchHomeBatch(b, 64, batch)
 		})
+	}
+}
+
+// BenchmarkE_Fault runs the fault-layer family: the armed-idle pair whose
+// faults=off vs faults=armed ns/op delta is the zero-fault tax (a few
+// percent on uniform/n=64, within host noise), and the hostile rows metering
+// sustained loss and a
+// crash/restart mid-run.
+func BenchmarkE_Fault(b *testing.B) {
+	for _, spec := range FaultBenchmarks() {
+		spec := spec
+		b.Run(strings.TrimPrefix(spec.Name, "E_Fault/"), spec.F)
 	}
 }
 

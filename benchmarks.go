@@ -14,7 +14,9 @@ import (
 	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
+	"dsmrace/internal/fault"
 	"dsmrace/internal/rdma"
+	"dsmrace/internal/sim"
 	"dsmrace/internal/vclock"
 	"dsmrace/internal/workload"
 )
@@ -280,6 +282,72 @@ func HomeBatchBenchmarks() []BenchSpec {
 		})
 	}
 	return specs
+}
+
+// benchFault is the E_Fault body: a workload with b.N ops (or rounds) per
+// process under an optional fault schedule. The faults=off and faults=armed
+// rows share a workload, so their host ns/op delta is the zero-fault tax of
+// an armed-but-idle fault layer — deadline bookkeeping and watchdog scans;
+// zero-probability drop rules are pruned from the per-send consult path at
+// Arm time. Measured at a few percent on uniform/n=64, within host
+// measurement noise of the 2% budget. The hostile rows meter a run that loses
+// traffic and a node; their virtual metrics quantify the retry/re-homing
+// cost per op.
+func benchFault(b *testing.B, mkW func(rounds int) workload.Workload, sched *fault.Schedule) {
+	b.Helper()
+	d, err := NewDetector("vw-exact")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := mkW(b.N)
+	b.ResetTimer()
+	res, err := w.Run(dsm.Config{Seed: 1, RDMA: rdma.DefaultConfig(d, nil), Faults: sched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	totalOps := float64(w.Procs * b.N)
+	b.ReportMetric(float64(res.NetStats.TotalMsgs)/totalOps, "msgs/op")
+	b.ReportMetric(float64(res.NetStats.TotalBytes)/totalOps, "wireB/op")
+	b.ReportMetric(float64(res.Duration)/totalOps, "vns/op")
+}
+
+// FaultBenchmarks returns the E_Fault family: the armed-idle overhead pair
+// on the uniform lock-discipline shape at n=64, and hostile rows — sustained
+// loss, and loss plus a crash/restart — on the unreachable-tolerant uniform
+// shape.
+func FaultBenchmarks() []BenchSpec {
+	uniform := func(rounds int) workload.Workload {
+		return workload.Random(workload.RandomSpec{
+			Procs: 64, Areas: 128, AreaWords: 4,
+			OpsPerProc: rounds, ReadPercent: 50, LockDiscipline: true,
+		})
+	}
+	hostile := func(rounds int) workload.Workload {
+		return workload.HostileUniform(64, 128, 4, rounds)
+	}
+	armed := &fault.Schedule{
+		Seed: 1,
+		Drop: []fault.DropRule{{Kind: fault.AnyKind, Src: fault.AnyNode, Dst: fault.AnyNode, P: 0}},
+	}
+	lossy := &fault.Schedule{
+		Seed: 1,
+		Drop: []fault.DropRule{{Kind: fault.AnyKind, Src: fault.AnyNode, Dst: fault.AnyNode, P: 0.02}},
+	}
+	crash := &fault.Schedule{
+		Seed: 1,
+		Events: []fault.Event{
+			{At: 100 * sim.Microsecond, Op: fault.Crash, Node: 2},
+			{At: 400 * sim.Microsecond, Op: fault.Restart, Node: 2},
+		},
+		Drop: []fault.DropRule{{Kind: fault.AnyKind, Src: fault.AnyNode, Dst: fault.AnyNode, P: 0.02}},
+	}
+	return []BenchSpec{
+		{Name: "E_Fault/uniform/n=64/faults=off", F: func(b *testing.B) { benchFault(b, uniform, nil) }},
+		{Name: "E_Fault/uniform/n=64/faults=armed", F: func(b *testing.B) { benchFault(b, uniform, armed) }},
+		{Name: "E_Fault/hostile-uniform/n=64/drop=0.02", F: func(b *testing.B) { benchFault(b, hostile, lossy) }},
+		{Name: "E_Fault/hostile-uniform/n=64/crash+drop", F: func(b *testing.B) { benchFault(b, hostile, crash) }},
+	}
 }
 
 // benchCoherence is the E-T12 body: a coherence-sensitive workload with

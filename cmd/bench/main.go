@@ -11,6 +11,7 @@
 //	go run ./cmd/bench                                # all families, 2000 iterations
 //	go run ./cmd/bench -filter 'E_T4|E_Coherence' -benchtime 50000x
 //	go run ./cmd/bench -out BENCH_<pr>.json -pr <pr> -baseline BENCH_<pr-1>.json -note "after <change>"
+//	go run ./cmd/bench -fault                         # include the E_Fault family (armed-idle tax + hostile rows)
 //	go run ./cmd/bench -scale-benchtime 150x          # include the E_Scale n≤512 sweep
 //	go run ./cmd/bench -partition-benchtime 50x       # include the E_Partition kernels sweep + E_HomeBatch
 //	go run ./cmd/bench -compare BENCH_2.json -in BENCH_3.json   # delta table, no benchmarks run
@@ -77,6 +78,7 @@ func main() {
 	benchtime := flag.String("benchtime", "2000x", "benchmark duration per family (Nx or duration)")
 	scaleBenchtime := flag.String("scale-benchtime", "", "benchtime for the E_Scale family (empty = skip the family)")
 	partitionBenchtime := flag.String("partition-benchtime", "", "benchtime for the E_Partition and E_HomeBatch families (empty = skip them)")
+	faultBench := flag.Bool("fault", false, "include the E_Fault family (armed-idle overhead pair + hostile rows)")
 	kernels := flag.String("kernels", "", "comma-separated shard counts for the E_Partition sweep (default 1,2,4,8)")
 	pr := flag.Int("pr", 0, "PR number to record")
 	note := flag.String("note", "", "free-form note recorded in the file")
@@ -196,6 +198,9 @@ func main() {
 	}
 	setBenchtime(*benchtime)
 	run(dsmrace.StandardBenchmarks())
+	if *faultBench {
+		run(dsmrace.FaultBenchmarks())
+	}
 	if *scaleBenchtime != "" {
 		setBenchtime(*scaleBenchtime)
 		run(dsmrace.ScaleBenchmarks())

@@ -33,6 +33,7 @@ import (
 	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
+	"dsmrace/internal/fault"
 	"dsmrace/internal/network"
 	"dsmrace/internal/rdma"
 	"dsmrace/internal/sim"
@@ -65,7 +66,38 @@ type (
 	// CoherenceStats counts replica events (hits, fetches, invalidations)
 	// of a run — all zero under write-update, which keeps no replicas.
 	CoherenceStats = coherence.Stats
+	// FaultSchedule is a deterministic fault-injection plan (see
+	// RunSpec.Faults).
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one timed fault action (link cut/heal, crash/restart).
+	FaultEvent = fault.Event
+	// FaultOp names a fault action.
+	FaultOp = fault.Op
+	// DropRule is a per-message-kind drop probability.
+	DropRule = fault.DropRule
 )
+
+// Fault actions and wildcards re-exported for building schedules.
+const (
+	FaultCutLink  = fault.CutLink
+	FaultHealLink = fault.HealLink
+	FaultCrash    = fault.Crash
+	FaultRestart  = fault.Restart
+	FaultAnyNode  = fault.AnyNode
+	FaultAnyKind  = fault.AnyKind
+)
+
+// Virtual time units for building fault schedules and reading durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// ErrUnreachable is the typed error surfaced by operations whose retry
+// budget expired against a crashed or partitioned peer. Test with
+// errors.Is(err, dsmrace.ErrUnreachable).
+var ErrUnreachable = rdma.ErrUnreachable
 
 // Reduction operators re-exported for collective calls.
 const (
@@ -156,6 +188,14 @@ type RunSpec struct {
 	// SerialOnly declares the programs draw from Proc.Rand (or share Go
 	// state across processes); such runs execute on one kernel.
 	SerialOnly bool
+	// Faults installs a deterministic fault-injection schedule: timed link
+	// cuts/heals, node crashes/restarts, and per-kind message-drop
+	// probabilities, replayed bit-identically for a given Seed at any
+	// kernel count. Operations against unreachable peers retry with
+	// exponential backoff and ultimately fail with ErrUnreachable. Nil runs
+	// fault-free; incompatible with the legacy initiator and home slot
+	// batching (see internal/fault's package docs for the full model).
+	Faults *FaultSchedule
 	// Trace enables execution tracing (required for GroundTruthOf).
 	Trace bool
 	// Label tags the run.
@@ -228,6 +268,7 @@ func (s RunSpec) build() (*Cluster, []Program, error) {
 		Partition:     s.Partition,
 		LocalityGroup: s.LocalityGroup,
 		SerialOnly:    s.SerialOnly,
+		Faults:        s.Faults,
 	})
 	if err != nil {
 		return nil, nil, err

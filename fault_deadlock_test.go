@@ -1,0 +1,52 @@
+package dsmrace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dsmrace/internal/sim"
+)
+
+// TestFaultDeadlockNamesCrashAwait pins the deadlock-report contract at the
+// facade: a program parked on a restart that never comes surfaces as a
+// DeadlockError whose blocked line names the crash wait, not a generic park.
+func TestFaultDeadlockNamesCrashAwait(t *testing.T) {
+	spec := RunSpec{
+		Procs:    4,
+		Seed:     6,
+		Detector: "vw-exact",
+		Faults: &FaultSchedule{
+			Seed:   5,
+			Events: []FaultEvent{{At: 30 * sim.Microsecond, Op: FaultCrash, Node: 2}},
+		},
+		Setup: func(c *Cluster) error { return c.Alloc("a", 0, 4) },
+		Program: func(p *Proc) error {
+			if p.ID() == 2 {
+				// Keep issuing until the crash lands, then wait for a
+				// restart that is not on the schedule.
+				for !p.Crashed() {
+					if err := p.Put("a", 0, 1); err != nil && !errors.Is(err, ErrUnreachable) {
+						return err
+					}
+				}
+				p.AwaitRestart()
+				return nil
+			}
+			for i := 0; i < 10; i++ {
+				if err := p.Put("a", 1, Word(i)); err != nil && !errors.Is(err, ErrUnreachable) {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	_, err := Run(spec)
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if !strings.Contains(err.Error(), "crashed (await restart)") {
+		t.Fatalf("deadlock report %q does not name the crash wait", err)
+	}
+}

@@ -366,3 +366,34 @@ type Counter interface {
 	CountHomeRead(node int)
 	CountFetch(node int)
 }
+
+// FaultSupport is implemented by states that survive node crashes: the fault
+// layer calls these at the crash instant, in the execution contexts that
+// already own the touched state (PurgeSharer from the area's home shard,
+// DropNodeCopies from the crashed node's own shard), so the existing no-lock
+// sharding discipline holds.
+type FaultSupport interface {
+	// PurgeSharer removes node from a's sharer directory without sending an
+	// invalidation — the node is dead, there is no copy left to drop and no
+	// one to acknowledge. Without the purge a later write to a would wait
+	// forever on a dead sharer's acknowledgement.
+	PurgeSharer(node int, a memory.Area)
+	// DropNodeCopies invalidates every cached copy node holds, so a restarted
+	// node cannot serve stale pre-crash data from its cache.
+	DropNodeCopies(node int)
+}
+
+// PurgeSharer implements FaultSupport.
+func (s *wiState) PurgeSharer(node int, a memory.Area) {
+	if v := s.sharerSet(a.ID, false); v != nil {
+		v[node>>6] &^= 1 << (uint(node) & 63)
+	}
+}
+
+// DropNodeCopies implements FaultSupport. Only validity flags flip — the
+// iteration order of the cache map is irrelevant to the resulting state.
+func (s *wiState) DropNodeCopies(node int) {
+	for _, l := range s.caches[node] {
+		l.valid = false
+	}
+}

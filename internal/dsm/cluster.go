@@ -6,6 +6,7 @@ import (
 
 	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
+	"dsmrace/internal/fault"
 	"dsmrace/internal/memory"
 	"dsmrace/internal/network"
 	"dsmrace/internal/rdma"
@@ -59,6 +60,14 @@ type Config struct {
 	// parallelised deterministically; Kernels degrades to 1. Workloads set
 	// this via workload.Workload.SharedRand.
 	SerialOnly bool
+	// Faults, when non-nil, threads the deterministic fault-injection layer
+	// (internal/fault) through the run: scheduled link cuts/heals, node
+	// crash/restart with re-homing, probabilistic message loss, and
+	// deadline/retry hardening on every initiator operation. A non-nil but
+	// empty schedule enables the layer without perturbing the run — the
+	// differential suite proves such a run bit-identical to Faults == nil.
+	// Incompatible with LegacyInitiator and HomeSlotBatch.
+	Faults *fault.Schedule
 }
 
 // Program is one process's code. It runs on a simulated process and may
@@ -122,6 +131,12 @@ type Cluster struct {
 	procs      []*Proc
 	bar        *barrierCoord
 	ran        bool
+	// look is the conservative-window lookahead of the latency model,
+	// computed at EVERY kernel count (including one) when faults are
+	// configured: it floors the failover delay, and the flip instant must
+	// match across kernel counts for fingerprints to agree.
+	look sim.Time
+	inj  *fault.Injector
 }
 
 // New builds a cluster from cfg.
@@ -166,9 +181,30 @@ func New(cfg Config) (*Cluster, error) {
 			}
 		}
 	}
+	if cfg.Faults != nil {
+		if cfg.RDMA.LegacyInitiator {
+			return nil, errors.New("dsm: Faults is not supported with RDMA.LegacyInitiator")
+		}
+		if cfg.RDMA.HomeSlotBatch {
+			return nil, errors.New("dsm: Faults is not supported with RDMA.HomeSlotBatch")
+		}
+		if err := cfg.Faults.Validate(cfg.Procs); err != nil {
+			return nil, fmt.Errorf("dsm: %w", err)
+		}
+		if look == 0 {
+			// Single kernel (or a degraded request): compute the lookahead
+			// anyway — the failover-delay clamp must resolve to the same
+			// value at every kernel count, or the re-homing instant (and
+			// with it every fingerprint) would differ across K.
+			if l, _, ok := network.ParallelLookahead(cfg.Latency, cfg.Procs); ok {
+				look = l
+			}
+		}
+	}
 	c := &Cluster{
 		cfg:        cfg,
 		kernelNote: note,
+		look:       look,
 		space:      memory.NewSpace(cfg.Procs, cfg.PrivateWords, cfg.PublicWords),
 	}
 	scfg := sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime}
@@ -288,6 +324,17 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 	for i := 0; i < c.cfg.Procs; i++ {
 		c.sys.NIC(i).UserHandler = c.userHandler
 	}
+	if c.cfg.Faults != nil {
+		// Thread the fault layer and pre-file the schedule BEFORE spawning:
+		// setup-phase events sort before same-instant program events, so a
+		// fault at time T is visible to every program event at T — at any
+		// kernel count.
+		c.inj = fault.NewInjector(c.cfg.Faults.Resolved(c.look), c.net)
+		c.sys.EnableFaults(c.inj)
+		c.inj.NodeCrashed = c.nodeCrashed
+		c.inj.NodeRestarted = c.nodeRestarted
+		c.inj.Arm()
+	}
 
 	errs := make([]error, c.cfg.Procs)
 	for i := 0; i < c.cfg.Procs; i++ {
@@ -319,6 +366,15 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 	} else {
 		runErr = c.kernel.Run()
 		dur, events = c.kernel.Now(), c.kernel.Events()
+	}
+	if c.inj != nil {
+		// The injector's bookkeeping events replicate per shard; subtract
+		// them so Result.Events stays comparable across kernel counts.
+		if oh := c.inj.OverheadEvents(); oh < events {
+			events -= oh
+		} else {
+			events = 0
+		}
 	}
 	res := &Result{
 		NetStats:     c.net.TotalStats(),
@@ -353,6 +409,32 @@ func (c *Cluster) userHandler(m *network.Message) {
 		c.procByID(pl.proc).barrierRelease(pl.clock)
 	default:
 		panic(fmt.Sprintf("dsm: unexpected user payload %T", m.Payload))
+	}
+}
+
+// nodeCrashed is the injector's owner-shard crash hook: flag the process so
+// fault-aware programs can observe the crash (Proc.Crashed) and stop issuing.
+func (c *Cluster) nodeCrashed(node int) {
+	for _, p := range c.procs {
+		if p.id == node {
+			p.crashed = true
+			return
+		}
+	}
+}
+
+// nodeRestarted brings the process back: the crash flag clears, the restart
+// generation ticks (waking AwaitRestart), and the process rejoins with a
+// fresh masked clock column — its pre-crash clock died with its volatile
+// state, exactly like a real rejoining rank.
+func (c *Cluster) nodeRestarted(node int) {
+	for _, p := range c.procs {
+		if p.id == node {
+			p.crashed = false
+			p.restarted = true
+			p.clock = vclock.NewMasked(c.cfg.Procs)
+			return
+		}
 	}
 }
 

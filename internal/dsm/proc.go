@@ -33,6 +33,12 @@ type Proc struct {
 	epoch        int
 	barrierDone  bool
 	barrierClock vclock.VC
+
+	// Fault-layer state (Config.Faults): crashed marks the node down in the
+	// current schedule; restarted latches true at the first restart, waking
+	// AwaitRestart.
+	crashed   bool
+	restarted bool
 }
 
 // ID returns the process id (also its node id).
@@ -197,7 +203,10 @@ func (p *Proc) Lock(name string) error {
 		return err
 	}
 	p.clock.Tick(p.id)
-	rel := p.c.sys.NIC(p.id).LockArea(p.sp, a, p.id)
+	rel, err := p.c.sys.NIC(p.id).LockArea(p.sp, a, p.id)
+	if err != nil {
+		return err
+	}
 	p.absorb(rel)
 	idx := sort.SearchInts(p.held, int(a.ID))
 	if idx == len(p.held) || p.held[idx] != int(a.ID) {
@@ -231,6 +240,19 @@ func (p *Proc) Unlock(name string) error {
 
 // HeldLocks returns the area ids of the user locks currently held.
 func (p *Proc) HeldLocks() []int { return append([]int(nil), p.held...) }
+
+// Crashed reports whether this node is currently down in the fault schedule
+// (always false without Config.Faults). A crashed node's operations fail
+// with rdma.ErrUnreachable and its messages are dropped; fault-aware
+// programs poll this and stop issuing (or AwaitRestart) when it flips.
+func (p *Proc) Crashed() bool { return p.crashed }
+
+// AwaitRestart parks the process until the fault schedule restarts its node.
+// If the schedule never restarts it, the process stays parked and the run
+// ends with a deadlock report naming it.
+func (p *Proc) AwaitRestart() {
+	p.sp.Await(&p.restarted, "crashed (await restart)")
+}
 
 // LocalWrite stores vals into this process's *private* memory. Remote
 // processes can never reach it (Fig. 1).

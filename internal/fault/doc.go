@@ -1,0 +1,30 @@
+// Package fault is the deterministic fault-injection layer: seeded,
+// simulated-time schedules of link cuts, heals, node crashes, restarts and
+// probabilistic message loss, driven into the transport and the RDMA
+// protocol machinery without sacrificing bit-reproducibility.
+//
+// # Determinism model
+//
+// Every fault is pre-filed during the serial setup phase as an ordinary
+// kernel event — one replica per shard, each flipping only its own shard's
+// replica of the fault state (network fault views, failover tables). Setup-
+// phase events carry keys smaller than any in-window event, so a fault at
+// virtual time T executes before every program event at T, on one kernel
+// and on any multi-kernel partition alike. Probabilistic decisions (drop
+// losses, retry jitter) are hashes of the schedule seed and stable per-
+// message coordinates — never draws from an RNG stream — so they cannot be
+// reordered by parallel execution. The result: a hostile schedule replays
+// bit-identically across repeated runs and across kernel counts, and an
+// empty schedule leaves a run bit-identical to one without the layer.
+//
+// # Division of labour
+//
+// The package owns the schedule, the event filing and the hash policy; the
+// layers above register recovery hooks on the Injector. internal/rdma hooks
+// CrashSweep (purge directories, fail the crashed node's in-flight ops,
+// drain its lock queues, reclaim pooled structs) and Failover (flip the
+// per-shard home-override tables that re-home the crashed node's areas to
+// the deterministic successor); internal/dsm hooks NodeCrashed and
+// NodeRestarted for process-level bookkeeping (crash flags, fresh clock
+// columns on rejoin).
+package fault

@@ -1,0 +1,353 @@
+package fault
+
+import (
+	"fmt"
+
+	"dsmrace/internal/network"
+	"dsmrace/internal/sim"
+)
+
+// Op is a scheduled fault action.
+type Op int
+
+// Fault operations. Link ops are directed (Src→Dst); node ops take the
+// whole node down or bring it back.
+const (
+	CutLink Op = iota
+	HealLink
+	Crash
+	Restart
+)
+
+var opNames = [...]string{"cut", "heal", "crash", "restart"}
+
+// String returns the op's schedule label.
+func (o Op) String() string {
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// AnyKind matches every message kind in a DropRule.
+const AnyKind = network.Kind(-1)
+
+// AnyNode matches every node in a DropRule endpoint.
+const AnyNode = -1
+
+// Event is one scheduled fault: at virtual time At, perform Op. Crash and
+// Restart name a Node; CutLink and HealLink name a directed Src→Dst link.
+type Event struct {
+	At       sim.Time
+	Op       Op
+	Node     int
+	Src, Dst int
+}
+
+// DropRule loses a fraction P of matching messages. Kind filters by message
+// kind (AnyKind matches all); Src and Dst filter the endpoints (AnyNode
+// matches all). The per-message decision is a hash of the schedule seed, the
+// directed link, the link's send ordinal and the kind — no RNG stream is
+// consumed, so the decision is identical at every kernel count.
+type DropRule struct {
+	Kind     network.Kind
+	P        float64
+	Src, Dst int
+}
+
+// Default lifecycle parameters, in virtual nanoseconds. They sit an order
+// of magnitude above the default fabric's round-trip so a healthy-but-slow
+// op never trips its deadline.
+const (
+	DefaultTimeout       = sim.Time(50_000) // 50µs before an op's first expiry check
+	DefaultRetryBase     = sim.Time(20_000) // 20µs exponential backoff base
+	DefaultRetryBudget   = 3                // retransmissions before ErrUnreachable
+	DefaultFailoverDelay = sim.Time(10_000) // 10µs crash-to-re-homing blackout
+)
+
+// Schedule is a seeded, simulated-time fault plan. The zero value (or a
+// schedule with no events and no drop rules) enables the fault layer's code
+// paths without ever perturbing the run — the differential tests prove such
+// a run bit-identical to one without the layer.
+type Schedule struct {
+	// Seed salts every hash-derived decision (drop losses, retry jitter).
+	Seed int64
+	// Events are applied at their virtual times, in slice order for
+	// same-instant events, before any program event at the same instant.
+	Events []Event
+	// Drop holds probabilistic per-kind message-loss rules.
+	Drop []DropRule
+	// Timeout is the deadline armed for every initiator op (0 = default).
+	Timeout sim.Time
+	// RetryBase is the exponential-backoff base between retransmissions
+	// (0 = default).
+	RetryBase sim.Time
+	// RetryBudget is the number of retransmissions before an op fails with
+	// ErrUnreachable (0 = default).
+	RetryBudget int
+	// FailoverDelay is how long after a crash the node's home areas re-home
+	// to the successor. It is clamped up to the multi-kernel lookahead at
+	// every kernel count (including one) so re-homing commits at the same
+	// instant everywhere.
+	FailoverDelay sim.Time
+}
+
+// Hostile reports whether the schedule can actually perturb a run (it has
+// events or drop rules). A non-hostile schedule still threads the fault
+// layer through the stack — useful for differential testing — but arms no
+// deadlines and files no events, so it adds nothing to event counts.
+func (s *Schedule) Hostile() bool {
+	return s != nil && (len(s.Events) > 0 || len(s.Drop) > 0)
+}
+
+// Resolved returns a copy with defaults applied. minFailover is the
+// scheduling floor for re-homing (the caller passes the conservative-window
+// lookahead so a barrier-filed transfer lands before the successor serves).
+func (s Schedule) Resolved(minFailover sim.Time) Schedule {
+	r := s
+	if r.Timeout <= 0 {
+		r.Timeout = DefaultTimeout
+	}
+	if r.RetryBase <= 0 {
+		r.RetryBase = DefaultRetryBase
+	}
+	if r.RetryBudget <= 0 {
+		r.RetryBudget = DefaultRetryBudget
+	}
+	if r.FailoverDelay <= 0 {
+		r.FailoverDelay = DefaultFailoverDelay
+	}
+	if r.FailoverDelay < minFailover {
+		r.FailoverDelay = minFailover
+	}
+	return r
+}
+
+// Validate checks the schedule against a cluster of n nodes.
+func (s *Schedule) Validate(n int) error {
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d (%s) at negative time %d", i, ev.Op, ev.At)
+		}
+		switch ev.Op {
+		case Crash, Restart:
+			if ev.Node < 0 || ev.Node >= n {
+				return fmt.Errorf("fault: event %d (%s) names node %d outside [0,%d)", i, ev.Op, ev.Node, n)
+			}
+		case CutLink, HealLink:
+			if ev.Src < 0 || ev.Src >= n || ev.Dst < 0 || ev.Dst >= n {
+				return fmt.Errorf("fault: event %d (%s) names link %d->%d outside [0,%d)", i, ev.Op, ev.Src, ev.Dst, n)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown op %d", i, int(ev.Op))
+		}
+	}
+	for i, r := range s.Drop {
+		if r.P < 0 || r.P > 1 {
+			return fmt.Errorf("fault: drop rule %d has probability %g outside [0,1]", i, r.P)
+		}
+		if r.Src != AnyNode && (r.Src < 0 || r.Src >= n) {
+			return fmt.Errorf("fault: drop rule %d names src %d outside [0,%d)", i, r.Src, n)
+		}
+		if r.Dst != AnyNode && (r.Dst < 0 || r.Dst >= n) {
+			return fmt.Errorf("fault: drop rule %d names dst %d outside [0,%d)", i, r.Dst, n)
+		}
+	}
+	return nil
+}
+
+// Injector drives a resolved Schedule into a network and the layers above
+// it. The layers register recovery hooks before Arm; Arm pre-files every
+// fault as kernel events — one replica per shard, flipping that shard's own
+// fault view — during the serial setup phase, so the events carry setup-
+// phase keys and always execute before same-instant program events, at
+// every kernel count.
+type Injector struct {
+	Sched Schedule
+	net   *network.Network
+	nodes int
+
+	// CrashSweep runs on every shard at the instant of a crash: purge the
+	// crashed node from this shard's directories, locks and pending tables.
+	CrashSweep func(shard, node int, at sim.Time)
+	// Failover runs on every shard when a crashed node's areas re-home
+	// (FailoverDelay after the crash, skipped if the node restarted first).
+	Failover func(shard, node, successor int)
+	// NodeCrashed / NodeRestarted run only on the crashed node's owner
+	// shard, for process-level bookkeeping.
+	NodeCrashed   func(node int)
+	NodeRestarted func(node int)
+
+	// sendSeq counts drop-policy consultations per directed link. Each slot
+	// is touched only from the source's owning shard, the same single-writer
+	// discipline as the network's FIFO horizon.
+	sendSeq  []uint64
+	overhead uint64
+}
+
+// NewInjector wires an injector for a resolved schedule.
+func NewInjector(sched Schedule, net *network.Network) *Injector {
+	return &Injector{Sched: sched, net: net, nodes: net.N()}
+}
+
+func (inj *Injector) kernel(sh int) *sim.Kernel {
+	if mk := inj.net.Multi(); mk != nil {
+		return mk.Shard(sh)
+	}
+	return inj.net.Kernel()
+}
+
+// Arm pre-files the schedule. Call during the serial setup phase, after
+// recovery hooks are registered and before processes are spawned, so fault
+// events sort before same-instant program events.
+func (inj *Injector) Arm() {
+	// Install the drop policy only if some rule can actually fire. P<=0
+	// rules still arm deadlines (Hostile counts them) but never consult
+	// the hash, so pruning them keeps the per-send path consult-free for
+	// armed-but-idle schedules without changing any decision.
+	for _, r := range inj.Sched.Drop {
+		if r.P > 0 {
+			inj.sendSeq = make([]uint64, inj.nodes*inj.nodes)
+			inj.net.DropPolicy = inj.dropPolicy
+			break
+		}
+	}
+	shards := inj.net.ShardCount()
+	for _, ev := range inj.Sched.Events {
+		ev := ev
+		switch ev.Op {
+		case CutLink, HealLink:
+			isDown := ev.Op == CutLink
+			for s := 0; s < shards; s++ {
+				s := s
+				inj.kernel(s).At(ev.At, func() {
+					inj.net.SetLinkFault(s, network.NodeID(ev.Src), network.NodeID(ev.Dst), isDown)
+				})
+				inj.overhead++
+			}
+		case Crash:
+			owner := inj.net.ShardOf(network.NodeID(ev.Node))
+			for s := 0; s < shards; s++ {
+				s := s
+				inj.kernel(s).At(ev.At, func() {
+					inj.net.SetNodeFault(s, network.NodeID(ev.Node), true)
+					if inj.CrashSweep != nil {
+						inj.CrashSweep(s, ev.Node, ev.At)
+					}
+					if s == owner && inj.NodeCrashed != nil {
+						inj.NodeCrashed(ev.Node)
+					}
+				})
+				inj.overhead++
+			}
+			activeAt := ev.At + inj.Sched.FailoverDelay
+			for s := 0; s < shards; s++ {
+				s := s
+				inj.kernel(s).At(activeAt, func() {
+					// A restart before the failover instant cancels the
+					// re-homing; every shard reads its own view, which
+					// flipped at the same instant everywhere.
+					if !inj.net.NodeFaulted(s, network.NodeID(ev.Node)) {
+						return
+					}
+					succ := inj.successor(s, ev.Node)
+					if succ >= 0 && inj.Failover != nil {
+						inj.Failover(s, ev.Node, succ)
+					}
+				})
+				inj.overhead++
+			}
+		case Restart:
+			owner := inj.net.ShardOf(network.NodeID(ev.Node))
+			for s := 0; s < shards; s++ {
+				s := s
+				inj.kernel(s).At(ev.At, func() {
+					inj.net.SetNodeFault(s, network.NodeID(ev.Node), false)
+					if s == owner && inj.NodeRestarted != nil {
+						inj.NodeRestarted(ev.Node)
+					}
+				})
+				inj.overhead++
+			}
+		}
+	}
+}
+
+// OverheadEvents returns the number of bookkeeping events Arm filed. The
+// count scales with the shard count (every shard replays every flip), so
+// callers subtract it from the run's event total to keep that total
+// comparable across kernel counts.
+func (inj *Injector) OverheadEvents() uint64 { return inj.overhead }
+
+// successor returns the re-homing target for a crashed node: the next node
+// id (mod n) alive in this shard's view, or -1 if the whole cluster is
+// down. Every shard's view agrees at the failover instant, so the choice is
+// identical everywhere.
+func (inj *Injector) successor(sh, node int) int {
+	for i := 1; i < inj.nodes; i++ {
+		cand := (node + i) % inj.nodes
+		if !inj.net.NodeFaulted(sh, network.NodeID(cand)) {
+			return cand
+		}
+	}
+	return -1
+}
+
+// dropPolicy implements network.DropPolicy: hash-derived per-message loss.
+// The per-link ordinal advances once per consultation, so the nth surviving
+// send on a link sees the same decision at every kernel count.
+func (inj *Injector) dropPolicy(sh int, src, dst network.NodeID, kind network.Kind) bool {
+	link := int(src)*inj.nodes + int(dst)
+	seq := inj.sendSeq[link]
+	inj.sendSeq[link]++
+	for i := range inj.Sched.Drop {
+		r := &inj.Sched.Drop[i]
+		if r.P <= 0 {
+			continue
+		}
+		if r.Kind != AnyKind && r.Kind != kind {
+			continue
+		}
+		if r.Src != AnyNode && network.NodeID(r.Src) != src {
+			continue
+		}
+		if r.Dst != AnyNode && network.NodeID(r.Dst) != dst {
+			continue
+		}
+		if hashUnit(uint64(inj.Sched.Seed), uint64(link), seq, uint64(kind), uint64(i)) < r.P {
+			return true
+		}
+	}
+	return false
+}
+
+// RetryJitter returns a deterministic backoff jitter in [0, base): a hash
+// of the seed, the retrying node, a caller-chosen salt and the attempt
+// ordinal. Drawing no RNG keeps retransmission times identical at every
+// kernel count — the "retry determinism rule". The salt must itself be
+// kernel-count-independent: request ids are shard-namespaced and therefore
+// must NOT be used; the rdma layer salts with the op's (area, kind)
+// instead.
+func (inj *Injector) RetryJitter(node int, salt uint64, attempt int, base sim.Time) sim.Time {
+	if base <= 0 {
+		return 0
+	}
+	return sim.Time(hashUnit(uint64(inj.Sched.Seed)^0xf00d, uint64(node), salt, uint64(attempt)) * float64(base))
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit folds the parts into a uniform float64 in [0, 1).
+func hashUnit(parts ...uint64) float64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, p := range parts {
+		h = mix64(h ^ p)
+	}
+	return float64(h>>11) / (1 << 53)
+}

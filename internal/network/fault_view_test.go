@@ -1,0 +1,70 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsmrace/internal/sim"
+)
+
+// shrinkLatency serves a huge delay for the first message and a tiny one
+// afterwards — crafted so a stale per-link FIFO horizon is observable.
+type shrinkLatency struct{ calls *int }
+
+func (s shrinkLatency) Name() string { return "shrink" }
+func (s shrinkLatency) Delay(a, b NodeID, bytes int, rng *rand.Rand) sim.Time {
+	*s.calls++
+	if *s.calls == 1 {
+		return 1000
+	}
+	return 10
+}
+
+// TestRestoreLinkResetsFIFOHorizon is the regression test for the stale
+// lastArrival bug: traffic lost to a cut link must leave no trace in the
+// link's FIFO horizon, and healing resets the horizon outright — the first
+// post-heal message is timed from its own send, not serialized behind the
+// arrival slot of traffic from before (or during) the outage.
+func TestRestoreLinkResetsFIFOHorizon(t *testing.T) {
+	calls := 0
+	k, nw := newTestNet(t, 2, shrinkLatency{calls: &calls})
+	var arrivals []sim.Time
+	nw.SetHandler(1, func(m *Message) { arrivals = append(arrivals, k.Now()) })
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser}) // in flight until t=1000
+	k.At(1, func() { nw.CutLink(0, 1) })
+	k.At(2, func() { nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser}) }) // dropped
+	k.At(3, func() { nw.RestoreLink(0, 1) })
+	k.At(5, func() { nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser}) }) // delay 10
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", nw.Dropped)
+	}
+	want := []sim.Time{15, 1000}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Fatalf("arrivals = %v, want %v (post-heal send must not inherit the pre-cut horizon)", arrivals, want)
+	}
+}
+
+// TestFaultViewHealResetsHorizon pins the same property on the fault-view
+// path used by injected schedules (SetLinkFault heal, source-shard reset).
+func TestFaultViewHealResetsHorizon(t *testing.T) {
+	calls := 0
+	k, nw := newTestNet(t, 2, shrinkLatency{calls: &calls})
+	nw.EnableFaults()
+	var arrivals []sim.Time
+	nw.SetHandler(1, func(m *Message) { arrivals = append(arrivals, k.Now()) })
+	nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser})
+	k.At(1, func() { nw.SetLinkFault(0, 0, 1, true) })
+	k.At(2, func() { nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser}) }) // dropped
+	k.At(3, func() { nw.SetLinkFault(0, 0, 1, false) })
+	k.At(5, func() { nw.Send(&Message{Src: 0, Dst: 1, Kind: KindUser}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{15, 1000}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Fatalf("arrivals = %v, want %v", arrivals, want)
+	}
+}

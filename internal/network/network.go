@@ -163,7 +163,34 @@ type inflight struct {
 }
 
 func (f *inflight) deliver() {
-	h := f.net.handlers[f.m.Dst]
+	net := f.net
+	if net.fviews != nil {
+		// Delivery-time loss: the destination crashed while the message was
+		// in flight. The check runs in the destination shard's context (the
+		// wrapper's owning shard), against that shard's fault view.
+		sh := 0
+		if f.sh != nil {
+			sh = f.sh.idx
+		}
+		if v := net.fviews[sh]; v.anyNodeDown && v.nodeDown[f.m.Dst] {
+			if f.sh != nil {
+				f.sh.dropped++
+			} else {
+				net.Dropped++
+			}
+			if net.OnDrop != nil {
+				net.OnDrop(sh, f.m.Src, f.m.Dst, f.m.Kind, f.m.Payload)
+			}
+			f.m.Payload = nil
+			if f.sh != nil {
+				f.sh.pool = append(f.sh.pool, f)
+			} else {
+				net.pool = append(net.pool, f)
+			}
+			return
+		}
+	}
+	h := net.handlers[f.m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("network: node %d has no handler", f.m.Dst))
 	}
@@ -173,17 +200,29 @@ func (f *inflight) deliver() {
 		f.sh.pool = append(f.sh.pool, f)
 		return
 	}
-	f.net.pool = append(f.net.pool, f)
+	net.pool = append(net.pool, f)
 }
 
 // netShard is one kernel shard's slice of the transport state: traffic
 // counters, drop counter and wrapper/envelope pools, touched only from that
 // shard's execution context (or the serial barrier).
 type netShard struct {
+	idx     int
 	stats   Stats
 	dropped uint64
 	pool    []*inflight
 	envs    []*envelope
+}
+
+// faultView is one shard's replica of the dynamic fault state. Every shard
+// holds an identical copy, flipped by that shard's own pre-filed fault
+// events at identical virtual times, so in-window reads never cross a shard
+// boundary and the visible state is the same at every kernel count.
+type faultView struct {
+	down        []bool // directed link cuts, same indexing as lastArrival
+	anyDown     bool
+	nodeDown    []bool // crashed nodes
+	anyNodeDown bool
 }
 
 func (s *netShard) grabEnv() *envelope {
@@ -243,15 +282,30 @@ type Network struct {
 	down    []bool
 	anyDown bool
 	Dropped uint64
-	// OnDrop, when non-nil, receives the source, kind and payload of every
-	// message dropped on a down link before it vanishes, so the layer that
-	// pooled the payload can reclaim it into the right shard's pool (a
-	// dropped round-trip request has no reply to trigger the usual release;
-	// a dropped reply has no receiver at all). The hook deliberately does
-	// not see the *Message: taking it would make every caller's Message
-	// literal escape to the heap, and Send is the hottest transport call in
-	// the simulator.
-	OnDrop func(src NodeID, kind Kind, payload any)
+	// OnDrop, when non-nil, receives the endpoints, kind and payload of
+	// every dropped message before it vanishes, so the layer that pooled the
+	// payload can reclaim it into the right shard's pool (a dropped
+	// round-trip request has no reply to trigger the usual release; a
+	// dropped reply has no receiver at all). ctxShard is the shard whose
+	// execution context the drop happens in: the source's shard for
+	// send-time drops (down links, drop-policy losses), the destination's
+	// shard for delivery-time drops (crashed destination) — the hook may
+	// only touch that shard's pools. The hook deliberately does not see the
+	// *Message: taking it would make every caller's Message literal escape
+	// to the heap, and Send is the hottest transport call in the simulator.
+	OnDrop func(ctxShard int, src, dst NodeID, kind Kind, payload any)
+	// DropPolicy, when non-nil, is consulted for every send that survives
+	// the link/node checks and may declare the message lost (probabilistic
+	// fault injection). It runs in the source shard's context and must be a
+	// pure function of its arguments plus per-link state owned by that
+	// shard, so the decision is identical at every kernel count.
+	DropPolicy func(ctxShard int, src, dst NodeID, kind Kind) bool
+	// fviews, when non-nil, enables fault mode: each kernel shard owns a
+	// replica of the dynamic fault state (cut links, crashed nodes),
+	// mutated only by that shard's own pre-filed fault events so no
+	// cross-shard reads ever race. Index 0 is the only view on a
+	// single-kernel network.
+	fviews []*faultView
 
 	// Sharded-mode state (nil/empty on a single-kernel network):
 	mk      *sim.MultiKernel
@@ -298,7 +352,7 @@ func NewSharded(mk *sim.MultiKernel, shardOf []int, n int, lat LatencyModel, def
 	}
 	for i := 0; i < mk.Shards(); i++ {
 		net.kernels = append(net.kernels, mk.Shard(i))
-		net.shards = append(net.shards, &netShard{})
+		net.shards = append(net.shards, &netShard{idx: i})
 	}
 	mk.SetEnvelopeFiler(net.fileEnvelope)
 	return net
@@ -390,9 +444,14 @@ func (n *Network) CutLink(a, b NodeID) {
 	n.anyDown = true
 }
 
-// RestoreLink re-enables the a→b link.
+// RestoreLink re-enables the a→b link. The link's FIFO horizon is reset:
+// every message sent while the link was down was dropped, so the first
+// post-heal message must not be serialized behind the arrival time of
+// pre-cut traffic that has long since drained.
 func (n *Network) RestoreLink(a, b NodeID) {
-	n.down[n.linkIndex(a, b)] = false
+	link := n.linkIndex(a, b)
+	n.down[link] = false
+	n.lastArrival[link] = 0
 	n.anyDown = false
 	for _, d := range n.down {
 		if d {
@@ -400,6 +459,98 @@ func (n *Network) RestoreLink(a, b NodeID) {
 			break
 		}
 	}
+}
+
+// EnableFaults switches the network into fault mode: every shard gets a
+// replica of the dynamic fault state (cut links, crashed nodes) that the
+// fault layer's pre-filed events mutate. With no faults ever filed the views
+// stay all-up and the only per-send cost is a nil check and two false
+// flags — the zero-fault tax the differential tests pin.
+func (n *Network) EnableFaults() {
+	shards := n.ShardCount()
+	nodes := n.N()
+	n.fviews = make([]*faultView, shards)
+	for i := range n.fviews {
+		n.fviews[i] = &faultView{
+			down:     make([]bool, nodes*nodes),
+			nodeDown: make([]bool, nodes),
+		}
+	}
+}
+
+// FaultsEnabled reports whether EnableFaults has been called.
+func (n *Network) FaultsEnabled() bool { return n.fviews != nil }
+
+// SetLinkFault flips the a→b link in shard sh's fault view. Healing resets
+// the link's FIFO horizon (see RestoreLink); since lastArrival is owned by
+// the shard that files the link's sends, only the source's owning shard
+// performs the reset — the other shards just flip their view flag.
+func (n *Network) SetLinkFault(sh int, a, b NodeID, isDown bool) {
+	v := n.fviews[sh]
+	link := n.linkIndex(a, b)
+	v.down[link] = isDown
+	if isDown {
+		v.anyDown = true
+		return
+	}
+	if sh == n.ShardOf(a) {
+		n.lastArrival[link] = 0
+	}
+	v.anyDown = false
+	for _, d := range v.down {
+		if d {
+			v.anyDown = true
+			break
+		}
+	}
+}
+
+// SetNodeFault flips a node's crashed flag in shard sh's fault view.
+func (n *Network) SetNodeFault(sh int, node NodeID, isDown bool) {
+	v := n.fviews[sh]
+	v.nodeDown[node] = isDown
+	if isDown {
+		v.anyNodeDown = true
+		return
+	}
+	v.anyNodeDown = false
+	for _, d := range v.nodeDown {
+		if d {
+			v.anyNodeDown = true
+			break
+		}
+	}
+}
+
+// NodeFaulted reports whether node is crashed in shard sh's fault view.
+func (n *Network) NodeFaulted(sh int, node NodeID) bool {
+	if n.fviews == nil {
+		return false
+	}
+	v := n.fviews[sh]
+	return v.anyNodeDown && v.nodeDown[node]
+}
+
+// LinkFaulted reports whether the a→b link is cut in shard sh's fault view.
+func (n *Network) LinkFaulted(sh int, a, b NodeID) bool {
+	if n.fviews == nil {
+		return false
+	}
+	v := n.fviews[sh]
+	return v.anyDown && v.down[n.linkIndex(a, b)]
+}
+
+// faultDrop decides whether fault mode loses the message at send time; it
+// runs in the source shard's context against that shard's view.
+func (n *Network) faultDrop(sh int, link int, m *Message) bool {
+	v := n.fviews[sh]
+	if v.anyDown && v.down[link] {
+		return true
+	}
+	if v.anyNodeDown && (v.nodeDown[m.Src] || v.nodeDown[m.Dst]) {
+		return true
+	}
+	return n.DropPolicy != nil && n.DropPolicy(sh, m.Src, m.Dst, m.Kind)
 }
 
 // Send transmits m; delivery is scheduled on the kernel after the modelled
@@ -410,12 +561,20 @@ func (n *Network) RestoreLink(a, b NodeID) {
 // Message is not retained (and with escape analysis a stack literal stays
 // on the stack). Handlers receive a *Message that is only valid for the
 // duration of the delivery call; payloads are handed off as-is.
-func (n *Network) Send(m *Message) {
+func (n *Network) Send(m *Message) { n.send(m, false) }
+
+// SendExempt transmits m bypassing the fault checks. The recovery machinery
+// uses it to synthesize completion errors on behalf of a crashed node (whose
+// own sends would be dropped); it must be called from the execution context
+// of the shard owning m.Src, exactly like Send.
+func (n *Network) SendExempt(m *Message) { n.send(m, true) }
+
+func (n *Network) send(m *Message, exempt bool) {
 	if m.Size < HeaderBytes {
 		m.Size = HeaderBytes
 	}
 	if n.mk != nil {
-		n.sendSharded(m)
+		n.sendSharded(m, exempt)
 		return
 	}
 	n.stats.count(m)
@@ -423,7 +582,14 @@ func (n *Network) Send(m *Message) {
 	if n.anyDown && n.down[link] {
 		n.Dropped++
 		if n.OnDrop != nil {
-			n.OnDrop(m.Src, m.Kind, m.Payload)
+			n.OnDrop(0, m.Src, m.Dst, m.Kind, m.Payload)
+		}
+		return
+	}
+	if n.fviews != nil && !exempt && n.faultDrop(0, link, m) {
+		n.Dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(0, m.Src, m.Dst, m.Kind, m.Payload)
 		}
 		return
 	}
@@ -453,7 +619,7 @@ func (n *Network) Send(m *Message) {
 // window barrier's serial replay computes their delay (drawing the shared
 // RNG in serial send order), applies the link FIFO, and files the delivery
 // into the destination shard at the same global key slot.
-func (n *Network) sendSharded(m *Message) {
+func (n *Network) sendSharded(m *Message, exempt bool) {
 	sh := n.shardOf[m.Src]
 	ss := n.shards[sh]
 	ss.stats.count(m)
@@ -461,7 +627,14 @@ func (n *Network) sendSharded(m *Message) {
 	if n.anyDown && n.down[link] {
 		ss.dropped++
 		if n.OnDrop != nil {
-			n.OnDrop(m.Src, m.Kind, m.Payload)
+			n.OnDrop(sh, m.Src, m.Dst, m.Kind, m.Payload)
+		}
+		return
+	}
+	if n.fviews != nil && !exempt && n.faultDrop(sh, link, m) {
+		ss.dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(sh, m.Src, m.Dst, m.Kind, m.Payload)
 		}
 		return
 	}

@@ -1,0 +1,98 @@
+package rdma
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dsmrace/internal/core"
+	"dsmrace/internal/fault"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/sim"
+	"dsmrace/internal/vclock"
+)
+
+// TestFaultRetryRelabel pins the deadlock-report contract of a retrying op:
+// while the watchdog retransmits, the parked process's block reason names
+// the operation kind, the remote node and the attempt count — so a run that
+// wedges mid-retry reports "get.req->node1 (timeout, 2 retries)", not the
+// label of the phase the process first parked on.
+func TestFaultRetryRelabel(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(core.NewVWDetector(), nil), func(s *memory.Space) {
+		s.Alloc("x", 1, 8)
+	})
+	sched := fault.Schedule{
+		Seed: 2,
+		Events: []fault.Event{
+			// Both directions dead from the first instant: every attempt is
+			// dropped at send, so the op walks its whole retry budget.
+			{At: 0, Op: fault.CutLink, Src: 0, Dst: 1},
+			{At: 0, Op: fault.CutLink, Src: 1, Dst: 0},
+		},
+	}
+	inj := fault.NewInjector(sched.Resolved(0), r.net)
+	r.sys.EnableFaults(inj)
+	inj.Arm()
+	area := mustArea(t, r.space, "x")
+
+	var p0 *sim.Proc
+	var gotErr error
+	p0 = r.k.Spawn("P0", func(p *sim.Proc) {
+		clk := vclock.New(2)
+		clk.Tick(0)
+		_, _, gotErr = r.sys.NIC(0).Get(p, area, 0, 4, racc(0, 1, clk))
+	})
+	var labels []string
+	// Probe between retransmissions: attempt 1 fires at the 50us timeout,
+	// attempt 2 no earlier than 120us (timeout + base backoff), no later
+	// than 140us (max jitter) — so 60us and 150us each land inside a
+	// distinct retry tenure.
+	r.k.At(60*sim.Microsecond, func() { labels = append(labels, p0.BlockReason()) })
+	r.k.At(150*sim.Microsecond, func() { labels = append(labels, p0.BlockReason()) })
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrUnreachable) {
+		t.Fatalf("get err = %v, want ErrUnreachable", gotErr)
+	}
+	if !strings.Contains(gotErr.Error(), "timed out after 3 retries") {
+		t.Fatalf("get err = %q, want the exhausted retry budget named", gotErr)
+	}
+	want := []string{
+		"get.req->node1 (timeout, 1 retries)",
+		"get.req->node1 (timeout, 2 retries)",
+	}
+	if len(labels) != 2 || labels[0] != want[0] || labels[1] != want[1] {
+		t.Fatalf("block reasons = %q, want %q", labels, want)
+	}
+}
+
+// TestFaultOrphanReplyAbsorbed pins the idempotence mechanism directly: a
+// reply whose pending entry is gone — the duplicate produced when a
+// retransmitted request and its original both got through — is absorbed
+// silently under faults (it panics without them), and its pooled resp still
+// completes the full lifecycle.
+func TestFaultOrphanReplyAbsorbed(t *testing.T) {
+	r := newRig(t, 2, DefaultConfig(core.NewVWDetector(), nil), func(s *memory.Space) {
+		s.Alloc("x", 1, 8)
+	})
+	sched := fault.Schedule{Seed: 1}
+	inj := fault.NewInjector(sched.Resolved(0), r.net)
+	r.sys.EnableFaults(inj)
+	inj.Arm()
+	r.k.At(0, func() {
+		rs := r.sys.nics[1].ps.grabResp()
+		rs.id = 999 // matches no pending op: a duplicate of a completed one
+		r.net.Send(&network.Message{Src: 1, Dst: 0, Kind: network.KindGetReply,
+			Size: network.HeaderBytes, Payload: rs})
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < r.sys.PoolShards(); s++ {
+		if b := r.sys.PoolBalanceShard(s); b != (PoolBalance{}) {
+			t.Fatalf("pool shard %d unbalanced after orphan absorb: %+v", s, b)
+		}
+	}
+}

@@ -58,6 +58,17 @@ type initOp struct {
 	errs    string
 	v, w    vclock.VC
 
+	// Fault lifecycle (armed only under a hostile schedule — see fault.go):
+	// the request template and coordinates to retransmit from, the deadline
+	// the NIC watchdog scans, and the attempt counter against the budget.
+	tmpl        req
+	dst         network.NodeID
+	size        int
+	attempt     int
+	deadline    sim.Time
+	dropped     bool // the in-flight request was dropped at send
+	unreachable bool // failed with ErrUnreachable (budget exhausted)
+
 	// Pre-bound continuations (see the methods of the same names).
 	captureFn       func(*resp) // single round-trip ops: absorb + finish
 	grantFn         func(*resp) // literal: internal lock granted
@@ -119,6 +130,14 @@ func (s *System) grabInit(n *NIC, p *sim.Proc) *initOp {
 // caller).
 func releaseInit(ps *shardPools, o *initOp) {
 	owner := o.owner
+	if o.deadline != 0 || o.unreachable {
+		// Fault state was armed for this op (deadline set at issue, or a
+		// failure recorded); clear it. The gate keeps fault-free runs from
+		// paying a template memclr per operation.
+		o.tmpl = req{}
+		o.dst, o.size, o.attempt, o.deadline = 0, 0, 0, 0
+		o.dropped, o.unreachable = false, false
+	}
 	o.n, o.p, o.rr, o.next, o.stage1Fn = nil, nil, nil, nil, nil
 	o.done, o.lockOn = false, false
 	o.data, o.outData, o.v, o.w = nil, nil, nil, nil
@@ -147,8 +166,20 @@ func (o *initOp) issue(dst network.NodeID, kind network.Kind, size int, r *req, 
 	rr.id = n.ps.nextReq()
 	rr.origin = n.id
 	o.rr, o.next, o.kind = rr, cont, kind
+	if n.sys.fArm {
+		// Record the retransmission template and deadline BEFORE sending: a
+		// send-time drop runs the drop hook synchronously inside Send, and
+		// the hook recognises a fault-tracked op by its nonzero deadline.
+		o.tmpl = *rr
+		o.dst, o.size = dst, size
+		o.attempt, o.dropped = 0, false
+		o.deadline = n.k.Now() + n.sys.ftimeout
+	}
 	n.addPending(rr.id, o)
 	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+	if n.sys.fArm {
+		n.armWatchdog(o.deadline)
+	}
 	o.p.Relabel(parkReason(kind))
 }
 
@@ -160,8 +191,15 @@ func (o *initOp) issue(dst network.NodeID, kind network.Kind, size int, r *req, 
 func (o *initOp) absorb(rs *resp) {
 	ps := o.n.ps
 	if o.rr != nil {
-		ps.releaseReq(o.rr)
-		o.rr = nil
+		if o.n.sys.faultOn {
+			// Home-side request ownership under faults: the home released
+			// the req after replying (it cannot know whether the initiator
+			// will ever see this reply), so only drop the reference.
+			o.rr = nil
+		} else {
+			ps.releaseReq(o.rr)
+			o.rr = nil
+		}
 	}
 	o.next = nil
 	// Only overwrite fields the reply actually carries: a literal-protocol
@@ -214,7 +252,7 @@ func (o *initOp) grant(rs *resp) {
 
 // readClocks issues a get_clock/get_clock_W hop with the given continuation.
 func (o *initOp) readClocks(cont func(*resp)) {
-	o.issue(network.NodeID(o.area.Home), network.KindClockRead, network.HeaderBytes,
+	o.issue(o.n.homeOf(o.area), network.KindClockRead, network.HeaderBytes,
 		&req{area: o.area}, cont)
 }
 
@@ -239,7 +277,7 @@ func (o *initOp) putStage2() {
 			StoredClock: o.v,
 		}, n.k.Now())
 	}
-	o.issue(network.NodeID(o.area.Home), network.KindPutReq,
+	o.issue(o.n.homeOf(o.area), network.KindPutReq,
 		network.HeaderBytes+len(o.data)*memory.WordBytes,
 		&req{area: o.area, off: o.off, data: o.data, acc: o.acc, hasAcc: false}, o.putAckFn)
 }
@@ -298,7 +336,7 @@ func (o *initOp) getStage2() {
 			StoredClock: o.w,
 		}, n.k.Now())
 	}
-	o.issue(network.NodeID(o.area.Home), network.KindGetReq, network.HeaderBytes,
+	o.issue(o.n.homeOf(o.area), network.KindGetReq, network.HeaderBytes,
 		&req{area: o.area, off: o.off, count: o.count, acc: o.acc, hasAcc: false}, o.getReplyFn)
 }
 

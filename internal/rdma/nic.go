@@ -84,6 +84,12 @@ type NIC struct {
 	// (Config.HomeSlotBatch); batchPool recycles batch structs.
 	batches   []*slotBatch
 	batchPool []*slotBatch
+	// Coalesced fault watchdog (see fault.go): one armed deadline-scan event
+	// covers every in-flight op of this NIC. wdFn is bound once at
+	// EnableFaults so arming never allocates a closure.
+	wdArmed bool
+	wdAt    sim.Time
+	wdFn    func()
 	// UserHandler receives KindUser and KindBarrier messages for the
 	// runtime layered above (e.g. barrier coordination).
 	UserHandler func(m *network.Message)
@@ -152,7 +158,10 @@ func (n *NIC) ReleaseClock(c vclock.Masked) { n.ps.releaseClock(c) }
 func (n *NIC) lockFor(a memory.AreaID) *lockState {
 	l := n.locks[a]
 	if l == nil {
-		l = &lockState{}
+		// Under faults a crash sweep may force-expire a tenure whose late
+		// continuation still releases; lenient locks absorb that instead of
+		// panicking.
+		l = &lockState{lenient: n.sys.faultOn}
 		n.locks[a] = l
 	}
 	return l
@@ -164,8 +173,28 @@ func (n *NIC) handle(m *network.Message) {
 	case network.KindPutAck, network.KindGetReply, network.KindFetchReply,
 		network.KindClockReadResp, network.KindAtomicReply, network.KindLockGrant:
 		r := m.Payload.(*resp)
+		if r.err == nackErr {
+			// A bounced request (dropped at a crashed destination): not a
+			// reply — pull the op's deadline in so the watchdog acts now.
+			n.nackPending(r)
+			return
+		}
+		if r.err == lostErr {
+			// A bounced reply (served, then dropped in transit): retry
+			// idempotent ops now; fail atomics — the original applied.
+			n.lostPending(r)
+			return
+		}
 		i := n.findPending(r.id)
 		if i < 0 {
+			if n.sys.faultOn {
+				// A duplicate reply: the retransmitted request and the
+				// original both got through, and the first reply already
+				// completed the op. Idempotence is exactly this absorption.
+				n.ps.releaseClock(r.clock)
+				n.ps.releaseResp(r)
+				return
+			}
 			panic(fmt.Sprintf("rdma: node %d: orphan response %d", n.id, r.id))
 		}
 		if op := n.pending[i].op; op != nil {
@@ -288,7 +317,7 @@ func (n *NIC) startHomeOp(m *network.Message, kind network.Kind) {
 		return
 	}
 	o.l = n.lockFor(r.area.ID)
-	o.l.acquire(r.acc.Proc, o.grantFn)
+	o.l.acquire(r.acc.Proc, o.grantFn, o)
 }
 
 // slotBatch groups the data requests for one area delivered at one virtual
@@ -366,13 +395,13 @@ func (b *slotBatch) start() {
 		b.release()
 		for _, o := range ops {
 			o.l = l
-			l.acquire(o.r.acc.Proc, o.grantFn)
+			l.acquire(o.r.acc.Proc, o.grantFn, o)
 		}
 		return
 	}
 	n.ps.batched += uint64(len(ops))
 	b.l = l
-	l.acquire(ops[0].r.acc.Proc, b.grantFn)
+	l.acquire(ops[0].r.acc.Proc, b.grantFn, nil)
 }
 
 // grant holds the lock for the whole batch: one NICDelay, the members'
@@ -456,12 +485,15 @@ func (o *homeOp) run() {
 	case network.KindPutReq:
 		o.err = checkAreaRange(r.area, r.off, len(r.data))
 		if o.err == nil {
-			o.err = n.sys.space.Node(int(n.id)).WritePublic(r.area.Off+r.off, r.data)
+			// The declared home's exported segment, not the serving NIC's
+			// memory: after a crash the successor serves remote operations
+			// against the registered region, which outlives its owner.
+			o.err = n.sys.space.Node(r.area.Home).WritePublic(r.area.Off+r.off, r.data)
 		}
 		o.observeAndCheck(r.off, len(r.data), k.Now())
 		o.finishWrite()
 	case network.KindAtomicReq:
-		node := n.sys.space.Node(int(n.id))
+		node := n.sys.space.Node(r.area.Home)
 		var old [1]memory.Word
 		o.err = checkAreaRange(r.area, r.off, 1)
 		if o.err == nil {
@@ -498,7 +530,7 @@ func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServe
 	o.err = checkAreaRange(r.area, r.off, r.count)
 	if o.err == nil {
 		data = make([]memory.Word, readLen)
-		o.err = n.sys.space.Node(int(n.id)).ReadPublic(r.area.Off+readOff, data)
+		o.err = n.sys.space.Node(r.area.Home).ReadPublic(r.area.Off+readOff, data)
 	}
 	o.observeAndCheck(r.off, r.count, n.k.Now())
 	if o.err == nil && onServed != nil {
@@ -511,6 +543,11 @@ func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServe
 		data = nil
 	}
 	n.reply(r, replyKind, size, &resp{data: data, clock: o.absorb, err: errString(o.err)})
+	if n.sys.faultOn {
+		// Request ownership is home-side under faults: the initiator cannot
+		// prove this reply arrives, so it can no longer release the req.
+		n.ps.releaseReq(r)
+	}
 	n.ps.releaseOp(o)
 }
 
@@ -567,6 +604,9 @@ func (o *homeOp) finish() {
 	} else {
 		n.reply(r, network.KindPutAck, size, &resp{clock: o.absorb, err: errString(o.err)})
 	}
+	if n.sys.faultOn {
+		n.ps.releaseReq(r) // home-side request ownership; see serveRead
+	}
 	n.ps.releaseOp(o)
 }
 
@@ -608,16 +648,8 @@ func (n *NIC) handleInval(m *network.Message) {
 // last one completes the write that started the round.
 func (n *NIC) handleInvalAck(m *network.Message) {
 	r := m.Payload.(*resp)
-	join, ok := n.invalWait[r.id]
-	if !ok {
-		panic(fmt.Sprintf("rdma: node %d: orphan inval ack %d", n.id, r.id))
-	}
-	delete(n.invalWait, r.id)
+	n.ackInval(r.id)
 	n.ps.releaseResp(r)
-	join.left--
-	if join.left == 0 {
-		join.finish()
-	}
 }
 
 func (n *NIC) handleGet(m *network.Message) {
@@ -627,6 +659,35 @@ func (n *NIC) handleGet(m *network.Message) {
 func (n *NIC) handleLock(m *network.Message) {
 	r := m.Payload.(*req)
 	l := n.lockFor(r.area.ID)
+	if n.sys.fArm {
+		if n.sys.net.NodeFaulted(n.ps.idx, r.origin) {
+			// The requester crashed while this request was in flight;
+			// granting would wedge the lock on a dead owner forever.
+			n.ps.releaseReq(r)
+			return
+		}
+		if l.lastGrant == r.id {
+			// Duplicate of an already-granted request (ids start at 1, so no
+			// false hit): the original grant was lost, or a retry was still
+			// in flight when a grant arrived. Re-reply without a second
+			// acquisition — a second tenure for a request that was already
+			// served would strand the lock forever. While the tenure is
+			// still this requester's, the release clock rides again (the
+			// slot kept it — copy semantics under fArm below — so the
+			// happens-before edge survives the retry); a stale duplicate
+			// after release gets a bare grant the initiator absorbs as an
+			// orphan.
+			var rs resp
+			size := network.HeaderBytes
+			if r.user && l.held && l.owner == r.acc.Proc && !l.relClock.IsNil() {
+				rs.clock = l.relClock.CopyInto(n.ps.grabClock())
+				size += rs.clock.V.WireSize()
+			}
+			n.reply(r, network.KindLockGrant, size, &rs)
+			n.ps.releaseReq(r)
+			return
+		}
+	}
 	l.acquire(r.acc.Proc, func() {
 		// The lock stays held until an Unlock message arrives. User-level
 		// grants carry the previous releaser's clock (release→acquire edge),
@@ -634,23 +695,38 @@ func (n *NIC) handleLock(m *network.Message) {
 		var rs resp
 		size := network.HeaderBytes
 		if r.user && !l.relClock.IsNil() {
-			// Hand the release clock's buffer to the grant outright: each
-			// user-level release is consumed by exactly the next user-level
-			// grant (the lock is held in between), so the slot would be
-			// overwritten before it is read again — and the acquirer
-			// returns the buffer to the pool after absorbing, completing
-			// the unlock → slot → grant → pool lifecycle without a copy.
-			// (A re-entrant re-acquire no longer re-ships the clock it
-			// already absorbed — a no-op merge either way.)
-			rs.clock = l.relClock
-			l.relClock = vclock.Masked{}
+			if n.sys.fArm {
+				// Copy semantics under hostile schedules: the slot must
+				// survive a lost grant so the retransmission path above can
+				// re-ship the release clock (the lost reply's buffer was
+				// reclaimed with the message).
+				rs.clock = l.relClock.CopyInto(n.ps.grabClock())
+			} else {
+				// Hand the release clock's buffer to the grant outright: each
+				// user-level release is consumed by exactly the next
+				// user-level grant (the lock is held in between), so the slot
+				// would be overwritten before it is read again — and the
+				// acquirer returns the buffer to the pool after absorbing,
+				// completing the unlock → slot → grant → pool lifecycle
+				// without a copy. (A re-entrant re-acquire no longer re-ships
+				// the clock it already absorbed — a no-op merge either way.)
+				rs.clock = l.relClock
+				l.relClock = vclock.Masked{}
+			}
 			size += rs.clock.V.WireSize()
 		}
 		if r.user && n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockAcq(r.acc.Proc, r.area, n.k.Now())
 		}
+		if n.sys.fArm {
+			l.msgHeld = true
+			l.lastGrant = r.id
+		}
 		n.reply(r, network.KindLockGrant, size, &rs)
-	})
+		if n.sys.faultOn {
+			n.ps.releaseReq(r) // home-side request ownership; see serveRead
+		}
+	}, r)
 }
 
 func (n *NIC) handleUnlock(m *network.Message) {
@@ -678,10 +754,13 @@ func (n *NIC) handleClockRead(m *network.Message) {
 	ca, ok := n.sys.stateFor(r.area, 0).(core.ClockAccessor)
 	if !ok {
 		n.reply(r, network.KindClockReadResp, network.HeaderBytes, &resp{err: "detector has no clocks"})
-		return
+	} else {
+		v, w := ca.Clocks()
+		n.reply(r, network.KindClockReadResp, network.HeaderBytes+v.WireSize()+w.WireSize(), &resp{v: v, w: w})
 	}
-	v, w := ca.Clocks()
-	n.reply(r, network.KindClockReadResp, network.HeaderBytes+v.WireSize()+w.WireSize(), &resp{v: v, w: w})
+	if n.sys.faultOn {
+		n.ps.releaseReq(r) // home-side request ownership; see serveRead
+	}
 }
 
 func (n *NIC) handleClockWrite(m *network.Message) {

@@ -35,10 +35,10 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
-	o.issue(network.NodeID(area.Home), network.KindPutReq, size,
+	o.issue(n.homeOf(area), network.KindPutReq, size,
 		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
-	clock, err := o.clock, asError(o.errs)
+	clock, err := o.clock, o.err()
 	releaseInit(n.ps, o)
 	if err != nil {
 		n.ps.releaseClock(clock)
@@ -77,10 +77,10 @@ func (n *NIC) Get(p *sim.Proc, area memory.Area, off, count int, acc core.Access
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
-	o.issue(network.NodeID(area.Home), network.KindGetReq, size,
+	o.issue(n.homeOf(area), network.KindGetReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
-	data, clock, err := o.outData, o.clock, asError(o.errs)
+	data, clock, err := o.outData, o.clock, o.err()
 	releaseInit(n.ps, o)
 	if err != nil {
 		n.ps.releaseClock(clock)
@@ -117,10 +117,10 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
-	o.issue(network.NodeID(area.Home), network.KindAtomicReq, size,
+	o.issue(n.homeOf(area), network.KindAtomicReq, size,
 		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
-	clock, err := o.clock, asError(o.errs)
+	clock, err := o.clock, o.err()
 	var old memory.Word
 	if len(o.outData) > 0 {
 		old = o.outData[0]
@@ -152,14 +152,16 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 // and caches the whole area with the write clock piggybacked on the reply.
 func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
 	self := int(n.id)
-	if area.Home == self && n.sys.cfg.Coherence.ServesHomeReadsLocally() {
+	if int(n.homeOf(area)) == self && n.sys.cfg.Coherence.ServesHomeReadsLocally() {
 		// The home copy is by definition valid, and the detection state is
-		// resident: the access is checked without any message.
+		// resident: the access is checked without any message. (After a
+		// failover the successor serves its inherited areas the same way,
+		// against the declared home's exported segment.)
 		if err := checkAreaRange(area, off, count); err != nil {
 			return nil, vclock.Masked{}, err
 		}
 		data := make([]memory.Word, count)
-		if err := n.sys.space.Node(self).ReadPublic(area.Off+off, data); err != nil {
+		if err := n.sys.space.Node(area.Home).ReadPublic(area.Off+off, data); err != nil {
 			return nil, vclock.Masked{}, err
 		}
 		p.Sleep(n.sys.occupancy(count))
@@ -205,10 +207,10 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
-	o.issue(network.NodeID(area.Home), network.KindFetchReq, size,
+	o.issue(n.homeOf(area), network.KindFetchReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
-	data, clock, err := o.outData, o.clock, asError(o.errs)
+	data, clock, err := o.outData, o.clock, o.err()
 	releaseInit(n.ps, o)
 	if err != nil {
 		n.ps.releaseClock(clock)
@@ -228,18 +230,23 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 // the same lock the NIC uses internally, so user critical sections exclude
 // remote operations on the area). The returned clock, when non-nil, is the
 // previous releaser's clock: absorbing it gives the acquirer the
-// release→acquire happens-before edge.
-func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) vclock.Masked {
+// release→acquire happens-before edge. The error is non-nil only under a
+// hostile fault schedule (ErrUnreachable after the retry budget).
+func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) (vclock.Masked, error) {
 	if n.sys.cfg.LegacyInitiator {
-		return n.legacyLockArea(p, area, proc)
+		return n.legacyLockArea(p, area, proc), nil
 	}
 	o := n.sys.grabInit(n, p)
-	o.issue(network.NodeID(area.Home), network.KindLockReq, network.HeaderBytes,
+	o.issue(n.homeOf(area), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}, user: true}, o.captureFn)
 	o.await()
-	clock := o.clock
+	clock, err := o.clock, o.err()
 	releaseInit(n.ps, o)
-	return clock
+	if err != nil {
+		n.ps.releaseClock(clock)
+		return vclock.Masked{}, err
+	}
+	return clock, nil
 }
 
 // UnlockArea releases the area lock, carrying the releaser's clock rel for
@@ -250,13 +257,13 @@ func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.Masked) {
 	if !rel.IsNil() {
 		size += rel.V.WireSize()
 	}
-	n.send(network.NodeID(area.Home), network.KindUnlock, size,
+	n.send(n.homeOf(area), network.KindUnlock, size,
 		&req{area: area, acc: core.Access{Proc: proc, Clock: rel.V, ClockNZ: rel.M}, user: true})
 }
 
 // unlockInternal releases a literal-protocol internal lock acquisition.
 func (n *NIC) unlockInternal(area memory.Area, proc int) {
-	n.send(network.NodeID(area.Home), network.KindUnlock, network.HeaderBytes,
+	n.send(n.homeOf(area), network.KindUnlock, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}})
 }
 
@@ -267,7 +274,7 @@ func (n *NIC) unlockInternal(area memory.Area, proc int) {
 // writeClockApply performs put_clock in "apply" form: the home folds the
 // access into the area state (merge per Algorithm 4, home tick, W update).
 func (n *NIC) writeClockApply(area memory.Area, acc core.Access) {
-	n.send(network.NodeID(area.Home), network.KindClockWrite,
+	n.send(n.homeOf(area), network.KindClockWrite,
 		network.HeaderBytes+acc.Clock.WireSize(), &req{area: area, acc: acc, apply: true})
 }
 
@@ -281,7 +288,7 @@ func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
 	if w != nil {
 		size += w.WireSize()
 	}
-	n.send(network.NodeID(area.Home), network.KindClockWrite, size, &req{area: area, v: v, w: w})
+	n.send(n.homeOf(area), network.KindClockWrite, size, &req{area: area, v: v, w: w})
 }
 
 // startLiteral begins a literal-protocol operation: with locks enabled it
@@ -293,7 +300,7 @@ func (n *NIC) writeClockRaw(area memory.Area, v, w vclock.VC) {
 func (o *initOp) startLiteral(stage1 func()) {
 	o.stage1Fn = stage1
 	if o.lockOn {
-		o.issue(network.NodeID(o.area.Home), network.KindLockReq, network.HeaderBytes,
+		o.issue(o.n.homeOf(o.area), network.KindLockReq, network.HeaderBytes,
 			&req{area: o.area, acc: core.Access{Proc: o.acc.Proc}}, o.grantFn)
 		return
 	}
@@ -319,7 +326,7 @@ func (n *NIC) putLiteral(p *sim.Proc, area memory.Area, off int, data []memory.W
 	o.lockOn = n.sys.cfg.LocksEnabled
 	o.startLiteral(o.putStage1Fn)
 	o.await()
-	err := asError(o.errs)
+	err := o.err()
 	if err == nil {
 		// update_clock: write the (already updated) clocks back — idempotent,
 		// kept for message fidelity.
@@ -344,7 +351,7 @@ func (n *NIC) getLiteral(p *sim.Proc, area memory.Area, off, count int, acc core
 	o.lockOn = n.sys.cfg.LocksEnabled
 	o.startLiteral(o.getStage1Fn)
 	o.await()
-	gotData, err := o.outData, asError(o.errs)
+	gotData, err := o.outData, o.err()
 	var absorb vclock.Masked
 	if err == nil {
 		n.writeClockApply(area, acc)

@@ -77,7 +77,7 @@ func opsMix(r *rig, p *sim.Proc) {
 	r.sys.ReleaseClock(ab)
 	_, _, err = n.FetchAdd(p, area, 99, 3, acc(core.Write)) // out of range
 	check(true, err)
-	rel := n.LockArea(p, area, 0)
+	rel, _ := n.LockArea(p, area, 0)
 	r.sys.ReleaseClock(rel)
 	n.UnlockArea(area, 0, vclock.Masked{V: clk.Copy()}.CopyInto(r.sys.GrabClock()))
 }

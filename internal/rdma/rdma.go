@@ -5,6 +5,7 @@ import (
 
 	"dsmrace/internal/coherence"
 	"dsmrace/internal/core"
+	"dsmrace/internal/fault"
 	"dsmrace/internal/memory"
 	"dsmrace/internal/network"
 	"dsmrace/internal/sim"
@@ -185,6 +186,21 @@ type System struct {
 	// kernel). Every NIC points at the pool shard of the kernel that runs
 	// its events, so pooled grabs and releases never race.
 	pools []*shardPools
+	// Fault layer (see fault.go). faultOn marks the layer threaded through
+	// the system (request ownership flips to the home side); fArm marks a
+	// hostile schedule — deadlines armed, drops and crashes possible. A
+	// benign schedule keeps fArm false, so the armed-but-idle tax is a
+	// handful of predictable branches.
+	faultOn    bool
+	fArm       bool
+	inj        *fault.Injector
+	ftimeout   sim.Time
+	fretryBase sim.Time
+	fbudget    int
+	// failTab is the per-shard failover table: failTab[shard][node] is the
+	// crashed node's successor home (-1 none). Flipped by injector events at
+	// the same virtual instant on every shard.
+	failTab [][]int32
 }
 
 // shardPools is one kernel shard's slice of the per-operation pools: the
@@ -325,17 +341,56 @@ func (s *System) settlePools() {
 	}
 }
 
-// reclaimDropped is the network's drop hook: a message dropped on a cut
-// link vanishes together with its pooled payload, which would otherwise
-// leak (the initiator of a dropped round trip parks forever and can never
-// release the request it no longer owns; a dropped reply's resp has no
-// receiver at all). It runs in the sending node's shard context, so the
-// payload is reclaimed into that shard's pools. User-level payloads
-// (barriers) are not pooled here and pass through untouched.
-func (s *System) reclaimDropped(src network.NodeID, kind network.Kind, payload any) {
-	ps := s.pools[s.net.ShardOf(src)]
+// reclaimDropped is the network's drop hook: a dropped message vanishes
+// together with its pooled payload, which would otherwise leak (the
+// initiator of a dropped round trip parks forever and can never release the
+// request it no longer owns; a dropped reply's resp has no receiver at all).
+// ctxShard is the shard in whose execution context the drop happened — the
+// sender's for a send-time drop (cut link, down source, drop policy), the
+// destination's for a delivery-time drop (crashed destination) — and its
+// pools take the payload. With a hostile schedule armed, the fault layer is
+// told first so the loss converts to recovery (retransmission marks, NACK
+// bounces, vacuous invalidation acks) instead of a silent stall. User-level
+// payloads (barriers) are not pooled here and pass through untouched.
+func (s *System) reclaimDropped(ctxShard int, src, dst network.NodeID, kind network.Kind, payload any) {
+	ps := s.pools[ctxShard]
 	switch pl := payload.(type) {
 	case *req:
+		if s.fArm {
+			switch kind {
+			case network.KindInval:
+				s.faultInvalLost(ps, ctxShard, src, dst, pl)
+			case network.KindPutReq, network.KindGetReq, network.KindFetchReq,
+				network.KindClockRead, network.KindAtomicReq, network.KindLockReq:
+				s.faultReqLost(ps, ctxShard, src, dst, kind, pl)
+			case network.KindUnlock, network.KindClockWrite:
+				// One-way control messages have no end-to-end recovery (no
+				// reply, no deadline), and losing an unlock wedges its lock
+				// forever: the control plane is modelled reliable — a drop
+				// converts to an immediate link-layer retransmission while
+				// both endpoints are alive. A drop at a crashed endpoint
+				// stays a loss (a dead destination's state died with it; a
+				// dead source's late unlock must NOT release a lock the
+				// crash sweep already handed to the next waiter) and
+				// reclaims below.
+				if ctxShard == s.net.ShardOf(src) &&
+					!s.net.NodeFaulted(ctxShard, src) && !s.net.NodeFaulted(ctxShard, dst) {
+					size := network.HeaderBytes
+					if pl.acc.Clock != nil {
+						size += pl.acc.Clock.WireSize()
+					}
+					if pl.v != nil {
+						size += pl.v.WireSize()
+					}
+					if pl.w != nil {
+						size += pl.w.WireSize()
+					}
+					s.net.SendExempt(&network.Message{Src: src, Dst: dst, Kind: kind,
+						Size: size, Payload: pl})
+					return
+				}
+			}
+		}
 		// A user-level unlock ships the releaser's clock in a pooled buffer
 		// (adopted by the home's unlock handler on arrival); reclaim it with
 		// the req. Data requests must not release theirs: a piggyback access
@@ -345,6 +400,32 @@ func (s *System) reclaimDropped(src network.NodeID, kind network.Kind, payload a
 		}
 		ps.releaseReq(pl)
 	case *resp:
+		if s.fArm && !s.net.NodeFaulted(ctxShard, src) && !s.net.NodeFaulted(ctxShard, dst) {
+			if kind == network.KindInvalAck {
+				// Control-plane reliable (like Unlock above): a lost ack
+				// would wedge the home's invalidation round forever.
+				s.net.SendExempt(&network.Message{Src: src, Dst: dst, Kind: kind,
+					Size: network.HeaderBytes, Payload: pl})
+				return
+			}
+			if pl.err != nackErr && pl.err != lostErr {
+				// Reply drop — probabilistic or cut link. Reuse the pooled
+				// resp as a loss notification in the reply's own kind. The
+				// bounce must cover cut links too: relying on the watchdog's
+				// link check alone races with heals — a reply dropped late
+				// in an outage whose initiator's deadline expires after the
+				// heal sees a healthy peer and waits forever. The bounce is
+				// evidence the initiator would legitimately infer from its
+				// own timeout, just delivered at a deterministic instant.
+				ps.releaseClock(pl.clock)
+				pl.clock = vclock.Masked{}
+				pl.data, pl.v, pl.w = nil, nil, nil
+				pl.err = lostErr
+				s.net.SendExempt(&network.Message{Src: src, Dst: dst, Kind: kind,
+					Size: network.HeaderBytes, Payload: pl})
+				return
+			}
+		}
 		// Acks, replies and lock grants piggyback pooled absorb clocks.
 		ps.releaseClock(pl.clock)
 		ps.releaseResp(pl)

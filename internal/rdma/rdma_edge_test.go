@@ -55,9 +55,9 @@ func TestLiteralDetectionOffFallsBackToPiggyback(t *testing.T) {
 func TestLockReentrancyDepth(t *testing.T) {
 	l := &lockState{}
 	order := []string{}
-	l.acquire(1, func() { order = append(order, "first") })
-	l.acquire(1, func() { order = append(order, "reentrant") })
-	l.acquire(2, func() { order = append(order, "other") })
+	l.acquire(1, func() { order = append(order, "first") }, nil)
+	l.acquire(1, func() { order = append(order, "reentrant") }, nil)
+	l.acquire(2, func() { order = append(order, "other") }, nil)
 	if strings.Join(order, ",") != "first,reentrant" {
 		t.Fatalf("order = %v", order)
 	}

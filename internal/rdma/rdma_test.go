@@ -333,7 +333,7 @@ func TestUserLockExcludesRemoteOps(t *testing.T) {
 	area := mustArea(t, r.space, "x")
 	var putDone, unlockAt sim.Time
 	r.k.Spawn("holder", func(p *sim.Proc) {
-		r.sys.NIC(0).LockArea(p, area, 0)
+		r.sys.NIC(0).LockArea(p, area, 0) //nolint:errcheck
 		p.Sleep(50 * sim.Microsecond)
 		unlockAt = p.Now()
 		r.sys.NIC(0).UnlockArea(area, 0, vclock.Masked{})
@@ -358,7 +358,7 @@ func TestLockReentrantForHolder(t *testing.T) {
 	area := mustArea(t, r.space, "x")
 	var when sim.Time
 	r.k.Spawn("holder", func(p *sim.Proc) {
-		r.sys.NIC(0).LockArea(p, area, 0)
+		r.sys.NIC(0).LockArea(p, area, 0) //nolint:errcheck
 		r.sys.NIC(0).Put(p, area, 0, []memory.Word{5}, wacc(0, 1, nil))
 		when = p.Now()
 		r.sys.NIC(0).UnlockArea(area, 0, vclock.Masked{})

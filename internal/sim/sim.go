@@ -372,6 +372,17 @@ func (p *Proc) Now() Time { return p.k.now }
 // Err returns the process's terminal error (panic converted to error), if any.
 func (p *Proc) Err() error { return p.err }
 
+// BlockReason returns what a parked process is waiting on (the label
+// deadlock reports print; see Park and Relabel), or "" when it is not
+// parked. Only meaningful when read from inside the simulation — a kernel
+// event or another process.
+func (p *Proc) BlockReason() string {
+	if p.state != ProcParked {
+		return ""
+	}
+	return p.blockReason
+}
+
 // Spawn creates a process that starts executing fn at the current virtual
 // time. It may be called before Run or from inside the simulation.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {

@@ -1,0 +1,201 @@
+package workload
+
+// Hostile workloads are fault-tolerant variants of the uniform, migratory
+// and group access patterns, built to keep a cluster busy while a fault
+// schedule (dsm.Config.Faults) cuts links, drops messages and crashes
+// nodes underneath them. They differ from their benign cousins in three
+// ways:
+//
+//   - Barrier-free. A crashed node can never arrive at a barrier, so any
+//     collective would wedge the survivors; progress here is strictly
+//     per-process.
+//   - Unreachable-tolerant. Every operation may fail with
+//     rdma.ErrUnreachable once its retry budget expires; the programs
+//     swallow that error and move to the next step rather than aborting
+//     the run.
+//   - Crash-aware. A process that observes its own node down
+//     (Proc.Crashed) stops issuing — its volatile state is gone and the
+//     fault layer fails its in-flight operations.
+//
+// Destinations are chosen by hashing (proc, step), never Proc.Rand, so the
+// workloads stay kernel-count-independent and bit-reproducible.
+
+import (
+	"errors"
+	"fmt"
+
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/rdma"
+)
+
+// hmix is the splitmix64 finalizer: a cheap, well-distributed hash used to
+// derive per-(proc, step) decisions without any shared RNG state.
+func hmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// tolerate maps ErrUnreachable to nil (the hostile contract: unreachable
+// peers are survivable) and passes every other error through.
+func tolerate(err error) error {
+	if err == nil || errors.Is(err, rdma.ErrUnreachable) {
+		return nil
+	}
+	return err
+}
+
+// HostileUniform spreads hashed reads and writes across round-robin-homed
+// areas, lock-free, riding out whatever the fault schedule does.
+func HostileUniform(procs, areas, areaWords, opsPerProc int) Workload {
+	if areas <= 0 {
+		areas = 2 * procs
+	}
+	if areaWords <= 0 {
+		areaWords = 4
+	}
+	names := make([]string, areas)
+	for i := range names {
+		names[i] = fmt.Sprintf("hu%d", i)
+	}
+	return Workload{
+		Name:    "hostile-uniform",
+		Procs:   procs,
+		Profile: RacyBenign,
+		Setup: func(c *dsm.Cluster) error {
+			for i := range names {
+				if err := c.Alloc(names[i], i%procs, areaWords); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Programs: spmd(procs, func(p *dsm.Proc) error {
+			for i := 0; i < opsPerProc; i++ {
+				if p.Crashed() {
+					return nil
+				}
+				h := hmix(uint64(p.ID())<<32 + uint64(i))
+				name := names[h%uint64(areas)]
+				off := int((h >> 16) % uint64(areaWords))
+				var err error
+				if h&(1<<8) != 0 {
+					_, err = p.GetWord(name, off)
+				} else {
+					err = p.Put(name, off, memory.Word(i))
+				}
+				if err = tolerate(err); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+	}
+}
+
+// HostileMigratory contends for a single lock-protected area whose
+// ownership migrates from grant to grant: each process repeatedly locks,
+// bumps every word, and unlocks. When the home of the lock crashes,
+// survivors see ErrUnreachable until failover re-homes the area, then
+// resume against the successor.
+func HostileMigratory(procs, rounds, words int) Workload {
+	if words <= 0 {
+		words = 4
+	}
+	const name = "hmig"
+	return Workload{
+		Name:    "hostile-migratory",
+		Procs:   procs,
+		Profile: RaceFree,
+		Setup: func(c *dsm.Cluster) error {
+			return c.Alloc(name, 0, words)
+		},
+		Programs: spmd(procs, func(p *dsm.Proc) error {
+			for r := 0; r < rounds; r++ {
+				if p.Crashed() {
+					return nil
+				}
+				if err := p.Lock(name); err != nil {
+					if err = tolerate(err); err != nil {
+						return err
+					}
+					continue // lock never granted; nothing to release
+				}
+				for w := 0; w < words; w++ {
+					old, err := p.GetWord(name, w)
+					if err = tolerate(err); err != nil {
+						return err
+					}
+					if err := tolerate(p.Put(name, w, old+1)); err != nil {
+						return err
+					}
+				}
+				if err := p.Unlock(name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+	}
+}
+
+// HostileGroups partitions the cluster into independent migratory rings of
+// groupSize nodes, each contending for its own group-homed area — the
+// locality-structured hostile pattern: a crash inside one group leaves the
+// other groups' traffic untouched until failover shifts the victim group's
+// home.
+func HostileGroups(procs, groupSize, rounds, words int) Workload {
+	if groupSize <= 0 || groupSize > procs {
+		groupSize = procs
+	}
+	if words <= 0 {
+		words = 4
+	}
+	groups := (procs + groupSize - 1) / groupSize
+	names := make([]string, groups)
+	for g := range names {
+		names[g] = fmt.Sprintf("hg%d", g)
+	}
+	return Workload{
+		Name:          "hostile-groups",
+		Procs:         procs,
+		Profile:       RaceFree,
+		LocalityGroup: groupSize,
+		Setup: func(c *dsm.Cluster) error {
+			for g := range names {
+				if err := c.Alloc(names[g], g*groupSize, words); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Programs: spmd(procs, func(p *dsm.Proc) error {
+			name := names[p.ID()/groupSize]
+			for r := 0; r < rounds; r++ {
+				if p.Crashed() {
+					return nil
+				}
+				if err := p.Lock(name); err != nil {
+					if err = tolerate(err); err != nil {
+						return err
+					}
+					continue
+				}
+				off := int(hmix(uint64(p.ID())<<20+uint64(r)) % uint64(words))
+				old, err := p.GetWord(name, off)
+				if err = tolerate(err); err != nil {
+					return err
+				}
+				if err := tolerate(p.Put(name, off, old+1)); err != nil {
+					return err
+				}
+				if err := p.Unlock(name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+	}
+}
