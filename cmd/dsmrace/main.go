@@ -66,7 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 	if coh.CachesRemoteReads() && rcfg.Protocol == rdma.ProtocolLiteral {
-		fmt.Fprintln(os.Stderr, "dsmrace: write-invalidate requires the piggyback wire protocol")
+		fmt.Fprintf(os.Stderr, "dsmrace: %s requires the piggyback wire protocol\n", coh.Name())
 		os.Exit(2)
 	}
 	rcfg.Coherence = coh

@@ -53,16 +53,16 @@ func racyAreaSet(r *verify.Result) map[memory.AreaID]bool {
 	return out
 }
 
-func diffSets(t *testing.T, label string, a, b map[string]bool) {
+func diffSets(t *testing.T, label, aName, bName string, a, b map[string]bool) {
 	t.Helper()
 	for k := range a {
 		if !b[k] {
-			t.Errorf("%s: pair %s only under write-update", label, k)
+			t.Errorf("%s: pair %s only under %s", label, k, aName)
 		}
 	}
 	for k := range b {
 		if !a[k] {
-			t.Errorf("%s: pair %s only under write-invalidate", label, k)
+			t.Errorf("%s: pair %s only under %s", label, k, bName)
 		}
 	}
 }
@@ -85,22 +85,25 @@ var deterministicWorkloads = []struct {
 // TestProtocolEquivalenceGroundTruth is the protocol-equivalence property:
 // for every workload with a schedule-independent access stream, the
 // sync-only (protocol-invariant) ground-truth race set is identical under
-// write-update and write-invalidate, on every seed. Message counts and
-// timing may differ arbitrarily — the races a *program* contains must not.
+// all four coherence protocols — write-update, write-invalidate, causal and
+// MESI — on every seed. Message counts and timing may differ arbitrarily;
+// the races a *program* contains must not.
 func TestProtocolEquivalenceGroundTruth(t *testing.T) {
 	for _, tc := range deterministicWorkloads {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
 				wu := runWorkloadCoh(t, tc.mk, "write-update", seed)
-				wi := runWorkloadCoh(t, tc.mk, "write-invalidate", seed)
 				tu := verify.GroundTruth(wu.Trace, verify.SyncOnlyOptions())
-				ti := verify.GroundTruth(wi.Trace, verify.SyncOnlyOptions())
-				if tu.Accesses != ti.Accesses {
-					t.Errorf("seed %d: access streams differ: %d vs %d (workload not schedule-independent?)",
-						seed, tu.Accesses, ti.Accesses)
+				for _, coh := range CoherenceNames()[1:] {
+					res := runWorkloadCoh(t, tc.mk, coh, seed)
+					tr := verify.GroundTruth(res.Trace, verify.SyncOnlyOptions())
+					if tu.Accesses != tr.Accesses {
+						t.Errorf("seed %d: access streams differ: %d under write-update vs %d under %s (workload not schedule-independent?)",
+							seed, tu.Accesses, tr.Accesses, coh)
+					}
+					diffSets(t, fmt.Sprintf("seed %d", seed), "write-update", coh, pairSet(tu), pairSet(tr))
 				}
-				diffSets(t, fmt.Sprintf("seed %d", seed), pairSet(tu), pairSet(ti))
 			}
 		})
 	}
@@ -331,7 +334,7 @@ func TestCoherenceSpecValidation(t *testing.T) {
 	if _, err := Run(lit); err == nil {
 		t.Error("write-invalidate + literal wire protocol accepted")
 	}
-	for _, name := range []string{"", "wu", "write-update", "wi", "write-invalidate"} {
+	for _, name := range []string{"", "wu", "write-update", "wi", "write-invalidate", "causal", "mesi"} {
 		ok := base
 		ok.Coherence = name
 		if _, err := Run(ok); err != nil {

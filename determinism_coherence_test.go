@@ -32,6 +32,10 @@ var coherenceGoldenRuns = []coherenceGolden{
 	{"migratory", "write-invalidate", 0, 312872, 254, 17662, 24, 0, 23, "e3b0c44298fc1c14"},
 	{"prodchain", "write-update", 0, 124116, 352, 31168, 0, 0, 0, "e3b0c44298fc1c14"},
 	{"prodchain", "write-invalidate", 0, 84972, 256, 18592, 24, 72, 24, "e3b0c44298fc1c14"},
+	{"migratory", "causal", 0, 176402, 223, 19832, 3, 21, 0, "e3b0c44298fc1c14"},
+	{"migratory", "mesi", 0, 368836, 298, 20410, 24, 0, 23, "e3b0c44298fc1c14"},
+	{"prodchain", "causal", 0, 51762, 192, 21328, 4, 92, 0, "e3b0c44298fc1c14"},
+	{"prodchain", "mesi", 0, 103356, 304, 20128, 24, 72, 24, "e3b0c44298fc1c14"},
 }
 
 func coherenceGoldenWorkload(name string) workload.Workload {

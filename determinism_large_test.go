@@ -34,13 +34,19 @@ var largeGoldenRuns = []largeGolden{
 	{"migratory64/vw-exact/wi", "vw-exact", "write-invalidate", 0, 4005464, 2286, 890542, 252, 0, 251, "e3b0c44298fc1c14"},
 	{"prodchain64/vw-exact/wu", "vw-exact", "write-update", 0, 107860, 3840, 2182656, 0, 0, 0, "e3b0c44298fc1c14"},
 	{"prodchain64/vw-exact/wi", "vw-exact", "write-invalidate", 0, 70244, 2816, 1311232, 256, 768, 256, "e3b0c44298fc1c14"},
+	{"migratory64/vw-exact/causal", "vw-exact", "causal", 0, 2461626, 15077, 2225340, 63, 189, 0, "e3b0c44298fc1c14"},
+	{"migratory64/vw-exact/mesi", "vw-exact", "mesi", 0, 4786436, 2786, 921514, 252, 0, 251, "e3b0c44298fc1c14"},
+	{"prodchain64/vw-exact/causal", "vw-exact", "causal", 0, 55294, 2176, 2023680, 64, 960, 0, "e3b0c44298fc1c14"},
+	{"prodchain64/vw-exact/mesi", "vw-exact", "mesi", 0, 82500, 3328, 1327616, 256, 768, 256, "e3b0c44298fc1c14"},
 }
 
 func largeGoldenWorkload(name string) workload.Workload {
 	switch name {
-	case "migratory64/vw-exact/wu", "migratory64/vw-exact/wi":
+	case "migratory64/vw-exact/wu", "migratory64/vw-exact/wi",
+		"migratory64/vw-exact/causal", "migratory64/vw-exact/mesi":
 		return workload.Migratory(64, 4, 8)
-	case "prodchain64/vw-exact/wu", "prodchain64/vw-exact/wi":
+	case "prodchain64/vw-exact/wu", "prodchain64/vw-exact/wi",
+		"prodchain64/vw-exact/causal", "prodchain64/vw-exact/mesi":
 		return workload.ProducerConsumerChain(64, 4, 8, 4)
 	default:
 		return workload.Random(workload.RandomSpec{

@@ -34,6 +34,7 @@ import (
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/fault"
+	"dsmrace/internal/mcheck"
 	"dsmrace/internal/network"
 	"dsmrace/internal/rdma"
 	"dsmrace/internal/sim"
@@ -154,10 +155,14 @@ type RunSpec struct {
 	// protocol — which copies of the data exist at all.
 	Protocol string
 	// Coherence selects the coherence protocol: "write-update" (default;
-	// the single-copy home-based model of the paper) or "write-invalidate"
+	// the single-copy home-based model of the paper), "write-invalidate"
 	// (home-based directory, whole-area read caching, acknowledged
-	// invalidations). Write-invalidate requires the piggyback wire
-	// protocol.
+	// invalidations), "causal" (Cohen-style causal memory: versioned
+	// asynchronous updates carrying vector-clock dependencies, causally
+	// consistent but deliberately not sequentially consistent) or "mesi"
+	// (four-state M/E/S/I caching with exclusive grants, silent E→M
+	// upgrades and directory-tracked recalls). Every caching protocol
+	// requires the piggyback wire protocol.
 	Coherence string
 	// Granularity is "area" (default; one clock pair per shared variable),
 	// "node" (the figures' coarse model) or "word" (no clock false
@@ -305,6 +310,73 @@ func Run(spec RunSpec) (*Result, error) {
 		return res, err
 	}
 	return res, res.FirstError()
+}
+
+// Model-checker types re-exported from internal/mcheck: exhaustive
+// schedule enumeration of tiny litmus configurations with memory-model
+// axiom checking (see the internal/mcheck package docs for the model).
+type (
+	// McheckOutcome summarises one exhaustive exploration: schedule and
+	// dedup counts plus per-axiom verdicts.
+	McheckOutcome = mcheck.Outcome
+	// McheckLitmus is one tiny configuration to explore.
+	McheckLitmus = mcheck.Litmus
+	// McheckLevel is a memory-consistency level (coherent < causal < SC).
+	McheckLevel = mcheck.Level
+)
+
+// Memory-consistency levels re-exported for reading McheckOutcome verdicts.
+const (
+	McheckLevelNone     = mcheck.LevelNone
+	McheckLevelCoherent = mcheck.LevelCoherent
+	McheckLevelCausal   = mcheck.LevelCausal
+	McheckLevelSC       = mcheck.LevelSC
+)
+
+// McheckLitmusNames lists the canned litmus configurations.
+func McheckLitmusNames() []string {
+	lits := mcheck.Litmuses()
+	names := make([]string, len(lits))
+	for i, l := range lits {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// mcheckProtocol resolves a protocol selector for Mcheck: a stock coherence
+// name (per CoherenceNames) or a seeded mutation name (per
+// coherence.MutantNames) for oracle-validation runs.
+func mcheckProtocol(name string) (coherence.Protocol, error) {
+	p, err := coherence.FromName(name)
+	if err == nil {
+		return p, nil
+	}
+	if m, merr := coherence.NewMutant(name); merr == nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("dsmrace: unknown mcheck protocol %q (want one of %v or a mutation %v)",
+		name, CoherenceNames(), coherence.MutantNames())
+}
+
+// Mcheck exhaustively enumerates every distinguishable schedule of the named
+// litmus under the named coherence protocol (stock or seeded-mutation) and
+// classifies each against the SC, causal and coherence axioms. maxRuns <= 0
+// uses the default budget; exceeding the budget is an error, never a silent
+// truncation.
+func Mcheck(litmus, protocol string, maxRuns int) (*McheckOutcome, error) {
+	lit, err := mcheck.LitmusByName(litmus)
+	if err != nil {
+		return nil, err
+	}
+	p, err := mcheckProtocol(protocol)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mcheck.Config{Litmus: lit, Protocol: p}
+	if maxRuns > 0 {
+		cfg.MaxRuns = maxRuns
+	}
+	return mcheck.Explore(cfg)
 }
 
 // GroundTruthOf computes the exact race set of a traced run.

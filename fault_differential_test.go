@@ -232,6 +232,45 @@ func TestFaultCrashRehoming(t *testing.T) {
 	}
 }
 
+// TestFaultCoherenceBackends runs the fault differential against the causal
+// and MESI backends: a benign fault layer must stay invisible at every
+// kernel count, and a hostile schedule — drops, an outage window, a crash
+// with restart — must replay bit-identically, with every pooled struct
+// (including the MESI downgrade/writeback path's) reclaimed to zero
+// balance.
+func TestFaultCoherenceBackends(t *testing.T) {
+	for _, coh := range []string{"causal", "mesi"} {
+		coh := coh
+		mut := func(c *rdma.Config) { c.Coherence = mustCoherence(coh) }
+		t.Run(coh, func(t *testing.T) {
+			w := workload.Migratory(16, 3, 4)
+			benign := &fault.Schedule{Seed: 7}
+			want, _ := runFaulty(t, w, nil, 0, 3, mut)
+			for _, k := range []int{1, 2, 4} {
+				got, c := runFaulty(t, w, benign, k, 3, mut)
+				g, wnt := got, want
+				g.kernels, wnt.kernels = 0, 0
+				if g != wnt {
+					t.Fatalf("k=%d: benign fault layer perturbed a %s run:\n got  %+v\n want %+v", k, coh, g, wnt)
+				}
+				auditPools(t, c, coh+"/benign")
+			}
+			hw := workload.HostileUniform(12, 24, 4, 40)
+			sched := hostileSchedule()
+			hwant, _ := runFaulty(t, hw, sched, 0, 5, mut)
+			for _, k := range []int{1, 2, 4} {
+				got, c := runFaulty(t, hw, sched, k, 5, mut)
+				g, wnt := got, hwant
+				g.kernels, wnt.kernels = 0, 0
+				if g != wnt {
+					t.Fatalf("k=%d: hostile %s schedule not deterministic:\n got  %+v\n want %+v", k, coh, g, wnt)
+				}
+				auditPools(t, c, coh+"/hostile")
+			}
+		})
+	}
+}
+
 // TestFaultFacadeRunSpec pins the facade plumbing: RunSpec.Faults reaches
 // the cluster, a benign schedule stays invisible, and a hostile one leaves
 // the run deterministic.

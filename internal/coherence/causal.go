@@ -1,0 +1,336 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/vclock"
+)
+
+// causal is eager-update causal memory. Writes complete at the home without
+// waiting on replicas: the home bumps the area's version, folds the writer's
+// observation clock into the area's dependency clock, and fans the written
+// words to every sharer as unacknowledged updates. A node's observation
+// clock obs (one version per area) records the newest version of each area
+// it causally depends on; a cached copy serves a read only while its version
+// is at least obs[area] — stale-but-causally-safe reads are allowed, reads
+// that would violate a dependency force a refetch. Updates are loss-tolerant
+// by the version gap rule: a copy that misses an update invalidates itself
+// when the next one arrives out of sequence.
+type causal struct{}
+
+// NewCausal returns the causal memory protocol.
+func NewCausal() Protocol { return causal{} }
+
+func (causal) Name() string                 { return "causal" }
+func (causal) Kind() Kind                   { return Causal }
+func (causal) CachesRemoteReads() bool      { return true }
+func (causal) ServesHomeReadsLocally() bool { return true }
+
+func (causal) NewState(nodes, areas int) State { return newCausalState(nodes, areas) }
+
+func newCausalState(nodes, areas int) *causalState {
+	s := &causalState{
+		caches:  make([]map[memory.AreaID]*causalLine, nodes),
+		dir:     make([][]uint64, areas),
+		ver:     make([]uint64, areas),
+		dep:     make([]vclock.VC, areas),
+		obs:     make([]vclock.VC, nodes),
+		nodes:   nodes,
+		areas:   areas,
+		scratch: make([][]int, nodes),
+		stats:   make([]paddedStats, nodes),
+	}
+	for i := range s.obs {
+		s.obs[i] = vclock.New(areas)
+	}
+	return s
+}
+
+// causalLine is one node's copy of one area: data, the write clock it was
+// fetched under (detection only), and the area version it is current to.
+type causalLine struct {
+	data  []memory.Word
+	w     vclock.Masked
+	v     uint64
+	valid bool
+}
+
+// causalState holds the protocol state, split by execution context exactly
+// like wiState: per-area fields (dir, ver, dep) belong to the area home's
+// context; per-node fields (caches, obs) to that node's own.
+type causalState struct {
+	caches []map[memory.AreaID]*causalLine
+	dir    [][]uint64
+	ver    []uint64
+	dep    []vclock.VC
+	obs    []vclock.VC
+	nodes  int
+	areas  int
+	// scratch is the per-home PublishWrite sharer buffer (home context).
+	scratch [][]int
+	stats   []paddedStats
+}
+
+func (s *causalState) line(node int, id memory.AreaID, create bool) *causalLine {
+	m := s.caches[node]
+	if m == nil {
+		if !create {
+			return nil
+		}
+		m = make(map[memory.AreaID]*causalLine)
+		s.caches[node] = m
+	}
+	l := m[id]
+	if l == nil && create {
+		l = &causalLine{}
+		m[id] = l
+	}
+	return l
+}
+
+func (s *causalState) sharerSet(id memory.AreaID, create bool) []uint64 {
+	v := s.dir[id]
+	if v == nil && create {
+		v = make([]uint64, (s.nodes+63)/64)
+		s.dir[id] = v
+	}
+	return v
+}
+
+// CachedRead implements State: a hit additionally requires the copy to be at
+// least as new as the newest version of the area the node has observed —
+// the causal staleness bound.
+func (s *causalState) CachedRead(node int, a memory.Area, off, count int) ([]memory.Word, vclock.Masked, bool) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid || l.v < s.obs[node][a.ID] {
+		return nil, vclock.Masked{}, false
+	}
+	if off < 0 || count < 0 || off+count > len(l.data) {
+		return nil, vclock.Masked{}, false
+	}
+	s.stats[node].s.Hits++
+	out := make([]memory.Word, count)
+	copy(out, l.data[off:off+count])
+	return out, l.w, true
+}
+
+// InstallCopy implements State; the versionless entry point installs at the
+// version floor (the transport uses InstallVersioned).
+func (s *causalState) InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.Masked) {
+	s.InstallVersioned(node, a, data, w, 0, nil)
+}
+
+// InstallVersioned implements CausalState.
+func (s *causalState) InstallVersioned(node int, a memory.Area, data []memory.Word, w vclock.Masked, ver uint64, dep vclock.VC) {
+	l := s.line(node, a.ID, true)
+	if cap(l.data) < len(data) {
+		l.data = make([]memory.Word, len(data))
+	}
+	l.data = l.data[:len(data)]
+	copy(l.data, data)
+	if !w.IsNil() {
+		l.w = w.CopyInto(l.w)
+	} else {
+		l.w = vclock.Masked{}
+	}
+	l.v = ver
+	l.valid = true
+	s.stats[node].s.Installs++
+	if dep != nil {
+		s.obs[node].Merge(dep)
+	}
+	if ver > s.obs[node][a.ID] {
+		s.obs[node][a.ID] = ver
+	}
+}
+
+// PatchCopy implements State; versionless patches do not advance the copy's
+// version (the transport uses PatchVersioned for committed writes).
+func (s *causalState) PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return
+	}
+	if off < 0 || off+len(data) > len(l.data) {
+		return
+	}
+	copy(l.data[off:], data)
+	if !neww.IsNil() {
+		l.w = neww.CopyInto(l.w)
+	}
+	s.stats[node].s.Patches++
+}
+
+// PatchVersioned implements CausalState: the writer's copy advances only to
+// its direct successor version; a gap means another node's write (whose
+// update is still in flight) committed between, so the copy is dropped
+// rather than stamped with data it does not fully hold.
+func (s *causalState) PatchVersioned(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked, ver uint64) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return
+	}
+	if ver != l.v+1 || off < 0 || off+len(data) > len(l.data) {
+		l.valid = false
+		return
+	}
+	copy(l.data[off:], data)
+	if !neww.IsNil() {
+		l.w = neww.CopyInto(l.w)
+	}
+	l.v = ver
+	s.stats[node].s.Patches++
+}
+
+// DropCopy implements State.
+func (s *causalState) DropCopy(node int, a memory.Area) {
+	if l := s.line(node, a.ID, false); l != nil {
+		l.valid = false
+	}
+}
+
+// AddSharer implements State.
+func (s *causalState) AddSharer(reader int, a memory.Area) {
+	s.sharerSet(a.ID, true)[reader>>6] |= 1 << (uint(reader) & 63)
+}
+
+// Invalidees implements State: causal memory never invalidates — writes
+// propagate as updates instead (PublishWrite).
+func (s *causalState) Invalidees(writer int, a memory.Area) []int { return nil }
+
+// PublishWrite implements CausalState. Home context.
+func (s *causalState) PublishWrite(writer int, a memory.Area, obs vclock.VC) (uint64, vclock.VC, []int) {
+	id := a.ID
+	s.ver[id]++
+	ver := s.ver[id]
+	d := s.dep[id]
+	if d == nil {
+		d = vclock.New(s.areas)
+		s.dep[id] = d
+	}
+	if obs != nil {
+		d.Merge(obs)
+	}
+	if ver > d[id] {
+		d[id] = ver
+	}
+	home := a.Home
+	out := s.scratch[home][:0]
+	if v := s.sharerSet(id, false); v != nil {
+		for w, word := range v {
+			if w == writer>>6 {
+				word &^= 1 << (uint(writer) & 63)
+			}
+			for b := word; b != 0; b &= b - 1 {
+				out = append(out, w*64+bits.TrailingZeros64(b))
+				s.stats[home].s.Updates++
+			}
+		}
+	}
+	s.scratch[home] = out
+	return ver, d.Copy(), out
+}
+
+// ApplyUpdate implements CausalState. Receiver context. The causal metadata
+// always merges — even into a node whose copy is gone — because the update
+// still carries the information that the write (and everything it depended
+// on) exists.
+func (s *causalState) ApplyUpdate(node int, a memory.Area, off int, data []memory.Word, ver uint64, dep vclock.VC) {
+	if dep != nil {
+		s.obs[node].Merge(dep)
+	}
+	if ver > s.obs[node][a.ID] {
+		s.obs[node][a.ID] = ver
+	}
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return
+	}
+	switch {
+	case ver <= l.v:
+		// Already current (the copy was fetched at or past this version).
+	case ver == l.v+1 && off >= 0 && off+len(data) <= len(l.data):
+		copy(l.data[off:], data)
+		l.v = ver
+		s.stats[node].s.Patches++
+	default:
+		// Gap: an earlier update was lost (or reordered away). The copy can
+		// no longer be completed incrementally; drop it and refetch on the
+		// next read that needs it.
+		l.valid = false
+	}
+}
+
+// NoteWriteAck implements CausalState. Writer context.
+func (s *causalState) NoteWriteAck(node int, a memory.Area, ver uint64) {
+	if ver > s.obs[node][a.ID] {
+		s.obs[node][a.ID] = ver
+	}
+}
+
+// ReadVersion implements CausalState. Home context.
+func (s *causalState) ReadVersion(a memory.Area) (uint64, vclock.VC) {
+	var dep vclock.VC
+	if d := s.dep[a.ID]; d != nil {
+		dep = d.Copy()
+	}
+	return s.ver[a.ID], dep
+}
+
+// NoteHomeRead implements CausalState. The reader is the home, so both the
+// area view and the node view live in the same context.
+func (s *causalState) NoteHomeRead(node int, a memory.Area) {
+	if d := s.dep[a.ID]; d != nil {
+		s.obs[node].Merge(d)
+	}
+	if v := s.ver[a.ID]; v > s.obs[node][a.ID] {
+		s.obs[node][a.ID] = v
+	}
+}
+
+// ObsSnapshot implements CausalState. Node context.
+func (s *causalState) ObsSnapshot(node int) vclock.VC { return s.obs[node].Copy() }
+
+// MergeObs implements CausalState. Node context.
+func (s *causalState) MergeObs(node int, obs vclock.VC) {
+	if obs != nil {
+		s.obs[node].Merge(obs)
+	}
+}
+
+// Stats implements State.
+func (s *causalState) Stats() Stats {
+	var t Stats
+	for i := range s.stats {
+		n := &s.stats[i].s
+		t.HomeReads += n.HomeReads
+		t.Hits += n.Hits
+		t.Fetches += n.Fetches
+		t.Installs += n.Installs
+		t.Patches += n.Patches
+		t.Invalidations += n.Invalidations
+		t.Updates += n.Updates
+	}
+	return t
+}
+
+// CountHomeRead and CountFetch implement Counter.
+func (s *causalState) CountHomeRead(node int) { s.stats[node].s.HomeReads++ }
+func (s *causalState) CountFetch(node int)    { s.stats[node].s.Fetches++ }
+
+// PurgeSharer implements FaultSupport: a dead sharer just stops receiving
+// updates.
+func (s *causalState) PurgeSharer(node int, a memory.Area) {
+	if v := s.sharerSet(a.ID, false); v != nil {
+		v[node>>6] &^= 1 << (uint(node) & 63)
+	}
+}
+
+// DropNodeCopies implements FaultSupport. The node's observation clock is
+// deliberately kept: a too-high obs only forces refetches, never staleness.
+func (s *causalState) DropNodeCopies(node int) {
+	for _, l := range s.caches[node] {
+		l.valid = false
+	}
+}

@@ -25,12 +25,35 @@ const (
 	// write invalidates every other copy — and is acknowledged only after
 	// every invalidation is — before it completes.
 	WriteInvalidate
+	// Causal is eager-update causal memory (after Cohen's coherent causal
+	// memory): readers retain copies, writes complete at the home without
+	// waiting for any replica, and the home fans the written data to every
+	// sharer as an unacknowledged update. Each area carries a version
+	// counter and a dependency clock over areas; each node tracks the
+	// versions it has observed, and a cached copy only serves a read when
+	// it is at least as new as everything the node causally depends on.
+	// Reads may therefore return stale values — but never values that
+	// violate causal order, which is exactly the axiom internal/mcheck
+	// checks it against.
+	Causal
+	// MESI is the multi-state caching protocol: each cached copy is
+	// Modified, Exclusive, Shared or Invalid; a sole reader is granted
+	// exclusivity, an exclusive holder upgrades E→M silently (writes with
+	// zero messages), and every home operation first recalls the exclusive
+	// owner (downgrade to S with a writeback when dirty) before touching
+	// the area.
+	MESI
 )
 
 // String names the kind for tables and flags.
 func (k Kind) String() string {
-	if k == WriteInvalidate {
+	switch k {
+	case WriteInvalidate:
 		return "write-invalidate"
+	case Causal:
+		return "causal"
+	case MESI:
+		return "mesi"
 	}
 	return "write-update"
 }
@@ -76,6 +99,12 @@ type Stats struct {
 	Patches uint64
 	// Invalidations counts invalidation messages requested by writes.
 	Invalidations uint64
+	// Updates counts causal-memory data updates fanned to sharers.
+	Updates uint64
+	// Recalls counts MESI exclusive-owner recalls issued by home operations.
+	Recalls uint64
+	// Upgrades counts MESI silent writes (E→M upgrades, zero messages).
+	Upgrades uint64
 }
 
 // State is the mutable replica bookkeeping of one run: the home-side
@@ -119,20 +148,24 @@ type State interface {
 
 // FromName resolves a protocol by flag value: "" and "write-update" (or
 // "wu") select WriteUpdate, "write-invalidate" (or "wi") selects
-// WriteInvalidate.
+// WriteInvalidate, "causal" selects Causal, "mesi" selects MESI.
 func FromName(name string) (Protocol, error) {
 	switch name {
 	case "", "write-update", "wu":
 		return NewWriteUpdate(), nil
 	case "write-invalidate", "wi":
 		return NewWriteInvalidate(), nil
+	case "causal":
+		return NewCausal(), nil
+	case "mesi":
+		return NewMESI(), nil
 	default:
-		return nil, fmt.Errorf("coherence: unknown protocol %q (want write-update or write-invalidate)", name)
+		return nil, fmt.Errorf("coherence: unknown protocol %q (want write-update, write-invalidate, causal or mesi)", name)
 	}
 }
 
 // Names lists the accepted protocol selector values.
-func Names() []string { return []string{"write-update", "write-invalidate"} }
+func Names() []string { return []string{"write-update", "write-invalidate", "causal", "mesi"} }
 
 // ---- Write-update ----
 
@@ -176,7 +209,9 @@ func (writeInvalidate) Kind() Kind                   { return WriteInvalidate }
 func (writeInvalidate) CachesRemoteReads() bool      { return true }
 func (writeInvalidate) ServesHomeReadsLocally() bool { return true }
 
-func (writeInvalidate) NewState(nodes, areas int) State {
+func (writeInvalidate) NewState(nodes, areas int) State { return newWIState(nodes, areas) }
+
+func newWIState(nodes, areas int) *wiState {
 	return &wiState{
 		caches:  make([]map[memory.AreaID]*copyLine, nodes),
 		dir:     make([][]uint64, areas),
@@ -381,6 +416,102 @@ type FaultSupport interface {
 	// DropNodeCopies invalidates every cached copy node holds, so a restarted
 	// node cannot serve stale pre-crash data from its cache.
 	DropNodeCopies(node int)
+}
+
+// CausalState is the transport contract of the causal protocol, implemented
+// on top of State. Context discipline mirrors the directory split: methods
+// taking a writer/home view (PublishWrite, ReadVersion) run in the area
+// home's execution context; methods taking a node view (ApplyUpdate,
+// NoteWriteAck, PatchVersioned, InstallVersioned, NoteHomeRead, ObsSnapshot,
+// MergeObs) run in that node's context — the invariant that lets a
+// multi-kernel run shard the state without locks.
+type CausalState interface {
+	State
+	// PublishWrite commits a write at the home: the area's version advances,
+	// the writer's observation clock obs (shipped in the request) merges
+	// into the area's dependency clock, and the sharers to update — every
+	// copy holder except the writer, ascending, directory left intact — are
+	// returned together with the new version and a fresh copy of the
+	// dependency clock, safe to embed in an immutable update message.
+	PublishWrite(writer int, a memory.Area, obs VC) (ver uint64, dep VC, sharers []int)
+	// ApplyUpdate folds one home-fanned update into node's copy: a stale
+	// version merges only the causal metadata, the successor version patches
+	// the data in place, and a gap (a lost earlier update) invalidates the
+	// copy — the node refetches when it next needs the area.
+	ApplyUpdate(node int, a memory.Area, off int, data []memory.Word, ver uint64, dep VC)
+	// NoteWriteAck records at the writer that its own write reached version
+	// ver — the writer now causally depends on it.
+	NoteWriteAck(node int, a memory.Area, ver uint64)
+	// PatchVersioned is PatchCopy plus the version stamp: the writer's copy
+	// advances only if ver is the copy's direct successor; any gap (another
+	// node's update still in flight) invalidates the copy instead.
+	PatchVersioned(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked, ver uint64)
+	// ReadVersion returns the area's current version and a fresh copy of its
+	// dependency clock, for embedding in a fetch reply.
+	ReadVersion(a memory.Area) (ver uint64, dep VC)
+	// InstallVersioned is InstallCopy plus the version/dependency metadata
+	// from the fetch reply.
+	InstallVersioned(node int, a memory.Area, data []memory.Word, w vclock.Masked, ver uint64, dep VC)
+	// NoteHomeRead folds the area's dependencies into the home node's own
+	// observation clock when it reads its own public memory (home reads see
+	// the latest version by construction).
+	NoteHomeRead(node int, a memory.Area)
+	// ObsSnapshot returns a fresh copy of node's observation clock, for
+	// shipping with writes, unlocks and barrier arrivals.
+	ObsSnapshot(node int) VC
+	// MergeObs folds a received observation clock (lock grant, barrier
+	// release) into node's own — the causal analogue of the detection
+	// clock's absorb-on-synchronisation edges.
+	MergeObs(node int, obs VC)
+}
+
+// VC aliases the vector-clock type the causal protocol indexes by area id.
+type VC = vclock.VC
+
+// MESIState is the transport contract of the MESI protocol: directory-side
+// exclusivity (home context) plus node-side line states. The transport
+// recalls the exclusive owner before any home operation on an area, so the
+// protocol body itself always runs under a no-remote-exclusive invariant.
+type MESIState interface {
+	State
+	// ExclusiveOwner returns the node holding a in E or M that a home
+	// operation on behalf of origin must recall first, or -1 (none, or the
+	// origin itself).
+	ExclusiveOwner(origin int, a memory.Area) int
+	// Downgrade demotes node's E/M line to S, keeping the data, and returns
+	// a fresh writeback copy when the line was dirty (M).
+	Downgrade(node int, a memory.Area) (data []memory.Word, dirty bool)
+	// ClearExclusive drops the area's exclusivity record (recall ack
+	// received, or the owner crashed).
+	ClearExclusive(a memory.Area)
+	// GrantExclusive reports whether reader — just registered as a sharer —
+	// is the area's only copy holder, recording it as the exclusive owner
+	// when so. The fetch reply carries the verdict so the reader installs
+	// the line as E rather than S.
+	GrantExclusive(reader int, a memory.Area) bool
+	// InstallExclusive upgrades node's just-installed copy to E.
+	InstallExclusive(node int, a memory.Area)
+	// HoldsExclusive reports whether node holds a in E or M — the silent
+	// write permission.
+	HoldsExclusive(node int, a memory.Area) bool
+	// SilentWrite applies a write entirely inside node's E/M line (E→M
+	// upgrade): no messages, home memory is refreshed by the next recall or
+	// the end-of-run flush.
+	SilentWrite(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked)
+	// PromoteSoleSharer records writer as exclusive owner if — after the
+	// write's invalidation round — it is the area's only copy holder.
+	PromoteSoleSharer(writer int, a memory.Area)
+	// CountRecall attributes one issued recall to the home that sent it.
+	CountRecall(node int)
+}
+
+// DirtyFlusher is implemented by states whose caches can hold data newer
+// than home memory (MESI's M lines). FlushDirty visits every dirty line in
+// deterministic order (nodes ascending, area ids ascending) so the run's
+// final memory snapshot reflects every committed write; it is called once,
+// serially, after the simulation ends.
+type DirtyFlusher interface {
+	FlushDirty(visit func(node int, id memory.AreaID, data []memory.Word))
 }
 
 // PurgeSharer implements FaultSupport.

@@ -1,0 +1,341 @@
+package coherence
+
+import (
+	"math/bits"
+	"sort"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/vclock"
+)
+
+// mesi is the multi-state caching protocol. On top of write-invalidate's
+// sharer directory it tracks at most one *exclusive* owner per area: a
+// reader that fetches an area nobody else holds installs it Exclusive, an
+// exclusive holder writes silently (E→M, zero messages), and every home
+// operation on the area — put, atomic, fetch — first recalls the owner,
+// which downgrades to Shared and writes its dirty data back. The home
+// therefore always operates on current data, and reads can only ever hit
+// copies no committed write has invalidated — which is why internal/mcheck
+// finds MESI sequentially consistent on every enumerated schedule.
+type mesi struct{}
+
+// NewMESI returns the MESI protocol.
+func NewMESI() Protocol { return mesi{} }
+
+func (mesi) Name() string                 { return "mesi" }
+func (mesi) Kind() Kind                   { return MESI }
+func (mesi) CachesRemoteReads() bool      { return true }
+func (mesi) ServesHomeReadsLocally() bool { return true }
+
+func (mesi) NewState(nodes, areas int) State { return newMESIState(nodes, areas) }
+
+func newMESIState(nodes, areas int) *mesiState {
+	s := &mesiState{
+		caches:  make([]map[memory.AreaID]*mesiLine, nodes),
+		dir:     make([][]uint64, areas),
+		excl:    make([]int32, areas),
+		nodes:   nodes,
+		scratch: make([][]int, nodes),
+		stats:   make([]paddedStats, nodes),
+	}
+	for i := range s.excl {
+		s.excl[i] = -1
+	}
+	return s
+}
+
+// MESI line states.
+const (
+	mesiS uint8 = iota // Shared: clean, others may hold copies
+	mesiE              // Exclusive: clean, sole holder, may upgrade silently
+	mesiM              // Modified: dirty, sole holder, home memory is stale
+)
+
+// mesiLine is one node's cached copy of one area.
+type mesiLine struct {
+	data  []memory.Word
+	w     vclock.Masked
+	state uint8
+	valid bool
+}
+
+// mesiState holds the protocol state: per-node caches (node context), the
+// sharer directory plus the exclusive-owner record per area (home context).
+type mesiState struct {
+	caches []map[memory.AreaID]*mesiLine
+	dir    [][]uint64
+	excl   []int32
+	nodes  int
+	// scratch is the per-home Invalidees result buffer (home context).
+	scratch [][]int
+	stats   []paddedStats
+}
+
+func (s *mesiState) line(node int, id memory.AreaID, create bool) *mesiLine {
+	m := s.caches[node]
+	if m == nil {
+		if !create {
+			return nil
+		}
+		m = make(map[memory.AreaID]*mesiLine)
+		s.caches[node] = m
+	}
+	l := m[id]
+	if l == nil && create {
+		l = &mesiLine{}
+		m[id] = l
+	}
+	return l
+}
+
+func (s *mesiState) sharerSet(id memory.AreaID, create bool) []uint64 {
+	v := s.dir[id]
+	if v == nil && create {
+		v = make([]uint64, (s.nodes+63)/64)
+		s.dir[id] = v
+	}
+	return v
+}
+
+// CachedRead implements State. Any valid line (S, E or M) serves reads —
+// E/M lines are by definition the newest data in the system.
+func (s *mesiState) CachedRead(node int, a memory.Area, off, count int) ([]memory.Word, vclock.Masked, bool) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return nil, vclock.Masked{}, false
+	}
+	if off < 0 || count < 0 || off+count > len(l.data) {
+		return nil, vclock.Masked{}, false
+	}
+	s.stats[node].s.Hits++
+	out := make([]memory.Word, count)
+	copy(out, l.data[off:off+count])
+	return out, l.w, true
+}
+
+// InstallCopy implements State: fetched copies install Shared; the fetch
+// reply's exclusivity verdict upgrades via InstallExclusive.
+func (s *mesiState) InstallCopy(node int, a memory.Area, data []memory.Word, w vclock.Masked) {
+	l := s.line(node, a.ID, true)
+	if cap(l.data) < len(data) {
+		l.data = make([]memory.Word, len(data))
+	}
+	l.data = l.data[:len(data)]
+	copy(l.data, data)
+	if !w.IsNil() {
+		l.w = w.CopyInto(l.w)
+	} else {
+		l.w = vclock.Masked{}
+	}
+	l.state = mesiS
+	l.valid = true
+	s.stats[node].s.Installs++
+}
+
+// PatchCopy implements State: the writer's surviving copy after a completed
+// home write becomes Modified — the home promoted the writer to exclusive
+// owner at the same commit (PromoteSoleSharer), and the home→writer FIFO
+// guarantees the ack lands before any later recall.
+func (s *mesiState) PatchCopy(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid {
+		return
+	}
+	if off < 0 || off+len(data) > len(l.data) {
+		return
+	}
+	copy(l.data[off:], data)
+	if !neww.IsNil() {
+		l.w = neww.CopyInto(l.w)
+	}
+	l.state = mesiM
+	s.stats[node].s.Patches++
+}
+
+// DropCopy implements State.
+func (s *mesiState) DropCopy(node int, a memory.Area) {
+	if l := s.line(node, a.ID, false); l != nil {
+		l.valid = false
+		l.state = mesiS
+	}
+}
+
+// AddSharer implements State.
+func (s *mesiState) AddSharer(reader int, a memory.Area) {
+	s.sharerSet(a.ID, true)[reader>>6] |= 1 << (uint(reader) & 63)
+}
+
+// Invalidees implements State — identical to write-invalidate: the recall
+// phase ran first, so every surviving copy is a clean S line with nothing to
+// write back.
+func (s *mesiState) Invalidees(writer int, a memory.Area) []int {
+	v := s.sharerSet(a.ID, false)
+	if v == nil {
+		return nil
+	}
+	home := a.Home
+	out := s.scratch[home][:0]
+	for w, word := range v {
+		if w == writer>>6 {
+			word &^= 1 << (uint(writer) & 63)
+		}
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		for b := word; b != 0; b &= b - 1 {
+			out = append(out, base+bits.TrailingZeros64(b))
+			s.stats[home].s.Invalidations++
+		}
+		v[w] &^= word
+	}
+	s.scratch[home] = out
+	return out
+}
+
+// ExclusiveOwner implements MESIState. Home context.
+func (s *mesiState) ExclusiveOwner(origin int, a memory.Area) int {
+	if o := s.excl[a.ID]; o >= 0 && int(o) != origin {
+		return int(o)
+	}
+	return -1
+}
+
+// Downgrade implements MESIState. Owner context.
+func (s *mesiState) Downgrade(node int, a memory.Area) ([]memory.Word, bool) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid || l.state == mesiS {
+		return nil, false
+	}
+	dirty := l.state == mesiM
+	l.state = mesiS
+	if !dirty {
+		return nil, false
+	}
+	out := make([]memory.Word, len(l.data))
+	copy(out, l.data)
+	return out, true
+}
+
+// ClearExclusive implements MESIState. Home context.
+func (s *mesiState) ClearExclusive(a memory.Area) { s.excl[a.ID] = -1 }
+
+// GrantExclusive implements MESIState. Home context; called right after
+// AddSharer registered the reader.
+func (s *mesiState) GrantExclusive(reader int, a memory.Area) bool {
+	v := s.sharerSet(a.ID, false)
+	for w, word := range v {
+		if w == reader>>6 {
+			word &^= 1 << (uint(reader) & 63)
+		}
+		if word != 0 {
+			return false
+		}
+	}
+	s.excl[a.ID] = int32(reader)
+	return true
+}
+
+// InstallExclusive implements MESIState. Reader context.
+func (s *mesiState) InstallExclusive(node int, a memory.Area) {
+	if l := s.line(node, a.ID, false); l != nil && l.valid {
+		l.state = mesiE
+	}
+}
+
+// HoldsExclusive implements MESIState. Node context.
+func (s *mesiState) HoldsExclusive(node int, a memory.Area) bool {
+	l := s.line(node, a.ID, false)
+	return l != nil && l.valid && l.state != mesiS
+}
+
+// SilentWrite implements MESIState. Node context.
+func (s *mesiState) SilentWrite(node int, a memory.Area, off int, data []memory.Word, neww vclock.Masked) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid || off < 0 || off+len(data) > len(l.data) {
+		return
+	}
+	copy(l.data[off:], data)
+	if !neww.IsNil() {
+		l.w = neww.CopyInto(l.w)
+	}
+	l.state = mesiM
+	s.stats[node].s.Upgrades++
+}
+
+// PromoteSoleSharer implements MESIState. Home context, at write commit:
+// the invalidation round cleared every other sharer, so the writer is
+// exclusive iff it holds a copy at all.
+func (s *mesiState) PromoteSoleSharer(writer int, a memory.Area) {
+	v := s.sharerSet(a.ID, false)
+	if v == nil {
+		return
+	}
+	if v[writer>>6]&(1<<(uint(writer)&63)) != 0 {
+		s.excl[a.ID] = int32(writer)
+	}
+}
+
+// Stats implements State.
+func (s *mesiState) Stats() Stats {
+	var t Stats
+	for i := range s.stats {
+		n := &s.stats[i].s
+		t.HomeReads += n.HomeReads
+		t.Hits += n.Hits
+		t.Fetches += n.Fetches
+		t.Installs += n.Installs
+		t.Patches += n.Patches
+		t.Invalidations += n.Invalidations
+		t.Recalls += n.Recalls
+		t.Upgrades += n.Upgrades
+	}
+	return t
+}
+
+// CountHomeRead and CountFetch implement Counter.
+func (s *mesiState) CountHomeRead(node int) { s.stats[node].s.HomeReads++ }
+func (s *mesiState) CountFetch(node int)    { s.stats[node].s.Fetches++ }
+
+// CountRecall attributes a recall to the home that issued it.
+func (s *mesiState) CountRecall(node int) { s.stats[node].s.Recalls++ }
+
+// PurgeSharer implements FaultSupport: a crashed exclusive owner also loses
+// its exclusivity — its dirty data died with it, home memory stands.
+func (s *mesiState) PurgeSharer(node int, a memory.Area) {
+	if v := s.sharerSet(a.ID, false); v != nil {
+		v[node>>6] &^= 1 << (uint(node) & 63)
+	}
+	if s.excl[a.ID] == int32(node) {
+		s.excl[a.ID] = -1
+	}
+}
+
+// DropNodeCopies implements FaultSupport.
+func (s *mesiState) DropNodeCopies(node int) {
+	for _, l := range s.caches[node] {
+		l.valid = false
+		l.state = mesiS
+	}
+}
+
+// FlushDirty implements DirtyFlusher: every valid M line, nodes ascending,
+// area ids ascending (cache maps are unordered; the sort pins the order).
+func (s *mesiState) FlushDirty(visit func(node int, id memory.AreaID, data []memory.Word)) {
+	for node := 0; node < s.nodes; node++ {
+		m := s.caches[node]
+		if len(m) == 0 {
+			continue
+		}
+		ids := make([]memory.AreaID, 0, len(m))
+		for id, l := range m {
+			if l.valid && l.state == mesiM {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			visit(node, id, m[id].data)
+		}
+	}
+}

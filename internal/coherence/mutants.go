@@ -1,0 +1,114 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dsmrace/internal/memory"
+	"dsmrace/internal/vclock"
+)
+
+// Protocol mutants: deliberately broken variants used by internal/mcheck's
+// mutation-killing harness to prove the consistency oracle is not vacuous.
+// Each mutant drops exactly one protocol obligation; the checker must flag
+// an axiom violation on at least one enumerated schedule of a litmus config
+// where the unmutated protocol passes every schedule.
+//
+// Mutants are reachable only through NewMutant — never through FromName —
+// so no production selector can pick one up.
+
+// Mutant names accepted by NewMutant.
+const (
+	// MutantSkipLastInval makes write-invalidate (and by extension the MESI
+	// invalidation round) skip the last invalidee of every write: one stale
+	// copy survives each write and keeps serving reads.
+	MutantSkipLastInval = "wi-skip-last-inval"
+	// MutantSkipDowngrade makes MESI's recall write dirty data back without
+	// actually downgrading the owner's line: the owner keeps silently
+	// writing to a line the directory believes was demoted.
+	MutantSkipDowngrade = "mesi-skip-downgrade"
+	// MutantSkipDepMerge makes causal updates patch data without merging
+	// the dependency clock: readers observe values without inheriting what
+	// those values causally depend on.
+	MutantSkipDepMerge = "causal-skip-dep-merge"
+)
+
+// MutantNames lists the accepted mutant selectors.
+func MutantNames() []string {
+	return []string{MutantSkipLastInval, MutantSkipDowngrade, MutantSkipDepMerge}
+}
+
+// NewMutant returns the named deliberately-broken protocol variant.
+func NewMutant(name string) (Protocol, error) {
+	switch name {
+	case MutantSkipLastInval:
+		return mutantProtocol{base: NewWriteInvalidate(), name: name, mk: func(nodes, areas int) State {
+			return &skipLastInvalState{wiState: newWIState(nodes, areas)}
+		}}, nil
+	case MutantSkipDowngrade:
+		return mutantProtocol{base: NewMESI(), name: name, mk: func(nodes, areas int) State {
+			return &skipDowngradeState{mesiState: newMESIState(nodes, areas)}
+		}}, nil
+	case MutantSkipDepMerge:
+		return mutantProtocol{base: NewCausal(), name: name, mk: func(nodes, areas int) State {
+			return &skipDepMergeState{causalState: newCausalState(nodes, areas)}
+		}}, nil
+	default:
+		return nil, fmt.Errorf("coherence: unknown mutant %q", name)
+	}
+}
+
+// mutantProtocol wraps a base protocol, swapping only the state factory.
+type mutantProtocol struct {
+	base Protocol
+	name string
+	mk   func(nodes, areas int) State
+}
+
+func (m mutantProtocol) Name() string                    { return m.base.Name() + "!" + m.name }
+func (m mutantProtocol) Kind() Kind                      { return m.base.Kind() }
+func (m mutantProtocol) CachesRemoteReads() bool         { return m.base.CachesRemoteReads() }
+func (m mutantProtocol) ServesHomeReadsLocally() bool    { return m.base.ServesHomeReadsLocally() }
+func (m mutantProtocol) NewState(nodes, areas int) State { return m.mk(nodes, areas) }
+
+// skipLastInvalState drops the last invalidee of every invalidation round
+// (and re-registers it in the directory so its stale copy keeps being
+// skipped on later writes too).
+type skipLastInvalState struct{ *wiState }
+
+func (s *skipLastInvalState) Invalidees(writer int, a memory.Area) []int {
+	inv := s.wiState.Invalidees(writer, a)
+	if len(inv) == 0 {
+		return inv
+	}
+	skipped := inv[len(inv)-1]
+	s.wiState.AddSharer(skipped, a)
+	return inv[:len(inv)-1]
+}
+
+// skipDowngradeState writes dirty data back on a recall but leaves the
+// owner's line in M/E, so it keeps serving and silently absorbing writes
+// the rest of the system never learns about.
+type skipDowngradeState struct{ *mesiState }
+
+func (s *skipDowngradeState) Downgrade(node int, a memory.Area) ([]memory.Word, bool) {
+	l := s.line(node, a.ID, false)
+	if l == nil || !l.valid || l.state == mesiS {
+		return nil, false
+	}
+	// Mutation: report the writeback without demoting the line.
+	if l.state != mesiM {
+		return nil, false
+	}
+	out := make([]memory.Word, len(l.data))
+	copy(out, l.data)
+	return out, true
+}
+
+// skipDepMergeState applies update data without merging the dependency
+// clock — the classic causal-memory bug where a value arrives without its
+// causal history.
+type skipDepMergeState struct{ *causalState }
+
+func (s *skipDepMergeState) ApplyUpdate(node int, a memory.Area, off int, data []memory.Word, ver uint64, dep vclock.VC) {
+	s.causalState.ApplyUpdate(node, a, off, data, ver, nil)
+}

@@ -60,6 +60,12 @@ type Config struct {
 	// parallelised deterministically; Kernels degrades to 1. Workloads set
 	// this via workload.Workload.SharedRand.
 	SerialOnly bool
+	// Chooser, when non-nil, resolves the kernel's explicit choice points
+	// (sim.Config.Chooser) — the hook internal/mcheck drives to enumerate
+	// delivery schedules systematically instead of sampling one from the
+	// seed. Choice points are defined against the single kernel's event
+	// order, so Kernels degrades to 1.
+	Chooser func(n int) int
 	// Faults, when non-nil, threads the deterministic fault-injection layer
 	// (internal/fault) through the run: scheduled link cuts/heals, node
 	// crash/restart with re-homing, probabilistic message loss, and
@@ -173,6 +179,8 @@ func New(cfg Config) (*Cluster, error) {
 			kcount, note = 1, "observers need the single kernel's apply order"
 		case cfg.RDMA.LegacyInitiator:
 			kcount, note = 1, "the legacy initiator shim is single-kernel only"
+		case cfg.Chooser != nil:
+			kcount, note = 1, "the schedule chooser is single-kernel only"
 		default:
 			var ok bool
 			look, deferAll, ok = network.ParallelLookahead(cfg.Latency, cfg.Procs)
@@ -207,7 +215,7 @@ func New(cfg Config) (*Cluster, error) {
 		look:       look,
 		space:      memory.NewSpace(cfg.Procs, cfg.PrivateWords, cfg.PublicWords),
 	}
-	scfg := sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime}
+	scfg := sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime, Chooser: cfg.Chooser}
 	if kcount > 1 {
 		policy, err := sim.PartitionPolicyFromName(cfg.Partition)
 		if err != nil {
@@ -376,6 +384,9 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 			events = 0
 		}
 	}
+	// MESI M lines silently written can be newer than home memory; write them
+	// back so the snapshot reflects every committed write.
+	c.sys.FlushDirtyCopies()
 	res := &Result{
 		NetStats:     c.net.TotalStats(),
 		Coherence:    c.sys.CoherenceStats(),
@@ -406,7 +417,7 @@ func (c *Cluster) userHandler(m *network.Message) {
 	case *barrierArrive:
 		c.bar.arrive(pl)
 	case *barrierRelease:
-		c.procByID(pl.proc).barrierRelease(pl.clock)
+		c.procByID(pl.proc).barrierRelease(pl.clock, pl.obs)
 	default:
 		panic(fmt.Sprintf("dsm: unexpected user payload %T", m.Payload))
 	}

@@ -19,11 +19,17 @@ type barrierArrive struct {
 	proc  int
 	epoch int
 	clock vclock.VC
+	// obs is the arriver's causal observation clock (fresh copy; nil unless
+	// causal coherence) — the release half of the barrier's causal edge.
+	obs vclock.VC
 }
 
 type barrierRelease struct {
 	proc  int
 	clock vclock.VC
+	// obs is the merge of every participant's observation clock (fresh copy
+	// per release; nil unless causal coherence).
+	obs vclock.VC
 }
 
 type barrierCoord struct {
@@ -42,8 +48,16 @@ func (b *barrierCoord) arrive(a *barrierArrive) {
 	arrivals := b.epochs[a.epoch]
 	delete(b.epochs, a.epoch)
 	merged := vclock.New(b.c.cfg.Procs)
+	var mergedObs vclock.VC
 	for _, ar := range arrivals {
 		merged.Merge(ar.clock)
+		if ar.obs != nil {
+			if mergedObs == nil {
+				mergedObs = ar.obs // fresh copy shipped in the arrival; adopt it
+			} else {
+				mergedObs.Merge(ar.obs)
+			}
+		}
 	}
 	now := b.c.kernelFor(0).Now()
 	for _, ar := range arrivals {
@@ -52,8 +66,14 @@ func (b *barrierCoord) arrive(a *barrierArrive) {
 		if b.c.rec != nil {
 			b.c.rec.Append(trace.Event{Kind: trace.EvBarrier, Proc: ar.proc, Epoch: a.epoch, Time: now})
 		}
+		size := network.HeaderBytes + merged.WireSize()
+		var obs vclock.VC
+		if mergedObs != nil {
+			obs = mergedObs.Copy()
+			size += obs.WireSize()
+		}
 		b.c.sys.NIC(0).SendUser(network.NodeID(ar.proc), network.KindBarrier,
-			network.HeaderBytes+merged.WireSize(), &barrierRelease{proc: ar.proc, clock: merged.Copy()})
+			size, &barrierRelease{proc: ar.proc, clock: merged.Copy(), obs: obs})
 	}
 }
 
@@ -63,9 +83,13 @@ func (p *Proc) Barrier() {
 	p.epoch++
 	p.clock.Tick(p.id)
 	p.barrierDone = false
-	p.c.sys.NIC(p.id).SendUser(0, network.KindBarrier,
-		network.HeaderBytes+p.clock.V.WireSize(),
-		&barrierArrive{proc: p.id, epoch: p.epoch, clock: p.clock.V.Copy()})
+	obs := p.c.sys.NIC(p.id).CausalObs()
+	size := network.HeaderBytes + p.clock.V.WireSize()
+	if obs != nil {
+		size += obs.WireSize()
+	}
+	p.c.sys.NIC(p.id).SendUser(0, network.KindBarrier, size,
+		&barrierArrive{proc: p.id, epoch: p.epoch, clock: p.clock.V.Copy(), obs: obs})
 	for !p.barrierDone {
 		p.sp.Park(fmt.Sprintf("barrier %d", p.epoch))
 	}
@@ -74,7 +98,10 @@ func (p *Proc) Barrier() {
 	p.clock.Merge(vclock.Dense(p.barrierClock))
 }
 
-func (p *Proc) barrierRelease(clk vclock.VC) {
+func (p *Proc) barrierRelease(clk, obs vclock.VC) {
+	// The release runs in this node's own handler context, so the causal
+	// observation merge happens where the protocol state lives.
+	p.c.sys.NIC(p.id).CausalMergeObs(obs)
 	p.barrierClock = clk
 	p.barrierDone = true
 	p.sp.Ready()

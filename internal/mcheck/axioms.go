@@ -1,0 +1,290 @@
+package mcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsmrace/internal/memory"
+)
+
+// Level orders the memory-model axiom sets from weakest to strongest. A
+// schedule's observations are classified at the strongest level they
+// satisfy; SC ⊃ causal ⊃ coherent, so the levels are totally ordered.
+type Level int
+
+// Consistency levels.
+const (
+	// LevelNone: the observations violate even per-variable coherence.
+	LevelNone Level = iota
+	// LevelCoherent: every variable's accesses serialize in isolation, but
+	// some causal dependency is violated across variables.
+	LevelCoherent
+	// LevelCausal: causally ordered writes are observed in order everywhere,
+	// but no single total order explains all observations.
+	LevelCausal
+	// LevelSC: one interleaving of the program orders explains every read.
+	LevelSC
+)
+
+// String names the level for reports.
+func (l Level) String() string {
+	switch l {
+	case LevelSC:
+		return "sc"
+	case LevelCausal:
+		return "causal"
+	case LevelCoherent:
+		return "coherent"
+	default:
+		return "none"
+	}
+}
+
+// event is one measured memory operation with its observed value. Written
+// values are globally unique and nonzero (Litmus.validate), so a read's
+// value alone identifies the write it read from (0 = the initial value).
+type event struct {
+	proc  int
+	write bool
+	v     int // variable index
+	val   memory.Word
+}
+
+// classify returns the strongest level the observations satisfy. The
+// checkers are exact (exhaustive witness search with memoization), which the
+// tiny litmus histories — a dozen events — keep cheap.
+func classify(h [][]event, vars int) (Level, error) {
+	if checkSC(h, vars) {
+		return LevelSC, nil
+	}
+	causal, err := checkCausal(h, vars)
+	if err != nil {
+		return LevelNone, err
+	}
+	if causal {
+		return LevelCausal, nil
+	}
+	if checkCoherence(h, vars) {
+		return LevelCoherent, nil
+	}
+	return LevelNone, nil
+}
+
+// checkSC searches for a sequentially consistent witness: an interleaving
+// of the per-process programs in which every read returns the most recent
+// write to its variable (or the initial 0). Backtracking over process
+// frontiers with a (frontier, memory) failure memo.
+func checkSC(h [][]event, vars int) bool {
+	idx := make([]int, len(h))
+	mem := make([]memory.Word, vars)
+	seen := map[string]bool{}
+	key := func() string {
+		b := make([]byte, 0, len(idx)+8*len(mem))
+		for _, i := range idx {
+			b = append(b, byte(i))
+		}
+		for _, m := range mem {
+			b = binary.LittleEndian.AppendUint64(b, uint64(m))
+		}
+		return string(b)
+	}
+	var dfs func() bool
+	dfs = func() bool {
+		done := true
+		for p := range h {
+			if idx[p] < len(h[p]) {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		k := key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for p := range h {
+			if idx[p] >= len(h[p]) {
+				continue
+			}
+			e := h[p][idx[p]]
+			if e.write {
+				old := mem[e.v]
+				mem[e.v] = e.val
+				idx[p]++
+				if dfs() {
+					return true
+				}
+				idx[p]--
+				mem[e.v] = old
+			} else if mem[e.v] == e.val {
+				idx[p]++
+				if dfs() {
+					return true
+				}
+				idx[p]--
+			}
+		}
+		return false
+	}
+	return dfs()
+}
+
+// checkCoherence checks per-variable sequential consistency: each
+// variable's accesses, taken alone, must serialize. (Cache coherence is
+// exactly SC restricted to a single location.)
+func checkCoherence(h [][]event, vars int) bool {
+	for v := 0; v < vars; v++ {
+		r := make([][]event, len(h))
+		for p, seq := range h {
+			for _, e := range seq {
+				if e.v == v {
+					r[p] = append(r[p], e)
+				}
+			}
+		}
+		if !checkSC(r, vars) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCausal checks causal memory's axiom (Ahamad et al.): writes related
+// by the causality order — the transitive closure of program order and
+// reads-from — must be observed in that order by everyone. Operationally:
+// for every process p there must exist a serialization of all writes plus
+// p's own reads that extends the causality order and gives every read the
+// latest preceding write. The causality order itself must be acyclic.
+func checkCausal(h [][]event, vars int) (bool, error) {
+	var all []event
+	for _, seq := range h {
+		all = append(all, seq...)
+	}
+	n := len(all)
+	if n > 64 {
+		return false, fmt.Errorf("causal checker supports at most 64 events, got %d", n)
+	}
+	// Reads-from: a nonzero read value names its writer; an unknown value
+	// is data corruption, below any consistency level.
+	writerOf := map[memory.Word]int{}
+	for i, e := range all {
+		if e.write {
+			writerOf[e.val] = i
+		}
+	}
+	// pred[i] is the bitset of events that must causally precede event i:
+	// program-order edges plus reads-from edges, transitively closed.
+	pred := make([]uint64, n)
+	base := 0
+	for _, seq := range h {
+		for j := 1; j < len(seq); j++ {
+			pred[base+j] |= 1 << uint(base+j-1)
+		}
+		base += len(seq)
+	}
+	for i, e := range all {
+		if e.write || e.val == 0 {
+			continue
+		}
+		w, ok := writerOf[e.val]
+		if !ok || all[w].v != e.v {
+			return false, fmt.Errorf("read of %s observed %d, written by no write to it", varName(e.v), e.val)
+		}
+		pred[i] |= 1 << uint(w)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			m := pred[i]
+			for j := 0; j < n; j++ {
+				if m&(1<<uint(j)) != 0 {
+					m |= pred[j]
+				}
+			}
+			if m != pred[i] {
+				pred[i] = m
+				changed = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if pred[i]&(1<<uint(i)) != 0 {
+			return false, nil // causality cycle
+		}
+	}
+	for p := range h {
+		var inS uint64
+		for i, e := range all {
+			if e.write || e.proc == p {
+				inS |= 1 << uint(i)
+			}
+		}
+		if !serialize(all, pred, inS, vars) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// serialize searches for a total order of the events in inS that extends
+// the causal precedence pred and satisfies read semantics (each read sees
+// the latest placed write to its variable, or 0 when none precedes it).
+func serialize(all []event, pred []uint64, inS uint64, vars int) bool {
+	mem := make([]memory.Word, vars)
+	seen := map[string]bool{}
+	var placed uint64
+	key := func() string {
+		b := make([]byte, 0, 8+8*len(mem))
+		b = binary.LittleEndian.AppendUint64(b, placed)
+		for _, m := range mem {
+			b = binary.LittleEndian.AppendUint64(b, uint64(m))
+		}
+		return string(b)
+	}
+	var dfs func() bool
+	dfs = func() bool {
+		if placed == inS {
+			return true
+		}
+		k := key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for i := range all {
+			bit := uint64(1) << uint(i)
+			if inS&bit == 0 || placed&bit != 0 {
+				continue
+			}
+			if pred[i]&inS&^placed != 0 {
+				continue // an in-set predecessor is still unplaced
+			}
+			e := all[i]
+			if e.write {
+				old := mem[e.v]
+				mem[e.v] = e.val
+				placed |= bit
+				if dfs() {
+					return true
+				}
+				placed &^= bit
+				mem[e.v] = old
+			} else if mem[e.v] == e.val {
+				placed |= bit
+				if dfs() {
+					return true
+				}
+				placed &^= bit
+			}
+		}
+		return false
+	}
+	return dfs()
+}
+
+// varName renders a variable index for error messages (the checkers don't
+// carry the litmus's names; an index is unambiguous on tiny configs).
+func varName(v int) string { return fmt.Sprintf("var[%d]", v) }

@@ -1,0 +1,43 @@
+// Package mcheck is a protocol-independent exhaustive-exploration checker
+// for the simulator's coherence protocols: a tiny model checker that, for
+// litmus-sized configurations (2–4 nodes, one-word variables, straight-line
+// programs), enumerates EVERY distinguishable delivery schedule and checks
+// each terminal state's observed read values against memory-model axioms.
+//
+// # Enumeration
+//
+// Schedules are enumerated through the simulation kernel's choice hook
+// (sim.Config.Chooser): the network's choice-delay layer
+// (network.EnableChoiceDelay) turns every message sent inside the measured
+// window into a choice point that stretches its latency by 0..Steps-1
+// quanta, so delivery order itself becomes a decision variable. The
+// explorer walks the resulting tree depth-first by stateless replay — each
+// run replays a recorded choice prefix against a fresh cluster, extends it
+// with zeros, and the deepest incrementable position advances next — which
+// systematically replaces seed sampling with full enumeration. Warm-up
+// reads and the barrier run before the window on the default schedule, so
+// the tree covers exactly the measured operations.
+//
+// # Canonicalization
+//
+// Distinct choice vectors can collapse to the same behaviour (the per-link
+// FIFO clamp absorbs a delay difference). Each run is fingerprinted by its
+// delivery timeline — an FNV-1a hash over (src, dst, kind, size, time) of
+// every delivered message — and schedules with equal signatures are
+// deduplicated. The explorer cross-checks that merged schedules observed
+// identical read values; FuzzMcheckCanonical fuzzes that invariant.
+//
+// # Axioms
+//
+// Each unique schedule's observations are classified at the strongest level
+// they satisfy: sequential consistency (one interleaving explains all
+// reads), causal consistency (per-process serializations extending the
+// program-order ∪ reads-from causality relation), or per-variable
+// coherence. Written values are globally unique, so reads-from is derived
+// from values alone. Write-update, write-invalidate and MESI must be SC on
+// every schedule of every litmus; causal memory must be causal everywhere
+// and non-SC somewhere on store-buffering and IRIW. The seeded protocol
+// mutations (coherence.NewMutant) must each be caught: a surviving stale
+// copy, a skipped downgrade or a dropped dependency merge all surface as
+// axiom violations on the canned litmus configs.
+package mcheck

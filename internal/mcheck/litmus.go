@@ -1,0 +1,120 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"dsmrace/internal/sim"
+)
+
+// Canned litmus configurations. Written values encode (proc+1)*100 + op
+// index, so every value is globally unique and a violation report reads
+// directly as "who wrote what".
+
+// StoreBuffering is the classic SB litmus on two nodes: each process writes
+// its own home variable, then reads the other's. The relaxed outcome — both
+// reads observe the initial value — is causally consistent (the two writes
+// are causally unrelated) but not sequentially consistent. Write-update,
+// write-invalidate and MESI must never produce it; causal memory must.
+func StoreBuffering() Litmus {
+	return Litmus{
+		Name:  "sb",
+		Procs: 2,
+		Vars:  []Var{{Name: "x", Home: 0}, {Name: "y", Home: 1}},
+		Warm:  [][]string{{"y"}, {"x"}},
+		Prog: [][]Op{
+			{{Kind: OpPut, Var: "x", Val: 100}, {Kind: OpGet, Var: "y"}},
+			{{Kind: OpPut, Var: "y", Val: 200}, {Kind: OpGet, Var: "x"}},
+		},
+	}
+}
+
+// IRIW (independent reads of independent writes) on four nodes: two writers
+// touch unrelated variables; two readers read both in opposite orders. The
+// readers sleep past the writes first, so each reader's warm copy may or may
+// not have absorbed each write's asynchronous update by read time — under
+// causal memory the updates travel on four independent links, and a schedule
+// where the readers disagree on which write happened first (causal-but-not-
+// SC: the writes are unrelated) is reachable. Invalidation-based protocols
+// serialize each write against every copy before it completes, so they stay
+// SC on every schedule.
+func IRIW() Litmus {
+	return Litmus{
+		Name:  "iriw",
+		Procs: 4,
+		Vars:  []Var{{Name: "x", Home: 0}, {Name: "y", Home: 1}},
+		Warm:  [][]string{nil, nil, {"x", "y"}, {"y", "x"}},
+		Prog: [][]Op{
+			{{Kind: OpPut, Var: "x", Val: 100}},
+			{{Kind: OpPut, Var: "y", Val: 200}},
+			{{Kind: OpSleep, D: 5 * sim.Microsecond}, {Kind: OpGet, Var: "x"}, {Kind: OpGet, Var: "y"}},
+			{{Kind: OpSleep, D: 5 * sim.Microsecond}, {Kind: OpGet, Var: "y"}, {Kind: OpGet, Var: "x"}},
+		},
+	}
+}
+
+// MessagePassing on three nodes: the writer publishes data (x, homed away
+// from both writer and reader) and then raises a flag (f, homed on the
+// writer itself) — two different links to the reader, so the home-fanned
+// updates can arrive in either order. The reader sleeps long enough for the
+// flag's update to land while the data's can still be in flight. Every
+// protocol here must keep the causal chain: a reader that observes the flag
+// must observe the data — under causal memory the flag's dependency clock
+// (which covers the data write) forces the stale data copy to refetch. The
+// causal-skip-dep-merge mutant drops exactly that clock, and the reader
+// observes f=101 with x still 0.
+func MessagePassing() Litmus {
+	return Litmus{
+		Name:  "mp",
+		Procs: 3,
+		Vars:  []Var{{Name: "x", Home: 1}, {Name: "f", Home: 0}},
+		Warm:  [][]string{nil, nil, {"x", "f"}},
+		Prog: [][]Op{
+			{{Kind: OpPut, Var: "x", Val: 100}, {Kind: OpPut, Var: "f", Val: 101}},
+			nil,
+			{{Kind: OpSleep, D: 10 * sim.Microsecond}, {Kind: OpGet, Var: "f"}, {Kind: OpGet, Var: "x"}},
+		},
+	}
+}
+
+// RecallWindow is a MESI-focused config: P0 warms x into an exclusive line
+// and writes it silently; P2's read recalls the line mid-window (the sleep
+// holds P0 between its two writes so the recall can land there); P0 then
+// writes x again and raises y. Under correct MESI the recall demoted P0's
+// line, so the second x write invalidates P2's copy before completing and
+// P2's final read refetches. Under the mesi-skip-downgrade mutant P0 keeps
+// writing silently into a line the directory believes demoted, and P2 can
+// observe y's raise together with stale x — a sequential-consistency
+// violation the checker must catch.
+func RecallWindow() Litmus {
+	return Litmus{
+		Name:  "recall",
+		Procs: 3,
+		Vars:  []Var{{Name: "x", Home: 1}, {Name: "y", Home: 1}},
+		Warm:  [][]string{{"x"}, nil, nil},
+		Prog: [][]Op{
+			{
+				{Kind: OpPut, Var: "x", Val: 100},
+				{Kind: OpSleep, D: 15 * sim.Microsecond},
+				{Kind: OpPut, Var: "x", Val: 102},
+				{Kind: OpPut, Var: "y", Val: 103},
+			},
+			nil,
+			{{Kind: OpGet, Var: "x"}, {Kind: OpGet, Var: "y"}, {Kind: OpGet, Var: "x"}},
+		},
+	}
+}
+
+// Litmuses returns every canned configuration.
+func Litmuses() []Litmus {
+	return []Litmus{StoreBuffering(), IRIW(), MessagePassing(), RecallWindow()}
+}
+
+// LitmusByName resolves a canned configuration by its Name.
+func LitmusByName(name string) (Litmus, error) {
+	for _, l := range Litmuses() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Litmus{}, fmt.Errorf("mcheck: unknown litmus %q (want sb, iriw, mp or recall)", name)
+}

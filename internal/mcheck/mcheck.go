@@ -1,0 +1,446 @@
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"dsmrace/internal/coherence"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/sim"
+)
+
+// OpKind enumerates measured litmus operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpPut writes Val (globally unique, nonzero) into word 0 of Var.
+	OpPut OpKind = iota
+	// OpGet reads word 0 of Var; the observed value is recorded.
+	OpGet
+	// OpSleep advances local time by D without touching memory — used to
+	// hold a window open for a remote message (e.g. a MESI recall) to land
+	// between two operations.
+	OpSleep
+)
+
+// Op is one straight-line measured operation of a litmus program.
+type Op struct {
+	Kind OpKind
+	Var  string
+	Val  memory.Word // OpPut: the value written
+	D    sim.Time    // OpSleep: the duration
+}
+
+// Var declares one one-word shared variable of a litmus configuration.
+type Var struct {
+	Name string
+	Home int
+}
+
+// Litmus is one tiny configuration to exhaustively explore: a handful of
+// nodes, one-word variables, and a short straight-line program per process.
+// Warm-up reads run before a barrier on the default schedule (installing
+// cached copies and registering sharers without adding choice points); the
+// measured program runs after the barrier inside the enumerated window.
+type Litmus struct {
+	Name  string
+	Procs int
+	Vars  []Var
+	// Warm lists, per process, variable names to read once pre-barrier.
+	Warm [][]string
+	// Prog is the measured program, one op sequence per process.
+	Prog [][]Op
+}
+
+// validate checks the structural invariants the axiom checkers rely on —
+// notably that every written value is nonzero and globally unique, which is
+// what makes reads-from derivable from observed values alone.
+func (l *Litmus) validate() error {
+	if l.Procs < 1 {
+		return fmt.Errorf("mcheck: litmus %q has no processes", l.Name)
+	}
+	if len(l.Prog) != l.Procs {
+		return fmt.Errorf("mcheck: litmus %q: %d programs for %d processes", l.Name, len(l.Prog), l.Procs)
+	}
+	if len(l.Warm) > l.Procs {
+		return fmt.Errorf("mcheck: litmus %q: %d warm-up lists for %d processes", l.Name, len(l.Warm), l.Procs)
+	}
+	vars := map[string]bool{}
+	for _, v := range l.Vars {
+		if vars[v.Name] {
+			return fmt.Errorf("mcheck: litmus %q: duplicate variable %q", l.Name, v.Name)
+		}
+		if v.Home < 0 || v.Home >= l.Procs {
+			return fmt.Errorf("mcheck: litmus %q: variable %q homed on node %d of %d", l.Name, v.Name, v.Home, l.Procs)
+		}
+		vars[v.Name] = true
+	}
+	vals := map[memory.Word]bool{}
+	for p, ops := range l.Prog {
+		for j, op := range ops {
+			switch op.Kind {
+			case OpPut:
+				if op.Val == 0 || vals[op.Val] {
+					return fmt.Errorf("mcheck: litmus %q: P%d op %d writes %d (values must be nonzero and unique)", l.Name, p, j, op.Val)
+				}
+				vals[op.Val] = true
+				fallthrough
+			case OpGet:
+				if !vars[op.Var] {
+					return fmt.Errorf("mcheck: litmus %q: P%d op %d names unknown variable %q", l.Name, p, j, op.Var)
+				}
+			case OpSleep:
+				if op.D <= 0 {
+					return fmt.Errorf("mcheck: litmus %q: P%d op %d sleeps %v", l.Name, p, j, op.D)
+				}
+			default:
+				return fmt.Errorf("mcheck: litmus %q: P%d op %d has unknown kind %d", l.Name, p, j, int(op.Kind))
+			}
+		}
+	}
+	for _, names := range l.Warm {
+		for _, name := range names {
+			if !vars[name] {
+				return fmt.Errorf("mcheck: litmus %q: warm-up names unknown variable %q", l.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Config parameterises one exhaustive exploration.
+type Config struct {
+	// Litmus is the configuration to explore (required).
+	Litmus Litmus
+	// Protocol is the coherence protocol instance under test — a stock
+	// protocol or a coherence.NewMutant variant. Nil means write-update.
+	Protocol coherence.Protocol
+	// Steps is the number of alternatives per latency choice point
+	// (default 2). The schedule tree has up to Steps^choices leaves.
+	Steps int
+	// Quantum is the latency stretch per choice step (default 10µs — an
+	// order of magnitude above the constant 2µs link latency, so one step
+	// reorders deliveries across operations).
+	Quantum sim.Time
+	// MaxRuns bounds the enumeration (default 65536); exceeding it is an
+	// error, not a silent truncation.
+	MaxRuns int
+}
+
+// Outcome summarises one exploration: every distinguishable schedule of the
+// litmus under the protocol, classified against the memory-model axioms.
+type Outcome struct {
+	Litmus   string
+	Protocol string
+	// Runs is the number of schedules executed; Unique is the count left
+	// after canonicalization (distinct delivery-timeline signatures) —
+	// Runs-Unique choice vectors were absorbed by the per-link FIFO clamp.
+	Runs, Unique int
+	// MaxChoices is the deepest choice vector encountered.
+	MaxChoices int
+	// Weakest is the weakest consistency level observed across all unique
+	// schedules (LevelSC when every schedule is sequentially consistent).
+	Weakest Level
+	// Per-axiom violation counts over unique schedules. A schedule counts
+	// against every level it fails, so SCViolations ≥ CausalViolations ≥
+	// CoherenceViolations.
+	SCViolations, CausalViolations, CoherenceViolations int
+	// FirstNonSC / FirstNonCausal render the first observation vector that
+	// failed the level ("" when none did).
+	FirstNonSC     string
+	FirstNonCausal string
+}
+
+// String renders the outcome as a one-line verdict for logs and tables.
+func (o *Outcome) String() string {
+	return fmt.Sprintf("%s/%s: runs=%d unique=%d choices<=%d weakest=%s sc-viol=%d causal-viol=%d coh-viol=%d",
+		o.Litmus, o.Protocol, o.Runs, o.Unique, o.MaxChoices, o.Weakest,
+		o.SCViolations, o.CausalViolations, o.CoherenceViolations)
+}
+
+// Exploration constants: a draw-free constant-latency interconnect, a
+// measured window armed at 1ms (warm-up and barrier traffic complete within
+// microseconds, so everything before the window runs on the default
+// schedule), and a runaway guard per schedule.
+const (
+	linkLatency = 2 * sim.Microsecond
+	armAt       = sim.Millisecond
+	maxEvents   = 1 << 22
+)
+
+// FNV-1a, the canonical-signature hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// obsHash fingerprints an observation vector (the per-process sequences of
+// observed values).
+func obsHash(obs [][]memory.Word) uint64 {
+	h := uint64(fnvOffset)
+	for _, seq := range obs {
+		h = fnvMix(h, uint64(len(seq)))
+		for _, w := range seq {
+			h = fnvMix(h, uint64(w))
+		}
+	}
+	return h
+}
+
+// renderObs formats an observation vector for violation reports.
+func renderObs(lit *Litmus, obs [][]memory.Word) string {
+	var b strings.Builder
+	for p, ops := range lit.Prog {
+		if p > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "P%d[", p)
+		first := true
+		for j, op := range ops {
+			if op.Kind == OpSleep {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			sep := "="
+			if op.Kind == OpGet {
+				sep = ":"
+			}
+			fmt.Fprintf(&b, "%s%s%d", op.Var, sep, obs[p][j])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// runOne executes the litmus under one choice vector: positions beyond the
+// vector resolve to 0 (the depth-first zero-extension). It returns the
+// observation vector, the arity of every choice point encountered, and the
+// canonical schedule signature — an FNV-1a hash over the delivery timeline
+// (src, dst, kind, size, time of every delivered message).
+func runOne(cfg *Config, vec []int) (obs [][]memory.Word, arity []int, sig uint64, err error) {
+	lit := &cfg.Litmus
+	mismatch := false
+	chooser := func(n int) int {
+		i := len(arity)
+		arity = append(arity, n)
+		v := 0
+		if i < len(vec) {
+			v = vec[i]
+		}
+		if v >= n {
+			// Replay is deterministic, so a prefix's arity cannot change
+			// between runs; seeing it happen means the invariant broke.
+			mismatch = true
+			v = n - 1
+		}
+		return v
+	}
+	rcfg := rdma.DefaultConfig(nil, nil)
+	rcfg.Coherence = cfg.Protocol
+	c, err := dsm.New(dsm.Config{
+		Procs:     lit.Procs,
+		Seed:      1,
+		Latency:   network.Constant{L: linkLatency},
+		RDMA:      rcfg,
+		Chooser:   chooser,
+		MaxEvents: maxEvents,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, v := range lit.Vars {
+		if err := c.Alloc(v.Name, v.Home, 1); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	c.Network().EnableChoiceDelay(armAt, cfg.Quantum, cfg.Steps)
+	k := c.Kernel()
+	sig = fnvOffset
+	c.Network().OnDeliver = func(src, dst network.NodeID, kind network.Kind, size int) {
+		sig = fnvMix(sig, uint64(src))
+		sig = fnvMix(sig, uint64(dst))
+		sig = fnvMix(sig, uint64(kind))
+		sig = fnvMix(sig, uint64(size))
+		sig = fnvMix(sig, uint64(k.Now()))
+	}
+	obs = make([][]memory.Word, lit.Procs)
+	progs := make([]dsm.Program, lit.Procs)
+	for i := range progs {
+		i := i
+		obs[i] = make([]memory.Word, len(lit.Prog[i]))
+		progs[i] = func(p *dsm.Proc) error {
+			if i < len(lit.Warm) {
+				for _, name := range lit.Warm[i] {
+					if _, err := p.Get(name, 0, 1); err != nil {
+						return err
+					}
+				}
+			}
+			p.Barrier()
+			if now := p.Now(); now < armAt {
+				p.Sleep(armAt - now)
+			}
+			for j, op := range lit.Prog[i] {
+				switch op.Kind {
+				case OpPut:
+					if err := p.Put(op.Var, 0, op.Val); err != nil {
+						return err
+					}
+					obs[i][j] = op.Val
+				case OpGet:
+					w, err := p.GetWord(op.Var, 0)
+					if err != nil {
+						return err
+					}
+					obs[i][j] = w
+				case OpSleep:
+					p.Sleep(op.D)
+				}
+			}
+			return nil
+		}
+	}
+	res, err := c.RunEach(progs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if e := res.FirstError(); e != nil {
+		return nil, nil, 0, e
+	}
+	if mismatch {
+		return nil, nil, 0, fmt.Errorf("mcheck: choice arity changed under prefix replay (nondeterministic schedule tree)")
+	}
+	return obs, arity, sig, nil
+}
+
+// Explore enumerates every distinguishable schedule of the litmus under the
+// protocol and classifies each terminal observation against the SC, causal
+// and coherence axioms. The enumeration is a depth-first walk of the choice
+// tree by stateless replay: each run replays a recorded prefix, extends it
+// with zeros, and the deepest incrementable position advances next.
+func Explore(cfg Config) (*Outcome, error) {
+	if err := cfg.Litmus.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == nil {
+		cfg.Protocol = coherence.NewWriteUpdate()
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = 2
+	}
+	if cfg.Steps < 2 {
+		return nil, fmt.Errorf("mcheck: Steps must be at least 2")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 10 * sim.Microsecond
+	}
+	if cfg.MaxRuns == 0 {
+		cfg.MaxRuns = 1 << 16
+	}
+	lit := &cfg.Litmus
+	out := &Outcome{Litmus: lit.Name, Protocol: cfg.Protocol.Name(), Weakest: LevelSC}
+	// sigObs maps each canonical signature to its observation hash: two
+	// runs with identical delivery timelines must observe identical values,
+	// or the canonicalizer would be merging distinguishable schedules.
+	sigObs := map[uint64]uint64{}
+	vec := []int{}
+	for {
+		obs, arity, sig, err := runOne(&cfg, vec)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs++
+		if len(arity) > out.MaxChoices {
+			out.MaxChoices = len(arity)
+		}
+		oh := obsHash(obs)
+		if prev, ok := sigObs[sig]; ok {
+			if prev != oh {
+				return nil, fmt.Errorf("mcheck: canonical signature %#x merges schedules with distinct observations (%s)",
+					sig, renderObs(lit, obs))
+			}
+		} else {
+			sigObs[sig] = oh
+			out.Unique++
+			h, nv := history(lit, obs)
+			lvl, err := classify(h, nv)
+			if err != nil {
+				return nil, fmt.Errorf("mcheck: %s under %s: %w", renderObs(lit, obs), out.Protocol, err)
+			}
+			if lvl < out.Weakest {
+				out.Weakest = lvl
+			}
+			if lvl < LevelSC {
+				out.SCViolations++
+				if out.FirstNonSC == "" {
+					out.FirstNonSC = renderObs(lit, obs)
+				}
+			}
+			if lvl < LevelCausal {
+				out.CausalViolations++
+				if out.FirstNonCausal == "" {
+					out.FirstNonCausal = renderObs(lit, obs)
+				}
+			}
+			if lvl < LevelCoherent {
+				out.CoherenceViolations++
+			}
+		}
+		// Advance: the grown vector is vec zero-extended to len(arity);
+		// bump the deepest position still below its arity, drop the rest.
+		next := make([]int, len(arity))
+		copy(next, vec)
+		i := len(next) - 1
+		for i >= 0 && next[i]+1 >= arity[i] {
+			i--
+		}
+		if i < 0 {
+			return out, nil
+		}
+		next[i]++
+		vec = next[:i+1]
+		if out.Runs >= cfg.MaxRuns {
+			return nil, fmt.Errorf("mcheck: enumeration of %s/%s exceeded MaxRuns=%d", lit.Name, out.Protocol, cfg.MaxRuns)
+		}
+	}
+}
+
+// history converts a litmus and its observation vector into per-process
+// event sequences for the axiom checkers (sleeps carry no event).
+func history(lit *Litmus, obs [][]memory.Word) ([][]event, int) {
+	vi := make(map[string]int, len(lit.Vars))
+	for i, v := range lit.Vars {
+		vi[v.Name] = i
+	}
+	h := make([][]event, lit.Procs)
+	for p, ops := range lit.Prog {
+		for j, op := range ops {
+			if op.Kind == OpSleep {
+				continue
+			}
+			h[p] = append(h[p], event{
+				proc:  p,
+				write: op.Kind == OpPut,
+				v:     vi[op.Var],
+				val:   obs[p][j],
+			})
+		}
+	}
+	return h, len(lit.Vars)
+}

@@ -1,0 +1,286 @@
+package mcheck
+
+import (
+	"os"
+	"testing"
+
+	"dsmrace/internal/coherence"
+)
+
+// explore runs one litmus/protocol pair with the default knobs and the given
+// budget, failing the test on any exploration error.
+func explore(t *testing.T, lit Litmus, proto coherence.Protocol, maxRuns int) *Outcome {
+	t.Helper()
+	out, err := Explore(Config{Litmus: lit, Protocol: proto, MaxRuns: maxRuns})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", lit.Name, proto.Name(), err)
+	}
+	return out
+}
+
+func mustProtocol(t *testing.T, name string) coherence.Protocol {
+	t.Helper()
+	p, err := coherence.FromName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// exhaustiveMatrix pins the full enumeration of every litmus under every
+// stock protocol: the exact schedule count, the count surviving
+// canonicalization, the deepest choice vector, and the axiom verdict. Any
+// protocol or transport change that alters the schedule tree or any verdict
+// moves these numbers. The two heaviest MESI enumerations (~3 minutes
+// combined) only run with MCHECK_EXHAUSTIVE=1; their results are pinned from
+// a full offline run like every other row.
+var exhaustiveMatrix = []struct {
+	litmus   string
+	protocol string
+	runs     int
+	unique   int
+	choices  int
+	weakest  Level
+	scViol   int
+	caViol   int
+	heavy    bool // needs MCHECK_EXHAUSTIVE=1 (minutes of runtime)
+}{
+	{"sb", "write-update", 256, 256, 8, LevelSC, 0, 0, false},
+	{"sb", "write-invalidate", 3712, 3584, 12, LevelSC, 0, 0, false},
+	{"sb", "causal", 64, 64, 6, LevelCausal, 26, 0, false},
+	{"sb", "mesi", 53344, 48560, 16, LevelSC, 0, 0, false},
+	{"iriw", "write-update", 4096, 4096, 12, LevelSC, 0, 0, false},
+	{"iriw", "write-invalidate", 121792, 121792, 20, LevelSC, 0, 0, false},
+	{"iriw", "causal", 256, 256, 8, LevelCausal, 4, 0, false},
+	{"iriw", "mesi", 1211968, 1162048, 24, LevelSC, 0, 0, true},
+	{"mp", "write-update", 256, 256, 8, LevelSC, 0, 0, false},
+	{"mp", "write-invalidate", 448, 448, 10, LevelSC, 0, 0, false},
+	{"mp", "causal", 70, 70, 8, LevelSC, 0, 0, false},
+	{"mp", "mesi", 4864, 4864, 14, LevelSC, 0, 0, false},
+	{"recall", "write-update", 4096, 4096, 12, LevelSC, 0, 0, false},
+	{"recall", "write-invalidate", 72400, 63848, 18, LevelSC, 0, 0, false},
+	{"recall", "causal", 5048, 5048, 13, LevelSC, 0, 0, false},
+	{"recall", "mesi", 695296, 583896, 20, LevelSC, 0, 0, true},
+}
+
+// TestExhaustiveMatrix checks every pinned enumeration row. Short mode keeps
+// only the sub-second rows; the two MCHECK_EXHAUSTIVE rows are also skipped
+// unless explicitly requested.
+func TestExhaustiveMatrix(t *testing.T) {
+	exhaustive := os.Getenv("MCHECK_EXHAUSTIVE") != ""
+	for _, row := range exhaustiveMatrix {
+		row := row
+		t.Run(row.litmus+"/"+row.protocol, func(t *testing.T) {
+			if row.heavy && !exhaustive {
+				t.Skip("set MCHECK_EXHAUSTIVE=1 to run the >500k-schedule enumerations")
+			}
+			if testing.Short() && row.runs > 10000 {
+				t.Skip("short mode")
+			}
+			lit, err := LitmusByName(row.litmus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := explore(t, lit, mustProtocol(t, row.protocol), 1<<21)
+			if out.Runs != row.runs || out.Unique != row.unique || out.MaxChoices != row.choices {
+				t.Errorf("enumeration moved: got runs=%d unique=%d choices<=%d, want runs=%d unique=%d choices<=%d",
+					out.Runs, out.Unique, out.MaxChoices, row.runs, row.unique, row.choices)
+			}
+			if out.Weakest != row.weakest || out.SCViolations != row.scViol || out.CausalViolations != row.caViol {
+				t.Errorf("verdict moved: got weakest=%s sc-viol=%d causal-viol=%d, want weakest=%s sc-viol=%d causal-viol=%d",
+					out.Weakest, out.SCViolations, out.CausalViolations, row.weakest, row.scViol, row.caViol)
+			}
+			if out.CoherenceViolations != 0 {
+				t.Errorf("coherence violations under a stock protocol: %d (first non-causal %q)",
+					out.CoherenceViolations, out.FirstNonCausal)
+			}
+		})
+	}
+}
+
+// TestCausalWeakerThanSC pins the discriminating power of the checker on the
+// causal backend: store buffering and IRIW must each reach a schedule that is
+// causally consistent but not sequentially consistent, and the first such
+// observation must be the canonical relaxed outcome of the litmus.
+func TestCausalWeakerThanSC(t *testing.T) {
+	for _, tc := range []struct {
+		litmus     string
+		firstNonSC string
+	}{
+		{"sb", "P0[x=100 y:0] P1[y=200 x:0]"},
+		{"iriw", "P0[x=100] P1[y=200] P2[x:100 y:0] P3[y:200 x:0]"},
+	} {
+		lit, err := LitmusByName(tc.litmus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := explore(t, lit, mustProtocol(t, "causal"), 1<<16)
+		if out.Weakest != LevelCausal {
+			t.Errorf("%s/causal: weakest=%s, want causal (sc-viol=%d causal-viol=%d)",
+				tc.litmus, out.Weakest, out.SCViolations, out.CausalViolations)
+		}
+		if out.SCViolations == 0 {
+			t.Errorf("%s/causal: no SC violation found — the relaxed outcome is unreachable", tc.litmus)
+		}
+		if out.CausalViolations != 0 {
+			t.Errorf("%s/causal: %d causal violations (first %q) — causal memory must stay causal",
+				tc.litmus, out.CausalViolations, out.FirstNonCausal)
+		}
+		if out.FirstNonSC != tc.firstNonSC {
+			t.Errorf("%s/causal: first non-SC observation %q, want %q", tc.litmus, out.FirstNonSC, tc.firstNonSC)
+		}
+	}
+}
+
+// mutationKills pins the mutation-killing harness: each deliberately broken
+// protocol must produce a violation on its killing litmus — at the level the
+// bug breaks — while the stock protocol on the same litmus stays clean (the
+// matrix rows above). This is what proves the oracle is not vacuous.
+var mutationKills = []struct {
+	litmus     string
+	protocol   string
+	mutation   string
+	weakest    Level
+	scViol     int
+	firstNonSC string
+}{
+	// Dropping one invalidation leaves a stale copy both readers can hit:
+	// the relaxed SB outcome appears (still causal — the two writes are
+	// unrelated — so the verdict degrades exactly one level).
+	{"sb", "write-invalidate", "wi-skip-last-inval", LevelCausal, 16,
+		"P0[x=100 y:0] P1[y=200 x:0]"},
+	// The same mutation on the recall litmus breaks the causal chain
+	// x=102 → y=103: P2 observes the raise of y with pre-recall x.
+	{"recall", "write-invalidate", "wi-skip-last-inval", LevelCoherent, 36,
+		"P0[x=100 x=102 y=103] P1[] P2[x:100 y:103 x:100]"},
+	// Skipping the M→S downgrade on a recall lets the owner keep writing
+	// silently into a line the directory believes shared — same stale-x
+	// anomaly, caught at the same level.
+	{"recall", "mesi", "mesi-skip-downgrade", LevelCoherent, 164,
+		"P0[x=100 x=102 y=103] P1[] P2[x:100 y:103 x:100]"},
+	// Dropping the dependency merge at update-apply time breaks message
+	// passing: the reader observes the flag but refetches stale data.
+	{"mp", "causal", "causal-skip-dep-merge", LevelCoherent, 2,
+		"P0[x=100 f=101] P1[] P2[f:101 x:0]"},
+}
+
+// TestMutationKills checks every seeded protocol mutation is caught.
+func TestMutationKills(t *testing.T) {
+	for _, tc := range mutationKills {
+		tc := tc
+		t.Run(tc.litmus+"/"+tc.mutation, func(t *testing.T) {
+			lit, err := LitmusByName(tc.litmus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mut, err := coherence.NewMutant(tc.mutation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := explore(t, lit, mut, 1<<16)
+			if out.Weakest != tc.weakest {
+				t.Errorf("weakest=%s, want %s", out.Weakest, tc.weakest)
+			}
+			if out.SCViolations != tc.scViol {
+				t.Errorf("sc-viol=%d, want %d", out.SCViolations, tc.scViol)
+			}
+			if out.FirstNonSC != tc.firstNonSC {
+				t.Errorf("first non-SC observation %q, want %q", out.FirstNonSC, tc.firstNonSC)
+			}
+		})
+	}
+}
+
+// TestSmokeGate is the CI smoke: the full enumeration of the 2-node/2-area
+// store-buffering config under every stock protocol (verdicts per the pinned
+// matrix) plus one mutation-kill assertion. It is the cheapest end-to-end
+// proof that enumeration, canonicalization, axiom checking and the mutation
+// harness all still work.
+func TestSmokeGate(t *testing.T) {
+	for _, name := range coherence.Names() {
+		out := explore(t, StoreBuffering(), mustProtocol(t, name), 1<<16)
+		wantWeakest := LevelSC
+		if name == "causal" {
+			wantWeakest = LevelCausal
+		}
+		if out.Weakest != wantWeakest {
+			t.Errorf("sb/%s: weakest=%s, want %s", name, out.Weakest, wantWeakest)
+		}
+		if out.Unique == 0 || out.Runs < out.Unique {
+			t.Errorf("sb/%s: implausible dedup stats runs=%d unique=%d", name, out.Runs, out.Unique)
+		}
+	}
+	mut, err := coherence.NewMutant("wi-skip-last-inval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := explore(t, StoreBuffering(), mut, 1<<16); out.SCViolations == 0 {
+		t.Errorf("sb/%s: seeded mutation not caught", mut.Name())
+	}
+}
+
+// TestDeterministicRepeat runs the same explorations twice and demands
+// identical outcomes — the enumeration must be a pure function of
+// (litmus, protocol, knobs). Kept cheap so the -race CI job can afford it.
+func TestDeterministicRepeat(t *testing.T) {
+	for _, tc := range []struct {
+		litmus   string
+		protocol string
+	}{
+		{"sb", "write-update"},
+		{"sb", "causal"},
+		{"mp", "write-invalidate"},
+		{"mp", "mesi"},
+	} {
+		lit, err := LitmusByName(tc.litmus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := explore(t, lit, mustProtocol(t, tc.protocol), 1<<16)
+		b := explore(t, lit, mustProtocol(t, tc.protocol), 1<<16)
+		if *a != *b {
+			t.Errorf("%s/%s: outcomes differ across repeats:\n  %v\n  %v", tc.litmus, tc.protocol, a, b)
+		}
+	}
+}
+
+// TestBudgetExceeded checks a too-small MaxRuns is a loud error, never a
+// silent truncation.
+func TestBudgetExceeded(t *testing.T) {
+	_, err := Explore(Config{Litmus: StoreBuffering(), MaxRuns: 4})
+	if err == nil {
+		t.Fatal("enumeration beyond MaxRuns did not error")
+	}
+}
+
+// TestValidate exercises the litmus structural checks.
+func TestValidate(t *testing.T) {
+	base := StoreBuffering()
+	for _, tc := range []struct {
+		name string
+		mut  func(*Litmus)
+	}{
+		{"dup-value", func(l *Litmus) { l.Prog[1][0].Val = l.Prog[0][0].Val }},
+		{"zero-value", func(l *Litmus) { l.Prog[0][0].Val = 0 }},
+		{"unknown-var", func(l *Litmus) { l.Prog[0][1].Var = "zz" }},
+		{"bad-home", func(l *Litmus) { l.Vars[0].Home = 9 }},
+		{"bad-warm", func(l *Litmus) { l.Warm[0] = []string{"zz"} }},
+		{"bad-sleep", func(l *Litmus) { l.Prog[0] = append(l.Prog[0], Op{Kind: OpSleep}) }},
+		{"prog-count", func(l *Litmus) { l.Prog = l.Prog[:1] }},
+	} {
+		lit := StoreBuffering()
+		tc.mut(&lit)
+		if _, err := Explore(Config{Litmus: lit}); err == nil {
+			t.Errorf("%s: invalid litmus accepted", tc.name)
+		}
+	}
+	if err := base.validate(); err != nil {
+		t.Errorf("valid litmus rejected: %v", err)
+	}
+	if _, err := LitmusByName("nope"); err == nil {
+		t.Error("unknown litmus name accepted")
+	}
+	if _, err := Explore(Config{Litmus: StoreBuffering(), Steps: 1}); err == nil {
+		t.Error("Steps=1 accepted (a one-way choice point enumerates nothing)")
+	}
+}

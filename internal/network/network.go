@@ -32,6 +32,7 @@ const (
 	KindFetchReply // write-invalidate: area data + piggybacked write clock
 	KindInval      // write-invalidate: drop-your-copy order from the home
 	KindInvalAck   // write-invalidate: invalidation acknowledgement
+	KindUpdate     // causal memory: home-fanned data update to sharers
 	KindBarrier
 	KindUser
 	numKinds
@@ -43,6 +44,7 @@ var kindNames = [...]string{
 	"clock.read", "clock.read.resp", "clock.write",
 	"atomic.req", "atomic.reply",
 	"fetch.req", "fetch.reply", "inval", "inval.ack",
+	"update",
 	"barrier", "user",
 }
 
@@ -194,6 +196,9 @@ func (f *inflight) deliver() {
 	if h == nil {
 		panic(fmt.Sprintf("network: node %d has no handler", f.m.Dst))
 	}
+	if net.OnDeliver != nil {
+		net.OnDeliver(f.m.Src, f.m.Dst, f.m.Kind, f.m.Size)
+	}
 	h(&f.m)
 	f.m.Payload = nil
 	if f.sh != nil {
@@ -306,6 +311,19 @@ type Network struct {
 	// cross-shard reads ever race. Index 0 is the only view on a
 	// single-kernel network.
 	fviews []*faultView
+	// OnDeliver, when non-nil, observes every delivered message just before
+	// its handler runs — in delivery order, which (with a draw-free latency
+	// model) is a complete canonical description of the schedule. The
+	// exhaustive-exploration checker hashes this sequence to deduplicate
+	// schedules; keep the hook cheap, it sits on the delivery hot path.
+	OnDeliver func(src, dst NodeID, kind Kind, size int)
+	// Choice-delay state (EnableChoiceDelay): from chooseAfter onward every
+	// send resolves a kernel choice point and stretches its latency by
+	// choice × chooseQuantum, turning delivery order itself into an
+	// enumerable decision. Single-kernel networks only.
+	chooseAfter   sim.Time
+	chooseQuantum sim.Time
+	chooseSteps   int
 
 	// Sharded-mode state (nil/empty on a single-kernel network):
 	mk      *sim.MultiKernel
@@ -481,6 +499,28 @@ func (n *Network) EnableFaults() {
 // FaultsEnabled reports whether EnableFaults has been called.
 func (n *Network) FaultsEnabled() bool { return n.fviews != nil }
 
+// EnableChoiceDelay arms the schedule-exploration hook: every message sent
+// at or after virtual time `after` resolves one kernel choice point with
+// `steps` alternatives (sim.Kernel.Choose) and adds choice × quantum to its
+// modelled latency. With a draw-free latency model this makes the delivery
+// interleaving a pure function of the choice vector, which an exhaustive
+// driver (internal/mcheck) enumerates depth-first. The time gate lets a
+// litmus program run its warm-up phase on the default schedule — no choice
+// points, no tree blow-up — and open the enumerated window only around the
+// measured operations. Single-kernel networks only: the choice hook's draw
+// order is the serial interleaving itself.
+func (n *Network) EnableChoiceDelay(after, quantum sim.Time, steps int) {
+	if n.mk != nil {
+		panic("network: EnableChoiceDelay on a sharded network")
+	}
+	if steps < 2 || quantum <= 0 {
+		panic("network: EnableChoiceDelay needs steps >= 2 and a positive quantum")
+	}
+	n.chooseAfter = after
+	n.chooseQuantum = quantum
+	n.chooseSteps = steps
+}
+
 // SetLinkFault flips the a→b link in shard sh's fault view. Healing resets
 // the link's FIFO horizon (see RestoreLink); since lastArrival is owned by
 // the shard that files the link's sends, only the source's owning shard
@@ -594,6 +634,9 @@ func (n *Network) send(m *Message, exempt bool) {
 		return
 	}
 	d := n.latency.Delay(m.Src, m.Dst, m.Size, n.k.Rand())
+	if n.chooseSteps > 1 && n.k.Now() >= n.chooseAfter {
+		d += n.chooseQuantum * sim.Time(n.k.Choose(n.chooseSteps))
+	}
 	at := n.k.Now() + d
 	if last := n.lastArrival[link]; at < last {
 		at = last // FIFO: cannot overtake an earlier message on this link

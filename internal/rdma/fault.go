@@ -487,6 +487,11 @@ func (n *NIC) ackInval(id uint64) {
 		panic(fmt.Sprintf("rdma: node %d: orphan inval ack %d", n.id, id))
 	}
 	delete(n.invalWait, id)
+	if join.recall {
+		// Every recall acknowledgement — real, vacuous (dead owner) or
+		// dataless (clean line) — ends the owner's exclusivity.
+		n.sys.mes.ClearExclusive(join.area)
+	}
 	join.left--
 	if join.left == 0 {
 		join.finish()

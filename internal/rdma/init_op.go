@@ -57,6 +57,9 @@ type initOp struct {
 	clock   vclock.Masked
 	errs    string
 	v, w    vclock.VC
+	ver     uint64    // causal: area version carried by a write ack / fetch reply
+	dep     vclock.VC // causal: dependency clock of that version (fresh copy, ours)
+	excl    bool      // mesi: fetch reply granted exclusivity
 
 	// Fault lifecycle (armed only under a hostile schedule — see fault.go):
 	// the request template and coordinates to retransmit from, the deadline
@@ -71,6 +74,7 @@ type initOp struct {
 
 	// Pre-bound continuations (see the methods of the same names).
 	captureFn       func(*resp) // single round-trip ops: absorb + finish
+	fetchCaptureFn  func(*resp) // fetch miss: install the copy, then finish
 	grantFn         func(*resp) // literal: internal lock granted
 	stage1Fn        func()      // literal: first post-grant phase (per-op, set at start)
 	putStage1Fn     func()
@@ -104,6 +108,7 @@ func (s *System) grabInit(n *NIC, p *sim.Proc) *initOp {
 	} else {
 		o = &initOp{owner: int32(ps.idx)}
 		o.captureFn = o.capture
+		o.fetchCaptureFn = o.fetchCapture
 		o.grantFn = o.grant
 		o.putStage1Fn = o.putStage1
 		o.putClocks1Fn = o.putClocks1
@@ -141,6 +146,8 @@ func releaseInit(ps *shardPools, o *initOp) {
 	o.n, o.p, o.rr, o.next, o.stage1Fn = nil, nil, nil, nil, nil
 	o.done, o.lockOn = false, false
 	o.data, o.outData, o.v, o.w = nil, nil, nil, nil
+	o.dep = nil
+	o.ver, o.excl = 0, false
 	o.acc = core.Access{}
 	o.clock = vclock.Masked{}
 	o.errs = ""
@@ -217,6 +224,15 @@ func (o *initOp) absorb(rs *resp) {
 	if !rs.clock.IsNil() {
 		o.clock = rs.clock
 	}
+	if rs.ver != 0 {
+		o.ver = rs.ver
+	}
+	if rs.dep != nil {
+		o.dep = rs.dep
+	}
+	if rs.excl {
+		o.excl = true
+	}
 	ps.releaseResp(rs)
 }
 
@@ -232,10 +248,34 @@ func (o *initOp) await() {
 }
 
 // capture is the reply continuation of every single-round-trip operation
-// (piggyback put/get/atomic, write-invalidate fetch, lock grant): absorb the
-// reply and wake the process for the tail.
+// (piggyback put/get/atomic, lock grant): absorb the reply and wake the
+// process for the tail.
 func (o *initOp) capture(rs *resp) {
 	o.absorb(rs)
+	o.finish()
+}
+
+// fetchCapture is the fetch-miss reply continuation: the copy is installed
+// into the coherence state here, in the reply's own delivery slot, before the
+// process wakeup. The home sends the reply before any invalidation for a
+// later write to the same area, and the link FIFO preserves that order — but
+// both can land in the same instant, and the invalidation's handler would run
+// between this delivery and a process-side install, finding no copy to drop
+// and leaving a stale line the home believes invalidated. Installing here
+// keeps the reply's protocol action atomic with its delivery.
+func (o *initOp) fetchCapture(rs *resp) {
+	o.absorb(rs)
+	if o.errs == "" {
+		n, self := o.n, int(o.n.id)
+		if cau := n.sys.cau; cau != nil {
+			cau.InstallVersioned(self, o.area, o.outData, o.clock, o.ver, o.dep)
+		} else {
+			n.sys.coh.InstallCopy(self, o.area, o.outData, o.clock)
+			if o.excl {
+				n.sys.mes.InstallExclusive(self, o.area)
+			}
+		}
+	}
 	o.finish()
 }
 

@@ -17,6 +17,12 @@ type lockState struct {
 	// happens-before edge. Masked, so a lock chain confined to a few
 	// processes keeps its clocks sparse.
 	relClock vclock.Masked
+	// relObs accumulates, under causal coherence, the observation clocks of
+	// every user-level releaser; each grant ships a copy, so an acquirer
+	// inherits the causal dependencies of everything written before the
+	// release (lock-transported causality — what makes race-free locked
+	// programs sequentially consistent on causal memory).
+	relObs vclock.VC
 	// lenient absorbs a release of an unheld lock instead of panicking —
 	// set under faults, where a crash sweep may have force-expired the
 	// tenure a late continuation still believes it holds.

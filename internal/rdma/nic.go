@@ -28,6 +28,13 @@ type req struct {
 	// Atomics:
 	op         AtomicOp
 	arg1, arg2 memory.Word
+	// Causal coherence: the sender's observation-clock snapshot (a fresh
+	// copy, never aliased to live protocol state) — the writer's on a put,
+	// the releaser's on a user-level unlock.
+	obs vclock.VC
+	// MESI: this invalidation is an exclusivity recall — downgrade and write
+	// dirty data back instead of dropping the copy.
+	recall bool
 }
 
 // resp is the payload of every NIC response message.
@@ -38,6 +45,14 @@ type resp struct {
 	v, w  vclock.VC     // clock reads
 	clock vclock.Masked // merged clock for the initiator to absorb
 	err   string
+	// Causal coherence: the committed write's area version (put/atomic acks)
+	// or the area's current version (fetch replies), plus the area dependency
+	// clock (a fresh copy owned by the receiver) on fetch replies and
+	// user-level lock grants.
+	ver uint64
+	dep vclock.VC
+	// MESI: the fetch reply grants the reader exclusivity (sole sharer).
+	excl bool
 }
 
 // pending tracks a legacy-path initiator-side operation awaiting its
@@ -56,6 +71,11 @@ type pending struct {
 type invalJoin struct {
 	left   int
 	finish func()
+	// MESI recall rounds: the acknowledgement may carry the downgraded
+	// owner's dirty data, written back into the area before finish runs, and
+	// the ack always clears the directory's exclusivity record.
+	recall bool
+	area   memory.Area
 }
 
 // NIC is one node's network interface. Remote operations addressed to this
@@ -219,6 +239,11 @@ func (n *NIC) handle(m *network.Message) {
 		n.handleInval(m)
 	case network.KindInvalAck:
 		n.handleInvalAck(m)
+	case network.KindUpdate:
+		// Causal memory: a home-fanned update. The payload is shared by the
+		// whole fan-out and immutable; nothing to release.
+		u := m.Payload.(*updateMsg)
+		n.sys.cau.ApplyUpdate(int(n.id), u.area, u.off, u.data, u.ver, u.dep)
 	case network.KindLockReq:
 		n.handleLock(m)
 	case network.KindUnlock:
@@ -293,10 +318,26 @@ type homeOp struct {
 	err    error
 	absorb vclock.Masked
 	old    memory.Word // atomic: previous stored value
+	ver    uint64      // causal: the committed write's area version
 
 	grantFn  func() // o.grant, bound once
 	runFn    func() // o.run, bound once
 	finishFn func() // o.finish, bound once
+	occupyFn func() // o.occupy, bound once (MESI recall continuation)
+}
+
+// updateMsg is a causal-memory update fanned from the home to every sharer
+// after a committed write. One instance is shared by the whole fan-out and is
+// immutable after send — data and dep are fresh copies owned by the message.
+// It is not pooled: a drop under faults simply loses it (the version gap rule
+// makes updates loss-tolerant), and the drop hook passes unknown payloads
+// through untouched.
+type updateMsg struct {
+	area memory.Area
+	off  int
+	data []memory.Word
+	ver  uint64
+	dep  vclock.VC
 }
 
 // startHomeOp begins serving a data request at its home: acquire the area
@@ -453,9 +494,33 @@ func (b *slotBatch) release() {
 	n.batchPool = append(n.batchPool, b)
 }
 
-// grant runs once the area lock is held: charge the occupancy window for
-// the words this operation moves, then run the body.
+// grant runs once the area lock is held. Under MESI the home first recalls a
+// remote exclusive owner — its silently modified line is the area's current
+// data, so every home operation (read or write) must see it written back
+// before touching home memory. The area lock stays held across the recall,
+// so no fetch can hand out a new copy mid-recall.
 func (o *homeOp) grant() {
+	n := o.n
+	if mes := n.sys.mes; mes != nil {
+		if owner := mes.ExclusiveOwner(int(o.r.origin), o.r.area); owner >= 0 {
+			mes.CountRecall(int(n.id))
+			rr := n.ps.grabReq()
+			rr.id = n.ps.nextReq()
+			rr.origin = n.id
+			rr.area = o.r.area
+			rr.recall = true
+			n.invalWait[rr.id] = &invalJoin{left: 1, finish: o.occupyFn, recall: true, area: o.r.area}
+			n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(owner),
+				Kind: network.KindInval, Size: network.HeaderBytes, Payload: rr})
+			return
+		}
+	}
+	o.occupy()
+}
+
+// occupy charges the occupancy window for the words this operation moves,
+// then runs the body.
+func (o *homeOp) occupy() {
 	var words int
 	switch o.kind {
 	case network.KindPutReq:
@@ -508,12 +573,19 @@ func (o *homeOp) run() {
 	case network.KindGetReq:
 		// The reply transfers exactly the requested span.
 		o.serveRead(r.off, r.count, network.KindGetReply, nil)
-	default: // KindFetchReq: write-invalidate read miss, whole-area transfer
+	default: // KindFetchReq: read miss under a caching protocol, whole-area transfer
 		// The reply transfers the whole area (the coherence unit) and
-		// registers the reader as a sharer.
-		o.serveRead(0, r.area.Len, network.KindFetchReply, func() {
+		// registers the reader as a sharer. Causal replies carry the area's
+		// version and dependency clock; a MESI reply may grant exclusivity
+		// when the reader is the sole sharer.
+		o.serveRead(0, r.area.Len, network.KindFetchReply, func(rs *resp) {
 			n.sys.coh.AddSharer(int(r.origin), r.area)
 			n.sys.countFetch(int(n.id))
+			if cau := n.sys.cau; cau != nil {
+				rs.ver, rs.dep = cau.ReadVersion(r.area)
+			} else if mes := n.sys.mes; mes != nil {
+				rs.excl = mes.GrantExclusive(int(r.origin), r.area)
+			}
 		})
 	}
 }
@@ -524,7 +596,7 @@ func (o *homeOp) run() {
 // release the lock and reply with replyKind. Errors reply with nil data but
 // a size computed before the data is dropped, matching the wire model (the
 // request was for that many words).
-func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServed func()) {
+func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServed func(*resp)) {
 	n, r := o.n, o.r
 	var data []memory.Word
 	o.err = checkAreaRange(r.area, r.off, r.count)
@@ -533,16 +605,24 @@ func (o *homeOp) serveRead(readOff, readLen int, replyKind network.Kind, onServe
 		o.err = n.sys.space.Node(r.area.Home).ReadPublic(r.area.Off+readOff, data)
 	}
 	o.observeAndCheck(r.off, r.count, n.k.Now())
+	rs := resp{data: data, clock: o.absorb}
 	if o.err == nil && onServed != nil {
-		onServed()
+		onServed(&rs)
 	}
 	o.release()
 	size := network.HeaderBytes + len(data)*memory.WordBytes +
 		n.sys.replyClockBytes(n, chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
-	if o.err != nil {
-		data = nil
+	if rs.ver != 0 {
+		size += 8
 	}
-	n.reply(r, replyKind, size, &resp{data: data, clock: o.absorb, err: errString(o.err)})
+	if rs.dep != nil {
+		size += rs.dep.WireSize()
+	}
+	if o.err != nil {
+		rs.data = nil
+	}
+	rs.err = errString(o.err)
+	n.reply(r, replyKind, size, &rs)
 	if n.sys.faultOn {
 		// Request ownership is home-side under faults: the initiator cannot
 		// prove this reply arrives, so it can no longer release the req.
@@ -576,7 +656,29 @@ func (o *homeOp) observeAndCheck(off, count int, at sim.Time) {
 func (o *homeOp) finishWrite() {
 	n, r := o.n, o.r
 	if o.err == nil {
-		if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
+		if cau := n.sys.cau; cau != nil {
+			// Causal memory: the write completes at the home without replica
+			// acknowledgements. Commit the version, fold the writer's shipped
+			// observation clock into the area's dependency clock, and fan the
+			// written words to every other sharer as one shared immutable
+			// update message.
+			off, count := r.off, len(r.data)
+			if o.kind == network.KindAtomicReq {
+				count = 1
+			}
+			ver, dep, sharers := cau.PublishWrite(int(r.origin), r.area, r.obs)
+			o.ver = ver
+			if len(sharers) > 0 {
+				data := make([]memory.Word, count)
+				_ = n.sys.space.Node(r.area.Home).ReadPublic(r.area.Off+off, data)
+				u := &updateMsg{area: r.area, off: off, data: data, ver: ver, dep: dep}
+				size := network.HeaderBytes + count*memory.WordBytes + 8 + dep.WireSize()
+				for _, node := range sharers {
+					n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(node),
+						Kind: network.KindUpdate, Size: size, Payload: u})
+				}
+			}
+		} else if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
 			join := &invalJoin{left: len(inv), finish: o.finishFn}
 			for _, node := range inv {
 				rr := n.ps.grabReq()
@@ -593,16 +695,28 @@ func (o *homeOp) finishWrite() {
 	o.finish()
 }
 
-// finish releases the lock and sends the write's completion reply.
+// finish releases the lock and sends the write's completion reply. Under
+// MESI the completed write's invalidation round left the writer as the only
+// possible sharer, so the commit also promotes it to exclusive owner (the
+// home→writer FIFO guarantees the ack — which upgrades the writer's own
+// copy — lands before any later recall).
 func (o *homeOp) finish() {
 	n, r := o.n, o.r
+	if o.err == nil {
+		if mes := n.sys.mes; mes != nil {
+			mes.PromoteSoleSharer(int(r.origin), r.area)
+		}
+	}
 	o.release()
 	size := network.HeaderBytes + n.sys.replyClockBytes(n, chanKey{ack: true, node: r.origin, area: r.area.ID}, o.absorb)
+	if o.ver != 0 {
+		size += 8
+	}
 	if o.kind == network.KindAtomicReq {
 		size += memory.WordBytes
-		n.reply(r, network.KindAtomicReply, size, &resp{data: []memory.Word{o.old}, clock: o.absorb, err: errString(o.err)})
+		n.reply(r, network.KindAtomicReply, size, &resp{data: []memory.Word{o.old}, clock: o.absorb, ver: o.ver, err: errString(o.err)})
 	} else {
-		n.reply(r, network.KindPutAck, size, &resp{clock: o.absorb, err: errString(o.err)})
+		n.reply(r, network.KindPutAck, size, &resp{clock: o.absorb, ver: o.ver, err: errString(o.err)})
 	}
 	if n.sys.faultOn {
 		n.ps.releaseReq(r) // home-side request ownership; see serveRead
@@ -635,19 +749,36 @@ func (n *NIC) handleFetch(m *network.Message) {
 	n.startHomeOp(m, network.KindFetchReq)
 }
 
-// handleInval drops this node's copy of the area and acknowledges. It never
-// blocks and takes no locks, so invalidation rounds cannot deadlock.
+// handleInval drops this node's copy of the area and acknowledges — or, for
+// a MESI recall, downgrades the line to Shared and ships its dirty data back
+// with the acknowledgement. It never blocks and takes no locks, so
+// invalidation rounds cannot deadlock.
 func (n *NIC) handleInval(m *network.Message) {
 	r := m.Payload.(*req)
+	if r.recall {
+		data, dirty := n.sys.mes.Downgrade(int(n.id), r.area)
+		size := network.HeaderBytes
+		if dirty {
+			size += len(data) * memory.WordBytes
+		}
+		n.reply(r, network.KindInvalAck, size, &resp{data: data})
+		n.ps.releaseReq(r)
+		return
+	}
 	n.sys.coh.DropCopy(int(n.id), r.area)
 	n.reply(r, network.KindInvalAck, network.HeaderBytes, &resp{})
 	n.ps.releaseReq(r) // invalidations are one-way reqs: the handler owns it
 }
 
 // handleInvalAck joins one acknowledgement of an invalidation round; the
-// last one completes the write that started the round.
+// last one completes the write that started the round. A recall ack may
+// carry the downgraded owner's dirty writeback, patched into the area before
+// the waiting operation's body runs.
 func (n *NIC) handleInvalAck(m *network.Message) {
 	r := m.Payload.(*resp)
+	if join, ok := n.invalWait[r.id]; ok && join.recall && r.data != nil {
+		_ = n.sys.space.Node(join.area.Home).WritePublic(join.area.Off, r.data)
+	}
 	n.ackInval(r.id)
 	n.ps.releaseResp(r)
 }
@@ -683,6 +814,10 @@ func (n *NIC) handleLock(m *network.Message) {
 				rs.clock = l.relClock.CopyInto(n.ps.grabClock())
 				size += rs.clock.V.WireSize()
 			}
+			if r.user && l.held && l.owner == r.acc.Proc && l.relObs != nil {
+				rs.dep = l.relObs.Copy()
+				size += rs.dep.WireSize()
+			}
 			n.reply(r, network.KindLockGrant, size, &rs)
 			n.ps.releaseReq(r)
 			return
@@ -715,6 +850,12 @@ func (n *NIC) handleLock(m *network.Message) {
 			}
 			size += rs.clock.V.WireSize()
 		}
+		if r.user && l.relObs != nil {
+			// Causal coherence: the grant carries the accumulated releaser
+			// observation clock (a fresh copy the acquirer owns outright).
+			rs.dep = l.relObs.Copy()
+			size += rs.dep.WireSize()
+		}
 		if r.user && n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockAcq(r.acc.Proc, r.area, n.k.Now())
 		}
@@ -740,6 +881,16 @@ func (n *NIC) handleUnlock(m *network.Message) {
 			old := l.relClock
 			l.relClock = vclock.Masked{V: r.acc.Clock, M: r.acc.ClockNZ}
 			n.ps.releaseClock(old)
+		}
+		if r.obs != nil {
+			// Causal coherence: fold the releaser's observation snapshot
+			// into the lock's accumulated slot (the snapshot is a fresh
+			// copy owned by this message; adopt it when the slot is empty).
+			if l.relObs == nil {
+				l.relObs = r.obs
+			} else {
+				l.relObs.Merge(r.obs)
+			}
 		}
 		if n.sys.cfg.Observer != nil {
 			n.sys.cfg.Observer.LockRel(r.acc.Proc, r.area, n.k.Now())

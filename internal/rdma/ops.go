@@ -29,25 +29,57 @@ func (n *NIC) Put(p *sim.Proc, area memory.Area, off int, data []memory.Word, ac
 	if n.sys.cfg.LegacyInitiator {
 		return n.legacyPut(p, area, off, data, acc)
 	}
+	self := int(n.id)
+	if mes := n.sys.mes; mes != nil && mes.HoldsExclusive(self, area) {
+		// MESI silent write: the sole valid copy is local, so the write
+		// upgrades it in place (E→M) with zero messages. The commit happens
+		// before the occupancy sleep — a recall arriving mid-sleep downgrades
+		// a line that already holds this write. Like cached reads, silent
+		// writes never reach the home's online detector (the coverage
+		// trade-off of serving accesses locally).
+		if err := checkAreaRange(area, off, len(data)); err != nil {
+			return vclock.Masked{}, err
+		}
+		mes.SilentWrite(self, area, off, data, vclock.Masked{})
+		p.Sleep(n.sys.occupancy(len(data)))
+		if n.sys.cfg.Observer != nil {
+			n.sys.cfg.Observer.Access(acc, area, off, len(data), p.Now())
+		}
+		return vclock.Masked{}, nil
+	}
 	size := network.HeaderBytes + len(data)*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
+	var obs vclock.VC
+	if cau := n.sys.cau; cau != nil {
+		// Causal coherence: the request ships the writer's observation
+		// snapshot; the home folds it into the area's dependency clock.
+		obs = cau.ObsSnapshot(self)
+		size += obs.WireSize()
+	}
 	o := n.sys.grabInit(n, p)
 	o.issue(n.homeOf(area), network.KindPutReq, size,
-		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc}, o.captureFn)
+		&req{area: area, off: off, data: data, acc: acc, hasAcc: hasAcc, obs: obs}, o.captureFn)
 	o.await()
-	clock, err := o.clock, o.err()
+	clock, ver, err := o.clock, o.ver, o.err()
 	releaseInit(n.ps, o)
 	if err != nil {
 		n.ps.releaseClock(clock)
 		return vclock.Masked{}, err
 	}
-	// Under write-invalidate the writer's own copy (every other copy is
-	// gone by now) absorbs the write, stamped with the merged clock the
-	// ack carried — the area's new write clock.
-	n.sys.coh.PatchCopy(int(n.id), area, off, data, clock)
+	// The writer's own copy absorbs the write, stamped with the merged clock
+	// the ack carried — the area's new write clock. Under write-invalidate
+	// every other copy is gone by now; under causal the patch advances the
+	// copy to the committed version (or invalidates it on a version gap);
+	// under MESI it leaves the writer's surviving copy exclusive.
+	if cau := n.sys.cau; cau != nil {
+		cau.NoteWriteAck(self, area, ver)
+		cau.PatchVersioned(self, area, off, data, clock, ver)
+	} else {
+		n.sys.coh.PatchCopy(self, area, off, data, clock)
+	}
 	if n.sys.cfg.AbsorbOnPutAck {
 		return clock, nil
 	}
@@ -111,16 +143,42 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 	if n.sys.cfg.LegacyInitiator {
 		return n.legacyAtomic(p, area, off, op, a1, a2, acc)
 	}
+	self := int(n.id)
+	if mes := n.sys.mes; mes != nil && mes.HoldsExclusive(self, area) {
+		// MESI silent atomic: exclusivity guarantees no other valid copy
+		// exists and every foreign home operation recalls this owner first,
+		// so the read-modify-write is atomic at the silent-write instant
+		// (check and commit happen without yielding).
+		if err := checkAreaRange(area, off, 1); err != nil {
+			return 0, vclock.Masked{}, err
+		}
+		cur, _, ok := n.sys.coh.CachedRead(self, area, off, 1)
+		if !ok {
+			panic("rdma: exclusive line refused a cached read")
+		}
+		old := cur[0]
+		mes.SilentWrite(self, area, off, []memory.Word{op.Apply(old, a1, a2)}, vclock.Masked{})
+		p.Sleep(n.sys.occupancy(1))
+		if n.sys.cfg.Observer != nil {
+			n.sys.cfg.Observer.Access(acc, area, off, 1, p.Now())
+		}
+		return old, vclock.Masked{}, nil
+	}
 	size := network.HeaderBytes + 2*memory.WordBytes
 	hasAcc := n.sys.DetectionOn()
 	if hasAcc {
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
+	var obs vclock.VC
+	if cau := n.sys.cau; cau != nil {
+		obs = cau.ObsSnapshot(self)
+		size += obs.WireSize()
+	}
 	o := n.sys.grabInit(n, p)
 	o.issue(n.homeOf(area), network.KindAtomicReq, size,
-		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc}, o.captureFn)
+		&req{area: area, off: off, op: op, arg1: a1, arg2: a2, acc: acc, hasAcc: hasAcc, obs: obs}, o.captureFn)
 	o.await()
-	clock, err := o.clock, o.err()
+	clock, ver, err := o.clock, o.ver, o.err()
 	var old memory.Word
 	if len(o.outData) > 0 {
 		old = o.outData[0]
@@ -134,7 +192,13 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 		// Fold the atomic's outcome into the initiator's own copy (a failed
 		// CAS rewrites the old value — the write clock still advances,
 		// because the home counted the atomic as a write either way).
-		n.sys.coh.PatchCopy(int(n.id), area, off, []memory.Word{op.Apply(old, a1, a2)}, clock)
+		neww := []memory.Word{op.Apply(old, a1, a2)}
+		if cau := n.sys.cau; cau != nil {
+			cau.NoteWriteAck(self, area, ver)
+			cau.PatchVersioned(self, area, off, neww, clock, ver)
+		} else {
+			n.sys.coh.PatchCopy(self, area, off, neww, clock)
+		}
 	}
 	var absorb vclock.Masked
 	if n.sys.cfg.AbsorbOnPutAck {
@@ -153,6 +217,13 @@ func (n *NIC) atomic(p *sim.Proc, area memory.Area, off int, op AtomicOp, a1, a2
 func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
 	self := int(n.id)
 	if int(n.homeOf(area)) == self && n.sys.cfg.Coherence.ServesHomeReadsLocally() {
+		if mes := n.sys.mes; mes != nil && mes.ExclusiveOwner(self, area) >= 0 {
+			// MESI: a remote owner may hold silently modified data, so home
+			// memory cannot be trusted. A self-addressed get runs the normal
+			// home path — which recalls the owner under the area lock —
+			// instead of the message-free shortcut.
+			return n.getViaHome(p, area, off, count, acc)
+		}
 		// The home copy is by definition valid, and the detection state is
 		// resident: the access is checked without any message. (After a
 		// failover the successor serves its inherited areas the same way,
@@ -170,6 +241,11 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 			n.sys.cfg.Observer.Access(acc, area, off, count, now)
 		}
 		n.sys.countHomeRead(int(n.id))
+		if cau := n.sys.cau; cau != nil {
+			// The home read observes the area at its current version; the
+			// reader inherits its dependency clock.
+			cau.NoteHomeRead(self, area)
+		}
 		var absorb vclock.Masked
 		if n.sys.DetectionOn() {
 			acc.Time = now
@@ -207,7 +283,41 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
 	}
 	o := n.sys.grabInit(n, p)
+	// The copy is installed by fetchCapture in the reply's delivery slot —
+	// not here, after the wakeup — so a same-instant invalidation ordered
+	// after the reply finds the copy present and drops it (see fetchCapture).
+	o.area = area
 	o.issue(n.homeOf(area), network.KindFetchReq, size,
+		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.fetchCaptureFn)
+	o.await()
+	data, clock, err := o.outData, o.clock, o.err()
+	releaseInit(n.ps, o)
+	if err != nil {
+		n.ps.releaseClock(clock)
+		return nil, vclock.Masked{}, err
+	}
+	out := make([]memory.Word, count)
+	copy(out, data[off:off+count])
+	if n.sys.cfg.AbsorbOnGetReply {
+		return out, clock, nil
+	}
+	n.ps.releaseClock(clock)
+	return out, vclock.Masked{}, nil
+}
+
+// getViaHome is the MESI home-local read with a remote exclusive owner: a
+// plain get addressed to this node itself, served through the ordinary home
+// path (lock, recall, occupancy, detection) so the owner's dirty data is
+// written back before the read. No copy is installed and no sharer is
+// registered — the home reads its own memory.
+func (n *NIC) getViaHome(p *sim.Proc, area memory.Area, off, count int, acc core.Access) ([]memory.Word, vclock.Masked, error) {
+	size := network.HeaderBytes
+	hasAcc := n.sys.DetectionOn()
+	if hasAcc {
+		size += n.sys.clockBytesFor(n, chanKey{node: n.id, area: area.ID}, acc.Clock)
+	}
+	o := n.sys.grabInit(n, p)
+	o.issue(n.id, network.KindGetReq, size,
 		&req{area: area, off: off, count: count, acc: acc, hasAcc: hasAcc}, o.captureFn)
 	o.await()
 	data, clock, err := o.outData, o.clock, o.err()
@@ -216,14 +326,11 @@ func (n *NIC) getInvalidate(p *sim.Proc, area memory.Area, off, count int, acc c
 		n.ps.releaseClock(clock)
 		return nil, vclock.Masked{}, err
 	}
-	n.sys.coh.InstallCopy(self, area, data, clock)
-	out := make([]memory.Word, count)
-	copy(out, data[off:off+count])
 	if n.sys.cfg.AbsorbOnGetReply {
-		return out, clock, nil
+		return data, clock, nil
 	}
 	n.ps.releaseClock(clock)
-	return out, vclock.Masked{}, nil
+	return data, vclock.Masked{}, nil
 }
 
 // LockArea acquires the NIC lock of the area for proc (a user-level lock;
@@ -240,11 +347,17 @@ func (n *NIC) LockArea(p *sim.Proc, area memory.Area, proc int) (vclock.Masked, 
 	o.issue(n.homeOf(area), network.KindLockReq, network.HeaderBytes,
 		&req{area: area, acc: core.Access{Proc: proc}, user: true}, o.captureFn)
 	o.await()
-	clock, err := o.clock, o.err()
+	clock, dep, err := o.clock, o.dep, o.err()
 	releaseInit(n.ps, o)
 	if err != nil {
 		n.ps.releaseClock(clock)
 		return vclock.Masked{}, err
+	}
+	if cau := n.sys.cau; cau != nil && dep != nil {
+		// Causal coherence: inherit the releasers' observation clock — the
+		// acquire edge that makes writes published before the release
+		// visible inside the critical section.
+		cau.MergeObs(int(n.id), dep)
 	}
 	return clock, nil
 }
@@ -257,8 +370,34 @@ func (n *NIC) UnlockArea(area memory.Area, proc int, rel vclock.Masked) {
 	if !rel.IsNil() {
 		size += rel.V.WireSize()
 	}
+	var obs vclock.VC
+	if cau := n.sys.cau; cau != nil {
+		// Causal coherence: ship the releaser's observation clock so the
+		// next acquirer inherits it (release half of the acquire edge).
+		obs = cau.ObsSnapshot(int(n.id))
+		size += obs.WireSize()
+	}
 	n.send(n.homeOf(area), network.KindUnlock, size,
-		&req{area: area, acc: core.Access{Proc: proc, Clock: rel.V, ClockNZ: rel.M}, user: true})
+		&req{area: area, acc: core.Access{Proc: proc, Clock: rel.V, ClockNZ: rel.M}, user: true, obs: obs})
+}
+
+// CausalObs returns a fresh copy of this node's causal observation clock,
+// or nil unless the run uses causal coherence. The DSM runtime ships it with
+// barrier arrivals, extending the release→acquire causality transport of
+// locks to collective synchronisation.
+func (n *NIC) CausalObs() vclock.VC {
+	if cau := n.sys.cau; cau != nil {
+		return cau.ObsSnapshot(int(n.id))
+	}
+	return nil
+}
+
+// CausalMergeObs folds a received observation clock (barrier release) into
+// this node's own. No-op unless causal coherence is active and obs non-nil.
+func (n *NIC) CausalMergeObs(obs vclock.VC) {
+	if cau := n.sys.cau; cau != nil && obs != nil {
+		cau.MergeObs(int(n.id), obs)
+	}
 }
 
 // unlockInternal releases a literal-protocol internal lock acquisition.

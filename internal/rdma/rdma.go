@@ -174,6 +174,11 @@ type System struct {
 	// coh is the coherence protocol's replica bookkeeping (directory +
 	// caches); a write-update run carries the no-op state.
 	coh coherence.State
+	// cau and mes are coh's extended views when the protocol provides them
+	// (causal memory, MESI). Asserted once at construction so the hot paths
+	// gate on a nil check instead of a per-operation type assertion.
+	cau coherence.CausalState
+	mes coherence.MESIState
 	// areaStates is the detection-state table at area granularity, indexed
 	// directly by AreaID — the registry is sealed before the run, so the id
 	// space is dense and a slice beats a map at large area counts. The other
@@ -385,6 +390,9 @@ func (s *System) reclaimDropped(ctxShard int, src, dst network.NodeID, kind netw
 					if pl.w != nil {
 						size += pl.w.WireSize()
 					}
+					if pl.obs != nil {
+						size += pl.obs.WireSize()
+					}
 					s.net.SendExempt(&network.Message{Src: src, Dst: dst, Kind: kind,
 						Size: size, Payload: pl})
 					return
@@ -446,6 +454,7 @@ func (ps *shardPools) grabOp() *homeOp {
 	o.grantFn = o.grant
 	o.runFn = o.run
 	o.finishFn = o.finish
+	o.occupyFn = o.occupy
 	return o
 }
 
@@ -456,6 +465,7 @@ func (ps *shardPools) releaseOp(o *homeOp) {
 	o.err = nil
 	o.absorb = vclock.Masked{}
 	o.old = 0
+	o.ver = 0
 	if int(owner) == ps.idx {
 		ps.balance.HomeOps--
 		ps.opPool = append(ps.opPool, o)
@@ -546,6 +556,12 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 	if cfg.Coherence.CachesRemoteReads() && cfg.Protocol == ProtocolLiteral {
 		panic("rdma: the literal protocol supports write-update coherence only")
 	}
+	if k := cfg.Coherence.Kind(); cfg.LegacyInitiator && (k == coherence.Causal || k == coherence.MESI) {
+		// The legacy parked path predates versioned installs, silent writes
+		// and recall routing; it exists only to differentially test the CPS
+		// path on the original protocols.
+		panic("rdma: LegacyInitiator supports write-update and write-invalidate coherence only")
+	}
 	if cfg.Protocol == ProtocolLiteral && cfg.Detector != nil {
 		// Algorithms 1–2 fetch and write back the stored clocks; a detector
 		// without clock access cannot serve get_clock/put_clock. Reject the
@@ -579,6 +595,8 @@ func NewSystem(net *network.Network, space *memory.Space, cfg Config) *System {
 		mk.OnBarrier(s.settlePools)
 	}
 	s.coh = cfg.Coherence.NewState(space.N(), space.AreaCount())
+	s.cau, _ = s.coh.(coherence.CausalState)
+	s.mes, _ = s.coh.(coherence.MESIState)
 	net.OnDrop = s.reclaimDropped
 	// Covered-absorb elision (see core.AbsorbElider) is sound when the
 	// reply clock's wire bytes are value-independent (fixed format, so not
@@ -611,6 +629,26 @@ func (s *System) Coherence() coherence.Protocol { return s.cfg.Coherence }
 // CoherenceStats returns the run's coherence event counters (hits, fetches,
 // invalidations) — the traffic the network statistics cannot see.
 func (s *System) CoherenceStats() coherence.Stats { return s.coh.Stats() }
+
+// FlushDirtyCopies writes every cache line newer than home memory (MESI's
+// M lines, mutated by silent writes) back into the space, so an end-of-run
+// memory snapshot reflects every committed write. No-op for protocols whose
+// home copy is always current. Serial context, after the simulation ends.
+func (s *System) FlushDirtyCopies() {
+	f, ok := s.coh.(coherence.DirtyFlusher)
+	if !ok {
+		return
+	}
+	f.FlushDirty(func(node int, id memory.AreaID, data []memory.Word) {
+		a, err := s.space.AreaByID(id)
+		if err != nil {
+			panic(err)
+		}
+		if err := s.space.Node(a.Home).WritePublic(a.Off, data); err != nil {
+			panic(err)
+		}
+	})
+}
 
 // countHomeRead and countFetch attribute transport-level coherence events
 // to the protocol state, when it tracks them; node is the node in whose

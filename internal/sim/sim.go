@@ -47,6 +47,14 @@ type Config struct {
 	// MaxTime aborts the run once virtual time passes this bound.
 	// Zero means unbounded.
 	MaxTime Time
+	// Chooser, when non-nil, resolves explicit nondeterministic choice
+	// points (Kernel.Choose): an exhaustive-exploration driver supplies a
+	// function that enumerates choice vectors systematically instead of
+	// sampling them from the seed. Nil means every choice resolves to 0 —
+	// the default schedule — and Choose never draws the RNG, so runs
+	// without a chooser are bit-identical to runs built before the hook
+	// existed.
+	Chooser func(n int) int
 }
 
 // Kernel is the simulation core. Create one with NewKernel, spawn processes,
@@ -186,6 +194,24 @@ func (k *Kernel) Rand() *rand.Rand {
 		return k.mk.Rand()
 	}
 	return k.rng
+}
+
+// Choose resolves one explicit choice point with n alternatives (n ≥ 1)
+// and returns the chosen index in [0, n). Without a configured Chooser it
+// returns 0 — deterministically, without touching the RNG — so the hook is
+// free for every run that does not explore. Exploration drivers (see
+// internal/mcheck) install a Chooser that replays a recorded prefix and
+// extends it depth-first, turning the simulation into one branch of a
+// systematically enumerated schedule tree.
+func (k *Kernel) Choose(n int) int {
+	if n <= 1 || k.cfg.Chooser == nil {
+		return 0
+	}
+	c := k.cfg.Chooser(n)
+	if c < 0 || c >= n {
+		panic(fmt.Sprintf("sim: Chooser returned %d for %d alternatives", c, n))
+	}
+	return c
 }
 
 // InWindow reports whether the kernel is currently executing a parallel

@@ -1,0 +1,42 @@
+package dsmrace
+
+import "testing"
+
+// TestMcheckFacade pins the facade model-checker entry point: name
+// resolution for litmuses, stock protocols and seeded mutations, the budget
+// error path, and one end-to-end verdict per interesting protocol class.
+func TestMcheckFacade(t *testing.T) {
+	if got := McheckLitmusNames(); len(got) != 4 {
+		t.Fatalf("McheckLitmusNames() = %v, want 4 names", got)
+	}
+	out, err := Mcheck("sb", "causal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Weakest != McheckLevelCausal || out.SCViolations == 0 {
+		t.Errorf("sb/causal: weakest=%s sc-viol=%d, want causal with SC violations", out.Weakest, out.SCViolations)
+	}
+	out, err = Mcheck("sb", "write-invalidate", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Weakest != McheckLevelSC {
+		t.Errorf("sb/write-invalidate: weakest=%s, want sc", out.Weakest)
+	}
+	out, err = Mcheck("sb", "wi-skip-last-inval", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SCViolations == 0 {
+		t.Error("sb/wi-skip-last-inval: seeded mutation not caught through the facade")
+	}
+	if _, err := Mcheck("nope", "causal", 0); err == nil {
+		t.Error("unknown litmus accepted")
+	}
+	if _, err := Mcheck("sb", "nope", 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := Mcheck("sb", "mesi", 8); err == nil {
+		t.Error("budget overrun did not error")
+	}
+}

@@ -40,8 +40,9 @@ func multiFingerprintOf(res *Result) multiFingerprint {
 // multiDiffSchedules are the adversarial schedules of the multi-kernel
 // differential: every transport/detector mode whose bookkeeping the
 // partition had to reshape (sharded pools, per-shard CompressClocks decoder
-// state, write-invalidate directory fan-out, the literal protocol's
-// five-hop chains, deferred-jitter replay), over workloads whose traffic
+// state, write-invalidate directory fan-out, causal update fan-out with
+// dependency clocks, MESI exclusive grants and cross-shard recalls, the
+// literal protocol's five-hop chains, deferred-jitter replay), over workloads whose traffic
 // crosses shards (migratory: one global lock ring), stays mostly local
 // (groups), and mixes barriers with caching (prodchain).
 var multiDiffSchedules = []struct {
@@ -53,6 +54,10 @@ var multiDiffSchedules = []struct {
 	{name: "migratory/wu", mk: func() workload.Workload { return workload.Migratory(24, 4, 8) }},
 	{name: "migratory/wi", mk: func() workload.Workload { return workload.Migratory(24, 4, 8) },
 		mut: func(c *rdma.Config) { c.Coherence = mustCoherence("write-invalidate") }},
+	{name: "migratory/causal", mk: func() workload.Workload { return workload.Migratory(24, 4, 8) },
+		mut: func(c *rdma.Config) { c.Coherence = mustCoherence("causal") }},
+	{name: "migratory/mesi", mk: func() workload.Workload { return workload.Migratory(24, 4, 8) },
+		mut: func(c *rdma.Config) { c.Coherence = mustCoherence("mesi") }},
 	{name: "migratory/jitter", mk: func() workload.Workload { return workload.Migratory(24, 4, 8) }, jit: 0.3},
 	{name: "migratory/literal", mk: func() workload.Workload { return workload.Migratory(16, 3, 4) },
 		mut: func(c *rdma.Config) { c.Protocol = rdma.ProtocolLiteral }},
@@ -65,6 +70,10 @@ var multiDiffSchedules = []struct {
 	{name: "prodchain/wu", mk: func() workload.Workload { return workload.ProducerConsumerChain(12, 3, 8, 3) }},
 	{name: "prodchain/wi", mk: func() workload.Workload { return workload.ProducerConsumerChain(12, 3, 8, 3) },
 		mut: func(c *rdma.Config) { c.Coherence = mustCoherence("write-invalidate") }},
+	{name: "prodchain/causal", mk: func() workload.Workload { return workload.ProducerConsumerChain(12, 3, 8, 3) },
+		mut: func(c *rdma.Config) { c.Coherence = mustCoherence("causal") }},
+	{name: "prodchain/mesi", mk: func() workload.Workload { return workload.ProducerConsumerChain(12, 3, 8, 3) },
+		mut: func(c *rdma.Config) { c.Coherence = mustCoherence("mesi") }},
 	{name: "random/serial-degrade", mk: func() workload.Workload {
 		return workload.Random(workload.RandomSpec{
 			Procs: 12, Areas: 16, AreaWords: 4, OpsPerProc: 30, ReadPercent: 40, BarrierEvery: 10,
