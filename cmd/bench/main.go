@@ -80,6 +80,7 @@ func main() {
 	partitionBenchtime := flag.String("partition-benchtime", "", "benchtime for the E_Partition and E_HomeBatch families (empty = skip them)")
 	faultBench := flag.Bool("fault", false, "include the E_Fault family (armed-idle overhead pair + hostile rows)")
 	kernels := flag.String("kernels", "", "comma-separated shard counts for the E_Partition sweep (default 1,2,4,8)")
+	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values to re-run the E_Partition sweep under (0 = NumCPU); rows gain a /procs=N suffix and the setting is restored afterwards")
 	pr := flag.Int("pr", 0, "PR number to record")
 	note := flag.String("note", "", "free-form note recorded in the file")
 	baseline := flag.String("baseline", "", "existing BENCH_*.json whose results become this file's baseline section")
@@ -214,7 +215,25 @@ func main() {
 			dsmrace.PartitionKs = ks
 		}
 		setBenchtime(*partitionBenchtime)
-		run(dsmrace.PartitionBenchmarks())
+		if *procs == "" {
+			run(dsmrace.PartitionBenchmarks())
+		} else {
+			// The GOMAXPROCS sweep: re-run the whole partition family under
+			// each requested parallelism so the same rows exist at (say) 1
+			// and NumCPU and speedup reads as a row-vs-row division. The
+			// procs metric stamps every row regardless; the name suffix
+			// keeps the sweeps from colliding in Results.
+			pvals, err := parseProcs(*procs)
+			if err != nil {
+				fail("bench: %v\n", err)
+			}
+			restore := runtime.GOMAXPROCS(0)
+			for _, p := range pvals {
+				runtime.GOMAXPROCS(p)
+				run(suffixed(dsmrace.PartitionBenchmarks(), fmt.Sprintf("/procs=%d", p)))
+			}
+			runtime.GOMAXPROCS(restore)
+		}
 		run(dsmrace.HomeBatchBenchmarks())
 	}
 
@@ -318,6 +337,39 @@ func parseKernels(list string) ([]int, error) {
 		ks = append(ks, k)
 	}
 	return ks, nil
+}
+
+// parseProcs parses the -procs list ("1,0" → [1, NumCPU]), normalising the
+// 0 = NumCPU convention and dropping duplicates (a single-core host asking
+// for {1, NumCPU} runs the sweep once).
+func parseProcs(list string) ([]int, error) {
+	var ps []int
+	for _, part := range strings.Split(list, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("bad -procs entry %q (want non-negative integers; 0 = NumCPU)", part)
+		}
+		if p == 0 {
+			p = runtime.NumCPU()
+		}
+		dup := false
+		for _, seen := range ps {
+			dup = dup || seen == p
+		}
+		if !dup {
+			ps = append(ps, p)
+		}
+	}
+	return ps, nil
+}
+
+// suffixed returns the specs with a name suffix (the -procs sweep label).
+func suffixed(specs []dsmrace.BenchSpec, suffix string) []dsmrace.BenchSpec {
+	out := make([]dsmrace.BenchSpec, len(specs))
+	for i, sp := range specs {
+		out[i] = dsmrace.BenchSpec{Name: sp.Name + suffix, F: sp.F}
+	}
+	return out
 }
 
 // cpuModel best-effort reads the host CPU model name (Linux /proc/cpuinfo;

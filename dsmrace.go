@@ -64,6 +64,10 @@ type (
 	Score = verify.Score
 	// Time is virtual simulation time in nanoseconds.
 	Time = sim.Time
+	// MultiKernelStats counts the window/barrier work of a Kernels>1 run
+	// (windows, adaptive extensions, pipelined replays, merged records);
+	// see Result.WindowStats.
+	MultiKernelStats = sim.MultiKernelStats
 	// CoherenceStats counts replica events (hits, fetches, invalidations)
 	// of a run — all zero under write-update, which keeps no replicas.
 	CoherenceStats = coherence.Stats
@@ -190,6 +194,13 @@ type RunSpec struct {
 	Partition string
 	// LocalityGroup hints the affinity-group size for the blocks policy.
 	LocalityGroup int
+	// WindowExtension caps adaptive window extension on a Kernels>1 run
+	// (0 default cap, 1 disables — every window is one lookahead). See
+	// dsm.Config.WindowExtension; Result.WindowStats reports what fired.
+	WindowExtension int
+	// PipelinedReplay selects pipelined barrier replay on a Kernels>1 run:
+	// 0 auto, 1 forced on, -1 forced off. Deterministic at any setting.
+	PipelinedReplay int
 	// SerialOnly declares the programs draw from Proc.Rand (or share Go
 	// state across processes); such runs execute on one kernel.
 	SerialOnly bool
@@ -263,17 +274,19 @@ func (s RunSpec) build() (*Cluster, []Program, error) {
 		lat = network.Jitter{Base: lat, Frac: s.Jitter}
 	}
 	c, err := dsm.New(dsm.Config{
-		Procs:         s.Procs,
-		Seed:          s.Seed,
-		Latency:       lat,
-		RDMA:          rcfg,
-		Trace:         s.Trace,
-		Label:         s.Label,
-		Kernels:       s.Kernels,
-		Partition:     s.Partition,
-		LocalityGroup: s.LocalityGroup,
-		SerialOnly:    s.SerialOnly,
-		Faults:        s.Faults,
+		Procs:           s.Procs,
+		Seed:            s.Seed,
+		Latency:         lat,
+		RDMA:            rcfg,
+		Trace:           s.Trace,
+		Label:           s.Label,
+		Kernels:         s.Kernels,
+		Partition:       s.Partition,
+		LocalityGroup:   s.LocalityGroup,
+		WindowExtension: s.WindowExtension,
+		PipelinedReplay: s.PipelinedReplay,
+		SerialOnly:      s.SerialOnly,
+		Faults:          s.Faults,
 	})
 	if err != nil {
 		return nil, nil, err

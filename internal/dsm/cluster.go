@@ -49,6 +49,16 @@ type Config struct {
 	// Partition names the node→shard policy: "blocks" (locality-aware
 	// contiguous ranges, the default) or "round-robin".
 	Partition string
+	// WindowExtension caps adaptive window extension on a Kernels>1 run:
+	// 0 keeps the default cap, 1 disables extension (every window is one
+	// lookahead), larger values allow windows of up to that many
+	// lookahead-sized sub-rounds while no cross-shard traffic flows.
+	// Deterministic at any setting; fingerprints never depend on it.
+	WindowExtension int
+	// PipelinedReplay selects whether quiet-window barrier replays overlap
+	// the next window's execution: 0 auto (on whenever shard goroutines
+	// run), 1 forced on, -1 forced off. Deterministic at any setting.
+	PipelinedReplay int
 	// LocalityGroup hints the affinity-group size for the blocks policy:
 	// nodes [g*group, (g+1)*group) communicate mostly among themselves
 	// (e.g. MigratoryGroups rings), so blocks are sized to whole groups and
@@ -105,6 +115,10 @@ type Result struct {
 	Kernels int
 	// KernelNote explains a degraded Kernels request ("" when none).
 	KernelNote string
+	// WindowStats reports what the multi-kernel window/barrier machinery
+	// did (nil on a single-kernel run): windows, adaptive extensions,
+	// pipelined replays, merged records, and barrier-vs-window wall time.
+	WindowStats *sim.MultiKernelStats
 	// StorageBytes is the detection metadata footprint (E-T1).
 	StorageBytes int
 	// Errors holds each program's returned error (index = process id).
@@ -222,6 +236,12 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("dsm: %w", err)
 		}
 		c.mk = sim.NewMultiKernel(scfg, kcount, look)
+		if cfg.WindowExtension != 0 {
+			c.mk.SetAdaptiveWindow(cfg.WindowExtension)
+		}
+		if cfg.PipelinedReplay != 0 {
+			c.mk.SetPipelinedReplay(cfg.PipelinedReplay)
+		}
 		c.shardOf = sim.PartitionNodes(cfg.Procs, kcount, policy, cfg.LocalityGroup)
 		c.net = network.NewSharded(c.mk, c.shardOf, cfg.Procs, cfg.Latency, deferAll)
 	} else {
@@ -397,6 +417,10 @@ func (c *Cluster) RunEach(programs []Program) (*Result, error) {
 		KernelNote:   c.kernelNote,
 		StorageBytes: c.sys.StorageBytes(),
 		Errors:       errs,
+	}
+	if c.mk != nil {
+		st := c.mk.Stats()
+		res.WindowStats = &st
 	}
 	if c.col != nil {
 		res.Races = c.col.Reports()

@@ -6,25 +6,60 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
+	"time"
 )
 
 // gosched is runtime.Gosched, indirected for clarity at the spin sites.
 var gosched = runtime.Gosched
 
+// defaultExtensionCap bounds adaptive window extension: a window grows to at
+// most this many lookahead-sized sub-rounds. The cap bounds log memory and
+// the MaxEvents overshoot a window can accumulate before its barrier check.
+const defaultExtensionCap = 64
+
+// MultiKernelStats counts what the window/barrier machinery did during a
+// run. Counters are exact and deterministic for a fixed configuration (they
+// are pure functions of replayed state); the wall-clock fields are
+// observability only.
+type MultiKernelStats struct {
+	// Windows is the number of windows executed — one barrier replay each.
+	Windows uint64
+	// SubWindows is the number of lookahead-sized sub-rounds released;
+	// SubWindows/Windows is the mean adaptive extension factor.
+	SubWindows uint64
+	// Extensions counts sub-rounds beyond each window's first — the barrier
+	// round trips adaptive extension eliminated.
+	Extensions uint64
+	// PipelinedReplays counts window replays that ran overlapped with the
+	// next window's execution instead of stopping the world.
+	PipelinedReplays uint64
+	// ReplayRecords is the total execution records the barrier replays
+	// merged across shards.
+	ReplayRecords uint64
+	// EnvelopesFiled is the number of deferred cross-shard/latency-drawing
+	// sends filed by barrier replays.
+	EnvelopesFiled uint64
+	// WindowNs is wall time spent with shards released into a sub-round
+	// (including any replay overlapped with it); BarrierNs is wall time in
+	// the serial coordinator phases between releases.
+	WindowNs  int64
+	BarrierNs int64
+}
+
 // MultiKernel partitions one simulation across K cooperating shard kernels,
 // each owning a disjoint set of the simulated nodes, and executes it as a
-// sequence of conservative time windows: every shard runs its own events —
-// on its own goroutine — for a window no longer than the network's minimum
-// cross-node latency (the lookahead), so nothing a shard does inside a
-// window can affect any other shard before the window ends. Between windows
-// a serial barrier replay merges the shards' execution logs in exact
-// (time, key) order and, walking that order, assigns every push its true
-// global sequence number, draws any deferred latency randomness, files
-// cross-shard deliveries into their destination shards, and flushes ordered
-// side effects. The result is bit-identical to running the whole simulation
-// on one Kernel — fingerprints, event counts, RNG streams and all — for any
-// shard count.
+// sequence of conservative time windows: every shard runs its own events
+// for a window bounded by the network's minimum cross-node latency (the
+// lookahead), so nothing a shard does inside a window can affect any other
+// shard before the window ends. Between windows a serial barrier replay
+// merges the shards' execution logs in exact (time, key) order and, walking
+// that order, assigns every push its true global sequence number, draws any
+// deferred latency randomness, files cross-shard deliveries into their
+// destination shards, and flushes ordered side effects. The result is
+// bit-identical to running the whole simulation on one Kernel —
+// fingerprints, event counts, RNG streams and all — for any shard count.
 //
 // The equivalence argument, in three parts:
 //
@@ -45,6 +80,32 @@ var gosched = runtime.Gosched
 //     serial interleaving — so MultiKernel.Rand panics during a parallel
 //     window. Runs that need such draws must declare themselves serial-only
 //     and run on a single kernel (see dsm.Config.SerialOnly).
+//
+// Two optimisations preserve that equivalence while cutting barrier cost
+// (see ARCHITECTURE.md, "Adaptive windows & pipelined replay"):
+//
+// Adaptive window extension runs a window as up to budget lookahead-sized
+// sub-rounds in lockstep, with only a cheap placement scan between them and
+// one barrier replay at the end. A sub-round that logs any envelope ends
+// the window immediately — the envelope's arrival lies at or beyond the
+// next sub-round's start, so it must be filed first — which makes the
+// extension sound: a window is extended only through traffic-free regions,
+// where the per-sub-round replays it elides would have been empty anyway.
+// The budget doubles after each envelope-free window (up to a cap) and
+// resets to one on any envelope: a pure function of replayed state, so the
+// window placement — and with it every fingerprint — is reproducible.
+//
+// Pipelined replay overlaps the serial replay of a window that filed no
+// envelopes and logged no ordered actions with the next window's execution:
+// the coordinator takes the window's log buffers (the shards log the next
+// window into spares), merges them concurrently, and buffers the key
+// resolutions of still-queued events instead of writing them — the events'
+// structs are concurrently live. The resolutions are applied at the next
+// barrier, before anything can reference them: queued events get their true
+// keys before the next replay files envelopes against them, and events that
+// executed meanwhile are patched through the lateExec ledger their shard
+// kept. Such a replay only assigns keys — no RNG, no filing, no actions —
+// so overlapping it changes no observable order.
 type MultiKernel struct {
 	cfg    Config
 	window Time
@@ -52,7 +113,9 @@ type MultiKernel struct {
 	rng    *rand.Rand
 	// inWindow guards the shared RNG: set while shard goroutines execute.
 	inWindow atomic.Bool
-	// gseq is the global sequence counter; serial phases only.
+	// gseq is the global sequence counter; serial phases only (the
+	// pipelined replay runs on the coordinator goroutine and is the only
+	// writer while shards execute).
 	gseq uint64
 	// filer receives deferred-send envelopes with their resolved keys during
 	// the barrier replay (registered by the network layer).
@@ -62,42 +125,92 @@ type MultiKernel struct {
 	// procs is every process in global spawn order (error precedence).
 	procs []*Proc
 	// epoch/doneCount are the window barrier: the coordinator bumps epoch
-	// to release the runners into a window and spins until doneCount
+	// to release the runners into a sub-round and spins until doneCount
 	// reaches the shard count. Sequentially consistent atomics, so the
 	// bump/observe pairs are the happens-before edges that order one
 	// shard's window against every other shard's next window (and the
 	// serial barrier in between). Spinning (with Gosched backoff) instead
-	// of channel hand-offs matters: windows are one network lookahead long
-	// — microseconds of virtual time, often under a microsecond of real
-	// work — and a futex sleep/wake pair per shard per window costs more
-	// than the window itself.
+	// of channel hand-offs matters: sub-rounds are one network lookahead
+	// long — microseconds of virtual time, often under a microsecond of
+	// real work — and a futex sleep/wake pair per shard per round costs
+	// more than the round itself.
 	epoch     atomic.Uint64
 	doneCount atomic.Int64
 	quit      bool // read by runners after an epoch bump (hb via epoch)
-	// spin selects the spinning barrier; with GOMAXPROCS=1 there is nothing
-	// to spin for (no two goroutines run at once), so the runners block on
-	// channels instead — on one core a direct channel hand-off is cheaper
-	// than a yield storm, and the choice affects speed only, never results.
+	// spin selects the spinning barrier (GOMAXPROCS > 1). inline goes
+	// further for the single-core case: the coordinator drives every active
+	// shard's sub-round itself, in shard order, with no runner goroutines
+	// and no hand-offs at all — on one core nothing runs concurrently
+	// anyway, and the choice affects speed only, never results.
 	spin    bool
+	inline  bool
 	startCh []chan struct{}
 	doneCh  chan struct{}
+	nrel    int // chan mode: releases outstanding in the current sub-round
 	started bool
-	// heads is the replay merge cursor per shard, reused across windows.
-	heads []int
-	// active flags the shards released into the current window (a shard
+	// extCap caps adaptive window extension (sub-rounds per window); budget
+	// is the current window's allowance under the doubling rule.
+	extCap int
+	budget int
+	// pipeMode selects pipelined replay: 0 auto (on unless inline), 1
+	// forced on, -1 forced off.
+	pipeMode int
+	// winTag tags the current window's provisional keys; bumped when a
+	// window's replay is pipelined (two windows' keys then coexist), reset
+	// to zero by every synchronous replay.
+	winTag uint32
+	// active flags the shards released into the current sub-round (a shard
 	// with no event below the horizon skips the whole round trip — on a
-	// serialized workload most windows touch one shard); bounds caches the
-	// per-shard next-event lower bounds of the placement scan.
+	// serialized workload most rounds touch one shard); bounds caches the
+	// per-shard next-event lower bounds of the placement pass. joined flags
+	// the shards that opened logs for the current window (they may sit out
+	// individual sub-rounds).
 	active []bool
 	bounds []Time
+	joined []bool
+	// pending is the stashed previous window awaiting its pipelined replay
+	// and the barrier apply of its buffered key resolutions.
+	pending pendingWindow
+	// lanes/ltree/lwin are the replay merge's loser-tree scratch.
+	lanes []mergeLane
+	ltree []int32
+	lwin  []int32
+	stats MultiKernelStats
 	// runErr is the run-aborting error chosen at a barrier (earliest trip).
 	runErr error
+}
+
+// pendingWindow is a window whose logs were taken for a pipelined replay.
+type pendingWindow struct {
+	live     bool
+	replayed bool
+	logs     []windowLogs
+	joined   []bool
+	// res buffers, per shard and push index, the true key of every push
+	// whose event was still queued when the replay ran; applied at the next
+	// barrier.
+	res [][]uint64
+}
+
+// mergeLane is one shard's record stream in a barrier replay, with its head
+// record's (at, key) snapshot. The snapshot is stable: a record's key is
+// always resolved by the time it becomes the lane head (its pusher sits
+// earlier in the same shard's log).
+type mergeLane struct {
+	logs  *windowLogs
+	shard int
+	pos   int
+	at    Time
+	key   uint64
+	done  bool
 }
 
 // NewMultiKernel creates a multi-kernel of k shards sharing cfg's seed and
 // limits, advancing in conservative windows of the given lookahead (must be
 // positive). Each shard is a full Kernel; spawn processes on the shard that
-// owns their node, then call Run.
+// owns their node, then call Run. Adaptive extension and pipelined replay
+// default on (see SetAdaptiveWindow, SetPipelinedReplay; A/B-testable via
+// DSMRACE_MK_EXT and DSMRACE_MK_PIPELINE=on|off).
 func NewMultiKernel(cfg Config, k int, lookahead Time) *MultiKernel {
 	if k < 1 {
 		panic("sim: MultiKernel needs at least one shard")
@@ -108,15 +221,33 @@ func NewMultiKernel(cfg Config, k int, lookahead Time) *MultiKernel {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 50_000_000
 	}
+	spin, inline := barrierMode()
 	m := &MultiKernel{
 		cfg:    cfg,
 		window: lookahead,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		heads:  make([]int, k),
 		active: make([]bool, k),
 		bounds: make([]Time, k),
-		spin:   spinBarrier(),
-		doneCh: make(chan struct{}),
+		joined: make([]bool, k),
+		lanes:  make([]mergeLane, 0, k),
+		ltree:  make([]int32, k),
+		lwin:   make([]int32, k),
+		spin:   spin,
+		inline: inline,
+		extCap: defaultExtensionCap,
+		budget: 1,
+		doneCh: make(chan struct{}, k),
+	}
+	if v := os.Getenv("DSMRACE_MK_EXT"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			m.extCap = n
+		}
+	}
+	switch os.Getenv("DSMRACE_MK_PIPELINE") {
+	case "on":
+		m.pipeMode = 1
+	case "off":
+		m.pipeMode = -1
 	}
 	for i := 0; i < k; i++ {
 		s := NewKernel(cfg)
@@ -127,16 +258,21 @@ func NewMultiKernel(cfg Config, k int, lookahead Time) *MultiKernel {
 	return m
 }
 
-// spinBarrier selects the window-barrier flavour (override for A/B tests
-// via DSMRACE_MK_BARRIER=spin|chan).
-func spinBarrier() bool {
+// barrierMode selects the sub-round barrier flavour (override for A/B tests
+// via DSMRACE_MK_BARRIER=spin|chan|inline).
+func barrierMode() (spin, inline bool) {
 	switch os.Getenv("DSMRACE_MK_BARRIER") {
 	case "spin":
-		return true
+		return true, false
 	case "chan":
-		return false
+		return false, false
+	case "inline":
+		return false, true
 	}
-	return runtime.GOMAXPROCS(0) > 1
+	if runtime.GOMAXPROCS(0) > 1 {
+		return true, false
+	}
+	return false, true
 }
 
 // spinWait spins until cond holds, yielding the processor between probes so
@@ -148,6 +284,36 @@ func spinWait(cond func() bool) {
 		}
 	}
 }
+
+// SetAdaptiveWindow caps adaptive window extension at cap lookahead-sized
+// sub-rounds per window: 0 restores the default cap, 1 disables extension
+// (every window is one lookahead — the pre-adaptive behaviour), larger
+// values trade barrier round trips against log memory and MaxEvents
+// overshoot. Call before Run; overrides DSMRACE_MK_EXT.
+func (m *MultiKernel) SetAdaptiveWindow(cap int) {
+	switch {
+	case cap <= 0:
+		m.extCap = defaultExtensionCap
+	default:
+		m.extCap = cap
+	}
+}
+
+// SetPipelinedReplay selects whether an envelope-free, action-free window's
+// replay may overlap the next window's execution: 0 auto (on unless the
+// inline single-core barrier is active, where there is nothing to overlap
+// with), 1 forces it on (the replay then simply runs before the next
+// sub-round — same machinery, no concurrency), -1 forces it off. Call
+// before Run; overrides DSMRACE_MK_PIPELINE.
+func (m *MultiKernel) SetPipelinedReplay(mode int) {
+	if mode < -1 || mode > 1 {
+		panic("sim: SetPipelinedReplay mode must be -1, 0 or 1")
+	}
+	m.pipeMode = mode
+}
+
+// Stats returns the run's window/barrier counters.
+func (m *MultiKernel) Stats() MultiKernelStats { return m.stats }
 
 // Shards returns the shard count.
 func (m *MultiKernel) Shards() int { return len(m.shards) }
@@ -214,10 +380,11 @@ func (m *MultiKernel) Stop() {
 	}
 }
 
-// runners lazily starts one goroutine per shard; each executes windows on
-// demand. Observing the epoch bump publishes everything the barrier wrote
-// (other shards' window effects included) to the shard; the done increment
-// publishes the shard's window back to the barrier.
+// runners lazily starts one goroutine per shard; each executes sub-rounds
+// on demand. Observing the epoch bump publishes everything the barrier
+// wrote (other shards' window effects included) to the shard; the done
+// increment publishes the shard's sub-round back to the barrier. The inline
+// barrier mode never starts them.
 func (m *MultiKernel) runners() {
 	if m.started {
 		return
@@ -252,24 +419,74 @@ func (m *MultiKernel) runners() {
 	}
 }
 
-// releaseWindow runs one window on every active shard and waits for them.
-func (m *MultiKernel) releaseWindow() {
+// place scans every shard's next-event bound and selects the shards taking
+// part in the next sub-round: those with a pending event below one
+// lookahead past the earliest bound. The bound may be coarse (a far-future
+// event still parked in a high wheel bucket), in which case the sub-round
+// comes up empty and the next round's refined bound moves it forward —
+// never backward, and never past a time the barrier could still file into.
+// One placement pass serves both the window decision and the release.
+func (m *MultiKernel) place() (Time, bool) {
+	var begin Time
+	any := false
+	for i, s := range m.shards {
+		at, ok := s.nextEventBound()
+		m.active[i] = ok
+		if ok {
+			m.bounds[i] = at
+			if !any || at < begin {
+				begin, any = at, true
+			}
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	horizon := begin + m.window
+	for i := range m.shards {
+		m.active[i] = m.active[i] && m.bounds[i] < horizon
+	}
+	return begin, true
+}
+
+// release starts one sub-round on every active shard; await waits for it to
+// finish (and, in the inline mode, is the sub-round: the coordinator drives
+// each active shard in shard order itself). The split exists so a pipelined
+// replay can run between the two.
+func (m *MultiKernel) release() {
+	if m.inline {
+		return
+	}
 	if m.spin {
 		// Spin mode wakes every runner; inactive ones ack immediately.
 		m.doneCount.Store(0)
 		m.epoch.Add(1)
+		return
+	}
+	m.nrel = 0
+	for i := range m.startCh {
+		if m.active[i] {
+			m.startCh[i] <- struct{}{}
+			m.nrel++
+		}
+	}
+}
+
+func (m *MultiKernel) await() {
+	if m.inline {
+		for i, s := range m.shards {
+			if m.active[i] {
+				s.runWindow()
+			}
+		}
+		return
+	}
+	if m.spin {
 		want := int64(len(m.shards))
 		spinWait(func() bool { return m.doneCount.Load() == want })
 		return
 	}
-	n := 0
-	for i := range m.startCh {
-		if m.active[i] {
-			m.startCh[i] <- struct{}{}
-			n++
-		}
-	}
-	for ; n > 0; n-- {
+	for ; m.nrel > 0; m.nrel-- {
 		<-m.doneCh
 	}
 }
@@ -277,38 +494,30 @@ func (m *MultiKernel) releaseWindow() {
 // Run executes the simulation to completion: windows in parallel, barriers
 // in series. Semantics match Kernel.Run, with two documented deviations on
 // *aborted* runs only: MaxEvents is enforced against the cross-shard total
-// at each barrier (a shard-local window can overshoot before the check),
-// and a MaxTime/Stop/panic in one shard lets other shards finish the
-// current window before the run stops. Clean runs are bit-identical.
+// at each sub-round barrier (a shard-local round can overshoot before the
+// check), and a MaxTime/Stop/panic in one shard lets other shards finish
+// the current sub-round before the run stops. Clean runs are bit-identical.
 func (m *MultiKernel) Run() error {
-	m.runners()
+	pipe := m.pipeMode == 1 || (m.pipeMode == 0 && !m.inline)
+	if !m.inline {
+		m.runners()
+	}
+	mark := time.Now()
+	tick := func(acc *int64) {
+		now := time.Now()
+		*acc += now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 	defer func() {
+		// A window stashed right before the run ended still owes its replay
+		// (for deterministic counters) and its key resolutions.
+		m.applyPending()
 		for _, fn := range m.hooks {
 			fn()
 		}
+		tick(&m.stats.BarrierNs)
 	}()
 	for {
-		// Window placement: the next window starts at the earliest pending
-		// event bound across shards and spans one lookahead. The bound may
-		// be coarse (a far-future event still parked in a high wheel
-		// bucket), in which case the window comes up empty and the next
-		// round's refined bound moves it forward — never backward, and
-		// never past a time the barrier could still file into.
-		var begin Time
-		any := false
-		for i, s := range m.shards {
-			at, ok := s.nextEventBound()
-			m.active[i] = ok
-			if ok {
-				m.bounds[i] = at
-				if !any || at < begin {
-					begin, any = at, true
-				}
-			}
-		}
-		if !any {
-			break // every shard drained: the run is over
-		}
 		stopped := false
 		for _, s := range m.shards {
 			if s.stopped {
@@ -318,27 +527,106 @@ func (m *MultiKernel) Run() error {
 		if stopped {
 			break
 		}
-		horizon := begin + m.window
-		for i, s := range m.shards {
-			// Only shards with a pending event below the horizon take part
-			// in this window; the rest skip the release round trip (their
-			// queues cannot produce anything before the horizon).
-			m.active[i] = m.active[i] && m.bounds[i] < horizon
-			if m.active[i] {
-				s.beginWindow(horizon)
+		// One window: up to budget lookahead-sized sub-rounds in lockstep,
+		// with only a placement pass between rounds and one barrier replay
+		// at the end. Any envelope ends the window at that sub-round — its
+		// arrival lies at or beyond the next round's start and must be
+		// filed first — and so does any ordered action, which must run
+		// before later events can observe its effects. Errors, stops and
+		// the event cap end the window likewise.
+		opened := false
+		envs, acts := 0, 0
+		errd := false
+		for sub := 0; sub < m.budget; sub++ {
+			begin, any := m.place()
+			if !any {
+				break
+			}
+			horizon := begin + m.window
+			for i, s := range m.shards {
+				if !m.active[i] {
+					continue
+				}
+				if !m.joined[i] {
+					s.beginWindow(horizon, m.winTag)
+					m.joined[i] = true
+				} else {
+					s.extendWindow(horizon)
+				}
+			}
+			opened = true
+			m.stats.SubWindows++
+			if sub > 0 {
+				m.stats.Extensions++
+			}
+			tick(&m.stats.BarrierNs)
+			m.inWindow.Store(true)
+			m.release()
+			if m.pending.live && !m.pending.replayed {
+				m.replayPending() // overlapped with the sub-round's execution
+			}
+			m.await()
+			m.inWindow.Store(false)
+			tick(&m.stats.WindowNs)
+			envs, acts = 0, 0
+			for i, s := range m.shards {
+				if !m.joined[i] {
+					continue
+				}
+				envs += s.envs
+				acts += len(s.actions)
+				if s.runErr != nil || s.runPanic != nil || s.stopped {
+					errd = true
+				}
+			}
+			if envs > 0 || acts > 0 || errd || m.Events() > m.cfg.MaxEvents {
+				break
 			}
 		}
-		m.inWindow.Store(true)
-		m.releaseWindow()
-		m.inWindow.Store(false)
-		m.replay()
-		// The replay may have rewritten queued events' keys in place or
-		// filed deliveries into any shard; drop every cached wheel peek.
-		for _, s := range m.shards {
-			s.queue.invalidatePeek()
+		if !opened {
+			break // every shard drained: the run is over
+		}
+		m.stats.Windows++
+		for i, s := range m.shards {
+			if m.joined[i] {
+				s.endWindow()
+			}
+		}
+		// The previous pipelined window's key resolutions land before this
+		// window's replay can file anything against the affected events.
+		m.applyPending()
+		if pipe && envs == 0 && acts == 0 && !errd && m.winTag < provTagMax {
+			// Nothing in this window's replay is observable — no envelopes,
+			// no actions, no RNG — so it only assigns keys: overlap it with
+			// the next window and apply the resolutions at the next barrier.
+			m.stash()
+		} else {
+			m.replay()
+			m.winTag = 0 // every provisional key is resolved again
+			// The replay may have rewritten queued events' keys in place or
+			// filed deliveries into any shard; drop every cached wheel peek.
+			for _, s := range m.shards {
+				s.queue.invalidatePeek()
+			}
+		}
+		for i := range m.joined {
+			m.joined[i] = false
 		}
 		for _, fn := range m.hooks {
 			fn()
+		}
+		// Extension rule: a quiet window (no envelopes, no ordered actions)
+		// doubles the next window's sub-round budget, up to the cap; any
+		// cross-shard traffic resets it. A pure function of replayed state,
+		// so window placement — and with it every fingerprint — is
+		// reproducible.
+		if envs == 0 && acts == 0 && !errd {
+			m.budget *= 2
+			if m.budget > m.extCap {
+				m.budget = m.extCap
+			}
+		} else {
+			m.budget = 1
 		}
 		if err := m.abortError(); err != nil {
 			m.runErr = err
@@ -349,80 +637,291 @@ func (m *MultiKernel) Run() error {
 		}
 	}
 	// Release the shard runner goroutines for good.
-	m.quit = true
-	if m.spin {
-		m.epoch.Add(1)
-	} else {
-		for i := range m.startCh {
-			close(m.startCh[i])
+	if !m.inline {
+		m.quit = true
+		if m.spin {
+			m.epoch.Add(1)
+		} else {
+			for i := range m.startCh {
+				close(m.startCh[i])
+			}
 		}
 	}
 	return m.finish()
 }
 
-// replay is the serial window barrier: merge the shards' execution records
-// in exact (time, key) order and, walking that order, assign every logged
-// push its true global key — rewriting still-queued events in place,
-// resolving in-window-executed records, and filing deferred-send envelopes
-// (which draw any latency randomness here, in serial order) — then run the
-// ordered actions.
-func (m *MultiKernel) replay() {
-	heads := m.heads
-	total := 0
+// stash takes the just-finished window's log buffers for a pipelined
+// replay: the shards log the next window into their spares while the
+// coordinator merges these.
+func (m *MultiKernel) stash() {
+	p := &m.pending
+	p.live, p.replayed = true, false
+	if p.logs == nil {
+		p.logs = make([]windowLogs, len(m.shards))
+		p.joined = make([]bool, len(m.shards))
+		p.res = make([][]uint64, len(m.shards))
+	}
+	copy(p.joined, m.joined)
 	for i, s := range m.shards {
-		if !m.active[i] {
-			// An idle shard skipped beginWindow: its log is the previous
-			// window's, already replayed — park its head at the end.
-			heads[i] = len(s.execLog)
+		if !m.joined[i] {
+			p.logs[i] = windowLogs{}
 			continue
 		}
-		heads[i] = 0
-		total += len(s.execLog)
+		p.logs[i] = s.takeWindow()
+		n := len(p.logs[i].pushLog)
+		if cap(p.res[i]) < n {
+			p.res[i] = make([]uint64, n)
+		}
+		p.res[i] = p.res[i][:n]
 	}
-	for n := 0; n < total; n++ {
-		best := -1
-		var bestAt Time
-		var bestKey uint64
-		for i, s := range m.shards {
-			h := heads[i]
-			if h >= len(s.execLog) {
-				continue
+	m.winTag++ // the stashed window's keys coexist with the next window's
+}
+
+// replayPending merges the stashed window's logs, buffering the key
+// resolutions of still-queued events into pending.res (their structs are
+// concurrently live when the merge overlaps the next window). By the stash
+// preconditions there are no envelopes to file and no actions to run.
+func (m *MultiKernel) replayPending() {
+	m.beginLanes()
+	for i := range m.shards {
+		if m.pending.joined[i] {
+			m.addLane(i, &m.pending.logs[i])
+		}
+	}
+	m.mergeLanes(m.pending.res)
+	m.pending.replayed = true
+	m.stats.PipelinedReplays++
+}
+
+// applyPending lands a pipelined window's buffered key resolutions at a
+// barrier (shards quiescent): still-queued events get their true keys
+// rewritten in place, and events that executed during the overlapped window
+// are patched through their shard's lateExec ledger — the record key in the
+// *current* window's log is resolved and the recycled struct left alone.
+func (m *MultiKernel) applyPending() {
+	p := &m.pending
+	if !p.live {
+		return
+	}
+	if !p.replayed {
+		m.replayPending()
+	}
+	for i, s := range m.shards {
+		if !p.joined[i] {
+			continue
+		}
+		logs := &p.logs[i]
+		res := p.res[i]
+		for _, le := range s.lateExec {
+			if le.rec >= 0 {
+				s.execLog[le.rec].key = res[le.idx]
 			}
-			rec := &s.execLog[h]
-			// A provisional key at a merge head is impossible: the pusher
-			// of an in-window event sits earlier in the same shard's log and
-			// resolved it when its own record was processed.
-			if rec.key&provBit != 0 {
-				panic("sim: unresolved provisional key at merge head")
-			}
-			if best < 0 || rec.at < bestAt || (rec.at == bestAt && rec.key < bestKey) {
-				best, bestAt, bestKey = i, rec.at, rec.key
+			logs.provState[le.idx] = provExecuted // consumed; struct recycled
+		}
+		s.lateExec = s.lateExec[:0]
+		for idx, st := range logs.provState {
+			if st == provPending {
+				logs.pushLog[idx].e.seq = res[idx]
 			}
 		}
-		s := m.shards[best]
-		rec := &s.execLog[heads[best]]
-		heads[best]++
-		for i := rec.pushLo; i < rec.pushHi; i++ {
-			key := m.nextKey()
-			pe := &s.pushLog[i]
-			if pe.env != nil {
-				m.filer(pe.env, key)
-				continue
-			}
-			switch st := s.provState[i]; st {
-			case provPending:
+		s.returnWindow(p.logs[i])
+		p.logs[i] = windowLogs{}
+		// The e.seq rewrites touched queued events in place.
+		s.queue.invalidatePeek()
+	}
+	p.live = false
+}
+
+// replay is the synchronous serial window barrier: merge the joined shards'
+// execution records in exact (time, key) order and, walking that order,
+// assign every logged push its true global key — rewriting still-queued
+// events in place, resolving in-window-executed records, and filing
+// deferred-send envelopes (which draw any latency randomness here, in
+// serial order) — then run the ordered actions.
+func (m *MultiKernel) replay() {
+	m.beginLanes()
+	for i, s := range m.shards {
+		if m.joined[i] {
+			m.addLane(i, &s.windowLogs)
+		}
+	}
+	m.mergeLanes(nil)
+}
+
+// beginLanes/addLane assemble the merge lanes for one replay.
+func (m *MultiKernel) beginLanes() { m.lanes = m.lanes[:0] }
+
+func (m *MultiKernel) addLane(shard int, logs *windowLogs) {
+	if len(logs.execLog) == 0 {
+		return
+	}
+	rec := &logs.execLog[0]
+	// A provisional key at a lane head is impossible: the pusher of an
+	// in-window event sits earlier in the same shard's log and resolved it
+	// when its own record was processed. That is also why lane-head
+	// snapshots are stable while a record waits in the loser tree.
+	if rec.key&provBit != 0 {
+		panic("sim: unresolved provisional key at merge head")
+	}
+	m.lanes = append(m.lanes, mergeLane{logs: logs, shard: shard, at: rec.at, key: rec.key})
+}
+
+// processRec replays one record: assign true keys to its pushes (filing
+// envelopes, resolving records, rewriting or buffering queued events) and,
+// in synchronous mode, run its ordered actions.
+func (m *MultiKernel) processRec(l *mergeLane, res [][]uint64) {
+	logs := l.logs
+	rec := &logs.execLog[l.pos]
+	for i := rec.pushLo; i < rec.pushHi; i++ {
+		key := m.nextKey()
+		pe := &logs.pushLog[i]
+		if pe.env != nil {
+			m.filer(pe.env, key)
+			m.stats.EnvelopesFiled++
+			continue
+		}
+		switch st := logs.provState[i]; st {
+		case provPending:
+			if res != nil {
+				res[l.shard][i] = key // event struct is concurrently live
+			} else {
 				pe.e.seq = key // still queued in the shard's wheel
-			case provExecuted:
-				// Ran inside the window without pushing anything: the key
-				// is consumed (the serial kernel assigned one) but nothing
-				// survives to carry it.
-			default:
-				s.execLog[st].key = key // resolve the in-window record
+			}
+		case provExecuted:
+			// Ran inside the window without pushing anything: the key is
+			// consumed (the serial kernel assigned one) but nothing survives
+			// to carry it.
+		default:
+			logs.execLog[st].key = key // resolve the in-window record
+		}
+	}
+	if res == nil {
+		for i := rec.actLo; i < rec.actHi; i++ {
+			logs.actions[i]()
+		}
+	}
+	m.stats.ReplayRecords++
+}
+
+// laneAdvance moves a lane to its next record, snapshotting its (at, key).
+func (m *MultiKernel) laneAdvance(l *mergeLane) {
+	l.pos++
+	if l.pos >= len(l.logs.execLog) {
+		l.done = true
+		return
+	}
+	rec := &l.logs.execLog[l.pos]
+	if rec.key&provBit != 0 {
+		panic("sim: unresolved provisional key at merge head")
+	}
+	l.at, l.key = rec.at, rec.key
+}
+
+// laneBeats orders lanes by head (at, key); exhausted lanes lose to live
+// ones. Keys are globally unique, so live lanes never tie.
+func (m *MultiKernel) laneBeats(a, b int32) bool {
+	la, lb := &m.lanes[a], &m.lanes[b]
+	if la.done || lb.done {
+		return !la.done && lb.done
+	}
+	if la.at != lb.at {
+		return la.at < lb.at
+	}
+	return la.key < lb.key
+}
+
+// ltBuild builds the loser tree bottom-up over M lanes (conceptual leaves
+// at positions M..2M-1, lane j at M+j; internal node x stores the loser of
+// its match) and returns the overall winner.
+func (m *MultiKernel) ltBuild(M int) int {
+	tree, win := m.ltree, m.lwin
+	for x := M - 1; x >= 1; x-- {
+		var a, b int32
+		if 2*x >= M {
+			a = int32(2*x - M)
+		} else {
+			a = win[2*x]
+		}
+		if 2*x+1 >= M {
+			b = int32(2*x + 1 - M)
+		} else {
+			b = win[2*x+1]
+		}
+		if m.laneBeats(b, a) {
+			a, b = b, a
+		}
+		win[x], tree[x] = a, b
+	}
+	return int(win[1])
+}
+
+// ltUpdate replays lane w's matches from its leaf to the root after its
+// head advanced, and returns the new overall winner.
+func (m *MultiKernel) ltUpdate(M, w int) int {
+	cur := int32(w)
+	for x := (M + w) / 2; x >= 1; x /= 2 {
+		if m.laneBeats(m.ltree[x], cur) {
+			m.ltree[x], cur = cur, m.ltree[x]
+		}
+	}
+	return int(cur)
+}
+
+// ltSecond returns the best lane among the losers on w's root path — the
+// true runner-up (any lane not on the path lost to some lane that is), and
+// therefore the threshold for consuming a run of records from w without
+// touching the tree.
+func (m *MultiKernel) ltSecond(M, w int) int {
+	best := int32(-1)
+	for x := (M + w) / 2; x >= 1; x /= 2 {
+		if best < 0 || m.laneBeats(m.ltree[x], best) {
+			best = m.ltree[x]
+		}
+	}
+	return int(best)
+}
+
+// mergeLanes walks the K-way merge of the assembled lanes in exact
+// (time, key) order, processing every record. A loser tree picks the
+// winning lane in O(log K), and per-shard run detection consumes
+// consecutive records of the winning lane while they stay below the
+// runner-up's head — O(1) per record on runny inputs (a shard's records
+// within one instant, or one shard dominating a quiet stretch) — replacing
+// the old O(K)-per-record best-scan.
+func (m *MultiKernel) mergeLanes(res [][]uint64) {
+	M := len(m.lanes)
+	switch M {
+	case 0:
+		return
+	case 1:
+		l := &m.lanes[0]
+		for !l.done {
+			m.processRec(l, res)
+			m.laneAdvance(l)
+		}
+		return
+	}
+	total := 0
+	for i := range m.lanes {
+		total += len(m.lanes[i].logs.execLog)
+	}
+	w := m.ltBuild(M)
+	for consumed := 0; consumed < total; {
+		l := &m.lanes[w]
+		sec := m.ltSecond(M, w)
+		ls := &m.lanes[sec]
+		for {
+			m.processRec(l, res)
+			consumed++
+			m.laneAdvance(l)
+			if l.done {
+				break
+			}
+			if !ls.done && (l.at > ls.at || (l.at == ls.at && l.key > ls.key)) {
+				break
 			}
 		}
-		for i := rec.actLo; i < rec.actHi; i++ {
-			s.actions[i]()
-		}
+		w = m.ltUpdate(M, w)
 	}
 }
 

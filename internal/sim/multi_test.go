@@ -155,6 +155,106 @@ func TestMultiKernelTraceEquivalence(t *testing.T) {
 	}
 }
 
+// blockRun drives a communication-local workload — rings of `group` nodes
+// that never talk across ring boundaries, with the blocks partition keeping
+// each ring on one shard — so every window is envelope-free and the
+// adaptive extension / pipelined replay machinery has maximal room to fire.
+// It returns per-node hop counts, run totals, and the window stats.
+func blockRun(t *testing.T, nodes, shards, group, rounds int, tune func(mk *MultiKernel)) (counts []int, events uint64, end Time, stats MultiKernelStats) {
+	t.Helper()
+	net := &toyNet{lat: 100}
+	counts = make([]int, nodes)
+	var k *Kernel
+	var mk *MultiKernel
+	if shards <= 1 {
+		k = NewKernel(Config{Seed: 9})
+		net.single = k
+	} else {
+		mk = NewMultiKernel(Config{Seed: 9}, shards, net.lat)
+		net.mk = mk
+		net.shardOf = PartitionNodes(nodes, shards, PartitionBlocks, group)
+		mk.SetEnvelopeFiler(net.file)
+		if tune != nil {
+			tune(mk)
+		}
+	}
+	next := func(id int) int { return (id/group)*group + (id%group+1)%group }
+	net.handler = func(dst, hop int) {
+		counts[dst]++
+		if hop < rounds {
+			net.send(dst, next(dst), hop+1)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		net.kernelFor(i).At(0, func() { net.send(i, next(i), 1) })
+	}
+	if mk != nil {
+		if err := mk.Run(); err != nil {
+			t.Fatalf("multi run: %v", err)
+		}
+		return counts, mk.Events(), mk.Now(), mk.Stats()
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	return counts, k.Events(), k.Now(), MultiKernelStats{}
+}
+
+// TestMultiKernelAdaptiveWindows proves the window optimisations fire on a
+// communication-local workload and change nothing observable: counts, event
+// totals and end times stay bit-identical to the serial kernel across every
+// barrier mode × extension × pipelining combination, windows grow to many
+// sub-rounds (Extensions > 0), and quiet-window replays pipeline when
+// enabled — while SetAdaptiveWindow(1) provably restores one-lookahead
+// windows and SetPipelinedReplay(-1) keeps every replay synchronous.
+func TestMultiKernelAdaptiveWindows(t *testing.T) {
+	const nodes, group, rounds = 16, 4, 200
+	wantCounts, wantEv, wantEnd, _ := blockRun(t, nodes, 1, group, rounds, nil)
+	modes := []struct {
+		name     string
+		barrier  string // DSMRACE_MK_BARRIER for the construction
+		tune     func(mk *MultiKernel)
+		extend   bool // expect Extensions > 0
+		pipeline bool // expect PipelinedReplays > 0
+	}{
+		{"inline-default", "inline", nil, true, false},
+		{"inline-forced-pipe", "inline", func(mk *MultiKernel) { mk.SetPipelinedReplay(1) }, true, true},
+		{"spin-auto", "spin", nil, true, true},
+		{"chan-auto", "chan", nil, true, true},
+		{"spin-pipe-off", "spin", func(mk *MultiKernel) { mk.SetPipelinedReplay(-1) }, true, false},
+		{"spin-no-extension", "spin", func(mk *MultiKernel) { mk.SetAdaptiveWindow(1) }, false, true},
+	}
+	for _, mode := range modes {
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", mode.name, shards), func(t *testing.T) {
+				t.Setenv("DSMRACE_MK_BARRIER", mode.barrier)
+				counts, ev, end, stats := blockRun(t, nodes, shards, group, rounds, mode.tune)
+				if ev != wantEv || end != wantEnd {
+					t.Fatalf("events/end diverged: got %d/%d want %d/%d", ev, end, wantEv, wantEnd)
+				}
+				for i := range wantCounts {
+					if counts[i] != wantCounts[i] {
+						t.Fatalf("node %d count %d, want %d", i, counts[i], wantCounts[i])
+					}
+				}
+				if stats.Windows == 0 || stats.SubWindows < stats.Windows {
+					t.Fatalf("implausible stats: %+v", stats)
+				}
+				if got := stats.Extensions > 0; got != mode.extend {
+					t.Fatalf("Extensions = %d, want >0 == %v (stats %+v)", stats.Extensions, mode.extend, stats)
+				}
+				if got := stats.PipelinedReplays > 0; got != mode.pipeline {
+					t.Fatalf("PipelinedReplays = %d, want >0 == %v (stats %+v)", stats.PipelinedReplays, mode.pipeline, stats)
+				}
+				if mode.extend && stats.Windows >= stats.SubWindows {
+					t.Fatalf("extension fired but windows (%d) not fewer than sub-rounds (%d)", stats.Windows, stats.SubWindows)
+				}
+			})
+		}
+	}
+}
+
 // TestMultiKernelProcsAcrossShards runs parked processes on every shard,
 // exchanging through the toy net, and checks deadlock-free completion and
 // bit-identical end state with the single kernel.

@@ -92,7 +92,7 @@ func mustCoherence(name string) coherence.Protocol {
 // runMultiDiff executes one schedule on a given shard count (0 = the plain
 // single kernel) and returns its fingerprint plus the cluster for pool
 // audits.
-func runMultiDiff(t *testing.T, sched int, kernels int, partition string, seed int64) (multiFingerprint, *dsm.Cluster) {
+func runMultiDiff(t *testing.T, sched int, kernels int, partition string, seed int64, opts ...func(*dsm.Config)) (multiFingerprint, *dsm.Cluster) {
 	t.Helper()
 	sc := multiDiffSchedules[sched]
 	d, err := NewDetector("vw-exact")
@@ -117,6 +117,9 @@ func runMultiDiff(t *testing.T, sched int, kernels int, partition string, seed i
 	}
 	if dcfg.LocalityGroup == 0 {
 		dcfg.LocalityGroup = w.LocalityGroup
+	}
+	for _, opt := range opts {
+		opt(&dcfg)
 	}
 	c, err := dsm.New(dcfg)
 	if err != nil {
@@ -232,6 +235,48 @@ func TestPartitionKeepsGroupsIntraShard(t *testing.T) {
 // of a partitioned multi-kernel run must be bit-identical to the
 // single-kernel run, on every adversarial schedule, under both partition
 // policies, and with every per-shard pool balance settling to zero.
+// windowModes are the adaptive-window/pipelined-replay configurations the
+// mode-sweep gates run beyond the defaults: the pre-adaptive behaviour
+// (one-lookahead windows, synchronous replay) and the fully aggressive one
+// (default extension, pipelining forced on even where auto would disable
+// it). Every mode must produce bit-identical fingerprints.
+var windowModes = []struct {
+	name string
+	opt  func(*dsm.Config)
+}{
+	{"legacy-windows", func(c *dsm.Config) { c.WindowExtension = 1; c.PipelinedReplay = -1 }},
+	{"forced-pipeline", func(c *dsm.Config) { c.PipelinedReplay = 1 }},
+}
+
+// TestMultiKernelDifferentialModes re-runs every adversarial schedule with
+// adaptive windows and pipelined replay forced off and forced on,
+// asserting the fingerprints match the single-kernel reference at every
+// shard count — the determinism gate for the window optimisations.
+func TestMultiKernelDifferentialModes(t *testing.T) {
+	for i, sc := range multiDiffSchedules {
+		i, sc := i, sc
+		t.Run(sc.name, func(t *testing.T) {
+			want, _ := runMultiDiff(t, i, 0, "", 1)
+			for _, mode := range windowModes {
+				for _, k := range []int{1, 2, 4, 8} {
+					got, c := runMultiDiff(t, i, k, "blocks", 1, mode.opt)
+					g, w := got, want
+					g.kernels, w.kernels = 0, 0
+					if g != w {
+						t.Fatalf("%s k=%d: fingerprints diverged:\n got  %+v\n want %+v", mode.name, k, g, w)
+					}
+					sys := c.System()
+					for s := 0; s < sys.PoolShards(); s++ {
+						if b := sys.PoolBalanceShard(s); b != (rdma.PoolBalance{}) {
+							t.Fatalf("%s k=%d: pool shard %d unbalanced after clean run: %+v", mode.name, k, s, b)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestMultiKernelDifferential(t *testing.T) {
 	for i, sc := range multiDiffSchedules {
 		i, sc := i, sc
