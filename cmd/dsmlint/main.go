@@ -1,0 +1,180 @@
+// Command dsmlint runs the repository's invariant lint suite
+// (internal/lint): determinism, poolown, eventctx.
+//
+// Two modes share the analyzers:
+//
+//	dsmlint [packages]            standalone: load via the go command and
+//	                              report across every listed package
+//	                              (default ./...)
+//	go vet -vettool=$(which dsmlint) ./...
+//	                              vet mode: cmd/go drives dsmlint one
+//	                              package at a time through the vet tool
+//	                              protocol (a JSON .cfg per package, with
+//	                              build-cache export data for every import)
+//
+// Exit status: 0 clean, 1 operational error, 2 findings.
+//
+// The vet protocol is implemented directly on the standard library (this
+// module vendors nothing): the -V=full handshake identifies the tool to
+// cmd/go's action cache, the .cfg names the package's files and export
+// data, and diagnostics print as file:line:col lines on stderr.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"dsmrace/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return
+	}
+	if len(args) > 0 && args[0] == "-flags" {
+		// cmd/go probes the tool's flag set to know which vet flags it may
+		// forward; dsmlint takes none.
+		fmt.Println("[]")
+		return
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		os.Exit(vetMode(args[n-1]))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion answers cmd/go's -V=full tool handshake. The contract
+// (cmd/go/internal/work.(*Builder).toolID) wants "<name> version devel ...
+// buildID=<id>"; the id must change when the tool's behaviour does, so the
+// binary hashes itself.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("dsmlint version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+func standalone(patterns []string) int {
+	pkgs, srcDir, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmlint:", err)
+		return 1
+	}
+	exit := 0
+	for _, p := range pkgs {
+		if p.Err != nil {
+			fmt.Fprintln(os.Stderr, "dsmlint:", p.Err)
+			exit = 1
+			continue
+		}
+		diags, err := lint.RunAnalyzers(lint.All(), p.Fset, p.Files, p.Pkg, p.Info, srcDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmlint:", err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig: the JSON handed to a
+// vet tool for one package.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The vetx file is dsmlint's (empty) fact set; cmd/go caches it and
+	// requires the tool to produce it even when there is nothing to say.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("dsmlint/vetx v1\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmlint:", err)
+			return 1
+		}
+	}
+	// Dependencies are visited only for facts; dsmlint keeps none.
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "dsmlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := lint.MapImporter(importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}), cfg.ImportMap)
+	pkg, info, err := lint.Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "dsmlint:", err)
+		return 1
+	}
+	diags, err := lint.RunAnalyzers(lint.All(), fset, files, pkg, info, lint.ModuleSrcDir(cfg.Dir))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+package dsmrace
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestDsmlintTreeClean builds cmd/dsmlint and drives it over the whole
+// module through the `go vet -vettool` protocol — the exact invocation the
+// CI lint job uses — and asserts the tree is clean. This is both the smoke
+// test for the vet-protocol handshake (-V=full, -flags, vet.cfg, vetx
+// output) and the regression gate for the invariant triage: at the time
+// the suite landed, every determinism/eventctx finding was resolved by a
+// reviewed annotation (host-metric wall clocks, order-insensitive map
+// folds, event-handler continuations) and none was a genuine bug, so any
+// new finding is a regression to triage, not pre-existing noise.
+func TestDsmlintTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module; skipped in -short")
+	}
+	tool := filepath.Join(t.TempDir(), "dsmlint")
+	if out, err := exec.Command("go", "build", "-o", tool, "./cmd/dsmlint").CombinedOutput(); err != nil {
+		t.Fatalf("building dsmlint: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "vet", "-vettool="+tool, "./...").CombinedOutput(); err != nil {
+		t.Fatalf("dsmlint findings (or vet failure): %v\n%s", err, out)
+	}
+}

@@ -330,6 +330,7 @@ func (s *causalState) PurgeSharer(node int, a memory.Area) {
 // DropNodeCopies implements FaultSupport. The node's observation clock is
 // deliberately kept: a too-high obs only forces refetches, never staleness.
 func (s *causalState) DropNodeCopies(node int) {
+	//dsmlint:ordered every line just flips valid=false; the fold commutes
 	for _, l := range s.caches[node] {
 		l.valid = false
 	}

@@ -524,6 +524,7 @@ func (s *wiState) PurgeSharer(node int, a memory.Area) {
 // DropNodeCopies implements FaultSupport. Only validity flags flip — the
 // iteration order of the cache map is irrelevant to the resulting state.
 func (s *wiState) DropNodeCopies(node int) {
+	//dsmlint:ordered every line just flips valid=false; the fold commutes
 	for _, l := range s.caches[node] {
 		l.valid = false
 	}

@@ -313,6 +313,7 @@ func (s *mesiState) PurgeSharer(node int, a memory.Area) {
 
 // DropNodeCopies implements FaultSupport.
 func (s *mesiState) DropNodeCopies(node int) {
+	//dsmlint:ordered every line gets the same valid/state flip; the fold commutes
 	for _, l := range s.caches[node] {
 		l.valid = false
 		l.state = mesiS
@@ -328,6 +329,7 @@ func (s *mesiState) FlushDirty(visit func(node int, id memory.AreaID, data []mem
 			continue
 		}
 		ids := make([]memory.AreaID, 0, len(m))
+		//dsmlint:ordered ids are sorted below before any visit
 		for id, l := range m {
 			if l.valid && l.state == mesiM {
 				ids = append(ids, id)

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EventCtxAnalyzer enforces the event-context calling discipline, driven
+// entirely by annotations:
+//
+//   - //dsmlint:eventctx on a function means it may only be called from
+//     event context (it files work into the kernel's current event slot —
+//     sim.Kernel.Defer and Kernel.LogOrdered are the canonical cases).
+//     Func-typed arguments of a call to it run in event context themselves.
+//   - //dsmlint:eventhandler declares that a function's body executes in
+//     event context: delivery callbacks, continuation stages, barrier
+//     hooks. Calling one from anywhere else is flagged too, which is what
+//     makes the annotation set closed under the reachable call graph — every
+//     edge into the event-context region is either proven (a func literal
+//     handed to the scheduling machinery) or explicitly annotated and
+//     reviewable.
+//   - //dsmlint:eventspawn marks functions callable from anywhere whose
+//     func-typed arguments nevertheless run in event context
+//     (Kernel.Schedule, Kernel.At, Kernel.PushKeyed).
+//
+// The pass resolves annotations across package boundaries by re-parsing the
+// callee's declaring package (annotations are source directives, invisible
+// in export data).
+var EventCtxAnalyzer = &Analyzer{
+	Name: "eventctx",
+	Doc: "restrict calls to //dsmlint:eventctx and //dsmlint:eventhandler functions " +
+		"to event context (annotated handlers and func literals handed to the scheduler)",
+	Run: runEventCtx,
+}
+
+func runEventCtx(p *Pass) error {
+	local := p.localAnnotations()
+	for _, f := range p.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inEvent := p.FuncAnnotated(fd, DirEventCtx) || p.FuncAnnotated(fd, DirEventHandler)
+			p.walkEventCtx(fd.Body, inEvent, local)
+		}
+	}
+	return nil
+}
+
+// localAnnotations indexes this package's own event annotations by funcKey,
+// with values "eventctx"/"eventhandler"/"eventspawn" prefixed keys, matching
+// the harvestAnnotations format.
+func (p *Pass) localAnnotations() map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, d := range [3]string{DirEventCtx, DirEventHandler, DirEventSpawn} {
+				if p.FuncAnnotated(fd, d) {
+					out[d+" "+funcKey(fd)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeAnnotation returns which event annotation (if any) the call's callee
+// carries, resolving cross-package callees through the source harvest.
+func (p *Pass) calleeAnnotation(call *ast.CallExpr, local map[string]bool) (dir string, fn *types.Func) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	default:
+		return "", nil
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return "", nil
+	}
+	key := typeFuncKey(f)
+	set := local
+	if f.Pkg() != p.Pkg {
+		set = p.annotationsFor(f.Pkg().Path())
+	}
+	for _, d := range [3]string{DirEventCtx, DirEventHandler, DirEventSpawn} {
+		if set[d+" "+key] {
+			return d, f
+		}
+	}
+	return "", f
+}
+
+// typeFuncKey mirrors funcKey for a resolved *types.Func.
+func typeFuncKey(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return f.Name()
+	}
+	if n := recvNamed(sig.Recv().Type()); n != nil {
+		return n.Obj().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// walkEventCtx traverses one function body carrying the event-context flag.
+// Func literals handed to eventctx/eventspawn calls are walked as event
+// context; all other literals inherit the lexical context.
+func (p *Pass) walkEventCtx(body ast.Node, inEvent bool, local map[string]bool) {
+	visited := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n == body {
+				return true
+			}
+			if !visited[n] {
+				p.walkEventCtx(n, inEvent, local)
+			}
+			return false
+		case *ast.CallExpr:
+			dir, fn := p.calleeAnnotation(n, local)
+			// A call site annotated //dsmlint:eventhandler is a reviewed
+			// assertion that this statement executes in event context even
+			// though its enclosing function is not annotated (the escape for
+			// context-polymorphic helpers with a guarded event-only branch).
+			siteOK := inEvent || ((dir == DirEventCtx || dir == DirEventHandler) &&
+				p.Annotated(n.Pos(), DirEventHandler))
+			switch dir {
+			case DirEventCtx:
+				if !siteOK {
+					p.Reportf(n.Pos(), "event context: %s may only be called from event context "+
+						"(a delivery/event callback); annotate the caller //dsmlint:eventhandler if it is one", fn.Name())
+				}
+			case DirEventHandler:
+				if !siteOK {
+					p.Reportf(n.Pos(), "event context: %s executes in event context; "+
+						"calling it from outside moves event-slot work onto a foreign footing — "+
+						"annotate the caller //dsmlint:eventhandler if it runs there too", fn.Name())
+				}
+			}
+			if dir == DirEventCtx || dir == DirEventSpawn {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						visited[lit] = true
+						p.walkEventCtx(lit, true, local)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

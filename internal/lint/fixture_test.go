@@ -1,0 +1,137 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dsmrace/internal/lint"
+)
+
+// wantRe matches the fixture expectation syntax: a trailing comment
+// `// want `+"`regexp`"+“ on the line the diagnostic must land on.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkFixture loads the fixture package rooted at dir through the same
+// loader the dsmlint command uses, runs the analyzers, and reconciles the
+// diagnostics against the fixture's `// want` comments: every diagnostic
+// must be expected, every expectation must be met. It returns one mismatch
+// string per violation of either direction.
+func checkFixture(dir string, analyzers []*lint.Analyzer) ([]string, error) {
+	wants := map[string][]*want{} // "file:line" -> expectations
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", e.Name(), line, err)
+				}
+				key := fmt.Sprintf("%s:%d", e.Name(), line)
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+
+	pkgs, srcDir, err := lint.Load(dir, ".")
+	if err != nil {
+		return nil, err
+	}
+	var mismatches []string
+	for _, p := range pkgs {
+		if p.Err != nil {
+			return nil, p.Err
+		}
+		diags, err := lint.RunAnalyzers(analyzers, p.Fset, p.Files, p.Pkg, p.Info, srcDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+			found := false
+			for _, w := range wants[key] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched, found = true, true
+					break
+				}
+			}
+			if !found {
+				mismatches = append(mismatches, fmt.Sprintf("%s: unexpected diagnostic: %s (%s)", key, d.Message, d.Analyzer))
+			}
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				mismatches = append(mismatches, fmt.Sprintf("%s: no diagnostic matching %q", k, w.re))
+			}
+		}
+	}
+	return mismatches, nil
+}
+
+// fixture runs the full suite over one golden fixture. Running every
+// analyzer (not just the fixture's subject) also proves the passes don't
+// fire on each other's material.
+func fixture(t *testing.T, name string) {
+	t.Helper()
+	mismatches, err := checkFixture(filepath.Join("testdata", "src", name), lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) { fixture(t, "determ") }
+func TestPoolOwnFixture(t *testing.T)     { fixture(t, "poolown") }
+func TestEventCtxFixture(t *testing.T)    { fixture(t, "eventctx") }
+
+// TestHarnessNotVacuous proves the want machinery is load-bearing: with
+// every analyzer disabled, each fixture's seeded mutants must surface as
+// missing diagnostics. A harness that passes here would also wave through
+// a pass that silently stopped firing.
+func TestHarnessNotVacuous(t *testing.T) {
+	for _, name := range []string{"determ", "poolown", "eventctx"} {
+		mismatches, err := checkFixture(filepath.Join("testdata", "src", name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mismatches) == 0 {
+			t.Errorf("%s: harness reported success with all analyzers disabled", name)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// See doc.go for the package documentation: the pass catalogue, the
+// annotation language, and the two driver modes.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description printed by `dsmlint help`.
+	Doc string
+	// Run performs the check, calling pass.Reportf for every finding.
+	Run func(*Pass) error
+}
+
+// All returns the full dsmlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DeterminismAnalyzer, PoolOwnAnalyzer, EventCtxAnalyzer}
+}
+
+// A Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String renders the diagnostic in the canonical vet shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// SrcDir maps a module-internal import path to its source directory, or
+	// returns "" when unknown. The eventctx pass uses it to harvest
+	// annotations from the packages that declare restricted callees.
+	SrcDir func(pkgPath string) string
+
+	report func(Diagnostic)
+	dirs   *directives
+	// harvest caches cross-package annotation sets, keyed by import path.
+	// Shared across the analyzers run on one package (see RunAnalyzers).
+	harvest map[string]map[string]bool
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// SourceFiles yields the files a pass should analyze: everything except
+// _test.go files, which may freely use wall clocks, global RNG draws and
+// unordered ranges (their effects never reach a fingerprint).
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// CorePackages lists the deterministic core: the packages whose every
+// executed instruction feeds a fingerprint and therefore must be
+// bit-reproducible. Matched by path suffix so the list survives module
+// renames (and matches fixture trees).
+var CorePackages = []string{
+	"internal/sim",
+	"internal/rdma",
+	"internal/coherence",
+	"internal/network",
+	"internal/core",
+	"internal/fault",
+	"internal/mcheck",
+}
+
+// InCore reports whether the pass's package is part of the deterministic
+// core, either by import path or by an explicit //dsmlint:core file marker
+// (how test fixtures opt in).
+func (p *Pass) InCore() bool {
+	path := p.Pkg.Path()
+	for _, c := range CorePackages {
+		if path == c || strings.HasSuffix(path, "/"+c) {
+			return true
+		}
+	}
+	return p.directives().coreMarked
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package and returns
+// the findings sorted by position. The annotation caches are shared across
+// the analyzers.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, srcDir func(string) string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	base := &Pass{
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		SrcDir:  srcDir,
+		harvest: map[string]map[string]bool{},
+	}
+	base.report = func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		p := *base
+		p.Analyzer = a
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		base.dirs = p.dirs // keep the lazily built directive index
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Err records a load or type-check failure; analysis skips the package
+	// and the driver surfaces the error.
+	Err error
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -export -deps -json` on the patterns (relative to dir)
+// and type-checks every non-standard package of the surrounding module from
+// source, resolving imports through build-cache export data. It returns the
+// packages in go list order plus a SrcDir resolver for module-internal
+// import paths.
+func Load(dir string, patterns ...string) ([]*Package, func(string) string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,ImportMap,Standard,Module,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	dirs := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if e.Dir != "" {
+			dirs[e.ImportPath] = e.Dir
+		}
+		if !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+
+	srcDir := func(path string) string { return dirs[path] }
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		p := &Package{Path: t.ImportPath, Dir: t.Dir, Fset: fset}
+		if t.Error != nil {
+			p.Err = fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+			pkgs = append(pkgs, p)
+			continue
+		}
+		if len(t.CgoFiles) > 0 {
+			// cgo packages can't be type-checked from raw source; skip (none
+			// exist in this module, and the deterministic core forbids them).
+			continue
+		}
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				p.Err = err
+				break
+			}
+			p.Files = append(p.Files, f)
+		}
+		if p.Err == nil {
+			p.Pkg, p.Info, p.Err = Check(t.ImportPath, fset, p.Files, &mapImporter{gc, t.ImportMap})
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, srcDir, nil
+}
+
+// Check type-checks one package's parsed files with the info tables the
+// passes need. Shared by the standalone loader and the vet-mode driver.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// MapImporter wraps an importer with a source-import -> package-path map
+// (vendoring, test variants), the resolution step cmd/go performs before
+// consulting export data. A nil or empty map is a plain pass-through.
+func MapImporter(imp types.Importer, m map[string]string) types.Importer {
+	return &mapImporter{imp, m}
+}
+
+// mapImporter applies a source-import -> package-path map (vendoring, test
+// variants) before delegating to the export-data importer.
+type mapImporter struct {
+	imp types.Importer
+	m   map[string]string
+}
+
+// Import resolves one import path.
+func (mi *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.imp.Import(path)
+}
+
+// ModuleSrcDir returns a SrcDir resolver rooted at the module containing
+// dir: it maps "modpath/rest" to "modroot/rest". Used by the vet-mode
+// driver, whose per-package config carries no dependency source dirs.
+func ModuleSrcDir(dir string) func(string) string {
+	root := dir
+	var modPath string
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					modPath = strings.TrimSpace(rest)
+					break
+				}
+			}
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return func(string) string { return "" }
+		}
+		root = parent
+	}
+	return func(path string) string {
+		if path == modPath {
+			return root
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+}

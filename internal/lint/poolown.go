@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolOwnAnalyzer enforces the two ownership contracts of the pooled hot
+// path:
+//
+//   - grab/release pairing: a value obtained from a Get/Put-shaped pool
+//     helper (a method whose name pairs with a release-shaped sibling on the
+//     same receiver taking exactly that value back) must be released, stored,
+//     returned, or handed to another function before the grabbing function
+//     falls off the end. A pooled struct that is grabbed, used locally and
+//     then dropped leaks from the pool — the bug class the runtime
+//     PoolBalance audit catches only after the fact.
+//   - borrowed reports: a *Report returned by an OnAccess-shaped detector
+//     method borrows its clock fields from per-state scratch buffers, valid
+//     only until the next OnAccess call. Storing one — into a field, slice,
+//     map, channel or composite literal — without .Clone() publishes memory
+//     the detector is about to overwrite.
+var PoolOwnAnalyzer = &Analyzer{
+	Name: "poolown",
+	Doc: "flag pooled structs that are grabbed but never released or handed off, " +
+		"and borrowed detector reports stored without Clone",
+	Run: runPoolOwn,
+}
+
+var (
+	grabPrefixes    = []string{"grab", "acquire", "get"}
+	releasePrefixes = []string{"release", "put", "free", "recycle"}
+)
+
+func prefixSuffix(name string, prefixes []string) (string, bool) {
+	lower := strings.ToLower(name)
+	for _, pre := range prefixes {
+		if strings.HasPrefix(lower, pre) {
+			return name[len(pre):], true
+		}
+	}
+	return "", false
+}
+
+func runPoolOwn(p *Pass) error {
+	if !p.InCore() {
+		return nil
+	}
+	for _, f := range p.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkPoolPairing(fd)
+			p.checkBorrowedReports(fd)
+		}
+	}
+	return nil
+}
+
+// --- grab/release pairing ---
+
+// poolGrab reports whether the call is to a pool-grab helper: its name is
+// grab-shaped, it returns a value, and the receiver's method set contains a
+// release-shaped method with the same name suffix taking exactly one
+// parameter of the grabbed type. The suffix match is what keeps ordinary
+// protocol methods (Get/Put data operations with unrelated signatures) out.
+func (p *Pass) poolGrab(call *ast.CallExpr) (*types.Func, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return nil, false
+	}
+	suffix, ok := prefixSuffix(fn.Name(), grabPrefixes)
+	if !ok {
+		return nil, false
+	}
+	grabbed := sig.Results().At(0).Type()
+	recv := recvNamed(sig.Recv().Type())
+	if recv == nil {
+		return nil, false
+	}
+	for i := 0; i < recv.NumMethods(); i++ {
+		m := recv.Method(i)
+		msuf, ok := prefixSuffix(m.Name(), releasePrefixes)
+		if !ok || !strings.EqualFold(msuf, suffix) {
+			continue
+		}
+		msig := m.Type().(*types.Signature)
+		if msig.Params().Len() == 1 && types.Identical(msig.Params().At(0).Type(), grabbed) {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+func recvNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// checkPoolPairing flags pool grabs whose result is discarded or bound to a
+// variable that is never consumed (released, passed whole to any call,
+// stored, returned, sent, or captured by a closure) anywhere in the
+// function.
+func (p *Pass) checkPoolPairing(fd *ast.FuncDecl) {
+	// grabVars maps the local object bound to a grab result to the grab call.
+	grabVars := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fn, ok := p.poolGrab(call); ok {
+					p.Reportf(call.Pos(), "pool leak: result of %s is discarded; the pooled struct can never be released", fn.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := p.poolGrab(call); !ok {
+				return true
+			}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.objOf(id); obj != nil {
+					grabVars[obj] = call
+				}
+			}
+		}
+		return true
+	})
+	if len(grabVars) == 0 {
+		return
+	}
+	consumed := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if obj := p.wholeIdent(arg); obj != nil {
+					consumed[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj := p.wholeIdent(r); obj != nil {
+					consumed[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if obj := p.wholeIdent(r); obj != nil {
+					// Any re-assignment (alias, store into a field, slice or
+					// global) transfers ownership as far as this local check
+					// is concerned.
+					if _, isGrabDef := r.(*ast.CallExpr); !isGrabDef {
+						consumed[obj] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := p.wholeIdent(n.Value); obj != nil {
+				consumed[obj] = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if obj := p.wholeIdent(e); obj != nil {
+					consumed[obj] = true
+				}
+			}
+		case *ast.FuncLit:
+			// Anything a closure captures has unbounded lifetime; the
+			// closure takes over the release obligation.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := p.objOf(id); obj != nil {
+						consumed[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	for obj, call := range grabVars { //dsmlint:ordered diagnostics are position-sorted by the runner
+		if !consumed[obj] {
+			p.Reportf(call.Pos(), "pool leak: %s is grabbed from a pool but never released, returned, stored or handed off on any path", obj.Name())
+		}
+	}
+}
+
+// wholeIdent returns the object of an expression that denotes a tracked
+// variable as a whole: `v` or `*v` (not `v.field`).
+func (p *Pass) wholeIdent(e ast.Expr) types.Object {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.objOf(id)
+}
+
+func (p *Pass) objOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// --- borrowed reports ---
+
+// onAccessCall reports whether the call is OnAccess-shaped: a method named
+// OnAccess whose first result is a pointer to a struct type named Report.
+// Matching by shape (rather than by the concrete core.AreaState type) keeps
+// the check applicable to every detector implementation and to fixtures.
+func (p *Pass) onAccessCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "OnAccess" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Report" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// checkBorrowedReports flags stores of borrowed OnAccess reports that are
+// not mediated by Clone.
+func (p *Pass) checkBorrowedReports(fd *ast.FuncDecl) {
+	// borrowed collects the objects bound to OnAccess's first result, plus
+	// plain aliases of those (r2 := r).
+	borrowed := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		if call, ok := asg.Rhs[0].(*ast.CallExpr); ok && p.onAccessCall(call) && len(asg.Lhs) >= 1 {
+			if id, ok := asg.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.objOf(id); obj != nil {
+					borrowed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// One alias sweep (aliases of aliases are rare enough to ignore; the
+	// fixpoint would cost a loop for no observed benefit in this tree).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != len(asg.Lhs) {
+			return true
+		}
+		for i, r := range asg.Rhs {
+			if obj := p.wholeIdent(r); obj != nil && borrowed[obj] {
+				if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+					if lobj := p.objOf(id); lobj != nil && !isHeapObj(lobj) {
+						borrowed[lobj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(borrowed) == 0 {
+		return
+	}
+	flag := func(e ast.Expr, how string) {
+		if obj := p.wholeIdent(e); obj != nil && borrowed[obj] {
+			p.Reportf(e.Pos(), "borrowed report: %s aliases detector scratch buffers valid only until the next OnAccess; "+
+				"%s it only via Clone()", obj.Name(), how)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, l := range n.Lhs {
+				switch l := l.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					flag(n.Rhs[i], "store")
+				case *ast.Ident:
+					if obj := p.objOf(l); obj != nil && isHeapObj(obj) {
+						flag(n.Rhs[i], "store")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range n.Args[min(1, len(n.Args)):] {
+					flag(arg, "append")
+				}
+			}
+		case *ast.SendStmt:
+			flag(n.Value, "send")
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				flag(e, "store")
+			}
+		}
+		return true
+	})
+}
+
+// isHeapObj reports whether the object is a package-level variable (a store
+// to it publishes the value).
+func isHeapObj(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() != nil && v.Parent() == v.Pkg().Scope()
+}

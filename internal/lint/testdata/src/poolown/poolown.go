@@ -1,0 +1,111 @@
+// Package poolown is a dsmlint fixture: a miniature shard pool and
+// detector seeded with the two ownership mutants the poolown pass exists
+// to catch — a grab with no matching release or handoff, and a borrowed
+// OnAccess report stored without Clone — next to correctly balanced
+// twins that must stay silent.
+//
+//dsmlint:core
+package poolown
+
+// --- grab/release pairing ---
+
+type buf struct{ b []byte }
+
+type pools struct{ free []*buf }
+
+func (p *pools) grabBuf() *buf {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		return v
+	}
+	return &buf{}
+}
+
+func (p *pools) releaseBuf(v *buf) { p.free = append(p.free, v) }
+
+// leakDiscard is the seeded mutant: the grabbed struct is dropped on the
+// floor and can never be released.
+func leakDiscard(p *pools) {
+	p.grabBuf() // want `pool leak: result of grabBuf is discarded`
+}
+
+// leakLocal grabs, uses the struct locally, and falls off the end.
+func leakLocal(p *pools) int {
+	v := p.grabBuf() // want `pool leak: v is grabbed from a pool but never released`
+	return len(v.b)
+}
+
+func balanced(p *pools) {
+	v := p.grabBuf()
+	v.b = v.b[:0]
+	p.releaseBuf(v)
+}
+
+func handoffSend(p *pools, sink chan *buf) {
+	v := p.grabBuf()
+	sink <- v
+}
+
+func handoffReturn(p *pools) *buf {
+	v := p.grabBuf()
+	return v
+}
+
+func handoffClosure(p *pools, run func(func())) {
+	v := p.grabBuf()
+	run(func() { p.releaseBuf(v) })
+}
+
+// dataNIC has Get/Put methods that are DSM data operations, not a pool
+// pair — the signatures don't pair up, so poolown must ignore them.
+type dataNIC struct{ mem []byte }
+
+func (n *dataNIC) Get() []byte           { return n.mem }
+func (n *dataNIC) Put(off int, b []byte) { copy(n.mem[off:], b) }
+
+func dataOps(n *dataNIC) {
+	n.Get()
+}
+
+// --- borrowed reports ---
+
+type Report struct{ Seq uint64 }
+
+func (r *Report) Clone() *Report { c := *r; return &c }
+
+type detector struct {
+	scratch Report
+	last    *Report
+	log     []*Report
+}
+
+func (d *detector) OnAccess(addr int) *Report {
+	d.scratch.Seq++
+	return &d.scratch
+}
+
+// record is the seeded mutant: the borrowed report is published into a
+// field and a slice while still aliasing the detector's scratch buffer.
+func record(d *detector) {
+	r := d.OnAccess(1)
+	d.last = r               // want `borrowed report: r aliases detector scratch`
+	d.log = append(d.log, r) // want `borrowed report: r aliases detector scratch`
+}
+
+func recordAlias(d *detector) {
+	r := d.OnAccess(2)
+	r2 := r
+	d.last = r2 // want `borrowed report: r2 aliases detector scratch`
+}
+
+func recordCloned(d *detector) {
+	r := d.OnAccess(3)
+	d.last = r.Clone()
+	d.log = append(d.log, r.Clone())
+}
+
+func inspect(d *detector) uint64 {
+	r := d.OnAccess(4)
+	return r.Seq
+}

@@ -372,6 +372,8 @@ func (o *initOp) err() error {
 // their occupancy window) run to completion: they model DMA already in
 // flight against the exported segment, and their replies are dropped by the
 // fault views.
+//
+//dsmlint:eventhandler
 func (s *System) faultCrash(shard, node int, at sim.Time) {
 	fs, hasFS := s.coh.(coherence.FaultSupport)
 	if hasFS {
@@ -459,6 +461,7 @@ func (n *NIC) drainInvalJoins() {
 		return
 	}
 	ids := make([]uint64, 0, len(n.invalWait))
+	//dsmlint:ordered ids are sorted below before any join finishes
 	for id := range n.invalWait {
 		ids = append(ids, id)
 	}

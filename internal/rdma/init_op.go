@@ -285,6 +285,8 @@ func (o *initOp) fetchCapture(rs *resp) {
 // from there. ----
 
 // grant absorbs the internal lock grant and defers the per-op first stage.
+//
+//dsmlint:eventhandler
 func (o *initOp) grant(rs *resp) {
 	o.absorb(rs)
 	o.n.k.Defer(o.stage1Fn)
@@ -300,6 +302,8 @@ func (o *initOp) readClocks(cont func(*resp)) {
 func (o *initOp) putStage1() { o.readClocks(o.putClocks1Fn) }
 
 // putClocks1 holds V; the comparison itself runs in the next deferred slot.
+//
+//dsmlint:eventhandler
 func (o *initOp) putClocks1(rs *resp) {
 	o.absorb(rs)
 	o.n.k.Defer(o.putStage2Fn)
@@ -324,6 +328,8 @@ func (o *initOp) putStage2() {
 
 // putAck absorbs the data ack; an error short-circuits to the tail (which
 // unlocks), success continues into update_clock_W.
+//
+//dsmlint:eventhandler
 func (o *initOp) putAck(rs *resp) {
 	o.absorb(rs)
 	if o.errs != "" {
@@ -337,6 +343,8 @@ func (o *initOp) putAck(rs *resp) {
 func (o *initOp) putStage3() { o.readClocks(o.putClocksDiscFn) }
 
 // putClocksDiscard absorbs a clock fetch whose values the algorithm ignores.
+//
+//dsmlint:eventhandler
 func (o *initOp) putClocksDiscard(rs *resp) {
 	o.absorb(rs)
 	o.n.k.Defer(o.putStage4Fn)
@@ -359,6 +367,8 @@ func (o *initOp) putClocks3(rs *resp) {
 func (o *initOp) getStage1() { o.readClocks(o.getClocks1Fn) }
 
 // getClocks1 holds W (kept for the tail's reads-from absorb edge).
+//
+//dsmlint:eventhandler
 func (o *initOp) getClocks1(rs *resp) {
 	o.absorb(rs)
 	o.n.k.Defer(o.getStage2Fn)
@@ -381,6 +391,8 @@ func (o *initOp) getStage2() {
 }
 
 // getReply absorbs the data; errors short-circuit to the tail.
+//
+//dsmlint:eventhandler
 func (o *initOp) getReply(rs *resp) {
 	o.absorb(rs)
 	if o.errs != "" {

@@ -187,7 +187,11 @@ func (n *NIC) lockFor(a memory.AreaID) *lockState {
 	return l
 }
 
-// handle is the NIC's delivery handler.
+// handle is the NIC's delivery handler, invoked by the network layer inside
+// the delivery event for each arriving message — the root of the
+// event-context region on the home/receive side.
+//
+//dsmlint:eventhandler
 func (n *NIC) handle(m *network.Message) {
 	switch m.Kind {
 	case network.KindPutAck, network.KindGetReply, network.KindFetchReply,
@@ -344,6 +348,8 @@ type updateMsg struct {
 // lock (if enabled), then model the memory occupancy, then run the body.
 // With HomeSlotBatch, same-slot same-area requests coalesce instead (see
 // slotBatch).
+//
+//dsmlint:eventhandler
 func (n *NIC) startHomeOp(m *network.Message, kind network.Kind) {
 	r := m.Payload.(*req)
 	o := n.ps.grabOp()
@@ -390,6 +396,8 @@ type slotBatch struct {
 // joinBatch adds o to the open batch for its area at the current instant,
 // opening one (and scheduling its start behind the instant's deliveries)
 // when none is open.
+//
+//dsmlint:eventhandler
 func (n *NIC) joinBatch(o *homeOp) {
 	now := n.k.Now()
 	// Expire batches from earlier instants lazily; a NIC rarely has more
@@ -424,6 +432,8 @@ func (n *NIC) joinBatch(o *homeOp) {
 
 // start runs at the end of the batch's delivery slot, with every member
 // collected.
+//
+//dsmlint:eventhandler
 func (b *slotBatch) start() {
 	n := b.n
 	l := n.lockFor(b.area)
@@ -447,6 +457,8 @@ func (b *slotBatch) start() {
 
 // grant holds the lock for the whole batch: one NICDelay, the members'
 // words summed.
+//
+//dsmlint:eventhandler
 func (b *slotBatch) grant() {
 	words := 0
 	for _, o := range b.ops {
@@ -466,6 +478,8 @@ func (b *slotBatch) grant() {
 // own Defer slot (mirroring the per-op cadence of the serial path within
 // the instant) with o.l nil, so per-op release is a no-op; the batch drops
 // the lock once after the last body.
+//
+//dsmlint:eventhandler
 func (b *slotBatch) run() {
 	if b.idx >= len(b.ops) {
 		b.ops = b.ops[:0]
@@ -735,6 +749,7 @@ func checkAreaRange(a memory.Area, off, count int) error {
 	return nil
 }
 
+//dsmlint:eventhandler
 func (n *NIC) handlePut(m *network.Message) {
 	n.startHomeOp(m, network.KindPutReq)
 }
@@ -745,6 +760,8 @@ func (n *NIC) handlePut(m *network.Message) {
 // and tracing see the logical access span [off, off+count), not the
 // transfer span — the fetch is transport, the access is what the program
 // did.
+//
+//dsmlint:eventhandler
 func (n *NIC) handleFetch(m *network.Message) {
 	n.startHomeOp(m, network.KindFetchReq)
 }
@@ -783,6 +800,7 @@ func (n *NIC) handleInvalAck(m *network.Message) {
 	n.ps.releaseResp(r)
 }
 
+//dsmlint:eventhandler
 func (n *NIC) handleGet(m *network.Message) {
 	n.startHomeOp(m, network.KindGetReq)
 }
@@ -933,6 +951,7 @@ func (n *NIC) handleClockWrite(m *network.Message) {
 	}
 }
 
+//dsmlint:eventhandler
 func (n *NIC) handleAtomic(m *network.Message) {
 	n.startHomeOp(m, network.KindAtomicReq)
 }

@@ -813,6 +813,7 @@ func (s *System) StorageBytes() int {
 			total += st.StorageBytes()
 		}
 	}
+	//dsmlint:ordered integer sum; the fold commutes
 	for _, st := range s.states {
 		total += st.StorageBytes()
 	}
@@ -841,6 +842,10 @@ func (s *System) signal(n *NIC, rep *core.Report, at sim.Time) {
 		return
 	}
 	rc := r.Clone() // the borrowed scratch fields won't survive the window
+	// signal is context-polymorphic: under !multi it runs the collector
+	// inline (any context), and the s.multi guard above means this branch
+	// executes only from CPS delivery continuations inside a window.
+	//dsmlint:eventhandler reviewed: multi-mode signal calls come only from event context
 	n.k.LogOrdered(func() { s.cfg.Collector.Signal(rc) })
 }
 

@@ -502,9 +502,11 @@ func (m *MultiKernel) Run() error {
 	if !m.inline {
 		m.runners()
 	}
-	mark := time.Now()
+	// Wall-clock reads feed the WindowNs/BarrierNs overhead counters only —
+	// host-side metrics, never virtual state or a fingerprint.
+	mark := time.Now() //dsmlint:wallclock metrics only
 	tick := func(acc *int64) {
-		now := time.Now()
+		now := time.Now() //dsmlint:wallclock metrics only
 		*acc += now.Sub(mark).Nanoseconds()
 		mark = now
 	}

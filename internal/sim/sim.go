@@ -297,7 +297,9 @@ func (k *Kernel) Events() uint64 { return k.events }
 
 // Schedule runs fn after delay d of virtual time (d may be zero; negative
 // delays are clamped to zero). It may be called from process bodies, event
-// handlers, or before Run.
+// handlers, or before Run; fn itself runs in event context.
+//
+//dsmlint:eventspawn
 func (k *Kernel) Schedule(d Time, fn func()) {
 	if d < 0 {
 		d = 0
@@ -305,7 +307,10 @@ func (k *Kernel) Schedule(d Time, fn func()) {
 	k.At(k.now+d, fn)
 }
 
-// At runs fn at absolute virtual time t (clamped to now).
+// At runs fn at absolute virtual time t (clamped to now); fn runs in event
+// context.
+//
+//dsmlint:eventspawn
 func (k *Kernel) At(t Time, fn func()) {
 	k.push(t, fn, nil)
 }
@@ -317,6 +322,13 @@ func (k *Kernel) At(t Time, fn func()) {
 // RDMA initiator's continuation chain) interleaves with the rest of the
 // simulation identically to the goroutine-parked code it replaces — without
 // scheduling, waking, or parking any goroutine.
+//
+// Defer may only be called from event context (a delivery or event
+// callback): the slot it files into is the *current event's* position in
+// the global order, which only exists while an event is executing.
+// dsmlint enforces this statically.
+//
+//dsmlint:eventctx
 func (k *Kernel) Defer(fn func()) {
 	k.push(k.now, fn, nil)
 }
@@ -364,7 +376,10 @@ func (k *Kernel) push(t Time, fn func(), p *Proc) {
 
 // PushKeyed schedules fn at absolute time t with an explicit, already
 // assigned global key. It is the barrier replay's filing primitive for
-// cross-shard and latency-deferred deliveries; serial phases only.
+// cross-shard and latency-deferred deliveries; serial phases only. fn runs
+// in event context.
+//
+//dsmlint:eventspawn
 func (k *Kernel) PushKeyed(t Time, key uint64, fn func()) {
 	if k.winLog {
 		panic("sim: PushKeyed during a parallel window")
@@ -400,6 +415,12 @@ func (k *Kernel) LogEnvelope(env any) {
 // global order. Use it for effects on state shared across shards (e.g.
 // appending to a global report collector) that must observe the serial
 // kernel's order.
+//
+// LogOrdered may only be called from event context: the position it logs
+// under is the currently executing event's, and outside one there is no
+// such position. dsmlint enforces this statically.
+//
+//dsmlint:eventctx
 func (k *Kernel) LogOrdered(fn func()) {
 	if !k.winLog {
 		fn()
