@@ -162,6 +162,23 @@ func BenchmarkE_Fault(b *testing.B) {
 	}
 }
 
+// BenchmarkE_Mcheck runs the sub-second model-checker exploration rows: one
+// iteration is one whole exploration, and the metrics read as throughput
+// (sched/s) and reduction (runs/op, pruned/op, dedup%). The rows whose full
+// or reduced enumerations take seconds stay in cmd/bench's -mcheck-benchtime
+// family, like the large E_Scale entries.
+func BenchmarkE_Mcheck(b *testing.B) {
+	for _, spec := range McheckBenchmarks() {
+		spec := spec
+		switch spec.Name {
+		case "E_Mcheck/iriw/mesi/por", "E_Mcheck/sb3/mesi/por",
+			"E_Mcheck/sb/write-invalidate/full", "E_Mcheck/iriw/write-update/full":
+			continue // whole-second iterations; cmd/bench times these
+		}
+		b.Run(strings.TrimPrefix(spec.Name, "E_Mcheck/"), spec.F)
+	}
+}
+
 // BenchmarkE_Coherence contrasts the coherence protocols on the
 // ownership-sensitive workloads (E-T12): migration favours write-update,
 // repeated consumption favours write-invalidate; compare msgs/op.

@@ -16,6 +16,7 @@ import (
 	"dsmrace/internal/core"
 	"dsmrace/internal/dsm"
 	"dsmrace/internal/fault"
+	"dsmrace/internal/mcheck"
 	"dsmrace/internal/rdma"
 	"dsmrace/internal/sim"
 	"dsmrace/internal/vclock"
@@ -153,6 +154,82 @@ func ScaleBenchmarks() []BenchSpec {
 				F:    func(b *testing.B) { benchScale(b, n, wl.mk) },
 			})
 		}
+	}
+	return specs
+}
+
+// benchMcheck is the E_Mcheck body: one op is one complete exploration of a
+// litmus/protocol pair, full enumeration or POR. The metrics expose what the
+// reduction buys: sched/s is raw exploration throughput, runs/op the
+// explored-schedule count (constant per row — exploration is deterministic),
+// pruned/op the subtrees the POR rules cut, and dedup% the fraction of
+// spawned candidates absorbed by the state-fingerprint memo.
+func benchMcheck(b *testing.B, litmus, protocol string, por bool, workers int) {
+	b.Helper()
+	lit, err := mcheck.LitmusByName(litmus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var runs, pruned, memoHits float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := coherence.FromName(protocol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := mcheck.Explore(mcheck.Config{
+			Litmus: lit, Protocol: p, MaxRuns: 1 << 21, POR: por, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += float64(out.Runs)
+		pruned += float64(out.Pruned)
+		memoHits += float64(out.MemoHits)
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(runs/b.Elapsed().Seconds(), "sched/s")
+	b.ReportMetric(runs/n, "runs/op")
+	b.ReportMetric(pruned/n, "pruned/op")
+	if cands := runs + memoHits; memoHits > 0 && cands > n {
+		// Of the candidates that reached the memo, the fraction it absorbed
+		// (the root prefixes of each op are not candidates).
+		b.ReportMetric(100*memoHits/(cands-n), "dedup%")
+	}
+}
+
+// McheckBenchmarks returns the E_Mcheck family: model-checker exploration
+// throughput on full-vs-POR row pairs, plus the POR-only rows whose full
+// enumerations are too big to time (the two MCHECK_EXHAUSTIVE matrix rows
+// and the sb3 config full enumeration cannot finish at all). Kept out of
+// StandardBenchmarks because one iteration is a whole exploration; cmd/bench
+// runs them with their own benchtime, and the `go test -bench` wrapper picks
+// up only the sub-second rows.
+func McheckBenchmarks() []BenchSpec {
+	var specs []BenchSpec
+	for _, row := range []struct {
+		litmus, protocol string
+		full             bool // also time the full enumeration
+	}{
+		{"sb", "write-update", true},
+		{"sb", "write-invalidate", true},
+		{"iriw", "write-update", true},
+		{"recall", "write-invalidate", false},
+		{"iriw", "mesi", false},
+		{"sb3", "mesi", false},
+	} {
+		row := row
+		if row.full {
+			specs = append(specs, BenchSpec{
+				Name: fmt.Sprintf("E_Mcheck/%s/%s/full", row.litmus, row.protocol),
+				F:    func(b *testing.B) { benchMcheck(b, row.litmus, row.protocol, false, 0) },
+			})
+		}
+		specs = append(specs, BenchSpec{
+			Name: fmt.Sprintf("E_Mcheck/%s/%s/por", row.litmus, row.protocol),
+			F:    func(b *testing.B) { benchMcheck(b, row.litmus, row.protocol, true, 0) },
+		})
 	}
 	return specs
 }

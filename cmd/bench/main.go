@@ -14,6 +14,7 @@
 //	go run ./cmd/bench -fault                         # include the E_Fault family (armed-idle tax + hostile rows)
 //	go run ./cmd/bench -scale-benchtime 150x          # include the E_Scale n≤512 sweep
 //	go run ./cmd/bench -partition-benchtime 50x       # include the E_Partition kernels sweep + E_HomeBatch
+//	go run ./cmd/bench -mcheck-benchtime 5x -procs 1,0  # include the E_Mcheck family with a worker-scaling sweep
 //	go run ./cmd/bench -compare BENCH_2.json -in BENCH_3.json   # delta table, no benchmarks run
 //	go run ./cmd/bench -compare BENCH_2.json          # run, then print the delta table
 package main
@@ -67,9 +68,12 @@ type File struct {
 	ScaleBenchTime string `json:"scale_benchtime,omitempty"`
 	// PartitionBenchTime is the benchtime of the E_Partition + E_HomeBatch
 	// families (skipped when empty).
-	PartitionBenchTime string            `json:"partition_benchtime,omitempty"`
-	Results            []Result          `json:"results"`
-	Baseline           map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
+	PartitionBenchTime string `json:"partition_benchtime,omitempty"`
+	// McheckBenchTime is the benchtime of the E_Mcheck model-checker family
+	// (skipped when empty); one iteration is one whole exploration.
+	McheckBenchTime string            `json:"mcheck_benchtime,omitempty"`
+	Results         []Result          `json:"results"`
+	Baseline        map[string]Result `json:"baseline,omitempty"` // prior-PR numbers for the gated benchmarks
 }
 
 func main() {
@@ -79,6 +83,7 @@ func main() {
 	scaleBenchtime := flag.String("scale-benchtime", "", "benchtime for the E_Scale family (empty = skip the family)")
 	partitionBenchtime := flag.String("partition-benchtime", "", "benchtime for the E_Partition and E_HomeBatch families (empty = skip them)")
 	faultBench := flag.Bool("fault", false, "include the E_Fault family (armed-idle overhead pair + hostile rows)")
+	mcheckBenchtime := flag.String("mcheck-benchtime", "", "benchtime for the E_Mcheck model-checker family (empty = skip it); with -procs the family is re-run per GOMAXPROCS value for worker scaling")
 	kernels := flag.String("kernels", "", "comma-separated shard counts for the E_Partition sweep (default 1,2,4,8)")
 	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values to re-run the E_Partition sweep under (0 = NumCPU); rows gain a /procs=N suffix and the setting is restored afterwards")
 	pr := flag.Int("pr", 0, "PR number to record")
@@ -165,6 +170,9 @@ func main() {
 	if *partitionBenchtime != "" {
 		file.PartitionBenchTime = *partitionBenchtime
 	}
+	if *mcheckBenchtime != "" {
+		file.McheckBenchTime = *mcheckBenchtime
+	}
 	if *baseline != "" {
 		prev, err := readBaseline(*baseline)
 		if err != nil {
@@ -235,6 +243,27 @@ func main() {
 			runtime.GOMAXPROCS(restore)
 		}
 		run(dsmrace.HomeBatchBenchmarks())
+	}
+	if *mcheckBenchtime != "" {
+		setBenchtime(*mcheckBenchtime)
+		if *procs == "" {
+			run(dsmrace.McheckBenchmarks())
+		} else {
+			// Worker scaling: the exploration pool defaults to GOMAXPROCS,
+			// so sweeping GOMAXPROCS (typically 1,0) times the same rows
+			// serial and parallel; speedup reads as a row-vs-row division,
+			// and determinism means both rows explore identical trees.
+			pvals, err := parseProcs(*procs)
+			if err != nil {
+				fail("bench: %v\n", err)
+			}
+			restore := runtime.GOMAXPROCS(0)
+			for _, p := range pvals {
+				runtime.GOMAXPROCS(p)
+				run(suffixed(dsmrace.McheckBenchmarks(), fmt.Sprintf("/procs=%d", p)))
+			}
+			runtime.GOMAXPROCS(restore)
+		}
 	}
 
 	enc, err := json.MarshalIndent(file, "", "  ")

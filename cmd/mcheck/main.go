@@ -11,9 +11,12 @@
 //	mcheck -litmus sb,iriw -protocol causal
 //	mcheck -protocol wi-skip-last-inval    # explore a seeded mutation
 //	mcheck -max-runs 2097152               # raise the enumeration budget
+//	mcheck -por=on -workers 4              # partial-order reduction, 4 workers
+//	mcheck -json                           # one JSON stats object per pair
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,13 +35,48 @@ func promised(protocol string) dsmrace.McheckLevel {
 	return dsmrace.McheckLevelSC
 }
 
+// stats is the -json output shape for one litmus/protocol pair.
+type stats struct {
+	Litmus                   string `json:"litmus"`
+	Protocol                 string `json:"protocol"`
+	POR                      bool   `json:"por"`
+	Runs                     int    `json:"runs"`
+	Unique                   int    `json:"unique"`
+	UniqueStates             int    `json:"unique_states"`
+	StateFold                uint64 `json:"state_fold"`
+	MaxChoices               int    `json:"max_choices"`
+	Pruned                   int    `json:"pruned"`
+	MemoHits                 int    `json:"memo_hits"`
+	Weakest                  string `json:"weakest"`
+	SCViolations             int    `json:"sc_violations"`
+	CausalViolations         int    `json:"causal_violations"`
+	CoherenceViolations      int    `json:"coherence_violations"`
+	StateSCViolations        int    `json:"state_sc_violations"`
+	StateCausalViolations    int    `json:"state_causal_violations"`
+	StateCoherenceViolations int    `json:"state_coherence_violations"`
+	FirstNonSC               string `json:"first_non_sc,omitempty"`
+	FirstNonCausal           string `json:"first_non_causal,omitempty"`
+}
+
 func main() {
 	var (
-		litmus   = flag.String("litmus", "all", "comma-separated litmus names (sb, iriw, mp, recall) or all")
+		litmus   = flag.String("litmus", "all", "comma-separated litmus names (sb, iriw, mp, recall, sb3) or all")
 		protocol = flag.String("protocol", "all", "comma-separated coherence protocols, mutation names, or all (stock protocols)")
-		maxRuns  = flag.Int("max-runs", 1<<20, "enumeration budget per pair; exceeding it is an error")
+		maxRuns  = flag.Int("max-runs", 1<<20, "budget of runs attempted per pair; exceeding it is an error")
+		por      = flag.String("por", "off", "partial-order reduction: on or off (state set and verdicts are identical either way)")
+		workers  = flag.Int("workers", 0, "exploration worker-pool size; 0 means GOMAXPROCS (outcome is identical for every value)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON stats object per pair instead of text")
 	)
 	flag.Parse()
+	porOn := false
+	switch *por {
+	case "on":
+		porOn = true
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "mcheck: -por=%q (want on or off)\n", *por)
+		os.Exit(2)
+	}
 
 	litmuses := strings.Split(*litmus, ",")
 	if *litmus == "all" {
@@ -49,23 +87,47 @@ func main() {
 		protocols = dsmrace.CoherenceNames()
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	broken := false
 	for _, lit := range litmuses {
 		for _, proto := range protocols {
-			out, err := dsmrace.Mcheck(lit, proto, *maxRuns)
+			out, err := dsmrace.McheckExplore(lit, proto, dsmrace.McheckOptions{
+				MaxRuns: *maxRuns, POR: porOn, Workers: *workers,
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mcheck:", err)
 				os.Exit(2)
 			}
-			fmt.Println(out)
-			if out.FirstNonSC != "" {
-				fmt.Printf("  first non-SC:     %s\n", out.FirstNonSC)
-			}
-			if out.FirstNonCausal != "" {
-				fmt.Printf("  first non-causal: %s\n", out.FirstNonCausal)
+			if *jsonOut {
+				enc.Encode(stats{
+					Litmus: out.Litmus, Protocol: out.Protocol, POR: out.POR,
+					Runs: out.Runs, Unique: out.Unique,
+					UniqueStates: out.UniqueStates, StateFold: out.StateFold,
+					MaxChoices: out.MaxChoices, Pruned: out.Pruned, MemoHits: out.MemoHits,
+					Weakest:      out.Weakest.String(),
+					SCViolations: out.SCViolations, CausalViolations: out.CausalViolations,
+					CoherenceViolations:      out.CoherenceViolations,
+					StateSCViolations:        out.StateSCViolations,
+					StateCausalViolations:    out.StateCausalViolations,
+					StateCoherenceViolations: out.StateCoherenceViolations,
+					FirstNonSC:               out.FirstNonSC, FirstNonCausal: out.FirstNonCausal,
+				})
+			} else {
+				fmt.Println(out)
+				if out.POR {
+					fmt.Printf("  por: pruned=%d memo-hits=%d states=%d\n", out.Pruned, out.MemoHits, out.UniqueStates)
+				}
+				if out.FirstNonSC != "" {
+					fmt.Printf("  first non-SC:     %s\n", out.FirstNonSC)
+				}
+				if out.FirstNonCausal != "" {
+					fmt.Printf("  first non-causal: %s\n", out.FirstNonCausal)
+				}
 			}
 			if _, err := coherencepkg.FromName(proto); err == nil && out.Weakest < promised(proto) {
-				fmt.Printf("  VIOLATION: %s promises %s, weakest observed %s\n", proto, promised(proto), out.Weakest)
+				if !*jsonOut {
+					fmt.Printf("  VIOLATION: %s promises %s, weakest observed %s\n", proto, promised(proto), out.Weakest)
+				}
 				broken = true
 			}
 		}

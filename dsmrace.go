@@ -392,6 +392,38 @@ func Mcheck(litmus, protocol string, maxRuns int) (*McheckOutcome, error) {
 	return mcheck.Explore(cfg)
 }
 
+// McheckOptions parameterises McheckExplore beyond the Mcheck defaults.
+type McheckOptions struct {
+	// MaxRuns bounds runs attempted (not unique schedules); <= 0 uses the
+	// default budget. Exceeding it is an error, never a silent truncation.
+	MaxRuns int
+	// POR enables dynamic partial-order reduction and state-fingerprint
+	// memoization: far fewer runs, provably identical unique-terminal-state
+	// set and verdicts.
+	POR bool
+	// Workers sets the exploration pool size (0 = GOMAXPROCS). The outcome
+	// is bit-identical for every value.
+	Workers int
+}
+
+// McheckExplore is Mcheck with the exploration knobs exposed: partial-order
+// reduction, worker-pool size, and the run budget.
+func McheckExplore(litmus, protocol string, opt McheckOptions) (*McheckOutcome, error) {
+	lit, err := mcheck.LitmusByName(litmus)
+	if err != nil {
+		return nil, err
+	}
+	p, err := mcheckProtocol(protocol)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mcheck.Config{Litmus: lit, Protocol: p, POR: opt.POR, Workers: opt.Workers}
+	if opt.MaxRuns > 0 {
+		cfg.MaxRuns = opt.MaxRuns
+	}
+	return mcheck.Explore(cfg)
+}
+
 // GroundTruthOf computes the exact race set of a traced run.
 func GroundTruthOf(res *Result) (*GroundTruth, error) {
 	if res.Trace == nil {

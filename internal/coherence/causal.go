@@ -335,3 +335,32 @@ func (s *causalState) DropNodeCopies(node int) {
 		l.valid = false
 	}
 }
+
+// Fingerprint implements State: per-area home state (sharer directory,
+// version counter, dependency clock), per-node observation clocks, and every
+// valid cached copy with its version, in dense (area, node) index order.
+func (s *causalState) Fingerprint(h uint64) uint64 {
+	for id := range s.dir {
+		for _, bits := range s.dir[id] {
+			h = fpMix(h, bits)
+		}
+		h = fpMix(h, s.ver[id])
+		h = fpVC(h, s.dep[id])
+		h = fpMix(h, 0x63617573) // area separator
+	}
+	for node := 0; node < s.nodes; node++ {
+		h = fpVC(h, s.obs[node])
+		for id := range s.dir {
+			l := s.line(node, memory.AreaID(id), false)
+			if l == nil || !l.valid {
+				h = fpMix(h, 0)
+				continue
+			}
+			h = fpMix(h, 1)
+			h = fpMix(h, l.v)
+			h = fpWords(h, l.data)
+			h = fpClock(h, l.w)
+		}
+	}
+	return h
+}

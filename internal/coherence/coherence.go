@@ -144,6 +144,15 @@ type State interface {
 	Invalidees(writer int, a memory.Area) []int
 	// Stats returns the run's protocol event counters.
 	Stats() Stats
+	// Fingerprint folds the protocol's full replica state — directories,
+	// cached copies with their clocks, versions, ownership — into h with
+	// FNV-style mixing, iterating nodes and areas in dense index order so
+	// the result is deterministic across runs and kernel counts. Two states
+	// with equal fingerprints behave identically under any future delivery
+	// sequence (modulo hash collision); exploration drivers use this to
+	// recognise re-entered states. Event counters are excluded: they never
+	// influence protocol behaviour.
+	Fingerprint(h uint64) uint64
 }
 
 // FromName resolves a protocol by flag value: "" and "write-update" (or
@@ -195,6 +204,41 @@ func (nopState) DropCopy(int, memory.Area)                                     {
 func (nopState) AddSharer(int, memory.Area)                                    {}
 func (nopState) Invalidees(int, memory.Area) []int                             { return nil }
 func (nopState) Stats() Stats                                                  { return Stats{} }
+func (nopState) Fingerprint(h uint64) uint64                                   { return fpMix(h, 0x6e6f70) }
+
+// FNV-1a prime, shared by every State.Fingerprint implementation.
+const fpPrime = 1099511628211
+
+// fpMix is one full-word FNV-1a style mixing step.
+func fpMix(h, v uint64) uint64 { return (h ^ v) * fpPrime }
+
+// fpClock folds a masked clock's components into h (the mask is derivable
+// from V, so hashing V alone suffices).
+func fpClock(h uint64, m vclock.Masked) uint64 {
+	h = fpMix(h, uint64(len(m.V)))
+	for _, x := range m.V {
+		h = fpMix(h, x)
+	}
+	return h
+}
+
+// fpVC folds a dense clock into h.
+func fpVC(h uint64, v vclock.VC) uint64 {
+	h = fpMix(h, uint64(len(v)))
+	for _, x := range v {
+		h = fpMix(h, x)
+	}
+	return h
+}
+
+// fpWords folds a word slice into h.
+func fpWords(h uint64, ws []memory.Word) uint64 {
+	h = fpMix(h, uint64(len(ws)))
+	for _, w := range ws {
+		h = fpMix(h, uint64(w))
+	}
+	return h
+}
 
 // ---- Write-invalidate ----
 
@@ -386,6 +430,30 @@ func (s *wiState) Stats() Stats {
 		t.Invalidations += n.Invalidations
 	}
 	return t
+}
+
+// Fingerprint implements State: sharer directories plus every valid cached
+// copy (data and write clock), in dense (area, node) index order.
+func (s *wiState) Fingerprint(h uint64) uint64 {
+	for id := range s.dir {
+		for _, bits := range s.dir[id] {
+			h = fpMix(h, bits)
+		}
+		h = fpMix(h, 0x77692d64) // area separator
+	}
+	for node := 0; node < s.nodes; node++ {
+		for id := range s.dir {
+			l := s.line(node, memory.AreaID(id), false)
+			if l == nil || !l.valid {
+				h = fpMix(h, 0)
+				continue
+			}
+			h = fpMix(h, 1)
+			h = fpWords(h, l.data)
+			h = fpClock(h, l.w)
+		}
+	}
+	return h
 }
 
 // CountHomeRead and CountFetch let the transport attribute events the state

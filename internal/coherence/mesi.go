@@ -341,3 +341,30 @@ func (s *mesiState) FlushDirty(visit func(node int, id memory.AreaID, data []mem
 		}
 	}
 }
+
+// Fingerprint implements State: sharer directories and exclusive-owner
+// records per area, plus every valid cached line with its MESI state, in
+// dense (area, node) index order.
+func (s *mesiState) Fingerprint(h uint64) uint64 {
+	for id := range s.dir {
+		for _, bits := range s.dir[id] {
+			h = fpMix(h, bits)
+		}
+		h = fpMix(h, uint64(int64(s.excl[id]))&0xffffffff)
+		h = fpMix(h, 0x6d657369) // area separator
+	}
+	for node := 0; node < s.nodes; node++ {
+		for id := range s.dir {
+			l := s.line(node, memory.AreaID(id), false)
+			if l == nil || !l.valid {
+				h = fpMix(h, 0)
+				continue
+			}
+			h = fpMix(h, 1)
+			h = fpMix(h, uint64(l.state))
+			h = fpWords(h, l.data)
+			h = fpClock(h, l.w)
+		}
+	}
+	return h
+}

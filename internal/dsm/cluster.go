@@ -76,6 +76,12 @@ type Config struct {
 	// seed. Choice points are defined against the single kernel's event
 	// order, so Kernels degrades to 1.
 	Chooser func(n int) int
+	// MetaChooser, when non-nil, resolves metadata-carrying choice points
+	// (sim.Config.MetaChooser): like Chooser, but each choice arrives with
+	// the delivery's (link, kind, size, area, timing) metadata so an
+	// exploration driver can reason about independence without replay.
+	// Single-kernel only, like Chooser.
+	MetaChooser func(n int, m sim.ChoiceMeta) int
 	// Faults, when non-nil, threads the deterministic fault-injection layer
 	// (internal/fault) through the run: scheduled link cuts/heals, node
 	// crash/restart with re-homing, probabilistic message loss, and
@@ -193,7 +199,7 @@ func New(cfg Config) (*Cluster, error) {
 			kcount, note = 1, "observers need the single kernel's apply order"
 		case cfg.RDMA.LegacyInitiator:
 			kcount, note = 1, "the legacy initiator shim is single-kernel only"
-		case cfg.Chooser != nil:
+		case cfg.Chooser != nil || cfg.MetaChooser != nil:
 			kcount, note = 1, "the schedule chooser is single-kernel only"
 		default:
 			var ok bool
@@ -229,7 +235,7 @@ func New(cfg Config) (*Cluster, error) {
 		look:       look,
 		space:      memory.NewSpace(cfg.Procs, cfg.PrivateWords, cfg.PublicWords),
 	}
-	scfg := sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime, Chooser: cfg.Chooser}
+	scfg := sim.Config{Seed: cfg.Seed, MaxEvents: cfg.MaxEvents, MaxTime: cfg.MaxTime, Chooser: cfg.Chooser, MetaChooser: cfg.MetaChooser}
 	if kcount > 1 {
 		policy, err := sim.PartitionPolicyFromName(cfg.Partition)
 		if err != nil {

@@ -7,16 +7,46 @@
 // # Enumeration
 //
 // Schedules are enumerated through the simulation kernel's choice hook
-// (sim.Config.Chooser): the network's choice-delay layer
+// (sim.Config.MetaChooser): the network's choice-delay layer
 // (network.EnableChoiceDelay) turns every message sent inside the measured
 // window into a choice point that stretches its latency by 0..Steps-1
 // quanta, so delivery order itself becomes a decision variable. The
-// explorer walks the resulting tree depth-first by stateless replay — each
-// run replays a recorded choice prefix against a fresh cluster, extends it
-// with zeros, and the deepest incrementable position advances next — which
-// systematically replaces seed sampling with full enumeration. Warm-up
-// reads and the barrier run before the window on the default schedule, so
-// the tree covers exactly the measured operations.
+// explorer walks the resulting tree by stateless replay — each run replays
+// a recorded choice prefix against a fresh cluster and extends it with
+// zeros — which systematically replaces seed sampling with full
+// enumeration. Warm-up reads and the barrier run before the window on the
+// default schedule, so the tree covers exactly the measured operations.
+//
+// Exploration is work-shared (workers.go): runs are grouped into
+// generations, a worker pool (Config.Workers, default GOMAXPROCS) executes
+// each generation's independent replays concurrently, and everything
+// order-sensitive — candidate ordering, memo lookups, the final merge —
+// happens serially in choice-vector lexicographic order, which is exactly
+// the legacy depth-first enumeration order. The Outcome is therefore
+// bit-identical for every worker count, and with reduction off it
+// reproduces the serial exhaustive enumeration bit-for-bit.
+//
+// # Partial-order reduction
+//
+// Config.POR turns on three pruning rules (por.go) plus a state-fingerprint
+// memo, cutting explored schedules by one to three orders of magnitude
+// while provably (rules R1/R2) or gate-checkably (rule R3, the conservative
+// independence cone) preserving the unique-terminal-state set, the verdict,
+// and the first-violation observations. R1 drops alternatives the per-link
+// FIFO clamp makes indistinguishable before running them; R2 stops delaying
+// messages once every measured program has finished; R3 prunes a delay
+// unless some dependent event — a delivery touching the delayed message's
+// destination or a conflicting area, a send it could reorder against, a
+// measured operation or wakeup on its path — falls inside the shifted
+// window. The memo fingerprints machine state at each choice point (logical
+// memory, protocol replica state, lock tables, pending operations, kernel
+// queue profile, the in-flight message multiset with relative arrival
+// times) and cuts off re-entered subtrees, keeping only the
+// lexicographically first occurrence so first-violation reporting is
+// stable. The equivalence gates (TestPOREquivalenceGate,
+// FuzzMcheckPOREquivalence) compare full and reduced exploration end to
+// end; TestPORMutantSweep proves no seeded protocol bug hides behind a
+// pruned interleaving.
 //
 // # Canonicalization
 //

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dsmrace/internal/coherence"
+	"dsmrace/internal/memory"
 	"dsmrace/internal/sim"
 )
 
@@ -15,6 +16,88 @@ import (
 // table keyed by litmus and protocol; a signature reappearing with a
 // different observation hash — within one input or across the whole fuzzing
 // session — is exactly the bug the invariant forbids.
+// FuzzMcheckPOREquivalence fuzzes tiny litmus configurations — 2–3 nodes,
+// 1–2 one-word areas, short random put/get programs — and checks the
+// reduction's soundness contract on each: exploring with POR and the memo on
+// must reach exactly the unique-terminal-state set (count and commutative
+// fold) and verdicts of full enumeration. This probes litmus shapes the
+// pinned matrix never tries, which is where an unsound independence rule or
+// a fingerprint collision would hide.
+func FuzzMcheckPOREquivalence(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(3), []byte{0x12})
+	f.Add(uint8(5), []byte{0xa7, 0x01})
+	f.Add(uint8(14), []byte{0xff, 0x3c, 0x80})
+	f.Fuzz(func(t *testing.T, sel uint8, raw []byte) {
+		procs := 2 + int(sel)&1
+		nvars := 1 + int(sel>>1)&1
+		proto := coherence.Names()[int(sel>>2)%len(coherence.Names())]
+		vars := make([]Var, nvars)
+		names := []string{"x", "y"}
+		for i := range vars {
+			vars[i] = Var{Name: names[i], Home: i % procs}
+		}
+		lit := Litmus{Name: "fuzz", Procs: procs, Vars: vars}
+		lit.Warm = make([][]string, procs)
+		lit.Prog = make([][]Op, procs)
+		val := memory.Word(1)
+		for p := 0; p < procs; p++ {
+			for _, name := range names[:nvars] {
+				lit.Warm[p] = append(lit.Warm[p], name)
+			}
+			nops := 1
+			if p < len(raw) {
+				nops = 1 + int(raw[p])&1
+			}
+			for j := 0; j < nops; j++ {
+				b := byte(0)
+				if k := p*2 + j; k < len(raw) {
+					b = raw[k]
+				}
+				v := names[int(b>>1)%nvars]
+				if b&1 == 0 {
+					lit.Prog[p] = append(lit.Prog[p], Op{Kind: OpGet, Var: v})
+				} else {
+					lit.Prog[p] = append(lit.Prog[p], Op{Kind: OpPut, Var: v, Val: val})
+					val++
+				}
+			}
+		}
+		if err := lit.validate(); err != nil {
+			t.Fatalf("generated litmus invalid: %v", err)
+		}
+		p1, err := coherence.FromName(proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Explore(Config{Litmus: lit, Protocol: p1, MaxRuns: 1 << 14})
+		if err != nil {
+			return // tree too big for the fuzz budget — not a property failure
+		}
+		p2, err := coherence.FromName(proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		por, err := Explore(Config{Litmus: lit, Protocol: p2, MaxRuns: 1 << 14, POR: true})
+		if err != nil {
+			t.Fatalf("POR exploration failed where full enumeration succeeded: %v", err)
+		}
+		if full.UniqueStates != por.UniqueStates || full.StateFold != por.StateFold ||
+			full.Weakest != por.Weakest ||
+			full.FirstNonSC != por.FirstNonSC || full.FirstNonCausal != por.FirstNonCausal ||
+			full.StateSCViolations != por.StateSCViolations ||
+			full.StateCausalViolations != por.StateCausalViolations ||
+			full.StateCoherenceViolations != por.StateCoherenceViolations {
+			t.Fatalf("%s: POR diverges from full enumeration:\n  full: states=%d fold=%#x weakest=%s firstNonSC=%q\n  por:  states=%d fold=%#x weakest=%s firstNonSC=%q",
+				proto, full.UniqueStates, full.StateFold, full.Weakest, full.FirstNonSC,
+				por.UniqueStates, por.StateFold, por.Weakest, por.FirstNonSC)
+		}
+		if por.Runs > full.Runs {
+			t.Fatalf("%s: POR explored more schedules (%d) than full enumeration (%d)", proto, por.Runs, full.Runs)
+		}
+	})
+}
+
 func FuzzMcheckCanonical(f *testing.F) {
 	f.Add(uint8(0), []byte{})
 	f.Add(uint8(1), []byte{1})
@@ -42,21 +125,22 @@ func FuzzMcheckCanonical(f *testing.F) {
 		if len(raw) > 24 {
 			raw = raw[:24]
 		}
-		vec := make([]int, len(raw))
+		vec := make([]byte, len(raw))
 		for i, b := range raw {
-			vec[i] = int(b) & 1
+			vec[i] = b & 1
 		}
 		// The truncated vector zero-extends to a (usually) different
 		// schedule; running both probes near-collisions on shared prefixes.
-		vecs := [][]int{vec}
+		vecs := [][]byte{vec}
 		if len(vec) > 0 {
 			vecs = append(vecs, vec[:len(vec)/2])
 		}
 		for _, v := range vecs {
-			obs, _, sig, err := runOne(&cfg, v)
+			rec, err := runInstr(&cfg, v)
 			if err != nil {
 				t.Fatal(err)
 			}
+			obs, sig := rec.obs, rec.sig
 			oh := obsHash(obs)
 			k := key{lit.Name, proto, sig}
 			mu.Lock()

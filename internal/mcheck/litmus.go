@@ -104,9 +104,32 @@ func RecallWindow() Litmus {
 	}
 }
 
+// StoreBuffering3 is a three-writer store-buffering ring: each of three
+// processes writes its own home variable and then reads its neighbour's
+// (P0: x=·, read y; P1: y=·, read z; P2: z=·, read x). The cyclic relaxed
+// outcome — every read observes the initial value — is causal-but-not-SC,
+// like two-process SB, but the schedule tree is an order of magnitude
+// deeper: three home fan-outs and three cross reads all race inside the
+// window. Full enumeration of this config was beyond the per-PR budget
+// before partial-order reduction; under POR it is enumerable in seconds and
+// its verdict row is pinned like every other.
+func StoreBuffering3() Litmus {
+	return Litmus{
+		Name:  "sb3",
+		Procs: 3,
+		Vars:  []Var{{Name: "x", Home: 0}, {Name: "y", Home: 1}, {Name: "z", Home: 2}},
+		Warm:  [][]string{{"y"}, {"z"}, {"x"}},
+		Prog: [][]Op{
+			{{Kind: OpPut, Var: "x", Val: 100}, {Kind: OpGet, Var: "y"}},
+			{{Kind: OpPut, Var: "y", Val: 200}, {Kind: OpGet, Var: "z"}},
+			{{Kind: OpPut, Var: "z", Val: 300}, {Kind: OpGet, Var: "x"}},
+		},
+	}
+}
+
 // Litmuses returns every canned configuration.
 func Litmuses() []Litmus {
-	return []Litmus{StoreBuffering(), IRIW(), MessagePassing(), RecallWindow()}
+	return []Litmus{StoreBuffering(), IRIW(), MessagePassing(), RecallWindow(), StoreBuffering3()}
 }
 
 // LitmusByName resolves a canned configuration by its Name.
@@ -116,5 +139,5 @@ func LitmusByName(name string) (Litmus, error) {
 			return l, nil
 		}
 	}
-	return Litmus{}, fmt.Errorf("mcheck: unknown litmus %q (want sb, iriw, mp or recall)", name)
+	return Litmus{}, fmt.Errorf("mcheck: unknown litmus %q (want sb, iriw, mp, recall or sb3)", name)
 }

@@ -5,10 +5,7 @@ import (
 	"strings"
 
 	"dsmrace/internal/coherence"
-	"dsmrace/internal/dsm"
 	"dsmrace/internal/memory"
-	"dsmrace/internal/network"
-	"dsmrace/internal/rdma"
 	"dsmrace/internal/sim"
 )
 
@@ -127,8 +124,25 @@ type Config struct {
 	// reorders deliveries across operations).
 	Quantum sim.Time
 	// MaxRuns bounds the enumeration (default 65536); exceeding it is an
-	// error, not a silent truncation.
+	// error, not a silent truncation. The cap counts runs attempted — every
+	// canonical run executed, including the roots of subtrees later found
+	// redundant — not unique schedules: Outcome.Unique (and, under POR,
+	// Pruned and MemoHits) can each be far smaller than the run count that
+	// trips the cap.
 	MaxRuns int
+	// POR enables dynamic partial-order reduction and state-fingerprint
+	// memoization (see por.go): explored-schedule counts drop by the
+	// redundant interleavings, while the unique terminal-state set, the
+	// verdict, and the first-violation observations provably — and, for
+	// the conservative independence cone, gate-checkably — stay identical
+	// to full enumeration. Off by default: the zero Config reproduces the
+	// legacy exhaustive enumeration bit-for-bit.
+	POR bool
+	// Workers sets the exploration worker-pool size: 0 means GOMAXPROCS,
+	// 1 is serial. The Outcome is bit-identical for every value — workers
+	// only execute independent replays; all order-sensitive folding
+	// happens at serial generation barriers in vector order.
+	Workers int
 }
 
 // Outcome summarises one exploration: every distinguishable schedule of the
@@ -153,6 +167,25 @@ type Outcome struct {
 	// failed the level ("" when none did).
 	FirstNonSC     string
 	FirstNonCausal string
+	// POR echoes Config.POR so a printed outcome names its mode.
+	POR bool
+	// Pruned counts choice-point alternatives the POR rules cut off (whole
+	// subtrees each); MemoHits counts candidates absorbed by the
+	// state-fingerprint memo. Both are zero under full enumeration, so a
+	// run that tripped MaxRuns with nonzero Pruned/MemoHits was reducing
+	// but still too big, while zeros mean reduction never applied.
+	Pruned, MemoHits int
+	// UniqueStates counts distinct terminal observation vectors — the
+	// state-level measure the POR equivalence gates compare, invariant
+	// under reduction (many unique delivery timelines fold into one
+	// terminal state). StateFold is a commutative fold of their hashes, so
+	// two explorations cover the same state set iff the folds match.
+	UniqueStates int
+	StateFold    uint64
+	// State-level violation counters (per distinct terminal state, not per
+	// unique schedule): identical with and without POR, unlike the
+	// schedule-weighted counters above.
+	StateSCViolations, StateCausalViolations, StateCoherenceViolations int
 }
 
 // String renders the outcome as a one-line verdict for logs and tables.
@@ -228,112 +261,17 @@ func renderObs(lit *Litmus, obs [][]memory.Word) string {
 	return b.String()
 }
 
-// runOne executes the litmus under one choice vector: positions beyond the
-// vector resolve to 0 (the depth-first zero-extension). It returns the
-// observation vector, the arity of every choice point encountered, and the
-// canonical schedule signature — an FNV-1a hash over the delivery timeline
-// (src, dst, kind, size, time of every delivered message).
-func runOne(cfg *Config, vec []int) (obs [][]memory.Word, arity []int, sig uint64, err error) {
-	lit := &cfg.Litmus
-	mismatch := false
-	chooser := func(n int) int {
-		i := len(arity)
-		arity = append(arity, n)
-		v := 0
-		if i < len(vec) {
-			v = vec[i]
-		}
-		if v >= n {
-			// Replay is deterministic, so a prefix's arity cannot change
-			// between runs; seeing it happen means the invariant broke.
-			mismatch = true
-			v = n - 1
-		}
-		return v
-	}
-	rcfg := rdma.DefaultConfig(nil, nil)
-	rcfg.Coherence = cfg.Protocol
-	c, err := dsm.New(dsm.Config{
-		Procs:     lit.Procs,
-		Seed:      1,
-		Latency:   network.Constant{L: linkLatency},
-		RDMA:      rcfg,
-		Chooser:   chooser,
-		MaxEvents: maxEvents,
-	})
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	for _, v := range lit.Vars {
-		if err := c.Alloc(v.Name, v.Home, 1); err != nil {
-			return nil, nil, 0, err
-		}
-	}
-	c.Network().EnableChoiceDelay(armAt, cfg.Quantum, cfg.Steps)
-	k := c.Kernel()
-	sig = fnvOffset
-	c.Network().OnDeliver = func(src, dst network.NodeID, kind network.Kind, size int) {
-		sig = fnvMix(sig, uint64(src))
-		sig = fnvMix(sig, uint64(dst))
-		sig = fnvMix(sig, uint64(kind))
-		sig = fnvMix(sig, uint64(size))
-		sig = fnvMix(sig, uint64(k.Now()))
-	}
-	obs = make([][]memory.Word, lit.Procs)
-	progs := make([]dsm.Program, lit.Procs)
-	for i := range progs {
-		i := i
-		obs[i] = make([]memory.Word, len(lit.Prog[i]))
-		progs[i] = func(p *dsm.Proc) error {
-			if i < len(lit.Warm) {
-				for _, name := range lit.Warm[i] {
-					if _, err := p.Get(name, 0, 1); err != nil {
-						return err
-					}
-				}
-			}
-			p.Barrier()
-			if now := p.Now(); now < armAt {
-				p.Sleep(armAt - now)
-			}
-			for j, op := range lit.Prog[i] {
-				switch op.Kind {
-				case OpPut:
-					if err := p.Put(op.Var, 0, op.Val); err != nil {
-						return err
-					}
-					obs[i][j] = op.Val
-				case OpGet:
-					w, err := p.GetWord(op.Var, 0)
-					if err != nil {
-						return err
-					}
-					obs[i][j] = w
-				case OpSleep:
-					p.Sleep(op.D)
-				}
-			}
-			return nil
-		}
-	}
-	res, err := c.RunEach(progs)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	if e := res.FirstError(); e != nil {
-		return nil, nil, 0, e
-	}
-	if mismatch {
-		return nil, nil, 0, fmt.Errorf("mcheck: choice arity changed under prefix replay (nondeterministic schedule tree)")
-	}
-	return obs, arity, sig, nil
-}
-
 // Explore enumerates every distinguishable schedule of the litmus under the
 // protocol and classifies each terminal observation against the SC, causal
-// and coherence axioms. The enumeration is a depth-first walk of the choice
-// tree by stateless replay: each run replays a recorded prefix, extends it
-// with zeros, and the deepest incrementable position advances next.
+// and coherence axioms. The exploration is a work-shared walk of the choice
+// tree by stateless replay (see workers.go): each run replays a recorded
+// prefix and extends it with zeros, and the alternatives it spawns — all of
+// them, or the survivors of the partial-order-reduction rules when
+// Config.POR is set (see por.go) — become further runs. Results fold in
+// vector order, so the Outcome is bit-identical for any Workers value, and
+// with POR off it reproduces the legacy serial depth-first enumeration
+// exactly. MaxRuns caps runs attempted (not unique schedules); exceeding it
+// is an error, not a silent truncation.
 func Explore(cfg Config) (*Outcome, error) {
 	if err := cfg.Litmus.validate(); err != nil {
 		return nil, err
@@ -347,78 +285,16 @@ func Explore(cfg Config) (*Outcome, error) {
 	if cfg.Steps < 2 {
 		return nil, fmt.Errorf("mcheck: Steps must be at least 2")
 	}
+	if cfg.Steps > 255 {
+		return nil, fmt.Errorf("mcheck: Steps must fit a choice byte (at most 255)")
+	}
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 10 * sim.Microsecond
 	}
 	if cfg.MaxRuns == 0 {
 		cfg.MaxRuns = 1 << 16
 	}
-	lit := &cfg.Litmus
-	out := &Outcome{Litmus: lit.Name, Protocol: cfg.Protocol.Name(), Weakest: LevelSC}
-	// sigObs maps each canonical signature to its observation hash: two
-	// runs with identical delivery timelines must observe identical values,
-	// or the canonicalizer would be merging distinguishable schedules.
-	sigObs := map[uint64]uint64{}
-	vec := []int{}
-	for {
-		obs, arity, sig, err := runOne(&cfg, vec)
-		if err != nil {
-			return nil, err
-		}
-		out.Runs++
-		if len(arity) > out.MaxChoices {
-			out.MaxChoices = len(arity)
-		}
-		oh := obsHash(obs)
-		if prev, ok := sigObs[sig]; ok {
-			if prev != oh {
-				return nil, fmt.Errorf("mcheck: canonical signature %#x merges schedules with distinct observations (%s)",
-					sig, renderObs(lit, obs))
-			}
-		} else {
-			sigObs[sig] = oh
-			out.Unique++
-			h, nv := history(lit, obs)
-			lvl, err := classify(h, nv)
-			if err != nil {
-				return nil, fmt.Errorf("mcheck: %s under %s: %w", renderObs(lit, obs), out.Protocol, err)
-			}
-			if lvl < out.Weakest {
-				out.Weakest = lvl
-			}
-			if lvl < LevelSC {
-				out.SCViolations++
-				if out.FirstNonSC == "" {
-					out.FirstNonSC = renderObs(lit, obs)
-				}
-			}
-			if lvl < LevelCausal {
-				out.CausalViolations++
-				if out.FirstNonCausal == "" {
-					out.FirstNonCausal = renderObs(lit, obs)
-				}
-			}
-			if lvl < LevelCoherent {
-				out.CoherenceViolations++
-			}
-		}
-		// Advance: the grown vector is vec zero-extended to len(arity);
-		// bump the deepest position still below its arity, drop the rest.
-		next := make([]int, len(arity))
-		copy(next, vec)
-		i := len(next) - 1
-		for i >= 0 && next[i]+1 >= arity[i] {
-			i--
-		}
-		if i < 0 {
-			return out, nil
-		}
-		next[i]++
-		vec = next[:i+1]
-		if out.Runs >= cfg.MaxRuns {
-			return nil, fmt.Errorf("mcheck: enumeration of %s/%s exceeded MaxRuns=%d", lit.Name, out.Protocol, cfg.MaxRuns)
-		}
-	}
+	return exploreAll(&cfg)
 }
 
 // history converts a litmus and its observation vector into per-process

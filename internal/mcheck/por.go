@@ -1,0 +1,515 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmrace/internal/coherence"
+	"dsmrace/internal/dsm"
+	"dsmrace/internal/memory"
+	"dsmrace/internal/network"
+	"dsmrace/internal/rdma"
+	"dsmrace/internal/sim"
+)
+
+// This file is the dynamic partial-order-reduction core: an instrumented
+// replay that records, for every latency choice point, the delivery's
+// metadata, the exact arrival of every alternative, and a fingerprint of
+// the whole machine state — plus the rules that decide which alternatives
+// cannot lead anywhere new.
+//
+// The exploration is formulated recursively instead of by the classic
+// bump-the-deepest-position loop: every trimmed choice vector is uniquely a
+// prefix ending in a nonzero value. Running a prefix p zero-extended is the
+// canonical run of p's whole subtree spine, and the subtree's remaining
+// work is exactly the candidates (i, a) — position i at or past len(p),
+// alternative a ≥ 1 — each of which roots the subtree of vector
+// p·0…0·a. With no pruning this reproduces the legacy enumerator's leaf
+// set bit-for-bit; the POR rules and the fingerprint memo drop candidates
+// whose subtrees provably (or, for the conservative cone rule, checkably —
+// see the equivalence gates) revisit already-covered terminal states.
+//
+// Three rules run against the canonical run's record, so a candidate's
+// fate never depends on which worker or generation evaluated it:
+//
+//   - R1 (FIFO clamp): alternative a arrives at max(Base + a·Quantum,
+//     Floor); if that equals alternative a-1's arrival the two runs are
+//     identical event-for-event, so only the smallest alternative per
+//     distinct arrival survives. Exact.
+//   - R2 (observation completion): once every measured program has
+//     finished, no later delivery can change any observation; candidates
+//     at choice points past that instant are dropped. Exact for the
+//     terminal-observation sets the checker classifies.
+//   - R3 (independence cone): delaying message m from its canonical
+//     arrival t0 to ta only matters if something in the canonical run
+//     interacts with m's destination node or area inside the shift window.
+//     The rule scans deliveries, sends, measured ops and sleep wakeups
+//     against a per-kind independence relation, widening the window for
+//     events whose own timing is still choice-dependent (monotonically:
+//     jitter only ever delays). Events at exactly t0 on m's destination
+//     are m's own synchronous cascade and shift rigidly with it.
+//     Conservative, and validated empirically: the equivalence gate and
+//     FuzzMcheckPOREquivalence compare POR-on and POR-off terminal-state
+//     sets on every tractable configuration.
+
+// msgMeta is the delivery identity the independence relation reasons about.
+type msgMeta struct {
+	src, dst int
+	kind     network.Kind
+	area     int // AreaID+1; 0 = not area-addressed
+}
+
+// choiceRec records one latency choice point of an instrumented run.
+type choiceRec struct {
+	meta    sim.ChoiceMeta
+	arity   int
+	chosen  int
+	arrival sim.Time // post-clamp arrival under the chosen alternative
+	fp      uint64   // machine-state fingerprint at the choice instant
+	obsDone bool     // every measured program had completed by the choice
+}
+
+// delivRec is one post-warm-up delivery with its matched choice index.
+type delivRec struct {
+	at       sim.Time
+	src, dst int
+	kind     network.Kind
+	area     int
+	idx      int // matching choice index; -1 for setup-phase traffic
+}
+
+// opRec is one completed measured (or warm-up) operation.
+type opRec struct {
+	at   sim.Time
+	node int
+	area int // AreaID+1 of the variable's area
+	read bool
+}
+
+// sleepRec is one OpSleep wakeup.
+type sleepRec struct {
+	end  sim.Time
+	node int
+}
+
+// runRec is the full instrumented record of one canonical run.
+type runRec struct {
+	obs     [][]memory.Word
+	sig     uint64
+	choices []choiceRec
+	deliv   []delivRec
+	ops     []opRec
+	sleeps  []sleepRec
+	// opaque marks a run whose delivery bookkeeping could not match every
+	// post-arm delivery to a choice point; pruning is suppressed for it.
+	opaque bool
+}
+
+// inflightRec tracks one chosen-but-undelivered message for the state
+// fingerprint's in-flight multiset.
+type inflightRec struct {
+	arrival sim.Time
+	src     int
+	dst     int
+	kind    network.Kind
+	size    int
+	area    int
+}
+
+// candidate is one surviving spawn of a canonical run: the subtree rooted
+// at vector key, with the state-fingerprint memo key that identifies its
+// root state.
+type candidate struct {
+	key  string
+	memo uint64
+}
+
+// runInstr executes the litmus under one choice vector (zero-extended past
+// its end) with full POR instrumentation. It is runOne plus recording; the
+// delivery-signature hash is computed over exactly the legacy fields so
+// canonical signatures stay pinned.
+func runInstr(cfg *Config, vec []byte) (*runRec, error) {
+	lit := &cfg.Litmus
+	rec := &runRec{}
+	mismatch := false
+	var k *sim.Kernel
+	var c *dsm.Cluster
+	var inflight []inflightRec
+	doneProcs := 0
+	opCount := make([]int, lit.Procs)
+	areaOf := make(map[string]int, len(lit.Vars))
+
+	chooser := func(n int, meta sim.ChoiceMeta) int {
+		i := len(rec.choices)
+		v := 0
+		if i < len(vec) {
+			v = int(vec[i])
+		}
+		if v >= n {
+			mismatch = true
+			v = n - 1
+		}
+		arrival := meta.Base + sim.Time(v)*meta.Quantum
+		if arrival < meta.Floor {
+			arrival = meta.Floor
+		}
+		fp := stateFingerprint(cfg, c, k, rec.obs, opCount, doneProcs, inflight)
+		rec.choices = append(rec.choices, choiceRec{
+			meta:    meta,
+			arity:   n,
+			chosen:  v,
+			arrival: arrival,
+			fp:      fp,
+			obsDone: doneProcs == lit.Procs,
+		})
+		inflight = append(inflight, inflightRec{
+			arrival: arrival,
+			src:     meta.Src, dst: meta.Dst,
+			kind: network.Kind(meta.Kind), size: meta.Size, area: meta.Area,
+		})
+		return v
+	}
+
+	rcfg := rdma.DefaultConfig(nil, nil)
+	rcfg.Coherence = cfg.Protocol
+	c, err := dsm.New(dsm.Config{
+		Procs:       lit.Procs,
+		Seed:        1,
+		Latency:     network.Constant{L: linkLatency},
+		RDMA:        rcfg,
+		MetaChooser: chooser,
+		MaxEvents:   maxEvents,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range lit.Vars {
+		if err := c.Alloc(v.Name, v.Home, 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range lit.Vars {
+		a, err := c.Space().Lookup(v.Name)
+		if err != nil {
+			return nil, err
+		}
+		areaOf[v.Name] = int(a.ID) + 1
+	}
+	c.Network().EnableChoiceDelay(armAt, cfg.Quantum, cfg.Steps)
+	k = c.Kernel()
+	rec.sig = fnvOffset
+	c.Network().OnDeliver = func(src, dst network.NodeID, kind network.Kind, size, area int) {
+		now := k.Now()
+		rec.sig = fnvMix(rec.sig, uint64(src))
+		rec.sig = fnvMix(rec.sig, uint64(dst))
+		rec.sig = fnvMix(rec.sig, uint64(kind))
+		rec.sig = fnvMix(rec.sig, uint64(size))
+		rec.sig = fnvMix(rec.sig, uint64(now))
+		idx := -1
+		for j := range inflight {
+			f := &inflight[j]
+			if f.arrival == now && f.src == int(src) && f.dst == int(dst) && f.kind == kind && f.size == size {
+				idx = j
+				break
+			}
+		}
+		if idx >= 0 {
+			// The choice index is recoverable from the insertion position:
+			// entries are appended in choice order and removed on delivery,
+			// so track it explicitly instead.
+			inflight = append(inflight[:idx], inflight[idx+1:]...)
+		} else if len(rec.choices) > 0 {
+			// A post-arm delivery with no matching tracked send: the run's
+			// interaction record is incomplete, so no rule may prune on it.
+			rec.opaque = true
+		}
+		rec.deliv = append(rec.deliv, delivRec{
+			at: now, src: int(src), dst: int(dst), kind: kind, area: area,
+			idx: matchChoice(rec.choices, now, int(src), int(dst), kind),
+		})
+	}
+	rec.obs = make([][]memory.Word, lit.Procs)
+	progs := make([]dsm.Program, lit.Procs)
+	for i := range progs {
+		i := i
+		rec.obs[i] = make([]memory.Word, len(lit.Prog[i]))
+		progs[i] = func(p *dsm.Proc) error {
+			if i < len(lit.Warm) {
+				for _, name := range lit.Warm[i] {
+					if _, err := p.Get(name, 0, 1); err != nil {
+						return err
+					}
+				}
+			}
+			p.Barrier()
+			if now := p.Now(); now < armAt {
+				p.Sleep(armAt - now)
+			}
+			for j, op := range lit.Prog[i] {
+				switch op.Kind {
+				case OpPut:
+					if err := p.Put(op.Var, 0, op.Val); err != nil {
+						return err
+					}
+					rec.obs[i][j] = op.Val
+					rec.ops = append(rec.ops, opRec{at: p.Now(), node: i, area: areaOf[op.Var]})
+				case OpGet:
+					w, err := p.GetWord(op.Var, 0)
+					if err != nil {
+						return err
+					}
+					rec.obs[i][j] = w
+					rec.ops = append(rec.ops, opRec{at: p.Now(), node: i, area: areaOf[op.Var], read: true})
+				case OpSleep:
+					p.Sleep(op.D)
+					rec.sleeps = append(rec.sleeps, sleepRec{end: p.Now(), node: i})
+				}
+				opCount[i]++
+			}
+			doneProcs++
+			return nil
+		}
+	}
+	res, err := c.RunEach(progs)
+	if err != nil {
+		return nil, err
+	}
+	if e := res.FirstError(); e != nil {
+		return nil, e
+	}
+	if mismatch {
+		return nil, fmt.Errorf("mcheck: choice arity changed under prefix replay (nondeterministic schedule tree)")
+	}
+	return rec, nil
+}
+
+// matchChoice finds the choice point whose delivery this is: the earliest
+// unconsumed choice with matching link, kind and computed arrival. Choices
+// are few per run, so a backward scan with a consumed marker is overkill —
+// the (arrival, link, kind) triple is unique enough for the analysis (a
+// true ambiguity means two identical messages delivered at one instant on
+// one link, which interact with exactly the same state either way).
+func matchChoice(choices []choiceRec, at sim.Time, src, dst int, kind network.Kind) int {
+	for j := range choices {
+		cc := &choices[j]
+		if cc.arrival == at && cc.meta.Src == src && cc.meta.Dst == dst && network.Kind(cc.meta.Kind) == kind {
+			return j
+		}
+	}
+	return -1
+}
+
+// stateFingerprint hashes the whole machine at a choice instant: memory
+// content, coherence replicas, protocol-engine state (locks, pending ops,
+// invalidation rounds), the kernel's future-event profile, per-process
+// measured progress with observations so far, and the in-flight message
+// multiset with relative arrivals. All time components are deltas from
+// now, so the same state reached at different absolute times (or along
+// different prefixes) fingerprints identically.
+func stateFingerprint(cfg *Config, c *dsm.Cluster, k *sim.Kernel, obs [][]memory.Word, opCount []int, doneProcs int, inflight []inflightRec) uint64 {
+	h := uint64(fnvOffset)
+	h = c.Space().Fingerprint(h)
+	h = c.System().ExploreFingerprint(h)
+	h = k.QueueFingerprint(h)
+	h = fnvMix(h, uint64(doneProcs))
+	for i := range obs {
+		h = fnvMix(h, uint64(opCount[i]))
+		for _, w := range obs[i] {
+			h = fnvMix(h, uint64(w))
+		}
+	}
+	now := k.Now()
+	// The in-flight multiset is tiny (bounded by outstanding requests);
+	// sort a stack copy so the fold is order-independent.
+	var buf [16]inflightRec
+	fl := buf[:0]
+	fl = append(fl, inflight...)
+	sort.Slice(fl, func(a, b int) bool {
+		x, y := &fl[a], &fl[b]
+		if x.arrival != y.arrival {
+			return x.arrival < y.arrival
+		}
+		if x.src != y.src {
+			return x.src < y.src
+		}
+		if x.dst != y.dst {
+			return x.dst < y.dst
+		}
+		if x.kind != y.kind {
+			return x.kind < y.kind
+		}
+		return x.size < y.size
+	})
+	h = fnvMix(h, uint64(len(fl)))
+	for i := range fl {
+		f := &fl[i]
+		h = fnvMix(h, uint64(f.arrival-now))
+		h = fnvMix(h, uint64(f.src)<<32|uint64(f.dst))
+		h = fnvMix(h, uint64(f.kind)<<32|uint64(f.size))
+		h = fnvMix(h, uint64(f.area))
+	}
+	return h
+}
+
+// areaKind reports whether a packet kind touches shared per-area state at
+// its destination (requests, invalidations, updates). Replies and acks
+// land on the initiator's own operation state, so two of them — or one of
+// them and any same-area request elsewhere — commute unless they share a
+// node.
+func areaKind(k network.Kind) bool {
+	switch k {
+	case network.KindPutReq, network.KindGetReq, network.KindFetchReq,
+		network.KindAtomicReq, network.KindInval, network.KindUpdate,
+		network.KindLockReq, network.KindUnlock,
+		network.KindClockRead, network.KindClockWrite:
+		return true
+	}
+	return false
+}
+
+// readLike reports whether a kind only reads area state at its destination
+// under the given protocol — two read-like deliveries on one area commute.
+// A fetch is read-like under write-invalidate and causal memory (it adds a
+// sharer), but not under MESI, where serving a fetch can grant exclusivity
+// or trigger a recall.
+func readLike(k network.Kind, pk coherence.Kind) bool {
+	switch k {
+	case network.KindGetReq, network.KindClockRead:
+		return true
+	case network.KindFetchReq:
+		return pk != coherence.MESI
+	}
+	return false
+}
+
+// depend reports whether a delivery d may interact with message m: any
+// shared node, or — for two area-touching kinds that are not both
+// read-like — a shared area.
+func depend(dSrc, dDst int, dKind network.Kind, dArea int, m msgMeta, pk coherence.Kind) bool {
+	if dDst == m.dst || dSrc == m.dst {
+		return true
+	}
+	if dArea != 0 && dArea == m.area && areaKind(dKind) && areaKind(m.kind) {
+		if readLike(dKind, pk) && readLike(m.kind, pk) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// r3Independent decides the cone rule for candidate (i, a): delaying choice
+// i's message from its canonical arrival t0 to ta. It scans the canonical
+// record for any interacting event inside the shift window, widening the
+// window start down to the choice's send instant for events whose own
+// timing is still suffix-dependent (indices past i — jitter is monotone,
+// so canonical times are lower bounds). Events at exactly t0 on m's
+// destination are m's synchronous cascade and shift rigidly with it.
+func r3Independent(rec *runRec, i int, t0, ta sim.Time, pk coherence.Kind) bool {
+	ci := &rec.choices[i]
+	m := msgMeta{src: ci.meta.Src, dst: ci.meta.Dst, kind: network.Kind(ci.meta.Kind), area: ci.meta.Area}
+	nowI := ci.meta.Now
+	for di := range rec.deliv {
+		d := &rec.deliv[di]
+		if d.idx == i {
+			continue // m itself
+		}
+		lo := t0
+		if d.idx > i || d.idx < 0 && d.at > nowI {
+			// Suffix-shiftable (or unmatched): its canonical time is only a
+			// lower bound, so anything not already before the choice could
+			// move into the window.
+			lo = nowI
+		}
+		if d.at >= lo && d.at <= ta && depend(d.src, d.dst, d.kind, d.area, m, pk) {
+			return false
+		}
+	}
+	for j := range rec.choices {
+		if j == i {
+			continue
+		}
+		cj := &rec.choices[j]
+		if cj.meta.Src != m.dst {
+			continue
+		}
+		sj := cj.meta.Now
+		if j > i && sj > nowI && sj <= ta && sj != t0 {
+			// m's destination originates traffic inside the window that is
+			// not m's own instant-t0 cascade: delaying m may change it.
+			return false
+		}
+	}
+	for oi := range rec.ops {
+		o := &rec.ops[oi]
+		if o.at <= nowI || o.at > ta {
+			continue
+		}
+		if o.node == m.dst {
+			if o.at == t0 {
+				continue // m's synchronous completion; shifts rigidly
+			}
+			return false
+		}
+		if o.area != 0 && o.area == m.area && areaKind(m.kind) && !(o.read && readLike(m.kind, pk)) {
+			return false
+		}
+	}
+	for si := range rec.sleeps {
+		s := &rec.sleeps[si]
+		if s.node == m.dst && s.end > nowI && s.end <= ta {
+			// An independent timer fires on m's destination inside the
+			// window; its continuation would interleave differently.
+			return false
+		}
+	}
+	return true
+}
+
+// spawn computes the surviving candidates of a canonical run of prefix
+// (vec's first prefixLen values): for every choice position at or past the
+// prefix, every alternative the POR rules keep. It also returns how many
+// alternatives the rules pruned. With cfg.POR off every alternative
+// survives, reproducing the legacy enumerator's leaf set exactly.
+func spawn(cfg *Config, rec *runRec, prefix []byte, pk coherence.Kind) (cands []candidate, pruned int) {
+	for i := len(prefix); i < len(rec.choices); i++ {
+		ci := &rec.choices[i]
+		if cfg.POR && ci.obsDone {
+			// R2: every measured program has finished; nothing after this
+			// instant can change any observation. obsDone is monotone in i,
+			// so everything from here on prunes.
+			for j := i; j < len(rec.choices); j++ {
+				pruned += rec.choices[j].arity - 1
+			}
+			return cands, pruned
+		}
+		t0 := ci.arrival
+		for a := 1; a < ci.arity; a++ {
+			ta := ci.meta.Base + sim.Time(a)*ci.meta.Quantum
+			if cfg.POR && ta <= ci.meta.Floor {
+				// R1: the FIFO clamp makes this alternative's arrival equal
+				// to the previous one's; the runs are identical.
+				pruned++
+				continue
+			}
+			if ta < ci.meta.Floor {
+				ta = ci.meta.Floor
+			}
+			if cfg.POR && !rec.opaque && r3Independent(rec, i, t0, ta, pk) {
+				pruned++
+				continue
+			}
+			key := make([]byte, i+1)
+			copy(key, prefix)
+			// positions len(prefix)..i-1 are the canonical zeros
+			key[i] = byte(a)
+			mk := ci.fp
+			mk = fnvMix(mk, uint64(ci.meta.Src)<<32|uint64(ci.meta.Dst))
+			mk = fnvMix(mk, uint64(ci.meta.Kind)<<32|uint64(ci.meta.Area))
+			mk = fnvMix(mk, uint64(ci.meta.Size))
+			mk = fnvMix(mk, uint64(ta-ci.meta.Now))
+			cands = append(cands, candidate{key: string(key), memo: mk})
+		}
+	}
+	return cands, pruned
+}

@@ -1,0 +1,226 @@
+package mcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dsmrace/internal/coherence"
+	"dsmrace/internal/memory"
+)
+
+// The parallel exploration engine. Work is structured as generations: a
+// generation is a batch of canonical runs (one per frontier prefix), the
+// next generation is every candidate those runs spawn. Workers only execute
+// runs — each run is an independent simulation, so the pool shares nothing
+// but an atomic job cursor and the observation intern table. Everything
+// order-sensitive happens at the serial generation barrier: spawned
+// candidates are sorted by vector key (byte-wise lexicographic order, which
+// is exactly the legacy depth-first enumeration order), the memo dedups
+// them in that order, and the final merge folds leaf records in the same
+// order. The Outcome is therefore bit-identical for any worker count and
+// any scheduling of the pool — the CI determinism gate runs workers 1 and 4
+// under -race and compares the structs.
+
+// leafRec is one executed run's contribution to the merge.
+type leafRec struct {
+	key      string
+	sig      uint64
+	obsHash  uint64
+	nchoices int
+}
+
+// runOut is everything one job hands back to the barrier.
+type runOut struct {
+	leaf   leafRec
+	cands  []candidate
+	pruned int
+	err    error
+}
+
+// obsTable interns observation vectors by hash. Insertion order races
+// between workers, but the value stored for a hash is the same whichever
+// worker wins (equal hash ⇒ equal observations — the canonicalizer
+// invariant the checker enforces), so the table never makes the outcome
+// timing-dependent.
+type obsTable struct {
+	mu sync.Mutex
+	m  map[uint64][][]memory.Word
+}
+
+func (t *obsTable) put(h uint64, obs [][]memory.Word) {
+	t.mu.Lock()
+	if _, ok := t.m[h]; !ok {
+		t.m[h] = obs
+	}
+	t.mu.Unlock()
+}
+
+func (t *obsTable) get(h uint64) [][]memory.Word {
+	t.mu.Lock()
+	obs := t.m[h]
+	t.mu.Unlock()
+	return obs
+}
+
+// runJob executes one canonical run and computes its spawn set.
+func runJob(cfg *Config, key string, pk coherence.Kind, obsTab *obsTable) runOut {
+	prefix := []byte(key)
+	rec, err := runInstr(cfg, prefix)
+	if err != nil {
+		return runOut{err: err}
+	}
+	oh := obsHash(rec.obs)
+	obsTab.put(oh, rec.obs)
+	cands, pruned := spawn(cfg, rec, prefix, pk)
+	return runOut{
+		leaf:   leafRec{key: key, sig: rec.sig, obsHash: oh, nchoices: len(rec.choices)},
+		cands:  cands,
+		pruned: pruned,
+	}
+}
+
+// exploreAll drives the generational engine and folds the deterministic
+// Outcome. See Explore for the public contract.
+func exploreAll(cfg *Config) (*Outcome, error) {
+	lit := &cfg.Litmus
+	pk := cfg.Protocol.Kind()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := &Outcome{Litmus: lit.Name, Protocol: cfg.Protocol.Name(), Weakest: LevelSC, POR: cfg.POR}
+	obsTab := &obsTable{m: map[uint64][][]memory.Word{}}
+	// memo maps a candidate's state fingerprint to the lexicographically
+	// smallest vector key explored for that state. A candidate whose state
+	// was already explored under a smaller key is dropped: the earlier
+	// subtree is isomorphic, so every terminal state (and its first
+	// occurrence in enumeration order) is already covered. A candidate that
+	// arrives with a smaller key than the recorded winner (generations are
+	// breadth-ordered, not lex-ordered) is explored anyway — dropping it
+	// could shift first-occurrence order.
+	memo := map[uint64]string{}
+	frontier := []string{""}
+	var leaves []leafRec
+	runs := 0
+	for len(frontier) > 0 {
+		if runs+len(frontier) > cfg.MaxRuns {
+			return nil, fmt.Errorf("mcheck: enumeration of %s/%s exceeded MaxRuns=%d (MaxRuns caps runs attempted, not unique schedules; see Outcome.Pruned/MemoHits for how a capped run differs from a converged one)",
+				lit.Name, out.Protocol, cfg.MaxRuns)
+		}
+		outs := make([]runOut, len(frontier))
+		nw := workers
+		if nw > len(frontier) {
+			nw = len(frontier)
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(cursor.Add(1)) - 1
+					if j >= len(outs) {
+						return
+					}
+					outs[j] = runJob(cfg, frontier[j], pk, obsTab)
+				}
+			}()
+		}
+		wg.Wait()
+		runs += len(frontier)
+		var cands []candidate
+		for j := range outs {
+			if outs[j].err != nil {
+				return nil, outs[j].err
+			}
+			leaves = append(leaves, outs[j].leaf)
+			out.Pruned += outs[j].pruned
+			cands = append(cands, outs[j].cands...)
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].key < cands[b].key })
+		frontier = make([]string, 0, len(cands))
+		for _, cd := range cands {
+			if cfg.POR {
+				if w, ok := memo[cd.memo]; ok && w < cd.key {
+					out.MemoHits++
+					continue
+				}
+				memo[cd.memo] = cd.key
+			}
+			frontier = append(frontier, cd.key)
+		}
+	}
+	out.Runs = runs
+
+	// Deterministic merge: leaf records in vector-key order are exactly the
+	// legacy depth-first enumeration order, so Unique, the violation
+	// counters and the first-violation renderings reproduce the serial
+	// walk bit-for-bit.
+	sort.Slice(leaves, func(a, b int) bool { return leaves[a].key < leaves[b].key })
+	// sigObs maps each canonical signature to its observation hash: two
+	// runs with identical delivery timelines must observe identical values,
+	// or the canonicalizer would be merging distinguishable schedules.
+	sigObs := make(map[uint64]uint64, len(leaves))
+	lvlByObs := map[uint64]Level{}
+	for i := range leaves {
+		lf := &leaves[i]
+		if lf.nchoices > out.MaxChoices {
+			out.MaxChoices = lf.nchoices
+		}
+		if prev, ok := sigObs[lf.sig]; ok {
+			if prev != lf.obsHash {
+				return nil, fmt.Errorf("mcheck: canonical signature %#x merges schedules with distinct observations (%s)",
+					lf.sig, renderObs(lit, obsTab.get(lf.obsHash)))
+			}
+			continue
+		}
+		sigObs[lf.sig] = lf.obsHash
+		out.Unique++
+		lvl, ok := lvlByObs[lf.obsHash]
+		newState := !ok
+		if newState {
+			obs := obsTab.get(lf.obsHash)
+			h, nv := history(lit, obs)
+			var err error
+			lvl, err = classify(h, nv)
+			if err != nil {
+				return nil, fmt.Errorf("mcheck: %s under %s: %w", renderObs(lit, obs), out.Protocol, err)
+			}
+			lvlByObs[lf.obsHash] = lvl
+			out.UniqueStates++
+			out.StateFold += lf.obsHash * 0x9e3779b97f4a7c15
+			if lvl < LevelSC {
+				out.StateSCViolations++
+			}
+			if lvl < LevelCausal {
+				out.StateCausalViolations++
+			}
+			if lvl < LevelCoherent {
+				out.StateCoherenceViolations++
+			}
+		}
+		if lvl < out.Weakest {
+			out.Weakest = lvl
+		}
+		if lvl < LevelSC {
+			out.SCViolations++
+			if out.FirstNonSC == "" {
+				out.FirstNonSC = renderObs(lit, obsTab.get(lf.obsHash))
+			}
+		}
+		if lvl < LevelCausal {
+			out.CausalViolations++
+			if out.FirstNonCausal == "" {
+				out.FirstNonCausal = renderObs(lit, obsTab.get(lf.obsHash))
+			}
+		}
+		if lvl < LevelCoherent {
+			out.CoherenceViolations++
+		}
+	}
+	return out, nil
+}

@@ -365,3 +365,28 @@ func (s *Space) Snapshot() [][]Word {
 	}
 	return out
 }
+
+// Fingerprint folds the logical content of every node's public memory into
+// h with FNV-1a steps, allocation-free. The extent hashed per node is the
+// allocated extent (or the materialised prefix when tests wrote past it),
+// with unmaterialised words hashed as the zeros they read as — so the
+// result is a pure function of logical memory content, independent of
+// which writes happened to materialise backing storage.
+func (s *Space) Fingerprint(h uint64) uint64 {
+	const prime = 1099511628211
+	for i, n := range s.nodes {
+		used := s.nextOff[i]
+		if backed := len(n.public.data); backed > used {
+			used = backed
+		}
+		for off := 0; off < used; off++ {
+			var w Word
+			if off < len(n.public.data) {
+				w = n.public.data[off]
+			}
+			h = (h ^ uint64(w)) * prime
+		}
+		h = (h ^ 0x9e3779b97f4a7c15) * prime // node separator
+	}
+	return h
+}

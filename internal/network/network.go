@@ -75,7 +75,13 @@ type Message struct {
 	Src, Dst NodeID
 	Kind     Kind
 	Size     int
-	Payload  any
+	// Area identifies the memory area the packet concerns, as AreaID+1 so
+	// the zero value means "not area-addressed" (barriers, clock traffic).
+	// It feeds the exploration layer's independence analysis (two packets
+	// on disjoint links and disjoint areas commute) and is not part of the
+	// modelled wire size.
+	Area    int
+	Payload any
 }
 
 // HeaderBytes is the modelled per-message header size (addresses, op code,
@@ -197,7 +203,7 @@ func (f *inflight) deliver() {
 		panic(fmt.Sprintf("network: node %d has no handler", f.m.Dst))
 	}
 	if net.OnDeliver != nil {
-		net.OnDeliver(f.m.Src, f.m.Dst, f.m.Kind, f.m.Size)
+		net.OnDeliver(f.m.Src, f.m.Dst, f.m.Kind, f.m.Size, f.m.Area)
 	}
 	h(&f.m)
 	f.m.Payload = nil
@@ -316,7 +322,7 @@ type Network struct {
 	// model) is a complete canonical description of the schedule. The
 	// exhaustive-exploration checker hashes this sequence to deduplicate
 	// schedules; keep the hook cheap, it sits on the delivery hot path.
-	OnDeliver func(src, dst NodeID, kind Kind, size int)
+	OnDeliver func(src, dst NodeID, kind Kind, size, area int)
 	// Choice-delay state (EnableChoiceDelay): from chooseAfter onward every
 	// send resolves a kernel choice point and stretches its latency by
 	// choice × chooseQuantum, turning delivery order itself into an
@@ -635,7 +641,15 @@ func (n *Network) send(m *Message, exempt bool) {
 	}
 	d := n.latency.Delay(m.Src, m.Dst, m.Size, n.k.Rand())
 	if n.chooseSteps > 1 && n.k.Now() >= n.chooseAfter {
-		d += n.chooseQuantum * sim.Time(n.k.Choose(n.chooseSteps))
+		meta := sim.ChoiceMeta{
+			Src: int(m.Src), Dst: int(m.Dst),
+			Kind: int(m.Kind), Size: m.Size, Area: m.Area,
+			Now:     n.k.Now(),
+			Base:    n.k.Now() + d,
+			Floor:   n.lastArrival[link],
+			Quantum: n.chooseQuantum,
+		}
+		d += n.chooseQuantum * sim.Time(n.k.ChooseMeta(n.chooseSteps, meta))
 	}
 	at := n.k.Now() + d
 	if last := n.lastArrival[link]; at < last {

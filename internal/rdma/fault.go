@@ -147,7 +147,7 @@ func (s *System) faultReqLost(ps *shardPools, ctxShard int, src, dst network.Nod
 		rs.id = r.id
 		rs.err = nackErr
 		s.net.SendExempt(&network.Message{Src: dst, Dst: src, Kind: reply,
-			Size: network.HeaderBytes, Payload: rs})
+			Size: network.HeaderBytes, Area: wireArea(r.area), Payload: rs})
 	}
 }
 
@@ -167,7 +167,7 @@ func (s *System) faultInvalLost(ps *shardPools, ctxShard int, src, dst network.N
 	rs := ps.grabResp()
 	rs.id = r.id
 	s.net.SendExempt(&network.Message{Src: dst, Dst: src, Kind: network.KindInvalAck,
-		Size: network.HeaderBytes, Payload: rs})
+		Size: network.HeaderBytes, Area: wireArea(r.area), Payload: rs})
 }
 
 // ---- Initiator lifecycle: deadlines, retransmission, typed failure ----
@@ -286,7 +286,7 @@ func (n *NIC) retransmit(id uint64, op *initOp) {
 	rr.id = id
 	rr.origin = n.id
 	op.rr = rr
-	s.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: op.kind, Size: op.size, Payload: rr})
+	s.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: op.kind, Size: op.size, Area: wireArea(op.tmpl.area), Payload: rr})
 	backoff := s.fretryBase << uint(op.attempt-1)
 	// Jitter is salted with (area, kind), never the request id: ids are
 	// shard-namespaced, so an id-derived jitter would move retransmissions

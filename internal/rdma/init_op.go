@@ -183,7 +183,7 @@ func (o *initOp) issue(dst network.NodeID, kind network.Kind, size int, r *req, 
 		o.deadline = n.k.Now() + n.sys.ftimeout
 	}
 	n.addPending(rr.id, o)
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Area: wireArea(rr.area), Payload: rr})
 	if n.sys.fArm {
 		n.armWatchdog(o.deadline)
 	}

@@ -285,6 +285,12 @@ func parkReason(k network.Kind) string {
 	return "rdma " + k.String()
 }
 
+// wireArea converts a protocol area to the packet-header area tag: AreaID+1,
+// keeping 0 for packets that are not area-addressed. The tag feeds the
+// exploration layer's independence analysis only — it never changes routing,
+// sizes or delivery behaviour.
+func wireArea(a memory.Area) int { return int(a.ID) + 1 }
+
 // send transmits a one-way request (no response expected). The home-side
 // handler recycles the pooled req when it is done.
 func (n *NIC) send(dst network.NodeID, kind network.Kind, size int, r *req) {
@@ -293,7 +299,7 @@ func (n *NIC) send(dst network.NodeID, kind network.Kind, size int, r *req) {
 	*rr = *r
 	rr.owner = owner
 	rr.origin = n.id
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Area: wireArea(rr.area), Payload: rr})
 }
 
 // reply sends a response back to the request's origin. The caller's resp
@@ -304,7 +310,7 @@ func (n *NIC) reply(r *req, kind network.Kind, size int, rs *resp) {
 	*rr = *rs
 	rr.owner = owner
 	rr.id = r.id
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: r.origin, Kind: kind, Size: size, Payload: rr})
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: r.origin, Kind: kind, Size: size, Area: wireArea(r.area), Payload: rr})
 }
 
 // homeOp is a pooled home-side operation continuation: lock grant →
@@ -525,7 +531,7 @@ func (o *homeOp) grant() {
 			rr.recall = true
 			n.invalWait[rr.id] = &invalJoin{left: 1, finish: o.occupyFn, recall: true, area: o.r.area}
 			n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(owner),
-				Kind: network.KindInval, Size: network.HeaderBytes, Payload: rr})
+				Kind: network.KindInval, Size: network.HeaderBytes, Area: wireArea(rr.area), Payload: rr})
 			return
 		}
 	}
@@ -689,7 +695,7 @@ func (o *homeOp) finishWrite() {
 				size := network.HeaderBytes + count*memory.WordBytes + 8 + dep.WireSize()
 				for _, node := range sharers {
 					n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(node),
-						Kind: network.KindUpdate, Size: size, Payload: u})
+						Kind: network.KindUpdate, Size: size, Area: wireArea(r.area), Payload: u})
 				}
 			}
 		} else if inv := n.sys.coh.Invalidees(r.acc.Proc, r.area); len(inv) > 0 {
@@ -701,7 +707,7 @@ func (o *homeOp) finishWrite() {
 				rr.area = r.area
 				n.invalWait[rr.id] = join
 				n.sys.net.Send(&network.Message{Src: n.id, Dst: network.NodeID(node),
-					Kind: network.KindInval, Size: network.HeaderBytes, Payload: rr})
+					Kind: network.KindInval, Size: network.HeaderBytes, Area: wireArea(r.area), Payload: rr})
 			}
 			return
 		}

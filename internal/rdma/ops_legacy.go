@@ -29,7 +29,7 @@ func (n *NIC) roundTrip(p *sim.Proc, dst network.NodeID, kind network.Kind, size
 	rr.origin = n.id
 	pd := n.ps.grabPending(p)
 	n.addLegacyPending(rr.id, pd)
-	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Payload: rr})
+	n.sys.net.Send(&network.Message{Src: n.id, Dst: dst, Kind: kind, Size: size, Area: wireArea(rr.area), Payload: rr})
 	for !pd.done {
 		p.Park(parkReason(kind))
 	}

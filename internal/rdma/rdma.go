@@ -394,7 +394,7 @@ func (s *System) reclaimDropped(ctxShard int, src, dst network.NodeID, kind netw
 						size += pl.obs.WireSize()
 					}
 					s.net.SendExempt(&network.Message{Src: src, Dst: dst, Kind: kind,
-						Size: size, Payload: pl})
+						Size: size, Area: wireArea(pl.area), Payload: pl})
 					return
 				}
 			}

@@ -55,6 +55,33 @@ type Config struct {
 	// without a chooser are bit-identical to runs built before the hook
 	// existed.
 	Chooser func(n int) int
+	// MetaChooser, when non-nil, resolves metadata-carrying choice points
+	// (Kernel.ChooseMeta) and takes precedence over Chooser there. The
+	// metadata describes the delivery the choice schedules — link endpoints,
+	// packet kind, area, timing — so an exploration driver can compute
+	// independence between choice points without replaying the run. Choice
+	// points raised through the plain Choose hook still resolve via Chooser.
+	MetaChooser func(n int, m ChoiceMeta) int
+}
+
+// ChoiceMeta describes the delivery behind one latency choice point: which
+// directed link it rides, what packet kind and modelled size, which memory
+// area it concerns (1-based; 0 when the packet is not area-addressed), and
+// the timing inputs the network will combine with the chosen step. Base is
+// the unclamped arrival under choice 0 (send time plus modelled latency);
+// Floor is the link's FIFO horizon at send time (the arrival is clamped up
+// to it); Quantum is the extra latency added per chosen step. Together they
+// let a driver compute the exact arrival of every alternative:
+// max(Base + c×Quantum, Floor).
+type ChoiceMeta struct {
+	Src, Dst int
+	Kind     int
+	Size     int
+	Area     int
+	Now      Time
+	Base     Time
+	Floor    Time
+	Quantum  Time
 }
 
 // Kernel is the simulation core. Create one with NewKernel, spawn processes,
@@ -276,6 +303,24 @@ func (k *Kernel) Choose(n int) int {
 	c := k.cfg.Chooser(n)
 	if c < 0 || c >= n {
 		panic(fmt.Sprintf("sim: Chooser returned %d for %d alternatives", c, n))
+	}
+	return c
+}
+
+// ChooseMeta resolves one metadata-carrying choice point with n
+// alternatives. With a MetaChooser configured it receives the delivery
+// metadata alongside the arity; otherwise the call degrades to Choose(n),
+// so drivers that only install the plain Chooser keep working unchanged.
+func (k *Kernel) ChooseMeta(n int, m ChoiceMeta) int {
+	if k.cfg.MetaChooser == nil {
+		return k.Choose(n)
+	}
+	if n <= 1 {
+		return 0
+	}
+	c := k.cfg.MetaChooser(n, m)
+	if c < 0 || c >= n {
+		panic(fmt.Sprintf("sim: MetaChooser returned %d for %d alternatives", c, n))
 	}
 	return c
 }
@@ -903,4 +948,37 @@ func (k *Kernel) Run() error {
 		return &DeadlockError{Time: k.now, Blocked: blocked}
 	}
 	return nil
+}
+
+// QueueFingerprint folds the kernel's future-event profile into h: for every
+// queued event, a commutative mix of its time distance from now and the
+// process it resumes (0 for bare callbacks). Exploration drivers include it
+// in state fingerprints so in-progress timed work — occupancy windows,
+// sleeps, watchdogs — distinguishes otherwise-identical memory states. The
+// per-event terms are folded by sum and xor, so neither the wheel's bucket
+// layout nor insertion order shows through. Same-instant sequence order is
+// not captured (event callbacks have no hashable identity); drivers that
+// memoise on this fingerprint must validate against unreduced exploration,
+// as internal/mcheck's equivalence gates do.
+func (k *Kernel) QueueFingerprint(h uint64) uint64 {
+	const prime = 1099511628211
+	var sum, xor, cnt uint64
+	add := func(e *event) {
+		p := uint64(0)
+		if e.proc != nil {
+			p = uint64(e.proc.ID) + 1
+		}
+		m := (uint64(e.at-k.now)*0x9e3779b97f4a7c15 ^ p) * prime
+		sum += m
+		xor ^= m
+		cnt++
+	}
+	k.queue.each(add)
+	for i := 0; i < k.nowQ.Len(); i++ {
+		add(k.nowQ.At(i))
+	}
+	h = (h ^ sum) * prime
+	h = (h ^ xor) * prime
+	h = (h ^ cnt) * prime
+	return h
 }

@@ -261,3 +261,21 @@ func minSeqIndex(list []*event) int {
 	}
 	return best
 }
+
+// each calls fn for every resident event, including overflow, in no
+// particular order (fingerprint folds over it must commute).
+func (w *wheel) each(fn func(*event)) {
+	for l := 0; l < wheelLevels; l++ {
+		occ := w.occ[l]
+		for occ != 0 {
+			i := bits.TrailingZeros64(occ)
+			occ &^= 1 << uint(i)
+			for _, e := range w.slots[l][i] {
+				fn(e)
+			}
+		}
+	}
+	for _, e := range w.over {
+		fn(e)
+	}
+}

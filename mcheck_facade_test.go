@@ -6,16 +6,17 @@ import "testing"
 // resolution for litmuses, stock protocols and seeded mutations, the budget
 // error path, and one end-to-end verdict per interesting protocol class.
 func TestMcheckFacade(t *testing.T) {
-	if got := McheckLitmusNames(); len(got) != 4 {
-		t.Fatalf("McheckLitmusNames() = %v, want 4 names", got)
+	if got := McheckLitmusNames(); len(got) != 5 {
+		t.Fatalf("McheckLitmusNames() = %v, want 5 names", got)
 	}
-	out, err := Mcheck("sb", "causal", 0)
+	out2, err := Mcheck("sb", "causal", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Weakest != McheckLevelCausal || out.SCViolations == 0 {
-		t.Errorf("sb/causal: weakest=%s sc-viol=%d, want causal with SC violations", out.Weakest, out.SCViolations)
+	if out2.Weakest != McheckLevelCausal || out2.SCViolations == 0 {
+		t.Errorf("sb/causal: weakest=%s sc-viol=%d, want causal with SC violations", out2.Weakest, out2.SCViolations)
 	}
+	out := out2
 	out, err = Mcheck("sb", "write-invalidate", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -38,5 +39,16 @@ func TestMcheckFacade(t *testing.T) {
 	}
 	if _, err := Mcheck("sb", "mesi", 8); err == nil {
 		t.Error("budget overrun did not error")
+	}
+	por, err := McheckExplore("sb", "causal", McheckOptions{POR: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if por.Weakest != McheckLevelCausal || por.FirstNonSC != out2.FirstNonSC ||
+		por.UniqueStates != out2.UniqueStates || por.StateFold != out2.StateFold {
+		t.Errorf("sb/causal under POR: %+v, want state set and verdict of full enumeration %+v", por, out2)
+	}
+	if por.Runs >= out2.Runs {
+		t.Errorf("sb/causal under POR ran %d schedules, full enumeration %d — no reduction", por.Runs, out2.Runs)
 	}
 }
